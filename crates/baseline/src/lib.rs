@@ -1,0 +1,21 @@
+//! The Table 2 baseline: a cycle-approximate GPU simulator with Principal
+//! Kernel Selection (PKS) and Principal Kernel Analysis (PKA) sampling.
+//!
+//! The paper compares its KW model against PKA/PKS (Baddouh et al.,
+//! MICRO '21), which accelerate an Accel-Sim-style detailed simulator by
+//! simulating only representative kernel launches. Accel-Sim itself is not
+//! reproducible here, so this crate substitutes a *cycle-approximate*
+//! simulator ([`CycleSim`]) with the same cost structure: simulation effort
+//! proportional to the number of thread blocks simulated, and accuracy
+//! limited by an engineer's calibration of per-algorithm efficiencies
+//! (it does not know the measurement substrate's hidden per-kernel
+//! parameters). PKS and PKA then trade simulated blocks for error, exactly
+//! the trade-off of the paper's Table 2.
+
+#![warn(missing_docs)]
+
+pub mod cyclesim;
+pub mod sampling;
+
+pub use cyclesim::{CycleSim, SimResult};
+pub use sampling::{pka_estimate, pks_estimate};

@@ -1,0 +1,173 @@
+//! Principal Kernel Selection (PKS) and Principal Kernel Analysis (PKA)
+//! on top of the cycle-approximate simulator.
+//!
+//! Both methods avoid simulating every kernel launch in detail:
+//!
+//! * **PKS** simulates the first `detail_launches` occurrences of every
+//!   kernel *symbol* in detail, then projects later occurrences from the
+//!   observed per-block cost of that symbol. Most of the work is still
+//!   simulated, so its error stays close to the full simulator's.
+//! * **PKA** groups launches much more aggressively — by kernel *family*
+//!   (the variant suffix is exactly what its counter-based clustering
+//!   collapses) — and simulates a single representative per group, scaling
+//!   all other launches by their block count. Far fewer blocks simulated,
+//!   larger error: the Table 2 trade-off.
+
+use crate::cyclesim::{CycleSim, SimResult};
+use dnnperf_dnn::Network;
+use dnnperf_gpu::dispatch::dispatch_network;
+use std::collections::HashMap;
+
+fn family_key(kernel_name: &str) -> String {
+    // Strip the variant suffix: everything after the last "_aiN" /
+    // geometry marker; fall back to the first three underscore components.
+    let base: Vec<&str> = kernel_name.split('_').take(3).collect();
+    base.join("_")
+}
+
+/// PKS: detailed simulation of the first `detail_launches` occurrences per
+/// kernel symbol; later occurrences are projected at per-block cost.
+///
+/// # Panics
+///
+/// Panics if `detail_launches` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_baseline::{pks_estimate, CycleSim};
+/// use dnnperf_gpu::GpuSpec;
+///
+/// let sim = CycleSim::new(GpuSpec::by_name("V100").unwrap());
+/// let full = sim.simulate_network(&dnnperf_dnn::zoo::resnet::resnet18(), 8);
+/// let pks = pks_estimate(&sim, &dnnperf_dnn::zoo::resnet::resnet18(), 8, 3);
+/// assert!(pks.simulated_blocks < full.simulated_blocks);
+/// ```
+pub fn pks_estimate(
+    sim: &CycleSim,
+    net: &Network,
+    batch: usize,
+    detail_launches: usize,
+) -> SimResult {
+    assert!(detail_launches > 0, "PKS needs at least one detailed launch per kernel");
+    let mut seen: HashMap<String, (usize, f64, u64)> = HashMap::new(); // count, time, blocks
+    let mut seconds = 40.0e-6;
+    let mut blocks = 0;
+    for kernels in dispatch_network(net, batch) {
+        for k in kernels {
+            let entry = seen.entry(k.name.clone()).or_insert((0, 0.0, 0));
+            if entry.0 < detail_launches {
+                let r = sim.simulate_kernel(&k);
+                entry.0 += 1;
+                entry.1 += r.predicted_seconds;
+                entry.2 += r.simulated_blocks;
+                seconds += r.predicted_seconds;
+                blocks += r.simulated_blocks;
+            } else {
+                // Project from the symbol's observed per-block cost.
+                let per_block = entry.1 / entry.2.max(1) as f64;
+                seconds += per_block * k.blocks() as f64;
+            }
+        }
+    }
+    SimResult { predicted_seconds: seconds, simulated_blocks: blocks }
+}
+
+/// PKA: one detailed representative per kernel *family*; every other launch
+/// is scaled by block count.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_baseline::{pka_estimate, pks_estimate, CycleSim};
+/// use dnnperf_gpu::GpuSpec;
+///
+/// let sim = CycleSim::new(GpuSpec::by_name("V100").unwrap());
+/// let net = dnnperf_dnn::zoo::resnet::resnet18();
+/// let pka = pka_estimate(&sim, &net, 8);
+/// let pks = pks_estimate(&sim, &net, 8, 3);
+/// assert!(pka.simulated_blocks < pks.simulated_blocks);
+/// ```
+pub fn pka_estimate(sim: &CycleSim, net: &Network, batch: usize) -> SimResult {
+    let mut reps: HashMap<String, (f64, u64)> = HashMap::new(); // time, blocks
+    let mut seconds = 40.0e-6;
+    let mut blocks = 0;
+    for kernels in dispatch_network(net, batch) {
+        for k in kernels {
+            let key = family_key(&k.name);
+            match reps.get(&key) {
+                Some((t, b)) => {
+                    seconds += t / *b as f64 * k.blocks() as f64;
+                }
+                None => {
+                    let r = sim.simulate_kernel(&k);
+                    seconds += r.predicted_seconds;
+                    blocks += r.simulated_blocks;
+                    reps.insert(key, (r.predicted_seconds, r.simulated_blocks.max(1)));
+                }
+            }
+        }
+    }
+    SimResult { predicted_seconds: seconds, simulated_blocks: blocks }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_gpu::{GpuSpec, Profiler};
+
+    fn v100_sim() -> CycleSim {
+        CycleSim::new(GpuSpec::by_name("V100").unwrap())
+    }
+
+    #[test]
+    fn sampling_reduces_cost_monotonically() {
+        let sim = v100_sim();
+        let net = dnnperf_dnn::zoo::resnet::resnet50();
+        let full = sim.simulate_network(&net, 32);
+        let pks = pks_estimate(&sim, &net, 32, 3);
+        let pka = pka_estimate(&sim, &net, 32);
+        assert!(full.simulated_blocks > pks.simulated_blocks);
+        assert!(pks.simulated_blocks > pka.simulated_blocks);
+    }
+
+    #[test]
+    fn pks_stays_close_to_full_simulation() {
+        let sim = v100_sim();
+        let net = dnnperf_dnn::zoo::resnet::resnet50();
+        let full = sim.simulate_network(&net, 32).predicted_seconds;
+        let pks = pks_estimate(&sim, &net, 32, 3).predicted_seconds;
+        let dev = (pks - full).abs() / full;
+        assert!(dev < 0.15, "PKS deviates {dev} from full simulation");
+    }
+
+    #[test]
+    fn error_ordering_matches_table2() {
+        // vs ground-truth measurement: PKS <= PKA (with slack), both worse
+        // than nothing special — the KW comparison lives in the bench.
+        let sim = v100_sim();
+        let prof = Profiler::new(GpuSpec::by_name("V100").unwrap());
+        let net = dnnperf_dnn::zoo::resnet::resnet50();
+        let meas = prof.profile(&net, 32).unwrap().e2e_seconds;
+        let e = |p: f64| (p - meas).abs() / meas;
+        let e_pks = e(pks_estimate(&sim, &net, 32, 3).predicted_seconds);
+        let e_pka = e(pka_estimate(&sim, &net, 32).predicted_seconds);
+        assert!(e_pks < e_pka + 0.05, "pks {e_pks} vs pka {e_pka}");
+    }
+
+    #[test]
+    fn family_key_strips_variants() {
+        assert_eq!(
+            family_key("implicit_convolve_sgemm_k3_ai32"),
+            family_key("implicit_convolve_sgemm_k5_ai12")
+        );
+        assert_ne!(family_key("im2col_kernel_k3s2"), family_key("winograd_fwd_sgemm_t4_ai30"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_detail_launches_panics() {
+        let sim = v100_sim();
+        pks_estimate(&sim, &dnnperf_dnn::zoo::resnet::resnet18(), 8, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Measurement-substrate throughput: kernel dispatch, profiling, and
+//! dataset row conversion. These bound how fast the paper's 240k-kernel
+//! dataset can be (re)generated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnperf_data::collect::{collect, trace_rows};
+use dnnperf_gpu::dispatch::dispatch_network;
+use dnnperf_gpu::{GpuSpec, Profiler};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let a100 = GpuSpec::by_name("A100").unwrap();
+    let net = dnnperf_dnn::zoo::resnet::resnet50();
+    let prof = Profiler::new(a100.clone());
+
+    c.bench_function("dispatch_resnet50", |b| {
+        b.iter(|| dispatch_network(black_box(&net), 64))
+    });
+    c.bench_function("profile_resnet50", |b| {
+        b.iter(|| prof.profile(black_box(&net), 64).unwrap())
+    });
+    let trace = prof.profile(&net, 64).unwrap();
+    c.bench_function("trace_to_rows_resnet50", |b| {
+        b.iter(|| trace_rows(black_box(&trace), &net))
+    });
+
+    let nets = [
+        dnnperf_dnn::zoo::resnet::resnet18(),
+        dnnperf_dnn::zoo::vgg::vgg11(),
+        dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let mut g = c.benchmark_group("collect");
+    g.sample_size(20);
+    g.bench_function("three_nets_one_gpu", |b| {
+        b.iter(|| collect(black_box(&nets), std::slice::from_ref(&a100), &[64]))
+    });
+    g.finish();
+
+    c.bench_function("build_cnn_zoo_646", |bch| bch.iter(dnnperf_dnn::zoo::cnn_zoo));
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

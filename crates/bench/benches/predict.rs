@@ -1,0 +1,63 @@
+//! Prediction and training latency of the performance models.
+//!
+//! The paper's pitch is that predictions cost microseconds; this bench pins
+//! that down per model, plus the one-off training cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnnperf_core::{E2eModel, IgkwModel, KwModel, LwModel, Predictor};
+use dnnperf_data::collect::collect;
+use dnnperf_data::Dataset;
+use dnnperf_gpu::GpuSpec;
+use std::hint::black_box;
+
+fn training_dataset() -> Dataset {
+    let nets: Vec<_> = dnnperf_dnn::zoo::cnn_zoo().into_iter().step_by(10).collect();
+    let gpus = [
+        GpuSpec::by_name("A100").unwrap(),
+        GpuSpec::by_name("A40").unwrap(),
+        GpuSpec::by_name("GTX 1080 Ti").unwrap(),
+    ];
+    collect(&nets, &gpus, &[128])
+}
+
+fn bench_predict(c: &mut Criterion) {
+    let ds = training_dataset();
+    let net = dnnperf_dnn::zoo::resnet::resnet50();
+    let e2e = E2eModel::train(&ds, "A100").unwrap();
+    let lw = LwModel::train(&ds, "A100").unwrap();
+    let kw = KwModel::train(&ds, "A100").unwrap();
+    let gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti"]
+        .iter()
+        .map(|n| GpuSpec::by_name(n).unwrap())
+        .collect();
+    let igkw = IgkwModel::train(&ds, &gpus).unwrap();
+    let titan = GpuSpec::by_name("TITAN RTX").unwrap();
+
+    let mut g = c.benchmark_group("predict_resnet50");
+    g.bench_function("e2e", |b| {
+        b.iter(|| e2e.predict_network(black_box(&net), 256).unwrap())
+    });
+    g.bench_function("lw", |b| {
+        b.iter(|| lw.predict_network(black_box(&net), 256).unwrap())
+    });
+    g.bench_function("kw", |b| {
+        b.iter(|| kw.predict_network(black_box(&net), 256).unwrap())
+    });
+    g.bench_function("igkw_unseen_gpu", |b| {
+        b.iter(|| igkw.predict_network_on(black_box(&net), 256, &titan).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_train(c: &mut Criterion) {
+    let ds = training_dataset();
+    let mut g = c.benchmark_group("train");
+    g.sample_size(10);
+    g.bench_function("e2e", |b| b.iter(|| E2eModel::train(black_box(&ds), "A100").unwrap()));
+    g.bench_function("lw", |b| b.iter(|| LwModel::train(black_box(&ds), "A100").unwrap()));
+    g.bench_function("kw", |b| b.iter(|| KwModel::train(black_box(&ds), "A100").unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict, bench_train);
+criterion_main!(benches);

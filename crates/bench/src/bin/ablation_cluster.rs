@@ -1,0 +1,34 @@
+//! Ablation 2 (DESIGN.md): kernel clustering tolerance. The paper merges
+//! 182 kernels into 83 regressions; this sweep shows the model-count /
+//! accuracy trade-off.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, networks_in, standard_split, TextTable};
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::KwModel;
+use dnnperf_linreg::mean_abs_rel_error;
+
+fn main() {
+    banner("Ablation: kernel clustering", "slope tolerance vs model count and error (A100)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
+    let (train, test) = standard_split(&ds);
+    let test_nets = networks_in(&zoo, &test);
+
+    let mut t = TextTable::new(&["tolerance", "kernels", "models", "test error"]);
+    for tol in [1.0, 1.15, 1.35, 1.75, 2.5, 10.0] {
+        let kw = KwModel::train_with_tolerance(&train, "A100", tol).expect("train");
+        let pairs = predictions_vs_measurements(&kw, &test_nets, batch, &test);
+        let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+        let y: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+        t.row(&cells![
+            format!("{tol:.2}"),
+            kw.num_kernels(),
+            kw.num_models(),
+            format!("{:.2}%", mean_abs_rel_error(&p, &y) * 100.0)
+        ]);
+    }
+    t.print();
+    println!("\nexpected: moderate clustering (paper: 182 -> 83 models) costs little accuracy;");
+    println!("extreme merging degrades it");
+}

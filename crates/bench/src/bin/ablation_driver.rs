@@ -1,0 +1,37 @@
+//! Ablation 1 (DESIGN.md): kernel classification by best-R² driver vs
+//! forcing every kernel onto the FLOPs (operation) driver. Quantifies how
+//! much of the KW model's accuracy comes from O5's input/operation/output
+//! taxonomy.
+
+use dnnperf_bench::{banner, collect_verbose, gpu, networks_in, standard_split};
+use dnnperf_core::kernelwise::KwFlopsOnlyModel;
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::KwModel;
+use dnnperf_linreg::mean_abs_rel_error;
+
+fn main() {
+    banner("Ablation: driver classification", "KW (classified) vs KW (FLOPs-only)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
+    let (train, test) = standard_split(&ds);
+    let test_nets = networks_in(&zoo, &test);
+
+    let kw = KwModel::train(&train, "A100").expect("train KW");
+    let flops_only = KwFlopsOnlyModel::train(&train, "A100").expect("train ablated KW");
+
+    let err = |pairs: Vec<(String, f64, f64)>| {
+        let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+        let y: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+        mean_abs_rel_error(&p, &y)
+    };
+    let e_kw = err(predictions_vs_measurements(&kw, &test_nets, batch, &test));
+    let e_fl = err(predictions_vs_measurements(&flops_only, &test_nets, batch, &test));
+
+    println!("KW with driver classification : {:.2}%", e_kw * 100.0);
+    println!("KW forced to FLOPs driver     : {:.2}%", e_fl * 100.0);
+    println!(
+        "classification improves accuracy by {:.2} percentage points",
+        (e_fl - e_kw) * 100.0
+    );
+}

@@ -1,0 +1,84 @@
+//! Ablation 3 (DESIGN.md): the IGKW transfer metric. O6 argues slopes
+//! track 1/bandwidth; the rejected alternative tracks 1/peak-FLOPS.
+//!
+//! Two held-out targets are evaluated: TITAN RTX (the paper's Figure 14
+//! setting, where bandwidth and compute are balanced so both metrics limp
+//! along) and the A40 — a compute-heavy, bandwidth-light GPU, exactly the
+//! "imbalanced" corner the paper's limitation section warns about. The A40
+//! is where the wrong metric falls apart.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, networks_in, standard_split, TextTable};
+use dnnperf_core::intergpu::TransferMetric;
+use dnnperf_core::IgkwModel;
+use dnnperf_data::Dataset;
+use dnnperf_gpu::GpuSpec;
+use dnnperf_linreg::mean_abs_rel_error;
+
+#[allow(clippy::too_many_arguments)] // experiment-harness helper, not API
+fn eval(
+    train: &Dataset,
+    train_gpus: &[GpuSpec],
+    target: &GpuSpec,
+    truth: &Dataset,
+    zoo: &[dnnperf_dnn::Network],
+    batch: usize,
+    metric: TransferMetric,
+    floor: bool,
+) -> f64 {
+    let model = IgkwModel::train_with_options(train, train_gpus, metric, floor).expect("train");
+    let mut preds = Vec::new();
+    let mut meas = Vec::new();
+    for net in networks_in(zoo, truth) {
+        let m = truth
+            .networks
+            .iter()
+            .find(|r| &*r.network == net.name())
+            .expect("measured")
+            .e2e_seconds;
+        preds.push(model.predict_network_on(&net, batch, target).expect("predict"));
+        meas.push(m);
+    }
+    mean_abs_rel_error(&preds, &meas)
+}
+
+fn main() {
+    banner("Ablation: IGKW transfer metric", "slope ~ 1/bandwidth vs slope ~ 1/peak-FLOPS");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+
+    let mut t = TextTable::new(&[
+        "held-out GPU",
+        "1/bandwidth",
+        "1/bandwidth (origin)",
+        "1/peak-FLOPS",
+        "1/peak-FLOPS (origin)",
+    ]);
+    for (target_name, others) in [
+        ("TITAN RTX", ["A100", "A40", "GTX 1080 Ti"]),
+        ("A40", ["A100", "TITAN RTX", "GTX 1080 Ti"]),
+    ] {
+        let target = gpu(target_name);
+        let train_gpus: Vec<GpuSpec> = others.iter().map(|n| gpu(n)).collect();
+        let ds = collect_verbose(&zoo, &train_gpus, &[batch]);
+        let (train, test) = standard_split(&ds);
+        let test_nets = networks_in(&zoo, &test);
+        let truth = collect_verbose(&test_nets, std::slice::from_ref(&target), &[batch]);
+
+        let cell = |metric, floor| {
+            format!(
+                "{:.1}%",
+                eval(&train, &train_gpus, &target, &truth, &zoo, batch, metric, floor) * 100.0
+            )
+        };
+        t.row(&cells![
+            target_name,
+            cell(TransferMetric::Bandwidth, true),
+            cell(TransferMetric::Bandwidth, false),
+            cell(TransferMetric::PeakFlops, true),
+            cell(TransferMetric::PeakFlops, false)
+        ]);
+    }
+    t.print();
+    println!("\nexpected: bandwidth transfers cleanly to both GPUs; peak-FLOPS scaling");
+    println!("collapses on the compute-heavy, bandwidth-light A40 (O6)");
+}

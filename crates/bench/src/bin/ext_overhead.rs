@@ -1,0 +1,59 @@
+//! Extension experiment (paper future work): the CPU / communication
+//! overhead model for small workloads.
+//!
+//! The plain KW model, trained at BS=512, degrades at small batch sizes
+//! (see `ablation_bs`). Calibrating an affine overhead correction on a few
+//! small-batch runs of the *training* networks recovers much of the loss on
+//! held-out networks.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, networks_in, standard_split, TextTable};
+use dnnperf_core::{KwModel, KwWithOverhead, OverheadModel, Predictor};
+use dnnperf_linreg::mean_abs_rel_error;
+
+fn main() {
+    banner(
+        "Extension: CPU overhead model",
+        "small-batch KW error with and without the overhead correction (A100)",
+    );
+    let zoo = dnnperf_bench::cnn_zoo();
+    let a100 = gpu("A100");
+    let ds = collect_verbose(&zoo, std::slice::from_ref(&a100), &[512]);
+    let (train, test) = standard_split(&ds);
+    let train_nets = networks_in(&zoo, &train);
+    let test_nets = networks_in(&zoo, &test);
+    let kw = KwModel::train(&train, "A100").expect("train KW");
+
+    let mut t = TextTable::new(&["eval batch", "plain KW", "KW + overhead model"]);
+    for bs in [4usize, 16, 64, 128] {
+        // Calibration uses TRAINING networks measured at this batch size
+        // (a simulator or a brief hardware run can supply these, per the
+        // paper's discussion).
+        let calib_nets: Vec<_> = train_nets.iter().step_by(8).cloned().collect();
+        let calib = collect_verbose(&calib_nets, std::slice::from_ref(&a100), &[bs]);
+        let overhead = OverheadModel::calibrate(&kw, &calib, &calib_nets).expect("calibrate");
+        let corrected = KwWithOverhead::new(kw.clone(), overhead);
+
+        // Evaluation on held-out TEST networks at the same batch size.
+        let truth = collect_verbose(&test_nets, std::slice::from_ref(&a100), &[bs]);
+        let (mut plain_p, mut fixed_p, mut meas) = (Vec::new(), Vec::new(), Vec::new());
+        for net in networks_in(&zoo, &truth) {
+            let m = truth
+                .networks
+                .iter()
+                .find(|r| &*r.network == net.name())
+                .expect("measured")
+                .e2e_seconds;
+            plain_p.push(kw.predict_network(&net, bs).expect("predict"));
+            fixed_p.push(corrected.predict_network(&net, bs).expect("predict"));
+            meas.push(m);
+        }
+        t.row(&cells![
+            bs,
+            format!("{:.1}%", mean_abs_rel_error(&plain_p, &meas) * 100.0),
+            format!("{:.1}%", mean_abs_rel_error(&fixed_p, &meas) * 100.0)
+        ]);
+    }
+    t.print();
+    println!("\nexpected: the correction recovers most of the small-batch loss while");
+    println!("leaving near-training-batch accuracy intact");
+}

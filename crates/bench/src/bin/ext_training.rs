@@ -1,0 +1,71 @@
+//! Extension experiment (paper future work): "extending our models for
+//! more diverse workloads (e.g., training)".
+//!
+//! The KW pipeline is entirely data-driven, so no model change is needed:
+//! training-step traces (forward + backward + optimizer kernels) feed the
+//! same classification / clustering / mapping machinery, and the resulting
+//! model predicts training-step times for unseen networks.
+
+use dnnperf_bench::{banner, cells, gpu, networks_in, standard_split, TextTable};
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::KwModel;
+use dnnperf_data::collect::{collect, collect_training};
+use dnnperf_linreg::mean_abs_rel_error;
+use std::time::Instant;
+
+fn main() {
+    banner("Extension: training workloads", "KW model on training-step measurements (A100)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    // Training keeps all activations alive: use a training-feasible batch.
+    let batch = 64usize;
+    let a100 = gpu("A100");
+
+    let t = Instant::now();
+    let train_ds = collect_training(&zoo, std::slice::from_ref(&a100), &[batch]);
+    eprintln!(
+        "[collect] {} training-step kernel rows in {:.1}s",
+        train_ds.kernels.len(),
+        t.elapsed().as_secs_f64()
+    );
+    let (train, test) = standard_split(&train_ds);
+    let test_nets = networks_in(&zoo, &test);
+
+    let kw_train = KwModel::train(&train, "A100").expect("train KW on training steps");
+    println!(
+        "training-step KW: {} distinct kernels -> {} regression models",
+        kw_train.num_kernels(),
+        kw_train.num_models()
+    );
+    let pairs = predictions_vs_measurements(&kw_train, &test_nets, batch, &test);
+    let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+    let y: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+    let train_err = mean_abs_rel_error(&p, &y);
+
+    // Baseline comparison: the inference-mode KW at the same batch size.
+    let inf_ds = collect(&zoo, std::slice::from_ref(&a100), &[batch]);
+    let (inf_train, inf_test) = standard_split(&inf_ds);
+    let kw_inf = KwModel::train(&inf_train, "A100").expect("train KW on inference");
+    let inf_nets = networks_in(&zoo, &inf_test);
+    let pairs = predictions_vs_measurements(&kw_inf, &inf_nets, batch, &inf_test);
+    let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+    let y: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+    let inf_err = mean_abs_rel_error(&p, &y);
+
+    let mut t = TextTable::new(&["workload", "test nets", "KW error"]);
+    t.row(&cells!["inference batch", inf_nets.len(), format!("{:.2}%", inf_err * 100.0)]);
+    t.row(&cells!["training step", test_nets.len(), format!("{:.2}%", train_err * 100.0)]);
+    t.print();
+
+    // The classic rule of thumb: a training step costs ~3x inference.
+    let r50 = dnnperf_dnn::zoo::resnet::resnet50();
+    let prof = dnnperf_gpu::Profiler::new(a100);
+    let inf_t = prof.profile(&r50, batch).unwrap().e2e_seconds;
+    let tr_t = prof.profile_training(&r50, batch).unwrap().e2e_seconds;
+    println!(
+        "\nResNet-50 @{batch}: inference {}, training step {} ({:.2}x)",
+        dnnperf_bench::ms(inf_t),
+        dnnperf_bench::ms(tr_t),
+        tr_t / inf_t
+    );
+    println!("expected: training-step prediction accuracy comparable to inference");
+}

@@ -1,0 +1,57 @@
+//! Figure 3: execution time of all networks against their FLOPs (batch
+//! size >= 4). Expected shape: a linear trend in log-log space with a band
+//! about one order of magnitude wide, bending upward at small FLOPs where
+//! overheads dominate.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, TextTable};
+use dnnperf_linreg::pearson;
+
+fn main() {
+    banner("Figure 3", "Execution time vs FLOPs, all networks, BS >= 4");
+    let nets = dnnperf_bench::cnn_zoo();
+    let a100 = gpu("A100");
+    let ds = collect_verbose(&nets, &[a100], &[4, 64, 512]);
+
+    // Log-log correlation over all runs.
+    let (mut lx, mut ly) = (Vec::new(), Vec::new());
+    for r in &ds.networks {
+        lx.push((r.flops as f64).log10());
+        ly.push(r.e2e_seconds.log10());
+    }
+    println!(
+        "runs: {}   log-log Pearson correlation: {:.3}",
+        ds.networks.len(),
+        pearson(&lx, &ly)
+    );
+
+    // Per-GFLOPs-decade band statistics: the paper's ~10x-wide band.
+    let mut t = TextTable::new(&["GFLOPs decade", "runs", "min (ms)", "median (ms)", "max (ms)", "band (max/min)"]);
+    for decade in -2..4i32 {
+        let lo = 10f64.powi(decade);
+        let hi = lo * 10.0;
+        let mut times: Vec<f64> = ds
+            .networks
+            .iter()
+            .filter(|r| {
+                let g = r.flops as f64 / 1e9;
+                g >= lo && g < hi
+            })
+            .map(|r| r.e2e_seconds * 1e3)
+            .collect();
+        if times.len() < 3 {
+            continue;
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        let (min, max) = (times[0], times[times.len() - 1]);
+        t.row(&cells![
+            format!("[{lo:.0e}, {hi:.0e})"),
+            times.len(),
+            format!("{min:.2}"),
+            format!("{:.2}", dnnperf_linreg::median(&times)),
+            format!("{max:.2}"),
+            format!("{:.1}x", max / min)
+        ]);
+    }
+    t.print();
+    println!("\nexpected: correlation near 1; a wide band (paper: ~10x at a single batch\nsize; wider here because saturated and unsaturated batch sizes share decades)");
+}

@@ -1,0 +1,69 @@
+//! Figure 4: execution time for ResNet and VGG networks at batch size 512.
+//! Networks with different structures fall on different lines; VGG's line
+//! is flatter (more time-efficient per FLOP).
+
+use dnnperf_bench::{banner, cells, gpu, measure, TextTable};
+use dnnperf_dnn::zoo::{resnet::resnet_from_blocks, vgg::vgg_from_stages};
+use dnnperf_dnn::Network;
+use dnnperf_linreg::fit;
+
+fn family_line(nets: &[Network], batch: usize) -> (f64, Vec<(String, f64, f64)>) {
+    let a100 = gpu("A100");
+    let mut points = Vec::new();
+    for n in nets {
+        let gflops = n.total_flops() as f64 * batch as f64 / 1e9;
+        let t = measure(&a100, n, batch);
+        points.push((n.name().to_string(), gflops / batch as f64, t));
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.1).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.2).collect();
+    let slope = fit(&xs, &ys).map(|f| f.line.slope).unwrap_or(f64::NAN);
+    (slope, points)
+}
+
+fn main() {
+    banner("Figure 4", "ResNet vs VGG execution time at BS=512 (A100)");
+    let batch = dnnperf_bench::train_batch();
+    // Standard plus non-standard variants, as in the paper.
+    let resnets: Vec<Network> = [
+        ([2, 2, 2, 2], false),
+        ([3, 4, 6, 3], false),
+        ([3, 5, 8, 5], false),
+        ([3, 4, 6, 3], true),
+        ([3, 4, 10, 3], true),
+        ([3, 4, 15, 3], true),
+        ([3, 4, 23, 3], true),
+        ([2, 3, 4, 3], true),
+    ]
+    .iter()
+    .map(|(b, bott)| resnet_from_blocks(b, *bott, 1.0))
+    .collect();
+    let vggs: Vec<Network> = [
+        [1, 1, 2, 2, 2],
+        [2, 2, 2, 2, 2],
+        [2, 2, 3, 3, 3],
+        [2, 2, 4, 4, 4],
+        [1, 2, 3, 3, 2],
+        [2, 3, 4, 4, 3],
+    ]
+    .iter()
+    .map(|c| vgg_from_stages(c, false))
+    .collect();
+
+    let (r_slope, r_points) = family_line(&resnets, batch);
+    let (v_slope, v_points) = family_line(&vggs, batch);
+
+    let mut t = TextTable::new(&["network", "GFLOPs/img", "time @512"]);
+    for (name, g, time) in r_points.iter().chain(&v_points) {
+        t.row(&cells![name, format!("{g:.2}"), dnnperf_bench::ms(*time)]);
+    }
+    t.print();
+
+    println!("\nfitted line slope (ms per GFLOP/img at BS=512):");
+    println!("  ResNet family: {:.1}", r_slope * 1e3);
+    println!("  VGG family:    {:.1}", v_slope * 1e3);
+    println!(
+        "ResNet/VGG slope ratio: {:.2}x (paper: families fall on different lines, VGG more efficient)",
+        r_slope / v_slope
+    );
+}

@@ -1,0 +1,46 @@
+//! Figure 5: DNN execution time is linearly correlated with batch size,
+//! with a network-specific slope.
+
+use dnnperf_bench::{banner, cells, gpu, measure, TextTable};
+use dnnperf_dnn::zoo;
+use dnnperf_linreg::fit;
+
+fn main() {
+    banner("Figure 5", "Execution time vs batch size (A100)");
+    let a100 = gpu("A100");
+    let nets = [
+        zoo::resnet::resnet50(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+        zoo::vgg::vgg16(),
+    ];
+    let batches: Vec<usize> = (0..11).map(|i| 2 + 8 * i).collect(); // 2..82
+
+    let mut t = TextTable::new(&["batch", "ResNet-50", "MobileNetV2", "VGG-16"]);
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); nets.len()];
+    for &bs in &batches {
+        let times: Vec<f64> = nets.iter().map(|n| measure(&a100, n, bs)).collect();
+        for (s, &v) in series.iter_mut().zip(&times) {
+            s.push(v);
+        }
+        t.row(&cells![
+            bs,
+            dnnperf_bench::ms(times[0]),
+            dnnperf_bench::ms(times[1]),
+            dnnperf_bench::ms(times[2])
+        ]);
+    }
+    t.print();
+
+    println!("\nlinearity of time vs batch size:");
+    let xs: Vec<f64> = batches.iter().map(|&b| b as f64).collect();
+    for (net, ys) in nets.iter().zip(&series) {
+        let f = fit(&xs, ys).expect("fit");
+        println!(
+            "  {:<12} slope {:.4} ms/img, R^2 = {:.4}",
+            net.name(),
+            f.line.slope * 1e3,
+            f.r2
+        );
+    }
+    println!("expected: R^2 near 1 for each network, slopes differ per network");
+}

@@ -1,0 +1,48 @@
+//! Figure 6: achieved computing throughput (TFLOPS) saturates once the
+//! batch size is large enough; small batches under-utilise the GPU.
+
+use dnnperf_bench::{banner, cells, gpu, measure, TextTable};
+use dnnperf_dnn::zoo;
+
+fn main() {
+    banner("Figure 6", "Achieved TFLOPS vs batch size (A100)");
+    let a100 = gpu("A100");
+    let nets = [
+        zoo::resnet::resnet50(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+        zoo::vgg::vgg16(),
+    ];
+    let batches = [8usize, 64, 128, 192, 256, 320, 384, 448, 512];
+
+    let mut t = TextTable::new(&["batch", "ResNet-50", "MobileNetV2", "VGG-16"]);
+    let mut first = Vec::new();
+    let mut last = Vec::new();
+    for (bi, &bs) in batches.iter().enumerate() {
+        let tflops: Vec<f64> = nets
+            .iter()
+            .map(|n| {
+                let time = measure(&a100, n, bs);
+                n.total_flops() as f64 * bs as f64 / time / 1e12
+            })
+            .collect();
+        if bi == 0 {
+            first = tflops.clone();
+        }
+        if bi == batches.len() - 1 {
+            last = tflops.clone();
+        }
+        t.row(&cells![
+            bs,
+            format!("{:.2}", tflops[0]),
+            format!("{:.2}", tflops[1]),
+            format!("{:.2}", tflops[2])
+        ]);
+    }
+    t.print();
+
+    println!("\nsaturation (TFLOPS @512 / TFLOPS @8):");
+    for (i, net) in nets.iter().enumerate() {
+        println!("  {:<12} {:.2}x", net.name(), last[i] / first[i]);
+    }
+    println!("expected: throughput rises with batch size and plateaus (paper Figure 6)");
+}

@@ -1,0 +1,55 @@
+//! Figure 7: different DNN layer types fall on different linear trend
+//! lines of execution time vs FLOPs. Pooling and BN sit on less-efficient
+//! lines (top-left); CONV and FC are more efficient.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, TextTable};
+use dnnperf_linreg::{fit, pearson};
+use std::collections::BTreeMap;
+
+fn main() {
+    banner("Figure 7", "Layer execution time vs layer FLOPs, per layer type (A100)");
+    // A structurally diverse subset keeps this figure quick; the trend per
+    // type is what matters.
+    let nets: Vec<_> = dnnperf_bench::cnn_zoo().into_iter().step_by(7).collect();
+    let ds = collect_verbose(&nets, &[gpu("A100")], &[dnnperf_bench::train_batch()]);
+
+    let mut per_type: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
+    for l in &ds.layers {
+        if l.flops == 0 {
+            continue;
+        }
+        let e = per_type.entry(l.layer_type.to_string()).or_default();
+        e.0.push(l.flops as f64);
+        e.1.push(l.seconds);
+    }
+
+    let mut t = TextTable::new(&[
+        "layer type",
+        "samples",
+        "ns per MFLOP (slope)",
+        "R^2",
+        "log-log corr",
+    ]);
+    let mut slopes: BTreeMap<String, f64> = BTreeMap::new();
+    for (tag, (xs, ys)) in &per_type {
+        let Ok(f) = fit(xs, ys) else { continue };
+        let lx: Vec<f64> = xs.iter().map(|x| x.log10()).collect();
+        let ly: Vec<f64> = ys.iter().map(|y| y.log10()).collect();
+        slopes.insert(tag.clone(), f.line.slope);
+        t.row(&cells![
+            tag,
+            xs.len(),
+            format!("{:.3}", f.line.slope * 1e15),
+            format!("{:.3}", f.r2),
+            format!("{:.3}", pearson(&lx, &ly))
+        ]);
+    }
+    t.print();
+
+    let eff = |tag: &str| slopes.get(tag).copied().unwrap_or(f64::NAN);
+    println!("\nslope ratios vs conv (higher = less efficient per FLOP):");
+    for tag in ["bn", "pool", "act", "fc"] {
+        println!("  {tag:<5} {:.1}x", eff(tag) / eff("conv"));
+    }
+    println!("expected: bn/pool far above conv; fc near or below conv (paper Figure 7)");
+}

@@ -1,0 +1,69 @@
+//! Figure 8: classifying kernels as input-, operation- or output-driven
+//! amplifies the linear relationship. For each kernel class, the regression
+//! against its own driver variable has high R²; against the other two
+//! drivers the correlation is lower.
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, TextTable};
+use dnnperf_core::{classify_kernels, Driver};
+
+fn main() {
+    banner(
+        "Figure 8",
+        "Kernel classification: R^2 against input / operation / output drivers (A100)",
+    );
+    let nets: Vec<_> = dnnperf_bench::cnn_zoo().into_iter().step_by(4).collect();
+    let ds = collect_verbose(&nets, &[gpu("A100")], &[dnnperf_bench::train_batch()]);
+    let classes = classify_kernels(&ds.kernels);
+
+    // Mean R^2 of each class (rows) against each candidate driver (cols),
+    // weighted by sample count.
+    let mut sums = [[0.0f64; 3]; 3];
+    let mut weights = [[0.0f64; 3]; 3];
+    let mut counts = [0usize; 3];
+    for c in classes.values() {
+        let row = c.driver.index();
+        counts[row] += 1;
+        for col in 0..3 {
+            if c.r2[col].is_finite() {
+                sums[row][col] += c.r2[col].max(0.0) * c.n as f64;
+                weights[row][col] += c.n as f64;
+            }
+        }
+    }
+
+    let mut t = TextTable::new(&[
+        "kernel class",
+        "kernels",
+        "R^2 vs input",
+        "R^2 vs operation",
+        "R^2 vs output",
+    ]);
+    for driver in Driver::all() {
+        let row = driver.index();
+        let cell = |col: usize| {
+            if weights[row][col] == 0.0 {
+                "-".to_string()
+            } else {
+                format!("{:.3}", sums[row][col] / weights[row][col])
+            }
+        };
+        t.row(&cells![
+            format!("{driver}-driven"),
+            counts[row],
+            cell(0),
+            cell(1),
+            cell(2)
+        ]);
+    }
+    t.print();
+
+    // The paper's headline: on the diagonal, correlation is high.
+    let mut diag_ok = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 && weights[i][i] > 0.0 && sums[i][i] / weights[i][i] > 0.8 {
+            diag_ok += 1;
+        }
+    }
+    println!("\nclasses with mean same-driver R^2 > 0.8: {diag_ok}/3");
+    println!("expected: high R^2 on the diagonal, lower off-diagonal (paper Figure 8)");
+}

@@ -1,0 +1,51 @@
+//! Figure 9: memory-bandwidth efficiency of ResNet-18 (theoretical bytes
+//! divided by measured time times theoretical bandwidth) is stable across
+//! GPUs; compute efficiency is not.
+
+use dnnperf_bench::{banner, cells, gpu, TextTable};
+use dnnperf_dnn::zoo;
+use dnnperf_gpu::Profiler;
+
+fn main() {
+    banner("Figure 9", "Bandwidth vs compute efficiency of ResNet-18 across GPUs");
+    let net = zoo::resnet::resnet18();
+    // Batch chosen so the run fits even in the 2 GB Quadro P620.
+    let batch = 32usize;
+
+    let mut t = TextTable::new(&["GPU", "BW efficiency", "Compute efficiency"]);
+    let mut bw_effs = Vec::new();
+    let mut comp_effs = Vec::new();
+    for name in ["A40", "A100", "GTX 1080 Ti", "TITAN RTX", "RTX A5000", "Quadro P620"] {
+        let g = gpu(name);
+        let trace = match Profiler::new(g.clone()).profile(&net, batch) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("{name}: skipped ({e})");
+                continue;
+            }
+        };
+        let time = trace.e2e_seconds;
+        let bytes = net.total_bytes() as f64 * batch as f64;
+        let flops = net.total_flops() as f64 * batch as f64;
+        let bw_eff = bytes / (time * g.bandwidth_bytes());
+        let comp_eff = flops / (time * g.peak_flops());
+        bw_effs.push(bw_eff);
+        comp_effs.push(comp_eff);
+        t.row(&cells![
+            name,
+            format!("{:.1}%", bw_eff * 100.0),
+            format!("{:.1}%", comp_eff * 100.0)
+        ]);
+    }
+    t.print();
+
+    let spread = |v: &[f64]| {
+        let max = v.iter().cloned().fold(f64::MIN, f64::max);
+        let min = v.iter().cloned().fold(f64::MAX, f64::min);
+        max / min
+    };
+    println!("\nmax/min spread across GPUs:");
+    println!("  bandwidth efficiency: {:.2}x", spread(&bw_effs));
+    println!("  compute efficiency:   {:.2}x", spread(&comp_effs));
+    println!("expected: bandwidth efficiency stable (~10%), compute efficiency varies (paper Figure 9)");
+}

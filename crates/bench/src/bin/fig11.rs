@@ -1,0 +1,23 @@
+//! Figure 11: the End-to-End model's S-curve on the A100 test set.
+//! Paper: average error 0.35, outliers up to ~3x both ways.
+
+use dnnperf_bench::{banner, collect_verbose, gpu, networks_in, print_s_curve, standard_split};
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::E2eModel;
+
+fn main() {
+    banner("Figure 11", "E2E model predicted/measured S-curve (A100)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
+    let (train, test) = standard_split(&ds);
+    let test_nets = networks_in(&zoo, &test);
+    println!("train networks: {}, test networks: {}", train.networks.len(), test_nets.len());
+
+    let model = E2eModel::train(&train, "A100").expect("train E2E");
+    let pairs = predictions_vs_measurements(&model, &test_nets, batch, &test);
+    let preds: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let meas: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    print_s_curve(&preds, &meas);
+    println!("paper reference: average error 0.35 on A100");
+}

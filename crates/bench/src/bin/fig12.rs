@@ -1,0 +1,23 @@
+//! Figure 12: the Layer-Wise model's S-curve on the A100 test set.
+//! Paper: average error 0.28.
+
+use dnnperf_bench::{banner, collect_verbose, gpu, networks_in, print_s_curve, standard_split};
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::LwModel;
+
+fn main() {
+    banner("Figure 12", "LW model predicted/measured S-curve (A100)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
+    let (train, test) = standard_split(&ds);
+    let test_nets = networks_in(&zoo, &test);
+
+    let model = LwModel::train(&train, "A100").expect("train LW");
+    println!("layer types covered: {:?}", model.known_types());
+    let pairs = predictions_vs_measurements(&model, &test_nets, batch, &test);
+    let preds: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let meas: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    print_s_curve(&preds, &meas);
+    println!("paper reference: average error 0.28 on A100 (a modest gain over E2E)");
+}

@@ -1,0 +1,75 @@
+//! Figure 13 and Section 5.4: the Kernel-Wise model's S-curve on the A100
+//! test set (paper: 7% average error, asymmetric curve that almost never
+//! underestimates), its per-GPU errors (6-9.4% across A40/A100/1080 Ti/
+//! TITAN RTX/V100), and the transformer extension (~4.76% on A100).
+
+use dnnperf_bench::{
+    banner, cells, collect_verbose, gpu, networks_in, print_s_curve, standard_split, TextTable,
+};
+use dnnperf_core::workflow::predictions_vs_measurements;
+use dnnperf_core::KwModel;
+use dnnperf_data::collect::evaluation_gpus;
+use dnnperf_linreg::mean_abs_rel_error;
+
+fn main() {
+    banner("Figure 13", "KW model predicted/measured S-curve and per-GPU errors");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let ds = collect_verbose(&zoo, &evaluation_gpus(), &[batch]);
+    let (train, test) = standard_split(&ds);
+
+    // Main S-curve on A100.
+    let model = KwModel::train(&train, "A100").expect("train KW");
+    println!(
+        "A100: {} distinct kernels -> {} regression models (paper: 182 -> 83)",
+        model.num_kernels(),
+        model.num_models()
+    );
+    let test_nets = networks_in(&zoo, &test);
+    let pairs = predictions_vs_measurements(&model, &test_nets, batch, &test);
+    let preds: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let meas: Vec<f64> = pairs.iter().map(|p| p.2).collect();
+    print_s_curve(&preds, &meas);
+    println!("paper reference: 0.07 average error on A100\n");
+
+    // Per-GPU errors (Section 5.4).
+    let mut t = TextTable::new(&["GPU", "test nets", "KW error", "paper"]);
+    let paper_err = [
+        ("A40", "6%"),
+        ("A100", "7%"),
+        ("GTX 1080 Ti", "7.8%"),
+        ("TITAN RTX", "9.2%"),
+        ("V100", "9.4%"),
+    ];
+    for (gname, paper) in paper_err {
+        let m = KwModel::train(&train, gname).expect("train KW per GPU");
+        let g_test = test.for_gpu(gname);
+        let nets = networks_in(&zoo, &g_test);
+        let pairs = predictions_vs_measurements(&m, &nets, batch, &g_test);
+        let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+        let y: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+        t.row(&cells![
+            gname,
+            pairs.len(),
+            format!("{:.1}%", mean_abs_rel_error(&p, &y) * 100.0),
+            paper
+        ]);
+    }
+    t.print();
+
+    // Transformer extension.
+    println!("\nKW extension for transformers (text classification, A100):");
+    let tzoo = dnnperf_dnn::zoo::transformer_zoo();
+    let tds = collect_verbose(&tzoo, &[gpu("A100")], &[batch]);
+    let (ttrain, ttest) = standard_split(&tds);
+    let tmodel = KwModel::train(&ttrain, "A100").expect("train KW on transformers");
+    let tnets = networks_in(&tzoo, &ttest);
+    let tpairs = predictions_vs_measurements(&tmodel, &tnets, batch, &ttest);
+    let tp: Vec<f64> = tpairs.iter().map(|x| x.1).collect();
+    let ty: Vec<f64> = tpairs.iter().map(|x| x.2).collect();
+    println!(
+        "  {} test transformers, average error {:.2}% (paper: ~4.76%)",
+        tpairs.len(),
+        mean_abs_rel_error(&tp, &ty) * 100.0
+    );
+}

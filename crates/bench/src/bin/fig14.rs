@@ -1,0 +1,53 @@
+//! Figure 14: the Inter-GPU Kernel-Wise model predicts TITAN RTX — a GPU
+//! absent from the training set — from measurements on A100, A40 and GTX
+//! 1080 Ti. Paper: average error 0.152, about half of the networks within
+//! 10%.
+
+use dnnperf_bench::{banner, collect_verbose, gpu, networks_in, print_s_curve, standard_split};
+use dnnperf_core::IgkwModel;
+use dnnperf_gpu::GpuSpec;
+
+fn main() {
+    banner("Figure 14", "IGKW model: train on A100+A40+1080Ti, predict TITAN RTX");
+    let zoo = dnnperf_bench::cnn_zoo();
+    let batch = dnnperf_bench::train_batch();
+    let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti"].iter().map(|n| gpu(n)).collect();
+    let titan = gpu("TITAN RTX");
+
+    let ds = collect_verbose(&zoo, &train_gpus, &[batch]);
+    let (train, test) = standard_split(&ds);
+    let model = IgkwModel::train(&train, &train_gpus).expect("train IGKW");
+    println!(
+        "kernels with transfer models: {} (trained on {:?})",
+        model.num_kernels(),
+        model.train_gpus()
+    );
+
+    // Measure the test networks on the *unseen* TITAN RTX.
+    let titan_truth = collect_verbose(&networks_in(&zoo, &test), std::slice::from_ref(&titan), &[batch]);
+    let mut preds = Vec::new();
+    let mut meas = Vec::new();
+    let mut within_10 = 0usize;
+    for net in networks_in(&zoo, &titan_truth) {
+        let m = titan_truth
+            .networks
+            .iter()
+            .find(|r| &*r.network == net.name())
+            .expect("measured")
+            .e2e_seconds;
+        let p = model.predict_network_on(&net, batch, &titan).expect("predict");
+        if (p - m).abs() / m < 0.10 {
+            within_10 += 1;
+        }
+        preds.push(p);
+        meas.push(m);
+    }
+    print_s_curve(&preds, &meas);
+    println!(
+        "networks within 10%: {}/{} ({:.0}%)",
+        within_10,
+        preds.len(),
+        within_10 as f64 / preds.len() as f64 * 100.0
+    );
+    println!("paper reference: average error 0.152; about half within 10%");
+}

@@ -1,0 +1,13 @@
+//! Figure 15 (Case Study 1): predicted ResNet-50 execution time on a TITAN
+//! RTX with modified memory bandwidth. Paper: performance improves with
+//! bandwidth; the ideal range is 600-800 GB/s and the native 672 GB/s falls
+//! inside it.
+
+use dnnperf_bench::{bandwidth_sweep, banner};
+use dnnperf_dnn::zoo;
+
+fn main() {
+    banner("Figure 15", "Predicted ResNet-50 time vs TITAN RTX memory bandwidth");
+    bandwidth_sweep(&zoo::resnet::resnet50(), 128);
+    println!("paper reference: ideal bandwidth range 600-800 GB/s; native 672 GB/s inside it");
+}

@@ -1,0 +1,13 @@
+//! Figure 16 (Case Study 1): predicted DenseNet-169 execution time on a
+//! TITAN RTX with modified memory bandwidth. Paper: DenseNet-169 is less
+//! bandwidth-hungry — the optimal range is 500-700 GB/s, so a customized
+//! GPU could ship less bandwidth without losing performance.
+
+use dnnperf_bench::{bandwidth_sweep, banner};
+use dnnperf_dnn::zoo;
+
+fn main() {
+    banner("Figure 16", "Predicted DenseNet-169 time vs TITAN RTX memory bandwidth");
+    bandwidth_sweep(&zoo::densenet::densenet169(), 128);
+    println!("paper reference: optimal range 500-700 GB/s; bandwidth could be reduced for DenseNet workloads");
+}

@@ -1,0 +1,72 @@
+//! Figure 18 (Case Study 3): actual vs predicted execution time for a set
+//! of networks on A40 and TITAN RTX. The performance model must pick the
+//! faster GPU for every network (the paper's yellow crosses).
+
+use dnnperf_bench::{banner, cells, collect_verbose, gpu, measure, TextTable};
+use dnnperf_core::{KwModel, Predictor};
+use dnnperf_dnn::zoo;
+use dnnperf_sched::best_gpu;
+
+fn main() {
+    banner("Figure 18", "Measured vs predicted time on A40 and TITAN RTX, per network");
+    let gpus = [gpu("A40"), gpu("TITAN RTX")];
+    let train_nets = dnnperf_bench::cnn_zoo();
+    let batch = 128usize;
+    let ds = collect_verbose(&train_nets, &gpus, &[batch]);
+    let models: Vec<KwModel> = gpus
+        .iter()
+        .map(|g| KwModel::train(&ds, &g.name).expect("train KW"))
+        .collect();
+
+    let nets = [
+        zoo::resnet::resnet50(),
+        zoo::resnet::resnet77(),
+        zoo::densenet::densenet161(),
+        zoo::densenet::densenet169(),
+        zoo::densenet::densenet121(),
+        zoo::shufflenet::shufflenet_v1(3, 1.0, &[4, 8, 4]),
+    ];
+
+    let mut t = TextTable::new(&[
+        "network",
+        "A40 meas",
+        "A40 pred",
+        "TITAN meas",
+        "TITAN pred",
+        "choice",
+        "correct",
+    ]);
+    let mut correct = 0usize;
+    let mut near_tie_misses = 0usize;
+    for net in &nets {
+        let meas: Vec<f64> = gpus.iter().map(|g| measure(g, net, batch)).collect();
+        let pred: Vec<f64> = models
+            .iter()
+            .map(|m| m.predict_network(net, batch).expect("predict"))
+            .collect();
+        let choice = best_gpu(&pred);
+        let truth = best_gpu(&meas);
+        if choice == truth {
+            correct += 1;
+        } else if (meas[choice] - meas[truth]).abs() / meas[truth] < 0.10 {
+            near_tie_misses += 1;
+        }
+        t.row(&cells![
+            net.name(),
+            dnnperf_bench::ms(meas[0]),
+            dnnperf_bench::ms(pred[0]),
+            dnnperf_bench::ms(meas[1]),
+            dnnperf_bench::ms(pred[1]),
+            gpus[choice].name,
+            if choice == truth { "yes" } else { "NO" }
+        ]);
+    }
+    t.print();
+    println!(
+        "\ncorrect GPU choices: {correct}/{} ({near_tie_misses} miss(es) on near-ties where the \
+         GPUs differ by < 10%)",
+        nets.len()
+    );
+    println!("paper reference: the model selects the faster GPU for all networks;");
+    println!("misrouting a near-tie costs almost nothing (see the makespan gap in Figure 19)");
+}

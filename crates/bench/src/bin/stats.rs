@@ -1,0 +1,53 @@
+//! Dataset statistics: reproduces the paper's Section 3 bookkeeping claims
+//! ("In total, we have 646 networks and about 182 kernels (~240,000 kernel
+//! executions) each GPU recorded in our dataset").
+
+use dnnperf_bench::{banner, cells, collect_verbose, TextTable};
+use dnnperf_data::collect::{evaluation_gpus, TRAIN_BATCH};
+use std::collections::BTreeMap;
+
+fn main() {
+    banner("Dataset statistics", "networks / kernels / executions per GPU (Section 3)");
+    let zoo = dnnperf_bench::cnn_zoo();
+    println!("CNN zoo size: {} networks (paper: 646)", zoo.len());
+
+    let mut per_family: BTreeMap<String, usize> = BTreeMap::new();
+    for net in &zoo {
+        *per_family.entry(net.family().to_string()).or_default() += 1;
+    }
+    let mut t = TextTable::new(&["family", "networks"]);
+    for (family, count) in &per_family {
+        t.row(&cells![family, count]);
+    }
+    t.print();
+
+    let ds = collect_verbose(&zoo, &evaluation_gpus(), &[TRAIN_BATCH]);
+    println!();
+    let mut t = TextTable::new(&[
+        "GPU",
+        "networks measured",
+        "distinct kernels",
+        "kernel executions",
+    ]);
+    for gname in ds.gpu_names() {
+        let sub = ds.for_gpu(&gname);
+        t.row(&cells![
+            gname,
+            sub.networks.len(),
+            sub.distinct_kernels(),
+            sub.kernels.len()
+        ]);
+    }
+    t.print();
+    println!(
+        "\npaper reference: ~182 distinct kernels and ~240,000 kernel executions per GPU;"
+    );
+    println!("on A100 the paper's 242,394 executions over 83 models average ~2,920 points each");
+    let a100 = ds.for_gpu("A100");
+    let per_model = a100.kernels.len() as f64 / 80.0;
+    println!(
+        "here: {} executions over ~80 models average ~{:.0} points each",
+        a100.kernels.len(),
+        per_model
+    );
+}

@@ -1,0 +1,25 @@
+//! Table 1: GPUs used in the experiments.
+
+use dnnperf_bench::{banner, cells, TextTable};
+use dnnperf_gpu::GpuSpec;
+
+fn main() {
+    banner("Table 1", "GPUs used in the experiments");
+    let mut t = TextTable::new(&[
+        "GPU",
+        "Bandwidth (GB/s)",
+        "Memory (GB)",
+        "TFLOPS (FP32)",
+        "Tensor Cores",
+    ]);
+    for g in GpuSpec::all() {
+        t.row(&cells![
+            g.name,
+            g.bandwidth_gbps,
+            g.memory_gb,
+            g.fp32_tflops,
+            g.tensor_cores
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,236 @@
+//! Shared support for the dnnperf experiment harness.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md's per-experiment index). This library holds the pieces
+//! they share: dataset construction, the canonical train/test split,
+//! measurement shortcuts and plain-text table/S-curve printers.
+
+#![warn(missing_docs)]
+
+use dnnperf_data::collect::{collect_parallel, TRAIN_BATCH};
+use dnnperf_data::{split::split_dataset, Dataset};
+use dnnperf_dnn::{zoo, Network};
+use dnnperf_gpu::{GpuSpec, Profiler};
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The random seed of the canonical train/test split used by every
+/// experiment (the paper re-randomises per run; we fix it so results are
+/// reproducible).
+pub const SPLIT_SEED: u64 = 2023;
+
+/// Percentage points of the S-curve X axis in Figures 11-14.
+pub const S_CURVE_PERCENTS: [f64; 7] = [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0];
+
+/// Prints the experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Collects a dataset with a progress line (collection is the slow step),
+/// fanning profiling out across the available cores.
+pub fn collect_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
+    let t = Instant::now();
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let ds = collect_parallel(nets, gpus, batches, threads);
+    eprintln!(
+        "[collect] {} nets x {} gpus x {:?}: {} kernel rows in {:.1}s",
+        nets.len(),
+        gpus.len(),
+        batches,
+        ds.kernels.len(),
+        t.elapsed().as_secs_f64()
+    );
+    ds
+}
+
+/// The full 646-CNN zoo.
+pub fn cnn_zoo() -> Vec<Network> {
+    zoo::cnn_zoo()
+}
+
+/// The paper's training batch size.
+pub fn train_batch() -> usize {
+    TRAIN_BATCH
+}
+
+/// The canonical (train, test) split of a dataset.
+pub fn standard_split(ds: &Dataset) -> (Dataset, Dataset) {
+    split_dataset(ds, SPLIT_SEED)
+}
+
+/// The networks (from `pool`) whose names appear in `ds`.
+pub fn networks_in(pool: &[Network], ds: &Dataset) -> Vec<Network> {
+    let names: HashSet<String> = ds.network_names().into_iter().collect();
+    pool.iter().filter(|n| names.contains(n.name())).cloned().collect()
+}
+
+/// Looks up a Table 1 GPU.
+///
+/// # Panics
+///
+/// Panics on an unknown name (experiments only use Table 1 GPUs).
+pub fn gpu(name: &str) -> GpuSpec {
+    GpuSpec::by_name(name).unwrap_or_else(|| panic!("unknown GPU {name}"))
+}
+
+/// Measures one network on one GPU (ground truth via the profiler).
+///
+/// # Panics
+///
+/// Panics if the run does not fit in GPU memory; experiment configurations
+/// are chosen to fit.
+pub fn measure(gpu: &GpuSpec, net: &Network, batch: usize) -> f64 {
+    Profiler::new(gpu.clone())
+        .profile(net, batch)
+        .unwrap_or_else(|e| panic!("measurement failed: {e}"))
+        .e2e_seconds
+}
+
+/// Formats seconds as engineering-friendly milliseconds.
+pub fn ms(seconds: f64) -> String {
+    format!("{:.3} ms", seconds * 1e3)
+}
+
+/// Prints an S-curve (sorted predicted/measured ratios at the canonical
+/// percentage points) plus the paper's average error metric.
+pub fn print_s_curve(predicted: &[f64], measured: &[f64]) {
+    let curve = dnnperf_linreg::ratio_curve(predicted, measured, &S_CURVE_PERCENTS);
+    println!("{:>10} | {:>12}", "percent", "pred/meas");
+    println!("{:->10}-+-{:->12}", "", "");
+    for p in curve {
+        println!("{:>9.0}% | {:>12.3}", p.percent, p.ratio);
+    }
+    let err = dnnperf_linreg::mean_abs_rel_error(predicted, measured);
+    println!("average error: {:.3} ({:.1}%)", err, err * 100.0);
+}
+
+/// Case Study 1 support: trains an IGKW model on four diverse GPUs, then
+/// sweeps the predicted time of `net` on a TITAN RTX with modified memory
+/// bandwidth (200-1400 GB/s), printing the curve and the knee where the
+/// marginal gain of another 100 GB/s drops below 5%.
+pub fn bandwidth_sweep(net: &Network, batch: usize) {
+    let train_gpus: Vec<GpuSpec> =
+        ["A100", "A40", "GTX 1080 Ti", "V100"].iter().map(|n| gpu(n)).collect();
+    let nets: Vec<_> = cnn_zoo().into_iter().step_by(3).collect();
+    let ds = collect_verbose(&nets, &train_gpus, &[128]);
+    let model = dnnperf_core::IgkwModel::train(&ds, &train_gpus).expect("train IGKW");
+
+    let titan = gpu("TITAN RTX");
+    let mut t = TextTable::new(&["bandwidth (GB/s)", "predicted time", "note"]);
+    let mut curve = Vec::new();
+    for bw in (200..=1400).step_by(100) {
+        let g = titan.with_bandwidth(bw as f64);
+        let pred = model.predict_network_on(net, batch, &g).expect("predict");
+        curve.push((bw, pred));
+        let note = if bw == 700 { "~ native TITAN RTX (672 GB/s)" } else { "" };
+        t.row(&cells![bw, ms(pred), note]);
+    }
+    t.print();
+
+    let knee = curve
+        .windows(2)
+        .find(|w| (w[0].1 - w[1].1) / w[1].1 < 0.05)
+        .map(|w| w[0].0);
+    match knee {
+        Some(bw) => println!("\ndiminishing returns beyond ~{bw} GB/s"),
+        None => println!("\nno knee found in the swept range"),
+    }
+}
+
+/// A minimal fixed-width text table printer.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "table row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let parts: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            println!("{}", parts.join("  "));
+        };
+        line(&self.header);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        println!("{}", "-".repeat(total));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Convenience macro: builds a fixed-size `[String; N]` row from display
+/// values (borrow it to pass as `&[String]`).
+#[macro_export]
+macro_rules! cells {
+    ($($v:expr),+ $(,)?) => {
+        [$(format!("{}", $v)),+]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_rejects_ragged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(&cells!["1", "2"]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.row(&cells!["only one"]);
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn ms_formats() {
+        assert_eq!(ms(0.001), "1.000 ms");
+    }
+
+    #[test]
+    fn gpu_lookup_works() {
+        assert_eq!(gpu("A100").name, "A100");
+    }
+
+    #[test]
+    fn networks_in_filters_by_dataset() {
+        let pool = vec![zoo::resnet::resnet18(), zoo::resnet::resnet34()];
+        let ds = dnnperf_data::collect::collect(&pool[..1], &[gpu("A100")], &[8]);
+        let filtered = networks_in(&pool, &ds);
+        assert_eq!(filtered.len(), 1);
+        assert_eq!(filtered[0].name(), "ResNet-18");
+    }
+}

@@ -1,0 +1,256 @@
+//! Kernel clustering: kernels with similar linear behaviour share one
+//! regression.
+//!
+//! The paper: "to avoid creating a linear regression model for every kernel,
+//! we combine kernels that demonstrate similar linear relationships and only
+//! build one model for these kernels. In total, on A100, for 182 kernels
+//! recorded, we built 83 linear regression models."
+//!
+//! Clustering is greedy over slope ratio within each driver class; each
+//! cluster's final regression is refitted on the pooled samples of its
+//! member kernels.
+
+use crate::classify::{group_by_kernel, Driver, KernelClassification};
+use dnnperf_data::KernelRow;
+use dnnperf_linreg::{fit_bounded_intercept, mean, Fit, Line};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default slope-ratio tolerance for merging two kernels into one cluster.
+pub const DEFAULT_SLOPE_TOLERANCE: f64 = 1.08;
+
+/// The result of clustering: an assignment of kernel symbols to clusters
+/// and one (driver, regression) per cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    assignment: HashMap<Arc<str>, usize>,
+    models: Vec<(Driver, Fit)>,
+}
+
+impl Clustering {
+    /// The model used for a kernel symbol.
+    pub fn model_for(&self, kernel: &str) -> Option<(Driver, &Fit)> {
+        let id = *self.assignment.get(kernel)?;
+        let (d, f) = &self.models[id];
+        Some((*d, f))
+    }
+
+    /// Cluster id of a kernel symbol.
+    pub fn cluster_of(&self, kernel: &str) -> Option<usize> {
+        self.assignment.get(kernel).copied()
+    }
+
+    /// Number of regression models (clusters).
+    pub fn num_models(&self) -> usize {
+        self.models.len()
+    }
+
+    /// Number of kernel symbols covered.
+    pub fn num_kernels(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// All cluster models in id order.
+    pub fn models(&self) -> &[(Driver, Fit)] {
+        &self.models
+    }
+
+    /// Iterates over (kernel symbol, cluster id) assignments (unordered).
+    pub fn assignments(&self) -> impl Iterator<Item = (&Arc<str>, usize)> {
+        self.assignment.iter().map(|(k, &id)| (k, id))
+    }
+
+    /// Rebuilds a clustering from its parts (persistence).
+    pub(crate) fn from_parts(
+        assignment: HashMap<Arc<str>, usize>,
+        models: Vec<(Driver, Fit)>,
+    ) -> Self {
+        debug_assert!(assignment.values().all(|&id| id < models.len()));
+        Clustering { assignment, models }
+    }
+}
+
+fn pooled_fit(driver: Driver, members: &[&Arc<str>], by_kernel: &HashMap<Arc<str>, Vec<&KernelRow>>) -> Fit {
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for m in members {
+        for r in &by_kernel[*m] {
+            xs.push(r.drivers()[driver.index()]);
+            ys.push(r.seconds);
+        }
+    }
+    match fit_bounded_intercept(&xs, &ys) {
+        Ok(f) if f.line.slope >= 0.0 => f,
+        _ => Fit {
+            line: Line::new(0.0, mean(&ys)),
+            r2: 0.0,
+            n: ys.len(),
+        },
+    }
+}
+
+/// Clusters classified kernels whose slopes agree within `slope_tolerance`
+/// (ratio), per driver class, and refits each cluster on pooled samples.
+///
+/// # Panics
+///
+/// Panics if `slope_tolerance < 1.0`.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_core::{classify_kernels, cluster_kernels};
+/// use dnnperf_data::collect::collect;
+/// use dnnperf_gpu::GpuSpec;
+///
+/// let nets = [dnnperf_dnn::zoo::resnet::resnet50()];
+/// let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[32]);
+/// let classes = classify_kernels(&ds.kernels);
+/// let clustering = cluster_kernels(&ds.kernels, &classes, 1.35);
+/// assert!(clustering.num_models() <= clustering.num_kernels());
+/// ```
+pub fn cluster_kernels(
+    rows: &[KernelRow],
+    classes: &HashMap<Arc<str>, KernelClassification>,
+    slope_tolerance: f64,
+) -> Clustering {
+    assert!(slope_tolerance >= 1.0, "slope tolerance must be >= 1");
+    let by_kernel = group_by_kernel(rows);
+
+    // Partition kernels by driver, sort by slope, then sweep greedily.
+    let mut assignment = HashMap::new();
+    let mut models = Vec::new();
+    for driver in Driver::all() {
+        let mut members: Vec<(&Arc<str>, f64)> = classes
+            .iter()
+            .filter(|(k, c)| c.driver == driver && by_kernel.contains_key(*k))
+            .map(|(k, c)| (k, c.chosen_fit().line.slope))
+            .collect();
+        members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut i = 0;
+        while i < members.len() {
+            let mut j = i + 1;
+            let base = members[i].1;
+            while j < members.len() && slopes_close(base, members[j].1, slope_tolerance) {
+                j += 1;
+            }
+            let cluster: Vec<&Arc<str>> = members[i..j].iter().map(|(k, _)| *k).collect();
+            let f = pooled_fit(driver, &cluster, &by_kernel);
+            let id = models.len();
+            models.push((driver, f));
+            for k in cluster {
+                assignment.insert(k.clone(), id);
+            }
+            i = j;
+        }
+    }
+    Clustering { assignment, models }
+}
+
+fn slopes_close(a: f64, b: f64, tolerance: f64) -> bool {
+    if a <= 0.0 || b <= 0.0 {
+        // Constant (zero-slope) kernels cluster together.
+        return a <= 0.0 && b <= 0.0;
+    }
+    let ratio = if a > b { a / b } else { b / a };
+    ratio <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::classify_kernels;
+
+    fn row(kernel: &str, x: u64, seconds: f64) -> KernelRow {
+        KernelRow {
+            network: "n".into(),
+            gpu: "g".into(),
+            batch: 1,
+            layer_index: 0,
+            layer_type: Arc::from("conv"),
+            kernel: kernel.into(),
+            in_elems: 1,
+            flops: x,
+            out_elems: 1,
+            seconds,
+        }
+    }
+
+    fn synthetic(slopes: &[(&str, f64)]) -> Vec<KernelRow> {
+        let mut rows = Vec::new();
+        for (name, slope) in slopes {
+            for i in 1..30u64 {
+                rows.push(row(name, i * 100, slope * (i * 100) as f64 + 1.0));
+            }
+        }
+        rows
+    }
+
+    #[test]
+    fn similar_slopes_merge_dissimilar_do_not() {
+        let rows = synthetic(&[("a", 1.0), ("b", 1.1), ("c", 10.0)]);
+        let classes = classify_kernels(&rows);
+        let cl = cluster_kernels(&rows, &classes, 1.35);
+        assert_eq!(cl.num_kernels(), 3);
+        assert_eq!(cl.num_models(), 2);
+        assert_eq!(cl.cluster_of("a"), cl.cluster_of("b"));
+        assert_ne!(cl.cluster_of("a"), cl.cluster_of("c"));
+    }
+
+    #[test]
+    fn pooled_fit_is_between_member_slopes() {
+        let rows = synthetic(&[("a", 1.0), ("b", 1.2)]);
+        let classes = classify_kernels(&rows);
+        let cl = cluster_kernels(&rows, &classes, 1.35);
+        let (_, f) = cl.model_for("a").unwrap();
+        assert!(f.line.slope > 0.99 && f.line.slope < 1.21, "{}", f.line.slope);
+    }
+
+    #[test]
+    fn different_drivers_never_merge() {
+        let mut rows = Vec::new();
+        // "in_k" follows input, "op_k" follows flops, identical slopes.
+        for i in 1..30u64 {
+            rows.push(KernelRow {
+                in_elems: i * 100,
+                flops: (i * 37) % 900 + 1,
+                out_elems: 1,
+                seconds: (i * 100) as f64,
+                ..row("in_k", 1, 0.0)
+            });
+            rows.push(KernelRow {
+                in_elems: (i * 37) % 900 + 1,
+                flops: i * 100,
+                out_elems: 1,
+                seconds: (i * 100) as f64,
+                ..row("op_k", 1, 0.0)
+            });
+        }
+        let classes = classify_kernels(&rows);
+        let cl = cluster_kernels(&rows, &classes, 100.0);
+        assert_ne!(cl.cluster_of("in_k"), cl.cluster_of("op_k"));
+    }
+
+    #[test]
+    fn clustering_reduces_models_on_real_trace() {
+        use dnnperf_data::collect::collect;
+        use dnnperf_gpu::GpuSpec;
+        let nets = [
+            dnnperf_dnn::zoo::resnet::resnet50(),
+            dnnperf_dnn::zoo::densenet::densenet121(),
+            dnnperf_dnn::zoo::vgg::vgg16(),
+        ];
+        let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[64]);
+        let classes = classify_kernels(&ds.kernels);
+        let cl = cluster_kernels(&ds.kernels, &classes, DEFAULT_SLOPE_TOLERANCE);
+        assert!(cl.num_models() < cl.num_kernels());
+        assert!(cl.num_models() > 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "slope tolerance")]
+    fn tolerance_below_one_panics() {
+        cluster_kernels(&[], &HashMap::new(), 0.5);
+    }
+}

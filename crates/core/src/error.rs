@@ -1,0 +1,105 @@
+//! Error types of the prediction models.
+
+use dnnperf_linreg::FitError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while training a performance model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// The dataset holds no rows for the requested GPU.
+    NoDataForGpu {
+        /// The GPU that was requested.
+        gpu: String,
+    },
+    /// Too few usable samples to fit the model.
+    NotEnoughSamples {
+        /// What was being fitted.
+        what: String,
+        /// Samples available.
+        got: usize,
+    },
+    /// An underlying regression failed irrecoverably.
+    Fit {
+        /// What was being fitted.
+        what: String,
+        /// The regression error.
+        source: FitError,
+    },
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::NoDataForGpu { gpu } => {
+                write!(f, "dataset holds no measurements for GPU {gpu:?}")
+            }
+            TrainError::NotEnoughSamples { what, got } => {
+                write!(f, "not enough samples to fit {what}: got {got}")
+            }
+            TrainError::Fit { what, source } => write!(f, "fitting {what} failed: {source}"),
+        }
+    }
+}
+
+impl Error for TrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TrainError::Fit { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Errors produced while predicting with a trained model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredictError {
+    /// The model has no information for a layer of this type and no fallback
+    /// is available.
+    UnknownLayerType {
+        /// The layer type tag.
+        tag: String,
+    },
+    /// The kernel mapping table has no entry (exact or nearest) for a layer.
+    NoKernelMapping {
+        /// The layer type tag.
+        tag: String,
+    },
+    /// A batch size of zero was requested.
+    ZeroBatch,
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::UnknownLayerType { tag } => {
+                write!(f, "no trained model covers layer type {tag:?}")
+            }
+            PredictError::NoKernelMapping { tag } => {
+                write!(f, "kernel mapping table has no entry for layer type {tag:?}")
+            }
+            PredictError::ZeroBatch => write!(f, "batch size must be positive"),
+        }
+    }
+}
+
+impl Error for PredictError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = TrainError::NoDataForGpu { gpu: "H100".into() };
+        assert!(e.to_string().contains("H100"));
+        let e = TrainError::Fit {
+            what: "e2e".into(),
+            source: FitError::DegenerateX,
+        };
+        assert!(e.to_string().contains("identical"));
+        assert!(Error::source(&e).is_some());
+        let e = PredictError::NoKernelMapping { tag: "conv".into() };
+        assert!(e.to_string().contains("conv"));
+    }
+}

@@ -1,0 +1,65 @@
+//! dnnperf-core: linear-regression-based GPU execution time prediction for
+//! DNN workloads — the paper's primary contribution.
+//!
+//! Four models, in increasing complexity and accuracy (Section 5):
+//!
+//! * [`E2eModel`] — one regression of end-to-end time on total network FLOPs;
+//! * [`LwModel`] — one regression per layer *type* on layer FLOPs;
+//! * [`KwModel`] — kernel-level regressions: a learned layer-to-kernel
+//!   mapping table, automatic classification of every kernel as input-,
+//!   operation- or output-driven (by best R², observation O5), and
+//!   clustering of kernels with similar linear behaviour so ~180 kernels
+//!   share ~80 regressions;
+//! * [`IgkwModel`] — the Inter-GPU extension: per-kernel slopes are
+//!   themselves regressed against the reciprocal of GPU memory bandwidth
+//!   (O6), so the model can predict GPUs absent from the training set,
+//!   including hypothetical ones.
+//!
+//! All models implement [`Predictor`] and are trained purely from a
+//! [`dnnperf_data::Dataset`] — never from the simulator's hidden parameters.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnnperf_core::{E2eModel, Predictor};
+//! use dnnperf_data::collect::collect;
+//! use dnnperf_dnn::zoo;
+//! use dnnperf_gpu::GpuSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nets: Vec<_> = (1..6).map(|w| zoo::mobilenet::mobilenet_v2(w as f64 * 0.25, 1.0)).collect();
+//! let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[64]);
+//! let model = E2eModel::train(&ds, "A100")?;
+//! let t = model.predict_network(&zoo::mobilenet::mobilenet_v2(0.6, 1.0), 64)?;
+//! assert!(t > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod cluster;
+pub mod e2e;
+pub mod error;
+pub mod intergpu;
+pub mod kernelwise;
+pub mod layerwise;
+pub mod mapping;
+pub mod model;
+pub mod overhead;
+pub mod persist;
+pub mod workflow;
+
+pub use classify::{classify_kernels, Driver, KernelClassification};
+pub use cluster::{cluster_kernels, Clustering};
+pub use e2e::E2eModel;
+pub use error::{PredictError, TrainError};
+pub use intergpu::IgkwModel;
+pub use kernelwise::KwModel;
+pub use layerwise::LwModel;
+pub use mapping::{KernelMap, LayerSignature};
+pub use model::Predictor;
+pub use overhead::{KwWithOverhead, OverheadModel};
+pub use persist::PersistError;
+pub use workflow::Workflow;

@@ -1,0 +1,320 @@
+//! The layer-to-kernel mapping table (the left-most block of the paper's
+//! Figure 10).
+//!
+//! "Since the cuDNN library decides the kernels to use according to the
+//! problem sizes, we create a look-up table that maps from the layer type
+//! and input/output size to the kernel list. We provide the look-up table
+//! for all the kernels we encounter in our dataset."
+//!
+//! Keys are *per-sample* (batch-normalised) layer signatures so that a table
+//! built at the training batch size applies to any batch size. Lookups fall
+//! back to the nearest recorded signature of the same layer type (log-space
+//! distance) for shapes unseen in training.
+
+use dnnperf_data::KernelRow;
+use dnnperf_dnn::flops::layer_flops;
+use dnnperf_dnn::Layer;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A batch-invariant description of a layer instance: its type tag plus
+/// per-sample input size, FLOPs and output size.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerSignature {
+    /// Layer type tag (`"conv"`, `"bn"`, ...).
+    pub tag: Arc<str>,
+    /// Per-sample input element count.
+    pub in_per: u64,
+    /// Per-sample theoretical FLOPs.
+    pub flops_per: u64,
+    /// Per-sample output element count.
+    pub out_per: u64,
+}
+
+impl LayerSignature {
+    /// Computes the signature of a layer from its static structure.
+    pub fn of_layer(layer: &Layer) -> Self {
+        LayerSignature {
+            tag: Arc::from(layer.type_tag()),
+            in_per: layer.input.elems() as u64,
+            flops_per: layer_flops(layer),
+            out_per: layer.output.elems() as u64,
+        }
+    }
+
+    /// Recovers the signature from a measured kernel row (dividing the
+    /// batch-level driver variables by the batch size).
+    pub fn of_row(row: &KernelRow) -> Self {
+        let n = row.batch.max(1) as u64;
+        LayerSignature {
+            tag: row.layer_type.clone(),
+            in_per: row.in_elems / n,
+            flops_per: row.flops / n,
+            out_per: row.out_elems / n,
+        }
+    }
+
+    /// Squared log-space distance to another signature (for nearest-match
+    /// fallback). Only meaningful between signatures of the same tag.
+    fn distance(&self, other: &LayerSignature) -> f64 {
+        fn d(a: u64, b: u64) -> f64 {
+            let la = ((a + 1) as f64).ln();
+            let lb = ((b + 1) as f64).ln();
+            (la - lb) * (la - lb)
+        }
+        d(self.in_per, other.in_per) + d(self.flops_per, other.flops_per) + d(self.out_per, other.out_per)
+    }
+}
+
+/// The learned mapping from layer signatures to kernel name lists.
+#[derive(Debug, Clone, Default)]
+pub struct KernelMap {
+    exact: HashMap<LayerSignature, Vec<Arc<str>>>,
+    by_tag: HashMap<Arc<str>, Vec<LayerSignature>>,
+}
+
+impl PartialEq for KernelMap {
+    fn eq(&self, other: &Self) -> bool {
+        // `by_tag` is a derived index whose per-tag ordering depends on
+        // insertion order; semantic equality is the exact table alone.
+        self.exact == other.exact
+    }
+}
+
+impl KernelMap {
+    /// Builds the table from measured kernel rows. Rows of one layer
+    /// execution must be contiguous (as produced by collection).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_core::KernelMap;
+    /// use dnnperf_data::collect::collect;
+    /// use dnnperf_gpu::GpuSpec;
+    ///
+    /// let nets = [dnnperf_dnn::zoo::resnet::resnet18()];
+    /// let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[16]);
+    /// let map = KernelMap::from_rows(&ds.kernels);
+    /// assert!(map.len() > 10);
+    /// ```
+    pub fn from_rows(rows: &[KernelRow]) -> Self {
+        let mut map = KernelMap::default();
+        let mut i = 0;
+        while i < rows.len() {
+            let r = &rows[i];
+            let mut kernels = vec![r.kernel.clone()];
+            let mut j = i + 1;
+            while j < rows.len() && same_layer_execution(r, &rows[j]) {
+                kernels.push(rows[j].kernel.clone());
+                j += 1;
+            }
+            let sig = LayerSignature::of_row(r);
+            map.insert(sig, kernels);
+            i = j;
+        }
+        map
+    }
+
+    /// Inserts one signature -> kernel-list entry (first write wins).
+    pub fn insert(&mut self, sig: LayerSignature, kernels: Vec<Arc<str>>) {
+        if !self.exact.contains_key(&sig) {
+            self.by_tag.entry(sig.tag.clone()).or_default().push(sig.clone());
+            self.exact.insert(sig, kernels);
+        }
+    }
+
+    /// Merges another table into this one (first write wins per signature).
+    pub fn merge(&mut self, other: KernelMap) {
+        for (sig, kernels) in other.exact {
+            self.insert(sig, kernels);
+        }
+    }
+
+    /// Number of distinct signatures recorded.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Returns `true` if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty()
+    }
+
+    /// Iterates over all recorded (signature, kernel list) entries
+    /// (unordered).
+    pub fn entries(&self) -> impl Iterator<Item = (&LayerSignature, &[Arc<str>])> {
+        self.exact.iter().map(|(sig, kernels)| (sig, kernels.as_slice()))
+    }
+
+    /// Looks up the kernel list for a layer: exact signature match first,
+    /// then the nearest recorded signature of the same layer type.
+    ///
+    /// Returns `None` if no layer of this type was ever recorded — which,
+    /// for types like `flatten` that launch no kernels, is the correct
+    /// "free" answer.
+    pub fn kernels_for(&self, layer: &Layer) -> Option<&[Arc<str>]> {
+        let sig = LayerSignature::of_layer(layer);
+        if let Some(k) = self.exact.get(&sig) {
+            return Some(k);
+        }
+        let candidates = self.by_tag.get(&sig.tag)?;
+        let nearest = candidates
+            .iter()
+            .min_by(|a, b| sig.distance(a).total_cmp(&sig.distance(b)))?;
+        self.exact.get(nearest).map(Vec::as_slice)
+    }
+}
+
+impl KernelMap {
+    /// Serializes the table (persistence; deterministic order).
+    pub(crate) fn write_text(&self, out: &mut String) {
+        let mut entries: Vec<_> = self.exact.iter().collect();
+        entries.sort_by(|a, b| {
+            (&a.0.tag, a.0.in_per, a.0.flops_per, a.0.out_per).cmp(&(
+                &b.0.tag,
+                b.0.in_per,
+                b.0.flops_per,
+                b.0.out_per,
+            ))
+        });
+        out.push_str(&format!("map {}\n", entries.len()));
+        for (sig, kernels) in entries {
+            out.push_str(&format!(
+                "sig {} {} {} {} {}",
+                sig.tag, sig.in_per, sig.flops_per, sig.out_per,
+                kernels.len()
+            ));
+            for k in kernels {
+                out.push(' ');
+                out.push_str(k);
+            }
+            out.push('\n');
+        }
+    }
+
+    /// Deserializes a table written by [`KernelMap::write_text`].
+    pub(crate) fn read_text(
+        cur: &mut crate::persist::Cursor<'_>,
+    ) -> Result<Self, crate::persist::PersistError> {
+        use crate::persist::field;
+        let count: usize = {
+            let rest = cur.keyword("map")?;
+            rest.trim()
+                .parse()
+                .map_err(|_| cur.parse_err(format!("bad map count {rest:?}")))?
+        };
+        let mut map = KernelMap::default();
+        for _ in 0..count {
+            let rest = cur.keyword("sig")?;
+            let mut parts = rest.split_whitespace();
+            let tag = parts
+                .next()
+                .ok_or_else(|| cur.parse_err("missing signature tag"))?;
+            let sig = LayerSignature {
+                tag: Arc::from(tag),
+                in_per: field(cur, &mut parts, "in_per")?,
+                flops_per: field(cur, &mut parts, "flops_per")?,
+                out_per: field(cur, &mut parts, "out_per")?,
+            };
+            let k: usize = field(cur, &mut parts, "kernel count")?;
+            let kernels: Vec<Arc<str>> = parts.map(Arc::from).collect();
+            if kernels.len() != k {
+                return Err(cur.parse_err(format!(
+                    "expected {k} kernels, found {}",
+                    kernels.len()
+                )));
+            }
+            map.insert(sig, kernels);
+        }
+        Ok(map)
+    }
+}
+
+fn same_layer_execution(a: &KernelRow, b: &KernelRow) -> bool {
+    a.layer_index == b.layer_index && a.network == b.network && a.gpu == b.gpu && a.batch == b.batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_data::collect::collect;
+    use dnnperf_dnn::zoo;
+    use dnnperf_gpu::GpuSpec;
+
+    fn a100_map(nets: &[dnnperf_dnn::Network], batch: usize) -> KernelMap {
+        let ds = collect(nets, &[GpuSpec::by_name("A100").unwrap()], &[batch]);
+        KernelMap::from_rows(&ds.kernels)
+    }
+
+    #[test]
+    fn exact_lookup_matches_dispatch() {
+        let net = zoo::resnet::resnet18();
+        let map = a100_map(std::slice::from_ref(&net), 32);
+        for layer in net.layers() {
+            let expected = dnnperf_gpu::dispatch::dispatch_layer(layer, 32);
+            match map.kernels_for(layer) {
+                Some(got) => {
+                    let got: Vec<&str> = got.iter().map(|k| &**k).collect();
+                    let want: Vec<&str> = expected.iter().map(|k| k.name.as_str()).collect();
+                    assert_eq!(got, want, "layer {layer:?}");
+                }
+                None => assert!(expected.is_empty(), "missing mapping for {layer:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn signatures_are_batch_invariant() {
+        let net = zoo::resnet::resnet18();
+        let map16 = a100_map(std::slice::from_ref(&net), 16);
+        let map64 = a100_map(std::slice::from_ref(&net), 64);
+        let keys = |m: &KernelMap| {
+            let mut v: Vec<LayerSignature> = m.exact.keys().cloned().collect();
+            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            v
+        };
+        assert_eq!(keys(&map16), keys(&map64));
+        // And structural signatures hit the table exactly.
+        for layer in net.layers() {
+            let sig = LayerSignature::of_layer(layer);
+            let in_map = map16.exact.contains_key(&sig);
+            let has_kernels = !dnnperf_gpu::dispatch::dispatch_layer(layer, 1).is_empty();
+            assert_eq!(in_map, has_kernels, "{layer:?}");
+        }
+    }
+
+    #[test]
+    fn nearest_fallback_finds_same_type() {
+        let map = a100_map(&[zoo::resnet::resnet18()], 16);
+        // A conv shape not present in ResNet-18.
+        let odd = dnnperf_dnn::Layer::apply(
+            dnnperf_dnn::LayerKind::Conv2d(dnnperf_dnn::Conv2d::square(96, 96, 3, 1, 1)),
+            dnnperf_dnn::TensorShape::chw(96, 30, 30),
+        )
+        .unwrap();
+        let kernels = map.kernels_for(&odd).expect("nearest fallback");
+        assert!(!kernels.is_empty());
+    }
+
+    #[test]
+    fn unseen_tag_returns_none() {
+        let map = a100_map(&[zoo::vgg::vgg11()], 16);
+        let ln = dnnperf_dnn::Layer::apply(
+            dnnperf_dnn::LayerKind::LayerNorm,
+            dnnperf_dnn::TensorShape::tokens(8, 8),
+        )
+        .unwrap();
+        assert!(map.kernels_for(&ln).is_none());
+    }
+
+    #[test]
+    fn merge_unions_signatures() {
+        let a = a100_map(&[zoo::vgg::vgg11()], 16);
+        let b = a100_map(&[zoo::mobilenet::mobilenet_v2(1.0, 1.0)], 16);
+        let (la, lb) = (a.len(), b.len());
+        let mut merged = a;
+        merged.merge(b);
+        assert!(merged.len() >= la.max(lb));
+        assert!(merged.len() <= la + lb);
+    }
+}

@@ -1,0 +1,246 @@
+//! CPU / launch-overhead correction for small workloads.
+//!
+//! The paper's limitation section: "When the batch size or the network is
+//! small, and the GPU cannot be fully utilized, we find that the CPU and
+//! the CPU-GPU communication can be the major performance bottleneck. ...
+//! in the future, we plan to include a CPU and a communication model so
+//! that we can also accurately predict performance for small workloads."
+//!
+//! This module implements that plan: [`OverheadModel`] fits an affine
+//! correction (a gain on the KW GPU-time prediction, a per-kernel-launch
+//! CPU cost and a fixed per-batch cost) against a handful of small-batch
+//! calibration runs. [`KwWithOverhead`] applies the correction on top of
+//! the plain KW prediction.
+
+use crate::error::{PredictError, TrainError};
+use crate::kernelwise::KwModel;
+use crate::model::Predictor;
+use dnnperf_data::Dataset;
+use dnnperf_dnn::Network;
+use dnnperf_linreg::{fit, median};
+
+/// An affine CPU/communication correction calibrated on small-batch runs:
+///
+/// ```text
+/// total = gain * kw_prediction + per_launch * kernel_launches + per_batch
+/// ```
+///
+/// The gain term lets the correction shrink the KW model's systematic
+/// small-batch overestimation (its per-cluster intercepts are calibrated at
+/// the large training batch size), while the launch term prices the
+/// CPU-side dispatch cost that dominates tiny workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadModel {
+    gain: f64,
+    per_launch: f64,
+    per_batch: f64,
+}
+
+impl OverheadModel {
+    /// Calibrates the overhead model from the residuals of `kw` against
+    /// measured small-batch runs in `dataset` (matched by network name and
+    /// batch size; `nets` supplies the structures to predict with).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::NotEnoughSamples`] with fewer than three
+    /// matched calibration runs, or [`TrainError::Fit`] if the regression
+    /// is degenerate.
+    pub fn calibrate(
+        kw: &KwModel,
+        dataset: &Dataset,
+        nets: &[Network],
+    ) -> Result<Self, TrainError> {
+        let mut preds = Vec::new(); // KW GPU-time predictions
+        let mut counts = Vec::new(); // kernel launches
+        let mut ys = Vec::new(); // measured seconds
+        for row in dataset.networks.iter().filter(|r| &*r.gpu == kw.gpu()) {
+            let Some(net) = nets.iter().find(|n| n.name() == &*row.network) else {
+                continue;
+            };
+            let Ok(pred) = kw.predict_network(net, row.batch as usize) else {
+                continue;
+            };
+            preds.push(pred);
+            counts.push(row.kernel_count as f64);
+            ys.push(row.e2e_seconds);
+        }
+        if preds.len() < 4 {
+            return Err(TrainError::NotEnoughSamples {
+                what: "overhead calibration runs".into(),
+                got: preds.len(),
+            });
+        }
+        // Two-stage, robust against the strong collinearity between a
+        // network's predicted time and its kernel count: (1) the gain is
+        // the median measured/predicted ratio; (2) the remaining residual
+        // is priced per kernel launch.
+        let ratios: Vec<f64> = preds
+            .iter()
+            .zip(&ys)
+            .filter(|(p, _)| **p > 0.0)
+            .map(|(p, y)| y / p)
+            .collect();
+        let gain = median(&ratios).clamp(0.0, 2.0);
+        let residuals: Vec<f64> = preds
+            .iter()
+            .zip(&ys)
+            .map(|(p, y)| y - gain * p)
+            .collect();
+        // Accept the launch-cost term only when the residual fit has the
+        // physical shape (nonnegative slope AND intercept); clamping just
+        // one coefficient would bias the other.
+        let (per_launch, per_batch) = match fit(&counts, &residuals) {
+            Ok(f) if f.line.slope >= 0.0 && f.line.intercept >= 0.0 => {
+                (f.line.slope, f.line.intercept)
+            }
+            _ => (0.0, dnnperf_linreg::mean(&residuals).max(0.0)),
+        };
+        Ok(OverheadModel { gain, per_launch, per_batch })
+    }
+
+    /// The learned gain on the KW GPU-time prediction.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The learned per-kernel-launch CPU cost in seconds.
+    pub fn per_launch_seconds(&self) -> f64 {
+        self.per_launch
+    }
+
+    /// The learned fixed per-batch cost in seconds.
+    pub fn per_batch_seconds(&self) -> f64 {
+        self.per_batch
+    }
+
+    /// The corrected total for a KW prediction of `gpu_seconds` issuing
+    /// `launches` kernel launches.
+    pub fn corrected_seconds(&self, gpu_seconds: f64, launches: usize) -> f64 {
+        self.gain * gpu_seconds + self.per_launch * launches as f64 + self.per_batch
+    }
+}
+
+/// The KW model with the CPU-overhead correction applied on top.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KwWithOverhead {
+    kw: KwModel,
+    overhead: OverheadModel,
+}
+
+impl KwWithOverhead {
+    /// Wraps a trained KW model with a calibrated overhead model.
+    pub fn new(kw: KwModel, overhead: OverheadModel) -> Self {
+        KwWithOverhead { kw, overhead }
+    }
+
+    /// Trains the KW model on `dataset` and calibrates the overhead on
+    /// `calibration` (typically a few small-batch runs of the training
+    /// networks).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training and calibration failures.
+    pub fn train(
+        dataset: &Dataset,
+        calibration: &Dataset,
+        nets: &[Network],
+        gpu: &str,
+    ) -> Result<Self, TrainError> {
+        let kw = KwModel::train(dataset, gpu)?;
+        let overhead = OverheadModel::calibrate(&kw, calibration, nets)?;
+        Ok(KwWithOverhead { kw, overhead })
+    }
+
+    /// The underlying KW model.
+    pub fn kw(&self) -> &KwModel {
+        &self.kw
+    }
+
+    /// The calibrated overhead model.
+    pub fn overhead(&self) -> &OverheadModel {
+        &self.overhead
+    }
+}
+
+impl Predictor for KwWithOverhead {
+    fn name(&self) -> &str {
+        "KW+overhead"
+    }
+
+    fn gpu(&self) -> &str {
+        self.kw.gpu()
+    }
+
+    fn predict_network(&self, net: &Network, batch: usize) -> Result<f64, PredictError> {
+        let gpu_time = self.kw.predict_network(net, batch)?;
+        let launches = self.kw.predict_kernel_count(net);
+        Ok(self.overhead.corrected_seconds(gpu_time, launches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_data::collect::collect;
+    use dnnperf_gpu::GpuSpec;
+
+    fn nets() -> Vec<Network> {
+        vec![
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::resnet::resnet34(),
+            dnnperf_dnn::zoo::resnet::resnet50(),
+            dnnperf_dnn::zoo::vgg::vgg11(),
+            dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+            dnnperf_dnn::zoo::squeezenet::squeezenet(128, 128, 0.125),
+        ]
+    }
+
+    #[test]
+    fn calibration_learns_nonnegative_overheads() {
+        let gpu = GpuSpec::by_name("A100").unwrap();
+        let train = collect(&nets(), std::slice::from_ref(&gpu), &[256]);
+        let calib = collect(&nets(), &[gpu], &[4, 8]);
+        let kw = KwModel::train(&train, "A100").unwrap();
+        let m = OverheadModel::calibrate(&kw, &calib, &nets()).unwrap();
+        assert!(m.per_launch_seconds() >= 0.0);
+        assert!(m.per_batch_seconds() >= 0.0);
+        assert!((0.0..=2.0).contains(&m.gain()));
+        assert!(m.corrected_seconds(1.0, 100) >= m.corrected_seconds(1.0, 10));
+    }
+
+    #[test]
+    fn correction_improves_small_batch_error() {
+        let gpu = GpuSpec::by_name("A100").unwrap();
+        let train = collect(&nets(), std::slice::from_ref(&gpu), &[256]);
+        let calib = collect(&nets(), std::slice::from_ref(&gpu), &[4, 8]);
+        let model = KwWithOverhead::train(&train, &calib, &nets(), "A100").unwrap();
+
+        // Evaluate both on a held-out network at a tiny batch.
+        let held_out = dnnperf_dnn::zoo::resnet::resnet101();
+        let meas = dnnperf_gpu::Profiler::new(gpu)
+            .profile(&held_out, 4)
+            .unwrap()
+            .e2e_seconds;
+        let plain = model.kw().predict_network(&held_out, 4).unwrap();
+        let fixed = model.predict_network(&held_out, 4).unwrap();
+        let e_plain = (plain - meas).abs() / meas;
+        let e_fixed = (fixed - meas).abs() / meas;
+        assert!(
+            e_fixed < e_plain + 0.02,
+            "correction must not hurt: {e_plain} -> {e_fixed}"
+        );
+    }
+
+    #[test]
+    fn too_few_calibration_runs_is_an_error() {
+        let gpu = GpuSpec::by_name("A100").unwrap();
+        let train = collect(&nets(), std::slice::from_ref(&gpu), &[128]);
+        let calib = collect(&nets()[..1], &[gpu], &[8]);
+        let kw = KwModel::train(&train, "A100").unwrap();
+        assert!(matches!(
+            OverheadModel::calibrate(&kw, &calib, &nets()),
+            Err(TrainError::NotEnoughSamples { .. })
+        ));
+    }
+}

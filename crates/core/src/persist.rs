@@ -1,0 +1,228 @@
+//! Model persistence.
+//!
+//! The paper's workflow (Figure 10) notes that "the performance analytical
+//! model and its parameters can be distributed to users". This module
+//! implements that distribution format: a versioned, line-oriented text
+//! serialization for every trained model, chosen over a binary format so
+//! that shipped model files remain diffable and inspectable.
+//!
+//! All models round-trip exactly: `Model::from_text(&m.to_text()) == m`.
+//!
+//! # Examples
+//!
+//! ```
+//! use dnnperf_core::E2eModel;
+//! use dnnperf_data::collect::collect;
+//! use dnnperf_gpu::GpuSpec;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nets = [dnnperf_dnn::zoo::resnet::resnet18(), dnnperf_dnn::zoo::resnet::resnet34()];
+//! let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[16]);
+//! let model = E2eModel::train(&ds, "A100")?;
+//! let text = model.to_text();
+//! let loaded = E2eModel::from_text(&text)?;
+//! assert_eq!(model, loaded);
+//! # Ok(())
+//! # }
+//! ```
+
+use dnnperf_linreg::{Fit, Line};
+use std::error::Error;
+use std::fmt;
+
+/// Format version written in every model file header.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors produced while loading a persisted model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// The header is missing or carries an unsupported version.
+    BadHeader {
+        /// What was found on the first line.
+        found: String,
+    },
+    /// The file is for a different model kind than requested.
+    WrongKind {
+        /// Kind tag requested by the loader.
+        expected: &'static str,
+        /// Kind tag found in the header.
+        found: String,
+    },
+    /// A malformed line.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The file ended before the model was complete.
+    UnexpectedEof,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader { found } => {
+                write!(f, "bad model file header: {found:?}")
+            }
+            PersistError::WrongKind { expected, found } => {
+                write!(f, "model file holds a {found:?} model, expected {expected:?}")
+            }
+            PersistError::Parse { line, reason } => {
+                write!(f, "model file parse error at line {line}: {reason}")
+            }
+            PersistError::UnexpectedEof => write!(f, "model file ended unexpectedly"),
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+/// Line-by-line reader with position tracking.
+pub(crate) struct Cursor<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> Cursor<'a> {
+    pub(crate) fn new(text: &'a str) -> Self {
+        Cursor { lines: text.lines(), line_no: 0 }
+    }
+
+    pub(crate) fn next(&mut self) -> Result<&'a str, PersistError> {
+        self.line_no += 1;
+        self.lines.next().ok_or(PersistError::UnexpectedEof)
+    }
+
+    /// Reads a line that must start with `keyword` followed by whitespace;
+    /// returns the remainder.
+    pub(crate) fn keyword(&mut self, keyword: &'static str) -> Result<&'a str, PersistError> {
+        let line = self.next()?;
+        match line.strip_prefix(keyword) {
+            Some("") => Ok(""),
+            Some(rest) if rest.starts_with(' ') => Ok(&rest[1..]),
+            _ => Err(PersistError::Parse {
+                line: self.line_no,
+                reason: format!("expected {keyword:?}, got {line:?}"),
+            }),
+        }
+    }
+
+    pub(crate) fn parse_err(&self, reason: impl Into<String>) -> PersistError {
+        PersistError::Parse { line: self.line_no, reason: reason.into() }
+    }
+}
+
+/// Parses one whitespace-separated numeric field.
+pub(crate) fn field<T: std::str::FromStr>(
+    cur: &Cursor<'_>,
+    parts: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, PersistError> {
+    let raw = parts
+        .next()
+        .ok_or_else(|| cur.parse_err(format!("missing field {what}")))?;
+    raw.parse()
+        .map_err(|_| cur.parse_err(format!("bad {what} field {raw:?}")))
+}
+
+/// Writes the shared header.
+pub(crate) fn write_header(out: &mut String, kind: &str) {
+    out.push_str(&format!("dnnperf-model v{FORMAT_VERSION} {kind}\n"));
+}
+
+/// Validates the shared header and the model kind.
+pub(crate) fn read_header(cur: &mut Cursor<'_>, expected: &'static str) -> Result<(), PersistError> {
+    let line = cur.next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some("dnnperf-model") {
+        return Err(PersistError::BadHeader { found: line.to_string() });
+    }
+    match parts.next() {
+        Some(v) if v == format!("v{FORMAT_VERSION}") => {}
+        _ => return Err(PersistError::BadHeader { found: line.to_string() }),
+    }
+    match parts.next() {
+        Some(kind) if kind == expected => Ok(()),
+        Some(kind) => Err(PersistError::WrongKind { expected, found: kind.to_string() }),
+        None => Err(PersistError::BadHeader { found: line.to_string() }),
+    }
+}
+
+/// Serializes a [`Fit`] as four whitespace-separated fields.
+pub(crate) fn write_fit(out: &mut String, fit: &Fit) {
+    out.push_str(&format!(
+        "{} {} {} {}",
+        fit.line.slope, fit.line.intercept, fit.r2, fit.n
+    ));
+}
+
+/// Parses the four [`Fit`] fields from a whitespace iterator.
+pub(crate) fn read_fit(
+    cur: &Cursor<'_>,
+    parts: &mut std::str::SplitWhitespace<'_>,
+) -> Result<Fit, PersistError> {
+    let slope: f64 = field(cur, parts, "slope")?;
+    let intercept: f64 = field(cur, parts, "intercept")?;
+    let r2: f64 = field(cur, parts, "r2")?;
+    let n: usize = field(cur, parts, "n")?;
+    Ok(Fit { line: Line::new(slope, intercept), r2, n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trip() {
+        let mut s = String::new();
+        write_header(&mut s, "kw");
+        let mut cur = Cursor::new(&s);
+        assert!(read_header(&mut cur, "kw").is_ok());
+    }
+
+    #[test]
+    fn wrong_kind_is_detected() {
+        let mut s = String::new();
+        write_header(&mut s, "lw");
+        let mut cur = Cursor::new(&s);
+        assert_eq!(
+            read_header(&mut cur, "kw"),
+            Err(PersistError::WrongKind { expected: "kw", found: "lw".into() })
+        );
+    }
+
+    #[test]
+    fn bad_version_is_detected() {
+        let mut cur = Cursor::new("dnnperf-model v999 kw\n");
+        assert!(matches!(read_header(&mut cur, "kw"), Err(PersistError::BadHeader { .. })));
+    }
+
+    #[test]
+    fn fit_round_trips_including_specials() {
+        for fit in [
+            Fit { line: Line::new(1.25e-13, 3.0e-6), r2: 0.987654321, n: 42 },
+            Fit { line: Line::new(0.0, 0.0), r2: f64::NEG_INFINITY, n: 1 },
+        ] {
+            let mut s = String::new();
+            write_fit(&mut s, &fit);
+            let cur = Cursor::new(&s);
+            let mut parts = s.split_whitespace();
+            let back = read_fit(&cur, &mut parts).unwrap();
+            assert_eq!(fit, back);
+        }
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut cur = Cursor::new("");
+        assert_eq!(cur.next(), Err(PersistError::UnexpectedEof));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(PersistError::UnexpectedEof.to_string().contains("ended"));
+        let e = PersistError::Parse { line: 3, reason: "x".into() };
+        assert!(e.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The train-then-predict workflow of the paper's Figure 10: a training
+//! dataset goes in, a set of trained analytical models comes out, and new
+//! network structures are fed to the models for prediction.
+
+use crate::e2e::E2eModel;
+use crate::error::TrainError;
+use crate::kernelwise::KwModel;
+use crate::layerwise::LwModel;
+use crate::model::Predictor;
+use dnnperf_data::Dataset;
+use dnnperf_dnn::Network;
+
+/// A trained model suite for one GPU: the three single-GPU models of
+/// Section 5.
+#[derive(Debug, Clone)]
+pub struct Workflow {
+    /// The End-to-End model.
+    pub e2e: E2eModel,
+    /// The Layer-Wise model.
+    pub lw: LwModel,
+    /// The Kernel-Wise model.
+    pub kw: KwModel,
+}
+
+impl Workflow {
+    /// Trains all three single-GPU models on one GPU's measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainError`] from the individual models.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_core::{Predictor, Workflow};
+    /// use dnnperf_data::collect::collect;
+    /// use dnnperf_gpu::GpuSpec;
+    ///
+    /// # fn main() -> Result<(), dnnperf_core::TrainError> {
+    /// let nets = [
+    ///     dnnperf_dnn::zoo::resnet::resnet18(),
+    ///     dnnperf_dnn::zoo::resnet::resnet34(),
+    ///     dnnperf_dnn::zoo::vgg::vgg11(),
+    /// ];
+    /// let ds = collect(&nets, &[GpuSpec::by_name("V100").unwrap()], &[32]);
+    /// let suite = Workflow::train(&ds, "V100")?;
+    /// let net = dnnperf_dnn::zoo::resnet::resnet50();
+    /// let t = suite.kw.predict_network(&net, 32).unwrap();
+    /// assert!(t > 0.0);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
+        Ok(Workflow {
+            e2e: E2eModel::train(dataset, gpu)?,
+            lw: LwModel::train(dataset, gpu)?,
+            kw: KwModel::train(dataset, gpu)?,
+        })
+    }
+
+    /// The three models as trait objects, in increasing complexity order.
+    pub fn models(&self) -> [&dyn Predictor; 3] {
+        [&self.e2e, &self.lw, &self.kw]
+    }
+}
+
+/// Pairs each test network's prediction with its measured time from the
+/// dataset (matching on network name and batch size). Networks missing a
+/// measurement or failing prediction are skipped.
+pub fn predictions_vs_measurements<P: Predictor + ?Sized>(
+    model: &P,
+    nets: &[Network],
+    batch: usize,
+    measured: &Dataset,
+) -> Vec<(String, f64, f64)> {
+    nets.iter()
+        .filter_map(|net| {
+            let meas = measured
+                .networks
+                .iter()
+                .find(|r| &*r.network == net.name() && r.batch == batch as u32 && &*r.gpu == model.gpu())?;
+            let pred = model.predict_network(net, batch).ok()?;
+            Some((net.name().to_string(), pred, meas.e2e_seconds))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_data::collect::collect;
+    use dnnperf_gpu::GpuSpec;
+
+    #[test]
+    fn suite_trains_and_orders_models() {
+        let nets = [
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::resnet::resnet34(),
+            dnnperf_dnn::zoo::vgg::vgg11(),
+        ];
+        let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[32]);
+        let suite = Workflow::train(&ds, "A100").unwrap();
+        let names: Vec<&str> = suite.models().iter().map(|m| m.name()).collect();
+        assert_eq!(names, ["E2E", "LW", "KW"]);
+    }
+
+    #[test]
+    fn predictions_pair_with_measurements() {
+        let nets = vec![
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::resnet::resnet34(),
+            dnnperf_dnn::zoo::vgg::vgg11(),
+        ];
+        let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[32]);
+        let suite = Workflow::train(&ds, "A100").unwrap();
+        let pairs = predictions_vs_measurements(&suite.kw, &nets, 32, &ds);
+        assert_eq!(pairs.len(), 3);
+        for (_, pred, meas) in pairs {
+            assert!(pred > 0.0 && meas > 0.0);
+        }
+        // Wrong batch size: nothing to pair with.
+        assert!(predictions_vs_measurements(&suite.kw, &nets, 999, &ds).is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the predictor stack's invariants.
+
+use dnnperf_core::{classify_kernels, cluster_kernels, KernelMap, KwModel, Predictor};
+use dnnperf_data::collect::collect;
+use dnnperf_data::KernelRow;
+use dnnperf_gpu::GpuSpec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_rows() -> impl Strategy<Value = Vec<KernelRow>> {
+    prop::collection::vec(
+        (0usize..6, 1u64..1_000_000, 1e-7..1e-2f64),
+        8..80,
+    )
+    .prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (k, x, t))| KernelRow {
+                network: "n".into(),
+                gpu: "g".into(),
+                batch: 1,
+                layer_index: i as u32,
+                layer_type: Arc::from("conv"),
+                kernel: Arc::from(format!("kernel_{k}")),
+                in_elems: x,
+                // Decorrelated from the input size, so driver choice is not
+                // an exact R-squared tie decided by float summation order
+                // (R-squared is invariant under affine maps of x, so any
+                // affinely-related pair of drivers ties exactly).
+                flops: (x % 977) * 1000 + 1,
+                out_elems: (x % 1231) * 500 + 1,
+                seconds: t,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn classification_is_order_invariant(mut rows in arb_rows(), seed in 0u64..100) {
+        let a = classify_kernels(&rows);
+        // Deterministic shuffle.
+        let n = rows.len();
+        for i in 0..n {
+            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+            rows.swap(i, j);
+        }
+        let b = classify_kernels(&rows);
+        prop_assert_eq!(a.len(), b.len());
+        for (k, ca) in &a {
+            let cb = &b[k];
+            if ca.driver != cb.driver {
+                // Permissible only for an exact R-squared tie broken by
+                // float summation order.
+                let ra = ca.r2[ca.driver.index()];
+                let rb = cb.r2[cb.driver.index()];
+                prop_assert!((ra - rb).abs() < 1e-6, "driver flip for {} without a tie", k);
+            }
+            // Fits are computed from the same multiset of samples.
+            prop_assert_eq!(ca.n, cb.n);
+        }
+    }
+
+    #[test]
+    fn clustering_is_a_partition(rows in arb_rows(), tol in 1.0..4.0f64) {
+        let classes = classify_kernels(&rows);
+        let cl = cluster_kernels(&rows, &classes, tol);
+        prop_assert_eq!(cl.num_kernels(), classes.len());
+        prop_assert!(cl.num_models() >= 1);
+        prop_assert!(cl.num_models() <= cl.num_kernels());
+        // Every kernel has a model, and every model id is valid.
+        for (k, id) in cl.assignments() {
+            prop_assert!(id < cl.num_models(), "{k} -> {id}");
+            prop_assert!(cl.model_for(k).is_some());
+        }
+        // Cluster fits never have negative slope.
+        for (_, fit) in cl.models() {
+            prop_assert!(fit.line.slope >= 0.0);
+        }
+    }
+
+    #[test]
+    fn looser_tolerance_never_increases_model_count(rows in arb_rows()) {
+        let classes = classify_kernels(&rows);
+        let tight = cluster_kernels(&rows, &classes, 1.01);
+        let loose = cluster_kernels(&rows, &classes, 3.0);
+        prop_assert!(loose.num_models() <= tight.num_models());
+    }
+
+    #[test]
+    fn mapping_table_is_total_over_its_sources(rows in arb_rows()) {
+        let map = KernelMap::from_rows(&rows);
+        prop_assert!(!map.is_empty());
+        // Every recorded signature has a nonempty kernel list.
+        for (_, kernels) in map.entries() {
+            prop_assert!(!kernels.is_empty());
+        }
+    }
+}
+
+#[test]
+fn kw_prediction_is_monotone_in_batch() {
+    // Not a proptest (training is comparatively expensive): predictions must
+    // grow with batch size for every probe batch.
+    let nets = [
+        dnnperf_dnn::zoo::resnet::resnet18(),
+        dnnperf_dnn::zoo::resnet::resnet50(),
+        dnnperf_dnn::zoo::vgg::vgg11(),
+        dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[128]);
+    let kw = KwModel::train(&ds, "A100").unwrap();
+    let net = dnnperf_dnn::zoo::resnet::resnet34();
+    let mut last = 0.0;
+    for bs in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let t = kw.predict_network(&net, bs).unwrap();
+        assert!(t >= last, "prediction decreased at batch {bs}: {last} -> {t}");
+        last = t;
+    }
+}

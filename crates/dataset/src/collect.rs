@@ -1,0 +1,263 @@
+//! Dataset collection: profiling the zoo across GPUs and batch sizes.
+
+use crate::dataset::Dataset;
+use crate::record::{KernelRow, LayerRow, NetworkRow};
+use dnnperf_dnn::Network;
+use dnnperf_gpu::{GpuSpec, ProfileError, Profiler, Trace};
+use std::sync::Arc;
+
+/// Converts one profiler trace into dataset rows.
+pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, Vec<KernelRow>) {
+    let network: Arc<str> = Arc::from(trace.network.as_str());
+    let gpu: Arc<str> = Arc::from(trace.gpu.as_str());
+    let batch = trace.batch as u32;
+    let mut layers = Vec::with_capacity(trace.layers.len());
+    let mut kernels = Vec::new();
+    for l in &trace.layers {
+        let layer_type: Arc<str> = Arc::from(l.type_tag);
+        layers.push(LayerRow {
+            network: network.clone(),
+            gpu: gpu.clone(),
+            batch,
+            layer_index: l.layer_index as u32,
+            layer_type: layer_type.clone(),
+            flops: l.flops,
+            in_elems: l.in_elems,
+            out_elems: l.out_elems,
+            seconds: l.seconds(),
+        });
+        for k in &l.kernels {
+            kernels.push(KernelRow {
+                network: network.clone(),
+                gpu: gpu.clone(),
+                batch,
+                layer_index: l.layer_index as u32,
+                layer_type: layer_type.clone(),
+                kernel: Arc::from(k.name.as_str()),
+                in_elems: l.in_elems,
+                flops: l.flops,
+                out_elems: l.out_elems,
+                seconds: k.seconds,
+            });
+        }
+    }
+    let row = NetworkRow {
+        network,
+        family: Arc::from(trace.family.as_str()),
+        gpu,
+        batch,
+        flops: trace.total_flops(),
+        bytes: net.total_bytes() * trace.batch as u64,
+        e2e_seconds: trace.e2e_seconds,
+        gpu_seconds: trace.gpu_seconds(),
+        kernel_count: trace.kernel_count() as u32,
+    };
+    (row, layers, kernels)
+}
+
+/// Profiles every network on every GPU at every batch size, skipping
+/// out-of-memory combinations (the paper's dataset cleaning).
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_data::collect::collect;
+/// use dnnperf_gpu::GpuSpec;
+///
+/// let nets = [dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0)];
+/// let gpus = [GpuSpec::by_name("V100").unwrap()];
+/// let ds = collect(&nets, &gpus, &[8, 32]);
+/// assert_eq!(ds.networks.len(), 2);
+/// ```
+pub fn collect(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
+    collect_with(nets, gpus, batches, &dnnperf_gpu::TimingModel::new())
+}
+
+/// Like [`collect`], but measuring under an explicit ground-truth timing
+/// model. Robustness tests use this to show the predictors work in
+/// alternative measurement universes, not just the canonical seed.
+pub fn collect_with(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    timing: &dnnperf_gpu::TimingModel,
+) -> Dataset {
+    let mut ds = Dataset::new();
+    for gpu in gpus {
+        let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
+        for net in nets {
+            for &batch in batches {
+                match profiler.profile(net, batch) {
+                    Ok(trace) => {
+                        let (n, l, k) = trace_rows(&trace, net);
+                        ds.networks.push(n);
+                        ds.layers.extend(l);
+                        ds.kernels.extend(k);
+                    }
+                    Err(ProfileError::OutOfMemory { .. }) => {
+                        // Fail-to-execute experiments are dropped, as in the
+                        // paper's cleaning step.
+                    }
+                }
+            }
+        }
+    }
+    ds
+}
+
+/// Like [`collect`], but profiling networks on `threads` worker threads.
+///
+/// Row order (and therefore the resulting dataset) is **identical** to the
+/// serial [`collect`]: workers profile disjoint network chunks and the
+/// results are stitched back in network order, preserving the per-experiment
+/// row contiguity that [`Dataset::dedup`] and the mapping table rely on.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn collect_parallel(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    threads: usize,
+) -> Dataset {
+    assert!(threads > 0, "need at least one worker thread");
+    let mut ds = Dataset::new();
+    for gpu in gpus {
+        let chunk = nets.len().div_ceil(threads).max(1);
+        let mut per_chunk: Vec<Dataset> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = nets
+                .chunks(chunk)
+                .map(|chunk_nets| {
+                    scope.spawn(move |_| collect(chunk_nets, std::slice::from_ref(gpu), batches))
+                })
+                .collect();
+            for h in handles {
+                per_chunk.push(h.join().expect("collection worker panicked"));
+            }
+        })
+        .expect("collection scope panicked");
+        for chunk_ds in per_chunk {
+            ds.merge(chunk_ds);
+        }
+    }
+    ds
+}
+
+/// The GPUs the paper's single-GPU models are trained and evaluated on
+/// (Section 5.4): A100, A40, GTX 1080 Ti, TITAN RTX, V100.
+pub fn evaluation_gpus() -> Vec<GpuSpec> {
+    ["A100", "A40", "GTX 1080 Ti", "TITAN RTX", "V100"]
+        .iter()
+        .map(|n| GpuSpec::by_name(n).expect("known GPU"))
+        .collect()
+}
+
+/// The paper's training batch size (GPUs fully utilised).
+pub const TRAIN_BATCH: usize = 512;
+
+/// Like [`collect`], but measuring *training steps* (forward + backward +
+/// optimizer update) instead of inference batches — the paper's future-work
+/// extension. Out-of-memory combinations are skipped; training keeps all
+/// activations alive, so feasible batch sizes are smaller than for
+/// inference.
+pub fn collect_training(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
+    let mut ds = Dataset::new();
+    for gpu in gpus {
+        let profiler = Profiler::new(gpu.clone());
+        for net in nets {
+            for &batch in batches {
+                match profiler.profile_training(net, batch) {
+                    Ok(trace) => {
+                        let (n, l, k) = trace_rows(&trace, net);
+                        ds.networks.push(n);
+                        ds.layers.extend(l);
+                        ds.kernels.extend(k);
+                    }
+                    Err(ProfileError::OutOfMemory { .. }) => {}
+                }
+            }
+        }
+    }
+    ds
+}
+
+/// Collects the paper's main dataset: the full 646-network CNN zoo at the
+/// training batch size on the five evaluation GPUs.
+///
+/// This takes a few seconds and produces on the order of a million kernel
+/// rows; experiment binaries call it once and reuse the result.
+pub fn collect_main_cnn_dataset() -> Dataset {
+    let nets = dnnperf_dnn::zoo::cnn_zoo();
+    collect(&nets, &evaluation_gpus(), &[TRAIN_BATCH])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_dnn::zoo;
+
+    #[test]
+    fn oom_runs_are_skipped() {
+        let nets = [zoo::vgg::vgg16()];
+        let gpus = [GpuSpec::by_name("Quadro P620").unwrap()];
+        let ds = collect(&nets, &gpus, &[512]);
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn rows_are_consistent() {
+        let nets = [zoo::resnet::resnet18()];
+        let gpus = [GpuSpec::by_name("A100").unwrap()];
+        let ds = collect(&nets, &gpus, &[32]);
+        assert_eq!(ds.networks.len(), 1);
+        let n = &ds.networks[0];
+        assert_eq!(ds.kernels.len(), n.kernel_count as usize);
+        assert_eq!(ds.layers.len(), zoo::resnet::resnet18().num_layers());
+        // Layer seconds sum to the network GPU time.
+        let layer_sum: f64 = ds.layers.iter().map(|l| l.seconds).sum();
+        assert!((layer_sum - n.gpu_seconds).abs() < 1e-9);
+        // E2E includes sync overhead on top of GPU time.
+        assert!(n.e2e_seconds > n.gpu_seconds);
+        // Kernel rows carry the owning layer's driver variables.
+        let k0 = &ds.kernels[0];
+        let l0 = ds.layers.iter().find(|l| l.layer_index == k0.layer_index).unwrap();
+        assert_eq!(k0.in_elems, l0.in_elems);
+        assert_eq!(k0.flops, l0.flops);
+    }
+
+    #[test]
+    fn multiple_gpus_and_batches_multiply_rows() {
+        let nets = [zoo::mobilenet::mobilenet_v2(0.5, 1.0)];
+        let gpus = [
+            GpuSpec::by_name("A100").unwrap(),
+            GpuSpec::by_name("V100").unwrap(),
+        ];
+        let ds = collect(&nets, &gpus, &[8, 16, 32]);
+        assert_eq!(ds.networks.len(), 6);
+        assert_eq!(ds.gpu_names().len(), 2);
+    }
+
+    #[test]
+    fn parallel_collection_matches_serial_exactly() {
+        let nets: Vec<_> = (1..9)
+            .map(|w| zoo::mobilenet::mobilenet_v2(w as f64 * 0.2, 1.0))
+            .collect();
+        let gpus = [
+            GpuSpec::by_name("A100").unwrap(),
+            GpuSpec::by_name("V100").unwrap(),
+        ];
+        let serial = collect(&nets, &gpus, &[8, 16]);
+        for threads in [1, 3, 8, 32] {
+            let parallel = collect_parallel(&nets, &gpus, &[8, 16], threads);
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn evaluation_gpus_match_paper() {
+        let names: Vec<String> = evaluation_gpus().iter().map(|g| g.name.clone()).collect();
+        assert_eq!(names, ["A100", "A40", "GTX 1080 Ti", "TITAN RTX", "V100"]);
+    }
+}

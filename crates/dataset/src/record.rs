@@ -1,0 +1,109 @@
+//! Flat measurement records (the dataset's CSV row types).
+//!
+//! Shared strings (network, GPU, kernel names) are `Arc<str>` so the
+//! million-row kernel table stays compact.
+
+use std::sync::Arc;
+
+/// One network-level measurement: a full inference batch on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkRow {
+    /// Network display name.
+    pub network: Arc<str>,
+    /// Network family tag.
+    pub family: Arc<str>,
+    /// GPU name.
+    pub gpu: Arc<str>,
+    /// Batch size.
+    pub batch: u32,
+    /// Total theoretical FLOPs of the batch.
+    pub flops: u64,
+    /// Total theoretical memory traffic of the batch in bytes.
+    pub bytes: u64,
+    /// Measured end-to-end batch time in seconds.
+    pub e2e_seconds: f64,
+    /// GPU kernel time in seconds (end-to-end minus CPU sync overhead).
+    pub gpu_seconds: f64,
+    /// Number of kernel launches.
+    pub kernel_count: u32,
+}
+
+/// One layer-level measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerRow {
+    /// Network display name.
+    pub network: Arc<str>,
+    /// GPU name.
+    pub gpu: Arc<str>,
+    /// Batch size.
+    pub batch: u32,
+    /// Index of the layer within the network.
+    pub layer_index: u32,
+    /// Layer type tag (`"conv"`, `"bn"`, ...).
+    pub layer_type: Arc<str>,
+    /// Theoretical FLOPs of the layer for the batch.
+    pub flops: u64,
+    /// Input `N*C*H*W` element count.
+    pub in_elems: u64,
+    /// Output `N*C*H*W` element count.
+    pub out_elems: u64,
+    /// Measured layer time in seconds (sum of its kernels).
+    pub seconds: f64,
+}
+
+/// One kernel-level measurement, carrying the layer-level driver variables
+/// the paper's Kernel-Wise model regresses against (O5): input size, layer
+/// FLOPs, output size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRow {
+    /// Network display name.
+    pub network: Arc<str>,
+    /// GPU name.
+    pub gpu: Arc<str>,
+    /// Batch size.
+    pub batch: u32,
+    /// Index of the owning layer.
+    pub layer_index: u32,
+    /// Owning layer's type tag.
+    pub layer_type: Arc<str>,
+    /// Kernel symbol name.
+    pub kernel: Arc<str>,
+    /// Owning layer's input `N*C*H*W`.
+    pub in_elems: u64,
+    /// Owning layer's theoretical FLOPs for the batch.
+    pub flops: u64,
+    /// Owning layer's output `N*C*H*W`.
+    pub out_elems: u64,
+    /// Measured kernel time in seconds.
+    pub seconds: f64,
+}
+
+impl KernelRow {
+    /// The three candidate driver variables, in the order
+    /// (input, operation, output) used by kernel classification.
+    pub fn drivers(&self) -> [f64; 3] {
+        [self.in_elems as f64, self.flops as f64, self.out_elems as f64]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drivers_order_is_input_operation_output() {
+        let r = KernelRow {
+            network: "n".into(),
+            gpu: "g".into(),
+            batch: 1,
+            layer_index: 0,
+            layer_type: "conv".into(),
+            kernel: "k".into(),
+            in_elems: 1,
+            flops: 2,
+            out_elems: 3,
+            seconds: 0.5,
+        };
+        assert_eq!(r.drivers(), [1.0, 2.0, 3.0]);
+    }
+}

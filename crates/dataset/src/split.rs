@@ -1,0 +1,116 @@
+//! Train/test splitting.
+//!
+//! The paper partitions by network: "The test set is a randomly selected 15%
+//! executions from the dataset, while the rest is the training set", with
+//! the S-curve X axes labelled "percentage of the network number in the test
+//! set". Splitting whole networks (rather than individual rows) also keeps
+//! the evaluation honest: the test networks' kernels are predicted from
+//! other networks' measurements.
+
+use crate::dataset::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// The paper's test fraction.
+pub const TEST_FRACTION: f64 = 0.15;
+
+/// Randomly partitions `names` into (train, test) with the given test
+/// fraction. Deterministic for a given `seed`.
+///
+/// # Panics
+///
+/// Panics if `test_fraction` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// let names: Vec<String> = (0..100).map(|i| format!("net{i}")).collect();
+/// let (train, test) = dnnperf_data::split_names(&names, 0.15, 7);
+/// assert_eq!(test.len(), 15);
+/// assert_eq!(train.len() + test.len(), 100);
+/// ```
+pub fn split_names(names: &[String], test_fraction: f64, seed: u64) -> (Vec<String>, Vec<String>) {
+    assert!(
+        (0.0..=1.0).contains(&test_fraction),
+        "test fraction must be within [0, 1]"
+    );
+    let mut shuffled: Vec<String> = names.to_vec();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    shuffled.shuffle(&mut rng);
+    let n_test = (names.len() as f64 * test_fraction).round() as usize;
+    let test = shuffled.split_off(shuffled.len() - n_test.min(shuffled.len()));
+    (shuffled, test)
+}
+
+/// Splits a dataset into (train, test) by network, with the paper's 15%
+/// test fraction.
+pub fn split_dataset(ds: &Dataset, seed: u64) -> (Dataset, Dataset) {
+    let names = ds.network_names();
+    let (train, test) = split_names(&names, TEST_FRACTION, seed);
+    let train: HashSet<String> = train.into_iter().collect();
+    let test: HashSet<String> = test.into_iter().collect();
+    (ds.for_networks(&train), ds.for_networks(&test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("net{i}")).collect()
+    }
+
+    #[test]
+    fn split_is_a_partition() {
+        let all = names(200);
+        let (train, test) = split_names(&all, 0.15, 42);
+        assert_eq!(train.len() + test.len(), all.len());
+        let union: HashSet<&String> = train.iter().chain(&test).collect();
+        assert_eq!(union.len(), all.len());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let all = names(50);
+        assert_eq!(split_names(&all, 0.2, 1), split_names(&all, 0.2, 1));
+        assert_ne!(split_names(&all, 0.2, 1).1, split_names(&all, 0.2, 2).1);
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let all = names(10);
+        let (train, test) = split_names(&all, 0.0, 3);
+        assert!(test.is_empty());
+        assert_eq!(train.len(), 10);
+        let (train, test) = split_names(&all, 1.0, 3);
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        split_names(&names(4), 1.5, 0);
+    }
+
+    #[test]
+    fn dataset_split_partitions_rows() {
+        use dnnperf_gpu::GpuSpec;
+        let nets = [
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::vgg::vgg11(),
+            dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0),
+            dnnperf_dnn::zoo::squeezenet::squeezenet(128, 128, 0.125),
+        ];
+        let ds = crate::collect::collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[16]);
+        let (train, test) = split_dataset(&ds, 9);
+        assert_eq!(train.networks.len() + test.networks.len(), ds.networks.len());
+        assert_eq!(train.kernels.len() + test.kernels.len(), ds.kernels.len());
+        // No network appears on both sides.
+        let tr: HashSet<String> = train.network_names().into_iter().collect();
+        for n in test.network_names() {
+            assert!(!tr.contains(&n));
+        }
+    }
+}

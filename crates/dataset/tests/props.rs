@@ -1,0 +1,142 @@
+//! Property-based tests for dataset splitting and CSV serialization.
+
+use dnnperf_data::csv::{read_dataset, write_dataset};
+use dnnperf_data::{split_names, Dataset, KernelRow, LayerRow, NetworkRow};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn ident() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_.\\[\\]-]{1,24}"
+}
+
+fn arb_network_row() -> impl Strategy<Value = NetworkRow> {
+    (ident(), ident(), ident(), 1u32..1024, 1u64..1 << 40, 1u64..1 << 40, 1e-6..10.0f64).prop_map(
+        |(network, family, gpu, batch, flops, bytes, t)| NetworkRow {
+            network: Arc::from(network.as_str()),
+            family: Arc::from(family.as_str()),
+            gpu: Arc::from(gpu.as_str()),
+            batch,
+            flops,
+            bytes,
+            e2e_seconds: t,
+            gpu_seconds: t * 0.9,
+            kernel_count: 3,
+        },
+    )
+}
+
+fn arb_kernel_row() -> impl Strategy<Value = KernelRow> {
+    (ident(), ident(), ident(), 1u32..1024, 0u32..500, 1u64..1 << 40, 1e-9..1.0f64).prop_map(
+        |(network, gpu, kernel, batch, li, x, t)| KernelRow {
+            network: Arc::from(network.as_str()),
+            gpu: Arc::from(gpu.as_str()),
+            batch,
+            layer_index: li,
+            layer_type: Arc::from("conv"),
+            kernel: Arc::from(kernel.as_str()),
+            in_elems: x,
+            flops: x * 2,
+            out_elems: x / 2 + 1,
+            seconds: t,
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn split_is_always_a_partition(n in 0usize..200, frac in 0.0..1.0f64, seed in 0u64..1000) {
+        let names: Vec<String> = (0..n).map(|i| format!("net{i}")).collect();
+        let (train, test) = split_names(&names, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        let union: HashSet<&String> = train.iter().chain(&test).collect();
+        prop_assert_eq!(union.len(), n);
+        let expected_test = (n as f64 * frac).round() as usize;
+        prop_assert_eq!(test.len(), expected_test.min(n));
+    }
+
+    #[test]
+    fn csv_round_trip_is_lossless(
+        nets in prop::collection::vec(arb_network_row(), 0..20),
+        kernels in prop::collection::vec(arb_kernel_row(), 0..50),
+    ) {
+        let ds = Dataset { networks: nets, layers: Vec::new(), kernels };
+        let dir = std::env::temp_dir().join(format!(
+            "dnnperf_props_csv_{}_{}",
+            std::process::id(),
+            ds.networks.len() * 1000 + ds.kernels.len()
+        ));
+        write_dataset(&ds, &dir).unwrap();
+        let back = read_dataset(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn layer_rows_survive_round_trip(batch in 1u32..2048, flops in 0u64..1 << 50, t in 1e-9..100.0f64) {
+        let row = LayerRow {
+            network: "n".into(),
+            gpu: "g".into(),
+            batch,
+            layer_index: 7,
+            layer_type: Arc::from("fc"),
+            flops,
+            in_elems: flops / 3 + 1,
+            out_elems: flops / 7 + 1,
+            seconds: t,
+        };
+        let ds = Dataset { networks: vec![], layers: vec![row], kernels: vec![] };
+        let dir = std::env::temp_dir().join(format!("dnnperf_props_layer_{}_{batch}", std::process::id()));
+        write_dataset(&ds, &dir).unwrap();
+        let back = read_dataset(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        prop_assert_eq!(ds.layers, back.layers);
+    }
+
+    #[test]
+    fn garbage_csv_files_error_cleanly(
+        junk in prop::collection::vec("[ -~]{0,80}", 0..20),
+        which in 0usize..3,
+    ) {
+        // Random printable junk must produce a parse/IO error, never a panic
+        // and never a silently-parsed dataset (unless the junk happens to be
+        // empty-but-headered, which the generator cannot produce).
+        let dir = std::env::temp_dir().join(format!(
+            "dnnperf_props_fuzz_{}_{}_{}",
+            std::process::id(),
+            which,
+            junk.len()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let names = ["networks.csv", "layers.csv", "kernels.csv"];
+        let headers = [
+            "network,family,gpu,batch,flops,bytes,e2e_seconds,gpu_seconds,kernel_count",
+            "network,gpu,batch,layer_index,layer_type,flops,in_elems,out_elems,seconds",
+            "network,gpu,batch,layer_index,layer_type,kernel,in_elems,flops,out_elems,seconds",
+        ];
+        for (i, (name, header)) in names.iter().zip(headers).enumerate() {
+            if i == which {
+                std::fs::write(dir.join(name), junk.join("\n")).unwrap();
+            } else {
+                std::fs::write(dir.join(name), format!("{header}\n")).unwrap();
+            }
+        }
+        let result = std::panic::catch_unwind(|| read_dataset(&dir));
+        std::fs::remove_dir_all(&dir).ok();
+        let outcome = result.expect("read_dataset must not panic on junk");
+        // The junk file either fails to parse, or (astronomically unlikely
+        // with this generator) happened to be a valid file.
+        if let Ok(ds) = outcome {
+            prop_assert!(ds.networks.len() + ds.layers.len() + ds.kernels.len() < junk.len().max(1));
+        }
+    }
+
+    #[test]
+    fn dedup_is_idempotent(kernels in prop::collection::vec(arb_kernel_row(), 0..40)) {
+        let mut ds = Dataset { networks: vec![], layers: vec![], kernels };
+        ds.dedup();
+        let once = ds.clone();
+        ds.dedup();
+        prop_assert_eq!(once, ds);
+    }
+}

@@ -1,0 +1,195 @@
+//! Incremental construction of [`Network`]s with shape tracking.
+
+use crate::graph::{Family, Network};
+use crate::layer::{ActivationFn, Conv2d, Layer, LayerKind, Linear, Pool2d, PoolKind};
+use crate::shape::{ShapeError, TensorShape};
+
+/// Builds a [`Network`] layer by layer, carrying the current activation shape
+/// so that chained layers are shape-inferred automatically.
+///
+/// Non-chain topology (residual branches, dense concatenations) is expressed
+/// with [`NetworkBuilder::push_shaped`], which records a layer with explicit
+/// shapes and moves the cursor to its output.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::{Conv2d, Family, LayerKind, NetworkBuilder, TensorShape};
+///
+/// # fn main() -> Result<(), dnnperf_dnn::ShapeError> {
+/// let mut b = NetworkBuilder::new("Demo", Family::Custom, TensorShape::chw(3, 32, 32));
+/// b.push(LayerKind::Conv2d(Conv2d::square(3, 16, 3, 1, 1)))?;
+/// b.relu()?;
+/// let net = b.finish();
+/// assert_eq!(net.num_layers(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    family: Family,
+    input: TensorShape,
+    cur: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a new network with the given per-sample input shape.
+    pub fn new(name: impl Into<String>, family: Family, input: TensorShape) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            family,
+            input,
+            cur: input,
+            layers: Vec::new(),
+        }
+    }
+
+    /// The shape the next chained layer will receive.
+    pub fn shape(&self) -> TensorShape {
+        self.cur
+    }
+
+    /// Number of layers added so far.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` if no layers have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Appends a layer chained to the current shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ShapeError`] from shape inference; the builder is left
+    /// unchanged on error.
+    pub fn push(&mut self, kind: LayerKind) -> Result<&mut Self, ShapeError> {
+        let layer = Layer::apply(kind, self.cur)?;
+        self.cur = layer.output;
+        self.layers.push(layer);
+        Ok(self)
+    }
+
+    /// Appends a layer with explicit shapes (no inference) and moves the
+    /// cursor to `output`. Used for branch/merge topology.
+    pub fn push_shaped(
+        &mut self,
+        kind: LayerKind,
+        input: TensorShape,
+        output: TensorShape,
+    ) -> &mut Self {
+        self.layers.push(Layer::with_shapes(kind, input, output));
+        self.cur = output;
+        self
+    }
+
+    /// Convenience: square convolution chained to the current shape.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference failures, e.g. a channel mismatch.
+    pub fn conv(
+        &mut self,
+        out_ch: usize,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<&mut Self, ShapeError> {
+        let in_ch = self.cur.channels();
+        self.push(LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, k, stride, padding)))
+    }
+
+    /// Convenience: batch normalization.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current shape is not a feature map.
+    pub fn bn(&mut self) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::BatchNorm)
+    }
+
+    /// Convenience: ReLU activation.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice (activations accept any shape); kept fallible
+    /// for uniformity.
+    pub fn relu(&mut self) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::Activation(ActivationFn::Relu))
+    }
+
+    /// Convenience: max pooling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window does not fit or the input is not a feature map.
+    pub fn max_pool(&mut self, k: usize, stride: usize, padding: usize) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k, stride, padding }))
+    }
+
+    /// Convenience: average pooling.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the window does not fit or the input is not a feature map.
+    pub fn avg_pool(&mut self, k: usize, stride: usize, padding: usize) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::Pool2d(Pool2d { kind: PoolKind::Avg, k, stride, padding }))
+    }
+
+    /// Convenience: fully connected layer from the current feature count.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the current shape is a feature map (flatten first).
+    pub fn linear(&mut self, out_features: usize) -> Result<&mut Self, ShapeError> {
+        let in_features = self.cur.channels();
+        self.push(LayerKind::Linear(Linear { in_features, out_features }))
+    }
+
+    /// Finalizes the network.
+    pub fn finish(self) -> Network {
+        Network::from_parts(self.name, self.family, self.input, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chained_shapes_flow() {
+        let mut b = NetworkBuilder::new("t", Family::Custom, TensorShape::chw(3, 32, 32));
+        b.conv(8, 3, 2, 1).unwrap().bn().unwrap().relu().unwrap();
+        assert_eq!(b.shape(), TensorShape::chw(8, 16, 16));
+        b.push(LayerKind::GlobalAvgPool).unwrap();
+        b.linear(10).unwrap();
+        let net = b.finish();
+        assert_eq!(net.num_layers(), 5);
+        assert_eq!(net.layers().last().unwrap().output, TensorShape::features(10));
+    }
+
+    #[test]
+    fn error_leaves_builder_unchanged() {
+        let mut b = NetworkBuilder::new("t", Family::Custom, TensorShape::features(16));
+        let before = b.shape();
+        assert!(b.conv(8, 3, 1, 1).is_err());
+        assert_eq!(b.shape(), before);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn push_shaped_moves_cursor() {
+        let mut b = NetworkBuilder::new("t", Family::Custom, TensorShape::chw(4, 8, 8));
+        b.push_shaped(
+            LayerKind::Concat { parts: 2 },
+            TensorShape::chw(8, 8, 8),
+            TensorShape::chw(8, 8, 8),
+        );
+        assert_eq!(b.shape(), TensorShape::chw(8, 8, 8));
+        assert_eq!(b.len(), 1);
+    }
+}

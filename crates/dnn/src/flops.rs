@@ -1,0 +1,223 @@
+//! Theoretical work counting: FLOPs, memory traffic, and parameter counts.
+//!
+//! This is the crate's `thop` (PyTorch-OpCounter) equivalent. Following the
+//! paper, convolution FLOPs count multiplications only:
+//! `C_out * H' * W' * C_in * K_h * K_w` (divided by `groups` for grouped
+//! convolutions). All counts are **per sample**; multiply by the batch size
+//! for a batch (the paper's O3).
+//!
+//! Byte counts are the *theoretical* minimum traffic (read input once, read
+//! weights once, write output once, FP32), exactly the estimate the paper
+//! uses for its bandwidth-efficiency study (Figure 9): "we use the layer
+//! shape information to estimate the number of bytes to read/write".
+
+use crate::layer::{Layer, LayerKind};
+
+/// Bytes per scalar element (FP32).
+pub const BYTES_PER_ELEM: u64 = 4;
+
+/// Theoretical FLOPs (multiplications) of one layer for a single sample.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
+/// use dnnperf_dnn::flops::layer_flops;
+///
+/// # fn main() -> Result<(), dnnperf_dnn::ShapeError> {
+/// // 3x3 conv, 64 -> 64 channels, 56x56 output:
+/// let l = Layer::apply(
+///     LayerKind::Conv2d(Conv2d::square(64, 64, 3, 1, 1)),
+///     TensorShape::chw(64, 56, 56),
+/// )?;
+/// assert_eq!(layer_flops(&l), 64 * 56 * 56 * 64 * 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn layer_flops(layer: &Layer) -> u64 {
+    let in_elems = layer.input.elems() as u64;
+    let out_elems = layer.output.elems() as u64;
+    match layer.kind {
+        LayerKind::Conv2d(c) => {
+            out_elems * (c.in_ch as u64 / c.groups as u64) * c.kh as u64 * c.kw as u64
+        }
+        LayerKind::Linear(l) => {
+            // One GEMV per sample (or per token for sequence inputs).
+            let rows = layer.input.spatial() as u64;
+            rows * l.in_features as u64 * l.out_features as u64
+        }
+        LayerKind::Pool2d(p) => out_elems * (p.k * p.k) as u64,
+        LayerKind::GlobalAvgPool => in_elems,
+        LayerKind::BatchNorm => 2 * in_elems,
+        LayerKind::LayerNorm => 8 * in_elems,
+        LayerKind::Activation(f) => match f {
+            crate::layer::ActivationFn::Relu | crate::layer::ActivationFn::Relu6 => in_elems,
+            crate::layer::ActivationFn::Gelu => 8 * in_elems,
+            crate::layer::ActivationFn::Sigmoid => 4 * in_elems,
+        },
+        LayerKind::Add => in_elems,
+        LayerKind::Concat { .. } => 0,
+        LayerKind::Softmax => 5 * in_elems,
+        LayerKind::Embedding(_) => 0,
+        LayerKind::MatMul(m) => (m.heads * m.m * m.k * m.n) as u64,
+        LayerKind::Flatten => 0,
+        LayerKind::ChannelShuffle { .. } => 0,
+    }
+}
+
+/// Number of learned parameters (scalars) of one layer.
+pub fn layer_params(layer: &Layer) -> u64 {
+    match layer.kind {
+        LayerKind::Conv2d(c) => {
+            c.out_ch as u64 * (c.in_ch as u64 / c.groups as u64) * c.kh as u64 * c.kw as u64
+        }
+        LayerKind::Linear(l) => (l.in_features * l.out_features + l.out_features) as u64,
+        // gamma, beta, running mean, running var.
+        LayerKind::BatchNorm => 4 * layer.input.channels() as u64,
+        LayerKind::LayerNorm => 2 * layer.input.channels() as u64,
+        LayerKind::Embedding(e) => (e.vocab * e.dim) as u64,
+        _ => 0,
+    }
+}
+
+/// Theoretical memory traffic of one layer in bytes for a single sample:
+/// input read + parameter read + output write, FP32.
+pub fn layer_bytes(layer: &Layer) -> u64 {
+    let in_elems = layer.input.elems() as u64;
+    let out_elems = layer.output.elems() as u64;
+    let param_elems = layer_params(layer);
+    let extra = match layer.kind {
+        // The residual add reads a second operand of the same shape.
+        LayerKind::Add => in_elems,
+        // Softmax performs an extra pass for the max/denominator.
+        LayerKind::Softmax => in_elems,
+        _ => 0,
+    };
+    (in_elems + out_elems + param_elems + extra) * BYTES_PER_ELEM
+}
+
+/// Arithmetic intensity of a layer: FLOPs per byte of theoretical traffic.
+///
+/// Returns `0.0` for zero-byte layers.
+pub fn arithmetic_intensity(layer: &Layer) -> f64 {
+    let b = layer_bytes(layer);
+    if b == 0 {
+        0.0
+    } else {
+        layer_flops(layer) as f64 / b as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{ActivationFn, Conv2d, Linear, Pool2d, PoolKind};
+    use crate::shape::TensorShape;
+
+    fn conv_layer(c: Conv2d, input: TensorShape) -> Layer {
+        Layer::apply(LayerKind::Conv2d(c), input).unwrap()
+    }
+
+    #[test]
+    fn conv_flops_match_paper_formula() {
+        // Paper: FLOPs = C_out * H' * W' * C_in * K_w * K_h.
+        let l = conv_layer(Conv2d::square(3, 64, 7, 2, 3), TensorShape::chw(3, 224, 224));
+        assert_eq!(layer_flops(&l), 64 * 112 * 112 * 3 * 49);
+    }
+
+    #[test]
+    fn grouped_conv_divides_flops() {
+        let mut c = Conv2d::square(64, 64, 3, 1, 1);
+        c.groups = 4;
+        let grouped = conv_layer(c, TensorShape::chw(64, 8, 8));
+        let dense = conv_layer(Conv2d::square(64, 64, 3, 1, 1), TensorShape::chw(64, 8, 8));
+        assert_eq!(layer_flops(&dense), 4 * layer_flops(&grouped));
+    }
+
+    #[test]
+    fn depthwise_conv_flops() {
+        let l = conv_layer(Conv2d::depthwise(32, 3, 1, 1), TensorShape::chw(32, 14, 14));
+        assert_eq!(layer_flops(&l), 32 * 14 * 14 * 9);
+    }
+
+    #[test]
+    fn linear_flops_and_params() {
+        let l = Layer::apply(
+            LayerKind::Linear(Linear { in_features: 2048, out_features: 1000 }),
+            TensorShape::features(2048),
+        )
+        .unwrap();
+        assert_eq!(layer_flops(&l), 2048 * 1000);
+        assert_eq!(layer_params(&l), 2048 * 1000 + 1000);
+    }
+
+    #[test]
+    fn linear_on_tokens_scales_with_length() {
+        let l = Layer::apply(
+            LayerKind::Linear(Linear { in_features: 768, out_features: 768 }),
+            TensorShape::tokens(128, 768),
+        )
+        .unwrap();
+        assert_eq!(layer_flops(&l), 128 * 768 * 768);
+    }
+
+    #[test]
+    fn pooling_flops_scale_with_window() {
+        let l = Layer::apply(
+            LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 2, padding: 1 }),
+            TensorShape::chw(64, 112, 112),
+        )
+        .unwrap();
+        assert_eq!(layer_flops(&l), 64 * 56 * 56 * 9);
+    }
+
+    #[test]
+    fn batchnorm_counts() {
+        let l = Layer::apply(LayerKind::BatchNorm, TensorShape::chw(64, 56, 56)).unwrap();
+        let elems = 64 * 56 * 56u64;
+        assert_eq!(layer_flops(&l), 2 * elems);
+        assert_eq!(layer_params(&l), 4 * 64);
+        assert_eq!(layer_bytes(&l), (2 * elems + 4 * 64) * BYTES_PER_ELEM);
+    }
+
+    #[test]
+    fn add_reads_two_operands() {
+        let l = Layer::apply(LayerKind::Add, TensorShape::chw(64, 8, 8)).unwrap();
+        let elems = 64 * 8 * 8u64;
+        assert_eq!(layer_bytes(&l), 3 * elems * BYTES_PER_ELEM);
+    }
+
+    #[test]
+    fn zero_flop_layers() {
+        for kind in [
+            LayerKind::Flatten,
+            LayerKind::Concat { parts: 2 },
+            LayerKind::ChannelShuffle { groups: 4 },
+        ] {
+            let l = Layer::apply(kind, TensorShape::chw(64, 8, 8)).unwrap();
+            assert_eq!(layer_flops(&l), 0, "{:?}", l.kind);
+        }
+    }
+
+    #[test]
+    fn relu_cheaper_than_gelu() {
+        let relu = Layer::apply(
+            LayerKind::Activation(ActivationFn::Relu),
+            TensorShape::chw(8, 8, 8),
+        )
+        .unwrap();
+        let gelu = Layer::apply(
+            LayerKind::Activation(ActivationFn::Gelu),
+            TensorShape::chw(8, 8, 8),
+        )
+        .unwrap();
+        assert!(layer_flops(&relu) < layer_flops(&gelu));
+    }
+
+    #[test]
+    fn arithmetic_intensity_higher_for_conv_than_bn() {
+        let conv = conv_layer(Conv2d::square(256, 256, 3, 1, 1), TensorShape::chw(256, 14, 14));
+        let bn = Layer::apply(LayerKind::BatchNorm, TensorShape::chw(256, 14, 14)).unwrap();
+        assert!(arithmetic_intensity(&conv) > 10.0 * arithmetic_intensity(&bn));
+    }
+}

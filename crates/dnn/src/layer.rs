@@ -1,0 +1,548 @@
+//! Layer definitions and shape inference.
+//!
+//! A [`Layer`] is a [`LayerKind`] plus its resolved input/output shapes.
+//! The kinds cover everything the paper's zoo needs: CNN building blocks
+//! (CONV, FC, Pooling, BatchNorm, activations, residual Add, Concat) and the
+//! transformer extension (LayerNorm, Softmax, Embedding, attention MatMul).
+
+use crate::shape::{ShapeError, TensorShape};
+use std::fmt;
+
+/// Pointwise activation functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationFn {
+    /// Rectified linear unit.
+    Relu,
+    /// ReLU clamped at 6 (MobileNet family).
+    Relu6,
+    /// Gaussian error linear unit (transformers).
+    Gelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl fmt::Display for ActivationFn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ActivationFn::Relu => "relu",
+            ActivationFn::Relu6 => "relu6",
+            ActivationFn::Gelu => "gelu",
+            ActivationFn::Sigmoid => "sigmoid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Avg,
+}
+
+/// 2-D convolution parameters (see the paper's Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conv2d {
+    /// Input channels `C_in`.
+    pub in_ch: usize,
+    /// Output channels `C_out` (number of filters).
+    pub out_ch: usize,
+    /// Filter height `K_h`.
+    pub kh: usize,
+    /// Filter width `K_w`.
+    pub kw: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all sides).
+    pub padding: usize,
+    /// Group count; `groups == in_ch` is a depthwise convolution.
+    pub groups: usize,
+}
+
+impl Conv2d {
+    /// Convenience constructor for an ungrouped square convolution.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_dnn::Conv2d;
+    /// let c = Conv2d::square(64, 128, 3, 1, 1);
+    /// assert_eq!(c.groups, 1);
+    /// assert_eq!((c.kh, c.kw), (3, 3));
+    /// ```
+    pub fn square(in_ch: usize, out_ch: usize, k: usize, stride: usize, padding: usize) -> Self {
+        Conv2d {
+            in_ch,
+            out_ch,
+            kh: k,
+            kw: k,
+            stride,
+            padding,
+            groups: 1,
+        }
+    }
+
+    /// Convenience constructor for a square depthwise convolution
+    /// (`groups == in_ch == out_ch`).
+    pub fn depthwise(ch: usize, k: usize, stride: usize, padding: usize) -> Self {
+        Conv2d {
+            in_ch: ch,
+            out_ch: ch,
+            kh: k,
+            kw: k,
+            stride,
+            padding,
+            groups: ch,
+        }
+    }
+
+    /// Returns `true` if this is a depthwise convolution.
+    pub fn is_depthwise(&self) -> bool {
+        self.groups == self.in_ch && self.in_ch == self.out_ch
+    }
+
+    /// Returns `true` if this is a pointwise (1x1) convolution.
+    pub fn is_pointwise(&self) -> bool {
+        self.kh == 1 && self.kw == 1
+    }
+}
+
+/// Fully connected (linear) layer parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Linear {
+    /// Input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+}
+
+/// 2-D pooling parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pool2d {
+    /// Max or average pooling.
+    pub kind: PoolKind,
+    /// Square window size.
+    pub k: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: usize,
+}
+
+/// Token embedding lookup parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Embedding {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+/// A batched matrix multiplication, as used by attention
+/// (`heads` independent `m x k` by `k x n` products per sample).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatMul {
+    /// Number of independent (head) multiplications.
+    pub heads: usize,
+    /// Rows of the left operand.
+    pub m: usize,
+    /// Contraction dimension.
+    pub k: usize,
+    /// Columns of the right operand.
+    pub n: usize,
+}
+
+/// The operation a [`Layer`] performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv2d(Conv2d),
+    /// Fully connected layer (applied per token for sequence inputs).
+    Linear(Linear),
+    /// 2-D pooling.
+    Pool2d(Pool2d),
+    /// Global average pooling: feature map to feature vector.
+    GlobalAvgPool,
+    /// Batch normalization (inference mode).
+    BatchNorm,
+    /// Layer normalization over the hidden dimension.
+    LayerNorm,
+    /// Pointwise activation.
+    Activation(ActivationFn),
+    /// Element-wise residual addition of two same-shape tensors.
+    Add,
+    /// Channel concatenation of `parts` tensors; the recorded input shape is
+    /// the already-concatenated result (DenseNet-style).
+    Concat {
+        /// How many tensors are concatenated.
+        parts: usize,
+    },
+    /// Softmax over the last dimension.
+    Softmax,
+    /// Token embedding lookup (input is token ids of the given sequence).
+    Embedding(Embedding),
+    /// Batched attention matrix multiplication.
+    MatMul(MatMul),
+    /// Reshape of a feature map into a feature vector; free at run time apart
+    /// from a possible copy.
+    Flatten,
+    /// ShuffleNet channel shuffle with the given group count.
+    ChannelShuffle {
+        /// Number of groups the channels are interleaved across.
+        groups: usize,
+    },
+}
+
+impl LayerKind {
+    /// Short lowercase type tag used in dataset CSV files and as the grouping
+    /// key of the paper's Layer-Wise model (its "one regression per layer
+    /// type").
+    pub fn type_tag(&self) -> &'static str {
+        match self {
+            LayerKind::Conv2d(c) if c.is_depthwise() => "conv_dw",
+            LayerKind::Conv2d(_) => "conv",
+            LayerKind::Linear(_) => "fc",
+            LayerKind::Pool2d(_) => "pool",
+            LayerKind::GlobalAvgPool => "gap",
+            LayerKind::BatchNorm => "bn",
+            LayerKind::LayerNorm => "ln",
+            LayerKind::Activation(_) => "act",
+            LayerKind::Add => "add",
+            LayerKind::Concat { .. } => "concat",
+            LayerKind::Softmax => "softmax",
+            LayerKind::Embedding(_) => "embed",
+            LayerKind::MatMul(_) => "matmul",
+            LayerKind::Flatten => "flatten",
+            LayerKind::ChannelShuffle { .. } => "shuffle",
+        }
+    }
+
+    /// Infers the output shape for this operation applied to `input`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] when the input variant, channel or feature
+    /// count does not match the layer, when a window does not fit, or when a
+    /// structural parameter is invalid.
+    pub fn infer_output(&self, input: &TensorShape) -> Result<TensorShape, ShapeError> {
+        match self {
+            LayerKind::Conv2d(c) => {
+                let (ci, h, w) = as_feature_map(input)?;
+                if c.groups == 0 || c.stride == 0 || c.kh == 0 || c.kw == 0 {
+                    return Err(ShapeError::InvalidParameter { what: "conv geometry" });
+                }
+                if ci != c.in_ch {
+                    return Err(ShapeError::ChannelMismatch { expected: c.in_ch, got: ci });
+                }
+                if c.in_ch % c.groups != 0 || c.out_ch % c.groups != 0 {
+                    return Err(ShapeError::InvalidParameter { what: "conv groups" });
+                }
+                let oh = conv_out(h, c.kh, c.stride, c.padding);
+                let ow = conv_out(w, c.kw, c.stride, c.padding);
+                match (oh, ow) {
+                    (Some(oh), Some(ow)) => Ok(TensorShape::chw(c.out_ch, oh, ow)),
+                    _ => Err(ShapeError::EmptyOutput { input: *input }),
+                }
+            }
+            LayerKind::Linear(l) => match *input {
+                TensorShape::Features { d } if d == l.in_features => {
+                    Ok(TensorShape::features(l.out_features))
+                }
+                TensorShape::Features { d } => Err(ShapeError::FeatureMismatch {
+                    expected: l.in_features,
+                    got: d,
+                }),
+                TensorShape::Tokens { len, d } if d == l.in_features => {
+                    Ok(TensorShape::tokens(len, l.out_features))
+                }
+                TensorShape::Tokens { d, .. } => Err(ShapeError::FeatureMismatch {
+                    expected: l.in_features,
+                    got: d,
+                }),
+                other => Err(ShapeError::RankMismatch {
+                    expected: "features or tokens",
+                    got: other,
+                }),
+            },
+            LayerKind::Pool2d(p) => {
+                let (c, h, w) = as_feature_map(input)?;
+                if p.k == 0 || p.stride == 0 {
+                    return Err(ShapeError::InvalidParameter { what: "pool geometry" });
+                }
+                let oh = conv_out(h, p.k, p.stride, p.padding);
+                let ow = conv_out(w, p.k, p.stride, p.padding);
+                match (oh, ow) {
+                    (Some(oh), Some(ow)) => Ok(TensorShape::chw(c, oh, ow)),
+                    _ => Err(ShapeError::EmptyOutput { input: *input }),
+                }
+            }
+            LayerKind::GlobalAvgPool => {
+                let (c, _, _) = as_feature_map(input)?;
+                Ok(TensorShape::features(c))
+            }
+            LayerKind::BatchNorm => {
+                as_feature_map(input)?;
+                Ok(*input)
+            }
+            LayerKind::LayerNorm
+            | LayerKind::Activation(_)
+            | LayerKind::Add
+            | LayerKind::Softmax => Ok(*input),
+            LayerKind::Concat { parts } => {
+                if *parts < 2 {
+                    return Err(ShapeError::InvalidParameter { what: "concat parts" });
+                }
+                Ok(*input)
+            }
+            LayerKind::Embedding(e) => match *input {
+                TensorShape::Tokens { len, .. } => Ok(TensorShape::tokens(len, e.dim)),
+                other => Err(ShapeError::RankMismatch { expected: "tokens", got: other }),
+            },
+            LayerKind::MatMul(m) => match *input {
+                TensorShape::Tokens { .. } => {
+                    if m.heads == 0 || m.m == 0 || m.k == 0 || m.n == 0 {
+                        return Err(ShapeError::InvalidParameter { what: "matmul dims" });
+                    }
+                    // Output re-expressed as a token tensor of m rows with
+                    // heads*n features.
+                    Ok(TensorShape::tokens(m.m, m.heads * m.n))
+                }
+                other => Err(ShapeError::RankMismatch { expected: "tokens", got: other }),
+            },
+            LayerKind::Flatten => Ok(TensorShape::features(input.elems())),
+            LayerKind::ChannelShuffle { groups } => {
+                let (c, _, _) = as_feature_map(input)?;
+                if *groups == 0 || c % groups != 0 {
+                    return Err(ShapeError::InvalidParameter { what: "shuffle groups" });
+                }
+                Ok(*input)
+            }
+        }
+    }
+}
+
+fn as_feature_map(s: &TensorShape) -> Result<(usize, usize, usize), ShapeError> {
+    match *s {
+        TensorShape::FeatureMap { c, h, w } => Ok((c, h, w)),
+        other => Err(ShapeError::RankMismatch { expected: "feature-map", got: other }),
+    }
+}
+
+fn conv_out(size: usize, k: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = size + 2 * padding;
+    if padded < k {
+        return None;
+    }
+    Some((padded - k) / stride + 1)
+}
+
+/// A concrete layer instance: its operation plus resolved input and output
+/// shapes (per sample; the batch dimension is applied later).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    /// The operation.
+    pub kind: LayerKind,
+    /// Per-sample input shape.
+    pub input: TensorShape,
+    /// Per-sample output shape.
+    pub output: TensorShape,
+}
+
+impl Layer {
+    /// Applies `kind` to `input`, running shape inference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`ShapeError`] from [`LayerKind::infer_output`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
+    ///
+    /// # fn main() -> Result<(), dnnperf_dnn::ShapeError> {
+    /// let l = Layer::apply(
+    ///     LayerKind::Conv2d(Conv2d::square(3, 64, 7, 2, 3)),
+    ///     TensorShape::chw(3, 224, 224),
+    /// )?;
+    /// assert_eq!(l.output, TensorShape::chw(64, 112, 112));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn apply(kind: LayerKind, input: TensorShape) -> Result<Self, ShapeError> {
+        let output = kind.infer_output(&input)?;
+        Ok(Layer { kind, input, output })
+    }
+
+    /// Creates a layer with explicitly supplied shapes, bypassing inference.
+    ///
+    /// Intended for non-chain topologies (residual downsample paths,
+    /// concatenations) where the builder tracks shapes itself.
+    pub fn with_shapes(kind: LayerKind, input: TensorShape, output: TensorShape) -> Self {
+        Layer { kind, input, output }
+    }
+
+    /// Short lowercase type tag; see [`LayerKind::type_tag`].
+    pub fn type_tag(&self) -> &'static str {
+        self.kind.type_tag()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fm(c: usize, h: usize, w: usize) -> TensorShape {
+        TensorShape::chw(c, h, w)
+    }
+
+    #[test]
+    fn conv_same_padding_keeps_size() {
+        let k = LayerKind::Conv2d(Conv2d::square(64, 64, 3, 1, 1));
+        assert_eq!(k.infer_output(&fm(64, 56, 56)).unwrap(), fm(64, 56, 56));
+    }
+
+    #[test]
+    fn conv_stride_two_halves_size() {
+        let k = LayerKind::Conv2d(Conv2d::square(64, 128, 3, 2, 1));
+        assert_eq!(k.infer_output(&fm(64, 56, 56)).unwrap(), fm(128, 28, 28));
+    }
+
+    #[test]
+    fn resnet_stem_shapes() {
+        let k = LayerKind::Conv2d(Conv2d::square(3, 64, 7, 2, 3));
+        assert_eq!(k.infer_output(&fm(3, 224, 224)).unwrap(), fm(64, 112, 112));
+        let p = LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 2, padding: 1 });
+        assert_eq!(p.infer_output(&fm(64, 112, 112)).unwrap(), fm(64, 56, 56));
+    }
+
+    #[test]
+    fn conv_channel_mismatch_rejected() {
+        let k = LayerKind::Conv2d(Conv2d::square(64, 64, 3, 1, 1));
+        assert_eq!(
+            k.infer_output(&fm(32, 56, 56)),
+            Err(ShapeError::ChannelMismatch { expected: 64, got: 32 })
+        );
+    }
+
+    #[test]
+    fn conv_window_too_big_rejected() {
+        let k = LayerKind::Conv2d(Conv2d::square(3, 8, 7, 1, 0));
+        assert!(matches!(
+            k.infer_output(&fm(3, 4, 4)),
+            Err(ShapeError::EmptyOutput { .. })
+        ));
+    }
+
+    #[test]
+    fn depthwise_groups_validated() {
+        let c = Conv2d::depthwise(32, 3, 1, 1);
+        assert!(c.is_depthwise());
+        let k = LayerKind::Conv2d(c);
+        assert_eq!(k.infer_output(&fm(32, 14, 14)).unwrap(), fm(32, 14, 14));
+    }
+
+    #[test]
+    fn grouped_conv_invalid_groups_rejected() {
+        let mut c = Conv2d::square(30, 60, 1, 1, 0);
+        c.groups = 4; // 30 % 4 != 0
+        assert_eq!(
+            LayerKind::Conv2d(c).infer_output(&fm(30, 8, 8)),
+            Err(ShapeError::InvalidParameter { what: "conv groups" })
+        );
+    }
+
+    #[test]
+    fn linear_on_features_and_tokens() {
+        let k = LayerKind::Linear(Linear { in_features: 512, out_features: 1000 });
+        assert_eq!(
+            k.infer_output(&TensorShape::features(512)).unwrap(),
+            TensorShape::features(1000)
+        );
+        assert_eq!(
+            k.infer_output(&TensorShape::tokens(128, 512)).unwrap(),
+            TensorShape::tokens(128, 1000)
+        );
+        assert!(k.infer_output(&TensorShape::features(256)).is_err());
+        assert!(k.infer_output(&fm(512, 1, 1)).is_err());
+    }
+
+    #[test]
+    fn global_avg_pool_flattens() {
+        assert_eq!(
+            LayerKind::GlobalAvgPool.infer_output(&fm(2048, 7, 7)).unwrap(),
+            TensorShape::features(2048)
+        );
+    }
+
+    #[test]
+    fn flatten_counts_elems() {
+        assert_eq!(
+            LayerKind::Flatten.infer_output(&fm(512, 7, 7)).unwrap(),
+            TensorShape::features(512 * 7 * 7)
+        );
+    }
+
+    #[test]
+    fn pointwise_ops_preserve_shape() {
+        for k in [
+            LayerKind::BatchNorm,
+            LayerKind::Activation(ActivationFn::Relu),
+            LayerKind::Add,
+        ] {
+            assert_eq!(k.infer_output(&fm(64, 8, 8)).unwrap(), fm(64, 8, 8));
+        }
+        assert_eq!(
+            LayerKind::LayerNorm
+                .infer_output(&TensorShape::tokens(128, 768))
+                .unwrap(),
+            TensorShape::tokens(128, 768)
+        );
+    }
+
+    #[test]
+    fn batchnorm_rejects_tokens() {
+        assert!(LayerKind::BatchNorm
+            .infer_output(&TensorShape::tokens(4, 4))
+            .is_err());
+    }
+
+    #[test]
+    fn embedding_and_matmul() {
+        let e = LayerKind::Embedding(Embedding { vocab: 30522, dim: 768 });
+        assert_eq!(
+            e.infer_output(&TensorShape::tokens(128, 1)).unwrap(),
+            TensorShape::tokens(128, 768)
+        );
+        let m = LayerKind::MatMul(MatMul { heads: 12, m: 128, k: 64, n: 128 });
+        assert_eq!(
+            m.infer_output(&TensorShape::tokens(128, 768)).unwrap(),
+            TensorShape::tokens(128, 12 * 128)
+        );
+    }
+
+    #[test]
+    fn channel_shuffle_validates_groups() {
+        let ok = LayerKind::ChannelShuffle { groups: 4 };
+        assert_eq!(ok.infer_output(&fm(240, 28, 28)).unwrap(), fm(240, 28, 28));
+        let bad = LayerKind::ChannelShuffle { groups: 7 };
+        assert!(bad.infer_output(&fm(240, 28, 28)).is_err());
+    }
+
+    #[test]
+    fn concat_requires_two_parts() {
+        assert!(LayerKind::Concat { parts: 1 }.infer_output(&fm(8, 4, 4)).is_err());
+        assert!(LayerKind::Concat { parts: 2 }.infer_output(&fm(8, 4, 4)).is_ok());
+    }
+
+    #[test]
+    fn type_tags_distinguish_depthwise() {
+        assert_eq!(
+            LayerKind::Conv2d(Conv2d::depthwise(8, 3, 1, 1)).type_tag(),
+            "conv_dw"
+        );
+        assert_eq!(LayerKind::Conv2d(Conv2d::square(8, 8, 3, 1, 1)).type_tag(), "conv");
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-sample tensor shapes and shape-inference errors.
+//!
+//! Shapes are stored *per sample*: the batch dimension `N` is applied at
+//! measurement/prediction time (the paper's O3 — batch size is a pure
+//! multiplier on the amount of work).
+
+use std::error::Error;
+use std::fmt;
+
+/// The shape of one sample's activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorShape {
+    /// An image-style feature map: `channels x height x width`.
+    FeatureMap {
+        /// Number of channels.
+        c: usize,
+        /// Feature-map height.
+        h: usize,
+        /// Feature-map width.
+        w: usize,
+    },
+    /// A flat feature vector of `d` features.
+    Features {
+        /// Number of features.
+        d: usize,
+    },
+    /// A token sequence: `len` tokens of `d` model dimensions.
+    Tokens {
+        /// Sequence length.
+        len: usize,
+        /// Model (hidden) dimension.
+        d: usize,
+    },
+}
+
+impl TensorShape {
+    /// Creates a `channels x height x width` feature-map shape.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let s = dnnperf_dnn::TensorShape::chw(3, 224, 224);
+    /// assert_eq!(s.elems(), 3 * 224 * 224);
+    /// ```
+    pub fn chw(c: usize, h: usize, w: usize) -> Self {
+        TensorShape::FeatureMap { c, h, w }
+    }
+
+    /// Creates a flat feature-vector shape of `d` features.
+    pub fn features(d: usize) -> Self {
+        TensorShape::Features { d }
+    }
+
+    /// Creates a token-sequence shape of `len` tokens with hidden size `d`.
+    pub fn tokens(len: usize, d: usize) -> Self {
+        TensorShape::Tokens { len, d }
+    }
+
+    /// Total number of scalar elements in one sample.
+    pub fn elems(&self) -> usize {
+        match *self {
+            TensorShape::FeatureMap { c, h, w } => c * h * w,
+            TensorShape::Features { d } => d,
+            TensorShape::Tokens { len, d } => len * d,
+        }
+    }
+
+    /// Number of channels (feature maps) or features/hidden size.
+    ///
+    /// For [`TensorShape::FeatureMap`] this is `c`; for the flat variants it
+    /// is the feature dimension.
+    pub fn channels(&self) -> usize {
+        match *self {
+            TensorShape::FeatureMap { c, .. } => c,
+            TensorShape::Features { d } => d,
+            TensorShape::Tokens { d, .. } => d,
+        }
+    }
+
+    /// Spatial size `h * w` of a feature map, `1` for flat shapes and the
+    /// sequence length for token shapes.
+    pub fn spatial(&self) -> usize {
+        match *self {
+            TensorShape::FeatureMap { h, w, .. } => h * w,
+            TensorShape::Features { .. } => 1,
+            TensorShape::Tokens { len, .. } => len,
+        }
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            TensorShape::FeatureMap { c, h, w } => write!(f, "{c}x{h}x{w}"),
+            TensorShape::Features { d } => write!(f, "{d}"),
+            TensorShape::Tokens { len, d } => write!(f, "{len}x{d}"),
+        }
+    }
+}
+
+/// Errors produced by shape inference when a layer is applied to an
+/// incompatible input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The layer expects a different tensor rank/variant than it was given.
+    RankMismatch {
+        /// Human-readable description of the expected variant.
+        expected: &'static str,
+        /// The shape that was actually supplied.
+        got: TensorShape,
+    },
+    /// The layer expects a specific channel count.
+    ChannelMismatch {
+        /// Channel count the layer was constructed for.
+        expected: usize,
+        /// Channel count of the supplied input.
+        got: usize,
+    },
+    /// The layer expects a specific feature count.
+    FeatureMismatch {
+        /// Feature count the layer was constructed for.
+        expected: usize,
+        /// Feature count of the supplied input.
+        got: usize,
+    },
+    /// A convolution/pooling window does not fit in the (padded) input.
+    EmptyOutput {
+        /// Input shape that produced an empty output.
+        input: TensorShape,
+    },
+    /// A structural parameter (kernel, stride, groups, ...) is zero or
+    /// inconsistent.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::RankMismatch { expected, got } => {
+                write!(f, "expected {expected} input, got shape {got}")
+            }
+            ShapeError::ChannelMismatch { expected, got } => {
+                write!(f, "layer expects {expected} input channels, got {got}")
+            }
+            ShapeError::FeatureMismatch { expected, got } => {
+                write!(f, "layer expects {expected} input features, got {got}")
+            }
+            ShapeError::EmptyOutput { input } => {
+                write!(f, "window does not fit input {input}: output would be empty")
+            }
+            ShapeError::InvalidParameter { what } => {
+                write!(f, "invalid layer parameter: {what}")
+            }
+        }
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_counts_all_variants() {
+        assert_eq!(TensorShape::chw(64, 56, 56).elems(), 64 * 56 * 56);
+        assert_eq!(TensorShape::features(1000).elems(), 1000);
+        assert_eq!(TensorShape::tokens(128, 768).elems(), 128 * 768);
+    }
+
+    #[test]
+    fn channels_and_spatial() {
+        let fm = TensorShape::chw(32, 7, 9);
+        assert_eq!(fm.channels(), 32);
+        assert_eq!(fm.spatial(), 63);
+        assert_eq!(TensorShape::features(10).spatial(), 1);
+        assert_eq!(TensorShape::tokens(128, 768).spatial(), 128);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(TensorShape::chw(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(TensorShape::features(512).to_string(), "512");
+        assert_eq!(TensorShape::tokens(128, 256).to_string(), "128x256");
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ShapeError::ChannelMismatch { expected: 64, got: 32 };
+        assert!(e.to_string().contains("64"));
+        let e = ShapeError::RankMismatch {
+            expected: "feature-map",
+            got: TensorShape::features(8),
+        };
+        assert!(e.to_string().contains("feature-map"));
+    }
+}

@@ -1,0 +1,90 @@
+//! AlexNet generators.
+
+use super::{arch, imagenet_input, make_divisible, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::LayerKind;
+
+/// Builds an AlexNet-style network.
+///
+/// `width` scales convolution channels, `fc_width` sets the two hidden FC
+/// layer widths (4096 in the original), and `stem_k` the first convolution's
+/// kernel size (11 in the original).
+///
+/// # Panics
+///
+/// Panics if `width` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::alexnet::alexnet;
+///
+/// let net = alexnet(1.0, 4096, 11);
+/// assert_eq!(net.name(), "AlexNet");
+/// ```
+pub fn alexnet(width: f64, fc_width: usize, stem_k: usize) -> Network {
+    assert!(width > 0.0, "non-positive width");
+    let name = if width == 1.0 && fc_width == 4096 && stem_k == 11 {
+        "AlexNet".to_string()
+    } else {
+        format!("AlexNet-x{width}-fc{fc_width}-k{stem_k}")
+    };
+    let s = |c: usize| make_divisible(c as f64 * width, 8);
+    let mut b = NetworkBuilder::new(name, Family::AlexNet, imagenet_input());
+    // TorchVision geometry: 224 -> 55 with k=11, s=4, p=2.
+    let stem_pad = stem_k / 4;
+    arch!(b.conv(s(64), stem_k, 4, stem_pad));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 0));
+    arch!(b.conv(s(192), 5, 1, 2));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 0));
+    arch!(b.conv(s(384), 3, 1, 1));
+    arch!(b.relu());
+    arch!(b.conv(s(256), 3, 1, 1));
+    arch!(b.relu());
+    arch!(b.conv(s(256), 3, 1, 1));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 0));
+    arch!(b.push(LayerKind::Flatten));
+    arch!(b.linear(fc_width));
+    arch!(b.relu());
+    arch!(b.linear(fc_width));
+    arch!(b.relu());
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_in_expected_range() {
+        // thop reports ~0.71 GMACs for AlexNet at 224x224.
+        let g = alexnet(1.0, 4096, 11).total_flops() as f64 / 1e9;
+        assert!(g > 0.5 && g < 1.0, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn params_dominated_by_fc() {
+        // ~61 M parameters.
+        let m = alexnet(1.0, 4096, 11).total_params() as f64 / 1e6;
+        assert!(m > 50.0 && m < 70.0, "got {m} M params");
+    }
+
+    #[test]
+    fn width_and_fc_variants_differ() {
+        let a = alexnet(0.5, 2048, 11);
+        let b = alexnet(1.0, 4096, 11);
+        assert!(a.total_flops() < b.total_flops());
+        assert_ne!(a.name(), b.name());
+    }
+
+    #[test]
+    fn smaller_stem_kernel_builds() {
+        let net = alexnet(1.0, 4096, 7);
+        assert!(net.total_flops() > 0);
+    }
+}

@@ -1,0 +1,364 @@
+//! Assembly of the full dnnperf dataset zoo.
+//!
+//! [`cnn_zoo`] deterministically generates exactly **646** image
+//! classification networks — the paper's dataset size — across seven CNN
+//! families; [`transformer_zoo`] adds the HuggingFace-style text
+//! classification networks of the paper's transformer extension.
+
+use super::{
+    alexnet::alexnet,
+    densenet::densenet_from_cfg,
+    mobilenet::mobilenet_v2,
+    resnet::{self, resnet_from_blocks},
+    shufflenet::shufflenet_v1,
+    squeezenet::squeezenet,
+    transformer::{text_classifier, TransformerConfig},
+    vgg::{self, vgg_from_stages},
+};
+use crate::graph::Network;
+use std::collections::HashSet;
+
+/// Number of CNNs in the paper's dataset.
+pub const CNN_ZOO_SIZE: usize = 646;
+
+fn dedup_truncate(mut pool: Vec<Network>, quota: usize) -> Vec<Network> {
+    let mut seen = HashSet::new();
+    pool.retain(|n| seen.insert(n.name().to_string()));
+    assert!(
+        pool.len() >= quota,
+        "family pool too small: {} < {quota}",
+        pool.len()
+    );
+    pool.truncate(quota);
+    pool
+}
+
+fn resnet_pool() -> Vec<Network> {
+    // Canonical networks first so they always survive truncation.
+    let mut pool = vec![
+        resnet::resnet18(),
+        resnet::resnet34(),
+        resnet::resnet44(),
+        resnet::resnet50(),
+        resnet::resnet62(),
+        resnet::resnet77(),
+        resnet::resnet101(),
+        resnet::resnet152(),
+    ];
+    // Width variants of the canonical configurations.
+    for width in [0.5, 0.75, 1.25] {
+        for (blocks, bott) in [
+            ([2, 2, 2, 2], false),
+            ([3, 4, 6, 3], false),
+            ([3, 5, 8, 5], false),
+            ([3, 4, 6, 3], true),
+            ([3, 4, 10, 3], true),
+            ([3, 4, 15, 3], true),
+            ([3, 4, 23, 3], true),
+            ([3, 8, 36, 3], true),
+        ] {
+            pool.push(resnet_from_blocks(&blocks, bott, width));
+        }
+    }
+    // Non-standard basic-block variants (the paper's "adding/removing
+    // blocks" exploration).
+    for b1 in [1, 2, 3] {
+        for b2 in [2, 3, 4, 5] {
+            for b3 in [2, 4, 6, 8, 10] {
+                for b4 in [2, 3] {
+                    pool.push(resnet_from_blocks(&[b1, b2, b3, b4], false, 1.0));
+                }
+            }
+        }
+    }
+    // Non-standard bottleneck variants.
+    for b1 in [2, 3] {
+        for b2 in [3, 4, 6] {
+            for b3 in [4, 6, 8, 10, 12, 15, 18, 21, 23, 36] {
+                for b4 in [2, 3] {
+                    pool.push(resnet_from_blocks(&[b1, b2, b3, b4], true, 1.0));
+                }
+            }
+        }
+    }
+    pool
+}
+
+fn vgg_pool() -> Vec<Network> {
+    let mut pool = vec![vgg::vgg11(), vgg::vgg13(), vgg::vgg16(), vgg::vgg19()];
+    for bn in [false, true] {
+        for c1 in [1, 2] {
+            for c2 in [1, 2, 3] {
+                for c3 in [2, 3, 4] {
+                    for c4 in [2, 3, 4] {
+                        for c5 in [2, 3] {
+                            pool.push(vgg_from_stages(&[c1, c2, c3, c4, c5], bn));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    pool
+}
+
+fn densenet_pool() -> Vec<Network> {
+    let mut pool = vec![
+        densenet_from_cfg(32, &[6, 12, 24, 16]),
+        densenet_from_cfg(48, &[6, 12, 36, 24]),
+        densenet_from_cfg(32, &[6, 12, 32, 32]),
+        densenet_from_cfg(32, &[6, 12, 48, 32]),
+    ];
+    let blocks: [[usize; 4]; 14] = [
+        [6, 12, 24, 16],
+        [6, 12, 32, 32],
+        [6, 12, 36, 24],
+        [6, 12, 48, 32],
+        [4, 8, 16, 12],
+        [6, 12, 18, 12],
+        [4, 6, 8, 6],
+        [2, 4, 8, 4],
+        [6, 8, 12, 8],
+        [8, 12, 24, 16],
+        [4, 8, 12, 8],
+        [6, 12, 24, 24],
+        [4, 12, 20, 12],
+        [6, 10, 16, 10],
+    ];
+    for growth in [12, 16, 24, 32, 40, 48] {
+        for b in &blocks {
+            pool.push(densenet_from_cfg(growth, b));
+        }
+    }
+    pool
+}
+
+fn mobilenet_pool() -> Vec<Network> {
+    let widths = [
+        0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.9, 1.0, 1.1, 1.2,
+        1.25, 1.3, 1.4, 1.5,
+    ];
+    let mut pool = Vec::new();
+    for depth in [1.0, 1.5, 2.0] {
+        for &w in &widths {
+            pool.push(mobilenet_v2(w, depth));
+        }
+    }
+    pool
+}
+
+fn shufflenet_pool() -> Vec<Network> {
+    let mut pool = Vec::new();
+    for repeats in [[4, 8, 4], [2, 4, 2]] {
+        for groups in [1, 2, 3, 4, 8] {
+            for width in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0] {
+                pool.push(shufflenet_v1(groups, width, &repeats));
+            }
+        }
+    }
+    pool
+}
+
+fn squeezenet_pool() -> Vec<Network> {
+    let mut pool = vec![squeezenet(128, 128, 0.125)];
+    for base in [64, 96, 128, 160] {
+        for incr in [32, 64, 128] {
+            for sr in [0.125, 0.25, 0.5] {
+                pool.push(squeezenet(base, incr, sr));
+            }
+        }
+    }
+    pool
+}
+
+fn alexnet_pool() -> Vec<Network> {
+    let mut pool = Vec::new();
+    for stem in [11, 7] {
+        for fc in [2048, 4096, 6144] {
+            for width in [0.25, 0.5, 0.75, 1.0, 1.25, 1.5] {
+                pool.push(alexnet(width, fc, stem));
+            }
+        }
+    }
+    pool
+}
+
+/// Generates the 646-network CNN dataset, deterministically.
+///
+/// # Examples
+///
+/// ```no_run
+/// let zoo = dnnperf_dnn::zoo::cnn_zoo();
+/// assert_eq!(zoo.len(), 646);
+/// ```
+pub fn cnn_zoo() -> Vec<Network> {
+    let mut zoo = Vec::with_capacity(CNN_ZOO_SIZE);
+    zoo.extend(dedup_truncate(resnet_pool(), 250));
+    zoo.extend(dedup_truncate(vgg_pool(), 150));
+    zoo.extend(dedup_truncate(densenet_pool(), 80));
+    zoo.extend(dedup_truncate(mobilenet_pool(), 60));
+    zoo.extend(dedup_truncate(shufflenet_pool(), 40));
+    zoo.extend(dedup_truncate(squeezenet_pool(), 30));
+    zoo.extend(dedup_truncate(alexnet_pool(), 36));
+    debug_assert_eq!(zoo.len(), CNN_ZOO_SIZE);
+    zoo
+}
+
+/// Generates the transformer extension set (HuggingFace-style text
+/// classification networks).
+pub fn transformer_zoo() -> Vec<Network> {
+    let mut zoo = Vec::new();
+    for seq_len in [64, 128] {
+        for layers in [2, 4, 6, 8, 12] {
+            for hidden in [128, 256, 384, 512, 768] {
+                zoo.push(text_classifier(TransformerConfig {
+                    layers,
+                    hidden,
+                    heads: hidden / 64,
+                    seq_len,
+                    mlp_ratio: 4,
+                    vocab: super::transformer::DEFAULT_VOCAB,
+                    classes: 2,
+                }));
+            }
+        }
+    }
+    zoo
+}
+
+/// Out-of-family networks NOT included in the 646-network dataset:
+/// GoogLeNet (branch-heavy) and ResNeXt (grouped 3x3) variants. Used by the
+/// `ext_zoo` experiment to probe how the kernel-level models generalize to
+/// structurally novel architectures.
+pub fn extended_zoo() -> Vec<Network> {
+    vec![
+        super::inception::googlenet(1.0),
+        super::inception::googlenet(0.75),
+        super::inception::googlenet(1.25),
+        super::resnext::resnext50_32x4d(),
+        super::resnext::resnext101_32x8d(),
+        super::resnext::resnext(&[2, 3, 4, 2], 16, 4),
+        super::resnext::resnext(&[3, 4, 6, 3], 8, 8),
+    ]
+}
+
+/// CNNs plus transformers.
+pub fn full_zoo() -> Vec<Network> {
+    let mut zoo = cnn_zoo();
+    zoo.extend(transformer_zoo());
+    zoo
+}
+
+/// Looks up one of the well-known networks used throughout the paper's
+/// figures by its display name.
+///
+/// Returns `None` for names outside the canonical set; use the generators in
+/// [`crate::zoo`] directly for parametric variants.
+///
+/// # Examples
+///
+/// ```
+/// let net = dnnperf_dnn::zoo::by_name("ResNet-50").unwrap();
+/// assert_eq!(net.name(), "ResNet-50");
+/// assert!(dnnperf_dnn::zoo::by_name("NotANet").is_none());
+/// ```
+pub fn by_name(name: &str) -> Option<Network> {
+    let net = match name {
+        "ResNet-18" => resnet::resnet18(),
+        "ResNet-34" => resnet::resnet34(),
+        "ResNet-44" => resnet::resnet44(),
+        "ResNet-50" => resnet::resnet50(),
+        "ResNet-62" => resnet::resnet62(),
+        "ResNet-77" => resnet::resnet77(),
+        "ResNet-101" => resnet::resnet101(),
+        "ResNet-152" => resnet::resnet152(),
+        "VGG-11" => vgg::vgg11(),
+        "VGG-13" => vgg::vgg13(),
+        "VGG-16" => vgg::vgg16(),
+        "VGG-19" => vgg::vgg19(),
+        "DenseNet-121" => densenet_from_cfg(32, &[6, 12, 24, 16]),
+        "DenseNet-161" => densenet_from_cfg(48, &[6, 12, 36, 24]),
+        "DenseNet-169" => densenet_from_cfg(32, &[6, 12, 32, 32]),
+        "DenseNet-201" => densenet_from_cfg(32, &[6, 12, 48, 32]),
+        "DenseNet-201[6-12-48-32]" => densenet_from_cfg(32, &[6, 12, 48, 32]),
+        "MobileNetV2" => mobilenet_v2(1.0, 1.0),
+        "ShuffleNetV1" => shufflenet_v1(3, 1.0, &[4, 8, 4]),
+        "SqueezeNet" => squeezenet(128, 128, 0.125),
+        "AlexNet" => alexnet(1.0, 4096, 11),
+        "GoogLeNet" => super::inception::googlenet(1.0),
+        "ResNeXt-50-32x4d" => super::resnext::resnext50_32x4d(),
+        "BERT-base" => text_classifier(TransformerConfig::bert_base(128)),
+        _ => return None,
+    };
+    Some(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cnn_zoo_has_exactly_646_networks() {
+        assert_eq!(cnn_zoo().len(), CNN_ZOO_SIZE);
+    }
+
+    #[test]
+    fn zoo_names_are_unique() {
+        let zoo = full_zoo();
+        let names: HashSet<&str> = zoo.iter().map(|n| n.name()).collect();
+        assert_eq!(names.len(), zoo.len());
+    }
+
+    #[test]
+    fn zoo_contains_paper_networks() {
+        let zoo = cnn_zoo();
+        for name in [
+            "ResNet-18",
+            "ResNet-44",
+            "ResNet-50",
+            "ResNet-62",
+            "ResNet-77",
+            "VGG-16",
+            "DenseNet-121",
+            "DenseNet-161",
+            "DenseNet-169",
+            "DenseNet-201",
+            "MobileNetV2",
+            "ShuffleNetV1",
+        ] {
+            assert!(zoo.iter().any(|n| n.name() == name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn zoo_is_deterministic() {
+        let a: Vec<String> = cnn_zoo().iter().map(|n| n.name().to_string()).collect();
+        let b: Vec<String> = cnn_zoo().iter().map(|n| n.name().to_string()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transformer_zoo_is_nonempty_and_distinct() {
+        let t = transformer_zoo();
+        assert_eq!(t.len(), 50);
+        let names: HashSet<&str> = t.iter().map(|n| n.name()).collect();
+        assert_eq!(names.len(), t.len());
+    }
+
+    #[test]
+    fn flops_span_multiple_orders_of_magnitude() {
+        let zoo = cnn_zoo();
+        let min = zoo.iter().map(Network::total_flops).min().unwrap();
+        let max = zoo.iter().map(Network::total_flops).max().unwrap();
+        assert!(max / min.max(1) > 100, "min {min} max {max}");
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in ["ResNet-50", "VGG-16", "DenseNet-169"] {
+            assert_eq!(by_name(name).unwrap().name(), name);
+        }
+        // "BERT-base" is an alias whose generated name encodes the config.
+        assert!(by_name("BERT-base").is_some());
+    }
+}

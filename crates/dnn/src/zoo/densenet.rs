@@ -1,0 +1,180 @@
+//! DenseNet generators (DenseNet-121/161/169/201 and parametric variants).
+
+use super::{arch, imagenet_input, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::LayerKind;
+use crate::shape::TensorShape;
+
+/// Per-stage dense-layer counts.
+pub type Blocks = [usize; 4];
+
+const BN_SIZE: usize = 4;
+
+fn canonical_name(growth: usize, blocks: &Blocks) -> Option<&'static str> {
+    match (growth, blocks) {
+        (32, [6, 12, 24, 16]) => Some("DenseNet-121"),
+        (48, [6, 12, 36, 24]) => Some("DenseNet-161"),
+        (32, [6, 12, 32, 32]) => Some("DenseNet-169"),
+        (32, [6, 12, 48, 32]) => Some("DenseNet-201"),
+        _ => None,
+    }
+}
+
+/// Nominal depth of a DenseNet configuration (2 convs per dense layer, one
+/// conv per transition, stem conv and classifier).
+pub fn depth_of(blocks: &Blocks) -> usize {
+    2 * blocks.iter().sum::<usize>() + 5
+}
+
+/// Builds a DenseNet with the given growth rate and per-stage layer counts.
+///
+/// # Panics
+///
+/// Panics if `growth` is zero or any stage is empty.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::densenet::densenet_from_cfg;
+///
+/// let net = densenet_from_cfg(32, &[6, 12, 24, 16]);
+/// assert_eq!(net.name(), "DenseNet-121");
+/// ```
+pub fn densenet_from_cfg(growth: usize, blocks: &Blocks) -> Network {
+    assert!(growth > 0, "zero growth rate");
+    assert!(blocks.iter().all(|&b| b > 0), "empty DenseNet stage");
+    let name = match canonical_name(growth, blocks) {
+        Some(n) => n.to_string(),
+        None => format!(
+            "DenseNet-{}[{}-{}-{}-{}]-k{growth}",
+            depth_of(blocks),
+            blocks[0],
+            blocks[1],
+            blocks[2],
+            blocks[3]
+        ),
+    };
+
+    let init_ch = 2 * growth;
+    let mut b = NetworkBuilder::new(name, Family::DenseNet, imagenet_input());
+    arch!(b.conv(init_ch, 7, 2, 3));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+
+    for (stage, &n_layers) in blocks.iter().enumerate() {
+        for _ in 0..n_layers {
+            dense_layer(&mut b, growth);
+        }
+        if stage + 1 < blocks.len() {
+            // Transition: BN + 1x1 conv halving channels + 2x2 average pool.
+            let ch = b.shape().channels();
+            arch!(b.bn());
+            arch!(b.relu());
+            arch!(b.conv(ch / 2, 1, 1, 0));
+            arch!(b.avg_pool(2, 2, 0));
+        }
+    }
+
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn dense_layer(b: &mut NetworkBuilder, growth: usize) {
+    let entry = b.shape();
+    let (c, h, w) = match entry {
+        TensorShape::FeatureMap { c, h, w } => (c, h, w),
+        _ => unreachable!("dense layers operate on feature maps"),
+    };
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(BN_SIZE * growth, 1, 1, 0));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(growth, 3, 1, 1));
+    // Concatenate the new features onto the running feature map.
+    let merged = TensorShape::chw(c + growth, h, w);
+    b.push_shaped(LayerKind::Concat { parts: 2 }, merged, merged);
+}
+
+/// Standard DenseNet-121.
+pub fn densenet121() -> Network {
+    densenet_from_cfg(32, &[6, 12, 24, 16])
+}
+
+/// Standard DenseNet-161.
+pub fn densenet161() -> Network {
+    densenet_from_cfg(48, &[6, 12, 36, 24])
+}
+
+/// Standard DenseNet-169.
+pub fn densenet169() -> Network {
+    densenet_from_cfg(32, &[6, 12, 32, 32])
+}
+
+/// Standard DenseNet-201.
+pub fn densenet201() -> Network {
+    densenet_from_cfg(32, &[6, 12, 48, 32])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_formula_matches_canonical_names() {
+        assert_eq!(depth_of(&[6, 12, 24, 16]), 121);
+        assert_eq!(depth_of(&[6, 12, 36, 24]), 161);
+        assert_eq!(depth_of(&[6, 12, 32, 32]), 169);
+        assert_eq!(depth_of(&[6, 12, 48, 32]), 201);
+    }
+
+    #[test]
+    fn densenet121_flops_in_expected_range() {
+        // thop reports ~2.9 GMACs at 224x224.
+        let g = densenet121().total_flops() as f64 / 1e9;
+        assert!(g > 2.4 && g < 3.4, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn densenet121_params_in_expected_range() {
+        // ~8 M parameters.
+        let m = densenet121().total_params() as f64 / 1e6;
+        assert!(m > 6.5 && m < 9.5, "got {m} M params");
+    }
+
+    #[test]
+    fn channel_growth_is_linear_within_block() {
+        let net = densenet121();
+        // The first dense block starts at 64 channels and ends at
+        // 64 + 6 * 32 = 256 before the first transition.
+        let first_transition_conv = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d(c) if c.is_pointwise()))
+            .find(|l| l.input.channels() == 256)
+            .expect("first transition conv at 256 channels");
+        assert_eq!(first_transition_conv.output.channels(), 128);
+    }
+
+    #[test]
+    fn larger_configs_cost_more() {
+        assert!(densenet201().total_flops() > densenet169().total_flops());
+        assert!(densenet169().total_flops() > densenet121().total_flops());
+        assert!(densenet161().total_flops() > densenet121().total_flops());
+    }
+
+    #[test]
+    fn concat_layers_present() {
+        let n = densenet121()
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Concat { .. }))
+            .count();
+        assert_eq!(n, 6 + 12 + 24 + 16);
+    }
+}

@@ -1,0 +1,178 @@
+//! GoogLeNet / Inception-v1 generators: four parallel branches per block,
+//! merged by channel concatenation — the most branch-heavy topology in the
+//! zoo.
+
+use super::{arch, imagenet_input, make_divisible, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{ActivationFn, Conv2d, LayerKind, Pool2d, PoolKind};
+use crate::shape::TensorShape;
+
+/// Per-branch output channels of one inception block:
+/// (1x1, 3x3-reduce, 3x3, 5x5-reduce, 5x5, pool-proj).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InceptionBlock {
+    /// 1x1 branch channels.
+    pub c1: usize,
+    /// 3x3 branch reduction channels.
+    pub r3: usize,
+    /// 3x3 branch output channels.
+    pub c3: usize,
+    /// 5x5 branch reduction channels.
+    pub r5: usize,
+    /// 5x5 branch output channels.
+    pub c5: usize,
+    /// Pool-projection branch channels.
+    pub pp: usize,
+}
+
+impl InceptionBlock {
+    /// Total output channels of the block.
+    pub fn out_channels(&self) -> usize {
+        self.c1 + self.c3 + self.c5 + self.pp
+    }
+}
+
+/// The nine blocks of the original GoogLeNet.
+pub const GOOGLENET_BLOCKS: [InceptionBlock; 9] = [
+    InceptionBlock { c1: 64, r3: 96, c3: 128, r5: 16, c5: 32, pp: 32 },
+    InceptionBlock { c1: 128, r3: 128, c3: 192, r5: 32, c5: 96, pp: 64 },
+    InceptionBlock { c1: 192, r3: 96, c3: 208, r5: 16, c5: 48, pp: 64 },
+    InceptionBlock { c1: 160, r3: 112, c3: 224, r5: 24, c5: 64, pp: 64 },
+    InceptionBlock { c1: 128, r3: 128, c3: 256, r5: 24, c5: 64, pp: 64 },
+    InceptionBlock { c1: 112, r3: 144, c3: 288, r5: 32, c5: 64, pp: 64 },
+    InceptionBlock { c1: 256, r3: 160, c3: 320, r5: 32, c5: 128, pp: 128 },
+    InceptionBlock { c1: 256, r3: 160, c3: 320, r5: 32, c5: 128, pp: 128 },
+    InceptionBlock { c1: 384, r3: 192, c3: 384, r5: 48, c5: 128, pp: 128 },
+];
+
+/// After which blocks (0-based) GoogLeNet inserts a stride-2 max pool.
+const POOL_AFTER: [usize; 2] = [1, 6];
+
+/// Builds a GoogLeNet-style network with a channel width multiplier.
+///
+/// # Panics
+///
+/// Panics if `width` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// let net = dnnperf_dnn::zoo::inception::googlenet(1.0);
+/// assert_eq!(net.name(), "GoogLeNet");
+/// ```
+pub fn googlenet(width: f64) -> Network {
+    assert!(width > 0.0, "non-positive width");
+    let name = if width == 1.0 {
+        "GoogLeNet".to_string()
+    } else {
+        format!("GoogLeNet-x{width}")
+    };
+    let s = |c: usize| make_divisible(c as f64 * width, 8);
+
+    let mut b = NetworkBuilder::new(name, Family::Inception, imagenet_input());
+    arch!(b.conv(s(64), 7, 2, 3));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+    arch!(b.conv(s(64), 1, 1, 0));
+    arch!(b.relu());
+    arch!(b.conv(s(192), 3, 1, 1));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+
+    for (i, block) in GOOGLENET_BLOCKS.iter().enumerate() {
+        inception_block(&mut b, block, &s);
+        if POOL_AFTER.contains(&i) {
+            arch!(b.max_pool(3, 2, 1));
+        }
+    }
+
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn inception_block(b: &mut NetworkBuilder, cfg: &InceptionBlock, s: &dyn Fn(usize) -> usize) {
+    let entry = b.shape();
+    let (in_ch, h, w) = match entry {
+        TensorShape::FeatureMap { c, h, w } => (c, h, w),
+        _ => unreachable!("inception blocks operate on feature maps"),
+    };
+    let conv = |cin: usize, cout: usize, k: usize, pad: usize| {
+        LayerKind::Conv2d(Conv2d { in_ch: cin, out_ch: cout, kh: k, kw: k, stride: 1, padding: pad, groups: 1 })
+    };
+    let relu = LayerKind::Activation(ActivationFn::Relu);
+    let fm = |c: usize| TensorShape::chw(c, h, w);
+
+    // Branch 1: 1x1 (chained from the entry).
+    arch!(b.conv(s(cfg.c1), 1, 1, 0));
+    arch!(b.relu());
+    // Branch 2: 1x1 reduce then 3x3 — reads the block entry.
+    b.push_shaped(conv(in_ch, s(cfg.r3), 1, 0), entry, fm(s(cfg.r3)));
+    b.push_shaped(relu, fm(s(cfg.r3)), fm(s(cfg.r3)));
+    b.push_shaped(conv(s(cfg.r3), s(cfg.c3), 3, 1), fm(s(cfg.r3)), fm(s(cfg.c3)));
+    b.push_shaped(relu, fm(s(cfg.c3)), fm(s(cfg.c3)));
+    // Branch 3: 1x1 reduce then 5x5.
+    b.push_shaped(conv(in_ch, s(cfg.r5), 1, 0), entry, fm(s(cfg.r5)));
+    b.push_shaped(relu, fm(s(cfg.r5)), fm(s(cfg.r5)));
+    b.push_shaped(conv(s(cfg.r5), s(cfg.c5), 5, 2), fm(s(cfg.r5)), fm(s(cfg.c5)));
+    b.push_shaped(relu, fm(s(cfg.c5)), fm(s(cfg.c5)));
+    // Branch 4: 3x3 max pool then 1x1 projection.
+    b.push_shaped(
+        LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 1, padding: 1 }),
+        entry,
+        fm(in_ch),
+    );
+    b.push_shaped(conv(in_ch, s(cfg.pp), 1, 0), fm(in_ch), fm(s(cfg.pp)));
+    b.push_shaped(relu, fm(s(cfg.pp)), fm(s(cfg.pp)));
+    // Merge.
+    let out = fm(s(cfg.c1) + s(cfg.c3) + s(cfg.c5) + s(cfg.pp));
+    b.push_shaped(LayerKind::Concat { parts: 4 }, out, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_flops_in_expected_range() {
+        // thop reports ~1.5 GMACs for GoogLeNet at 224x224.
+        let g = googlenet(1.0).total_flops() as f64 / 1e9;
+        assert!(g > 1.0 && g < 2.5, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn googlenet_params_in_expected_range() {
+        // ~6.6 M parameters (no auxiliary heads).
+        let m = googlenet(1.0).total_params() as f64 / 1e6;
+        assert!(m > 5.0 && m < 8.5, "got {m} M params");
+    }
+
+    #[test]
+    fn nine_inception_blocks() {
+        let concats = googlenet(1.0)
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Concat { parts: 4 }))
+            .count();
+        assert_eq!(concats, 9);
+    }
+
+    #[test]
+    fn block_channel_accounting() {
+        // Block 3a outputs 256 channels at 28x28.
+        let net = googlenet(1.0);
+        let first_concat = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Concat { .. }))
+            .unwrap();
+        assert_eq!(first_concat.output, TensorShape::chw(256, 28, 28));
+        assert_eq!(GOOGLENET_BLOCKS[0].out_channels(), 256);
+    }
+
+    #[test]
+    fn width_scales_cost() {
+        assert!(googlenet(1.5).total_flops() > googlenet(0.75).total_flops());
+    }
+}

@@ -1,0 +1,137 @@
+//! MobileNetV2 generators (inverted residual bottlenecks, width/depth
+//! multipliers).
+
+use super::{arch, imagenet_input, make_divisible, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{ActivationFn, Conv2d, LayerKind};
+
+/// The standard MobileNetV2 inverted-residual table:
+/// (expansion t, output channels c, repeats n, first stride s).
+const CFG: [(usize, usize, usize, usize); 7] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+];
+
+/// Builds a MobileNetV2 with channel width multiplier `width` and block
+/// repeat multiplier `depth` (1.0 is the standard network).
+///
+/// # Panics
+///
+/// Panics if `width` or `depth` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::mobilenet::mobilenet_v2;
+///
+/// let net = mobilenet_v2(1.0, 1.0);
+/// assert_eq!(net.name(), "MobileNetV2");
+/// ```
+pub fn mobilenet_v2(width: f64, depth: f64) -> Network {
+    assert!(width > 0.0 && depth > 0.0, "non-positive multiplier");
+    let name = if width == 1.0 && depth == 1.0 {
+        "MobileNetV2".to_string()
+    } else if depth == 1.0 {
+        format!("MobileNetV2-x{width}")
+    } else {
+        format!("MobileNetV2-x{width}-d{depth}")
+    };
+
+    let scale = |c: usize| make_divisible(c as f64 * width, 8);
+    let mut b = NetworkBuilder::new(name, Family::MobileNet, imagenet_input());
+    arch!(b.conv(scale(32), 3, 2, 1));
+    arch!(b.bn());
+    arch!(b.push(LayerKind::Activation(ActivationFn::Relu6)));
+
+    for &(t, c, n, s) in &CFG {
+        let out_ch = scale(c);
+        let repeats = ((n as f64 * depth).round() as usize).max(1);
+        for i in 0..repeats {
+            let stride = if i == 0 { s } else { 1 };
+            inverted_residual(&mut b, t, out_ch, stride);
+        }
+    }
+
+    let head = make_divisible(1280.0 * width.max(1.0), 8);
+    arch!(b.conv(head, 1, 1, 0));
+    arch!(b.bn());
+    arch!(b.push(LayerKind::Activation(ActivationFn::Relu6)));
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn inverted_residual(b: &mut NetworkBuilder, expand: usize, out_ch: usize, stride: usize) {
+    let entry = b.shape();
+    let in_ch = entry.channels();
+    let mid = in_ch * expand;
+    if expand != 1 {
+        arch!(b.conv(mid, 1, 1, 0));
+        arch!(b.bn());
+        arch!(b.push(LayerKind::Activation(ActivationFn::Relu6)));
+    }
+    arch!(b.push(LayerKind::Conv2d(Conv2d::depthwise(mid, 3, stride, 1))));
+    arch!(b.bn());
+    arch!(b.push(LayerKind::Activation(ActivationFn::Relu6)));
+    arch!(b.conv(out_ch, 1, 1, 0));
+    arch!(b.bn());
+    if stride == 1 && in_ch == out_ch {
+        arch!(b.push(LayerKind::Add));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_in_expected_range() {
+        // thop reports ~0.32 GMACs for MobileNetV2 at 224x224.
+        let g = mobilenet_v2(1.0, 1.0).total_flops() as f64 / 1e9;
+        assert!(g > 0.25 && g < 0.45, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn params_in_expected_range() {
+        // ~3.5 M parameters.
+        let m = mobilenet_v2(1.0, 1.0).total_params() as f64 / 1e6;
+        assert!(m > 2.8 && m < 4.2, "got {m} M params");
+    }
+
+    #[test]
+    fn width_scales_cost() {
+        let small = mobilenet_v2(0.5, 1.0).total_flops();
+        let big = mobilenet_v2(1.4, 1.0).total_flops();
+        assert!(big > 3 * small);
+    }
+
+    #[test]
+    fn depth_multiplier_adds_blocks() {
+        let base = mobilenet_v2(1.0, 1.0).num_layers();
+        let deep = mobilenet_v2(1.0, 2.0).num_layers();
+        assert!(deep > base + 20);
+    }
+
+    #[test]
+    fn contains_depthwise_convs() {
+        let net = mobilenet_v2(1.0, 1.0);
+        let dw = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d(c) if c.is_depthwise()))
+            .count();
+        assert_eq!(dw, 17); // one per inverted residual block
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive multiplier")]
+    fn zero_width_panics() {
+        mobilenet_v2(0.0, 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! The dnnperf model zoo.
+//!
+//! Parametric generators for the network families the paper's dataset draws
+//! from TorchVision and HuggingFace: ResNet, VGG, DenseNet, MobileNetV2,
+//! ShuffleNet v1, SqueezeNet, AlexNet and encoder-only text-classification
+//! transformers. [`catalog`] assembles them into the paper's 646-network CNN
+//! dataset plus the transformer extension set.
+//!
+//! All generators are deterministic and infallible: an architecture that
+//! fails shape inference is a bug in the generator, so construction panics
+//! rather than returning `Result`.
+
+pub mod alexnet;
+pub mod catalog;
+pub mod densenet;
+pub mod inception;
+pub mod mobilenet;
+pub mod resnet;
+pub mod resnext;
+pub mod shufflenet;
+pub mod squeezenet;
+pub mod transformer;
+pub mod vgg;
+
+pub use catalog::{by_name, cnn_zoo, extended_zoo, full_zoo, transformer_zoo};
+
+/// Unwraps a shape-inference result inside an architecture generator.
+macro_rules! arch {
+    ($e:expr) => {
+        $e.expect("zoo generator produced an invalid architecture")
+    };
+}
+pub(crate) use arch;
+
+/// ImageNet classifier input shape: 3x224x224.
+pub(crate) fn imagenet_input() -> crate::shape::TensorShape {
+    crate::shape::TensorShape::chw(3, 224, 224)
+}
+
+/// Number of ILSVRC2012 classes.
+pub(crate) const NUM_CLASSES: usize = 1000;
+
+/// Rounds a scaled channel count to the nearest multiple of `divisor`,
+/// never going below `divisor` and never dropping more than 10% (the
+/// standard `make_divisible` rule from the MobileNet reference code).
+pub(crate) fn make_divisible(v: f64, divisor: usize) -> usize {
+    let d = divisor as f64;
+    let new_v = ((v + d / 2.0) / d).floor() * d;
+    let new_v = new_v.max(d);
+    let new_v = if new_v < 0.9 * v { new_v + d } else { new_v };
+    new_v as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_divisible_behaves_like_reference() {
+        assert_eq!(make_divisible(32.0, 8), 32);
+        assert_eq!(make_divisible(33.0, 8), 32);
+        assert_eq!(make_divisible(37.0, 8), 40);
+        assert_eq!(make_divisible(4.0, 8), 8);
+        // Never drops more than 10%.
+        assert_eq!(make_divisible(39.0, 8), 40);
+    }
+}

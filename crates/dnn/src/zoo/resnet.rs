@@ -1,0 +1,253 @@
+//! ResNet generators, including the paper's non-standard depth variants
+//! (ResNet-44/62/77) built by "adding/removing blocks to/from the standard
+//! design".
+
+use super::{arch, imagenet_input, make_divisible, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{Conv2d, LayerKind};
+use crate::shape::TensorShape;
+
+/// Stage block counts for a ResNet.
+pub type Blocks = [usize; 4];
+
+const BASE_CHANNELS: [usize; 4] = [64, 128, 256, 512];
+
+fn canonical_name(blocks: &Blocks, bottleneck: bool) -> Option<&'static str> {
+    match (bottleneck, blocks) {
+        (false, [2, 2, 2, 2]) => Some("ResNet-18"),
+        (false, [3, 4, 6, 3]) => Some("ResNet-34"),
+        (false, [3, 5, 8, 5]) => Some("ResNet-44"),
+        (true, [3, 4, 6, 3]) => Some("ResNet-50"),
+        (true, [3, 4, 10, 3]) => Some("ResNet-62"),
+        (true, [3, 4, 15, 3]) => Some("ResNet-77"),
+        (true, [3, 4, 23, 3]) => Some("ResNet-101"),
+        (true, [3, 8, 36, 3]) => Some("ResNet-152"),
+        _ => None,
+    }
+}
+
+/// Nominal depth (counted convolutions + the final FC) of a ResNet config.
+pub fn depth_of(blocks: &Blocks, bottleneck: bool) -> usize {
+    let per_block = if bottleneck { 3 } else { 2 };
+    2 + per_block * blocks.iter().sum::<usize>()
+}
+
+/// Builds a ResNet with arbitrary per-stage block counts.
+///
+/// `width` scales channel counts (1.0 is standard); canonical configurations
+/// at width 1.0 get their TorchVision names (`"ResNet-50"`), other configs
+/// are named by depth and block signature.
+///
+/// # Panics
+///
+/// Panics if any block count is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::resnet::resnet_from_blocks;
+///
+/// let net = resnet_from_blocks(&[3, 4, 6, 3], true, 1.0);
+/// assert_eq!(net.name(), "ResNet-50");
+/// ```
+pub fn resnet_from_blocks(blocks: &Blocks, bottleneck: bool, width: f64) -> Network {
+    assert!(blocks.iter().all(|&b| b > 0), "empty ResNet stage");
+    let name = match canonical_name(blocks, bottleneck) {
+        Some(n) if width == 1.0 => n.to_string(),
+        Some(n) => format!("{n}-x{width}"),
+        None => {
+            let d = depth_of(blocks, bottleneck);
+            let sig = format!("{}-{}-{}-{}", blocks[0], blocks[1], blocks[2], blocks[3]);
+            if width == 1.0 {
+                format!("ResNet-{d}[{sig}]")
+            } else {
+                format!("ResNet-{d}[{sig}]-x{width}")
+            }
+        }
+    };
+    let ch: Vec<usize> = BASE_CHANNELS
+        .iter()
+        .map(|&c| make_divisible(c as f64 * width, 8))
+        .collect();
+    let expansion = if bottleneck { 4 } else { 1 };
+
+    let mut b = NetworkBuilder::new(name, Family::ResNet, imagenet_input());
+    arch!(b.conv(ch[0], 7, 2, 3));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        let out_ch = ch[stage] * expansion;
+        for block in 0..n_blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            if bottleneck {
+                bottleneck_block(&mut b, ch[stage], out_ch, stride);
+            } else {
+                basic_block(&mut b, out_ch, stride);
+            }
+        }
+    }
+
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn downsample_if_needed(b: &mut NetworkBuilder, entry: TensorShape, stride: usize) {
+    let exit = b.shape();
+    if stride != 1 || entry.channels() != exit.channels() {
+        // Projection shortcut: 1x1 conv + BN on the branch input.
+        let conv = Conv2d {
+            in_ch: entry.channels(),
+            out_ch: exit.channels(),
+            kh: 1,
+            kw: 1,
+            stride,
+            padding: 0,
+            groups: 1,
+        };
+        b.push_shaped(LayerKind::Conv2d(conv), entry, exit);
+        b.push_shaped(LayerKind::BatchNorm, exit, exit);
+    }
+}
+
+fn basic_block(b: &mut NetworkBuilder, out_ch: usize, stride: usize) {
+    let entry = b.shape();
+    arch!(b.conv(out_ch, 3, stride, 1));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(out_ch, 3, 1, 1));
+    arch!(b.bn());
+    downsample_if_needed(b, entry, stride);
+    arch!(b.push(LayerKind::Add));
+    arch!(b.relu());
+}
+
+fn bottleneck_block(b: &mut NetworkBuilder, mid_ch: usize, out_ch: usize, stride: usize) {
+    let entry = b.shape();
+    arch!(b.conv(mid_ch, 1, 1, 0));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(mid_ch, 3, stride, 1));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(out_ch, 1, 1, 0));
+    arch!(b.bn());
+    downsample_if_needed(b, entry, stride);
+    arch!(b.push(LayerKind::Add));
+    arch!(b.relu());
+}
+
+/// Standard ResNet-18.
+pub fn resnet18() -> Network {
+    resnet_from_blocks(&[2, 2, 2, 2], false, 1.0)
+}
+
+/// Standard ResNet-34.
+pub fn resnet34() -> Network {
+    resnet_from_blocks(&[3, 4, 6, 3], false, 1.0)
+}
+
+/// The paper's non-standard ResNet-44 (basic blocks).
+pub fn resnet44() -> Network {
+    resnet_from_blocks(&[3, 5, 8, 5], false, 1.0)
+}
+
+/// Standard ResNet-50.
+pub fn resnet50() -> Network {
+    resnet_from_blocks(&[3, 4, 6, 3], true, 1.0)
+}
+
+/// The paper's non-standard ResNet-62 (bottleneck blocks).
+pub fn resnet62() -> Network {
+    resnet_from_blocks(&[3, 4, 10, 3], true, 1.0)
+}
+
+/// The paper's non-standard ResNet-77 (bottleneck blocks).
+pub fn resnet77() -> Network {
+    resnet_from_blocks(&[3, 4, 15, 3], true, 1.0)
+}
+
+/// Standard ResNet-101.
+pub fn resnet101() -> Network {
+    resnet_from_blocks(&[3, 4, 23, 3], true, 1.0)
+}
+
+/// Standard ResNet-152.
+pub fn resnet152() -> Network {
+    resnet_from_blocks(&[3, 8, 36, 3], true, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_formula_matches_names() {
+        assert_eq!(depth_of(&[2, 2, 2, 2], false), 18);
+        assert_eq!(depth_of(&[3, 4, 6, 3], false), 34);
+        assert_eq!(depth_of(&[3, 5, 8, 5], false), 44);
+        assert_eq!(depth_of(&[3, 4, 6, 3], true), 50);
+        assert_eq!(depth_of(&[3, 4, 10, 3], true), 62);
+        assert_eq!(depth_of(&[3, 4, 15, 3], true), 77);
+        assert_eq!(depth_of(&[3, 4, 23, 3], true), 101);
+        assert_eq!(depth_of(&[3, 8, 36, 3], true), 152);
+    }
+
+    #[test]
+    fn resnet50_flops_in_expected_range() {
+        // TorchVision/thop report ~4.1 GMACs for ResNet-50 at 224x224.
+        let g = resnet50().total_flops() as f64 / 1e9;
+        assert!(g > 3.6 && g < 4.6, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn resnet18_flops_in_expected_range() {
+        // ~1.8 GMACs.
+        let g = resnet18().total_flops() as f64 / 1e9;
+        assert!(g > 1.5 && g < 2.2, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn resnet50_params_in_expected_range() {
+        // ~25.6 M parameters.
+        let m = resnet50().total_params() as f64 / 1e6;
+        assert!(m > 23.0 && m < 28.0, "got {m} M params");
+    }
+
+    #[test]
+    fn deeper_means_more_flops() {
+        assert!(resnet34().total_flops() > resnet18().total_flops());
+        assert!(resnet101().total_flops() > resnet50().total_flops());
+        assert!(resnet77().total_flops() > resnet62().total_flops());
+    }
+
+    #[test]
+    fn width_scales_flops_roughly_quadratically() {
+        let base = resnet50().total_flops() as f64;
+        let half = resnet_from_blocks(&[3, 4, 6, 3], true, 0.5).total_flops() as f64;
+        let ratio = base / half;
+        assert!(ratio > 2.5 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn noncanonical_name_contains_signature() {
+        let net = resnet_from_blocks(&[1, 2, 2, 2], false, 1.0);
+        assert!(net.name().contains("[1-2-2-2]"), "{}", net.name());
+    }
+
+    #[test]
+    fn final_layer_is_fc_to_1000() {
+        let net = resnet50();
+        let last = net.layers().last().unwrap();
+        assert_eq!(last.output, crate::shape::TensorShape::features(1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty ResNet stage")]
+    fn zero_block_stage_panics() {
+        resnet_from_blocks(&[0, 2, 2, 2], false, 1.0);
+    }
+}

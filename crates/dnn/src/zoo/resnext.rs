@@ -1,0 +1,148 @@
+//! ResNeXt generators: ResNet bottlenecks whose 3x3 convolution is grouped
+//! ("cardinality"), e.g. ResNeXt-50 32x4d.
+
+use super::{arch, imagenet_input, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{Conv2d, LayerKind};
+
+/// Builds a ResNeXt with the given per-stage block counts, cardinality and
+/// per-group base width (32 and 4 give the canonical `32x4d`).
+///
+/// # Panics
+///
+/// Panics if any block count is zero or `cardinality`/`base_width` is zero.
+///
+/// # Examples
+///
+/// ```
+/// let net = dnnperf_dnn::zoo::resnext::resnext(&[3, 4, 6, 3], 32, 4);
+/// assert_eq!(net.name(), "ResNeXt-50-32x4d");
+/// ```
+pub fn resnext(blocks: &[usize; 4], cardinality: usize, base_width: usize) -> Network {
+    assert!(blocks.iter().all(|&b| b > 0), "empty ResNeXt stage");
+    assert!(cardinality > 0 && base_width > 0, "zero ResNeXt geometry");
+    let depth = 2 + 3 * blocks.iter().sum::<usize>();
+    let name = format!("ResNeXt-{depth}-{cardinality}x{base_width}d");
+
+    let mut b = NetworkBuilder::new(name, Family::ResNet, imagenet_input());
+    arch!(b.conv(64, 7, 2, 3));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+
+    for (stage, &n_blocks) in blocks.iter().enumerate() {
+        let planes = 64 << stage;
+        let mid = planes * base_width * cardinality / 64;
+        let out_ch = planes * 4;
+        for block in 0..n_blocks {
+            let stride = if stage > 0 && block == 0 { 2 } else { 1 };
+            resnext_block(&mut b, mid, out_ch, cardinality, stride);
+        }
+    }
+
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn resnext_block(
+    b: &mut NetworkBuilder,
+    mid_ch: usize,
+    out_ch: usize,
+    cardinality: usize,
+    stride: usize,
+) {
+    let entry = b.shape();
+    arch!(b.conv(mid_ch, 1, 1, 0));
+    arch!(b.bn());
+    arch!(b.relu());
+    // The grouped 3x3: ResNeXt's signature operation.
+    let grouped = Conv2d {
+        in_ch: mid_ch,
+        out_ch: mid_ch,
+        kh: 3,
+        kw: 3,
+        stride,
+        padding: 1,
+        groups: cardinality,
+    };
+    arch!(b.push(LayerKind::Conv2d(grouped)));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.conv(out_ch, 1, 1, 0));
+    arch!(b.bn());
+    // Projection shortcut when the shape changes.
+    let exit = b.shape();
+    if stride != 1 || entry.channels() != exit.channels() {
+        let conv = Conv2d {
+            in_ch: entry.channels(),
+            out_ch: exit.channels(),
+            kh: 1,
+            kw: 1,
+            stride,
+            padding: 0,
+            groups: 1,
+        };
+        b.push_shaped(LayerKind::Conv2d(conv), entry, exit);
+        b.push_shaped(LayerKind::BatchNorm, exit, exit);
+    }
+    arch!(b.push(LayerKind::Add));
+    arch!(b.relu());
+}
+
+/// The canonical ResNeXt-50 32x4d.
+pub fn resnext50_32x4d() -> Network {
+    resnext(&[3, 4, 6, 3], 32, 4)
+}
+
+/// The canonical ResNeXt-101 32x8d.
+pub fn resnext101_32x8d() -> Network {
+    resnext(&[3, 4, 23, 3], 32, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::TensorShape;
+
+    #[test]
+    fn resnext50_flops_in_expected_range() {
+        // thop reports ~4.3 GMACs for ResNeXt-50 32x4d at 224x224.
+        let g = resnext50_32x4d().total_flops() as f64 / 1e9;
+        assert!(g > 3.5 && g < 5.0, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn resnext50_params_in_expected_range() {
+        // ~25 M parameters.
+        let m = resnext50_32x4d().total_params() as f64 / 1e6;
+        assert!(m > 22.0 && m < 28.0, "got {m} M params");
+    }
+
+    #[test]
+    fn grouped_convs_present() {
+        let grouped = resnext50_32x4d()
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d(c) if c.groups == 32))
+            .count();
+        assert_eq!(grouped, 16); // one per bottleneck block
+    }
+
+    #[test]
+    fn wider_cardinality_costs_more() {
+        assert!(
+            resnext(&[3, 4, 6, 3], 32, 8).total_flops() > resnext50_32x4d().total_flops()
+        );
+    }
+
+    #[test]
+    fn shape_flow_reaches_classifier() {
+        let net = resnext101_32x8d();
+        assert_eq!(
+            net.layers().last().unwrap().output,
+            TensorShape::features(1000)
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! ShuffleNet v1 generators (grouped 1x1 convolutions + channel shuffle).
+
+use super::{arch, imagenet_input, make_divisible, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{Conv2d, LayerKind, Pool2d, PoolKind};
+use crate::shape::TensorShape;
+
+/// Stage-2 output channels for each supported group count `g`, from the
+/// ShuffleNet v1 paper's Table 1.
+fn stage2_channels(groups: usize) -> Option<usize> {
+    match groups {
+        1 => Some(144),
+        2 => Some(200),
+        3 => Some(240),
+        4 => Some(272),
+        8 => Some(384),
+        _ => None,
+    }
+}
+
+/// Builds a ShuffleNet v1 with the given group count and width multiplier.
+///
+/// `stage_repeats` gives the number of units per stage (standard is
+/// `[4, 8, 4]`; the first unit of each stage is strided).
+///
+/// # Panics
+///
+/// Panics if `groups` is not one of {1, 2, 3, 4, 8} or `width` is not
+/// positive.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::shufflenet::shufflenet_v1;
+///
+/// let net = shufflenet_v1(3, 1.0, &[4, 8, 4]);
+/// assert_eq!(net.name(), "ShuffleNetV1");
+/// ```
+pub fn shufflenet_v1(groups: usize, width: f64, stage_repeats: &[usize; 3]) -> Network {
+    let base = stage2_channels(groups).expect("unsupported ShuffleNet group count");
+    assert!(width > 0.0, "non-positive width");
+    let name = if groups == 3 && width == 1.0 && *stage_repeats == [4, 8, 4] {
+        "ShuffleNetV1".to_string()
+    } else {
+        format!(
+            "ShuffleNetV1-g{groups}-x{width}[{}-{}-{}]",
+            stage_repeats[0], stage_repeats[1], stage_repeats[2]
+        )
+    };
+    // Stage channels double each stage; align to a multiple of both the
+    // group count and 8 so every grouped convolution stays valid.
+    let align = groups * 8;
+    let stage_ch: Vec<usize> = (0..3)
+        .map(|s| {
+            let c = base * (1 << s);
+            let c = make_divisible(c as f64 * width, align);
+            // make_divisible aligns to `align`, which is a multiple of groups.
+            c
+        })
+        .collect();
+
+    let mut b = NetworkBuilder::new(name, Family::ShuffleNet, imagenet_input());
+    arch!(b.conv(24, 3, 2, 1));
+    arch!(b.bn());
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 1));
+
+    for (stage, &repeats) in stage_repeats.iter().enumerate() {
+        let out_ch = stage_ch[stage];
+        // First unit in each stage is strided and concatenative; the stage-2
+        // first unit uses ungrouped 1x1 conv (per the reference code).
+        let g_first = if stage == 0 { 1 } else { groups };
+        strided_unit(&mut b, out_ch, groups, g_first);
+        for _ in 1..repeats {
+            residual_unit(&mut b, groups);
+        }
+    }
+
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+fn gconv1x1(b: &mut NetworkBuilder, out_ch: usize, groups: usize) {
+    let in_ch = b.shape().channels();
+    let conv = Conv2d {
+        in_ch,
+        out_ch,
+        kh: 1,
+        kw: 1,
+        stride: 1,
+        padding: 0,
+        groups,
+    };
+    arch!(b.push(LayerKind::Conv2d(conv)));
+}
+
+/// Stride-2 unit: the shortcut is a 3x3 average pool whose output is
+/// concatenated with the residual branch.
+fn strided_unit(b: &mut NetworkBuilder, out_ch: usize, groups: usize, first_groups: usize) {
+    let entry = b.shape();
+    let in_ch = entry.channels();
+    let branch_ch = out_ch - in_ch;
+    let mid = make_divisible(out_ch as f64 / 4.0, groups * 4);
+    gconv1x1(b, mid, first_groups);
+    arch!(b.bn());
+    arch!(b.relu());
+    if groups > 1 {
+        arch!(b.push(LayerKind::ChannelShuffle { groups }));
+    }
+    arch!(b.push(LayerKind::Conv2d(Conv2d::depthwise(mid, 3, 2, 1))));
+    arch!(b.bn());
+    gconv1x1(b, branch_ch, groups);
+    arch!(b.bn());
+    // Shortcut average pool on the unit input, then channel concat.
+    let branch_out = b.shape();
+    let shortcut_out = match (entry, branch_out) {
+        (TensorShape::FeatureMap { c, .. }, TensorShape::FeatureMap { h, w, .. }) => {
+            TensorShape::chw(c, h, w)
+        }
+        _ => unreachable!("shufflenet operates on feature maps"),
+    };
+    b.push_shaped(
+        LayerKind::Pool2d(Pool2d { kind: PoolKind::Avg, k: 3, stride: 2, padding: 1 }),
+        entry,
+        shortcut_out,
+    );
+    let merged = match branch_out {
+        TensorShape::FeatureMap { h, w, .. } => TensorShape::chw(out_ch, h, w),
+        _ => unreachable!(),
+    };
+    b.push_shaped(LayerKind::Concat { parts: 2 }, merged, merged);
+    arch!(b.relu());
+}
+
+/// Stride-1 unit with an additive shortcut.
+fn residual_unit(b: &mut NetworkBuilder, groups: usize) {
+    let ch = b.shape().channels();
+    let mid = make_divisible(ch as f64 / 4.0, groups * 4);
+    gconv1x1(b, mid, groups);
+    arch!(b.bn());
+    arch!(b.relu());
+    if groups > 1 {
+        arch!(b.push(LayerKind::ChannelShuffle { groups }));
+    }
+    arch!(b.push(LayerKind::Conv2d(Conv2d::depthwise(mid, 3, 1, 1))));
+    arch!(b.bn());
+    gconv1x1(b, ch, groups);
+    arch!(b.bn());
+    arch!(b.push(LayerKind::Add));
+    arch!(b.relu());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_config_builds() {
+        let net = shufflenet_v1(3, 1.0, &[4, 8, 4]);
+        // thop reports ~0.14 GMACs for ShuffleNet v1 1.0x g3.
+        let g = net.total_flops() as f64 / 1e9;
+        assert!(g > 0.08 && g < 0.35, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn all_group_counts_build() {
+        for g in [1, 2, 3, 4, 8] {
+            let net = shufflenet_v1(g, 1.0, &[4, 8, 4]);
+            assert!(net.total_flops() > 0, "g={g}");
+        }
+    }
+
+    #[test]
+    fn shuffle_layers_present_when_grouped() {
+        let net = shufflenet_v1(4, 1.0, &[4, 8, 4]);
+        let n = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::ChannelShuffle { .. }))
+            .count();
+        assert_eq!(n, 16);
+        let ungrouped = shufflenet_v1(1, 1.0, &[4, 8, 4]);
+        assert_eq!(
+            ungrouped
+                .layers()
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::ChannelShuffle { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn width_scales_cost() {
+        let half = shufflenet_v1(3, 0.5, &[4, 8, 4]).total_flops();
+        let twice = shufflenet_v1(3, 2.0, &[4, 8, 4]).total_flops();
+        assert!(twice > 4 * half);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported ShuffleNet group count")]
+    fn bad_group_count_panics() {
+        shufflenet_v1(5, 1.0, &[4, 8, 4]);
+    }
+}

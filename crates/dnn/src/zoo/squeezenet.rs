@@ -1,0 +1,108 @@
+//! SqueezeNet generators (fire modules).
+
+use super::{arch, imagenet_input, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{Conv2d, LayerKind};
+use crate::shape::TensorShape;
+
+/// Builds a SqueezeNet 1.0-style network.
+///
+/// `base_e` is the expand width of the first fire module, `incr_e` the
+/// increment applied every two modules, and `squeeze_ratio` the squeeze/expand
+/// channel ratio (0.125 in the original).
+///
+/// # Panics
+///
+/// Panics if the parameters produce a zero-channel squeeze layer.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::squeezenet::squeezenet;
+///
+/// let net = squeezenet(128, 128, 0.125);
+/// assert_eq!(net.name(), "SqueezeNet");
+/// ```
+pub fn squeezenet(base_e: usize, incr_e: usize, squeeze_ratio: f64) -> Network {
+    let name = if base_e == 128 && incr_e == 128 && squeeze_ratio == 0.125 {
+        "SqueezeNet".to_string()
+    } else {
+        format!("SqueezeNet-e{base_e}-i{incr_e}-sr{squeeze_ratio}")
+    };
+    let mut b = NetworkBuilder::new(name, Family::SqueezeNet, imagenet_input());
+    arch!(b.conv(96, 7, 2, 2));
+    arch!(b.relu());
+    arch!(b.max_pool(3, 2, 0));
+
+    let expand = |i: usize| base_e + incr_e * (i / 2);
+    for i in 0..8 {
+        if i == 3 || i == 7 {
+            arch!(b.max_pool(3, 2, 0));
+        }
+        fire(&mut b, expand(i), squeeze_ratio);
+    }
+
+    arch!(b.conv(NUM_CLASSES, 1, 1, 0));
+    arch!(b.relu());
+    arch!(b.push(LayerKind::GlobalAvgPool));
+    b.finish()
+}
+
+fn fire(b: &mut NetworkBuilder, expand_total: usize, squeeze_ratio: f64) {
+    let squeeze = ((expand_total as f64 * squeeze_ratio).round() as usize).max(1);
+    let e_half = expand_total / 2;
+    assert!(squeeze > 0 && e_half > 0, "degenerate fire module");
+    arch!(b.conv(squeeze, 1, 1, 0));
+    arch!(b.relu());
+    let squeezed = b.shape();
+    // Two parallel expand branches read the squeezed tensor.
+    arch!(b.conv(e_half, 1, 1, 0));
+    arch!(b.relu());
+    let e1_out = b.shape();
+    let e3 = Conv2d::square(squeezed.channels(), e_half, 3, 1, 1);
+    b.push_shaped(LayerKind::Conv2d(e3), squeezed, e1_out);
+    b.push_shaped(LayerKind::Activation(crate::layer::ActivationFn::Relu), e1_out, e1_out);
+    let merged = match e1_out {
+        TensorShape::FeatureMap { h, w, .. } => TensorShape::chw(2 * e_half, h, w),
+        _ => unreachable!("fire modules operate on feature maps"),
+    };
+    b.push_shaped(LayerKind::Concat { parts: 2 }, merged, merged);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flops_in_expected_range() {
+        // thop reports ~0.7-0.8 GMACs for SqueezeNet 1.0.
+        let g = squeezenet(128, 128, 0.125).total_flops() as f64 / 1e9;
+        assert!(g > 0.4 && g < 1.2, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn params_small() {
+        // ~1.2 M parameters.
+        let m = squeezenet(128, 128, 0.125).total_params() as f64 / 1e6;
+        assert!(m < 2.0, "got {m} M params");
+    }
+
+    #[test]
+    fn eight_fire_modules() {
+        let net = squeezenet(128, 128, 0.125);
+        let concats = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Concat { .. }))
+            .count();
+        assert_eq!(concats, 8);
+    }
+
+    #[test]
+    fn squeeze_ratio_scales_cost() {
+        let lean = squeezenet(128, 128, 0.125).total_flops();
+        let fat = squeezenet(128, 128, 0.5).total_flops();
+        assert!(fat > lean);
+    }
+}

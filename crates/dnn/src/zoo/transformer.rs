@@ -1,0 +1,193 @@
+//! Encoder-only text-classification transformers (the paper's "KW model
+//! extension for Transformers": HuggingFace text-classification networks).
+
+use super::arch;
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::{ActivationFn, Embedding, LayerKind, Linear, MatMul};
+use crate::shape::TensorShape;
+
+/// Default WordPiece vocabulary size (BERT).
+pub const DEFAULT_VOCAB: usize = 30_522;
+
+/// Configuration of an encoder-only text classifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformerConfig {
+    /// Number of encoder blocks.
+    pub layers: usize,
+    /// Hidden (model) dimension; must be divisible by `heads`.
+    pub hidden: usize,
+    /// Number of attention heads.
+    pub heads: usize,
+    /// Input sequence length.
+    pub seq_len: usize,
+    /// MLP expansion ratio (4 in BERT).
+    pub mlp_ratio: usize,
+    /// Vocabulary size for the embedding table.
+    pub vocab: usize,
+    /// Number of output classes.
+    pub classes: usize,
+}
+
+impl TransformerConfig {
+    /// BERT-base-like configuration (12 layers, hidden 768, 12 heads) at the
+    /// given sequence length.
+    pub fn bert_base(seq_len: usize) -> Self {
+        TransformerConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            seq_len,
+            mlp_ratio: 4,
+            vocab: DEFAULT_VOCAB,
+            classes: 2,
+        }
+    }
+}
+
+/// Builds an encoder-only text classifier from `cfg`.
+///
+/// # Panics
+///
+/// Panics if `hidden` is not divisible by `heads` or any dimension is zero.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::transformer::{text_classifier, TransformerConfig};
+///
+/// let net = text_classifier(TransformerConfig::bert_base(128));
+/// assert_eq!(net.name(), "TextCls-L12-H768-A12-S128");
+/// ```
+pub fn text_classifier(cfg: TransformerConfig) -> Network {
+    assert!(
+        cfg.layers > 0 && cfg.hidden > 0 && cfg.heads > 0 && cfg.seq_len > 0,
+        "zero transformer dimension"
+    );
+    assert!(cfg.hidden.is_multiple_of(cfg.heads), "hidden not divisible by heads");
+    let head_dim = cfg.hidden / cfg.heads;
+    let name = format!(
+        "TextCls-L{}-H{}-A{}-S{}",
+        cfg.layers, cfg.hidden, cfg.heads, cfg.seq_len
+    );
+
+    let mut b = NetworkBuilder::new(name, Family::Transformer, TensorShape::tokens(cfg.seq_len, 1));
+    arch!(b.push(LayerKind::Embedding(Embedding { vocab: cfg.vocab, dim: cfg.hidden })));
+    arch!(b.push(LayerKind::LayerNorm));
+
+    let tok = TensorShape::tokens(cfg.seq_len, cfg.hidden);
+    for _ in 0..cfg.layers {
+        // Self-attention.
+        arch!(b.push(LayerKind::Linear(Linear {
+            in_features: cfg.hidden,
+            out_features: 3 * cfg.hidden,
+        })));
+        // Q.K^T: per head, (seq x head_dim) x (head_dim x seq).
+        let scores = LayerKind::MatMul(MatMul {
+            heads: cfg.heads,
+            m: cfg.seq_len,
+            k: head_dim,
+            n: cfg.seq_len,
+        });
+        let scores_shape = TensorShape::tokens(cfg.seq_len, cfg.heads * cfg.seq_len);
+        b.push_shaped(scores, tok, scores_shape);
+        arch!(b.push(LayerKind::Softmax));
+        // attn.V: per head, (seq x seq) x (seq x head_dim).
+        let ctx = LayerKind::MatMul(MatMul {
+            heads: cfg.heads,
+            m: cfg.seq_len,
+            k: cfg.seq_len,
+            n: head_dim,
+        });
+        b.push_shaped(ctx, scores_shape, tok);
+        arch!(b.push(LayerKind::Linear(Linear {
+            in_features: cfg.hidden,
+            out_features: cfg.hidden,
+        })));
+        arch!(b.push(LayerKind::Add));
+        arch!(b.push(LayerKind::LayerNorm));
+        // MLP.
+        arch!(b.push(LayerKind::Linear(Linear {
+            in_features: cfg.hidden,
+            out_features: cfg.mlp_ratio * cfg.hidden,
+        })));
+        arch!(b.push(LayerKind::Activation(ActivationFn::Gelu)));
+        arch!(b.push(LayerKind::Linear(Linear {
+            in_features: cfg.mlp_ratio * cfg.hidden,
+            out_features: cfg.hidden,
+        })));
+        arch!(b.push(LayerKind::Add));
+        arch!(b.push(LayerKind::LayerNorm));
+    }
+
+    // Classification head on the pooled [CLS] token.
+    b.push_shaped(
+        LayerKind::Linear(Linear { in_features: cfg.hidden, out_features: cfg.hidden }),
+        TensorShape::features(cfg.hidden),
+        TensorShape::features(cfg.hidden),
+    );
+    b.push_shaped(
+        LayerKind::Activation(ActivationFn::Sigmoid),
+        TensorShape::features(cfg.hidden),
+        TensorShape::features(cfg.hidden),
+    );
+    b.push_shaped(
+        LayerKind::Linear(Linear { in_features: cfg.hidden, out_features: cfg.classes }),
+        TensorShape::features(cfg.hidden),
+        TensorShape::features(cfg.classes),
+    );
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bert_base_flops_in_expected_range() {
+        // BERT-base at seq 128 is ~11 GFLOPs (MAC counting, ~22 GFLOPs
+        // counting mul+add); we count multiplications.
+        let g = text_classifier(TransformerConfig::bert_base(128)).total_flops() as f64 / 1e9;
+        assert!(g > 8.0 && g < 15.0, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn attention_cost_quadratic_in_seq_len() {
+        let short = text_classifier(TransformerConfig::bert_base(64));
+        let long = text_classifier(TransformerConfig::bert_base(256));
+        let matmul_flops = |n: &Network| -> u64 {
+            n.layers()
+                .iter()
+                .filter(|l| matches!(l.kind, LayerKind::MatMul(_)))
+                .map(crate::flops::layer_flops)
+                .sum()
+        };
+        let ratio = matmul_flops(&long) as f64 / matmul_flops(&short) as f64;
+        assert!((ratio - 16.0).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn params_dominated_by_embedding_and_linears() {
+        // BERT-base has ~110 M parameters.
+        let m = text_classifier(TransformerConfig::bert_base(128)).total_params() as f64 / 1e6;
+        assert!(m > 90.0 && m < 125.0, "got {m} M params");
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden not divisible by heads")]
+    fn bad_head_count_panics() {
+        let mut cfg = TransformerConfig::bert_base(128);
+        cfg.heads = 7;
+        text_classifier(cfg);
+    }
+
+    #[test]
+    fn layer_count_scales_with_depth() {
+        let mut cfg = TransformerConfig::bert_base(128);
+        cfg.layers = 2;
+        let shallow = text_classifier(cfg).num_layers();
+        cfg.layers = 12;
+        let deep = text_classifier(cfg).num_layers();
+        assert!(deep > 5 * shallow / 2);
+    }
+}

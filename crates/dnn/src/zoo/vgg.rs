@@ -1,0 +1,151 @@
+//! VGG generators, including non-standard variants with modified per-stage
+//! convolution counts (paper Figure 4).
+
+use super::{arch, imagenet_input, NUM_CLASSES};
+use crate::builder::NetworkBuilder;
+use crate::graph::{Family, Network};
+use crate::layer::LayerKind;
+
+/// Number of 3x3 convolutions in each of the five VGG stages.
+pub type StageConvs = [usize; 5];
+
+const STAGE_CHANNELS: [usize; 5] = [64, 128, 256, 512, 512];
+
+fn canonical_name(convs: &StageConvs) -> Option<&'static str> {
+    match convs {
+        [1, 1, 2, 2, 2] => Some("VGG-11"),
+        [2, 2, 2, 2, 2] => Some("VGG-13"),
+        [2, 2, 3, 3, 3] => Some("VGG-16"),
+        [2, 2, 4, 4, 4] => Some("VGG-19"),
+        _ => None,
+    }
+}
+
+/// Nominal depth (weighted layers) of a VGG configuration.
+pub fn depth_of(convs: &StageConvs) -> usize {
+    convs.iter().sum::<usize>() + 3
+}
+
+/// Builds a VGG network with the given per-stage convolution counts.
+///
+/// # Panics
+///
+/// Panics if any stage has zero convolutions.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::vgg::vgg_from_stages;
+///
+/// let net = vgg_from_stages(&[2, 2, 3, 3, 3], false);
+/// assert_eq!(net.name(), "VGG-16");
+/// ```
+pub fn vgg_from_stages(convs: &StageConvs, batch_norm: bool) -> Network {
+    assert!(convs.iter().all(|&c| c > 0), "empty VGG stage");
+    let name = match canonical_name(convs) {
+        Some(n) if !batch_norm => n.to_string(),
+        Some(n) => format!("{n}-BN"),
+        None => {
+            let d = depth_of(convs);
+            let sig = convs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("-");
+            if batch_norm {
+                format!("VGG-{d}[{sig}]-BN")
+            } else {
+                format!("VGG-{d}[{sig}]")
+            }
+        }
+    };
+
+    let mut b = NetworkBuilder::new(name, Family::Vgg, imagenet_input());
+    for (stage, &n) in convs.iter().enumerate() {
+        for _ in 0..n {
+            arch!(b.conv(STAGE_CHANNELS[stage], 3, 1, 1));
+            if batch_norm {
+                arch!(b.bn());
+            }
+            arch!(b.relu());
+        }
+        arch!(b.max_pool(2, 2, 0));
+    }
+    arch!(b.push(LayerKind::Flatten));
+    arch!(b.linear(4096));
+    arch!(b.relu());
+    arch!(b.linear(4096));
+    arch!(b.relu());
+    arch!(b.linear(NUM_CLASSES));
+    b.finish()
+}
+
+/// Standard VGG-11 (configuration A).
+pub fn vgg11() -> Network {
+    vgg_from_stages(&[1, 1, 2, 2, 2], false)
+}
+
+/// Standard VGG-13 (configuration B).
+pub fn vgg13() -> Network {
+    vgg_from_stages(&[2, 2, 2, 2, 2], false)
+}
+
+/// Standard VGG-16 (configuration D).
+pub fn vgg16() -> Network {
+    vgg_from_stages(&[2, 2, 3, 3, 3], false)
+}
+
+/// Standard VGG-19 (configuration E).
+pub fn vgg19() -> Network {
+    vgg_from_stages(&[2, 2, 4, 4, 4], false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg16_flops_in_expected_range() {
+        // thop reports ~15.5 GMACs for VGG-16 at 224x224.
+        let g = vgg16().total_flops() as f64 / 1e9;
+        assert!(g > 14.0 && g < 17.0, "got {g} GFLOPs");
+    }
+
+    #[test]
+    fn vgg16_params_in_expected_range() {
+        // ~138 M parameters (dominated by the FC layers).
+        let m = vgg16().total_params() as f64 / 1e6;
+        assert!(m > 130.0 && m < 145.0, "got {m} M params");
+    }
+
+    #[test]
+    fn canonical_names() {
+        assert_eq!(vgg11().name(), "VGG-11");
+        assert_eq!(vgg19().name(), "VGG-19");
+        assert_eq!(vgg_from_stages(&[2, 2, 3, 3, 3], true).name(), "VGG-16-BN");
+    }
+
+    #[test]
+    fn depth_counts_fc_layers() {
+        assert_eq!(depth_of(&[2, 2, 3, 3, 3]), 16);
+        assert_eq!(depth_of(&[1, 1, 2, 2, 2]), 11);
+    }
+
+    #[test]
+    fn final_feature_map_is_7x7() {
+        let net = vgg16();
+        let flatten = net
+            .layers()
+            .iter()
+            .find(|l| matches!(l.kind, LayerKind::Flatten))
+            .unwrap();
+        assert_eq!(flatten.input, crate::shape::TensorShape::chw(512, 7, 7));
+    }
+
+    #[test]
+    fn bn_variant_has_more_layers() {
+        assert!(vgg_from_stages(&[2, 2, 3, 3, 3], true).num_layers() > vgg16().num_layers());
+    }
+
+    #[test]
+    fn vgg_flops_higher_than_resnet50() {
+        // The motivating comparison behind Figure 4.
+        assert!(vgg16().total_flops() > super::super::resnet::resnet50().total_flops());
+    }
+}

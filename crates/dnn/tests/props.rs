@@ -1,0 +1,120 @@
+//! Property-based tests for the DNN IR, shape inference and the zoo
+//! generators.
+
+use dnnperf_dnn::flops::{layer_bytes, layer_flops};
+use dnnperf_dnn::zoo;
+use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn conv_shape_formula_holds(
+        c_in in 1usize..64,
+        c_out in 1usize..64,
+        h in 4usize..64,
+        w in 4usize..64,
+        k in 1usize..6,
+        stride in 1usize..4,
+        padding in 0usize..3,
+    ) {
+        let conv = Conv2d { in_ch: c_in, out_ch: c_out, kh: k, kw: k, stride, padding, groups: 1 };
+        let input = TensorShape::chw(c_in, h, w);
+        match Layer::apply(LayerKind::Conv2d(conv), input) {
+            Ok(layer) => {
+                let expect_h = (h + 2 * padding - k) / stride + 1;
+                let expect_w = (w + 2 * padding - k) / stride + 1;
+                prop_assert_eq!(layer.output, TensorShape::chw(c_out, expect_h, expect_w));
+                // The paper's FLOPs formula.
+                prop_assert_eq!(
+                    layer_flops(&layer),
+                    (c_out * expect_h * expect_w * c_in * k * k) as u64
+                );
+            }
+            Err(_) => prop_assert!(h + 2 * padding < k || w + 2 * padding < k),
+        }
+    }
+
+    #[test]
+    fn pointwise_layers_conserve_shape(c in 1usize..128, h in 1usize..64, w in 1usize..64) {
+        let input = TensorShape::chw(c, h, w);
+        for kind in [LayerKind::BatchNorm, LayerKind::Add, LayerKind::Activation(dnnperf_dnn::ActivationFn::Relu)] {
+            let l = Layer::apply(kind, input).unwrap();
+            prop_assert_eq!(l.input, l.output);
+            // Bytes grow at least linearly with elements.
+            prop_assert!(layer_bytes(&l) >= 2 * input.elems() as u64 * 4);
+        }
+    }
+
+    #[test]
+    fn resnet_generator_is_total_and_monotone(
+        b1 in 1usize..4, b2 in 1usize..5, b3 in 1usize..9, b4 in 1usize..4,
+        bottleneck in proptest::bool::ANY,
+    ) {
+        let small = zoo::resnet::resnet_from_blocks(&[b1, b2, b3, b4], bottleneck, 1.0);
+        let big = zoo::resnet::resnet_from_blocks(&[b1, b2, b3 + 1, b4], bottleneck, 1.0);
+        prop_assert!(small.total_flops() > 0);
+        prop_assert!(big.total_flops() > small.total_flops());
+        prop_assert!(big.num_layers() > small.num_layers());
+        // The classifier ends at 1000 classes.
+        prop_assert_eq!(
+            small.layers().last().unwrap().output,
+            TensorShape::features(1000)
+        );
+    }
+
+    #[test]
+    fn vgg_generator_flops_monotone_in_stage_convs(
+        c1 in 1usize..3, c2 in 1usize..4, c3 in 1usize..4, c4 in 1usize..4, c5 in 1usize..4,
+    ) {
+        let base = zoo::vgg::vgg_from_stages(&[c1, c2, c3, c4, c5], false);
+        let more = zoo::vgg::vgg_from_stages(&[c1 + 1, c2, c3, c4, c5], false);
+        prop_assert!(more.total_flops() > base.total_flops());
+    }
+
+    #[test]
+    fn densenet_channel_accounting(growth in 8usize..48, n1 in 1usize..8) {
+        let net = zoo::densenet::densenet_from_cfg(growth, &[n1, 2, 2, 2]);
+        // After the stem (2*growth channels) and n1 dense layers, the first
+        // transition conv must see 2*growth + n1*growth input channels.
+        let expected = 2 * growth + n1 * growth;
+        let transition = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv2d(c) if c.is_pointwise()))
+            .find(|l| l.output.channels() == expected / 2);
+        prop_assert!(transition.is_some(), "no transition conv at {} channels", expected);
+    }
+
+    #[test]
+    fn transformer_flops_scale_linearly_with_depth(
+        layers in 1usize..10, hidden_x64 in 2usize..10, seq in 16usize..200,
+    ) {
+        let hidden = hidden_x64 * 64;
+        let cfg = |l| zoo::transformer::TransformerConfig {
+            layers: l,
+            hidden,
+            heads: hidden / 64,
+            seq_len: seq,
+            mlp_ratio: 4,
+            vocab: 1000,
+            classes: 2,
+        };
+        // Encoder blocks are identical, so FLOPs increments per added block
+        // are exactly constant.
+        let f1 = zoo::transformer::text_classifier(cfg(layers)).total_flops();
+        let f2 = zoo::transformer::text_classifier(cfg(layers + 1)).total_flops();
+        let f3 = zoo::transformer::text_classifier(cfg(layers + 2)).total_flops();
+        prop_assert_eq!(f2 - f1, f3 - f2);
+        prop_assert!(f2 > f1);
+    }
+
+    #[test]
+    fn flatten_and_gap_conserve_elements(c in 1usize..512, h in 1usize..32, w in 1usize..32) {
+        let input = TensorShape::chw(c, h, w);
+        let flat = Layer::apply(LayerKind::Flatten, input).unwrap();
+        prop_assert_eq!(flat.output.elems(), input.elems());
+        let gap = Layer::apply(LayerKind::GlobalAvgPool, input).unwrap();
+        prop_assert_eq!(gap.output.elems(), c);
+        prop_assert_eq!(layer_flops(&gap), input.elems() as u64);
+    }
+}

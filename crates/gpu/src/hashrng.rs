@@ -1,0 +1,112 @@
+//! Deterministic hash-based pseudo-randomness.
+//!
+//! The ground-truth timing model needs *reproducible* per-kernel and per-GPU
+//! parameters: the same (kernel, GPU) pair must always get the same hidden
+//! efficiency, and the same (kernel, network, batch) measurement must always
+//! return the same noisy value — otherwise dataset deduplication and the
+//! paper's repeat-measurement protocol would be meaningless. We therefore
+//! derive everything from FNV-1a string hashing finalized with SplitMix64
+//! rather than from a stateful RNG.
+
+/// FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: decorrelates structured inputs.
+pub fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of a string combined with a numeric salt.
+pub fn hash_with(s: &str, salt: u64) -> u64 {
+    splitmix(fnv1a(s.as_bytes()) ^ splitmix(salt))
+}
+
+/// Uniform sample in `[0, 1)` derived from a hash.
+pub fn unit(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform sample in `[lo, hi)` derived from a hash.
+pub fn uniform(h: u64, lo: f64, hi: f64) -> f64 {
+    lo + unit(h) * (hi - lo)
+}
+
+/// Standard normal sample derived from a hash (Box–Muller on two
+/// decorrelated sub-hashes).
+pub fn normal(h: u64) -> f64 {
+    let u1 = unit(splitmix(h ^ 0xA5A5_A5A5_A5A5_A5A5)).max(1e-12);
+    let u2 = unit(splitmix(h ^ 0x5A5A_5A5A_5A5A_5A5A));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lognormal multiplicative factor `exp(sigma * z)` with unit median.
+pub fn lognormal(h: u64, sigma: f64) -> f64 {
+    (sigma * normal(h)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_with("sgemm", 7), hash_with("sgemm", 7));
+        assert_ne!(hash_with("sgemm", 7), hash_with("sgemm", 8));
+        assert_ne!(hash_with("sgemm", 7), hash_with("dgemm", 7));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(splitmix(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        for i in 0..1000u64 {
+            let u = uniform(splitmix(i), 2.0, 3.0);
+            assert!((2.0..3.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit(splitmix(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_has_unit_scale() {
+        let n = 10_000u64;
+        let samples: Vec<f64> = (0..n).map(|i| normal(splitmix(i.wrapping_mul(2654435761)))).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut samples: Vec<f64> = (0..9999u64)
+            .map(|i| lognormal(splitmix(i.wrapping_mul(0x9E3779B9)), 0.1))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[samples.len() / 2];
+        assert!((med - 1.0).abs() < 0.02, "median {med}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+}

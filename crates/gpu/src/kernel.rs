@@ -1,0 +1,214 @@
+//! GPU kernel descriptors.
+//!
+//! A [`KernelDesc`] is what the dispatcher emits for a layer: a concrete
+//! named kernel (the name plays the role of the cuDNN kernel symbol that the
+//! PyTorch Profiler records) together with the work it performs. The hidden
+//! timing model prices a descriptor; the predictor only ever sees the *name*
+//! and the measured time.
+
+use std::fmt;
+
+/// The implementation family a kernel belongs to. Families group kernels
+/// that share an algorithm and therefore share hidden efficiency
+/// characteristics; individual kernel names within a family (tile variants)
+/// perturb those characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelFamily {
+    /// im2col input expansion (pre-processing).
+    Im2col,
+    /// GEMM over an im2col buffer (main convolution work).
+    GemmConv,
+    /// Implicit GEMM for 1x1 convolutions.
+    Gemm1x1,
+    /// Winograd input tile transform (pre-processing).
+    WinogradIn,
+    /// Winograd element-wise GEMM (main work, reduced multiplications).
+    WinogradGemm,
+    /// Winograd output tile transform (post-processing).
+    WinogradOut,
+    /// FFT forward transform (pre-processing).
+    FftIn,
+    /// FFT point-wise complex multiply (main work).
+    FftGemm,
+    /// FFT inverse transform (post-processing).
+    FftOut,
+    /// Direct (nested-loop) convolution.
+    DirectConv,
+    /// Depthwise convolution.
+    DepthwiseConv,
+    /// Grouped 1x1 convolution GEMM.
+    GroupedGemm,
+    /// Fully connected GEMM.
+    GemmFc,
+    /// Bias addition epilogue.
+    BiasAct,
+    /// Batch normalization (inference, spatial).
+    BnInf,
+    /// 2-D pooling.
+    Pooling,
+    /// Point-wise activation.
+    Elementwise,
+    /// Element-wise tensor addition (residual merge).
+    AddTensor,
+    /// Concatenation copy.
+    ConcatCopy,
+    /// Spatial reduction (global average pooling).
+    Reduce,
+    /// Softmax.
+    Softmax,
+    /// Layer normalization.
+    LayerNormK,
+    /// Embedding table gather.
+    EmbedLookup,
+    /// Batched GEMM (attention).
+    BatchedGemm,
+    /// Channel shuffle copy.
+    ShuffleCopy,
+    /// Convolution data-gradient GEMM (training backward pass).
+    DgradConv,
+    /// Convolution weight-gradient GEMM (training backward pass).
+    WgradConv,
+    /// Batch normalization backward.
+    BnBwd,
+    /// Pooling backward.
+    PoolBwd,
+    /// Point-wise activation backward.
+    ElementwiseBwd,
+    /// Optimizer weight update (SGD step).
+    OptimizerStep,
+}
+
+impl KernelFamily {
+    /// The base symbol name of the family, styled after real cuDNN/cuBLAS
+    /// kernel names.
+    pub fn base_name(&self) -> &'static str {
+        match self {
+            KernelFamily::Im2col => "im2col_kernel",
+            KernelFamily::GemmConv => "implicit_convolve_sgemm",
+            KernelFamily::Gemm1x1 => "conv1x1_implicit_gemm",
+            KernelFamily::WinogradIn => "winograd_transform_input",
+            KernelFamily::WinogradGemm => "winograd_fwd_sgemm",
+            KernelFamily::WinogradOut => "winograd_transform_output",
+            KernelFamily::FftIn => "fft2d_r2c",
+            KernelFamily::FftGemm => "fft2d_pointwise_cgemm",
+            KernelFamily::FftOut => "fft2d_c2r",
+            KernelFamily::DirectConv => "explicit_convolve_dgrad",
+            KernelFamily::DepthwiseConv => "depthwise_fprop",
+            KernelFamily::GroupedGemm => "grouped_conv1x1_sgemm",
+            KernelFamily::GemmFc => "ampere_sgemm_fc",
+            KernelFamily::BiasAct => "bias_activation_epilogue",
+            KernelFamily::BnInf => "bn_fw_inf_1C11_kernel",
+            KernelFamily::Pooling => "pooling_fw_4d",
+            KernelFamily::Elementwise => "vectorized_elementwise",
+            KernelFamily::AddTensor => "add_tensor_kernel",
+            KernelFamily::ConcatCopy => "cat_array_batched_copy",
+            KernelFamily::Reduce => "reduce_spatial_kernel",
+            KernelFamily::Softmax => "softmax_warp_forward",
+            KernelFamily::LayerNormK => "layer_norm_fwd",
+            KernelFamily::EmbedLookup => "embedding_bag_gather",
+            KernelFamily::BatchedGemm => "cublas_batched_sgemm",
+            KernelFamily::ShuffleCopy => "channel_shuffle_ncdhw",
+            KernelFamily::DgradConv => "convolve_dgrad_sgemm",
+            KernelFamily::WgradConv => "convolve_wgrad_sgemm",
+            KernelFamily::BnBwd => "bn_bwd_1C11_kernel",
+            KernelFamily::PoolBwd => "pooling_bwd_4d",
+            KernelFamily::ElementwiseBwd => "vectorized_elementwise_bwd",
+            KernelFamily::OptimizerStep => "sgd_momentum_update",
+        }
+    }
+
+    /// All families, for exhaustive iteration in tests and parameter tables.
+    pub fn all() -> &'static [KernelFamily] {
+        use KernelFamily::*;
+        &[
+            Im2col, GemmConv, Gemm1x1, WinogradIn, WinogradGemm, WinogradOut, FftIn, FftGemm,
+            FftOut, DirectConv, DepthwiseConv, GroupedGemm, GemmFc, BiasAct, BnInf, Pooling,
+            Elementwise, AddTensor, ConcatCopy, Reduce, Softmax, LayerNormK, EmbedLookup,
+            BatchedGemm, ShuffleCopy, DgradConv, WgradConv, BnBwd, PoolBwd, ElementwiseBwd,
+            OptimizerStep,
+        ]
+    }
+}
+
+impl fmt::Display for KernelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.base_name())
+    }
+}
+
+/// The position of a kernel within its layer's cuDNN-style
+/// pre-process / compute / post-process pipeline (the paper's O5).
+///
+/// The ground truth uses this taxonomy to shape the data; the predictor must
+/// *rediscover* it from correlations and never reads this field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelRole {
+    /// Works on the layer input (paper: input-driven).
+    Pre,
+    /// Performs the layer operation (paper: operation-driven).
+    Main,
+    /// Works on the layer output (paper: output-driven).
+    Post,
+}
+
+/// A dispatched kernel: name, family, role and the per-launch work counts
+/// (batch dimension already applied).
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Concrete kernel symbol, e.g.
+    /// `"implicit_convolve_sgemm_k3_c64_ai32"`.
+    pub name: String,
+    /// Implementation family.
+    pub family: KernelFamily,
+    /// Pipeline role.
+    pub role: KernelRole,
+    /// Floating point operations this launch performs.
+    pub flops: u64,
+    /// Theoretical bytes this launch touches.
+    pub bytes: u64,
+    /// Independent work items (used to derive the thread-block count for the
+    /// SM saturation model).
+    pub work_items: u64,
+}
+
+impl KernelDesc {
+    /// Thread blocks launched, at 1024 work items per block.
+    pub fn blocks(&self) -> u64 {
+        self.work_items.div_ceil(1024).max(1)
+    }
+}
+
+impl fmt::Display for KernelDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} FLOPs, {} B)", self.name, self.flops, self.bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_have_distinct_names() {
+        let names: std::collections::HashSet<_> =
+            KernelFamily::all().iter().map(|f| f.base_name()).collect();
+        assert_eq!(names.len(), KernelFamily::all().len());
+    }
+
+    #[test]
+    fn blocks_round_up() {
+        let mut k = KernelDesc {
+            name: "x".into(),
+            family: KernelFamily::BnInf,
+            role: KernelRole::Pre,
+            flops: 0,
+            bytes: 0,
+            work_items: 1025,
+        };
+        assert_eq!(k.blocks(), 2);
+        k.work_items = 0;
+        assert_eq!(k.blocks(), 1);
+        k.work_items = 1024;
+        assert_eq!(k.blocks(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! GPU measurement substrate for dnnperf.
+//!
+//! This crate substitutes for the paper's physical GPUs + CUDA/cuDNN +
+//! PyTorch Profiler stack. It provides:
+//!
+//! * [`spec`] — the paper's Table 1 GPU catalogue ([`GpuSpec`]);
+//! * [`dispatch`] — a cuDNN-like kernel dispatcher mapping each DNN layer to
+//!   the sequence of GPU kernels that executes it (algorithm selection by
+//!   layer geometry: implicit 1x1 GEMM, Winograd, im2col+GEMM, FFT, direct,
+//!   depthwise, ...);
+//! * [`timing`] — the **hidden ground-truth timing model**: a roofline
+//!   `max(compute, memory)` per kernel with per-kernel-family efficiencies,
+//!   per-GPU deviations, SM saturation, launch/sync overheads, and seeded
+//!   measurement noise;
+//! * [`profiler`] — the PyTorch-Profiler stand-in that runs a network at a
+//!   batch size on a GPU and returns a [`Trace`] with per-kernel times,
+//!   layer-to-kernel mapping and the end-to-end time;
+//! * [`memory`] — an out-of-memory screen mirroring the paper's dataset
+//!   cleaning of fail-to-execute runs.
+//!
+//! The prediction crates never read [`timing`]'s internal parameters: they
+//! only see traces, exactly like the paper's predictor only sees measured
+//! CSVs.
+
+#![warn(missing_docs)]
+
+pub mod dispatch;
+pub mod hashrng;
+pub mod kernel;
+pub mod memory;
+pub mod profiler;
+pub mod spec;
+pub mod timing;
+pub mod trace;
+
+pub use dispatch::Fusion;
+pub use kernel::{KernelDesc, KernelRole};
+pub use profiler::{ProfileError, Profiler};
+pub use spec::GpuSpec;
+pub use timing::TimingModel;
+pub use trace::{KernelTrace, LayerTrace, Trace};

@@ -1,0 +1,133 @@
+//! Device memory footprint estimation and out-of-memory screening.
+//!
+//! The paper cleans its dataset by "removing the duplications and
+//! fail-to-execute experiments (e.g., out-of-memory error)". This module
+//! provides the corresponding screen: a coarse but monotone footprint
+//! estimate compared against the GPU's memory capacity.
+
+use crate::spec::GpuSpec;
+use dnnperf_dnn::flops::BYTES_PER_ELEM;
+use dnnperf_dnn::{LayerKind, Network};
+
+/// Bytes reserved by the runtime (CUDA context, cuDNN handles, allocator
+/// slack).
+const RUNTIME_RESERVED_BYTES: u64 = 600_000_000;
+
+/// Workspace cap applied by the library (real cuDNN bounds its im2col /
+/// FFT workspaces).
+const WORKSPACE_CAP_BYTES: u64 = 1_000_000_000;
+
+/// Allocator overhead factor on activations.
+const ACTIVATION_SLACK: f64 = 1.2;
+
+/// Estimated device memory footprint of running `net` at batch size `batch`.
+///
+/// Counts model parameters, the peak live activation set scaled by the batch
+/// size, the (capped) convolution workspace, and fixed runtime reservations.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::resnet::resnet50;
+/// use dnnperf_gpu::memory::footprint_bytes;
+///
+/// let net = resnet50();
+/// assert!(footprint_bytes(&net, 512) > footprint_bytes(&net, 8));
+/// ```
+pub fn footprint_bytes(net: &Network, batch: usize) -> u64 {
+    let n = batch as u64;
+    let act = (net.peak_activation_bytes() as f64 * n as f64 * ACTIVATION_SLACK) as u64;
+    net.param_bytes() + act + workspace_bytes(net, batch) + RUNTIME_RESERVED_BYTES
+}
+
+/// Estimated convolution workspace: the largest im2col expansion buffer any
+/// convolution needs, capped at the library limit.
+pub fn workspace_bytes(net: &Network, batch: usize) -> u64 {
+    let n = batch as u64;
+    let max_expansion = net
+        .layers()
+        .iter()
+        .filter_map(|l| match l.kind {
+            LayerKind::Conv2d(c) if !c.is_pointwise() && !c.is_depthwise() => {
+                let per_sample = l.input.elems() as u64 * (c.kh * c.kw) as u64;
+                Some(per_sample * n * BYTES_PER_ELEM)
+            }
+            _ => None,
+        })
+        .max()
+        .unwrap_or(0);
+    max_expansion.min(WORKSPACE_CAP_BYTES)
+}
+
+/// Returns `true` if running `net` at `batch` fits in `gpu`'s memory.
+pub fn fits(net: &Network, batch: usize, gpu: &GpuSpec) -> bool {
+    footprint_bytes(net, batch) <= gpu.memory_bytes()
+}
+
+/// Estimated device memory footprint of a *training* step: backward passes
+/// keep every activation alive and the optimizer holds gradients and
+/// momentum alongside the weights.
+pub fn training_footprint_bytes(net: &Network, batch: usize) -> u64 {
+    let n = batch as u64;
+    let all_activations: u64 = net
+        .layers()
+        .iter()
+        .map(|l| l.output.elems() as u64)
+        .sum::<u64>()
+        * dnnperf_dnn::flops::BYTES_PER_ELEM;
+    net.param_bytes() * 3
+        + (all_activations as f64 * n as f64 * ACTIVATION_SLACK) as u64
+        + workspace_bytes(net, batch)
+        + RUNTIME_RESERVED_BYTES
+}
+
+/// Returns `true` if a training step of `net` at `batch` fits on `gpu`.
+pub fn fits_training(net: &Network, batch: usize, gpu: &GpuSpec) -> bool {
+    training_footprint_bytes(net, batch) <= gpu.memory_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_dnn::zoo;
+
+    #[test]
+    fn resnet50_fits_on_a100_at_512() {
+        let net = zoo::resnet::resnet50();
+        let a100 = GpuSpec::by_name("A100").unwrap();
+        assert!(fits(&net, 512, &a100));
+    }
+
+    #[test]
+    fn most_networks_oom_on_p620_at_512() {
+        // The 2 GB Quadro P620 cannot hold large-batch ImageNet inference.
+        let p620 = GpuSpec::by_name("Quadro P620").unwrap();
+        assert!(!fits(&zoo::resnet::resnet50(), 512, &p620));
+        assert!(!fits(&zoo::vgg::vgg16(), 512, &p620));
+    }
+
+    #[test]
+    fn small_batches_fit_where_large_do_not() {
+        let net = zoo::vgg::vgg16();
+        let v100 = GpuSpec::by_name("V100").unwrap();
+        assert!(fits(&net, 8, &v100));
+        assert!(!fits(&net, 512, &v100), "VGG-16 @ 512 needs > 16 GB");
+    }
+
+    #[test]
+    fn footprint_monotone_in_batch() {
+        let net = zoo::mobilenet::mobilenet_v2(1.0, 1.0);
+        let mut prev = 0;
+        for bs in [1, 4, 16, 64, 256] {
+            let f = footprint_bytes(&net, bs);
+            assert!(f > prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn workspace_is_capped() {
+        let net = zoo::vgg::vgg16();
+        assert!(workspace_bytes(&net, 512) <= WORKSPACE_CAP_BYTES);
+    }
+}

@@ -1,0 +1,298 @@
+//! The profiler: runs a network on a (simulated) GPU and produces a
+//! [`Trace`], standing in for `torch.cuda.Event` timing plus the PyTorch
+//! Profiler's layer-to-kernel mapping.
+
+use crate::hashrng::hash_with;
+use crate::memory;
+use crate::spec::GpuSpec;
+use crate::timing::TimingModel;
+use crate::trace::{KernelTrace, LayerTrace, Trace};
+use dnnperf_dnn::flops::layer_flops;
+use dnnperf_dnn::Network;
+use std::error::Error;
+use std::fmt;
+
+/// Lognormal sigma of the run-level systematic measurement deviation.
+const RUN_SIGMA: f64 = 0.04;
+
+/// Errors produced when a profiling run cannot execute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProfileError {
+    /// The run does not fit in device memory (the paper's cleaned-out
+    /// "fail-to-execute experiments").
+    OutOfMemory {
+        /// Network that failed.
+        network: String,
+        /// Batch size of the attempted run.
+        batch: usize,
+        /// Estimated bytes required.
+        needed: u64,
+        /// Device capacity in bytes.
+        available: u64,
+    },
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::OutOfMemory { network, batch, needed, available } => write!(
+                f,
+                "out of memory running {network} at batch {batch}: needs {needed} B, device has {available} B"
+            ),
+        }
+    }
+}
+
+impl Error for ProfileError {}
+
+/// Profiles networks on one GPU.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_dnn::zoo::resnet::resnet18;
+/// use dnnperf_gpu::{GpuSpec, Profiler};
+///
+/// # fn main() -> Result<(), dnnperf_gpu::ProfileError> {
+/// let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
+/// let trace = prof.profile(&resnet18(), 64)?;
+/// assert!(trace.e2e_seconds > 0.0);
+/// assert_eq!(trace.layers.len(), resnet18().num_layers());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Profiler {
+    gpu: GpuSpec,
+    timing: TimingModel,
+    fusion: crate::dispatch::Fusion,
+}
+
+impl Profiler {
+    /// Creates a profiler for `gpu` with the canonical ground-truth timing
+    /// and no operator fusion (PyTorch eager mode, the paper's setting).
+    pub fn new(gpu: GpuSpec) -> Self {
+        Profiler {
+            gpu,
+            timing: TimingModel::new(),
+            fusion: crate::dispatch::Fusion::None,
+        }
+    }
+
+    /// Creates a profiler with an explicit timing model (robustness tests).
+    pub fn with_timing(gpu: GpuSpec, timing: TimingModel) -> Self {
+        Profiler { gpu, timing, fusion: crate::dispatch::Fusion::None }
+    }
+
+    /// Sets the runtime operator-fusion policy the measured workloads run
+    /// under (a TensorRT-style deployment instead of eager execution).
+    pub fn with_fusion(mut self, fusion: crate::dispatch::Fusion) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// The GPU this profiler measures on.
+    pub fn gpu(&self) -> &GpuSpec {
+        &self.gpu
+    }
+
+    /// Runs `net` at `batch` and returns the measured trace.
+    ///
+    /// Follows the paper's measurement protocol: the returned times are the
+    /// stable post-warmup averages (warm-up transients are not modelled, only
+    /// their residual noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::OutOfMemory`] when the run does not fit in
+    /// device memory.
+    pub fn profile(&self, net: &Network, batch: usize) -> Result<Trace, ProfileError> {
+        let needed = memory::footprint_bytes(net, batch);
+        self.check_memory(net, batch, needed)?;
+        let per_layer = crate::dispatch::dispatch_network_with(net, batch, self.fusion);
+        let salt = match self.fusion {
+            crate::dispatch::Fusion::None => 0x5EED,
+            crate::dispatch::Fusion::ConvBnAct => 0xF5ED,
+        };
+        Ok(self.run(net, batch, &per_layer, salt))
+    }
+
+    /// Runs one *training step* of `net` at `batch` (forward + backward +
+    /// optimizer update) and returns the measured trace. This is the
+    /// paper's stated future-work extension ("extending our models for more
+    /// diverse workloads (e.g., training)").
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProfileError::OutOfMemory`] when the training step (which
+    /// keeps all activations alive) does not fit in device memory.
+    pub fn profile_training(&self, net: &Network, batch: usize) -> Result<Trace, ProfileError> {
+        let needed = memory::training_footprint_bytes(net, batch);
+        self.check_memory(net, batch, needed)?;
+        let per_layer = crate::dispatch::dispatch_network_training(net, batch);
+        Ok(self.run(net, batch, &per_layer, 0x7124))
+    }
+
+    fn check_memory(&self, net: &Network, batch: usize, needed: u64) -> Result<(), ProfileError> {
+        let available = self.gpu.memory_bytes();
+        if needed > available {
+            return Err(ProfileError::OutOfMemory {
+                network: net.name().to_string(),
+                batch,
+                needed,
+                available,
+            });
+        }
+        Ok(())
+    }
+
+    fn run(
+        &self,
+        net: &Network,
+        batch: usize,
+        per_layer: &[Vec<crate::kernel::KernelDesc>],
+        mode_salt: u64,
+    ) -> Trace {
+        // Run-level systematic deviation (clocks, thermals, co-located
+        // load): affects every kernel of one measurement campaign alike and
+        // is not predictable from structure — part of any model's error
+        // floor, as on real hardware. Keyed by (network, batch, GPU) only:
+        // machine conditions do not depend on the execution mode.
+        let run_dev = crate::hashrng::lognormal(
+            crate::hashrng::hash_with(net.name(), 0x5EED ^ (batch as u64) << 8)
+                ^ crate::hashrng::hash_with(&self.gpu.name, 0x0D5),
+            RUN_SIGMA,
+        );
+
+        let mut layers = Vec::with_capacity(net.num_layers());
+        let mut gpu_time = 0.0;
+        for (li, (layer, descs)) in net.layers().iter().zip(per_layer).enumerate() {
+            let mut kernels = Vec::with_capacity(descs.len());
+            for (ki, desc) in descs.iter().enumerate() {
+                let key = hash_with(
+                    net.name(),
+                    mode_salt ^ (batch as u64) ^ ((li as u64) << 20) ^ ((ki as u64) << 40),
+                );
+                let seconds = self.timing.kernel_time(desc, &self.gpu, key) * run_dev;
+                gpu_time += seconds;
+                kernels.push(KernelTrace { name: desc.name.clone(), seconds });
+            }
+            let n = batch as u64;
+            layers.push(LayerTrace {
+                layer_index: li,
+                type_tag: layer.type_tag(),
+                flops: layer_flops(layer) * n,
+                in_elems: layer.input.elems() as u64 * n,
+                out_elems: layer.output.elems() as u64 * n,
+                kernels,
+            });
+        }
+
+        Trace {
+            network: net.name().to_string(),
+            family: net.family().to_string(),
+            batch,
+            gpu: self.gpu.name.clone(),
+            layers,
+            e2e_seconds: gpu_time + self.timing.sync_overhead(&self.gpu),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnnperf_dnn::zoo;
+
+    fn a100() -> Profiler {
+        Profiler::new(GpuSpec::by_name("A100").unwrap())
+    }
+
+    #[test]
+    fn resnet50_e2e_time_is_plausible_at_bs512() {
+        // Figure 4's line puts ~4 GFLOPs networks in the tens-to-hundreds of
+        // milliseconds at batch 512; our substrate runs a small constant
+        // factor slower (see EXPERIMENTS.md) but must stay in that decade.
+        let t = a100().profile(&zoo::resnet::resnet50(), 512).unwrap();
+        let ms = t.e2e_seconds * 1e3;
+        assert!(ms > 10.0 && ms < 1500.0, "ResNet-50 @512 on A100: {ms} ms");
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let a = a100().profile(&zoo::resnet::resnet18(), 64).unwrap();
+        let b = a100().profile(&zoo::resnet::resnet18(), 64).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn time_roughly_linear_in_batch_when_saturated() {
+        // The paper's O3: execution time is linear in batch size once the
+        // GPU is fully utilised.
+        let p = a100();
+        let net = zoo::resnet::resnet50();
+        let t128 = p.profile(&net, 128).unwrap().e2e_seconds;
+        let t512 = p.profile(&net, 512).unwrap().e2e_seconds;
+        let ratio = t512 / t128;
+        assert!(ratio > 3.2 && ratio < 4.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn small_batch_is_less_efficient() {
+        // Achieved throughput at batch 1 is well below batch 256 (Figure 6).
+        let p = a100();
+        let net = zoo::resnet::resnet50();
+        let t1 = p.profile(&net, 1).unwrap();
+        let t256 = p.profile(&net, 256).unwrap();
+        let tput1 = t1.total_flops() as f64 / t1.e2e_seconds;
+        let tput256 = t256.total_flops() as f64 / t256.e2e_seconds;
+        assert!(tput256 > 2.0 * tput1, "{tput1} vs {tput256}");
+    }
+
+    #[test]
+    fn oom_propagates() {
+        let p620 = Profiler::new(GpuSpec::by_name("Quadro P620").unwrap());
+        let err = p620.profile(&zoo::vgg::vgg16(), 512).unwrap_err();
+        assert!(matches!(err, ProfileError::OutOfMemory { .. }));
+        assert!(err.to_string().contains("out of memory"));
+    }
+
+    #[test]
+    fn faster_gpu_runs_faster() {
+        let net = zoo::resnet::resnet50();
+        let t_a100 = a100().profile(&net, 256).unwrap().e2e_seconds;
+        let t_1080 = Profiler::new(GpuSpec::by_name("GTX 1080 Ti").unwrap())
+            .profile(&net, 256)
+            .unwrap()
+            .e2e_seconds;
+        assert!(t_1080 > 1.5 * t_a100, "a100 {t_a100}, 1080ti {t_1080}");
+    }
+
+    #[test]
+    fn layer_to_kernel_mapping_shapes() {
+        let t = a100().profile(&zoo::resnet::resnet18(), 32).unwrap();
+        assert_eq!(t.layers.len(), zoo::resnet::resnet18().num_layers());
+        // Every conv layer launched at least one kernel.
+        for l in &t.layers {
+            if l.type_tag == "conv" {
+                assert!(!l.kernels.is_empty());
+            }
+        }
+        assert!(t.kernel_count() > t.layers.len() / 2);
+    }
+
+    #[test]
+    fn vgg_more_efficient_than_resnet_per_flop() {
+        // Figure 4: VGG sits on a faster line (more time-efficient per FLOP)
+        // than ResNet due to its large uniform convolutions.
+        let p = a100();
+        let r = p.profile(&zoo::resnet::resnet50(), 256).unwrap();
+        let v = p.profile(&zoo::vgg::vgg16(), 256).unwrap();
+        let r_s_per_gf = r.e2e_seconds / (r.total_flops() as f64 / 1e9);
+        let v_s_per_gf = v.e2e_seconds / (v.total_flops() as f64 / 1e9);
+        assert!(
+            v_s_per_gf < r_s_per_gf,
+            "VGG {v_s_per_gf} s/GFLOP vs ResNet {r_s_per_gf} s/GFLOP"
+        );
+    }
+}

@@ -1,0 +1,191 @@
+//! GPU hardware specifications (the paper's Table 1).
+
+use std::fmt;
+
+/// Static specification of a GPU, matching the columns of the paper's
+/// Table 1 plus the SM count used by the saturation model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100"`.
+    pub name: String,
+    /// Theoretical memory bandwidth in GB/s.
+    pub bandwidth_gbps: f64,
+    /// Device memory in GB.
+    pub memory_gb: f64,
+    /// Theoretical FP32 throughput in TFLOPS.
+    pub fp32_tflops: f64,
+    /// Tensor core count (informational; the FP32 paths modeled here do not
+    /// use them).
+    pub tensor_cores: u32,
+    /// Streaming multiprocessor count.
+    pub sm_count: u32,
+}
+
+impl GpuSpec {
+    /// Creates a custom (possibly hypothetical) GPU specification, as used by
+    /// the paper's Case Study 1 design-space exploration.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_gpu::GpuSpec;
+    ///
+    /// let custom = GpuSpec::new("TITAN-mod", 900.0, 24.0, 16.3, 576, 72);
+    /// assert_eq!(custom.bandwidth_gbps, 900.0);
+    /// ```
+    pub fn new(
+        name: impl Into<String>,
+        bandwidth_gbps: f64,
+        memory_gb: f64,
+        fp32_tflops: f64,
+        tensor_cores: u32,
+        sm_count: u32,
+    ) -> Self {
+        GpuSpec {
+            name: name.into(),
+            bandwidth_gbps,
+            memory_gb,
+            fp32_tflops,
+            tensor_cores,
+            sm_count,
+        }
+    }
+
+    /// Returns a copy with a modified memory bandwidth (Case Study 1:
+    /// "running ResNet-50 on modified TITAN RTX").
+    pub fn with_bandwidth(&self, bandwidth_gbps: f64) -> Self {
+        let mut g = self.clone();
+        g.bandwidth_gbps = bandwidth_gbps;
+        g.name = format!("{}@{:.0}GB/s", self.name, bandwidth_gbps);
+        g
+    }
+
+    /// Returns a Multi-Instance GPU slice holding `numerator`/`denominator`
+    /// of the device: SMs, memory bandwidth and memory capacity partition
+    /// proportionally, as on NVIDIA MIG (e.g. an A100 `3/7` slice). This is
+    /// the hardware side of the paper's future-work item on "emerging GPU
+    /// hardware (e.g., multi-instance GPUs)".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `numerator` is zero or exceeds `denominator`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let a100 = dnnperf_gpu::GpuSpec::by_name("A100").unwrap();
+    /// let slice = a100.mig_slice(3, 7);
+    /// assert!(slice.sm_count < a100.sm_count);
+    /// assert!(slice.name.contains("3/7"));
+    /// ```
+    pub fn mig_slice(&self, numerator: u32, denominator: u32) -> Self {
+        assert!(
+            numerator >= 1 && numerator <= denominator,
+            "MIG slice must be a fraction in (0, 1]"
+        );
+        let frac = numerator as f64 / denominator as f64;
+        GpuSpec {
+            name: format!("{}[{numerator}/{denominator}]", self.name),
+            bandwidth_gbps: self.bandwidth_gbps * frac,
+            memory_gb: self.memory_gb * frac,
+            fp32_tflops: self.fp32_tflops * frac,
+            tensor_cores: (self.tensor_cores as f64 * frac) as u32,
+            sm_count: ((self.sm_count as f64 * frac).round() as u32).max(1),
+        }
+    }
+
+    /// Theoretical bandwidth in bytes per second.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.bandwidth_gbps * 1e9
+    }
+
+    /// Theoretical FP32 throughput in FLOPs per second.
+    pub fn peak_flops(&self) -> f64 {
+        self.fp32_tflops * 1e12
+    }
+
+    /// Device memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.memory_gb * 1e9) as u64
+    }
+
+    /// The seven GPUs of the paper's Table 1.
+    pub fn all() -> Vec<GpuSpec> {
+        vec![
+            GpuSpec::new("A100", 1555.0, 40.0, 19.5, 432, 108),
+            GpuSpec::new("A40", 696.0, 48.0, 37.4, 336, 84),
+            GpuSpec::new("GTX 1080 Ti", 484.0, 11.0, 11.3, 0, 28),
+            GpuSpec::new("Quadro P620", 80.0, 2.0, 1.4, 0, 4),
+            GpuSpec::new("RTX A5000", 768.0, 24.0, 27.8, 256, 64),
+            GpuSpec::new("TITAN RTX", 672.0, 24.0, 16.3, 576, 72),
+            GpuSpec::new("V100", 900.0, 16.0, 14.1, 640, 80),
+        ]
+    }
+
+    /// Looks a Table 1 GPU up by name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let v100 = dnnperf_gpu::GpuSpec::by_name("V100").unwrap();
+    /// assert_eq!(v100.bandwidth_gbps, 900.0);
+    /// ```
+    pub fn by_name(name: &str) -> Option<GpuSpec> {
+        GpuSpec::all().into_iter().find(|g| g.name == name)
+    }
+}
+
+impl fmt::Display for GpuSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} GB/s, {} GB, {} TFLOPS FP32, {} SMs)",
+            self.name, self.bandwidth_gbps, self.memory_gb, self.fp32_tflops, self.sm_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_gpus() {
+        assert_eq!(GpuSpec::all().len(), 7);
+    }
+
+    #[test]
+    fn table1_values_match_paper() {
+        let a100 = GpuSpec::by_name("A100").unwrap();
+        assert_eq!(a100.bandwidth_gbps, 1555.0);
+        assert_eq!(a100.fp32_tflops, 19.5);
+        assert_eq!(a100.tensor_cores, 432);
+        let titan = GpuSpec::by_name("TITAN RTX").unwrap();
+        assert_eq!(titan.bandwidth_gbps, 672.0);
+        assert_eq!(titan.memory_gb, 24.0);
+        let p620 = GpuSpec::by_name("Quadro P620").unwrap();
+        assert_eq!(p620.memory_gb, 2.0);
+        assert_eq!(p620.tensor_cores, 0);
+    }
+
+    #[test]
+    fn by_name_misses_unknown() {
+        assert!(GpuSpec::by_name("H100").is_none());
+    }
+
+    #[test]
+    fn with_bandwidth_renames() {
+        let g = GpuSpec::by_name("TITAN RTX").unwrap().with_bandwidth(900.0);
+        assert_eq!(g.bandwidth_gbps, 900.0);
+        assert!(g.name.contains("TITAN RTX"));
+        assert!(g.name.contains("900"));
+    }
+
+    #[test]
+    fn unit_conversions() {
+        let g = GpuSpec::by_name("V100").unwrap();
+        assert_eq!(g.bandwidth_bytes(), 900e9);
+        assert_eq!(g.peak_flops(), 14.1e12);
+        assert_eq!(g.memory_bytes(), 16_000_000_000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Profiler traces: the layer-to-kernel mapping with measured times
+//! (the stand-in for the paper's PyTorch Profiler output, Figure 2).
+
+/// One timed kernel launch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrace {
+    /// Kernel symbol name.
+    pub name: String,
+    /// Measured execution time in seconds (averaged over the measurement
+    /// batches, per the paper's protocol).
+    pub seconds: f64,
+}
+
+/// One layer's execution record: static work descriptors plus the kernels it
+/// launched.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerTrace {
+    /// Index of the layer within the network.
+    pub layer_index: usize,
+    /// Layer type tag (`"conv"`, `"bn"`, ...).
+    pub type_tag: &'static str,
+    /// Theoretical FLOPs for the whole batch.
+    pub flops: u64,
+    /// Input size `N*C*H*W` (total input elements for the batch).
+    pub in_elems: u64,
+    /// Output size `N*C*H*W` (total output elements for the batch).
+    pub out_elems: u64,
+    /// Kernels launched for this layer, in order.
+    pub kernels: Vec<KernelTrace>,
+}
+
+impl LayerTrace {
+    /// Total GPU time of the layer (sum of its kernels), in seconds.
+    pub fn seconds(&self) -> f64 {
+        self.kernels.iter().map(|k| k.seconds).sum()
+    }
+}
+
+/// A complete profiled run of one network at one batch size on one GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Network display name.
+    pub network: String,
+    /// Network family tag.
+    pub family: String,
+    /// Batch size.
+    pub batch: usize,
+    /// GPU name.
+    pub gpu: String,
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerTrace>,
+    /// Measured end-to-end batch time in seconds (GPU time plus CPU-side
+    /// synchronisation overhead).
+    pub e2e_seconds: f64,
+}
+
+impl Trace {
+    /// Total GPU kernel time in seconds.
+    pub fn gpu_seconds(&self) -> f64 {
+        self.layers.iter().map(LayerTrace::seconds).sum()
+    }
+
+    /// Number of kernel launches in the run.
+    pub fn kernel_count(&self) -> usize {
+        self.layers.iter().map(|l| l.kernels.len()).sum()
+    }
+
+    /// Total theoretical FLOPs of the run.
+    pub fn total_flops(&self) -> u64 {
+        self.layers.iter().map(|l| l.flops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        Trace {
+            network: "n".into(),
+            family: "custom".into(),
+            batch: 2,
+            gpu: "A100".into(),
+            layers: vec![
+                LayerTrace {
+                    layer_index: 0,
+                    type_tag: "conv",
+                    flops: 100,
+                    in_elems: 10,
+                    out_elems: 20,
+                    kernels: vec![
+                        KernelTrace { name: "a".into(), seconds: 1.0 },
+                        KernelTrace { name: "b".into(), seconds: 2.0 },
+                    ],
+                },
+                LayerTrace {
+                    layer_index: 1,
+                    type_tag: "bn",
+                    flops: 7,
+                    in_elems: 20,
+                    out_elems: 20,
+                    kernels: vec![KernelTrace { name: "c".into(), seconds: 0.5 }],
+                },
+            ],
+            e2e_seconds: 3.6,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let t = sample();
+        assert_eq!(t.gpu_seconds(), 3.5);
+        assert_eq!(t.kernel_count(), 3);
+        assert_eq!(t.total_flops(), 107);
+        assert_eq!(t.layers[0].seconds(), 3.0);
+    }
+}

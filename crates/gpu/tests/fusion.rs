@@ -1,0 +1,63 @@
+//! Operator-fusion substrate tests.
+
+use dnnperf_gpu::dispatch::{dispatch_network, dispatch_network_with, Fusion};
+use dnnperf_gpu::{GpuSpec, Profiler};
+
+#[test]
+fn fusion_absorbs_bn_and_activation_kernels() {
+    let net = dnnperf_dnn::zoo::resnet::resnet18();
+    let plain = dispatch_network(&net, 16);
+    let fused = dispatch_network_with(&net, 16, Fusion::ConvBnAct);
+    assert_eq!(plain.len(), fused.len(), "per-layer structure preserved");
+    let count = |v: &[Vec<dnnperf_gpu::KernelDesc>]| v.iter().map(Vec::len).sum::<usize>();
+    assert!(
+        count(&fused) < count(&plain),
+        "fusion must eliminate kernels: {} vs {}",
+        count(&fused),
+        count(&plain)
+    );
+    // Absorbed BN layers launch nothing.
+    let empty_bns = net
+        .layers()
+        .iter()
+        .zip(&fused)
+        .filter(|(l, ks)| l.type_tag() == "bn" && ks.is_empty())
+        .count();
+    assert!(empty_bns > 10, "absorbed BN layers: {empty_bns}");
+}
+
+#[test]
+fn fusion_none_is_the_default_and_identical() {
+    let net = dnnperf_dnn::zoo::vgg::vgg11();
+    assert_eq!(
+        dispatch_network(&net, 8),
+        dispatch_network_with(&net, 8, Fusion::None)
+    );
+}
+
+#[test]
+fn fused_execution_is_faster() {
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let net = dnnperf_dnn::zoo::resnet::resnet50();
+    let plain = Profiler::new(gpu.clone()).profile(&net, 64).unwrap();
+    let fused = Profiler::new(gpu)
+        .with_fusion(Fusion::ConvBnAct)
+        .profile(&net, 64)
+        .unwrap();
+    assert!(fused.kernel_count() < plain.kernel_count());
+    let speedup = plain.e2e_seconds / fused.e2e_seconds;
+    assert!(
+        speedup > 1.02 && speedup < 1.6,
+        "fusion speedup {speedup} (eliminates elementwise round-trips)"
+    );
+}
+
+#[test]
+fn fusion_skips_shape_incompatible_chains() {
+    // VGG without BN: conv -> relu has no BatchNorm, so ConvBnAct fusion
+    // must leave everything alone except where the pattern matches.
+    let net = dnnperf_dnn::zoo::vgg::vgg11();
+    let plain = dispatch_network(&net, 8);
+    let fused = dispatch_network_with(&net, 8, Fusion::ConvBnAct);
+    assert_eq!(plain, fused, "no conv->bn chains in plain VGG");
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for the GPU measurement substrate.
+
+use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
+use dnnperf_gpu::dispatch::{dispatch_layer, dispatched_bytes};
+use dnnperf_gpu::kernel::{KernelDesc, KernelFamily, KernelRole};
+use dnnperf_gpu::{GpuSpec, Profiler, TimingModel};
+use proptest::prelude::*;
+
+fn arb_conv_layer() -> impl Strategy<Value = Layer> {
+    (1usize..128, 1usize..128, 4usize..64, prop::sample::select(vec![1usize, 3, 5, 7]), 1usize..3)
+        .prop_filter_map("conv must fit", |(c_in, c_out, hw, k, stride)| {
+            let conv = Conv2d::square(c_in, c_out, k, stride, k / 2);
+            Layer::apply(LayerKind::Conv2d(conv), TensorShape::chw(c_in, hw, hw)).ok()
+        })
+}
+
+proptest! {
+    #[test]
+    fn dispatch_is_total_and_consistent(layer in arb_conv_layer(), batch in 1usize..128) {
+        let kernels = dispatch_layer(&layer, batch);
+        prop_assert!(!kernels.is_empty(), "convolutions always launch kernels");
+        // Exactly one main kernel per convolution.
+        let mains = kernels.iter().filter(|k| k.role == KernelRole::Main).count();
+        prop_assert_eq!(mains, 1);
+        for k in &kernels {
+            prop_assert!(k.bytes > 0);
+            prop_assert!(k.work_items > 0);
+            prop_assert!(!k.name.is_empty());
+        }
+        prop_assert!(dispatched_bytes(&kernels) > 0);
+    }
+
+    #[test]
+    fn dispatch_work_is_linear_in_batch(layer in arb_conv_layer(), batch in 1usize..64) {
+        let one = dispatch_layer(&layer, batch);
+        let two = dispatch_layer(&layer, 2 * batch);
+        prop_assert_eq!(one.len(), two.len());
+        for (a, b) in one.iter().zip(&two) {
+            prop_assert_eq!(&a.name, &b.name, "kernel selection must not depend on batch");
+            prop_assert_eq!(2 * a.flops, b.flops);
+            prop_assert_eq!(2 * a.work_items, b.work_items);
+        }
+    }
+
+    #[test]
+    fn kernel_time_is_positive_and_monotone_in_bytes(
+        bytes in 1u64..(1 << 34),
+        gpu_idx in 0usize..7,
+    ) {
+        let gpus = GpuSpec::all();
+        let gpu = &gpus[gpu_idx];
+        let model = TimingModel::new();
+        let mk = |bytes| KernelDesc {
+            name: "bn_fw_inf_1C11_kernel".into(),
+            family: KernelFamily::BnInf,
+            role: KernelRole::Pre,
+            flops: bytes / 4,
+            bytes,
+            work_items: bytes / 4,
+        };
+        let t1 = model.kernel_time(&mk(bytes), gpu, 1);
+        let t2 = model.kernel_time(&mk(bytes * 2), gpu, 1);
+        prop_assert!(t1 > 0.0);
+        prop_assert!(t2 > t1 * 0.8, "doubling work must not speed things up: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn saturation_is_a_fraction_and_monotone(blocks in 1u64..1_000_000, gpu_idx in 0usize..7) {
+        let gpus = GpuSpec::all();
+        let model = TimingModel::new();
+        let s1 = model.saturation(blocks, &gpus[gpu_idx]);
+        let s2 = model.saturation(blocks * 2, &gpus[gpu_idx]);
+        prop_assert!(s1 > 0.0 && s1 < 1.0);
+        prop_assert!(s2 >= s1);
+    }
+
+    #[test]
+    fn profiling_scales_sublinearly_superlinearly_bounded(batch in 1usize..65) {
+        // Time at batch N is between 0.3x and 1.5x of N * time-per-sample
+        // at batch 128 (saturation + overheads bend it, but not wildly).
+        let net = dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0);
+        let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
+        let t_ref = prof.profile(&net, 128).unwrap().e2e_seconds / 128.0;
+        let t = prof.profile(&net, batch).unwrap().e2e_seconds / batch as f64;
+        let ratio = t / t_ref;
+        prop_assert!(ratio > 0.5 && ratio < 40.0, "per-sample ratio {ratio} at batch {batch}");
+        // Never much faster per sample than near-saturated execution (the
+        // two runs carry independent ~4% run-level measurement deviations).
+        prop_assert!(ratio > 0.8, "small batches cannot beat saturated throughput: {ratio}");
+    }
+}

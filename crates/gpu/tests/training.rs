@@ -1,0 +1,98 @@
+//! Training-mode substrate tests (forward + backward + optimizer update).
+
+use dnnperf_gpu::dispatch::{dispatch_layer, dispatch_layer_backward, dispatch_network_training};
+use dnnperf_gpu::kernel::KernelFamily;
+use dnnperf_gpu::{memory, GpuSpec, Profiler};
+
+#[test]
+fn conv_backward_launches_dgrad_and_wgrad() {
+    let net = dnnperf_dnn::zoo::resnet::resnet18();
+    let conv = net
+        .layers()
+        .iter()
+        .find(|l| l.type_tag() == "conv")
+        .expect("conv layer");
+    let bwd = dispatch_layer_backward(conv, 16);
+    let families: Vec<KernelFamily> = bwd.iter().map(|k| k.family).collect();
+    assert!(families.contains(&KernelFamily::DgradConv));
+    assert!(families.contains(&KernelFamily::WgradConv));
+    assert!(families.contains(&KernelFamily::OptimizerStep));
+    // Backward compute roughly doubles the forward FLOPs.
+    let fwd_flops: u64 = dispatch_layer(conv, 16).iter().map(|k| k.flops).sum();
+    let bwd_flops: u64 = bwd.iter().map(|k| k.flops).sum();
+    assert!(bwd_flops >= fwd_flops, "bwd {bwd_flops} vs fwd {fwd_flops}");
+}
+
+#[test]
+fn training_step_takes_about_three_times_inference() {
+    let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
+    let net = dnnperf_dnn::zoo::resnet::resnet50();
+    let inf = prof.profile(&net, 64).unwrap().e2e_seconds;
+    let train = prof.profile_training(&net, 64).unwrap().e2e_seconds;
+    let ratio = train / inf;
+    assert!(
+        ratio > 2.0 && ratio < 4.5,
+        "training/inference ratio {ratio} (rule of thumb: ~3x)"
+    );
+}
+
+#[test]
+fn training_needs_more_memory_than_inference() {
+    let net = dnnperf_dnn::zoo::resnet::resnet50();
+    assert!(memory::training_footprint_bytes(&net, 64) > memory::footprint_bytes(&net, 64));
+    // A batch that fits for inference can OOM for training.
+    let v100 = GpuSpec::by_name("V100").unwrap();
+    assert!(memory::fits(&net, 128, &v100));
+    assert!(!memory::fits_training(&net, 128, &v100));
+}
+
+#[test]
+fn training_traces_are_deterministic_and_distinct_from_inference() {
+    let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
+    let net = dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0);
+    let a = prof.profile_training(&net, 16).unwrap();
+    let b = prof.profile_training(&net, 16).unwrap();
+    assert_eq!(a, b);
+    let inf = prof.profile(&net, 16).unwrap();
+    assert!(a.kernel_count() > inf.kernel_count());
+    assert!(a.e2e_seconds > inf.e2e_seconds);
+}
+
+#[test]
+fn optimizer_step_is_batch_independent() {
+    let net = dnnperf_dnn::zoo::resnet::resnet18();
+    let conv = net
+        .layers()
+        .iter()
+        .find(|l| l.type_tag() == "conv")
+        .expect("conv layer");
+    let small = dispatch_layer_backward(conv, 4);
+    let big = dispatch_layer_backward(conv, 64);
+    let opt = |ks: &[dnnperf_gpu::KernelDesc]| {
+        ks.iter()
+            .find(|k| k.family == KernelFamily::OptimizerStep)
+            .map(|k| (k.flops, k.bytes))
+            .expect("optimizer step")
+    };
+    assert_eq!(opt(&small), opt(&big));
+}
+
+#[test]
+fn add_and_flatten_have_free_backward() {
+    let net = dnnperf_dnn::zoo::resnet::resnet18();
+    let add = net.layers().iter().find(|l| l.type_tag() == "add").unwrap();
+    assert!(dispatch_layer_backward(add, 8).is_empty());
+}
+
+#[test]
+fn training_dispatch_covers_every_layer() {
+    let net = dnnperf_dnn::zoo::densenet::densenet121();
+    let per_layer = dispatch_network_training(&net, 8);
+    assert_eq!(per_layer.len(), net.num_layers());
+    let fwd: usize = dnnperf_gpu::dispatch::dispatch_network(&net, 8)
+        .iter()
+        .map(Vec::len)
+        .sum();
+    let total: usize = per_layer.iter().map(Vec::len).sum();
+    assert!(total > 3 * fwd / 2, "training adds kernels: {total} vs {fwd}");
+}

@@ -1,0 +1,178 @@
+//! Prediction error metrics and the S-curve presentation used throughout the
+//! paper's evaluation (Figures 11–14).
+
+/// Mean absolute relative error: `mean(|pred - measured| / measured)`.
+///
+/// This is the paper's headline "error" metric (e.g. "7% error" for the KW
+/// model). Pairs with non-positive measurements are skipped.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let e = dnnperf_linreg::mean_abs_rel_error(&[11.0, 9.0], &[10.0, 10.0]);
+/// assert!((e - 0.1).abs() < 1e-12);
+/// ```
+pub fn mean_abs_rel_error(predicted: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        measured.len(),
+        "mean_abs_rel_error: length mismatch"
+    );
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (p, m) in predicted.iter().zip(measured) {
+        if *m > 0.0 {
+            sum += (p - m).abs() / m;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Linear-interpolated percentile of a sample, `p` in `[0, 100]`.
+///
+/// Returns `f64::NAN` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(dnnperf_linreg::percentile(&xs, 0.0), 1.0);
+/// assert_eq!(dnnperf_linreg::percentile(&xs, 100.0), 4.0);
+/// assert_eq!(dnnperf_linreg::percentile(&xs, 50.0), 2.5);
+/// ```
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in sample"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median of a sample (50th percentile).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dnnperf_linreg::median(&[3.0, 1.0, 2.0]), 2.0);
+/// ```
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// One point of an S-curve: the predicted/measured ratio at a position in the
+/// sorted test set (X axis of Figures 11–14).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SCurvePoint {
+    /// Position in the sorted test set, in percent `[0, 100]`.
+    pub percent: f64,
+    /// Predicted time divided by measured time at that position.
+    pub ratio: f64,
+}
+
+/// Computes the sorted predicted/measured ratio curve the paper plots as an
+/// "S-curve", sampled at the given percentages.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// let curve = dnnperf_linreg::ratio_curve(
+///     &[1.0, 2.0, 3.0],
+///     &[1.0, 1.0, 1.0],
+///     &[0.0, 50.0, 100.0],
+/// );
+/// assert_eq!(curve[0].ratio, 1.0);
+/// assert_eq!(curve[2].ratio, 3.0);
+/// ```
+pub fn ratio_curve(predicted: &[f64], measured: &[f64], percents: &[f64]) -> Vec<SCurvePoint> {
+    assert_eq!(predicted.len(), measured.len(), "ratio_curve: length mismatch");
+    let ratios: Vec<f64> = predicted
+        .iter()
+        .zip(measured)
+        .filter(|(_, m)| **m > 0.0)
+        .map(|(p, m)| p / m)
+        .collect();
+    percents
+        .iter()
+        .map(|&p| SCurvePoint {
+            percent: p,
+            ratio: percentile(&ratios, p),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mare_zero_for_perfect_predictions() {
+        assert_eq!(mean_abs_rel_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn mare_skips_nonpositive_measurements() {
+        let e = mean_abs_rel_error(&[1.0, 5.0], &[0.0, 4.0]);
+        assert!((e - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mare_empty_is_zero() {
+        assert_eq!(mean_abs_rel_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range() {
+        assert_eq!(percentile(&[1.0, 2.0], -5.0), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 200.0), 2.0);
+    }
+
+    #[test]
+    fn percentile_singleton() {
+        assert_eq!(percentile(&[42.0], 75.0), 42.0);
+    }
+
+    #[test]
+    fn median_even_sample_interpolates() {
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), 2.5);
+    }
+
+    #[test]
+    fn ratio_curve_is_monotone() {
+        let pred = [0.5, 2.0, 1.0, 1.5, 0.9];
+        let meas = [1.0; 5];
+        let pts = ratio_curve(&pred, &meas, &[0.0, 25.0, 50.0, 75.0, 100.0]);
+        for w in pts.windows(2) {
+            assert!(w[0].ratio <= w[1].ratio);
+        }
+        assert_eq!(pts[0].ratio, 0.5);
+        assert_eq!(pts[4].ratio, 2.0);
+    }
+}

@@ -1,0 +1,501 @@
+//! One-variable ordinary least squares.
+//!
+//! All dnnperf performance models are built from [`fit`] (slope + intercept)
+//! or [`fit_through_origin`] (slope only, used when the physical model forces
+//! the line through zero, e.g. "zero work takes zero time on top of a known
+//! launch overhead").
+
+use std::error::Error;
+use std::fmt;
+
+/// A fitted line `y = slope * x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Line {
+    /// Slope of the line; for time-vs-work fits this is seconds per unit of
+    /// work, i.e. the reciprocal of the achieved throughput.
+    pub slope: f64,
+    /// Intercept of the line; for time-vs-work fits this absorbs fixed
+    /// per-invocation overhead.
+    pub intercept: f64,
+}
+
+impl Line {
+    /// Creates a line from its two coefficients.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let l = dnnperf_linreg::Line::new(2.0, 1.0);
+    /// assert_eq!(l.eval(3.0), 7.0);
+    /// ```
+    pub fn new(slope: f64, intercept: f64) -> Self {
+        Line { slope, intercept }
+    }
+
+    /// Evaluates the line at `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+impl fmt::Display for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "y = {:.6e} * x + {:.6e}", self.slope, self.intercept)
+    }
+}
+
+/// The result of a least-squares fit: the [`Line`], its coefficient of
+/// determination and the number of samples it was computed from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Fitted line.
+    pub line: Line,
+    /// Coefficient of determination in `[-inf, 1]`; `1.0` is a perfect fit.
+    pub r2: f64,
+    /// Number of samples used.
+    pub n: usize,
+}
+
+impl Fit {
+    /// Predicts `y` at `x` with the fitted line.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # fn main() -> Result<(), dnnperf_linreg::FitError> {
+    /// let f = dnnperf_linreg::fit(&[0.0, 1.0], &[1.0, 3.0])?;
+    /// assert!((f.predict(2.0) - 5.0).abs() < 1e-12);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn predict(&self, x: f64) -> f64 {
+        self.line.eval(x)
+    }
+}
+
+/// Errors produced when a least-squares fit cannot be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two samples were supplied.
+    TooFewPoints {
+        /// Number of samples that were supplied.
+        got: usize,
+    },
+    /// All `x` values are identical, so the slope is undefined.
+    DegenerateX,
+    /// The two input slices have different lengths.
+    LengthMismatch {
+        /// Length of the `x` slice.
+        xs: usize,
+        /// Length of the `y` slice.
+        ys: usize,
+    },
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::TooFewPoints { got } => {
+                write!(f, "need at least 2 samples to fit a line, got {got}")
+            }
+            FitError::DegenerateX => write!(f, "all x values are identical"),
+            FitError::LengthMismatch { xs, ys } => {
+                write!(f, "sample length mismatch: {xs} x values vs {ys} y values")
+            }
+        }
+    }
+}
+
+impl Error for FitError {}
+
+fn check_inputs(xs: &[f64], ys: &[f64]) -> Result<(), FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(FitError::TooFewPoints { got: xs.len() });
+    }
+    Ok(())
+}
+
+fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
+    let my = crate::stats::mean(ys);
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - line.eval(*x);
+            e * e
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        // All y identical: the fit is perfect iff the residuals are zero.
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fits `y = slope * x + intercept` by ordinary least squares.
+///
+/// # Errors
+///
+/// Returns [`FitError::LengthMismatch`] if the slices differ in length,
+/// [`FitError::TooFewPoints`] with fewer than two samples, and
+/// [`FitError::DegenerateX`] if every `x` is identical.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dnnperf_linreg::FitError> {
+/// let f = dnnperf_linreg::fit(&[1.0, 2.0, 3.0], &[3.0, 5.0, 7.0])?;
+/// assert!((f.line.slope - 2.0).abs() < 1e-12);
+/// assert!((f.line.intercept - 1.0).abs() < 1e-12);
+/// assert!((f.r2 - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    check_inputs(xs, ys)?;
+    let mx = crate::stats::mean(xs);
+    let my = crate::stats::mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let slope = sxy / sxx;
+    let line = Line::new(slope, my - slope * mx);
+    Ok(Fit {
+        line,
+        r2: r_squared(xs, ys, line),
+        n: xs.len(),
+    })
+}
+
+/// Fits `y = slope * x` (no intercept) by least squares.
+///
+/// Used when the model demands `f(0) = 0`; the reported `r2` is still computed
+/// against the mean of `y` so it remains comparable with [`fit`].
+///
+/// # Errors
+///
+/// Returns [`FitError::LengthMismatch`] if the slices differ in length,
+/// [`FitError::TooFewPoints`] with fewer than one sample pair, and
+/// [`FitError::DegenerateX`] if every `x` is zero.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dnnperf_linreg::FitError> {
+/// let f = dnnperf_linreg::fit_through_origin(&[1.0, 2.0], &[2.0, 4.0])?;
+/// assert!((f.line.slope - 2.0).abs() < 1e-12);
+/// assert_eq!(f.line.intercept, 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    if xs.len() != ys.len() {
+        return Err(FitError::LengthMismatch {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
+    }
+    if xs.is_empty() {
+        return Err(FitError::TooFewPoints { got: 0 });
+    }
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let line = Line::new(sxy / sxx, 0.0);
+    Ok(Fit {
+        line,
+        r2: r_squared(xs, ys, line),
+        n: xs.len(),
+    })
+}
+
+/// Fits `y = slope * x + intercept` with the intercept constrained to
+/// `[0, min(y)]`.
+///
+/// For time-vs-work data the intercept is a fixed per-invocation overhead:
+/// it cannot be negative and cannot exceed the cheapest observed invocation.
+/// When plain OLS lands outside that range (typically due to curvature or
+/// within-group heterogeneity), the intercept is clamped and the slope
+/// refitted through the origin on the shifted data.
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dnnperf_linreg::FitError> {
+/// // Plain OLS on this data yields a negative intercept.
+/// let f = dnnperf_linreg::fit_bounded_intercept(&[1.0, 2.0, 10.0], &[0.5, 1.5, 11.0])?;
+/// assert!(f.line.intercept >= 0.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_bounded_intercept(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    let f = fit(xs, ys)?;
+    let min_y = ys.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+    if f.line.intercept >= 0.0 && f.line.intercept <= min_y {
+        return Ok(f);
+    }
+    let b = f.line.intercept.clamp(0.0, min_y);
+    let shifted: Vec<f64> = ys.iter().map(|y| y - b).collect();
+    let slope = fit_through_origin(xs, &shifted)?.line.slope.max(0.0);
+    let line = Line::new(slope, b);
+    Ok(Fit {
+        line,
+        r2: r_squared(xs, ys, line),
+        n: xs.len(),
+    })
+}
+
+/// Coefficients of a two-feature affine fit `y = a*x1 + b*x2 + c`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlaneFit {
+    /// Coefficient of the first feature.
+    pub a: f64,
+    /// Coefficient of the second feature.
+    pub b: f64,
+    /// Intercept.
+    pub c: f64,
+}
+
+impl PlaneFit {
+    /// Evaluates the fitted plane.
+    pub fn eval(&self, x1: f64, x2: f64) -> f64 {
+        self.a * x1 + self.b * x2 + self.c
+    }
+}
+
+/// Fits `y = a*x1 + b*x2 + c` by least squares (3x3 normal equations).
+///
+/// # Errors
+///
+/// Returns [`FitError::LengthMismatch`] if the slices differ in length,
+/// [`FitError::TooFewPoints`] with fewer than three samples, and
+/// [`FitError::DegenerateX`] when the normal matrix is singular (e.g. the
+/// features are collinear).
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), dnnperf_linreg::FitError> {
+/// let x1 = [1.0, 2.0, 3.0, 4.0];
+/// let x2 = [1.0, 0.0, 1.0, 0.0];
+/// let ys = [4.0, 5.0, 8.0, 9.0]; // y = 2*x1 + 1*x2 + 1
+/// let p = dnnperf_linreg::fit_plane(&x1, &x2, &ys)?;
+/// assert!((p.a - 2.0).abs() < 1e-9 && (p.b - 1.0).abs() < 1e-9 && (p.c - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fit_plane(x1: &[f64], x2: &[f64], ys: &[f64]) -> Result<PlaneFit, FitError> {
+    if x1.len() != ys.len() || x2.len() != ys.len() {
+        return Err(FitError::LengthMismatch { xs: x1.len().min(x2.len()), ys: ys.len() });
+    }
+    if ys.len() < 3 {
+        return Err(FitError::TooFewPoints { got: ys.len() });
+    }
+    // Normal equations A^T A beta = A^T y with columns [x1, x2, 1].
+    let n = ys.len() as f64;
+    let (mut s11, mut s12, mut s1, mut s22, mut s2) = (0.0, 0.0, 0.0, 0.0, 0.0);
+    let (mut t1, mut t2, mut t0) = (0.0, 0.0, 0.0);
+    for ((&a, &b), &y) in x1.iter().zip(x2).zip(ys) {
+        s11 += a * a;
+        s12 += a * b;
+        s1 += a;
+        s22 += b * b;
+        s2 += b;
+        t1 += a * y;
+        t2 += b * y;
+        t0 += y;
+    }
+    let mut m = [
+        [s11, s12, s1, t1],
+        [s12, s22, s2, t2],
+        [s1, s2, n, t0],
+    ];
+    // Gaussian elimination with partial pivoting.
+    for col in 0..3 {
+        let pivot = (col..3)
+            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
+            .expect("3 rows");
+        m.swap(col, pivot);
+        if m[col][col].abs() < 1e-30 {
+            return Err(FitError::DegenerateX);
+        }
+        for row in 0..3 {
+            if row != col {
+                let factor = m[row][col] / m[col][col];
+                let pivot_row = m[col];
+                for (cell, pivot_cell) in m[row].iter_mut().zip(pivot_row).skip(col) {
+                    *cell -= factor * pivot_cell;
+                }
+            }
+        }
+    }
+    Ok(PlaneFit {
+        a: m[0][3] / m[0][0],
+        b: m[1][3] / m[1][1],
+        c: m[2][3] / m[2][2],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.5 * x - 2.0).collect();
+        let f = fit(&xs, &ys).unwrap();
+        assert!((f.line.slope - 3.5).abs() < 1e-12);
+        assert!((f.line.intercept + 2.0).abs() < 1e-12);
+        assert!((f.r2 - 1.0).abs() < 1e-12);
+        assert_eq!(f.n, 20);
+    }
+
+    #[test]
+    fn too_few_points() {
+        assert_eq!(fit(&[1.0], &[1.0]), Err(FitError::TooFewPoints { got: 1 }));
+    }
+
+    #[test]
+    fn degenerate_x() {
+        assert_eq!(fit(&[2.0, 2.0], &[1.0, 3.0]), Err(FitError::DegenerateX));
+    }
+
+    #[test]
+    fn length_mismatch() {
+        assert_eq!(
+            fit(&[1.0, 2.0], &[1.0]),
+            Err(FitError::LengthMismatch { xs: 2, ys: 1 })
+        );
+    }
+
+    #[test]
+    fn through_origin_matches_expected() {
+        // Least squares through origin: slope = sum(xy)/sum(x^2).
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.1, 5.9];
+        let f = fit_through_origin(&xs, &ys).unwrap();
+        let expected = (2.0 + 8.2 + 17.7) / 14.0;
+        assert!((f.line.slope - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_all_zero_x_is_degenerate() {
+        assert_eq!(
+            fit_through_origin(&[0.0, 0.0], &[1.0, 2.0]),
+            Err(FitError::DegenerateX)
+        );
+    }
+
+    #[test]
+    fn noisy_fit_has_reasonable_r2() {
+        // y = 2x with +-5% deterministic "noise".
+        let xs: Vec<f64> = (1..100).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 2.0 * x * if i % 2 == 0 { 1.05 } else { 0.95 })
+            .collect();
+        let f = fit(&xs, &ys).unwrap();
+        assert!((f.line.slope - 2.0).abs() < 0.1);
+        assert!(f.r2 > 0.98, "r2 = {}", f.r2);
+    }
+
+    #[test]
+    fn constant_y_perfect_fit_r2_is_one() {
+        let f = fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.line.slope, 0.0);
+        assert_eq!(f.r2, 1.0);
+    }
+
+    #[test]
+    fn bounded_intercept_within_range_is_plain_ols() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [1.5, 2.5, 3.5]; // intercept 0.5, min y 1.5
+        let plain = fit(&xs, &ys).unwrap();
+        let bounded = fit_bounded_intercept(&xs, &ys).unwrap();
+        assert_eq!(plain, bounded);
+    }
+
+    #[test]
+    fn bounded_intercept_clamps_negative() {
+        let xs = [1.0, 2.0, 10.0];
+        let ys = [0.5, 1.5, 11.0];
+        let f = fit_bounded_intercept(&xs, &ys).unwrap();
+        assert_eq!(f.line.intercept, 0.0);
+        assert!(f.line.slope > 0.0);
+    }
+
+    #[test]
+    fn bounded_intercept_never_exceeds_min_y() {
+        // Concave data pushes OLS intercepts above the smallest sample.
+        let xs = [1.0, 100.0, 10_000.0];
+        let ys = [5.0, 20.0, 120.0];
+        let f = fit_bounded_intercept(&xs, &ys).unwrap();
+        assert!(f.line.intercept <= 5.0, "intercept {}", f.line.intercept);
+        assert!(f.line.intercept >= 0.0);
+    }
+
+    #[test]
+    fn plane_fit_collinear_features_is_degenerate() {
+        let x1 = [1.0, 2.0, 3.0, 4.0];
+        let x2 = [2.0, 4.0, 6.0, 8.0]; // x2 = 2*x1
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(fit_plane(&x1, &x2, &ys), Err(FitError::DegenerateX));
+    }
+
+    #[test]
+    fn plane_fit_too_few_points() {
+        assert_eq!(
+            fit_plane(&[1.0, 2.0], &[0.0, 1.0], &[1.0, 2.0]),
+            Err(FitError::TooFewPoints { got: 2 })
+        );
+    }
+
+    #[test]
+    fn plane_fit_minimizes_noisy_residuals() {
+        let x1: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let x2: Vec<f64> = (0..30).map(|i| ((i * 7) % 11) as f64).collect();
+        let ys: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .enumerate()
+            .map(|(i, (a, b))| 3.0 * a - 2.0 * b + 5.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let p = fit_plane(&x1, &x2, &ys).unwrap();
+        assert!((p.a - 3.0).abs() < 0.05, "{p:?}");
+        assert!((p.b + 2.0).abs() < 0.05, "{p:?}");
+        assert!((p.c - 5.0).abs() < 0.3, "{p:?}");
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Line::new(1.0, 0.5);
+        assert!(format!("{l}").contains("* x +"));
+        assert!(!format!("{:?}", FitError::DegenerateX).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! GPU selection and multi-GPU queue scheduling (paper Case Study 3).
+//!
+//! A machine-learning-as-a-service operator with heterogeneous GPUs wants
+//! to (1) route each network to the GPU that runs it fastest and (2)
+//! schedule a queue of jobs across the GPUs to minimise the overall
+//! completion time (makespan). Both decisions only need *predicted* times,
+//! which is what makes a microsecond-latency performance model valuable —
+//! the paper brute-forces the schedule "thanks to the extremely fast
+//! execution".
+
+#![warn(missing_docs)]
+
+pub mod queue;
+
+pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes, Schedule};
+
+/// Picks the GPU index with the lowest predicted time for one job.
+///
+/// # Panics
+///
+/// Panics if `times` is empty.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(dnnperf_sched::best_gpu(&[3.0, 1.0, 2.0]), 1);
+/// ```
+pub fn best_gpu(times: &[f64]) -> usize {
+    assert!(!times.is_empty(), "no GPUs to choose from");
+    times
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("nonempty")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn best_gpu_picks_minimum() {
+        assert_eq!(super::best_gpu(&[5.0, 4.0, 4.5]), 1);
+        assert_eq!(super::best_gpu(&[1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no GPUs")]
+    fn empty_panics() {
+        super::best_gpu(&[]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Queue scheduling across heterogeneous GPUs.
+
+/// One job (a network inference task) with its execution time on each GPU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTimes {
+    /// Job (network) name.
+    pub name: String,
+    /// Execution time on each GPU, in seconds; all jobs must agree on the
+    /// GPU ordering.
+    pub per_gpu: Vec<f64>,
+}
+
+/// A complete assignment of jobs to GPUs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// `assignment[j]` is the GPU index job `j` runs on.
+    pub assignment: Vec<usize>,
+    /// The makespan under the times used for scheduling.
+    pub makespan: f64,
+}
+
+fn gpu_count(jobs: &[JobTimes]) -> usize {
+    let k = jobs.first().map_or(0, |j| j.per_gpu.len());
+    assert!(k > 0, "jobs must list at least one GPU");
+    assert!(
+        jobs.iter().all(|j| j.per_gpu.len() == k),
+        "all jobs must cover the same GPUs"
+    );
+    k
+}
+
+/// Computes the makespan of an assignment under the given per-job times.
+///
+/// # Panics
+///
+/// Panics if the assignment length differs from the job count or indexes a
+/// nonexistent GPU.
+pub fn evaluate_makespan(jobs: &[JobTimes], assignment: &[usize]) -> f64 {
+    assert_eq!(jobs.len(), assignment.len(), "assignment length mismatch");
+    let k = gpu_count(jobs);
+    let mut load = vec![0.0; k];
+    for (job, &gpu) in jobs.iter().zip(assignment) {
+        assert!(gpu < k, "assignment references GPU {gpu}, only {k} exist");
+        load[gpu] += job.per_gpu[gpu];
+    }
+    load.into_iter().fold(0.0, f64::max)
+}
+
+/// Exhaustive search over all `k^n` assignments — optimal, and entirely
+/// practical when predictions cost microseconds (the paper schedules 9
+/// networks on 2 GPUs).
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty, the GPU lists disagree, or the search space
+/// `k^n` exceeds 2^24 (use [`lpt_schedule`] for big instances).
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_sched::{brute_force_schedule, JobTimes};
+///
+/// let jobs = vec![
+///     JobTimes { name: "a".into(), per_gpu: vec![2.0, 4.0] },
+///     JobTimes { name: "b".into(), per_gpu: vec![3.0, 3.0] },
+/// ];
+/// let s = brute_force_schedule(&jobs);
+/// assert_eq!(s.assignment, vec![0, 1]);
+/// assert_eq!(s.makespan, 3.0);
+/// ```
+pub fn brute_force_schedule(jobs: &[JobTimes]) -> Schedule {
+    assert!(!jobs.is_empty(), "no jobs to schedule");
+    let k = gpu_count(jobs);
+    let n = jobs.len();
+    let space = (k as f64).powi(n as i32);
+    assert!(space <= (1u64 << 24) as f64, "search space too large: {k}^{n}");
+
+    let mut best: Option<Schedule> = None;
+    let mut assignment = vec![0usize; n];
+    loop {
+        let makespan = evaluate_makespan(jobs, &assignment);
+        if best.as_ref().is_none_or(|b| makespan < b.makespan) {
+            best = Some(Schedule { assignment: assignment.clone(), makespan });
+        }
+        // Increment the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == n {
+                return best.expect("at least one assignment evaluated");
+            }
+            assignment[i] += 1;
+            if assignment[i] < k {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Longest-processing-time-first greedy scheduling: jobs sorted by their
+/// fastest time descending, each placed on the GPU whose completion time
+/// (current load plus this job) is smallest.
+///
+/// # Panics
+///
+/// Panics if `jobs` is empty or the GPU lists disagree.
+pub fn lpt_schedule(jobs: &[JobTimes]) -> Schedule {
+    assert!(!jobs.is_empty(), "no jobs to schedule");
+    let k = gpu_count(jobs);
+    let mut order: Vec<usize> = (0..jobs.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ta = jobs[a].per_gpu.iter().cloned().fold(f64::INFINITY, f64::min);
+        let tb = jobs[b].per_gpu.iter().cloned().fold(f64::INFINITY, f64::min);
+        tb.total_cmp(&ta)
+    });
+    let mut load = vec![0.0; k];
+    let mut assignment = vec![0usize; jobs.len()];
+    for &j in &order {
+        let gpu = (0..k)
+            .min_by(|&a, &b| {
+                (load[a] + jobs[j].per_gpu[a]).total_cmp(&(load[b] + jobs[j].per_gpu[b]))
+            })
+            .expect("k > 0");
+        assignment[j] = gpu;
+        load[gpu] += jobs[j].per_gpu[gpu];
+    }
+    let makespan = evaluate_makespan(jobs, &assignment);
+    Schedule { assignment, makespan }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(name: &str, times: &[f64]) -> JobTimes {
+        JobTimes { name: name.into(), per_gpu: times.to_vec() }
+    }
+
+    #[test]
+    fn brute_force_is_optimal_on_known_instance() {
+        // Classic 2-machine instance: jobs 3,3,2,2,2 balance as 6 / 6.
+        let jobs: Vec<JobTimes> = [3.0, 3.0, 2.0, 2.0, 2.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| job(&format!("j{i}"), &[t, t]))
+            .collect();
+        let s = brute_force_schedule(&jobs);
+        assert_eq!(s.makespan, 6.0);
+    }
+
+    #[test]
+    fn brute_force_exploits_heterogeneity() {
+        let jobs = vec![
+            job("fast_on_0", &[1.0, 10.0]),
+            job("fast_on_1", &[10.0, 1.0]),
+        ];
+        let s = brute_force_schedule(&jobs);
+        assert_eq!(s.assignment, vec![0, 1]);
+        assert_eq!(s.makespan, 1.0);
+    }
+
+    #[test]
+    fn lpt_never_beats_brute_force() {
+        let jobs = vec![
+            job("a", &[4.0, 5.0]),
+            job("b", &[3.0, 2.0]),
+            job("c", &[2.0, 2.5]),
+            job("d", &[6.0, 7.0]),
+            job("e", &[1.0, 0.5]),
+        ];
+        let opt = brute_force_schedule(&jobs);
+        let greedy = lpt_schedule(&jobs);
+        assert!(greedy.makespan >= opt.makespan - 1e-12);
+    }
+
+    #[test]
+    fn evaluate_matches_manual_accounting() {
+        let jobs = vec![job("a", &[2.0, 9.0]), job("b", &[9.0, 3.0]), job("c", &[1.0, 1.0])];
+        let m = evaluate_makespan(&jobs, &[0, 1, 0]);
+        assert_eq!(m, 3.0);
+    }
+
+    #[test]
+    fn single_gpu_schedules_everything_there() {
+        let jobs = vec![job("a", &[1.0]), job("b", &[2.0])];
+        let s = brute_force_schedule(&jobs);
+        assert_eq!(s.assignment, vec![0, 0]);
+        assert_eq!(s.makespan, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same GPUs")]
+    fn ragged_gpu_lists_panic() {
+        let jobs = vec![job("a", &[1.0, 2.0]), job("b", &[1.0])];
+        brute_force_schedule(&jobs);
+    }
+
+    #[test]
+    #[should_panic(expected = "search space")]
+    fn oversized_search_space_panics() {
+        let jobs: Vec<JobTimes> = (0..30).map(|i| job(&format!("j{i}"), &[1.0, 1.0])).collect();
+        brute_force_schedule(&jobs);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the scheduling case study.
+
+use dnnperf_sched::{best_gpu, brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes};
+use proptest::prelude::*;
+
+fn arb_jobs(max_jobs: usize, gpus: usize) -> impl Strategy<Value = Vec<JobTimes>> {
+    prop::collection::vec(prop::collection::vec(0.01..100.0f64, gpus..=gpus), 1..=max_jobs)
+        .prop_map(|rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, per_gpu)| JobTimes { name: format!("job{i}"), per_gpu })
+                .collect()
+        })
+}
+
+proptest! {
+    #[test]
+    fn brute_force_is_optimal(jobs in arb_jobs(8, 2), probe in prop::collection::vec(0usize..2, 8)) {
+        let opt = brute_force_schedule(&jobs);
+        // No explicit assignment may beat it.
+        let assignment: Vec<usize> = probe.iter().take(jobs.len()).copied().collect();
+        if assignment.len() == jobs.len() {
+            let m = evaluate_makespan(&jobs, &assignment);
+            prop_assert!(opt.makespan <= m + 1e-12);
+        }
+        // And the reported makespan is self-consistent.
+        prop_assert!((evaluate_makespan(&jobs, &opt.assignment) - opt.makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lpt_is_feasible_and_bounded(jobs in arb_jobs(12, 3)) {
+        let greedy = lpt_schedule(&jobs);
+        prop_assert_eq!(greedy.assignment.len(), jobs.len());
+        for &g in &greedy.assignment {
+            prop_assert!(g < 3);
+        }
+        // Never worse than putting everything on one GPU.
+        for gpu in 0..3 {
+            let all_on_one = vec![gpu; jobs.len()];
+            prop_assert!(greedy.makespan <= evaluate_makespan(&jobs, &all_on_one) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lpt_never_beats_brute_force(jobs in arb_jobs(7, 2)) {
+        let opt = brute_force_schedule(&jobs);
+        let greedy = lpt_schedule(&jobs);
+        prop_assert!(greedy.makespan >= opt.makespan - 1e-12);
+    }
+
+    #[test]
+    fn makespan_lower_bound_holds(jobs in arb_jobs(8, 2)) {
+        // Makespan is at least the largest single job (on its best GPU) and
+        // at least the best-case average load.
+        let opt = brute_force_schedule(&jobs);
+        let max_single = jobs
+            .iter()
+            .map(|j| j.per_gpu.iter().cloned().fold(f64::INFINITY, f64::min))
+            .fold(0.0, f64::max);
+        prop_assert!(opt.makespan >= max_single - 1e-12);
+        let total_best: f64 = jobs
+            .iter()
+            .map(|j| j.per_gpu.iter().cloned().fold(f64::INFINITY, f64::min))
+            .sum();
+        prop_assert!(opt.makespan >= total_best / 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn best_gpu_is_argmin(times in prop::collection::vec(0.01..100.0f64, 1..8)) {
+        let g = best_gpu(&times);
+        for t in &times {
+            prop_assert!(times[g] <= *t);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Disaggregated-memory GPU system simulation (Case Study 2).
+//!
+//! The system: a GPU with a small local memory attached to a huge remote
+//! memory pool over a network link. "The GPU runs a prefetcher that keeps
+//! fetching the layer parameters required for future layer computing while
+//! the GPU calculates the layer output."
+//!
+//! Layer `i` may start computing once (a) layer `i-1` has finished and
+//! (b) its parameters have arrived. The prefetcher streams parameters in
+//! layer order over the link, at most `lookahead` layers ahead of the
+//! compute front (bounded local memory).
+
+use crate::event::EventQueue;
+use crate::link::Link;
+use dnnperf_core::KwModel;
+use dnnperf_dnn::flops::layer_params;
+use dnnperf_dnn::Network;
+
+/// Per-layer work description fed to the simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerWork {
+    /// Time to compute the layer on the GPU, in seconds.
+    pub compute_seconds: f64,
+    /// Parameter bytes that must arrive before the layer can run.
+    pub param_bytes: u64,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggConfig {
+    /// Network link bandwidth in GB/s.
+    pub link_bandwidth_gbps: f64,
+    /// How many layers ahead of the compute front the prefetcher may run.
+    pub lookahead: usize,
+}
+
+impl Default for DisaggConfig {
+    fn default() -> Self {
+        DisaggConfig {
+            link_bandwidth_gbps: 16.0,
+            lookahead: 8,
+        }
+    }
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisaggResult {
+    /// End-to-end time of the inference pass, in seconds.
+    pub total_seconds: f64,
+    /// Pure compute time (lower bound with an infinitely fast link).
+    pub compute_seconds: f64,
+    /// Time the GPU spent stalled waiting for parameters.
+    pub stall_seconds: f64,
+}
+
+impl DisaggResult {
+    /// Fraction of time the GPU was computing.
+    pub fn utilization(&self) -> f64 {
+        if self.total_seconds == 0.0 {
+            1.0
+        } else {
+            self.compute_seconds / self.total_seconds
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    FetchDone(usize),
+    ComputeDone(usize),
+}
+
+/// Runs the event-driven disaggregated-memory simulation.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_simkit::{simulate_disaggregated, DisaggConfig, LayerWork};
+///
+/// let layers = vec![LayerWork { compute_seconds: 1e-3, param_bytes: 16_000_000 }; 10];
+/// let slow = simulate_disaggregated(&layers, DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 4 });
+/// let fast = simulate_disaggregated(&layers, DisaggConfig { link_bandwidth_gbps: 512.0, lookahead: 4 });
+/// assert!(slow.total_seconds > fast.total_seconds);
+/// ```
+pub fn simulate_disaggregated(layers: &[LayerWork], cfg: DisaggConfig) -> DisaggResult {
+    assert!(cfg.lookahead > 0, "lookahead must be at least 1");
+    let n = layers.len();
+    let compute_seconds: f64 = layers.iter().map(|l| l.compute_seconds).sum();
+    if n == 0 {
+        return DisaggResult {
+            total_seconds: 0.0,
+            compute_seconds: 0.0,
+            stall_seconds: 0.0,
+        };
+    }
+
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut link = Link::new(cfg.link_bandwidth_gbps);
+    let mut fetched = vec![false; n];
+    let mut computed = vec![false; n];
+    let mut compute_front = 0usize; // next layer to compute
+    let mut fetch_front = 0usize; // next layer to request
+    let mut computing = false;
+    let mut finish_time = 0.0;
+
+    // Seed: prefetch the initial window.
+    while fetch_front < n.min(cfg.lookahead) {
+        let (_, end) = link.transfer(0.0, layers[fetch_front].param_bytes);
+        q.schedule(end, Ev::FetchDone(fetch_front));
+        fetch_front += 1;
+    }
+
+    while let Some((now, ev)) = q.pop() {
+        match ev {
+            Ev::FetchDone(i) => fetched[i] = true,
+            Ev::ComputeDone(i) => {
+                computed[i] = true;
+                computing = false;
+                finish_time = now;
+                // Compute progress frees local memory: extend the prefetch
+                // window.
+                while fetch_front < n && fetch_front < compute_front + cfg.lookahead + 1 {
+                    let (_, end) = link.transfer(now, layers[fetch_front].param_bytes);
+                    q.schedule(end, Ev::FetchDone(fetch_front));
+                    fetch_front += 1;
+                }
+            }
+        }
+        // Start the next layer if its dependencies are met.
+        if !computing && compute_front < n && fetched[compute_front] {
+            let ready = compute_front == 0 || computed[compute_front - 1];
+            if ready {
+                let i = compute_front;
+                q.schedule(now + layers[i].compute_seconds, Ev::ComputeDone(i));
+                computing = true;
+                compute_front += 1;
+            }
+        }
+    }
+
+    DisaggResult {
+        total_seconds: finish_time,
+        compute_seconds,
+        stall_seconds: (finish_time - compute_seconds).max(0.0),
+    }
+}
+
+/// Derives per-layer work from a trained KW model's layer predictions and
+/// the network's static parameter counts.
+pub fn layer_work_from_model(model: &KwModel, net: &Network, batch: usize) -> Vec<LayerWork> {
+    net.layers()
+        .iter()
+        .map(|l| LayerWork {
+            compute_seconds: model.predict_layer(l, batch),
+            param_bytes: layer_params(l) * dnnperf_dnn::flops::BYTES_PER_ELEM,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, compute: f64, bytes: u64) -> Vec<LayerWork> {
+        vec![LayerWork { compute_seconds: compute, param_bytes: bytes }; n]
+    }
+
+    #[test]
+    fn infinite_bandwidth_approaches_pure_compute() {
+        let layers = uniform(20, 1e-3, 4_000_000);
+        let r = simulate_disaggregated(
+            &layers,
+            DisaggConfig { link_bandwidth_gbps: 100_000.0, lookahead: 4 },
+        );
+        assert!((r.total_seconds - r.compute_seconds) / r.compute_seconds < 0.01);
+        assert!(r.utilization() > 0.99);
+    }
+
+    #[test]
+    fn bandwidth_bound_regime_matches_transfer_time() {
+        // Compute is negligible; total time ~= total bytes / bandwidth.
+        let layers = uniform(10, 1e-9, 1_000_000_000);
+        let r = simulate_disaggregated(
+            &layers,
+            DisaggConfig { link_bandwidth_gbps: 10.0, lookahead: 2 },
+        );
+        let expected = 10.0 * 1e9 / 10e9;
+        assert!((r.total_seconds - expected).abs() / expected < 0.01, "{r:?}");
+        assert!(r.utilization() < 0.01);
+    }
+
+    #[test]
+    fn speedup_saturates_with_bandwidth() {
+        let layers = uniform(30, 5e-4, 8_000_000);
+        let t16 = simulate_disaggregated(
+            &layers,
+            DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 8 },
+        )
+        .total_seconds;
+        let mut last = f64::INFINITY;
+        let mut speedups = Vec::new();
+        for bw in [32.0, 64.0, 128.0, 256.0, 512.0] {
+            let t = simulate_disaggregated(
+                &layers,
+                DisaggConfig { link_bandwidth_gbps: bw, lookahead: 8 },
+            )
+            .total_seconds;
+            assert!(t <= last * (1.0 + 1e-9));
+            last = t;
+            speedups.push(t16 / t);
+        }
+        // Monotone speedups that flatten once compute-bound.
+        assert!(speedups[0] > 1.0);
+        let tail_gain = speedups[4] / speedups[3];
+        let head_gain = speedups[1] / speedups[0];
+        assert!(head_gain > tail_gain, "{speedups:?}");
+    }
+
+    #[test]
+    fn lookahead_one_still_overlaps_next_layer() {
+        let layers = uniform(10, 1e-3, 16_000_000);
+        let no_overlap: f64 = layers
+            .iter()
+            .map(|l| l.compute_seconds + l.param_bytes as f64 / 16e9)
+            .sum();
+        let r = simulate_disaggregated(
+            &layers,
+            DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 1 },
+        );
+        assert!(r.total_seconds < no_overlap);
+    }
+
+    #[test]
+    fn empty_network_is_free() {
+        let r = simulate_disaggregated(&[], DisaggConfig::default());
+        assert_eq!(r.total_seconds, 0.0);
+    }
+
+    #[test]
+    fn accounting_identity_holds() {
+        let layers = uniform(15, 2e-4, 32_000_000);
+        let r = simulate_disaggregated(
+            &layers,
+            DisaggConfig { link_bandwidth_gbps: 32.0, lookahead: 4 },
+        );
+        assert!((r.total_seconds - (r.compute_seconds + r.stall_seconds)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "lookahead")]
+    fn zero_lookahead_panics() {
+        simulate_disaggregated(&uniform(2, 1e-3, 1), DisaggConfig {
+            link_bandwidth_gbps: 16.0,
+            lookahead: 0,
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! Event-driven simulation substrate and the disaggregated-memory case
+//! study (paper Case Study 2).
+//!
+//! The paper connects its performance model to "a simple network model from
+//! MGPUSim ... a pure event-driven simulator, allowing us to fast-forward to
+//! the end of each kernel without simulating cycle-by-cycle details". This
+//! crate provides the corresponding pieces:
+//!
+//! * [`event`] — a discrete event queue;
+//! * [`link`] — a serializing network-link model;
+//! * [`disagg`] — a disaggregated-memory GPU system: compute times come from
+//!   a dnnperf performance model, layer parameters are prefetched from a
+//!   remote memory pool over the link while earlier layers compute.
+
+#![warn(missing_docs)]
+
+pub mod disagg;
+pub mod event;
+pub mod link;
+
+pub use disagg::{simulate_disaggregated, DisaggConfig, DisaggResult, LayerWork};
+pub use event::EventQueue;
+pub use link::Link;

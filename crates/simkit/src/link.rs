@@ -1,0 +1,90 @@
+//! A serializing network-link model (the MGPUSim-style "simple network
+//! model" of Case Study 2).
+
+/// A full-duplex-agnostic point-to-point link: one transfer at a time, FIFO.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    bandwidth_bytes_per_s: f64,
+    busy_until: f64,
+}
+
+impl Link {
+    /// Creates a link with the given bandwidth in GB/s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gbps` is not positive.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// let mut link = dnnperf_simkit::Link::new(16.0);
+    /// // 16 GB over a 16 GB/s link takes one second.
+    /// let (start, end) = link.transfer(0.0, 16_000_000_000);
+    /// assert_eq!(start, 0.0);
+    /// assert!((end - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn new(gbps: f64) -> Self {
+        assert!(gbps > 0.0, "link bandwidth must be positive");
+        Link {
+            bandwidth_bytes_per_s: gbps * 1e9,
+            busy_until: 0.0,
+        }
+    }
+
+    /// The link bandwidth in bytes per second.
+    pub fn bandwidth_bytes(&self) -> f64 {
+        self.bandwidth_bytes_per_s
+    }
+
+    /// The time at which the link becomes idle.
+    pub fn busy_until(&self) -> f64 {
+        self.busy_until
+    }
+
+    /// Enqueues a transfer of `bytes` requested at time `now`; returns its
+    /// (start, end) times. Transfers serialize in request order.
+    pub fn transfer(&mut self, now: f64, bytes: u64) -> (f64, f64) {
+        let start = now.max(self.busy_until);
+        let end = start + bytes as f64 / self.bandwidth_bytes_per_s;
+        self.busy_until = end;
+        (start, end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfers_serialize() {
+        let mut l = Link::new(1.0); // 1 GB/s
+        let (s1, e1) = l.transfer(0.0, 500_000_000);
+        let (s2, e2) = l.transfer(0.0, 500_000_000);
+        assert_eq!(s1, 0.0);
+        assert!((e1 - 0.5).abs() < 1e-12);
+        assert_eq!(s2, e1);
+        assert!((e2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idle_link_starts_immediately() {
+        let mut l = Link::new(1.0);
+        l.transfer(0.0, 1_000_000);
+        let (s, _) = l.transfer(10.0, 1_000_000);
+        assert_eq!(s, 10.0);
+    }
+
+    #[test]
+    fn zero_bytes_is_instant() {
+        let mut l = Link::new(1.0);
+        let (s, e) = l.transfer(3.0, 0);
+        assert_eq!(s, e);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_bandwidth_panics() {
+        Link::new(0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the event queue, link model and the
+//! disaggregated-memory simulation.
+
+use dnnperf_simkit::{simulate_disaggregated, DisaggConfig, EventQueue, LayerWork, Link};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn event_queue_pops_in_sorted_order(times in prop::collection::vec(0.0..1e6f64, 0..200)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut last = f64::NEG_INFINITY;
+        let mut count = 0;
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            count += 1;
+        }
+        prop_assert_eq!(count, times.len());
+    }
+
+    #[test]
+    fn link_transfers_never_overlap(requests in prop::collection::vec((0.0..100.0f64, 0u64..1 << 30), 1..50)) {
+        let mut link = Link::new(8.0);
+        let mut sorted = requests.clone();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut last_end = 0.0f64;
+        let mut now = 0.0f64;
+        for (at, bytes) in sorted {
+            now = now.max(at);
+            let (start, end) = link.transfer(now, bytes);
+            prop_assert!(start >= last_end - 1e-12, "transfers overlap: start {start} < {last_end}");
+            prop_assert!(end >= start);
+            let expected = bytes as f64 / 8e9;
+            prop_assert!((end - start - expected).abs() < 1e-12);
+            last_end = end;
+        }
+    }
+
+    #[test]
+    fn disagg_invariants_hold(
+        layers in prop::collection::vec((1e-7..1e-2f64, 0u64..64_000_000), 1..60),
+        bw in 1.0..1000.0f64,
+        lookahead in 1usize..16,
+    ) {
+        let work: Vec<LayerWork> = layers
+            .iter()
+            .map(|&(c, p)| LayerWork { compute_seconds: c, param_bytes: p })
+            .collect();
+        let r = simulate_disaggregated(&work, DisaggConfig { link_bandwidth_gbps: bw, lookahead });
+        let compute: f64 = work.iter().map(|l| l.compute_seconds).sum();
+        let fetch: f64 = work.iter().map(|l| l.param_bytes as f64).sum::<f64>() / (bw * 1e9);
+        // Total time is at least the compute and at least the serialized
+        // fetch, and at most their sum.
+        prop_assert!(r.total_seconds >= compute - 1e-12);
+        prop_assert!(r.total_seconds >= fetch - 1e-9);
+        prop_assert!(r.total_seconds <= compute + fetch + 1e-9);
+        prop_assert!((r.total_seconds - (r.compute_seconds + r.stall_seconds)).abs() < 1e-9);
+        let u = r.utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u));
+    }
+
+    #[test]
+    fn disagg_monotone_in_bandwidth(
+        layers in prop::collection::vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
+        bw in 2.0..500.0f64,
+    ) {
+        let work: Vec<LayerWork> = layers
+            .iter()
+            .map(|&(c, p)| LayerWork { compute_seconds: c, param_bytes: p })
+            .collect();
+        let cfg = |b| DisaggConfig { link_bandwidth_gbps: b, lookahead: 4 };
+        let slow = simulate_disaggregated(&work, cfg(bw)).total_seconds;
+        let fast = simulate_disaggregated(&work, cfg(bw * 2.0)).total_seconds;
+        prop_assert!(fast <= slow + 1e-12, "more bandwidth slowed things down: {slow} -> {fast}");
+    }
+
+    #[test]
+    fn disagg_monotone_in_lookahead(
+        layers in prop::collection::vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
+        lookahead in 1usize..12,
+    ) {
+        let work: Vec<LayerWork> = layers
+            .iter()
+            .map(|&(c, p)| LayerWork { compute_seconds: c, param_bytes: p })
+            .collect();
+        let cfg = |l| DisaggConfig { link_bandwidth_gbps: 32.0, lookahead: l };
+        let shallow = simulate_disaggregated(&work, cfg(lookahead)).total_seconds;
+        let deep = simulate_disaggregated(&work, cfg(lookahead + 4)).total_seconds;
+        prop_assert!(deep <= shallow + 1e-12, "deeper prefetch slowed things down");
+    }
+}

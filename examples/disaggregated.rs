@@ -1,0 +1,52 @@
+//! Case Study 2: sizing the network link of a memory-disaggregated GPU
+//! system (paper Figure 17).
+//!
+//! A GPU with small local memory streams its layer parameters from a
+//! remote memory pool. The KW model supplies per-layer compute times; a
+//! small event-driven simulation overlaps prefetch with compute and reports
+//! how fast the link must be to keep the GPU busy.
+//!
+//! ```sh
+//! cargo run --release --example disaggregated
+//! ```
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::zoo;
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::KwModel;
+use dnnperf::simkit::{disagg::layer_work_from_model, simulate_disaggregated, DisaggConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let nets: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
+    println!("training the KW model on {} networks ...", nets.len());
+    let dataset = collect(&nets, std::slice::from_ref(&gpu), &[4]);
+    let kw = KwModel::train(&dataset, &gpu.name)?;
+
+    let workload = zoo::resnet::resnet50();
+    let work = layer_work_from_model(&kw, &workload, 1);
+    let params_mb: f64 = work.iter().map(|w| w.param_bytes as f64).sum::<f64>() / 1e6;
+    let compute_ms: f64 = work.iter().map(|w| w.compute_seconds).sum::<f64>() * 1e3;
+    println!(
+        "\n{}: {:.0} MB of parameters to stream, {:.2} ms of predicted compute per image",
+        workload.name(),
+        params_mb,
+        compute_ms
+    );
+
+    println!("\n{:>10} | {:>10} | {:>11} | {:>11}", "link GB/s", "total", "GPU stalled", "utilization");
+    for bw in [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0] {
+        let r = simulate_disaggregated(
+            &work,
+            DisaggConfig { link_bandwidth_gbps: bw, lookahead: 2 },
+        );
+        println!(
+            "{bw:>10} | {:>7.2} ms | {:>8.2} ms | {:>10.0}%",
+            r.total_seconds * 1e3,
+            r.stall_seconds * 1e3,
+            r.utilization() * 100.0
+        );
+    }
+    println!("\npick the smallest link that keeps utilization near 100%");
+    Ok(())
+}

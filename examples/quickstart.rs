@@ -1,0 +1,61 @@
+//! Quickstart: collect measurements, train all three single-GPU models,
+//! and predict a network none of them has seen.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::zoo;
+use dnnperf::gpu::{GpuSpec, Profiler};
+use dnnperf::model::Workflow;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpu = GpuSpec::by_name("A100").expect("A100 is in the Table 1 catalogue");
+    let batch = 64;
+
+    // 1. Measure a small training zoo (the paper uses 646 networks; a
+    //    handful is enough to see the workflow).
+    let training_nets = [
+        zoo::resnet::resnet18(),
+        zoo::resnet::resnet34(),
+        zoo::resnet::resnet50(),
+        zoo::resnet::resnet101(),
+        zoo::vgg::vgg11(),
+        zoo::vgg::vgg16(),
+        zoo::densenet::densenet121(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    println!("collecting measurements for {} networks on {} ...", training_nets.len(), gpu.name);
+    let dataset = collect(&training_nets, std::slice::from_ref(&gpu), &[batch]);
+    println!(
+        "  {} kernel measurements, {} distinct kernels",
+        dataset.kernels.len(),
+        dataset.distinct_kernels()
+    );
+
+    // 2. Train the E2E, Layer-Wise and Kernel-Wise models (Figure 10).
+    let suite = Workflow::train(&dataset, &gpu.name)?;
+    println!(
+        "trained KW model: {} kernels -> {} regressions",
+        suite.kw.num_kernels(),
+        suite.kw.num_models()
+    );
+
+    // 3. Predict a network the models never saw, and compare with a real
+    //    measurement.
+    let unseen = zoo::resnet::resnet77();
+    let measured = Profiler::new(gpu).profile(&unseen, batch)?.e2e_seconds;
+    println!("\npredicting {} at batch {batch}:", unseen.name());
+    println!("  measured      : {:8.3} ms", measured * 1e3);
+    for model in suite.models() {
+        let predicted = model.predict_network(&unseen, batch)?;
+        println!(
+            "  {:<4} predicted: {:8.3} ms  (error {:+.1}%)",
+            model.name(),
+            predicted * 1e3,
+            (predicted / measured - 1.0) * 100.0
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! Case Study 3: real-time task scheduling across heterogeneous GPUs
+//! (paper Figures 18/19).
+//!
+//! A machine-learning-as-a-service operator owns an A40 and a TITAN RTX.
+//! The KW models predict every job's time on both GPUs; predictions are
+//! cheap enough to brute-force the assignment that minimizes the overall
+//! completion time.
+//!
+//! ```sh
+//! cargo run --release --example scheduling
+//! ```
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::zoo;
+use dnnperf::gpu::{GpuSpec, Profiler};
+use dnnperf::model::{KwModel, Predictor};
+use dnnperf::sched::{best_gpu, brute_force_schedule, evaluate_makespan, JobTimes};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpus = [
+        GpuSpec::by_name("A40").unwrap(),
+        GpuSpec::by_name("TITAN RTX").unwrap(),
+    ];
+    let batch = 128;
+
+    let training: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
+    println!("training one KW model per GPU ({} training networks) ...", training.len());
+    let dataset = collect(&training, &gpus, &[batch]);
+    let models: Vec<KwModel> = gpus
+        .iter()
+        .map(|g| KwModel::train(&dataset, &g.name))
+        .collect::<Result<_, _>>()?;
+
+    // The incoming job queue.
+    let queue = [
+        zoo::resnet::resnet50(),
+        zoo::resnet::resnet77(),
+        zoo::densenet::densenet121(),
+        zoo::densenet::densenet169(),
+        zoo::shufflenet::shufflenet_v1(3, 1.0, &[4, 8, 4]),
+        zoo::vgg::vgg16(),
+    ];
+    let jobs: Vec<JobTimes> = queue
+        .iter()
+        .map(|n| {
+            Ok(JobTimes {
+                name: n.name().to_string(),
+                per_gpu: models
+                    .iter()
+                    .map(|m| m.predict_network(n, batch))
+                    .collect::<Result<_, _>>()?,
+            })
+        })
+        .collect::<Result<_, dnnperf::model::PredictError>>()?;
+
+    println!("\nper-job routing (fastest predicted GPU):");
+    for job in &jobs {
+        let g = best_gpu(&job.per_gpu);
+        println!(
+            "  {:<14} -> {:<9} ({:.1} ms predicted)",
+            job.name,
+            gpus[g].name,
+            job.per_gpu[g] * 1e3
+        );
+    }
+
+    let schedule = brute_force_schedule(&jobs);
+    println!("\nqueue schedule minimizing makespan (predicted): {:.1} ms", schedule.makespan * 1e3);
+    for (job, &g) in jobs.iter().zip(&schedule.assignment) {
+        println!("  {:<14} on {}", job.name, gpus[g].name);
+    }
+
+    // Validate against ground-truth measurements.
+    let actual: Vec<JobTimes> = queue
+        .iter()
+        .map(|n| JobTimes {
+            name: n.name().to_string(),
+            per_gpu: gpus
+                .iter()
+                .map(|g| Profiler::new(g.clone()).profile(n, batch).expect("fits").e2e_seconds)
+                .collect(),
+        })
+        .collect();
+    let achieved = evaluate_makespan(&actual, &schedule.assignment);
+    let oracle = brute_force_schedule(&actual).makespan;
+    println!(
+        "\nachieved makespan {:.1} ms vs oracle {:.1} ms ({:+.1}% gap)",
+        achieved * 1e3,
+        oracle * 1e3,
+        (achieved / oracle - 1.0) * 100.0
+    );
+    Ok(())
+}

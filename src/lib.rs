@@ -1,0 +1,62 @@
+//! # dnnperf
+//!
+//! Fast, linear-regression-based GPU execution time prediction for DNN
+//! workloads — a Rust implementation of *"Path Forward Beyond Simulators:
+//! Fast and Accurate GPU Execution Time Prediction for DNN Workloads"*
+//! (Li, Sun, Jog — MICRO 2023).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`dnn`] — layer IR, FLOPs counting, and the 646-network model zoo;
+//! * [`gpu`] — GPU specs, cuDNN-like dispatch, and the measurement
+//!   substrate (profiler + hidden ground-truth timing simulator);
+//! * [`data`] — the measurement dataset, CSV IO and train/test splitting;
+//! * [`linreg`] — ordinary least squares and error metrics;
+//! * [`model`] — **the paper's contribution**: the E2E, Layer-Wise,
+//!   Kernel-Wise and Inter-GPU Kernel-Wise predictors;
+//! * [`simkit`] — event-driven simulation (disaggregated-memory case study);
+//! * [`baseline`] — the cycle-approximate simulator with PKS/PKA sampling;
+//! * [`sched`] — GPU selection and queue scheduling case studies.
+//!
+//! # Quick start
+//!
+//! Collect measurements, train the Kernel-Wise model, predict a network it
+//! has never seen:
+//!
+//! ```
+//! use dnnperf::data::collect::collect;
+//! use dnnperf::dnn::zoo;
+//! use dnnperf::gpu::GpuSpec;
+//! use dnnperf::model::{KwModel, Predictor};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let gpu = GpuSpec::by_name("A100").unwrap();
+//! let training_nets = [
+//!     zoo::resnet::resnet18(),
+//!     zoo::resnet::resnet34(),
+//!     zoo::resnet::resnet50(),
+//!     zoo::vgg::vgg11(),
+//! ];
+//! let dataset = collect(&training_nets, &[gpu], &[64]);
+//!
+//! let model = KwModel::train(&dataset, "A100")?;
+//! let unseen = zoo::resnet::resnet101();
+//! let seconds = model.predict_network(&unseen, 64)?;
+//! assert!(seconds > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! See `examples/` for the paper's three case studies and DESIGN.md for the
+//! per-experiment index.
+
+#![warn(missing_docs)]
+
+pub use dnnperf_baseline as baseline;
+pub use dnnperf_core as model;
+pub use dnnperf_data as data;
+pub use dnnperf_dnn as dnn;
+pub use dnnperf_gpu as gpu;
+pub use dnnperf_linreg as linreg;
+pub use dnnperf_sched as sched;
+pub use dnnperf_simkit as simkit;

@@ -1,0 +1,278 @@
+//! The `dnnperf` command-line tool: collect measurement datasets, train
+//! performance models, ship them as text files, and predict execution times
+//! for networks and hypothetical GPUs — the paper's Figure 10 workflow from
+//! a shell.
+//!
+//! ```text
+//! dnnperf list-gpus
+//! dnnperf list-networks [--family resnet]
+//! dnnperf collect --gpu A100 [--gpu V100 ...] [--batch 512] [--every K] --out DIR
+//! dnnperf train --data DIR --gpu A100 [--model kw|lw|e2e] --out FILE
+//! dnnperf predict --model FILE --network ResNet-50 [--batch 512]
+//! dnnperf dse --network ResNet-50 [--batch 128] [--min 200] [--max 1400]
+//! ```
+//!
+//! Argument parsing is hand-rolled (see DESIGN.md's dependency notes).
+
+use dnnperf::data::collect::collect;
+use dnnperf::data::csv::{read_dataset, write_dataset};
+use dnnperf::dnn::{zoo, Network};
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::{E2eModel, IgkwModel, KwModel, LwModel, Predictor};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "list-gpus" => list_gpus(),
+        "list-networks" => parse_flags(rest).and_then(list_networks),
+        "collect" => parse_flags(rest).and_then(cmd_collect),
+        "train" => parse_flags(rest).and_then(cmd_train),
+        "predict" => parse_flags(rest).and_then(cmd_predict),
+        "dse" => parse_flags(rest).and_then(cmd_dse),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "dnnperf — GPU execution time prediction for DNN workloads
+
+USAGE:
+    dnnperf list-gpus
+    dnnperf list-networks [--family <tag>]
+    dnnperf collect --gpu <name>... [--batch <n>] [--every <k>] --out <dir>
+    dnnperf train --data <dir> --gpu <name> [--model kw|lw|e2e] --out <file>
+    dnnperf predict --model <file> --network <name> [--batch <n>] [--on-gpu <name>] [--bandwidth <GB/s>]
+    dnnperf dse --network <name> [--batch <n>] [--min <GB/s>] [--max <GB/s>]";
+
+/// Parsed `--flag value` pairs; repeated flags accumulate.
+struct Flags(HashMap<String, Vec<String>>);
+
+impl Flags {
+    fn one(&self, name: &str) -> Result<&str, String> {
+        self.opt(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn opt(&self, name: &str) -> Option<&str> {
+        self.0.get(name).and_then(|v| v.last()).map(String::as_str)
+    }
+
+    fn all(&self, name: &str) -> &[String] {
+        self.0.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.opt(name) {
+            None => Ok(default),
+            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{name}: {raw:?}")),
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut map: HashMap<String, Vec<String>> = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(name) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument {arg:?}"));
+        };
+        let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+        map.entry(name.to_string()).or_default().push(value.clone());
+    }
+    Ok(Flags(map))
+}
+
+fn list_gpus() -> Result<(), String> {
+    println!(
+        "{:<12} {:>10} {:>8} {:>8} {:>6} {:>5}",
+        "GPU", "BW (GB/s)", "Mem(GB)", "TFLOPS", "TC", "SMs"
+    );
+    for g in GpuSpec::all() {
+        println!(
+            "{:<12} {:>10} {:>8} {:>8} {:>6} {:>5}",
+            g.name, g.bandwidth_gbps, g.memory_gb, g.fp32_tflops, g.tensor_cores, g.sm_count
+        );
+    }
+    Ok(())
+}
+
+fn list_networks(flags: Flags) -> Result<(), String> {
+    let family = flags.opt("family");
+    let mut count = 0;
+    for net in zoo::full_zoo() {
+        if let Some(f) = family {
+            if net.family().to_string() != f {
+                continue;
+            }
+        }
+        println!(
+            "{:<40} {:>9.3} GFLOPs  {:>5} layers  [{}]",
+            net.name(),
+            net.total_flops() as f64 / 1e9,
+            net.num_layers(),
+            net.family()
+        );
+        count += 1;
+    }
+    eprintln!("{count} networks");
+    Ok(())
+}
+
+fn resolve_network(name: &str) -> Result<Network, String> {
+    if let Some(net) = zoo::by_name(name) {
+        return Ok(net);
+    }
+    zoo::full_zoo()
+        .into_iter()
+        .find(|n| n.name() == name)
+        .ok_or_else(|| format!("unknown network {name:?}; try `dnnperf list-networks`"))
+}
+
+fn resolve_gpu(name: &str) -> Result<GpuSpec, String> {
+    GpuSpec::by_name(name).ok_or_else(|| format!("unknown GPU {name:?}; try `dnnperf list-gpus`"))
+}
+
+fn cmd_collect(flags: Flags) -> Result<(), String> {
+    let gpu_names = flags.all("gpu");
+    if gpu_names.is_empty() {
+        return Err("need at least one --gpu".into());
+    }
+    let gpus: Vec<GpuSpec> = gpu_names
+        .iter()
+        .map(|n| resolve_gpu(n))
+        .collect::<Result<_, _>>()?;
+    let batch: usize = flags.num("batch", 512)?;
+    let every: usize = flags.num("every", 1)?;
+    let out = PathBuf::from(flags.one("out")?);
+
+    let nets: Vec<Network> = zoo::full_zoo().into_iter().step_by(every.max(1)).collect();
+    eprintln!("collecting {} networks x {} GPUs at batch {batch} ...", nets.len(), gpus.len());
+    let ds = collect(&nets, &gpus, &[batch]);
+    write_dataset(&ds, &out).map_err(|e| format!("writing dataset: {e}"))?;
+    eprintln!(
+        "wrote {} network rows, {} layer rows, {} kernel rows to {}",
+        ds.networks.len(),
+        ds.layers.len(),
+        ds.kernels.len(),
+        out.display()
+    );
+    Ok(())
+}
+
+fn cmd_train(flags: Flags) -> Result<(), String> {
+    let data = PathBuf::from(flags.one("data")?);
+    let gpu = flags.one("gpu")?;
+    let kind = flags.opt("model").unwrap_or("kw");
+    let out = PathBuf::from(flags.one("out")?);
+
+    let ds = read_dataset(&data).map_err(|e| format!("reading dataset: {e}"))?;
+    let text = match kind {
+        "kw" => KwModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
+        "lw" => LwModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
+        "e2e" => E2eModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
+        "igkw" => {
+            let gpus: Vec<GpuSpec> = ds
+                .gpu_names()
+                .iter()
+                .map(|n| resolve_gpu(n))
+                .collect::<Result<_, _>>()?;
+            IgkwModel::train(&ds, &gpus).map_err(|e| e.to_string())?.to_text()
+        }
+        other => return Err(format!("unknown model kind {other:?} (kw|lw|e2e|igkw)")),
+    };
+    std::fs::write(&out, &text).map_err(|e| format!("writing model: {e}"))?;
+    eprintln!("wrote {kind} model ({} bytes) to {}", text.len(), out.display());
+    Ok(())
+}
+
+fn cmd_predict(flags: Flags) -> Result<(), String> {
+    let path = PathBuf::from(flags.one("model")?);
+    let net = resolve_network(flags.one("network")?)?;
+    let batch: usize = flags.num("batch", 512)?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("reading model: {e}"))?;
+    let kind = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(2))
+        .ok_or("model file has no header")?;
+
+    let seconds = match kind {
+        "kw" => KwModel::from_text(&text)
+            .map_err(|e| e.to_string())?
+            .predict_network(&net, batch)
+            .map_err(|e| e.to_string())?,
+        "lw" => LwModel::from_text(&text)
+            .map_err(|e| e.to_string())?
+            .predict_network(&net, batch)
+            .map_err(|e| e.to_string())?,
+        "e2e" => E2eModel::from_text(&text)
+            .map_err(|e| e.to_string())?
+            .predict_network(&net, batch)
+            .map_err(|e| e.to_string())?,
+        "igkw" => {
+            let target = resolve_gpu(flags.one("on-gpu")?)?;
+            let target = match flags.opt("bandwidth") {
+                Some(bw) => target.with_bandwidth(
+                    bw.parse().map_err(|_| format!("bad --bandwidth {bw:?}"))?,
+                ),
+                None => target,
+            };
+            IgkwModel::from_text(&text)
+                .map_err(|e| e.to_string())?
+                .predict_network_on(&net, batch, &target)
+                .map_err(|e| e.to_string())?
+        }
+        other => return Err(format!("model file holds unsupported kind {other:?}")),
+    };
+    println!("{:.6} ms", seconds * 1e3);
+    Ok(())
+}
+
+fn cmd_dse(flags: Flags) -> Result<(), String> {
+    let net = resolve_network(flags.one("network")?)?;
+    let batch: usize = flags.num("batch", 128)?;
+    let min: u32 = flags.num("min", 200)?;
+    let max: u32 = flags.num("max", 1400)?;
+    if min == 0 || min > max {
+        return Err("need 0 < --min <= --max".into());
+    }
+
+    let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti", "V100"]
+        .iter()
+        .map(|n| resolve_gpu(n))
+        .collect::<Result<_, _>>()?;
+    eprintln!("training the inter-GPU model on {} GPUs ...", train_gpus.len());
+    let nets: Vec<Network> = zoo::cnn_zoo().into_iter().step_by(6).collect();
+    let ds = collect(&nets, &train_gpus, &[128]);
+    let model = IgkwModel::train(&ds, &train_gpus).map_err(|e| e.to_string())?;
+
+    let titan = resolve_gpu("TITAN RTX")?;
+    println!("{:>10}  {:>14}", "GB/s", "predicted");
+    let mut bw = min;
+    while bw <= max {
+        let g = titan.with_bandwidth(bw as f64);
+        let t = model
+            .predict_network_on(&net, batch, &g)
+            .map_err(|e| e.to_string())?;
+        println!("{bw:>10}  {:>11.3} ms", t * 1e3);
+        bw += 100;
+    }
+    Ok(())
+}

@@ -1,0 +1,120 @@
+//! Integration: the three case studies hold together end to end.
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::zoo;
+use dnnperf::gpu::{GpuSpec, Profiler};
+use dnnperf::model::{KwModel, Predictor};
+use dnnperf::sched::{best_gpu, brute_force_schedule, evaluate_makespan, JobTimes};
+use dnnperf::simkit::{disagg::layer_work_from_model, simulate_disaggregated, DisaggConfig};
+
+fn training_subset() -> Vec<dnnperf::dnn::Network> {
+    dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect()
+}
+
+#[test]
+fn disaggregated_memory_speedup_saturates() {
+    // Case Study 2 (Figure 17): more link bandwidth helps, then stops
+    // helping once the GPU is compute-bound.
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&training_subset(), std::slice::from_ref(&gpu), &[4]);
+    let kw = KwModel::train(&ds, "A100").expect("train");
+    let work = layer_work_from_model(&kw, &zoo::resnet::resnet50(), 1);
+
+    let t = |bw: f64| {
+        simulate_disaggregated(&work, DisaggConfig { link_bandwidth_gbps: bw, lookahead: 2 })
+            .total_seconds
+    };
+    let t16 = t(16.0);
+    let t128 = t(128.0);
+    let t512 = t(512.0);
+    assert!(t16 / t128 > 1.3, "128 GB/s should clearly beat 16 GB/s: {}", t16 / t128);
+    assert!(t128 / t512 < 1.4, "beyond 128 GB/s gains should shrink: {}", t128 / t512);
+}
+
+#[test]
+fn model_routes_jobs_to_the_faster_gpu() {
+    // Case Study 3 (Figure 18).
+    let gpus = [
+        GpuSpec::by_name("A40").unwrap(),
+        GpuSpec::by_name("TITAN RTX").unwrap(),
+    ];
+    let batch = 128;
+    let ds = collect(&training_subset(), &gpus, &[batch]);
+    let models: Vec<KwModel> = gpus
+        .iter()
+        .map(|g| KwModel::train(&ds, &g.name).expect("train"))
+        .collect();
+
+    let jobs = [
+        zoo::resnet::resnet50(),
+        zoo::resnet::resnet77(),
+        zoo::densenet::densenet121(),
+        zoo::densenet::densenet169(),
+        zoo::shufflenet::shufflenet_v1(3, 1.0, &[4, 8, 4]),
+    ];
+    let mut correct = 0;
+    for net in &jobs {
+        let pred: Vec<f64> = models
+            .iter()
+            .map(|m| m.predict_network(net, batch).expect("predict"))
+            .collect();
+        let meas: Vec<f64> = gpus
+            .iter()
+            .map(|g| Profiler::new(g.clone()).profile(net, batch).expect("fits").e2e_seconds)
+            .collect();
+        if best_gpu(&pred) == best_gpu(&meas) {
+            correct += 1;
+        }
+    }
+    assert!(correct >= jobs.len() - 1, "correct GPU choices: {correct}/{}", jobs.len());
+}
+
+#[test]
+fn predicted_schedule_is_near_oracle() {
+    // Case Study 3 (Figure 19).
+    let gpus = [
+        GpuSpec::by_name("A40").unwrap(),
+        GpuSpec::by_name("TITAN RTX").unwrap(),
+    ];
+    let batch = 128;
+    let ds = collect(&training_subset(), &gpus, &[batch]);
+    let models: Vec<KwModel> = gpus
+        .iter()
+        .map(|g| KwModel::train(&ds, &g.name).expect("train"))
+        .collect();
+
+    let queue = [
+        zoo::resnet::resnet44(),
+        zoo::resnet::resnet50(),
+        zoo::resnet::resnet62(),
+        zoo::densenet::densenet121(),
+        zoo::densenet::densenet169(),
+        zoo::shufflenet::shufflenet_v1(3, 1.0, &[4, 8, 4]),
+    ];
+    let job = |times: &dyn Fn(&dnnperf::dnn::Network) -> Vec<f64>| -> Vec<JobTimes> {
+        queue
+            .iter()
+            .map(|n| JobTimes { name: n.name().to_string(), per_gpu: times(n) })
+            .collect()
+    };
+    let predicted = job(&|n| {
+        models
+            .iter()
+            .map(|m| m.predict_network(n, batch).expect("predict"))
+            .collect()
+    });
+    let actual = job(&|n| {
+        gpus.iter()
+            .map(|g| Profiler::new(g.clone()).profile(n, batch).expect("fits").e2e_seconds)
+            .collect()
+    });
+
+    let planned = brute_force_schedule(&predicted);
+    let achieved = evaluate_makespan(&actual, &planned.assignment);
+    let oracle = brute_force_schedule(&actual).makespan;
+    assert!(achieved >= oracle - 1e-12);
+    assert!(
+        achieved / oracle < 1.15,
+        "planned makespan {achieved} vs oracle {oracle}"
+    );
+}

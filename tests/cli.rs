@@ -1,0 +1,135 @@
+//! End-to-end tests of the `dnnperf` command-line tool: the full
+//! collect -> train -> ship -> predict workflow through the binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dnnperf() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dnnperf"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dnnperf_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn list_gpus_prints_table1() {
+    let out = dnnperf().arg("list-gpus").output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for gpu in ["A100", "A40", "TITAN RTX", "Quadro P620"] {
+        assert!(stdout.contains(gpu), "missing {gpu} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn list_networks_filters_by_family() {
+    let out = dnnperf()
+        .args(["list-networks", "--family", "vgg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("VGG-16"));
+    assert!(!stdout.contains("ResNet-50"));
+}
+
+#[test]
+fn collect_train_predict_round_trip() {
+    let dir = temp_dir("roundtrip");
+    let data = dir.join("data");
+    let model = dir.join("kw.model");
+
+    let out = dnnperf()
+        .args([
+            "collect",
+            "--gpu",
+            "V100",
+            "--batch",
+            "64",
+            "--every",
+            "40",
+            "--out",
+            data.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(data.join("kernels.csv").exists());
+
+    let out = dnnperf()
+        .args([
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--gpu",
+            "V100",
+            "--model",
+            "kw",
+            "--out",
+            model.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&model).unwrap();
+    assert!(text.starts_with("dnnperf-model v1 kw"));
+
+    let out = dnnperf()
+        .args([
+            "predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--network",
+            "ResNet-50",
+            "--batch",
+            "64",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let ms: f64 = stdout.trim().trim_end_matches(" ms").parse().unwrap();
+    assert!(ms > 1.0 && ms < 10_000.0, "implausible prediction: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = dnnperf().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("USAGE"));
+}
+
+#[test]
+fn missing_required_flag_is_reported() {
+    let out = dnnperf().args(["train", "--gpu", "A100"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--data"), "{stderr}");
+}
+
+#[test]
+fn predict_rejects_unknown_network() {
+    let dir = temp_dir("badnet");
+    let model = dir.join("m.model");
+    std::fs::write(&model, "dnnperf-model v1 e2e\ngpu A100\nfit 1 0 1 2\n").unwrap();
+    let out = dnnperf()
+        .args([
+            "predict",
+            "--model",
+            model.to_str().unwrap(),
+            "--network",
+            "NotANetwork",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("unknown network"), "{stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}

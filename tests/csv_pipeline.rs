@@ -1,0 +1,54 @@
+//! Integration: the CSV dataset format is a faithful interchange — models
+//! trained from re-loaded CSV files predict identically to models trained
+//! on the in-memory dataset (the artifact's "prediction dataset" workflow).
+
+use dnnperf::data::collect::collect;
+use dnnperf::data::csv::{read_dataset, write_dataset};
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::{KwModel, LwModel, Predictor};
+
+#[test]
+fn models_trained_from_csv_match_in_memory_training() {
+    let nets = [
+        dnnperf::dnn::zoo::resnet::resnet18(),
+        dnnperf::dnn::zoo::resnet::resnet50(),
+        dnnperf::dnn::zoo::vgg::vgg11(),
+        dnnperf::dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let ds = collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[32]);
+
+    let dir = std::env::temp_dir().join("dnnperf_csv_pipeline_test");
+    write_dataset(&ds, &dir).expect("write csv");
+    let loaded = read_dataset(&dir).expect("read csv");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(ds.kernels.len(), loaded.kernels.len());
+
+    let target = dnnperf::dnn::zoo::resnet::resnet34();
+    let kw_mem = KwModel::train(&ds, "A100").expect("train mem");
+    let kw_csv = KwModel::train(&loaded, "A100").expect("train csv");
+    let a = kw_mem.predict_network(&target, 32).expect("predict");
+    let b = kw_csv.predict_network(&target, 32).expect("predict");
+    assert_eq!(a, b, "KW predictions must survive the CSV round trip exactly");
+
+    let lw_mem = LwModel::train(&ds, "A100").expect("train mem");
+    let lw_csv = LwModel::train(&loaded, "A100").expect("train csv");
+    assert_eq!(
+        lw_mem.predict_network(&target, 32).unwrap(),
+        lw_csv.predict_network(&target, 32).unwrap()
+    );
+}
+
+#[test]
+fn dedup_after_merging_overlapping_collections_is_clean() {
+    let nets = [dnnperf::dnn::zoo::resnet::resnet18()];
+    let gpus = [GpuSpec::by_name("V100").unwrap()];
+    let a = collect(&nets, &gpus, &[16, 32]);
+    let b = collect(&nets, &gpus, &[32, 64]); // overlaps at batch 32
+    let mut merged = a.clone();
+    merged.merge(b);
+    merged.dedup();
+    assert_eq!(merged.networks.len(), 3); // 16, 32, 64
+    let kernels_per_run = a.kernels.len() / 2;
+    assert_eq!(merged.kernels.len(), 3 * kernels_per_run);
+}

@@ -1,0 +1,37 @@
+//! End-to-end fusion integration: the data-driven KW model absorbs a
+//! fused-runtime deployment without any model change, because it learns the
+//! fused layer-to-kernel mapping straight from the fused traces.
+
+use dnnperf::gpu::{Fusion, GpuSpec, Profiler};
+
+#[test]
+fn kw_model_trained_on_fused_traces_predicts_fused_runtimes() {
+    use dnnperf::model::{KwModel, Predictor};
+    use dnnperf::data::collect::trace_rows;
+    use dnnperf::data::Dataset;
+
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let prof = Profiler::new(gpu).with_fusion(Fusion::ConvBnAct);
+    let train_nets = [
+        dnnperf::dnn::zoo::resnet::resnet18(),
+        dnnperf::dnn::zoo::resnet::resnet34(),
+        dnnperf::dnn::zoo::resnet::resnet50(),
+        dnnperf::dnn::zoo::resnet::resnet101(),
+        dnnperf::dnn::zoo::densenet::densenet121(),
+        dnnperf::dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let mut ds = Dataset::new();
+    for net in &train_nets {
+        let (n, l, k) = trace_rows(&prof.profile(net, 64).unwrap(), net);
+        ds.networks.push(n);
+        ds.layers.extend(l);
+        ds.kernels.extend(k);
+    }
+    let kw = KwModel::train(&ds, "A100").unwrap();
+
+    let held_out = dnnperf::dnn::zoo::resnet::resnet77();
+    let meas = prof.profile(&held_out, 64).unwrap().e2e_seconds;
+    let pred = kw.predict_network(&held_out, 64).unwrap();
+    let err = (pred - meas).abs() / meas;
+    assert!(err < 0.25, "KW error on fused runtime: {err}");
+}

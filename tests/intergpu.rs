@@ -1,0 +1,74 @@
+//! Integration: the Inter-GPU Kernel-Wise model predicts GPUs it never saw
+//! (Figure 14) and supports hypothetical-hardware sweeps (Case Study 1).
+
+use dnnperf::data::collect::collect;
+use dnnperf::data::split::split_dataset;
+use dnnperf::gpu::{GpuSpec, Profiler};
+use dnnperf::linreg::mean_abs_rel_error;
+use dnnperf::model::IgkwModel;
+use std::collections::HashSet;
+
+fn train_gpus() -> Vec<GpuSpec> {
+    ["A100", "A40", "GTX 1080 Ti"]
+        .iter()
+        .map(|n| GpuSpec::by_name(n).unwrap())
+        .collect()
+}
+
+#[test]
+fn igkw_predicts_unseen_titan_within_paper_band() {
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(5).collect();
+    let batch = 256;
+    let ds = collect(&zoo, &train_gpus(), &[batch]);
+    let (train, test) = split_dataset(&ds, 3);
+    let model = IgkwModel::train(&train, &train_gpus()).expect("train IGKW");
+
+    let titan = GpuSpec::by_name("TITAN RTX").unwrap();
+    let prof = Profiler::new(titan.clone());
+    let test_names: HashSet<String> = test.network_names().into_iter().collect();
+    let mut preds = Vec::new();
+    let mut meas = Vec::new();
+    for net in zoo.iter().filter(|n| test_names.contains(n.name())) {
+        if let Ok(trace) = prof.profile(net, batch) {
+            preds.push(model.predict_network_on(net, batch, &titan).expect("predict"));
+            meas.push(trace.e2e_seconds);
+        }
+    }
+    assert!(preds.len() > 15);
+    let e = mean_abs_rel_error(&preds, &meas);
+    // Paper: 15.2%. Allow head room for the subset.
+    assert!(e < 0.30, "IGKW error on unseen TITAN RTX: {e}");
+}
+
+#[test]
+fn igkw_bandwidth_sweep_is_monotone_with_diminishing_returns() {
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(8).collect();
+    let ds = collect(&zoo, &train_gpus(), &[128]);
+    let model = IgkwModel::train(&ds, &train_gpus()).expect("train IGKW");
+    let titan = GpuSpec::by_name("TITAN RTX").unwrap();
+    let net = dnnperf::dnn::zoo::resnet::resnet50();
+
+    let times: Vec<f64> = (2..=14)
+        .map(|i| {
+            let g = titan.with_bandwidth(i as f64 * 100.0);
+            model.predict_network_on(&net, 128, &g).expect("predict")
+        })
+        .collect();
+    for w in times.windows(2) {
+        assert!(w[1] <= w[0] * (1.0 + 1e-9), "time must not increase with bandwidth");
+    }
+    let first_gain = times[0] / times[1];
+    let last_gain = times[times.len() - 2] / times[times.len() - 1];
+    assert!(
+        first_gain > last_gain,
+        "early bandwidth must help more than late ({first_gain} vs {last_gain})"
+    );
+}
+
+#[test]
+fn igkw_requires_all_training_gpus_present() {
+    let nets = [dnnperf::dnn::zoo::resnet::resnet18()];
+    let one_gpu = [GpuSpec::by_name("A100").unwrap()];
+    let ds = collect(&nets, &one_gpu, &[16]);
+    assert!(IgkwModel::train(&ds, &train_gpus()).is_err());
+}

@@ -1,0 +1,78 @@
+//! End-to-end integration: collect a dataset, split it, train all three
+//! single-GPU models, and verify the paper's headline accuracy ordering
+//! (Figures 11-13): E2E and LW are coarse, KW is accurate.
+
+use dnnperf::data::collect::collect;
+use dnnperf::data::split::split_dataset;
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::workflow::predictions_vs_measurements;
+use dnnperf::model::{Predictor, Workflow};
+use dnnperf::linreg::mean_abs_rel_error;
+use std::collections::HashSet;
+
+fn error_of<P: Predictor>(
+    model: &P,
+    nets: &[dnnperf::dnn::Network],
+    batch: usize,
+    measured: &dnnperf::data::Dataset,
+) -> f64 {
+    let pairs = predictions_vs_measurements(model, nets, batch, measured);
+    assert!(pairs.len() > 10, "too few evaluation pairs: {}", pairs.len());
+    let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
+    let m: Vec<f64> = pairs.iter().map(|x| x.2).collect();
+    mean_abs_rel_error(&p, &m)
+}
+
+#[test]
+fn single_gpu_models_reproduce_paper_accuracy_ordering() {
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(4).collect();
+    let batch = 256;
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&zoo, &[gpu], &[batch]);
+    let (train, test) = split_dataset(&ds, 11);
+    let test_names: HashSet<String> = test.network_names().into_iter().collect();
+    let test_nets: Vec<_> = zoo.iter().filter(|n| test_names.contains(n.name())).cloned().collect();
+
+    let suite = Workflow::train(&train, "A100").expect("train suite");
+    let e_e2e = error_of(&suite.e2e, &test_nets, batch, &test);
+    let e_lw = error_of(&suite.lw, &test_nets, batch, &test);
+    let e_kw = error_of(&suite.kw, &test_nets, batch, &test);
+
+    // The paper's bands: E2E ~35%, LW ~28%, KW ~7% on A100.
+    assert!(e_kw < 0.15, "KW error {e_kw}");
+    assert!(e_lw < 0.60, "LW error {e_lw}");
+    assert!(e_e2e < 0.80, "E2E error {e_e2e}");
+    assert!(e_kw < e_lw, "KW ({e_kw}) must beat LW ({e_lw})");
+    assert!(e_kw < e_e2e, "KW ({e_kw}) must beat E2E ({e_e2e})");
+}
+
+#[test]
+fn kw_kernel_and_model_counts_match_paper_scale() {
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(3).collect();
+    let ds = collect(&zoo, &[GpuSpec::by_name("A100").unwrap()], &[128]);
+    let kw = dnnperf::model::KwModel::train(&ds, "A100").expect("train");
+    // Paper: 182 kernels merged into 83 regressions on A100.
+    assert!(
+        (100..=260).contains(&kw.num_kernels()),
+        "kernels: {}",
+        kw.num_kernels()
+    );
+    assert!(kw.num_models() < kw.num_kernels());
+    assert!(kw.num_models() > kw.num_kernels() / 5, "models: {}", kw.num_models());
+}
+
+#[test]
+fn kw_transfers_across_batch_sizes() {
+    // The paper trains at one batch size (O3). Train at 256, evaluate at 64.
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
+    let gpu = GpuSpec::by_name("V100").unwrap();
+    let train_ds = collect(&zoo, std::slice::from_ref(&gpu), &[256]);
+    let (train, test) = split_dataset(&train_ds, 5);
+    let test_names: HashSet<String> = test.network_names().into_iter().collect();
+    let test_nets: Vec<_> = zoo.iter().filter(|n| test_names.contains(n.name())).cloned().collect();
+    let eval_ds = collect(&test_nets, &[gpu], &[64]);
+
+    let kw = dnnperf::model::KwModel::train(&train, "V100").expect("train");
+    let e = error_of(&kw, &test_nets, 64, &eval_ds);
+    assert!(e < 0.25, "cross-batch KW error {e}");
+}

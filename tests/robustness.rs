@@ -1,0 +1,56 @@
+//! Robustness: the predictors are data-driven, not tuned to the canonical
+//! measurement universe. Re-seed the hidden ground-truth timing model and
+//! the whole pipeline must keep working.
+
+use dnnperf::data::collect::collect_with;
+use dnnperf::data::split::split_dataset;
+use dnnperf::gpu::{GpuSpec, Profiler, TimingModel};
+use dnnperf::linreg::mean_abs_rel_error;
+use dnnperf::model::{KwModel, Predictor};
+use std::collections::HashSet;
+
+#[test]
+fn kw_model_works_in_alternative_universes() {
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(8).collect();
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let batch = 128;
+
+    for seed in [7u64, 0xBEEF, 123_456_789] {
+        let timing = TimingModel::with_seed(seed);
+        let ds = collect_with(&zoo, std::slice::from_ref(&gpu), &[batch], &timing);
+        let (train, test) = split_dataset(&ds, seed);
+        let kw = KwModel::train(&train, "A100").expect("train");
+
+        let test_names: HashSet<String> = test.network_names().into_iter().collect();
+        let prof = Profiler::with_timing(gpu.clone(), timing.clone());
+        let mut preds = Vec::new();
+        let mut meas = Vec::new();
+        for net in zoo.iter().filter(|n| test_names.contains(n.name())) {
+            preds.push(kw.predict_network(net, batch).expect("predict"));
+            meas.push(prof.profile(net, batch).expect("fits").e2e_seconds);
+        }
+        assert!(preds.len() >= 8);
+        let e = mean_abs_rel_error(&preds, &meas);
+        assert!(e < 0.15, "seed {seed}: KW error {e}");
+    }
+}
+
+#[test]
+fn predictions_differ_across_universes() {
+    // Sanity: the model really learns from the data it is given.
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(20).collect();
+    let gpu = GpuSpec::by_name("V100").unwrap();
+    let net = dnnperf::dnn::zoo::resnet::resnet50();
+
+    let predict_under = |seed: u64| {
+        let timing = TimingModel::with_seed(seed);
+        let ds = collect_with(&zoo, std::slice::from_ref(&gpu), &[64], &timing);
+        KwModel::train(&ds, "V100")
+            .expect("train")
+            .predict_network(&net, 64)
+            .expect("predict")
+    };
+    let a = predict_under(1);
+    let b = predict_under(2);
+    assert!((a - b).abs() / a > 0.01, "universes too similar: {a} vs {b}");
+}
