@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Offline CI for the dnnperf workspace.
+#
+# The workspace is hermetic: it builds, tests and lints with no crates.io
+# dependencies and no network access (CARGO_NET_OFFLINE pins that down —
+# any accidental external dependency fails resolution immediately instead
+# of silently fetching).
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+export CARGO_NET_OFFLINE=true
+
+echo "==> tier-1: build (release)"
+cargo build --release --offline --workspace
+
+echo "==> tier-1: test"
+cargo test -q --offline --workspace
+
+echo "==> rustfmt"
+cargo fmt --all -- --check
+
+echo "==> clippy (warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> hermetic-dependency check"
+if grep -En '^[^#]*\b(rand|crossbeam|proptest|criterion)\b' Cargo.toml crates/*/Cargo.toml; then
+    echo "error: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+
+echo "CI passed."

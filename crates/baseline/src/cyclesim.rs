@@ -12,10 +12,10 @@
 //!   predictions carry a systematic per-kernel error the data-driven KW
 //!   model does not have.
 
+use dnnperf_dnn::Network;
 use dnnperf_gpu::dispatch::dispatch_network;
 use dnnperf_gpu::kernel::{KernelDesc, KernelFamily};
 use dnnperf_gpu::GpuSpec;
-use dnnperf_dnn::Network;
 
 /// Nominal calibration for one kernel family: traffic multiplier, DRAM
 /// efficiency, compute efficiency. These are an engineer's round numbers,
@@ -29,7 +29,11 @@ struct Calib {
 
 fn calibration(f: KernelFamily) -> Calib {
     use KernelFamily::*;
-    let c = |kappa, eff_mem, eff_comp| Calib { kappa, eff_mem, eff_comp };
+    let c = |kappa, eff_mem, eff_comp| Calib {
+        kappa,
+        eff_mem,
+        eff_comp,
+    };
     match f {
         Im2col => c(10.0, 0.7, 0.04),
         GemmConv => c(10.0, 0.7, 0.20),
@@ -156,7 +160,10 @@ impl CycleSim {
                 blocks += r.simulated_blocks;
             }
         }
-        SimResult { predicted_seconds: seconds, simulated_blocks: blocks }
+        SimResult {
+            predicted_seconds: seconds,
+            simulated_blocks: blocks,
+        }
     }
 }
 
@@ -199,7 +206,10 @@ mod tests {
     fn deterministic() {
         let sim = CycleSim::new(v100());
         let net = dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0);
-        assert_eq!(sim.simulate_network(&net, 16), sim.simulate_network(&net, 16));
+        assert_eq!(
+            sim.simulate_network(&net, 16),
+            sim.simulate_network(&net, 16)
+        );
     }
 
     #[test]

@@ -49,7 +49,10 @@ pub fn pks_estimate(
     batch: usize,
     detail_launches: usize,
 ) -> SimResult {
-    assert!(detail_launches > 0, "PKS needs at least one detailed launch per kernel");
+    assert!(
+        detail_launches > 0,
+        "PKS needs at least one detailed launch per kernel"
+    );
     let mut seen: HashMap<String, (usize, f64, u64)> = HashMap::new(); // count, time, blocks
     let mut seconds = 40.0e-6;
     let mut blocks = 0;
@@ -70,7 +73,10 @@ pub fn pks_estimate(
             }
         }
     }
-    SimResult { predicted_seconds: seconds, simulated_blocks: blocks }
+    SimResult {
+        predicted_seconds: seconds,
+        simulated_blocks: blocks,
+    }
 }
 
 /// PKA: one detailed representative per kernel *family*; every other launch
@@ -108,7 +114,10 @@ pub fn pka_estimate(sim: &CycleSim, net: &Network, batch: usize) -> SimResult {
             }
         }
     }
-    SimResult { predicted_seconds: seconds, simulated_blocks: blocks }
+    SimResult {
+        predicted_seconds: seconds,
+        simulated_blocks: blocks,
+    }
 }
 
 #[cfg(test)]
@@ -161,7 +170,10 @@ mod tests {
             family_key("implicit_convolve_sgemm_k3_ai32"),
             family_key("implicit_convolve_sgemm_k5_ai12")
         );
-        assert_ne!(family_key("im2col_kernel_k3s2"), family_key("winograd_fwd_sgemm_t4_ai30"));
+        assert_ne!(
+            family_key("im2col_kernel_k3s2"),
+            family_key("winograd_fwd_sgemm_t4_ai30")
+        );
     }
 
     #[test]

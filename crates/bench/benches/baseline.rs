@@ -1,15 +1,15 @@
 //! The speed axis of Table 2: the KW model against the cycle-approximate
 //! simulator and its PKS/PKA sampled variants, all predicting ResNet-50 on
-//! V100.
+//! V100. Runs under the std-only [`dnnperf_bench::timer`].
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dnnperf_baseline::{pka_estimate, pks_estimate, CycleSim};
+use dnnperf_bench::timer::bench;
 use dnnperf_core::{KwModel, Predictor};
 use dnnperf_data::collect::collect;
 use dnnperf_gpu::GpuSpec;
 use std::hint::black_box;
 
-fn bench_table2_speed(c: &mut Criterion) {
+fn main() {
     let v100 = GpuSpec::by_name("V100").unwrap();
     let net = dnnperf_dnn::zoo::resnet::resnet50();
     let batch = 64;
@@ -23,18 +23,16 @@ fn bench_table2_speed(c: &mut Criterion) {
     let kw = KwModel::train(&ds, "V100").unwrap();
     let sim = CycleSim::new(v100);
 
-    let mut g = c.benchmark_group("table2_resnet50_v100");
-    g.sample_size(10);
-    g.bench_function("kw_predict", |b| {
-        b.iter(|| kw.predict_network(black_box(&net), batch).unwrap())
+    bench("table2_resnet50_v100/kw_predict", 2, 10, || {
+        kw.predict_network(black_box(&net), batch).unwrap()
     });
-    g.bench_function("pka", |b| b.iter(|| pka_estimate(&sim, black_box(&net), batch)));
-    g.bench_function("pks", |b| b.iter(|| pks_estimate(&sim, black_box(&net), batch, 3)));
-    g.bench_function("full_simulation", |b| {
-        b.iter(|| sim.simulate_network(black_box(&net), batch))
+    bench("table2_resnet50_v100/pka", 2, 10, || {
+        pka_estimate(&sim, black_box(&net), batch)
     });
-    g.finish();
+    bench("table2_resnet50_v100/pks", 2, 10, || {
+        pks_estimate(&sim, black_box(&net), batch, 3)
+    });
+    bench("table2_resnet50_v100/full_simulation", 2, 10, || {
+        sim.simulate_network(black_box(&net), batch)
+    });
 }
-
-criterion_group!(benches, bench_table2_speed);
-criterion_main!(benches);

@@ -1,27 +1,28 @@
 //! Measurement-substrate throughput: kernel dispatch, profiling, and
 //! dataset row conversion. These bound how fast the paper's 240k-kernel
-//! dataset can be (re)generated.
+//! dataset can be (re)generated. Runs under the std-only
+//! [`dnnperf_bench::timer`].
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dnnperf_bench::timer::bench;
 use dnnperf_data::collect::{collect, trace_rows};
 use dnnperf_gpu::dispatch::dispatch_network;
 use dnnperf_gpu::{GpuSpec, Profiler};
 use std::hint::black_box;
 
-fn bench_substrate(c: &mut Criterion) {
+fn main() {
     let a100 = GpuSpec::by_name("A100").unwrap();
     let net = dnnperf_dnn::zoo::resnet::resnet50();
     let prof = Profiler::new(a100.clone());
 
-    c.bench_function("dispatch_resnet50", |b| {
-        b.iter(|| dispatch_network(black_box(&net), 64))
+    bench("dispatch_resnet50", 5, 50, || {
+        dispatch_network(black_box(&net), 64)
     });
-    c.bench_function("profile_resnet50", |b| {
-        b.iter(|| prof.profile(black_box(&net), 64).unwrap())
+    bench("profile_resnet50", 5, 50, || {
+        prof.profile(black_box(&net), 64).unwrap()
     });
     let trace = prof.profile(&net, 64).unwrap();
-    c.bench_function("trace_to_rows_resnet50", |b| {
-        b.iter(|| trace_rows(black_box(&trace), &net))
+    bench("trace_to_rows_resnet50", 5, 50, || {
+        trace_rows(black_box(&trace), &net)
     });
 
     let nets = [
@@ -29,15 +30,9 @@ fn bench_substrate(c: &mut Criterion) {
         dnnperf_dnn::zoo::vgg::vgg11(),
         dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
     ];
-    let mut g = c.benchmark_group("collect");
-    g.sample_size(20);
-    g.bench_function("three_nets_one_gpu", |b| {
-        b.iter(|| collect(black_box(&nets), std::slice::from_ref(&a100), &[64]))
+    bench("collect/three_nets_one_gpu", 3, 20, || {
+        collect(black_box(&nets), std::slice::from_ref(&a100), &[64])
     });
-    g.finish();
 
-    c.bench_function("build_cnn_zoo_646", |bch| bch.iter(dnnperf_dnn::zoo::cnn_zoo));
+    bench("build_cnn_zoo_646", 2, 10, dnnperf_dnn::zoo::cnn_zoo);
 }
-
-criterion_group!(benches, bench_substrate);
-criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Prediction and training latency of the performance models.
 //!
 //! The paper's pitch is that predictions cost microseconds; this bench pins
-//! that down per model, plus the one-off training cost.
+//! that down per model, plus the one-off training cost. Runs under the
+//! std-only [`dnnperf_bench::timer`] (no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use dnnperf_bench::timer::bench;
 use dnnperf_core::{E2eModel, IgkwModel, KwModel, LwModel, Predictor};
 use dnnperf_data::collect::collect;
 use dnnperf_data::Dataset;
@@ -11,7 +12,10 @@ use dnnperf_gpu::GpuSpec;
 use std::hint::black_box;
 
 fn training_dataset() -> Dataset {
-    let nets: Vec<_> = dnnperf_dnn::zoo::cnn_zoo().into_iter().step_by(10).collect();
+    let nets: Vec<_> = dnnperf_dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(10)
+        .collect();
     let gpus = [
         GpuSpec::by_name("A100").unwrap(),
         GpuSpec::by_name("A40").unwrap(),
@@ -20,7 +24,7 @@ fn training_dataset() -> Dataset {
     collect(&nets, &gpus, &[128])
 }
 
-fn bench_predict(c: &mut Criterion) {
+fn main() {
     let ds = training_dataset();
     let net = dnnperf_dnn::zoo::resnet::resnet50();
     let e2e = E2eModel::train(&ds, "A100").unwrap();
@@ -33,31 +37,27 @@ fn bench_predict(c: &mut Criterion) {
     let igkw = IgkwModel::train(&ds, &gpus).unwrap();
     let titan = GpuSpec::by_name("TITAN RTX").unwrap();
 
-    let mut g = c.benchmark_group("predict_resnet50");
-    g.bench_function("e2e", |b| {
-        b.iter(|| e2e.predict_network(black_box(&net), 256).unwrap())
+    bench("predict_resnet50/e2e", 10, 100, || {
+        e2e.predict_network(black_box(&net), 256).unwrap()
     });
-    g.bench_function("lw", |b| {
-        b.iter(|| lw.predict_network(black_box(&net), 256).unwrap())
+    bench("predict_resnet50/lw", 10, 100, || {
+        lw.predict_network(black_box(&net), 256).unwrap()
     });
-    g.bench_function("kw", |b| {
-        b.iter(|| kw.predict_network(black_box(&net), 256).unwrap())
+    bench("predict_resnet50/kw", 10, 100, || {
+        kw.predict_network(black_box(&net), 256).unwrap()
     });
-    g.bench_function("igkw_unseen_gpu", |b| {
-        b.iter(|| igkw.predict_network_on(black_box(&net), 256, &titan).unwrap())
+    bench("predict_resnet50/igkw_unseen_gpu", 10, 100, || {
+        igkw.predict_network_on(black_box(&net), 256, &titan)
+            .unwrap()
     });
-    g.finish();
-}
 
-fn bench_train(c: &mut Criterion) {
-    let ds = training_dataset();
-    let mut g = c.benchmark_group("train");
-    g.sample_size(10);
-    g.bench_function("e2e", |b| b.iter(|| E2eModel::train(black_box(&ds), "A100").unwrap()));
-    g.bench_function("lw", |b| b.iter(|| LwModel::train(black_box(&ds), "A100").unwrap()));
-    g.bench_function("kw", |b| b.iter(|| KwModel::train(black_box(&ds), "A100").unwrap()));
-    g.finish();
+    bench("train/e2e", 2, 10, || {
+        E2eModel::train(black_box(&ds), "A100").unwrap()
+    });
+    bench("train/lw", 2, 10, || {
+        LwModel::train(black_box(&ds), "A100").unwrap()
+    });
+    bench("train/kw", 2, 10, || {
+        KwModel::train(black_box(&ds), "A100").unwrap()
+    });
 }
-
-criterion_group!(benches, bench_predict, bench_train);
-criterion_main!(benches);

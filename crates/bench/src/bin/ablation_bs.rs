@@ -7,7 +7,10 @@ use dnnperf_core::{KwModel, Predictor};
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Ablation: batch-size extrapolation", "KW trained at BS=512, evaluated at other batch sizes");
+    banner(
+        "Ablation: batch-size extrapolation",
+        "KW trained at BS=512, evaluated at other batch sizes",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let a100 = gpu("A100");
     let ds = collect_verbose(&zoo, std::slice::from_ref(&a100), &[512]);

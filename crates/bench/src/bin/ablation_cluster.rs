@@ -8,7 +8,10 @@ use dnnperf_core::KwModel;
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Ablation: kernel clustering", "slope tolerance vs model count and error (A100)");
+    banner(
+        "Ablation: kernel clustering",
+        "slope tolerance vs model count and error (A100)",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let batch = dnnperf_bench::train_batch();
     let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);

@@ -10,7 +10,10 @@ use dnnperf_core::KwModel;
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Ablation: driver classification", "KW (classified) vs KW (FLOPs-only)");
+    banner(
+        "Ablation: driver classification",
+        "KW (classified) vs KW (FLOPs-only)",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let batch = dnnperf_bench::train_batch();
     let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
@@ -26,7 +29,12 @@ fn main() {
         mean_abs_rel_error(&p, &y)
     };
     let e_kw = err(predictions_vs_measurements(&kw, &test_nets, batch, &test));
-    let e_fl = err(predictions_vs_measurements(&flops_only, &test_nets, batch, &test));
+    let e_fl = err(predictions_vs_measurements(
+        &flops_only,
+        &test_nets,
+        batch,
+        &test,
+    ));
 
     println!("KW with driver classification : {:.2}%", e_kw * 100.0);
     println!("KW forced to FLOPs driver     : {:.2}%", e_fl * 100.0);

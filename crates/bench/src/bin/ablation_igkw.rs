@@ -35,14 +35,21 @@ fn eval(
             .find(|r| &*r.network == net.name())
             .expect("measured")
             .e2e_seconds;
-        preds.push(model.predict_network_on(&net, batch, target).expect("predict"));
+        preds.push(
+            model
+                .predict_network_on(&net, batch, target)
+                .expect("predict"),
+        );
         meas.push(m);
     }
     mean_abs_rel_error(&preds, &meas)
 }
 
 fn main() {
-    banner("Ablation: IGKW transfer metric", "slope ~ 1/bandwidth vs slope ~ 1/peak-FLOPS");
+    banner(
+        "Ablation: IGKW transfer metric",
+        "slope ~ 1/bandwidth vs slope ~ 1/peak-FLOPS",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let batch = dnnperf_bench::train_batch();
 
@@ -67,7 +74,16 @@ fn main() {
         let cell = |metric, floor| {
             format!(
                 "{:.1}%",
-                eval(&train, &train_gpus, &target, &truth, &zoo, batch, metric, floor) * 100.0
+                eval(
+                    &train,
+                    &train_gpus,
+                    &target,
+                    &truth,
+                    &zoo,
+                    batch,
+                    metric,
+                    floor
+                ) * 100.0
             )
         };
         t.row(&cells![

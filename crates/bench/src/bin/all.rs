@@ -5,9 +5,34 @@
 use std::process::Command;
 
 const EXPERIMENTS: &[&str] = &[
-    "table1", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig11", "fig12",
-    "fig13", "table2", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "ablation_driver",
-    "ablation_cluster", "ablation_igkw", "ablation_bs", "ext_training", "ext_mig", "ext_overhead", "ext_zoo", "ext_fusion", "stats",
+    "table1",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig11",
+    "fig12",
+    "fig13",
+    "table2",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "ablation_driver",
+    "ablation_cluster",
+    "ablation_igkw",
+    "ablation_bs",
+    "ext_training",
+    "ext_mig",
+    "ext_overhead",
+    "ext_zoo",
+    "ext_fusion",
+    "stats",
 ];
 
 fn main() {
@@ -26,7 +51,10 @@ fn main() {
     }
     println!();
     if failed.is_empty() {
-        println!("[all] {} experiments completed successfully", EXPERIMENTS.len());
+        println!(
+            "[all] {} experiments completed successfully",
+            EXPERIMENTS.len()
+        );
     } else {
         eprintln!("[all] failures: {failed:?}");
         std::process::exit(1);

@@ -30,7 +30,10 @@ fn collect_fused(nets: &[dnnperf_dnn::Network], prof: &Profiler, batch: usize) -
 }
 
 fn main() {
-    banner("Extension: operator fusion", "Conv+BN+Act fusion speedups and KW accuracy (A100)");
+    banner(
+        "Extension: operator fusion",
+        "Conv+BN+Act fusion speedups and KW accuracy (A100)",
+    );
     let a100 = gpu("A100");
     let batch = 128usize;
     let zoo: Vec<_> = dnnperf_bench::cnn_zoo().into_iter().step_by(2).collect();

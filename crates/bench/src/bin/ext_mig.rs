@@ -14,7 +14,10 @@ use dnnperf_gpu::{GpuSpec, Profiler};
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Extension: multi-instance GPU", "IGKW predictions for A100 MIG slices");
+    banner(
+        "Extension: multi-instance GPU",
+        "IGKW predictions for A100 MIG slices",
+    );
     // Train the inter-GPU model on full (non-MIG) GPUs only.
     let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti", "V100"]
         .iter()
@@ -47,7 +50,11 @@ fn main() {
         for net in &workloads {
             match prof.profile(net, batch) {
                 Ok(trace) => {
-                    preds.push(model.predict_network_on(net, batch, &slice).expect("predict"));
+                    preds.push(
+                        model
+                            .predict_network_on(net, batch, &slice)
+                            .expect("predict"),
+                    );
                     meas.push(trace.e2e_seconds);
                 }
                 Err(e) => println!("  {}: {net} skipped ({e})", slice.name, net = net.name()),

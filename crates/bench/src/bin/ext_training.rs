@@ -14,7 +14,10 @@ use dnnperf_linreg::mean_abs_rel_error;
 use std::time::Instant;
 
 fn main() {
-    banner("Extension: training workloads", "KW model on training-step measurements (A100)");
+    banner(
+        "Extension: training workloads",
+        "KW model on training-step measurements (A100)",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     // Training keeps all activations alive: use a training-feasible batch.
     let batch = 64usize;
@@ -52,8 +55,16 @@ fn main() {
     let inf_err = mean_abs_rel_error(&p, &y);
 
     let mut t = TextTable::new(&["workload", "test nets", "KW error"]);
-    t.row(&cells!["inference batch", inf_nets.len(), format!("{:.2}%", inf_err * 100.0)]);
-    t.row(&cells!["training step", test_nets.len(), format!("{:.2}%", train_err * 100.0)]);
+    t.row(&cells![
+        "inference batch",
+        inf_nets.len(),
+        format!("{:.2}%", inf_err * 100.0)
+    ]);
+    t.row(&cells![
+        "training step",
+        test_nets.len(),
+        format!("{:.2}%", train_err * 100.0)
+    ]);
     t.print();
 
     // The classic rule of thumb: a training step costs ~3x inference.

@@ -17,10 +17,17 @@ use dnnperf_dnn::zoo;
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Extension: out-of-family networks", "KW/LW on GoogLeNet and ResNeXt (A100)");
+    banner(
+        "Extension: out-of-family networks",
+        "KW/LW on GoogLeNet and ResNeXt (A100)",
+    );
     let a100 = gpu("A100");
     let batch = 128usize;
-    let ds = collect_verbose(&dnnperf_bench::cnn_zoo(), std::slice::from_ref(&a100), &[batch]);
+    let ds = collect_verbose(
+        &dnnperf_bench::cnn_zoo(),
+        std::slice::from_ref(&a100),
+        &[batch],
+    );
     let kw = KwModel::train(&ds, "A100").expect("train KW");
     let lw = LwModel::train(&ds, "A100").expect("train LW");
 

@@ -25,7 +25,14 @@ fn main() {
     );
 
     // Per-GFLOPs-decade band statistics: the paper's ~10x-wide band.
-    let mut t = TextTable::new(&["GFLOPs decade", "runs", "min (ms)", "median (ms)", "max (ms)", "band (max/min)"]);
+    let mut t = TextTable::new(&[
+        "GFLOPs decade",
+        "runs",
+        "min (ms)",
+        "median (ms)",
+        "max (ms)",
+        "band (max/min)",
+    ]);
     for decade in -2..4i32 {
         let lo = 10f64.powi(decade);
         let hi = lo * 10.0;

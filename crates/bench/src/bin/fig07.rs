@@ -7,7 +7,10 @@ use dnnperf_linreg::{fit, pearson};
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("Figure 7", "Layer execution time vs layer FLOPs, per layer type (A100)");
+    banner(
+        "Figure 7",
+        "Layer execution time vs layer FLOPs, per layer type (A100)",
+    );
     // A structurally diverse subset keeps this figure quick; the trend per
     // type is what matters.
     let nets: Vec<_> = dnnperf_bench::cnn_zoo().into_iter().step_by(7).collect();

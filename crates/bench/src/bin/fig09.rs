@@ -7,7 +7,10 @@ use dnnperf_dnn::zoo;
 use dnnperf_gpu::Profiler;
 
 fn main() {
-    banner("Figure 9", "Bandwidth vs compute efficiency of ResNet-18 across GPUs");
+    banner(
+        "Figure 9",
+        "Bandwidth vs compute efficiency of ResNet-18 across GPUs",
+    );
     let net = zoo::resnet::resnet18();
     // Batch chosen so the run fits even in the 2 GB Quadro P620.
     let batch = 32usize;
@@ -15,7 +18,14 @@ fn main() {
     let mut t = TextTable::new(&["GPU", "BW efficiency", "Compute efficiency"]);
     let mut bw_effs = Vec::new();
     let mut comp_effs = Vec::new();
-    for name in ["A40", "A100", "GTX 1080 Ti", "TITAN RTX", "RTX A5000", "Quadro P620"] {
+    for name in [
+        "A40",
+        "A100",
+        "GTX 1080 Ti",
+        "TITAN RTX",
+        "RTX A5000",
+        "Quadro P620",
+    ] {
         let g = gpu(name);
         let trace = match Profiler::new(g.clone()).profile(&net, batch) {
             Ok(t) => t,
@@ -47,5 +57,7 @@ fn main() {
     println!("\nmax/min spread across GPUs:");
     println!("  bandwidth efficiency: {:.2}x", spread(&bw_effs));
     println!("  compute efficiency:   {:.2}x", spread(&comp_effs));
-    println!("expected: bandwidth efficiency stable (~10%), compute efficiency varies (paper Figure 9)");
+    println!(
+        "expected: bandwidth efficiency stable (~10%), compute efficiency varies (paper Figure 9)"
+    );
 }

@@ -12,7 +12,11 @@ fn main() {
     let ds = collect_verbose(&zoo, &[gpu("A100")], &[batch]);
     let (train, test) = standard_split(&ds);
     let test_nets = networks_in(&zoo, &test);
-    println!("train networks: {}, test networks: {}", train.networks.len(), test_nets.len());
+    println!(
+        "train networks: {}, test networks: {}",
+        train.networks.len(),
+        test_nets.len()
+    );
 
     let model = E2eModel::train(&train, "A100").expect("train E2E");
     let pairs = predictions_vs_measurements(&model, &test_nets, batch, &test);

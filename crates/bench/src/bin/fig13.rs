@@ -12,7 +12,10 @@ use dnnperf_data::collect::evaluation_gpus;
 use dnnperf_linreg::mean_abs_rel_error;
 
 fn main() {
-    banner("Figure 13", "KW model predicted/measured S-curve and per-GPU errors");
+    banner(
+        "Figure 13",
+        "KW model predicted/measured S-curve and per-GPU errors",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let batch = dnnperf_bench::train_batch();
     let ds = collect_verbose(&zoo, &evaluation_gpus(), &[batch]);

@@ -8,10 +8,16 @@ use dnnperf_core::IgkwModel;
 use dnnperf_gpu::GpuSpec;
 
 fn main() {
-    banner("Figure 14", "IGKW model: train on A100+A40+1080Ti, predict TITAN RTX");
+    banner(
+        "Figure 14",
+        "IGKW model: train on A100+A40+1080Ti, predict TITAN RTX",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     let batch = dnnperf_bench::train_batch();
-    let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti"].iter().map(|n| gpu(n)).collect();
+    let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti"]
+        .iter()
+        .map(|n| gpu(n))
+        .collect();
     let titan = gpu("TITAN RTX");
 
     let ds = collect_verbose(&zoo, &train_gpus, &[batch]);
@@ -24,7 +30,11 @@ fn main() {
     );
 
     // Measure the test networks on the *unseen* TITAN RTX.
-    let titan_truth = collect_verbose(&networks_in(&zoo, &test), std::slice::from_ref(&titan), &[batch]);
+    let titan_truth = collect_verbose(
+        &networks_in(&zoo, &test),
+        std::slice::from_ref(&titan),
+        &[batch],
+    );
     let mut preds = Vec::new();
     let mut meas = Vec::new();
     let mut within_10 = 0usize;
@@ -35,7 +45,9 @@ fn main() {
             .find(|r| &*r.network == net.name())
             .expect("measured")
             .e2e_seconds;
-        let p = model.predict_network_on(&net, batch, &titan).expect("predict");
+        let p = model
+            .predict_network_on(&net, batch, &titan)
+            .expect("predict");
         if (p - m).abs() / m < 0.10 {
             within_10 += 1;
         }

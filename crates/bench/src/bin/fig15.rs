@@ -7,7 +7,10 @@ use dnnperf_bench::{bandwidth_sweep, banner};
 use dnnperf_dnn::zoo;
 
 fn main() {
-    banner("Figure 15", "Predicted ResNet-50 time vs TITAN RTX memory bandwidth");
+    banner(
+        "Figure 15",
+        "Predicted ResNet-50 time vs TITAN RTX memory bandwidth",
+    );
     bandwidth_sweep(&zoo::resnet::resnet50(), 128);
     println!("paper reference: ideal bandwidth range 600-800 GB/s; native 672 GB/s inside it");
 }

@@ -7,7 +7,10 @@ use dnnperf_bench::{bandwidth_sweep, banner};
 use dnnperf_dnn::zoo;
 
 fn main() {
-    banner("Figure 16", "Predicted DenseNet-169 time vs TITAN RTX memory bandwidth");
+    banner(
+        "Figure 16",
+        "Predicted DenseNet-169 time vs TITAN RTX memory bandwidth",
+    );
     bandwidth_sweep(&zoo::densenet::densenet169(), 128);
     println!("paper reference: optimal range 500-700 GB/s; bandwidth could be reduced for DenseNet workloads");
 }

@@ -10,7 +10,10 @@ use dnnperf_simkit::{disagg::layer_work_from_model, simulate_disaggregated, Disa
 use std::time::Instant;
 
 fn main() {
-    banner("Figure 17", "Disaggregated memory: speedup over a 16 GB/s link");
+    banner(
+        "Figure 17",
+        "Disaggregated memory: speedup over a 16 GB/s link",
+    );
     let a100 = gpu("A100");
     // Compute times come from the KW model, exactly as the paper wires its
     // model into an event-driven network simulation.
@@ -42,14 +45,20 @@ fn main() {
         let work = layer_work_from_model(&kw, net, batch);
         let base = simulate_disaggregated(
             &work,
-            DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 2 },
+            DisaggConfig {
+                link_bandwidth_gbps: 16.0,
+                lookahead: 2,
+            },
         )
         .total_seconds;
         let mut cells = vec![net.name().to_string()];
         for &bw in &bandwidths {
             let r = simulate_disaggregated(
                 &work,
-                DisaggConfig { link_bandwidth_gbps: bw, lookahead: 2 },
+                DisaggConfig {
+                    link_bandwidth_gbps: bw,
+                    lookahead: 2,
+                },
             );
             cells.push(format!("{:.2}x", base / r.total_seconds));
         }

@@ -8,7 +8,10 @@ use dnnperf_dnn::zoo;
 use dnnperf_sched::best_gpu;
 
 fn main() {
-    banner("Figure 18", "Measured vs predicted time on A40 and TITAN RTX, per network");
+    banner(
+        "Figure 18",
+        "Measured vs predicted time on A40 and TITAN RTX, per network",
+    );
     let gpus = [gpu("A40"), gpu("TITAN RTX")];
     let train_nets = dnnperf_bench::cnn_zoo();
     let batch = 128usize;

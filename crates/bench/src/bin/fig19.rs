@@ -9,7 +9,10 @@ use dnnperf_sched::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTi
 use std::time::Instant;
 
 fn main() {
-    banner("Figure 19", "Queue scheduling on A40 + TITAN RTX with predicted times");
+    banner(
+        "Figure 19",
+        "Queue scheduling on A40 + TITAN RTX with predicted times",
+    );
     let gpus = [gpu("A40"), gpu("TITAN RTX")];
     let batch = 128usize;
     let train_nets = dnnperf_bench::cnn_zoo();
@@ -56,7 +59,13 @@ fn main() {
     let oracle = brute_force_schedule(&actual);
     let greedy = lpt_schedule(&predicted);
 
-    let mut t = TextTable::new(&["network", "planned GPU", "oracle GPU", "pred time", "actual time"]);
+    let mut t = TextTable::new(&[
+        "network",
+        "planned GPU",
+        "oracle GPU",
+        "pred time",
+        "actual time",
+    ]);
     for (j, net) in nets.iter().enumerate() {
         let g = planned.assignment[j];
         t.row(&cells![
@@ -72,9 +81,18 @@ fn main() {
     let planned_real = evaluate_makespan(&actual, &planned.assignment);
     let greedy_real = evaluate_makespan(&actual, &greedy.assignment);
     println!("\nmakespans (evaluated with ACTUAL times):");
-    println!("  model-planned brute force: {}", dnnperf_bench::ms(planned_real));
-    println!("  model-planned greedy LPT:  {}", dnnperf_bench::ms(greedy_real));
-    println!("  oracle optimum:            {}", dnnperf_bench::ms(oracle.makespan));
+    println!(
+        "  model-planned brute force: {}",
+        dnnperf_bench::ms(planned_real)
+    );
+    println!(
+        "  model-planned greedy LPT:  {}",
+        dnnperf_bench::ms(greedy_real)
+    );
+    println!(
+        "  oracle optimum:            {}",
+        dnnperf_bench::ms(oracle.makespan)
+    );
     println!(
         "  gap to oracle: {:.2}%  (brute-force search over {} assignments took {:.1} ms)",
         (planned_real / oracle.makespan - 1.0) * 100.0,

@@ -7,7 +7,10 @@ use dnnperf_data::collect::{evaluation_gpus, TRAIN_BATCH};
 use std::collections::BTreeMap;
 
 fn main() {
-    banner("Dataset statistics", "networks / kernels / executions per GPU (Section 3)");
+    banner(
+        "Dataset statistics",
+        "networks / kernels / executions per GPU (Section 3)",
+    );
     let zoo = dnnperf_bench::cnn_zoo();
     println!("CNN zoo size: {} networks (paper: 646)", zoo.len());
 
@@ -39,9 +42,7 @@ fn main() {
         ]);
     }
     t.print();
-    println!(
-        "\npaper reference: ~182 distinct kernels and ~240,000 kernel executions per GPU;"
-    );
+    println!("\npaper reference: ~182 distinct kernels and ~240,000 kernel executions per GPU;");
     println!("on A100 the paper's 242,394 executions over 83 models average ~2,920 points each");
     let a100 = ds.for_gpu("A100");
     let per_model = a100.kernels.len() as f64 / 80.0;

@@ -29,7 +29,10 @@ fn main() {
     let t0 = Instant::now();
     let kw = KwModel::train(&ds, "V100").expect("train KW");
     let train_time = t0.elapsed();
-    eprintln!("[train] KW model trained in {:.2}s", train_time.as_secs_f64());
+    eprintln!(
+        "[train] KW model trained in {:.2}s",
+        train_time.as_secs_f64()
+    );
 
     let sim = CycleSim::new(v100.clone());
     let mut t = TextTable::new(&[

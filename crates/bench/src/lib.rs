@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timer;
+
 use dnnperf_data::collect::{collect_parallel, TRAIN_BATCH};
 use dnnperf_data::{split::split_dataset, Dataset};
 use dnnperf_dnn::{zoo, Network};
@@ -64,7 +66,10 @@ pub fn standard_split(ds: &Dataset) -> (Dataset, Dataset) {
 /// The networks (from `pool`) whose names appear in `ds`.
 pub fn networks_in(pool: &[Network], ds: &Dataset) -> Vec<Network> {
     let names: HashSet<String> = ds.network_names().into_iter().collect();
-    pool.iter().filter(|n| names.contains(n.name())).cloned().collect()
+    pool.iter()
+        .filter(|n| names.contains(n.name()))
+        .cloned()
+        .collect()
 }
 
 /// Looks up a Table 1 GPU.
@@ -112,8 +117,10 @@ pub fn print_s_curve(predicted: &[f64], measured: &[f64]) {
 /// bandwidth (200-1400 GB/s), printing the curve and the knee where the
 /// marginal gain of another 100 GB/s drops below 5%.
 pub fn bandwidth_sweep(net: &Network, batch: usize) {
-    let train_gpus: Vec<GpuSpec> =
-        ["A100", "A40", "GTX 1080 Ti", "V100"].iter().map(|n| gpu(n)).collect();
+    let train_gpus: Vec<GpuSpec> = ["A100", "A40", "GTX 1080 Ti", "V100"]
+        .iter()
+        .map(|n| gpu(n))
+        .collect();
     let nets: Vec<_> = cnn_zoo().into_iter().step_by(3).collect();
     let ds = collect_verbose(&nets, &train_gpus, &[128]);
     let model = dnnperf_core::IgkwModel::train(&ds, &train_gpus).expect("train IGKW");
@@ -125,7 +132,11 @@ pub fn bandwidth_sweep(net: &Network, batch: usize) {
         let g = titan.with_bandwidth(bw as f64);
         let pred = model.predict_network_on(net, batch, &g).expect("predict");
         curve.push((bw, pred));
-        let note = if bw == 700 { "~ native TITAN RTX (672 GB/s)" } else { "" };
+        let note = if bw == 700 {
+            "~ native TITAN RTX (672 GB/s)"
+        } else {
+            ""
+        };
         t.row(&cells![bw, ms(pred), note]);
     }
     t.print();

@@ -74,7 +74,9 @@ impl std::str::FromStr for Driver {
             "input" => Ok(Driver::Input),
             "operation" => Ok(Driver::Operation),
             "output" => Ok(Driver::Output),
-            other => Err(ParseDriverError { input: other.to_string() }),
+            other => Err(ParseDriverError {
+                input: other.to_string(),
+            }),
         }
     }
 }
@@ -148,7 +150,9 @@ pub fn classify_one(kernel: Arc<str>, rows: &[&KernelRow]) -> KernelClassificati
             }
         }
     }
-    let best = (0..3).max_by(|&a, &b| r2[a].total_cmp(&r2[b])).expect("3 candidates");
+    let best = (0..3)
+        .max_by(|&a, &b| r2[a].total_cmp(&r2[b]))
+        .expect("3 candidates");
     if r2[best] == f64::NEG_INFINITY {
         return constant_classification(kernel, &ys);
     }
@@ -208,7 +212,15 @@ mod tests {
     fn input_driven_kernel_is_detected() {
         // Time follows input exactly; flops and output are decorrelated.
         let rows: Vec<KernelRow> = (1..40u64)
-            .map(|i| row("im2col", i * 100, (i * 37) % 900 + 1, (i * 61) % 700 + 1, i as f64))
+            .map(|i| {
+                row(
+                    "im2col",
+                    i * 100,
+                    (i * 37) % 900 + 1,
+                    (i * 61) % 700 + 1,
+                    i as f64,
+                )
+            })
             .collect();
         let refs: Vec<&KernelRow> = rows.iter().collect();
         let c = classify_one(Arc::from("im2col"), &refs);
@@ -220,7 +232,15 @@ mod tests {
     #[test]
     fn operation_driven_kernel_is_detected() {
         let rows: Vec<KernelRow> = (1..40u64)
-            .map(|i| row("gemm", (i * 53) % 800 + 1, i * 1000, (i * 31) % 600 + 1, i as f64))
+            .map(|i| {
+                row(
+                    "gemm",
+                    (i * 53) % 800 + 1,
+                    i * 1000,
+                    (i * 31) % 600 + 1,
+                    i as f64,
+                )
+            })
             .collect();
         let refs: Vec<&KernelRow> = rows.iter().collect();
         let c = classify_one(Arc::from("gemm"), &refs);
@@ -230,7 +250,15 @@ mod tests {
     #[test]
     fn output_driven_kernel_is_detected() {
         let rows: Vec<KernelRow> = (1..40u64)
-            .map(|i| row("bias", (i * 53) % 800 + 1, (i * 37) % 900 + 1, i * 10, i as f64))
+            .map(|i| {
+                row(
+                    "bias",
+                    (i * 53) % 800 + 1,
+                    (i * 37) % 900 + 1,
+                    i * 10,
+                    i as f64,
+                )
+            })
             .collect();
         let refs: Vec<&KernelRow> = rows.iter().collect();
         let c = classify_one(Arc::from("bias"), &refs);

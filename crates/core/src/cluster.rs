@@ -70,7 +70,11 @@ impl Clustering {
     }
 }
 
-fn pooled_fit(driver: Driver, members: &[&Arc<str>], by_kernel: &HashMap<Arc<str>, Vec<&KernelRow>>) -> Fit {
+fn pooled_fit(
+    driver: Driver,
+    members: &[&Arc<str>],
+    by_kernel: &HashMap<Arc<str>, Vec<&KernelRow>>,
+) -> Fit {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for m in members {
@@ -204,7 +208,11 @@ mod tests {
         let classes = classify_kernels(&rows);
         let cl = cluster_kernels(&rows, &classes, 1.35);
         let (_, f) = cl.model_for("a").unwrap();
-        assert!(f.line.slope > 0.99 && f.line.slope < 1.21, "{}", f.line.slope);
+        assert!(
+            f.line.slope > 0.99 && f.line.slope < 1.21,
+            "{}",
+            f.line.slope
+        );
     }
 
     #[test]

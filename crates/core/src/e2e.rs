@@ -45,7 +45,9 @@ impl E2eModel {
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
         let rows: Vec<_> = dataset.networks.iter().filter(|r| &*r.gpu == gpu).collect();
         if rows.is_empty() {
-            return Err(TrainError::NoDataForGpu { gpu: gpu.to_string() });
+            return Err(TrainError::NoDataForGpu {
+                gpu: gpu.to_string(),
+            });
         }
         let xs: Vec<f64> = rows.iter().map(|r| r.flops as f64).collect();
         let ys: Vec<f64> = rows.iter().map(|r| r.e2e_seconds).collect();
@@ -53,7 +55,10 @@ impl E2eModel {
             what: format!("E2E model for {gpu}"),
             source,
         })?;
-        Ok(E2eModel { gpu: gpu.to_string(), fit })
+        Ok(E2eModel {
+            gpu: gpu.to_string(),
+            fit,
+        })
     }
 
     /// The fitted slope in seconds per FLOP (reciprocal of the achieved
@@ -132,7 +137,11 @@ mod tests {
 
     #[test]
     fn unknown_gpu_is_an_error() {
-        let ds = collect(&training_nets()[..2], &[GpuSpec::by_name("A100").unwrap()], &[16]);
+        let ds = collect(
+            &training_nets()[..2],
+            &[GpuSpec::by_name("A100").unwrap()],
+            &[16],
+        );
         assert_eq!(
             E2eModel::train(&ds, "H100"),
             Err(TrainError::NoDataForGpu { gpu: "H100".into() })
@@ -156,7 +165,11 @@ mod tests {
 
     #[test]
     fn prediction_scales_with_batch() {
-        let ds = collect(&training_nets(), &[GpuSpec::by_name("A100").unwrap()], &[64]);
+        let ds = collect(
+            &training_nets(),
+            &[GpuSpec::by_name("A100").unwrap()],
+            &[64],
+        );
         let model = E2eModel::train(&ds, "A100").unwrap();
         let net = dnnperf_dnn::zoo::resnet::resnet50();
         let t64 = model.predict_network(&net, 64).unwrap();
@@ -168,7 +181,11 @@ mod tests {
 
     #[test]
     fn zero_batch_rejected() {
-        let ds = collect(&training_nets(), &[GpuSpec::by_name("A100").unwrap()], &[16]);
+        let ds = collect(
+            &training_nets(),
+            &[GpuSpec::by_name("A100").unwrap()],
+            &[16],
+        );
         let model = E2eModel::train(&ds, "A100").unwrap();
         assert_eq!(
             model.predict_network(&training_nets()[0], 0),
@@ -178,7 +195,11 @@ mod tests {
 
     #[test]
     fn predictions_are_never_negative() {
-        let ds = collect(&training_nets(), &[GpuSpec::by_name("A100").unwrap()], &[64]);
+        let ds = collect(
+            &training_nets(),
+            &[GpuSpec::by_name("A100").unwrap()],
+            &[64],
+        );
         let model = E2eModel::train(&ds, "A100").unwrap();
         // A network with almost no FLOPs.
         let tiny = dnnperf_dnn::zoo::shufflenet::shufflenet_v1(3, 0.25, &[2, 4, 2]);

@@ -76,7 +76,10 @@ impl fmt::Display for PredictError {
                 write!(f, "no trained model covers layer type {tag:?}")
             }
             PredictError::NoKernelMapping { tag } => {
-                write!(f, "kernel mapping table has no entry for layer type {tag:?}")
+                write!(
+                    f,
+                    "kernel mapping table has no entry for layer type {tag:?}"
+                )
             }
             PredictError::ZeroBatch => write!(f, "batch size must be positive"),
         }

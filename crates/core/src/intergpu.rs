@@ -108,8 +108,10 @@ impl IgkwModel {
         allow_floor: bool,
     ) -> Result<Self, TrainError> {
         // Per GPU: per-kernel classification and fits.
-        let mut per_gpu: Vec<(f64, HashMap<Arc<str>, crate::classify::KernelClassification>)> =
-            Vec::new();
+        let mut per_gpu: Vec<(
+            f64,
+            HashMap<Arc<str>, crate::classify::KernelClassification>,
+        )> = Vec::new();
         let mut map = KernelMap::default();
         for gpu in gpus {
             let rows: Vec<_> = dataset
@@ -119,7 +121,9 @@ impl IgkwModel {
                 .cloned()
                 .collect();
             if rows.is_empty() {
-                return Err(TrainError::NoDataForGpu { gpu: gpu.name.clone() });
+                return Err(TrainError::NoDataForGpu {
+                    gpu: gpu.name.clone(),
+                });
             }
             map.merge(KernelMap::from_rows(&rows));
             let grouped = group_by_kernel(&rows);
@@ -153,7 +157,9 @@ impl IgkwModel {
                     }
                 }
             }
-            let best = (0..3).max_by(|&a, &b| votes[a].total_cmp(&votes[b])).expect("3 drivers");
+            let best = (0..3)
+                .max_by(|&a, &b| votes[a].total_cmp(&votes[b]))
+                .expect("3 drivers");
             let driver = Driver::all()[best];
 
             let mut inv_metric = Vec::new();
@@ -196,7 +202,10 @@ impl IgkwModel {
             );
         }
         if kernels.is_empty() {
-            return Err(TrainError::NotEnoughSamples { what: "IGKW kernel transfers".into(), got: 0 });
+            return Err(TrainError::NotEnoughSamples {
+                what: "IGKW kernel transfers".into(),
+                got: 0,
+            });
         }
         Ok(IgkwModel {
             map,
@@ -287,7 +296,12 @@ impl IgkwModel {
             };
             kernels.insert(name, transfer);
         }
-        Ok(IgkwModel { map, kernels, metric, train_gpus })
+        Ok(IgkwModel {
+            map,
+            kernels,
+            metric,
+            train_gpus,
+        })
     }
 
     /// Number of kernels with a transfer model.
@@ -410,8 +424,10 @@ mod tests {
     fn bandwidth_metric_beats_flops_metric() {
         // The paper's O6: bandwidth is the right transfer metric.
         let ds = collect(&nets(), &train_gpus(), &[64]);
-        let bw = IgkwModel::train_with_metric(&ds, &train_gpus(), TransferMetric::Bandwidth).unwrap();
-        let fl = IgkwModel::train_with_metric(&ds, &train_gpus(), TransferMetric::PeakFlops).unwrap();
+        let bw =
+            IgkwModel::train_with_metric(&ds, &train_gpus(), TransferMetric::Bandwidth).unwrap();
+        let fl =
+            IgkwModel::train_with_metric(&ds, &train_gpus(), TransferMetric::PeakFlops).unwrap();
         let titan = GpuSpec::by_name("TITAN RTX").unwrap();
         let prof = Profiler::new(titan.clone());
         let (mut bw_p, mut fl_p, mut meas) = (Vec::new(), Vec::new(), Vec::new());

@@ -51,9 +51,16 @@ impl KwModel {
         gpu: &str,
         slope_tolerance: f64,
     ) -> Result<Self, TrainError> {
-        let rows: Vec<_> = dataset.kernels.iter().filter(|r| &*r.gpu == gpu).cloned().collect();
+        let rows: Vec<_> = dataset
+            .kernels
+            .iter()
+            .filter(|r| &*r.gpu == gpu)
+            .cloned()
+            .collect();
         if rows.is_empty() {
-            return Err(TrainError::NoDataForGpu { gpu: gpu.to_string() });
+            return Err(TrainError::NoDataForGpu {
+                gpu: gpu.to_string(),
+            });
         }
         let map = KernelMap::from_rows(&rows);
         let classes = classify_kernels(&rows);
@@ -125,7 +132,11 @@ impl KwModel {
         let models = self.clustering.models();
         let mut assignments: Vec<(&Arc<str>, usize)> = self.clustering.assignments().collect();
         assignments.sort_by(|a, b| a.0.cmp(b.0));
-        out.push_str(&format!("clustering {} {}\n", models.len(), assignments.len()));
+        out.push_str(&format!(
+            "clustering {} {}\n",
+            models.len(),
+            assignments.len()
+        ));
         for (driver, fit) in models {
             out.push_str(&format!("model {driver} "));
             write_fit(&mut out, fit);
@@ -181,7 +192,13 @@ impl KwModel {
             }
             classes.insert(
                 kernel.clone(),
-                crate::classify::KernelClassification { kernel, driver, fits, r2, n },
+                crate::classify::KernelClassification {
+                    kernel,
+                    driver,
+                    fits,
+                    r2,
+                    n,
+                },
             );
         }
 
@@ -216,7 +233,12 @@ impl KwModel {
             assignment.insert(kernel, id);
         }
         let clustering = crate::cluster::Clustering::from_parts(assignment, models);
-        Ok(KwModel { gpu, map, classes, clustering })
+        Ok(KwModel {
+            gpu,
+            map,
+            classes,
+            clustering,
+        })
     }
 
     /// Predicts how many kernel launches one inference batch of `net` will
@@ -262,7 +284,11 @@ impl Predictor for KwModel {
         if batch == 0 {
             return Err(PredictError::ZeroBatch);
         }
-        Ok(net.layers().iter().map(|l| self.predict_layer(l, batch)).sum())
+        Ok(net
+            .layers()
+            .iter()
+            .map(|l| self.predict_layer(l, batch))
+            .sum())
     }
 }
 
@@ -281,9 +307,16 @@ impl KwFlopsOnlyModel {
     ///
     /// Same conditions as [`KwModel::train`].
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
-        let rows: Vec<_> = dataset.kernels.iter().filter(|r| &*r.gpu == gpu).cloned().collect();
+        let rows: Vec<_> = dataset
+            .kernels
+            .iter()
+            .filter(|r| &*r.gpu == gpu)
+            .cloned()
+            .collect();
         if rows.is_empty() {
-            return Err(TrainError::NoDataForGpu { gpu: gpu.to_string() });
+            return Err(TrainError::NoDataForGpu {
+                gpu: gpu.to_string(),
+            });
         }
         let map = KernelMap::from_rows(&rows);
         // Force classification to Operation for every kernel.

@@ -48,7 +48,9 @@ impl LwModel {
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
         let rows: Vec<_> = dataset.layers.iter().filter(|r| &*r.gpu == gpu).collect();
         if rows.is_empty() {
-            return Err(TrainError::NoDataForGpu { gpu: gpu.to_string() });
+            return Err(TrainError::NoDataForGpu {
+                gpu: gpu.to_string(),
+            });
         }
         let mut grouped: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
         for r in &rows {
@@ -133,7 +135,11 @@ impl LwModel {
             let fit = read_fit(&cur, &mut parts)?;
             per_type.insert(tag, fit);
         }
-        Ok(LwModel { gpu, per_type, fallback })
+        Ok(LwModel {
+            gpu,
+            per_type,
+            fallback,
+        })
     }
 }
 
@@ -201,7 +207,10 @@ mod tests {
         let ds = collect(&nets(), std::slice::from_ref(&gpu), &[64]);
         let m = LwModel::train(&ds, "A100").unwrap();
         let held_out = dnnperf_dnn::zoo::resnet::resnet101();
-        let measured = Profiler::new(gpu).profile(&held_out, 64).unwrap().e2e_seconds;
+        let measured = Profiler::new(gpu)
+            .profile(&held_out, 64)
+            .unwrap()
+            .e2e_seconds;
         let predicted = m.predict_network(&held_out, 64).unwrap();
         let err = (predicted - measured).abs() / measured;
         assert!(err < 0.5, "LW error {err}");

@@ -62,7 +62,9 @@ impl LayerSignature {
             let lb = ((b + 1) as f64).ln();
             (la - lb) * (la - lb)
         }
-        d(self.in_per, other.in_per) + d(self.flops_per, other.flops_per) + d(self.out_per, other.out_per)
+        d(self.in_per, other.in_per)
+            + d(self.flops_per, other.flops_per)
+            + d(self.out_per, other.out_per)
     }
 }
 
@@ -118,7 +120,10 @@ impl KernelMap {
     /// Inserts one signature -> kernel-list entry (first write wins).
     pub fn insert(&mut self, sig: LayerSignature, kernels: Vec<Arc<str>>) {
         if !self.exact.contains_key(&sig) {
-            self.by_tag.entry(sig.tag.clone()).or_default().push(sig.clone());
+            self.by_tag
+                .entry(sig.tag.clone())
+                .or_default()
+                .push(sig.clone());
             self.exact.insert(sig, kernels);
         }
     }
@@ -143,7 +148,9 @@ impl KernelMap {
     /// Iterates over all recorded (signature, kernel list) entries
     /// (unordered).
     pub fn entries(&self) -> impl Iterator<Item = (&LayerSignature, &[Arc<str>])> {
-        self.exact.iter().map(|(sig, kernels)| (sig, kernels.as_slice()))
+        self.exact
+            .iter()
+            .map(|(sig, kernels)| (sig, kernels.as_slice()))
     }
 
     /// Looks up the kernel list for a layer: exact signature match first,
@@ -181,7 +188,10 @@ impl KernelMap {
         for (sig, kernels) in entries {
             out.push_str(&format!(
                 "sig {} {} {} {} {}",
-                sig.tag, sig.in_per, sig.flops_per, sig.out_per,
+                sig.tag,
+                sig.in_per,
+                sig.flops_per,
+                sig.out_per,
                 kernels.len()
             ));
             for k in kernels {
@@ -219,10 +229,7 @@ impl KernelMap {
             let k: usize = field(cur, &mut parts, "kernel count")?;
             let kernels: Vec<Arc<str>> = parts.map(Arc::from).collect();
             if kernels.len() != k {
-                return Err(cur.parse_err(format!(
-                    "expected {k} kernels, found {}",
-                    kernels.len()
-                )));
+                return Err(cur.parse_err(format!("expected {k} kernels, found {}", kernels.len())));
             }
             map.insert(sig, kernels);
         }
@@ -270,7 +277,9 @@ mod tests {
         let map64 = a100_map(std::slice::from_ref(&net), 64);
         let keys = |m: &KernelMap| {
             let mut v: Vec<LayerSignature> = m.exact.keys().cloned().collect();
-            v.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+            // Cache the sort key: the comparator version allocated two
+            // format! strings per comparison (O(n log n) allocations).
+            v.sort_by_cached_key(|s| format!("{s:?}"));
             v
         };
         assert_eq!(keys(&map16), keys(&map64));

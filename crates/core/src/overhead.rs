@@ -82,11 +82,7 @@ impl OverheadModel {
             .map(|(p, y)| y / p)
             .collect();
         let gain = median(&ratios).clamp(0.0, 2.0);
-        let residuals: Vec<f64> = preds
-            .iter()
-            .zip(&ys)
-            .map(|(p, y)| y - gain * p)
-            .collect();
+        let residuals: Vec<f64> = preds.iter().zip(&ys).map(|(p, y)| y - gain * p).collect();
         // Accept the launch-cost term only when the residual fit has the
         // physical shape (nonnegative slope AND intercept); clamping just
         // one coefficient would bias the other.
@@ -96,7 +92,11 @@ impl OverheadModel {
             }
             _ => (0.0, dnnperf_linreg::mean(&residuals).max(0.0)),
         };
-        Ok(OverheadModel { gain, per_launch, per_batch })
+        Ok(OverheadModel {
+            gain,
+            per_launch,
+            per_batch,
+        })
     }
 
     /// The learned gain on the KW GPU-time prediction.

@@ -66,7 +66,10 @@ impl fmt::Display for PersistError {
                 write!(f, "bad model file header: {found:?}")
             }
             PersistError::WrongKind { expected, found } => {
-                write!(f, "model file holds a {found:?} model, expected {expected:?}")
+                write!(
+                    f,
+                    "model file holds a {found:?} model, expected {expected:?}"
+                )
             }
             PersistError::Parse { line, reason } => {
                 write!(f, "model file parse error at line {line}: {reason}")
@@ -86,7 +89,10 @@ pub(crate) struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     pub(crate) fn new(text: &'a str) -> Self {
-        Cursor { lines: text.lines(), line_no: 0 }
+        Cursor {
+            lines: text.lines(),
+            line_no: 0,
+        }
     }
 
     pub(crate) fn next(&mut self) -> Result<&'a str, PersistError> {
@@ -109,7 +115,10 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn parse_err(&self, reason: impl Into<String>) -> PersistError {
-        PersistError::Parse { line: self.line_no, reason: reason.into() }
+        PersistError::Parse {
+            line: self.line_no,
+            reason: reason.into(),
+        }
     }
 }
 
@@ -132,20 +141,34 @@ pub(crate) fn write_header(out: &mut String, kind: &str) {
 }
 
 /// Validates the shared header and the model kind.
-pub(crate) fn read_header(cur: &mut Cursor<'_>, expected: &'static str) -> Result<(), PersistError> {
+pub(crate) fn read_header(
+    cur: &mut Cursor<'_>,
+    expected: &'static str,
+) -> Result<(), PersistError> {
     let line = cur.next()?;
     let mut parts = line.split_whitespace();
     if parts.next() != Some("dnnperf-model") {
-        return Err(PersistError::BadHeader { found: line.to_string() });
+        return Err(PersistError::BadHeader {
+            found: line.to_string(),
+        });
     }
     match parts.next() {
         Some(v) if v == format!("v{FORMAT_VERSION}") => {}
-        _ => return Err(PersistError::BadHeader { found: line.to_string() }),
+        _ => {
+            return Err(PersistError::BadHeader {
+                found: line.to_string(),
+            })
+        }
     }
     match parts.next() {
         Some(kind) if kind == expected => Ok(()),
-        Some(kind) => Err(PersistError::WrongKind { expected, found: kind.to_string() }),
-        None => Err(PersistError::BadHeader { found: line.to_string() }),
+        Some(kind) => Err(PersistError::WrongKind {
+            expected,
+            found: kind.to_string(),
+        }),
+        None => Err(PersistError::BadHeader {
+            found: line.to_string(),
+        }),
     }
 }
 
@@ -166,7 +189,11 @@ pub(crate) fn read_fit(
     let intercept: f64 = field(cur, parts, "intercept")?;
     let r2: f64 = field(cur, parts, "r2")?;
     let n: usize = field(cur, parts, "n")?;
-    Ok(Fit { line: Line::new(slope, intercept), r2, n })
+    Ok(Fit {
+        line: Line::new(slope, intercept),
+        r2,
+        n,
+    })
 }
 
 #[cfg(test)]
@@ -188,21 +215,35 @@ mod tests {
         let mut cur = Cursor::new(&s);
         assert_eq!(
             read_header(&mut cur, "kw"),
-            Err(PersistError::WrongKind { expected: "kw", found: "lw".into() })
+            Err(PersistError::WrongKind {
+                expected: "kw",
+                found: "lw".into()
+            })
         );
     }
 
     #[test]
     fn bad_version_is_detected() {
         let mut cur = Cursor::new("dnnperf-model v999 kw\n");
-        assert!(matches!(read_header(&mut cur, "kw"), Err(PersistError::BadHeader { .. })));
+        assert!(matches!(
+            read_header(&mut cur, "kw"),
+            Err(PersistError::BadHeader { .. })
+        ));
     }
 
     #[test]
     fn fit_round_trips_including_specials() {
         for fit in [
-            Fit { line: Line::new(1.25e-13, 3.0e-6), r2: 0.987654321, n: 42 },
-            Fit { line: Line::new(0.0, 0.0), r2: f64::NEG_INFINITY, n: 1 },
+            Fit {
+                line: Line::new(1.25e-13, 3.0e-6),
+                r2: 0.987654321,
+                n: 42,
+            },
+            Fit {
+                line: Line::new(0.0, 0.0),
+                r2: f64::NEG_INFINITY,
+                n: 1,
+            },
         ] {
             let mut s = String::new();
             write_fit(&mut s, &fit);
@@ -222,7 +263,10 @@ mod tests {
     #[test]
     fn errors_display() {
         assert!(PersistError::UnexpectedEof.to_string().contains("ended"));
-        let e = PersistError::Parse { line: 3, reason: "x".into() };
+        let e = PersistError::Parse {
+            line: 3,
+            reason: "x".into(),
+        };
         assert!(e.to_string().contains("line 3"));
     }
 }

@@ -75,10 +75,9 @@ pub fn predictions_vs_measurements<P: Predictor + ?Sized>(
 ) -> Vec<(String, f64, f64)> {
     nets.iter()
         .filter_map(|net| {
-            let meas = measured
-                .networks
-                .iter()
-                .find(|r| &*r.network == net.name() && r.batch == batch as u32 && &*r.gpu == model.gpu())?;
+            let meas = measured.networks.iter().find(|r| {
+                &*r.network == net.name() && r.batch == batch as u32 && &*r.gpu == model.gpu()
+            })?;
             let pred = model.predict_network(net, batch).ok()?;
             Some((net.name().to_string(), pred, meas.e2e_seconds))
         })

@@ -84,7 +84,10 @@ fn wrong_kind_is_rejected() {
     let ds = dataset();
     let e2e = E2eModel::train(&ds, "A100").unwrap();
     let err = KwModel::from_text(&e2e.to_text()).unwrap_err();
-    assert!(matches!(err, PersistError::WrongKind { expected: "kw", .. }), "{err}");
+    assert!(
+        matches!(err, PersistError::WrongKind { expected: "kw", .. }),
+        "{err}"
+    );
 }
 
 #[test]
@@ -106,7 +109,9 @@ fn malformed_inputs_error_instead_of_panicking() {
     }
     // And the genuinely truncated variants error for their own kind too.
     assert!(E2eModel::from_text("dnnperf-model v1 e2e\ngpu A100\nfit 1.0 2.0\n").is_err());
-    assert!(LwModel::from_text("dnnperf-model v1 lw\ngpu A100\nfallback 1 2 3 4\ntypes 5\n").is_err());
+    assert!(
+        LwModel::from_text("dnnperf-model v1 lw\ngpu A100\nfallback 1 2 3 4\ntypes 5\n").is_err()
+    );
 }
 
 #[test]

@@ -4,15 +4,11 @@ use dnnperf_core::{classify_kernels, cluster_kernels, KernelMap, KwModel, Predic
 use dnnperf_data::collect::collect;
 use dnnperf_data::KernelRow;
 use dnnperf_gpu::GpuSpec;
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 use std::sync::Arc;
 
-fn arb_rows() -> impl Strategy<Value = Vec<KernelRow>> {
-    prop::collection::vec(
-        (0usize..6, 1u64..1_000_000, 1e-7..1e-2f64),
-        8..80,
-    )
-    .prop_map(|specs| {
+fn arb_rows() -> impl Gen<Value = Vec<KernelRow>> {
+    vec((0usize..6, 1u64..1_000_000, 1e-7..1e-2f64), 8..80).prop_map(|specs| {
         specs
             .into_iter()
             .enumerate()
@@ -36,30 +32,40 @@ fn arb_rows() -> impl Strategy<Value = Vec<KernelRow>> {
     })
 }
 
-proptest! {
+/// The body of `classification_is_order_invariant`, shared with the pinned
+/// regression cases below (formerly a `proptest-regressions` side-file).
+fn check_classification_order_invariant(mut rows: Vec<KernelRow>, seed: u64) {
+    let a = classify_kernels(&rows);
+    // Deterministic shuffle.
+    let n = rows.len();
+    for i in 0..n {
+        let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+        rows.swap(i, j);
+    }
+    let b = classify_kernels(&rows);
+    prop_assert_eq!(a.len(), b.len());
+    for (k, ca) in &a {
+        let cb = &b[k];
+        if ca.driver != cb.driver {
+            // Permissible only for an exact R-squared tie broken by
+            // float summation order.
+            let ra = ca.r2[ca.driver.index()];
+            let rb = cb.r2[cb.driver.index()];
+            prop_assert!(
+                (ra - rb).abs() < 1e-6,
+                "driver flip for {} without a tie",
+                k
+            );
+        }
+        // Fits are computed from the same multiset of samples.
+        prop_assert_eq!(ca.n, cb.n);
+    }
+}
+
+props! {
     #[test]
-    fn classification_is_order_invariant(mut rows in arb_rows(), seed in 0u64..100) {
-        let a = classify_kernels(&rows);
-        // Deterministic shuffle.
-        let n = rows.len();
-        for i in 0..n {
-            let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
-            rows.swap(i, j);
-        }
-        let b = classify_kernels(&rows);
-        prop_assert_eq!(a.len(), b.len());
-        for (k, ca) in &a {
-            let cb = &b[k];
-            if ca.driver != cb.driver {
-                // Permissible only for an exact R-squared tie broken by
-                // float summation order.
-                let ra = ca.r2[ca.driver.index()];
-                let rb = cb.r2[cb.driver.index()];
-                prop_assert!((ra - rb).abs() < 1e-6, "driver flip for {} without a tie", k);
-            }
-            // Fits are computed from the same multiset of samples.
-            prop_assert_eq!(ca.n, cb.n);
-        }
+    fn classification_is_order_invariant(rows in arb_rows(), seed in 0u64..100) {
+        check_classification_order_invariant(rows, seed);
     }
 
     #[test]
@@ -99,9 +105,162 @@ proptest! {
     }
 }
 
+/// A regression-case row: mostly-default kernels with a handful of large
+/// outliers, exactly as the historical shrinker reported them.
+fn regression_row(
+    i: u32,
+    kernel: &str,
+    in_elems: u64,
+    flops: u64,
+    out_elems: u64,
+    seconds: f64,
+) -> KernelRow {
+    KernelRow {
+        network: "n".into(),
+        gpu: "g".into(),
+        batch: 1,
+        layer_index: i,
+        layer_type: Arc::from("conv"),
+        kernel: Arc::from(kernel),
+        in_elems,
+        flops,
+        out_elems,
+        seconds,
+    }
+}
+
+/// Builds `len` default rows, then applies `(index, kernel, x, flops, out,
+/// seconds)` overrides.
+fn regression_rows(
+    len: u32,
+    default: (&str, u64, u64, u64, f64),
+    overrides: &[(u32, &str, u64, u64, u64, f64)],
+) -> Vec<KernelRow> {
+    let (dk, dx, df, do_, dt) = default;
+    let mut rows: Vec<KernelRow> = (0..len)
+        .map(|i| regression_row(i, dk, dx, df, do_, dt))
+        .collect();
+    for &(i, k, x, f, o, t) in overrides {
+        rows[i as usize] = regression_row(i, k, x, f, o, t);
+    }
+    rows
+}
+
+/// Pinned historical failure of `classification_is_order_invariant` (was
+/// `cc 9c36a10e…` in the deleted `props.proptest-regressions` file): 55
+/// rows, mostly defaults, a burst of mixed-kernel outliers at the tail,
+/// shuffled with seed 15.
+#[test]
+fn regression_classification_order_invariant_seed_15() {
+    let rows = regression_rows(
+        55,
+        ("kernel_0", 1, 3, 1, 1e-7),
+        &[
+            (4, "kernel_5", 114131, 342393, 57066, 0.000745717683708324),
+            (
+                10,
+                "kernel_5",
+                233386,
+                700158,
+                116694,
+                0.0005036009957526903,
+            ),
+            (36, "kernel_5", 73814, 221442, 36908, 0.002815348518249823),
+            (
+                41,
+                "kernel_5",
+                481536,
+                1444608,
+                240769,
+                0.0013389807761152405,
+            ),
+            (42, "kernel_0", 403, 1209, 202, 0.004517503318043073),
+            (
+                43,
+                "kernel_0",
+                215619,
+                646857,
+                107810,
+                0.0028681425582801207,
+            ),
+            (44, "kernel_5", 105235, 315705, 52618, 0.0016734938377575806),
+            (
+                45,
+                "kernel_5",
+                358687,
+                1076061,
+                179344,
+                0.009330787314073974,
+            ),
+            (46, "kernel_2", 310054, 930162, 155028, 0.003995596172012164),
+            (
+                47,
+                "kernel_4",
+                614512,
+                1843536,
+                307257,
+                0.0017094440317042454,
+            ),
+            (48, "kernel_1", 196184, 588552, 98093, 0.009484663750074455),
+            (
+                49,
+                "kernel_4",
+                275299,
+                825897,
+                137650,
+                0.0016820490708888383,
+            ),
+            (
+                50,
+                "kernel_2",
+                418310,
+                1254930,
+                209156,
+                0.006956893590377487,
+            ),
+            (
+                51,
+                "kernel_0",
+                713544,
+                2140632,
+                356773,
+                0.0048810519950939855,
+            ),
+            (52, "kernel_4", 179418, 538254, 89710, 0.005557167421326461),
+            (53, "kernel_0", 190137, 570411, 95069, 0.0049055109778379565),
+            (
+                54,
+                "kernel_1",
+                339993,
+                1019979,
+                169997,
+                0.009848118628463657,
+            ),
+        ],
+    );
+    check_classification_order_invariant(rows, 15);
+}
+
+/// Pinned historical failure of `classification_is_order_invariant` (was
+/// `cc c6167932…`): 19 rows with three `kernel_4` outliers, shuffled with
+/// seed 50.
+#[test]
+fn regression_classification_order_invariant_seed_50() {
+    let rows = regression_rows(
+        19,
+        ("kernel_0", 1, 1001, 1, 1e-7),
+        &[
+            (2, "kernel_4", 160643, 415001, 80322, 0.0010729396375589342),
+            (8, "kernel_4", 877539, 193001, 438770, 0.008205588246287076),
+            (12, "kernel_4", 549527, 453001, 274764, 0.008375577790437828),
+        ],
+    );
+    check_classification_order_invariant(rows, 50);
+}
+
 #[test]
 fn kw_prediction_is_monotone_in_batch() {
-    // Not a proptest (training is comparatively expensive): predictions must
+    // Not a generated property (training is comparatively expensive): predictions must
     // grow with batch size for every probe batch.
     let nets = [
         dnnperf_dnn::zoo::resnet::resnet18(),
@@ -115,7 +274,10 @@ fn kw_prediction_is_monotone_in_batch() {
     let mut last = 0.0;
     for bs in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
         let t = kw.predict_network(&net, bs).unwrap();
-        assert!(t >= last, "prediction decreased at batch {bs}: {last} -> {t}");
+        assert!(
+            t >= last,
+            "prediction decreased at batch {bs}: {last} -> {t}"
+        );
         last = t;
     }
 }

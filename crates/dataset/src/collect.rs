@@ -125,19 +125,23 @@ pub fn collect_parallel(
     let mut ds = Dataset::new();
     for gpu in gpus {
         let chunk = nets.len().div_ceil(threads).max(1);
-        let mut per_chunk: Vec<Dataset> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        // `std::thread::scope` (stabilised in Rust 1.63) borrows `nets`,
+        // `batches` and `gpu` directly — no external scoped-thread crate.
+        // Handles are joined in spawn order, so chunk results are stitched
+        // back in network order and the dataset is byte-identical to the
+        // serial `collect`.
+        let per_chunk: Vec<Dataset> = std::thread::scope(|scope| {
             let handles: Vec<_> = nets
                 .chunks(chunk)
                 .map(|chunk_nets| {
-                    scope.spawn(move |_| collect(chunk_nets, std::slice::from_ref(gpu), batches))
+                    scope.spawn(move || collect(chunk_nets, std::slice::from_ref(gpu), batches))
                 })
                 .collect();
-            for h in handles {
-                per_chunk.push(h.join().expect("collection worker panicked"));
-            }
-        })
-        .expect("collection scope panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("collection worker panicked"))
+                .collect()
+        });
         for chunk_ds in per_chunk {
             ds.merge(chunk_ds);
         }
@@ -222,7 +226,11 @@ mod tests {
         assert!(n.e2e_seconds > n.gpu_seconds);
         // Kernel rows carry the owning layer's driver variables.
         let k0 = &ds.kernels[0];
-        let l0 = ds.layers.iter().find(|l| l.layer_index == k0.layer_index).unwrap();
+        let l0 = ds
+            .layers
+            .iter()
+            .find(|l| l.layer_index == k0.layer_index)
+            .unwrap();
         assert_eq!(k0.in_elems, l0.in_elems);
         assert_eq!(k0.flops, l0.flops);
     }

@@ -30,7 +30,9 @@ impl fmt::Display for CsvError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CsvError::Io(e) => write!(f, "csv io error: {e}"),
-            CsvError::Parse { line, reason } => write!(f, "csv parse error at line {line}: {reason}"),
+            CsvError::Parse { line, reason } => {
+                write!(f, "csv parse error at line {line}: {reason}")
+            }
         }
     }
 }
@@ -50,8 +52,10 @@ impl From<io::Error> for CsvError {
     }
 }
 
-const NETWORK_HEADER: &str = "network,family,gpu,batch,flops,bytes,e2e_seconds,gpu_seconds,kernel_count";
-const LAYER_HEADER: &str = "network,gpu,batch,layer_index,layer_type,flops,in_elems,out_elems,seconds";
+const NETWORK_HEADER: &str =
+    "network,family,gpu,batch,flops,bytes,e2e_seconds,gpu_seconds,kernel_count";
+const LAYER_HEADER: &str =
+    "network,gpu,batch,layer_index,layer_type,flops,in_elems,out_elems,seconds";
 const KERNEL_HEADER: &str =
     "network,gpu,batch,layer_index,layer_type,kernel,in_elems,flops,out_elems,seconds";
 
@@ -187,10 +191,18 @@ fn read_lines(path: &Path, header: &str) -> Result<Vec<String>, CsvError> {
     match lines.next() {
         Some(Ok(h)) if h == header => {}
         Some(Ok(h)) => {
-            return Err(CsvError::Parse { line: 1, reason: format!("unexpected header {h:?}") })
+            return Err(CsvError::Parse {
+                line: 1,
+                reason: format!("unexpected header {h:?}"),
+            })
         }
         Some(Err(e)) => return Err(e.into()),
-        None => return Err(CsvError::Parse { line: 1, reason: "empty file".into() }),
+        None => {
+            return Err(CsvError::Parse {
+                line: 1,
+                reason: "empty file".into(),
+            })
+        }
     }
     lines.map(|l| l.map_err(CsvError::from)).collect()
 }
@@ -278,8 +290,7 @@ mod tests {
         assert_eq!(ds.kernels.len(), back.kernels.len());
         assert_eq!(ds.kernels[0], back.kernels[0]);
         assert_eq!(
-            ds.networks[0].e2e_seconds,
-            back.networks[0].e2e_seconds,
+            ds.networks[0].e2e_seconds, back.networks[0].e2e_seconds,
             "f64 must round-trip exactly through display formatting"
         );
         std::fs::remove_dir_all(&dir).ok();

@@ -91,9 +91,24 @@ impl Dataset {
     /// Returns the subset of rows measured on `gpu`.
     pub fn for_gpu(&self, gpu: &str) -> Dataset {
         Dataset {
-            networks: self.networks.iter().filter(|r| &*r.gpu == gpu).cloned().collect(),
-            layers: self.layers.iter().filter(|r| &*r.gpu == gpu).cloned().collect(),
-            kernels: self.kernels.iter().filter(|r| &*r.gpu == gpu).cloned().collect(),
+            networks: self
+                .networks
+                .iter()
+                .filter(|r| &*r.gpu == gpu)
+                .cloned()
+                .collect(),
+            layers: self
+                .layers
+                .iter()
+                .filter(|r| &*r.gpu == gpu)
+                .cloned()
+                .collect(),
+            kernels: self
+                .kernels
+                .iter()
+                .filter(|r| &*r.gpu == gpu)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -148,7 +163,11 @@ impl Dataset {
     /// Number of distinct kernel symbols recorded (the paper reports ~182
     /// per GPU).
     pub fn distinct_kernels(&self) -> usize {
-        self.kernels.iter().map(|r| r.kernel.clone()).collect::<HashSet<_>>().len()
+        self.kernels
+            .iter()
+            .map(|r| r.kernel.clone())
+            .collect::<HashSet<_>>()
+            .len()
     }
 }
 

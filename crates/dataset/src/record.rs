@@ -82,7 +82,11 @@ impl KernelRow {
     /// The three candidate driver variables, in the order
     /// (input, operation, output) used by kernel classification.
     pub fn drivers(&self) -> [f64; 3] {
-        [self.in_elems as f64, self.flops as f64, self.out_elems as f64]
+        [
+            self.in_elems as f64,
+            self.flops as f64,
+            self.out_elems as f64,
+        ]
     }
 }
 

@@ -8,8 +8,7 @@
 //! other networks' measurements.
 
 use crate::dataset::Dataset;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use dnnperf_testkit::hashrng::Rng;
 use std::collections::HashSet;
 
 /// The paper's test fraction.
@@ -36,8 +35,9 @@ pub fn split_names(names: &[String], test_fraction: f64, seed: u64) -> (Vec<Stri
         "test fraction must be within [0, 1]"
     );
     let mut shuffled: Vec<String> = names.to_vec();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    shuffled.shuffle(&mut rng);
+    // In-tree seeded Fisher–Yates (SplitMix64 stream): deterministic for a
+    // given seed across platforms and releases, no external RNG crate.
+    Rng::new(seed).shuffle(&mut shuffled);
     let n_test = (names.len() as f64 * test_fraction).round() as usize;
     let test = shuffled.split_off(shuffled.len() - n_test.min(shuffled.len()));
     (shuffled, test)
@@ -95,6 +95,20 @@ mod tests {
     }
 
     #[test]
+    fn split_permutation_is_pinned() {
+        // Locks the exact shuffle so dataset splits never silently change
+        // between releases (the split is part of every reported result).
+        let (train, test) = split_names(&names(8), 0.25, 42);
+        assert_eq!(test, vec!["net6".to_string(), "net2".to_string()]);
+        assert_eq!(
+            train,
+            ["net1", "net3", "net4", "net5", "net0", "net7"]
+                .map(String::from)
+                .to_vec()
+        );
+    }
+
+    #[test]
     fn dataset_split_partitions_rows() {
         use dnnperf_gpu::GpuSpec;
         let nets = [
@@ -105,7 +119,10 @@ mod tests {
         ];
         let ds = crate::collect::collect(&nets, &[GpuSpec::by_name("A100").unwrap()], &[16]);
         let (train, test) = split_dataset(&ds, 9);
-        assert_eq!(train.networks.len() + test.networks.len(), ds.networks.len());
+        assert_eq!(
+            train.networks.len() + test.networks.len(),
+            ds.networks.len()
+        );
         assert_eq!(train.kernels.len() + test.kernels.len(), ds.kernels.len());
         // No network appears on both sides.
         let tr: HashSet<String> = train.network_names().into_iter().collect();

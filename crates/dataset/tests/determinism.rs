@@ -1,0 +1,77 @@
+//! Byte-level determinism of parallel dataset collection.
+//!
+//! `collect_parallel` must produce a dataset *identical* to the serial
+//! `collect` — not just equal row multisets, but the same rows in the same
+//! order, so the serialized CSVs are byte-for-byte reproducible regardless
+//! of worker count. This is what makes the collected dataset a stable
+//! artifact: re-running collection on a machine with a different core count
+//! must not change a single byte of the published CSVs.
+
+use dnnperf_data::collect::{collect, collect_parallel};
+use dnnperf_data::csv::write_dataset;
+use dnnperf_dnn::zoo;
+use dnnperf_gpu::GpuSpec;
+use std::path::Path;
+
+/// Reads the three CSV files a dataset serializes to.
+fn csv_bytes(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    ["networks.csv", "layers.csv", "kernels.csv"]
+        .iter()
+        .map(|name| {
+            let bytes = std::fs::read(dir.join(name)).expect("dataset file must exist");
+            (name.to_string(), bytes)
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_collection_is_byte_identical_to_serial() {
+    // Five networks so that threads = 8 exceeds the network count (some
+    // workers receive empty or single-network chunks).
+    let nets = [
+        zoo::resnet::resnet18(),
+        zoo::vgg::vgg11(),
+        zoo::mobilenet::mobilenet_v2(0.5, 1.0),
+        zoo::squeezenet::squeezenet(128, 128, 0.125),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let gpus = [
+        GpuSpec::by_name("A100").unwrap(),
+        GpuSpec::by_name("V100").unwrap(),
+    ];
+    let batches = [8, 16];
+
+    let base = std::env::temp_dir().join(format!("dnnperf_determinism_{}", std::process::id()));
+    let serial_dir = base.join("serial");
+    std::fs::create_dir_all(&serial_dir).unwrap();
+    let serial = collect(&nets, &gpus, &batches);
+    write_dataset(&serial, &serial_dir).unwrap();
+    let want = csv_bytes(&serial_dir);
+    assert!(
+        want.iter().all(|(_, b)| !b.is_empty()),
+        "serial collection must produce non-empty CSVs"
+    );
+
+    for threads in [1usize, 3, 8] {
+        let parallel = collect_parallel(&nets, &gpus, &batches, threads);
+        assert_eq!(
+            serial, parallel,
+            "structural mismatch at threads = {threads}"
+        );
+        let dir = base.join(format!("threads_{threads}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        write_dataset(&parallel, &dir).unwrap();
+        let got = csv_bytes(&dir);
+        for ((name, w), (_, g)) in want.iter().zip(&got) {
+            assert!(
+                w == g,
+                "{name} differs between serial and threads = {threads} \
+                 ({} vs {} bytes)",
+                w.len(),
+                g.len()
+            );
+        }
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+}

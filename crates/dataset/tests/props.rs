@@ -2,33 +2,50 @@
 
 use dnnperf_data::csv::{read_dataset, write_dataset};
 use dnnperf_data::{split_names, Dataset, KernelRow, LayerRow, NetworkRow};
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 use std::collections::HashSet;
 use std::sync::Arc;
 
-fn ident() -> impl Strategy<Value = String> {
-    "[A-Za-z0-9_.\\[\\]-]{1,24}"
+fn ident() -> impl Gen<Value = String> {
+    string_class("A-Za-z0-9_.\\[\\]-", 1..=24)
 }
 
-fn arb_network_row() -> impl Strategy<Value = NetworkRow> {
-    (ident(), ident(), ident(), 1u32..1024, 1u64..1 << 40, 1u64..1 << 40, 1e-6..10.0f64).prop_map(
-        |(network, family, gpu, batch, flops, bytes, t)| NetworkRow {
-            network: Arc::from(network.as_str()),
-            family: Arc::from(family.as_str()),
-            gpu: Arc::from(gpu.as_str()),
-            batch,
-            flops,
-            bytes,
-            e2e_seconds: t,
-            gpu_seconds: t * 0.9,
-            kernel_count: 3,
-        },
+fn arb_network_row() -> impl Gen<Value = NetworkRow> {
+    (
+        ident(),
+        ident(),
+        ident(),
+        1u32..1024,
+        1u64..1 << 40,
+        1u64..1 << 40,
+        1e-6..10.0f64,
     )
+        .prop_map(
+            |(network, family, gpu, batch, flops, bytes, t)| NetworkRow {
+                network: Arc::from(network.as_str()),
+                family: Arc::from(family.as_str()),
+                gpu: Arc::from(gpu.as_str()),
+                batch,
+                flops,
+                bytes,
+                e2e_seconds: t,
+                gpu_seconds: t * 0.9,
+                kernel_count: 3,
+            },
+        )
 }
 
-fn arb_kernel_row() -> impl Strategy<Value = KernelRow> {
-    (ident(), ident(), ident(), 1u32..1024, 0u32..500, 1u64..1 << 40, 1e-9..1.0f64).prop_map(
-        |(network, gpu, kernel, batch, li, x, t)| KernelRow {
+fn arb_kernel_row() -> impl Gen<Value = KernelRow> {
+    (
+        ident(),
+        ident(),
+        ident(),
+        1u32..1024,
+        0u32..500,
+        1u64..1 << 40,
+        1e-9..1.0f64,
+    )
+        .prop_map(|(network, gpu, kernel, batch, li, x, t)| KernelRow {
             network: Arc::from(network.as_str()),
             gpu: Arc::from(gpu.as_str()),
             batch,
@@ -39,11 +56,10 @@ fn arb_kernel_row() -> impl Strategy<Value = KernelRow> {
             flops: x * 2,
             out_elems: x / 2 + 1,
             seconds: t,
-        },
-    )
+        })
 }
 
-proptest! {
+props! {
     #[test]
     fn split_is_always_a_partition(n in 0usize..200, frac in 0.0..1.0f64, seed in 0u64..1000) {
         let names: Vec<String> = (0..n).map(|i| format!("net{i}")).collect();
@@ -57,8 +73,8 @@ proptest! {
 
     #[test]
     fn csv_round_trip_is_lossless(
-        nets in prop::collection::vec(arb_network_row(), 0..20),
-        kernels in prop::collection::vec(arb_kernel_row(), 0..50),
+        nets in vec(arb_network_row(), 0..20),
+        kernels in vec(arb_kernel_row(), 0..50),
     ) {
         let ds = Dataset { networks: nets, layers: Vec::new(), kernels };
         let dir = std::env::temp_dir().join(format!(
@@ -95,7 +111,7 @@ proptest! {
 
     #[test]
     fn garbage_csv_files_error_cleanly(
-        junk in prop::collection::vec("[ -~]{0,80}", 0..20),
+        junk in vec(string_class(" -~", 0..=80), 0..20),
         which in 0usize..3,
     ) {
         // Random printable junk must produce a parse/IO error, never a panic
@@ -132,7 +148,7 @@ proptest! {
     }
 
     #[test]
-    fn dedup_is_idempotent(kernels in prop::collection::vec(arb_kernel_row(), 0..40)) {
+    fn dedup_is_idempotent(kernels in vec(arb_kernel_row(), 0..40)) {
         let mut ds = Dataset { networks: vec![], layers: vec![], kernels };
         ds.dedup();
         let once = ds.clone();

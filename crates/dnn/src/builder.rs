@@ -100,7 +100,9 @@ impl NetworkBuilder {
         padding: usize,
     ) -> Result<&mut Self, ShapeError> {
         let in_ch = self.cur.channels();
-        self.push(LayerKind::Conv2d(Conv2d::square(in_ch, out_ch, k, stride, padding)))
+        self.push(LayerKind::Conv2d(Conv2d::square(
+            in_ch, out_ch, k, stride, padding,
+        )))
     }
 
     /// Convenience: batch normalization.
@@ -127,8 +129,18 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Fails if the window does not fit or the input is not a feature map.
-    pub fn max_pool(&mut self, k: usize, stride: usize, padding: usize) -> Result<&mut Self, ShapeError> {
-        self.push(LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k, stride, padding }))
+    pub fn max_pool(
+        &mut self,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::Pool2d(Pool2d {
+            kind: PoolKind::Max,
+            k,
+            stride,
+            padding,
+        }))
     }
 
     /// Convenience: average pooling.
@@ -136,8 +148,18 @@ impl NetworkBuilder {
     /// # Errors
     ///
     /// Fails if the window does not fit or the input is not a feature map.
-    pub fn avg_pool(&mut self, k: usize, stride: usize, padding: usize) -> Result<&mut Self, ShapeError> {
-        self.push(LayerKind::Pool2d(Pool2d { kind: PoolKind::Avg, k, stride, padding }))
+    pub fn avg_pool(
+        &mut self,
+        k: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Result<&mut Self, ShapeError> {
+        self.push(LayerKind::Pool2d(Pool2d {
+            kind: PoolKind::Avg,
+            k,
+            stride,
+            padding,
+        }))
     }
 
     /// Convenience: fully connected layer from the current feature count.
@@ -147,7 +169,10 @@ impl NetworkBuilder {
     /// Fails if the current shape is a feature map (flatten first).
     pub fn linear(&mut self, out_features: usize) -> Result<&mut Self, ShapeError> {
         let in_features = self.cur.channels();
-        self.push(LayerKind::Linear(Linear { in_features, out_features }))
+        self.push(LayerKind::Linear(Linear {
+            in_features,
+            out_features,
+        }))
     }
 
     /// Finalizes the network.
@@ -169,7 +194,10 @@ mod tests {
         b.linear(10).unwrap();
         let net = b.finish();
         assert_eq!(net.num_layers(), 5);
-        assert_eq!(net.layers().last().unwrap().output, TensorShape::features(10));
+        assert_eq!(
+            net.layers().last().unwrap().output,
+            TensorShape::features(10)
+        );
     }
 
     #[test]

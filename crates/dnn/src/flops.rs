@@ -121,7 +121,10 @@ mod tests {
     #[test]
     fn conv_flops_match_paper_formula() {
         // Paper: FLOPs = C_out * H' * W' * C_in * K_w * K_h.
-        let l = conv_layer(Conv2d::square(3, 64, 7, 2, 3), TensorShape::chw(3, 224, 224));
+        let l = conv_layer(
+            Conv2d::square(3, 64, 7, 2, 3),
+            TensorShape::chw(3, 224, 224),
+        );
         assert_eq!(layer_flops(&l), 64 * 112 * 112 * 3 * 49);
     }
 
@@ -143,7 +146,10 @@ mod tests {
     #[test]
     fn linear_flops_and_params() {
         let l = Layer::apply(
-            LayerKind::Linear(Linear { in_features: 2048, out_features: 1000 }),
+            LayerKind::Linear(Linear {
+                in_features: 2048,
+                out_features: 1000,
+            }),
             TensorShape::features(2048),
         )
         .unwrap();
@@ -154,7 +160,10 @@ mod tests {
     #[test]
     fn linear_on_tokens_scales_with_length() {
         let l = Layer::apply(
-            LayerKind::Linear(Linear { in_features: 768, out_features: 768 }),
+            LayerKind::Linear(Linear {
+                in_features: 768,
+                out_features: 768,
+            }),
             TensorShape::tokens(128, 768),
         )
         .unwrap();
@@ -164,7 +173,12 @@ mod tests {
     #[test]
     fn pooling_flops_scale_with_window() {
         let l = Layer::apply(
-            LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 2, padding: 1 }),
+            LayerKind::Pool2d(Pool2d {
+                kind: PoolKind::Max,
+                k: 3,
+                stride: 2,
+                padding: 1,
+            }),
             TensorShape::chw(64, 112, 112),
         )
         .unwrap();
@@ -216,7 +230,10 @@ mod tests {
 
     #[test]
     fn arithmetic_intensity_higher_for_conv_than_bn() {
-        let conv = conv_layer(Conv2d::square(256, 256, 3, 1, 1), TensorShape::chw(256, 14, 14));
+        let conv = conv_layer(
+            Conv2d::square(256, 256, 3, 1, 1),
+            TensorShape::chw(256, 14, 14),
+        );
         let bn = Layer::apply(LayerKind::BatchNorm, TensorShape::chw(256, 14, 14)).unwrap();
         assert!(arithmetic_intensity(&conv) > 10.0 * arithmetic_intensity(&bn));
     }

@@ -231,13 +231,20 @@ impl LayerKind {
             LayerKind::Conv2d(c) => {
                 let (ci, h, w) = as_feature_map(input)?;
                 if c.groups == 0 || c.stride == 0 || c.kh == 0 || c.kw == 0 {
-                    return Err(ShapeError::InvalidParameter { what: "conv geometry" });
+                    return Err(ShapeError::InvalidParameter {
+                        what: "conv geometry",
+                    });
                 }
                 if ci != c.in_ch {
-                    return Err(ShapeError::ChannelMismatch { expected: c.in_ch, got: ci });
+                    return Err(ShapeError::ChannelMismatch {
+                        expected: c.in_ch,
+                        got: ci,
+                    });
                 }
                 if c.in_ch % c.groups != 0 || c.out_ch % c.groups != 0 {
-                    return Err(ShapeError::InvalidParameter { what: "conv groups" });
+                    return Err(ShapeError::InvalidParameter {
+                        what: "conv groups",
+                    });
                 }
                 let oh = conv_out(h, c.kh, c.stride, c.padding);
                 let ow = conv_out(w, c.kw, c.stride, c.padding);
@@ -269,7 +276,9 @@ impl LayerKind {
             LayerKind::Pool2d(p) => {
                 let (c, h, w) = as_feature_map(input)?;
                 if p.k == 0 || p.stride == 0 {
-                    return Err(ShapeError::InvalidParameter { what: "pool geometry" });
+                    return Err(ShapeError::InvalidParameter {
+                        what: "pool geometry",
+                    });
                 }
                 let oh = conv_out(h, p.k, p.stride, p.padding);
                 let ow = conv_out(w, p.k, p.stride, p.padding);
@@ -292,30 +301,42 @@ impl LayerKind {
             | LayerKind::Softmax => Ok(*input),
             LayerKind::Concat { parts } => {
                 if *parts < 2 {
-                    return Err(ShapeError::InvalidParameter { what: "concat parts" });
+                    return Err(ShapeError::InvalidParameter {
+                        what: "concat parts",
+                    });
                 }
                 Ok(*input)
             }
             LayerKind::Embedding(e) => match *input {
                 TensorShape::Tokens { len, .. } => Ok(TensorShape::tokens(len, e.dim)),
-                other => Err(ShapeError::RankMismatch { expected: "tokens", got: other }),
+                other => Err(ShapeError::RankMismatch {
+                    expected: "tokens",
+                    got: other,
+                }),
             },
             LayerKind::MatMul(m) => match *input {
                 TensorShape::Tokens { .. } => {
                     if m.heads == 0 || m.m == 0 || m.k == 0 || m.n == 0 {
-                        return Err(ShapeError::InvalidParameter { what: "matmul dims" });
+                        return Err(ShapeError::InvalidParameter {
+                            what: "matmul dims",
+                        });
                     }
                     // Output re-expressed as a token tensor of m rows with
                     // heads*n features.
                     Ok(TensorShape::tokens(m.m, m.heads * m.n))
                 }
-                other => Err(ShapeError::RankMismatch { expected: "tokens", got: other }),
+                other => Err(ShapeError::RankMismatch {
+                    expected: "tokens",
+                    got: other,
+                }),
             },
             LayerKind::Flatten => Ok(TensorShape::features(input.elems())),
             LayerKind::ChannelShuffle { groups } => {
                 let (c, _, _) = as_feature_map(input)?;
                 if *groups == 0 || c % groups != 0 {
-                    return Err(ShapeError::InvalidParameter { what: "shuffle groups" });
+                    return Err(ShapeError::InvalidParameter {
+                        what: "shuffle groups",
+                    });
                 }
                 Ok(*input)
             }
@@ -326,7 +347,10 @@ impl LayerKind {
 fn as_feature_map(s: &TensorShape) -> Result<(usize, usize, usize), ShapeError> {
     match *s {
         TensorShape::FeatureMap { c, h, w } => Ok((c, h, w)),
-        other => Err(ShapeError::RankMismatch { expected: "feature-map", got: other }),
+        other => Err(ShapeError::RankMismatch {
+            expected: "feature-map",
+            got: other,
+        }),
     }
 }
 
@@ -373,7 +397,11 @@ impl Layer {
     /// ```
     pub fn apply(kind: LayerKind, input: TensorShape) -> Result<Self, ShapeError> {
         let output = kind.infer_output(&input)?;
-        Ok(Layer { kind, input, output })
+        Ok(Layer {
+            kind,
+            input,
+            output,
+        })
     }
 
     /// Creates a layer with explicitly supplied shapes, bypassing inference.
@@ -381,7 +409,11 @@ impl Layer {
     /// Intended for non-chain topologies (residual downsample paths,
     /// concatenations) where the builder tracks shapes itself.
     pub fn with_shapes(kind: LayerKind, input: TensorShape, output: TensorShape) -> Self {
-        Layer { kind, input, output }
+        Layer {
+            kind,
+            input,
+            output,
+        }
     }
 
     /// Short lowercase type tag; see [`LayerKind::type_tag`].
@@ -414,7 +446,12 @@ mod tests {
     fn resnet_stem_shapes() {
         let k = LayerKind::Conv2d(Conv2d::square(3, 64, 7, 2, 3));
         assert_eq!(k.infer_output(&fm(3, 224, 224)).unwrap(), fm(64, 112, 112));
-        let p = LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 2, padding: 1 });
+        let p = LayerKind::Pool2d(Pool2d {
+            kind: PoolKind::Max,
+            k: 3,
+            stride: 2,
+            padding: 1,
+        });
         assert_eq!(p.infer_output(&fm(64, 112, 112)).unwrap(), fm(64, 56, 56));
     }
 
@@ -423,7 +460,10 @@ mod tests {
         let k = LayerKind::Conv2d(Conv2d::square(64, 64, 3, 1, 1));
         assert_eq!(
             k.infer_output(&fm(32, 56, 56)),
-            Err(ShapeError::ChannelMismatch { expected: 64, got: 32 })
+            Err(ShapeError::ChannelMismatch {
+                expected: 64,
+                got: 32
+            })
         );
     }
 
@@ -450,13 +490,18 @@ mod tests {
         c.groups = 4; // 30 % 4 != 0
         assert_eq!(
             LayerKind::Conv2d(c).infer_output(&fm(30, 8, 8)),
-            Err(ShapeError::InvalidParameter { what: "conv groups" })
+            Err(ShapeError::InvalidParameter {
+                what: "conv groups"
+            })
         );
     }
 
     #[test]
     fn linear_on_features_and_tokens() {
-        let k = LayerKind::Linear(Linear { in_features: 512, out_features: 1000 });
+        let k = LayerKind::Linear(Linear {
+            in_features: 512,
+            out_features: 1000,
+        });
         assert_eq!(
             k.infer_output(&TensorShape::features(512)).unwrap(),
             TensorShape::features(1000)
@@ -472,7 +517,9 @@ mod tests {
     #[test]
     fn global_avg_pool_flattens() {
         assert_eq!(
-            LayerKind::GlobalAvgPool.infer_output(&fm(2048, 7, 7)).unwrap(),
+            LayerKind::GlobalAvgPool
+                .infer_output(&fm(2048, 7, 7))
+                .unwrap(),
             TensorShape::features(2048)
         );
     }
@@ -511,12 +558,20 @@ mod tests {
 
     #[test]
     fn embedding_and_matmul() {
-        let e = LayerKind::Embedding(Embedding { vocab: 30522, dim: 768 });
+        let e = LayerKind::Embedding(Embedding {
+            vocab: 30522,
+            dim: 768,
+        });
         assert_eq!(
             e.infer_output(&TensorShape::tokens(128, 1)).unwrap(),
             TensorShape::tokens(128, 768)
         );
-        let m = LayerKind::MatMul(MatMul { heads: 12, m: 128, k: 64, n: 128 });
+        let m = LayerKind::MatMul(MatMul {
+            heads: 12,
+            m: 128,
+            k: 64,
+            n: 128,
+        });
         assert_eq!(
             m.infer_output(&TensorShape::tokens(128, 768)).unwrap(),
             TensorShape::tokens(128, 12 * 128)
@@ -533,8 +588,12 @@ mod tests {
 
     #[test]
     fn concat_requires_two_parts() {
-        assert!(LayerKind::Concat { parts: 1 }.infer_output(&fm(8, 4, 4)).is_err());
-        assert!(LayerKind::Concat { parts: 2 }.infer_output(&fm(8, 4, 4)).is_ok());
+        assert!(LayerKind::Concat { parts: 1 }
+            .infer_output(&fm(8, 4, 4))
+            .is_err());
+        assert!(LayerKind::Concat { parts: 2 }
+            .infer_output(&fm(8, 4, 4))
+            .is_ok());
     }
 
     #[test]
@@ -543,6 +602,9 @@ mod tests {
             LayerKind::Conv2d(Conv2d::depthwise(8, 3, 1, 1)).type_tag(),
             "conv_dw"
         );
-        assert_eq!(LayerKind::Conv2d(Conv2d::square(8, 8, 3, 1, 1)).type_tag(), "conv");
+        assert_eq!(
+            LayerKind::Conv2d(Conv2d::square(8, 8, 3, 1, 1)).type_tag(),
+            "conv"
+        );
     }
 }

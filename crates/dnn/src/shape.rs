@@ -149,7 +149,10 @@ impl fmt::Display for ShapeError {
                 write!(f, "layer expects {expected} input features, got {got}")
             }
             ShapeError::EmptyOutput { input } => {
-                write!(f, "window does not fit input {input}: output would be empty")
+                write!(
+                    f,
+                    "window does not fit input {input}: output would be empty"
+                )
             }
             ShapeError::InvalidParameter { what } => {
                 write!(f, "invalid layer parameter: {what}")
@@ -189,7 +192,10 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        let e = ShapeError::ChannelMismatch { expected: 64, got: 32 };
+        let e = ShapeError::ChannelMismatch {
+            expected: 64,
+            got: 32,
+        };
         assert!(e.to_string().contains("64"));
         let e = ShapeError::RankMismatch {
             expected: "feature-map",

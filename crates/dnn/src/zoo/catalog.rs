@@ -135,8 +135,8 @@ fn densenet_pool() -> Vec<Network> {
 
 fn mobilenet_pool() -> Vec<Network> {
     let widths = [
-        0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.9, 1.0, 1.1, 1.2,
-        1.25, 1.3, 1.4, 1.5,
+        0.25, 0.3, 0.35, 0.4, 0.45, 0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.9, 1.0, 1.1, 1.2, 1.25,
+        1.3, 1.4, 1.5,
     ];
     let mut pool = Vec::new();
     for depth in [1.0, 1.5, 2.0] {

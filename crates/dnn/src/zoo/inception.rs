@@ -35,15 +35,78 @@ impl InceptionBlock {
 
 /// The nine blocks of the original GoogLeNet.
 pub const GOOGLENET_BLOCKS: [InceptionBlock; 9] = [
-    InceptionBlock { c1: 64, r3: 96, c3: 128, r5: 16, c5: 32, pp: 32 },
-    InceptionBlock { c1: 128, r3: 128, c3: 192, r5: 32, c5: 96, pp: 64 },
-    InceptionBlock { c1: 192, r3: 96, c3: 208, r5: 16, c5: 48, pp: 64 },
-    InceptionBlock { c1: 160, r3: 112, c3: 224, r5: 24, c5: 64, pp: 64 },
-    InceptionBlock { c1: 128, r3: 128, c3: 256, r5: 24, c5: 64, pp: 64 },
-    InceptionBlock { c1: 112, r3: 144, c3: 288, r5: 32, c5: 64, pp: 64 },
-    InceptionBlock { c1: 256, r3: 160, c3: 320, r5: 32, c5: 128, pp: 128 },
-    InceptionBlock { c1: 256, r3: 160, c3: 320, r5: 32, c5: 128, pp: 128 },
-    InceptionBlock { c1: 384, r3: 192, c3: 384, r5: 48, c5: 128, pp: 128 },
+    InceptionBlock {
+        c1: 64,
+        r3: 96,
+        c3: 128,
+        r5: 16,
+        c5: 32,
+        pp: 32,
+    },
+    InceptionBlock {
+        c1: 128,
+        r3: 128,
+        c3: 192,
+        r5: 32,
+        c5: 96,
+        pp: 64,
+    },
+    InceptionBlock {
+        c1: 192,
+        r3: 96,
+        c3: 208,
+        r5: 16,
+        c5: 48,
+        pp: 64,
+    },
+    InceptionBlock {
+        c1: 160,
+        r3: 112,
+        c3: 224,
+        r5: 24,
+        c5: 64,
+        pp: 64,
+    },
+    InceptionBlock {
+        c1: 128,
+        r3: 128,
+        c3: 256,
+        r5: 24,
+        c5: 64,
+        pp: 64,
+    },
+    InceptionBlock {
+        c1: 112,
+        r3: 144,
+        c3: 288,
+        r5: 32,
+        c5: 64,
+        pp: 64,
+    },
+    InceptionBlock {
+        c1: 256,
+        r3: 160,
+        c3: 320,
+        r5: 32,
+        c5: 128,
+        pp: 128,
+    },
+    InceptionBlock {
+        c1: 256,
+        r3: 160,
+        c3: 320,
+        r5: 32,
+        c5: 128,
+        pp: 128,
+    },
+    InceptionBlock {
+        c1: 384,
+        r3: 192,
+        c3: 384,
+        r5: 48,
+        c5: 128,
+        pp: 128,
+    },
 ];
 
 /// After which blocks (0-based) GoogLeNet inserts a stride-2 max pool.
@@ -99,7 +162,15 @@ fn inception_block(b: &mut NetworkBuilder, cfg: &InceptionBlock, s: &dyn Fn(usiz
         _ => unreachable!("inception blocks operate on feature maps"),
     };
     let conv = |cin: usize, cout: usize, k: usize, pad: usize| {
-        LayerKind::Conv2d(Conv2d { in_ch: cin, out_ch: cout, kh: k, kw: k, stride: 1, padding: pad, groups: 1 })
+        LayerKind::Conv2d(Conv2d {
+            in_ch: cin,
+            out_ch: cout,
+            kh: k,
+            kw: k,
+            stride: 1,
+            padding: pad,
+            groups: 1,
+        })
     };
     let relu = LayerKind::Activation(ActivationFn::Relu);
     let fm = |c: usize| TensorShape::chw(c, h, w);
@@ -110,16 +181,29 @@ fn inception_block(b: &mut NetworkBuilder, cfg: &InceptionBlock, s: &dyn Fn(usiz
     // Branch 2: 1x1 reduce then 3x3 — reads the block entry.
     b.push_shaped(conv(in_ch, s(cfg.r3), 1, 0), entry, fm(s(cfg.r3)));
     b.push_shaped(relu, fm(s(cfg.r3)), fm(s(cfg.r3)));
-    b.push_shaped(conv(s(cfg.r3), s(cfg.c3), 3, 1), fm(s(cfg.r3)), fm(s(cfg.c3)));
+    b.push_shaped(
+        conv(s(cfg.r3), s(cfg.c3), 3, 1),
+        fm(s(cfg.r3)),
+        fm(s(cfg.c3)),
+    );
     b.push_shaped(relu, fm(s(cfg.c3)), fm(s(cfg.c3)));
     // Branch 3: 1x1 reduce then 5x5.
     b.push_shaped(conv(in_ch, s(cfg.r5), 1, 0), entry, fm(s(cfg.r5)));
     b.push_shaped(relu, fm(s(cfg.r5)), fm(s(cfg.r5)));
-    b.push_shaped(conv(s(cfg.r5), s(cfg.c5), 5, 2), fm(s(cfg.r5)), fm(s(cfg.c5)));
+    b.push_shaped(
+        conv(s(cfg.r5), s(cfg.c5), 5, 2),
+        fm(s(cfg.r5)),
+        fm(s(cfg.c5)),
+    );
     b.push_shaped(relu, fm(s(cfg.c5)), fm(s(cfg.c5)));
     // Branch 4: 3x3 max pool then 1x1 projection.
     b.push_shaped(
-        LayerKind::Pool2d(Pool2d { kind: PoolKind::Max, k: 3, stride: 1, padding: 1 }),
+        LayerKind::Pool2d(Pool2d {
+            kind: PoolKind::Max,
+            k: 3,
+            stride: 1,
+            padding: 1,
+        }),
         entry,
         fm(in_ch),
     );

@@ -132,9 +132,7 @@ mod tests {
 
     #[test]
     fn wider_cardinality_costs_more() {
-        assert!(
-            resnext(&[3, 4, 6, 3], 32, 8).total_flops() > resnext50_32x4d().total_flops()
-        );
+        assert!(resnext(&[3, 4, 6, 3], 32, 8).total_flops() > resnext50_32x4d().total_flops());
     }
 
     #[test]

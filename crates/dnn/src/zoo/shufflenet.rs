@@ -122,7 +122,12 @@ fn strided_unit(b: &mut NetworkBuilder, out_ch: usize, groups: usize, first_grou
         _ => unreachable!("shufflenet operates on feature maps"),
     };
     b.push_shaped(
-        LayerKind::Pool2d(Pool2d { kind: PoolKind::Avg, k: 3, stride: 2, padding: 1 }),
+        LayerKind::Pool2d(Pool2d {
+            kind: PoolKind::Avg,
+            k: 3,
+            stride: 2,
+            padding: 1,
+        }),
         entry,
         shortcut_out,
     );

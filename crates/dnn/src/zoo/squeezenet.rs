@@ -62,7 +62,11 @@ fn fire(b: &mut NetworkBuilder, expand_total: usize, squeeze_ratio: f64) {
     let e1_out = b.shape();
     let e3 = Conv2d::square(squeezed.channels(), e_half, 3, 1, 1);
     b.push_shaped(LayerKind::Conv2d(e3), squeezed, e1_out);
-    b.push_shaped(LayerKind::Activation(crate::layer::ActivationFn::Relu), e1_out, e1_out);
+    b.push_shaped(
+        LayerKind::Activation(crate::layer::ActivationFn::Relu),
+        e1_out,
+        e1_out,
+    );
     let merged = match e1_out {
         TensorShape::FeatureMap { h, w, .. } => TensorShape::chw(2 * e_half, h, w),
         _ => unreachable!("fire modules operate on feature maps"),

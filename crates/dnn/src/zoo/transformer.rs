@@ -64,15 +64,22 @@ pub fn text_classifier(cfg: TransformerConfig) -> Network {
         cfg.layers > 0 && cfg.hidden > 0 && cfg.heads > 0 && cfg.seq_len > 0,
         "zero transformer dimension"
     );
-    assert!(cfg.hidden.is_multiple_of(cfg.heads), "hidden not divisible by heads");
+    assert!(cfg.hidden % cfg.heads == 0, "hidden not divisible by heads");
     let head_dim = cfg.hidden / cfg.heads;
     let name = format!(
         "TextCls-L{}-H{}-A{}-S{}",
         cfg.layers, cfg.hidden, cfg.heads, cfg.seq_len
     );
 
-    let mut b = NetworkBuilder::new(name, Family::Transformer, TensorShape::tokens(cfg.seq_len, 1));
-    arch!(b.push(LayerKind::Embedding(Embedding { vocab: cfg.vocab, dim: cfg.hidden })));
+    let mut b = NetworkBuilder::new(
+        name,
+        Family::Transformer,
+        TensorShape::tokens(cfg.seq_len, 1),
+    );
+    arch!(b.push(LayerKind::Embedding(Embedding {
+        vocab: cfg.vocab,
+        dim: cfg.hidden
+    })));
     arch!(b.push(LayerKind::LayerNorm));
 
     let tok = TensorShape::tokens(cfg.seq_len, cfg.hidden);
@@ -122,7 +129,10 @@ pub fn text_classifier(cfg: TransformerConfig) -> Network {
 
     // Classification head on the pooled [CLS] token.
     b.push_shaped(
-        LayerKind::Linear(Linear { in_features: cfg.hidden, out_features: cfg.hidden }),
+        LayerKind::Linear(Linear {
+            in_features: cfg.hidden,
+            out_features: cfg.hidden,
+        }),
         TensorShape::features(cfg.hidden),
         TensorShape::features(cfg.hidden),
     );
@@ -132,7 +142,10 @@ pub fn text_classifier(cfg: TransformerConfig) -> Network {
         TensorShape::features(cfg.hidden),
     );
     b.push_shaped(
-        LayerKind::Linear(Linear { in_features: cfg.hidden, out_features: cfg.classes }),
+        LayerKind::Linear(Linear {
+            in_features: cfg.hidden,
+            out_features: cfg.classes,
+        }),
         TensorShape::features(cfg.hidden),
         TensorShape::features(cfg.classes),
     );

@@ -47,7 +47,11 @@ pub fn vgg_from_stages(convs: &StageConvs, batch_norm: bool) -> Network {
         Some(n) => format!("{n}-BN"),
         None => {
             let d = depth_of(convs);
-            let sig = convs.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("-");
+            let sig = convs
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join("-");
             if batch_norm {
                 format!("VGG-{d}[{sig}]-BN")
             } else {

@@ -4,9 +4,9 @@
 use dnnperf_dnn::flops::{layer_bytes, layer_flops};
 use dnnperf_dnn::zoo;
 use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 
-proptest! {
+props! {
     #[test]
     fn conv_shape_formula_holds(
         c_in in 1usize..64,
@@ -48,7 +48,7 @@ proptest! {
     #[test]
     fn resnet_generator_is_total_and_monotone(
         b1 in 1usize..4, b2 in 1usize..5, b3 in 1usize..9, b4 in 1usize..4,
-        bottleneck in proptest::bool::ANY,
+        bottleneck in any_bool(),
     ) {
         let small = zoo::resnet::resnet_from_blocks(&[b1, b2, b3, b4], bottleneck, 1.0);
         let big = zoo::resnet::resnet_from_blocks(&[b1, b2, b3 + 1, b4], bottleneck, 1.0);

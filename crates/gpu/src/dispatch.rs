@@ -42,9 +42,9 @@ fn channel_bucket(c: usize) -> u32 {
 
 struct Ctx {
     batch: u64,
-    in_elems: u64,          // per launch (batch applied)
-    out_elems: u64,         // per launch
-    flops_per_sample: u64,  // per sample, so scaled FLOPs stay exactly linear in batch
+    in_elems: u64,         // per launch (batch applied)
+    out_elems: u64,        // per launch
+    flops_per_sample: u64, // per sample, so scaled FLOPs stay exactly linear in batch
     weight_elems: u64,
 }
 
@@ -121,8 +121,7 @@ impl Ctx {
 pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
     assert!(batch > 0, "batch size must be positive");
     let ctx = Ctx::new(layer, batch);
-    let act_per_sample =
-        (layer.input.elems() + layer.output.elems()) as u64;
+    let act_per_sample = (layer.input.elems() + layer.output.elems()) as u64;
     let flops_per_sample = layer_flops(layer);
     let ai = ai_bucket(flops_per_sample, act_per_sample);
 
@@ -133,13 +132,21 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             // GEMM family for pricing purposes.
             let family = KernelFamily::GemmFc;
             let name = if l.out_features >= 64 {
-                format!("{}_n{}_ai{}", family.base_name(), channel_bucket(l.out_features), ai)
+                format!(
+                    "{}_n{}_ai{}",
+                    family.base_name(),
+                    channel_bucket(l.out_features),
+                    ai
+                )
             } else {
                 format!("gemv_n_small_ai{ai}")
             };
             vec![
                 ctx.main(family, name, 1.0),
-                ctx.post(KernelFamily::BiasAct, KernelFamily::BiasAct.base_name().to_string()),
+                ctx.post(
+                    KernelFamily::BiasAct,
+                    KernelFamily::BiasAct.base_name().to_string(),
+                ),
             ]
         }
         LayerKind::Pool2d(p) => {
@@ -147,16 +154,28 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
                 PoolKind::Max => "max",
                 PoolKind::Avg => "avg",
             };
-            vec![ctx.pre(KernelFamily::Pooling, format!("{}_{}_k{}", KernelFamily::Pooling.base_name(), tag, p.k))]
+            vec![ctx.pre(
+                KernelFamily::Pooling,
+                format!("{}_{}_k{}", KernelFamily::Pooling.base_name(), tag, p.k),
+            )]
         }
         LayerKind::GlobalAvgPool => {
-            vec![ctx.pre(KernelFamily::Reduce, KernelFamily::Reduce.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::Reduce,
+                KernelFamily::Reduce.base_name().to_string(),
+            )]
         }
         LayerKind::BatchNorm => {
-            vec![ctx.pre(KernelFamily::BnInf, KernelFamily::BnInf.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::BnInf,
+                KernelFamily::BnInf.base_name().to_string(),
+            )]
         }
         LayerKind::LayerNorm => {
-            vec![ctx.pre(KernelFamily::LayerNormK, KernelFamily::LayerNormK.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::LayerNormK,
+                KernelFamily::LayerNormK.base_name().to_string(),
+            )]
         }
         LayerKind::Activation(f) => {
             let tag = match f {
@@ -171,16 +190,28 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             )]
         }
         LayerKind::Add => {
-            vec![ctx.post(KernelFamily::AddTensor, KernelFamily::AddTensor.base_name().to_string())]
+            vec![ctx.post(
+                KernelFamily::AddTensor,
+                KernelFamily::AddTensor.base_name().to_string(),
+            )]
         }
         LayerKind::Concat { .. } => {
-            vec![ctx.post(KernelFamily::ConcatCopy, KernelFamily::ConcatCopy.base_name().to_string())]
+            vec![ctx.post(
+                KernelFamily::ConcatCopy,
+                KernelFamily::ConcatCopy.base_name().to_string(),
+            )]
         }
         LayerKind::Softmax => {
-            vec![ctx.pre(KernelFamily::Softmax, KernelFamily::Softmax.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::Softmax,
+                KernelFamily::Softmax.base_name().to_string(),
+            )]
         }
         LayerKind::Embedding(_) => {
-            vec![ctx.post(KernelFamily::EmbedLookup, KernelFamily::EmbedLookup.base_name().to_string())]
+            vec![ctx.post(
+                KernelFamily::EmbedLookup,
+                KernelFamily::EmbedLookup.base_name().to_string(),
+            )]
         }
         LayerKind::MatMul(m) => {
             vec![ctx.main(
@@ -196,29 +227,37 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
         }
         LayerKind::Flatten => Vec::new(),
         LayerKind::ChannelShuffle { .. } => {
-            vec![ctx.pre(KernelFamily::ShuffleCopy, KernelFamily::ShuffleCopy.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::ShuffleCopy,
+                KernelFamily::ShuffleCopy.base_name().to_string(),
+            )]
         }
     }
 }
 
-fn dispatch_conv(
-    layer: &Layer,
-    c: &dnnperf_dnn::Conv2d,
-    ctx: &Ctx,
-    ai: i32,
-) -> Vec<KernelDesc> {
+fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> Vec<KernelDesc> {
     let spatial = layer.output.spatial();
     if c.is_depthwise() {
         return vec![ctx.main(
             KernelFamily::DepthwiseConv,
-            format!("{}_k{}s{}", KernelFamily::DepthwiseConv.base_name(), c.kh, c.stride),
+            format!(
+                "{}_k{}s{}",
+                KernelFamily::DepthwiseConv.base_name(),
+                c.kh,
+                c.stride
+            ),
             1.0,
         )];
     }
     if c.groups > 1 {
         return vec![ctx.main(
             KernelFamily::GroupedGemm,
-            format!("{}_g{}_ai{}", KernelFamily::GroupedGemm.base_name(), c.groups, ai),
+            format!(
+                "{}_g{}_ai{}",
+                KernelFamily::GroupedGemm.base_name(),
+                c.groups,
+                ai
+            ),
             1.0,
         )];
     }
@@ -244,7 +283,12 @@ fn dispatch_conv(
             ),
             ctx.main(
                 KernelFamily::WinogradGemm,
-                format!("{}_t{}_ai{}", KernelFamily::WinogradGemm.base_name(), tile, ai),
+                format!(
+                    "{}_t{}_ai{}",
+                    KernelFamily::WinogradGemm.base_name(),
+                    tile,
+                    ai
+                ),
                 WINOGRAD_FLOP_SCALE,
             ),
             ctx.post(
@@ -256,20 +300,31 @@ fn dispatch_conv(
     if c.kh >= 5 && c.stride == 1 && spatial >= 28 * 28 && c.in_ch >= 16 {
         // FFT pipeline for big filters on big maps.
         return vec![
-            ctx.pre(KernelFamily::FftIn, format!("{}_k{}", KernelFamily::FftIn.base_name(), c.kh)),
+            ctx.pre(
+                KernelFamily::FftIn,
+                format!("{}_k{}", KernelFamily::FftIn.base_name(), c.kh),
+            ),
             ctx.main(
                 KernelFamily::FftGemm,
                 format!("{}_k{}_ai{}", KernelFamily::FftGemm.base_name(), c.kh, ai),
                 0.6,
             ),
-            ctx.post(KernelFamily::FftOut, format!("{}_k{}", KernelFamily::FftOut.base_name(), c.kh)),
+            ctx.post(
+                KernelFamily::FftOut,
+                format!("{}_k{}", KernelFamily::FftOut.base_name(), c.kh),
+            ),
         ];
     }
     if c.in_ch < 16 {
         // Shallow-input convolutions (network stems) run a direct kernel.
         return vec![ctx.main(
             KernelFamily::DirectConv,
-            format!("{}_k{}s{}", KernelFamily::DirectConv.base_name(), c.kh, c.stride),
+            format!(
+                "{}_k{}s{}",
+                KernelFamily::DirectConv.base_name(),
+                c.kh,
+                c.stride
+            ),
             1.0,
         )];
     }
@@ -277,7 +332,12 @@ fn dispatch_conv(
     vec![
         ctx.pre(
             KernelFamily::Im2col,
-            format!("{}_k{}s{}", KernelFamily::Im2col.base_name(), c.kh, c.stride),
+            format!(
+                "{}_k{}s{}",
+                KernelFamily::Im2col.base_name(),
+                c.kh,
+                c.stride
+            ),
         ),
         ctx.main(
             KernelFamily::GemmConv,
@@ -292,7 +352,10 @@ fn dispatch_conv(
 /// The outer vector is indexed by layer; empty entries correspond to layers
 /// that launch no kernels.
 pub fn dispatch_network(net: &dnnperf_dnn::Network, batch: usize) -> Vec<Vec<KernelDesc>> {
-    net.layers().iter().map(|l| dispatch_layer(l, batch)).collect()
+    net.layers()
+        .iter()
+        .map(|l| dispatch_layer(l, batch))
+        .collect()
 }
 
 /// Runtime operator-fusion policy.
@@ -439,7 +502,10 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             vec![mk("bwda"), mk("bwdb")]
         }
         LayerKind::BatchNorm => {
-            vec![ctx.pre(KernelFamily::BnBwd, KernelFamily::BnBwd.base_name().to_string())]
+            vec![ctx.pre(
+                KernelFamily::BnBwd,
+                KernelFamily::BnBwd.base_name().to_string(),
+            )]
         }
         LayerKind::LayerNorm => vec![ctx.pre(KernelFamily::BnBwd, "layer_norm_bwd".to_string())],
         LayerKind::Activation(f) => vec![ctx.pre(
@@ -457,7 +523,10 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             )]
         }
         LayerKind::GlobalAvgPool => {
-            vec![ctx.pre(KernelFamily::ElementwiseBwd, "broadcast_grad_spatial".to_string())]
+            vec![ctx.pre(
+                KernelFamily::ElementwiseBwd,
+                "broadcast_grad_spatial".to_string(),
+            )]
         }
         LayerKind::Softmax => {
             vec![ctx.pre(KernelFamily::ElementwiseBwd, "softmax_bwd".to_string())]
@@ -469,7 +538,10 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             vec![ctx.pre(KernelFamily::ShuffleCopy, "channel_shuffle_bwd".to_string())]
         }
         LayerKind::Embedding(_) => {
-            vec![ctx.post(KernelFamily::EmbedLookup, "embedding_grad_scatter".to_string())]
+            vec![ctx.post(
+                KernelFamily::EmbedLookup,
+                "embedding_grad_scatter".to_string(),
+            )]
         }
         // Residual adds and views route gradients without a kernel.
         LayerKind::Add | LayerKind::Flatten => Vec::new(),
@@ -521,7 +593,10 @@ mod tests {
 
     #[test]
     fn pointwise_uses_implicit_gemm() {
-        let l = conv(Conv2d::square(256, 64, 1, 1, 0), TensorShape::chw(256, 56, 56));
+        let l = conv(
+            Conv2d::square(256, 64, 1, 1, 0),
+            TensorShape::chw(256, 56, 56),
+        );
         let ks = dispatch_layer(&l, 8);
         assert_eq!(ks.len(), 1);
         assert_eq!(ks[0].family, KernelFamily::Gemm1x1);
@@ -530,7 +605,10 @@ mod tests {
 
     #[test]
     fn winograd_for_stride1_3x3() {
-        let l = conv(Conv2d::square(64, 64, 3, 1, 1), TensorShape::chw(64, 56, 56));
+        let l = conv(
+            Conv2d::square(64, 64, 3, 1, 1),
+            TensorShape::chw(64, 56, 56),
+        );
         let ks = dispatch_layer(&l, 8);
         assert_eq!(ks.len(), 3);
         assert_eq!(ks[0].role, KernelRole::Pre);
@@ -543,7 +621,10 @@ mod tests {
 
     #[test]
     fn strided_3x3_uses_im2col_gemm() {
-        let l = conv(Conv2d::square(64, 128, 3, 2, 1), TensorShape::chw(64, 56, 56));
+        let l = conv(
+            Conv2d::square(64, 128, 3, 2, 1),
+            TensorShape::chw(64, 56, 56),
+        );
         let ks = dispatch_layer(&l, 8);
         assert_eq!(ks.len(), 2);
         assert_eq!(ks[0].family, KernelFamily::Im2col);
@@ -552,7 +633,10 @@ mod tests {
 
     #[test]
     fn stem_conv_is_direct() {
-        let l = conv(Conv2d::square(3, 64, 7, 2, 3), TensorShape::chw(3, 224, 224));
+        let l = conv(
+            Conv2d::square(3, 64, 7, 2, 3),
+            TensorShape::chw(3, 224, 224),
+        );
         let ks = dispatch_layer(&l, 8);
         assert_eq!(ks.len(), 1);
         assert_eq!(ks[0].family, KernelFamily::DirectConv);
@@ -560,7 +644,10 @@ mod tests {
 
     #[test]
     fn large_filter_on_large_map_uses_fft() {
-        let l = conv(Conv2d::square(96, 96, 5, 1, 2), TensorShape::chw(96, 56, 56));
+        let l = conv(
+            Conv2d::square(96, 96, 5, 1, 2),
+            TensorShape::chw(96, 56, 56),
+        );
         let ks = dispatch_layer(&l, 4);
         assert_eq!(ks.len(), 3);
         assert_eq!(ks[1].family, KernelFamily::FftGemm);
@@ -569,7 +656,10 @@ mod tests {
     #[test]
     fn depthwise_and_grouped() {
         let dw = conv(Conv2d::depthwise(32, 3, 1, 1), TensorShape::chw(32, 28, 28));
-        assert_eq!(dispatch_layer(&dw, 4)[0].family, KernelFamily::DepthwiseConv);
+        assert_eq!(
+            dispatch_layer(&dw, 4)[0].family,
+            KernelFamily::DepthwiseConv
+        );
         let mut g = Conv2d::square(240, 60, 1, 1, 0);
         g.groups = 3;
         let gl = conv(g, TensorShape::chw(240, 28, 28));
@@ -584,7 +674,10 @@ mod tests {
 
     #[test]
     fn batch_scales_work_linearly() {
-        let l = conv(Conv2d::square(64, 64, 3, 1, 1), TensorShape::chw(64, 56, 56));
+        let l = conv(
+            Conv2d::square(64, 64, 3, 1, 1),
+            TensorShape::chw(64, 56, 56),
+        );
         let k1 = dispatch_layer(&l, 1);
         let k8 = dispatch_layer(&l, 8);
         for (a, b) in k1.iter().zip(&k8) {

@@ -121,10 +121,36 @@ impl KernelFamily {
     pub fn all() -> &'static [KernelFamily] {
         use KernelFamily::*;
         &[
-            Im2col, GemmConv, Gemm1x1, WinogradIn, WinogradGemm, WinogradOut, FftIn, FftGemm,
-            FftOut, DirectConv, DepthwiseConv, GroupedGemm, GemmFc, BiasAct, BnInf, Pooling,
-            Elementwise, AddTensor, ConcatCopy, Reduce, Softmax, LayerNormK, EmbedLookup,
-            BatchedGemm, ShuffleCopy, DgradConv, WgradConv, BnBwd, PoolBwd, ElementwiseBwd,
+            Im2col,
+            GemmConv,
+            Gemm1x1,
+            WinogradIn,
+            WinogradGemm,
+            WinogradOut,
+            FftIn,
+            FftGemm,
+            FftOut,
+            DirectConv,
+            DepthwiseConv,
+            GroupedGemm,
+            GemmFc,
+            BiasAct,
+            BnInf,
+            Pooling,
+            Elementwise,
+            AddTensor,
+            ConcatCopy,
+            Reduce,
+            Softmax,
+            LayerNormK,
+            EmbedLookup,
+            BatchedGemm,
+            ShuffleCopy,
+            DgradConv,
+            WgradConv,
+            BnBwd,
+            PoolBwd,
+            ElementwiseBwd,
             OptimizerStep,
         ]
     }

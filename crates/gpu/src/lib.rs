@@ -25,13 +25,17 @@
 #![warn(missing_docs)]
 
 pub mod dispatch;
-pub mod hashrng;
 pub mod kernel;
 pub mod memory;
 pub mod profiler;
 pub mod spec;
 pub mod timing;
 pub mod trace;
+
+/// The deterministic hash/PRNG machinery (promoted to `dnnperf-testkit` so
+/// the property-testing harness can share it; re-exported here because the
+/// timing model's reproducible parameters are derived from it).
+pub use dnnperf_testkit::hashrng;
 
 pub use dispatch::Fusion;
 pub use kernel::{KernelDesc, KernelRole};

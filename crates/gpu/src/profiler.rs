@@ -81,7 +81,11 @@ impl Profiler {
 
     /// Creates a profiler with an explicit timing model (robustness tests).
     pub fn with_timing(gpu: GpuSpec, timing: TimingModel) -> Self {
-        Profiler { gpu, timing, fusion: crate::dispatch::Fusion::None }
+        Profiler {
+            gpu,
+            timing,
+            fusion: crate::dispatch::Fusion::None,
+        }
     }
 
     /// Sets the runtime operator-fusion policy the measured workloads run
@@ -175,7 +179,10 @@ impl Profiler {
                 );
                 let seconds = self.timing.kernel_time(desc, &self.gpu, key) * run_dev;
                 gpu_time += seconds;
-                kernels.push(KernelTrace { name: desc.name.clone(), seconds });
+                kernels.push(KernelTrace {
+                    name: desc.name.clone(),
+                    seconds,
+                });
             }
             let n = batch as u64;
             layers.push(LayerTrace {

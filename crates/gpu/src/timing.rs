@@ -52,7 +52,11 @@ struct FamilyParams {
 
 fn family_params(f: KernelFamily) -> FamilyParams {
     use KernelFamily::*;
-    let p = |kappa, eff_mem, eff_comp| FamilyParams { kappa, eff_mem, eff_comp };
+    let p = |kappa, eff_mem, eff_comp| FamilyParams {
+        kappa,
+        eff_mem,
+        eff_comp,
+    };
     match f {
         Im2col => p(10.0, (0.60, 0.85), (0.02, 0.05)),
         GemmConv => p(10.5, (0.55, 0.85), (0.13, 0.26)),
@@ -140,7 +144,10 @@ impl TimingModel {
     /// An alternative universe with different hidden parameters; used by
     /// robustness tests to show the predictor is not tuned to one seed.
     pub fn with_seed(seed: u64) -> Self {
-        TimingModel { seed, ..TimingModel::new() }
+        TimingModel {
+            seed,
+            ..TimingModel::new()
+        }
     }
 
     /// Per-kernel CPU launch overhead on this GPU's host, in seconds.
@@ -167,8 +174,16 @@ impl TimingModel {
     pub fn kernel_time(&self, k: &KernelDesc, gpu: &GpuSpec, noise_key: u64) -> f64 {
         let p = family_params(k.family);
         let hk = hash_with(&k.name, self.seed);
-        let eff_mem = uniform(hash_with(&k.name, self.seed ^ 0xA1), p.eff_mem.0, p.eff_mem.1);
-        let eff_comp = uniform(hash_with(&k.name, self.seed ^ 0xA2), p.eff_comp.0, p.eff_comp.1);
+        let eff_mem = uniform(
+            hash_with(&k.name, self.seed ^ 0xA1),
+            p.eff_mem.0,
+            p.eff_mem.1,
+        );
+        let eff_comp = uniform(
+            hash_with(&k.name, self.seed ^ 0xA2),
+            p.eff_comp.0,
+            p.eff_comp.1,
+        );
         let dev_key = hash_with(&gpu.name, hk);
         let dev = lognormal(dev_key, self.dev_sigma);
         let shape_key = hk ^ k.flops.rotate_left(17) ^ k.bytes.rotate_left(41) ^ k.work_items;

@@ -89,8 +89,14 @@ mod tests {
                     in_elems: 10,
                     out_elems: 20,
                     kernels: vec![
-                        KernelTrace { name: "a".into(), seconds: 1.0 },
-                        KernelTrace { name: "b".into(), seconds: 2.0 },
+                        KernelTrace {
+                            name: "a".into(),
+                            seconds: 1.0,
+                        },
+                        KernelTrace {
+                            name: "b".into(),
+                            seconds: 2.0,
+                        },
                     ],
                 },
                 LayerTrace {
@@ -99,7 +105,10 @@ mod tests {
                     flops: 7,
                     in_elems: 20,
                     out_elems: 20,
-                    kernels: vec![KernelTrace { name: "c".into(), seconds: 0.5 }],
+                    kernels: vec![KernelTrace {
+                        name: "c".into(),
+                        seconds: 0.5,
+                    }],
                 },
             ],
             e2e_seconds: 3.6,

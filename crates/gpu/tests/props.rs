@@ -4,42 +4,89 @@ use dnnperf_dnn::{Conv2d, Layer, LayerKind, TensorShape};
 use dnnperf_gpu::dispatch::{dispatch_layer, dispatched_bytes};
 use dnnperf_gpu::kernel::{KernelDesc, KernelFamily, KernelRole};
 use dnnperf_gpu::{GpuSpec, Profiler, TimingModel};
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 
-fn arb_conv_layer() -> impl Strategy<Value = Layer> {
-    (1usize..128, 1usize..128, 4usize..64, prop::sample::select(vec![1usize, 3, 5, 7]), 1usize..3)
+fn arb_conv_layer() -> impl Gen<Value = Layer> {
+    (
+        1usize..128,
+        1usize..128,
+        4usize..64,
+        select(vec![1usize, 3, 5, 7]),
+        1usize..3,
+    )
         .prop_filter_map("conv must fit", |(c_in, c_out, hw, k, stride)| {
             let conv = Conv2d::square(c_in, c_out, k, stride, k / 2);
             Layer::apply(LayerKind::Conv2d(conv), TensorShape::chw(c_in, hw, hw)).ok()
         })
 }
 
-proptest! {
+/// Body of `dispatch_is_total_and_consistent`, shared with the pinned
+/// regression case below.
+fn check_dispatch_total_and_consistent(layer: &Layer, batch: usize) {
+    let kernels = dispatch_layer(layer, batch);
+    prop_assert!(!kernels.is_empty(), "convolutions always launch kernels");
+    // Exactly one main kernel per convolution.
+    let mains = kernels
+        .iter()
+        .filter(|k| k.role == KernelRole::Main)
+        .count();
+    prop_assert_eq!(mains, 1);
+    for k in &kernels {
+        prop_assert!(k.bytes > 0);
+        prop_assert!(k.work_items > 0);
+        prop_assert!(!k.name.is_empty());
+    }
+    prop_assert!(dispatched_bytes(&kernels) > 0);
+}
+
+/// Body of `dispatch_work_is_linear_in_batch`, shared with the pinned
+/// regression case below.
+fn check_dispatch_linear_in_batch(layer: &Layer, batch: usize) {
+    let one = dispatch_layer(layer, batch);
+    let two = dispatch_layer(layer, 2 * batch);
+    prop_assert_eq!(one.len(), two.len());
+    for (a, b) in one.iter().zip(&two) {
+        prop_assert_eq!(
+            &a.name,
+            &b.name,
+            "kernel selection must not depend on batch"
+        );
+        prop_assert_eq!(2 * a.flops, b.flops);
+        prop_assert_eq!(2 * a.work_items, b.work_items);
+    }
+}
+
+/// Body of `profiling_scales_sublinearly_superlinearly_bounded`, shared
+/// with the pinned regression case below.
+fn check_profiling_scaling(batch: usize) {
+    // Time at batch N is between 0.3x and 1.5x of N * time-per-sample
+    // at batch 128 (saturation + overheads bend it, but not wildly).
+    let net = dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0);
+    let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
+    let t_ref = prof.profile(&net, 128).unwrap().e2e_seconds / 128.0;
+    let t = prof.profile(&net, batch).unwrap().e2e_seconds / batch as f64;
+    let ratio = t / t_ref;
+    prop_assert!(
+        ratio > 0.5 && ratio < 40.0,
+        "per-sample ratio {ratio} at batch {batch}"
+    );
+    // Never much faster per sample than near-saturated execution (the
+    // two runs carry independent ~4% run-level measurement deviations).
+    prop_assert!(
+        ratio > 0.8,
+        "small batches cannot beat saturated throughput: {ratio}"
+    );
+}
+
+props! {
     #[test]
     fn dispatch_is_total_and_consistent(layer in arb_conv_layer(), batch in 1usize..128) {
-        let kernels = dispatch_layer(&layer, batch);
-        prop_assert!(!kernels.is_empty(), "convolutions always launch kernels");
-        // Exactly one main kernel per convolution.
-        let mains = kernels.iter().filter(|k| k.role == KernelRole::Main).count();
-        prop_assert_eq!(mains, 1);
-        for k in &kernels {
-            prop_assert!(k.bytes > 0);
-            prop_assert!(k.work_items > 0);
-            prop_assert!(!k.name.is_empty());
-        }
-        prop_assert!(dispatched_bytes(&kernels) > 0);
+        check_dispatch_total_and_consistent(&layer, batch);
     }
 
     #[test]
     fn dispatch_work_is_linear_in_batch(layer in arb_conv_layer(), batch in 1usize..64) {
-        let one = dispatch_layer(&layer, batch);
-        let two = dispatch_layer(&layer, 2 * batch);
-        prop_assert_eq!(one.len(), two.len());
-        for (a, b) in one.iter().zip(&two) {
-            prop_assert_eq!(&a.name, &b.name, "kernel selection must not depend on batch");
-            prop_assert_eq!(2 * a.flops, b.flops);
-            prop_assert_eq!(2 * a.work_items, b.work_items);
-        }
+        check_dispatch_linear_in_batch(&layer, batch);
     }
 
     #[test]
@@ -76,16 +123,38 @@ proptest! {
 
     #[test]
     fn profiling_scales_sublinearly_superlinearly_bounded(batch in 1usize..65) {
-        // Time at batch N is between 0.3x and 1.5x of N * time-per-sample
-        // at batch 128 (saturation + overheads bend it, but not wildly).
-        let net = dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.5, 1.0);
-        let prof = Profiler::new(GpuSpec::by_name("A100").unwrap());
-        let t_ref = prof.profile(&net, 128).unwrap().e2e_seconds / 128.0;
-        let t = prof.profile(&net, batch).unwrap().e2e_seconds / batch as f64;
-        let ratio = t / t_ref;
-        prop_assert!(ratio > 0.5 && ratio < 40.0, "per-sample ratio {ratio} at batch {batch}");
-        // Never much faster per sample than near-saturated execution (the
-        // two runs carry independent ~4% run-level measurement deviations).
-        prop_assert!(ratio > 0.8, "small batches cannot beat saturated throughput: {ratio}");
+        check_profiling_scaling(batch);
     }
+}
+
+/// The 28-channel 7x7 conv the historical shrinker pinned (was
+/// `cc 8cdb0352…` in the deleted `props.proptest-regressions` file).
+fn regression_conv_layer() -> Layer {
+    let conv = Conv2d {
+        in_ch: 28,
+        out_ch: 84,
+        kh: 7,
+        kw: 7,
+        stride: 1,
+        padding: 3,
+        groups: 1,
+    };
+    Layer::apply(LayerKind::Conv2d(conv), TensorShape::chw(28, 57, 57)).expect("conv fits")
+}
+
+/// Pinned historical failure of the dispatch properties at batch 13 (the
+/// side-file did not record which of the two layer+batch properties shrank
+/// to this input, so both are re-checked).
+#[test]
+fn regression_dispatch_conv28_batch_13() {
+    let layer = regression_conv_layer();
+    check_dispatch_total_and_consistent(&layer, 13);
+    check_dispatch_linear_in_batch(&layer, 13);
+}
+
+/// Pinned historical failure of `profiling_scales_…` at batch 52 (was
+/// `cc 27c9e601…`).
+#[test]
+fn regression_profiling_scaling_batch_52() {
+    check_profiling_scaling(52);
 }

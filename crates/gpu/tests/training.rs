@@ -94,5 +94,8 @@ fn training_dispatch_covers_every_layer() {
         .map(Vec::len)
         .sum();
     let total: usize = per_layer.iter().map(Vec::len).sum();
-    assert!(total > 3 * fwd / 2, "training adds kernels: {total} vs {fwd}");
+    assert!(
+        total > 3 * fwd / 2,
+        "training adds kernels: {total} vs {fwd}"
+    );
 }

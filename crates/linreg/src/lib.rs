@@ -28,5 +28,7 @@ pub mod ols;
 pub mod stats;
 
 pub use metrics::{mean_abs_rel_error, median, percentile, ratio_curve, SCurvePoint};
-pub use ols::{fit, fit_bounded_intercept, fit_plane, fit_through_origin, Fit, FitError, Line, PlaneFit};
+pub use ols::{
+    fit, fit_bounded_intercept, fit_plane, fit_through_origin, Fit, FitError, Line, PlaneFit,
+};
 pub use stats::{mean, pearson, variance};

@@ -39,7 +39,10 @@ pub fn mean_abs_rel_error(predicted: &[f64], measured: &[f64]) -> f64 {
 
 /// Linear-interpolated percentile of a sample, `p` in `[0, 100]`.
 ///
-/// Returns `f64::NAN` for an empty sample.
+/// Returns `f64::NAN` for an empty sample. `NaN` samples are ordered by
+/// [`f64::total_cmp`] (after every finite value and `+inf`), so a sample
+/// containing `NaN` never panics — `NaN`s simply occupy the top ranks,
+/// the same total order the predictor's clustering code uses.
 ///
 /// # Examples
 ///
@@ -54,7 +57,7 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
         return f64::NAN;
     }
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile: NaN in sample"));
+    sorted.sort_by(|a, b| a.total_cmp(b));
     let p = p.clamp(0.0, 100.0);
     let rank = p / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
@@ -107,7 +110,11 @@ pub struct SCurvePoint {
 /// assert_eq!(curve[2].ratio, 3.0);
 /// ```
 pub fn ratio_curve(predicted: &[f64], measured: &[f64], percents: &[f64]) -> Vec<SCurvePoint> {
-    assert_eq!(predicted.len(), measured.len(), "ratio_curve: length mismatch");
+    assert_eq!(
+        predicted.len(),
+        measured.len(),
+        "ratio_curve: length mismatch"
+    );
     let ratios: Vec<f64> = predicted
         .iter()
         .zip(measured)
@@ -146,6 +153,16 @@ mod tests {
     #[test]
     fn percentile_empty_is_nan() {
         assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn percentile_with_nan_samples_does_not_panic() {
+        // NaNs sort after +inf under total_cmp, so low percentiles are
+        // unaffected and the top ranks absorb the NaNs.
+        let xs = [2.0, f64::NAN, 1.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 2.0);
+        assert!(percentile(&xs, 100.0).is_nan());
     }
 
     #[test]

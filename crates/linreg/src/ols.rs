@@ -310,7 +310,10 @@ impl PlaneFit {
 /// ```
 pub fn fit_plane(x1: &[f64], x2: &[f64], ys: &[f64]) -> Result<PlaneFit, FitError> {
     if x1.len() != ys.len() || x2.len() != ys.len() {
-        return Err(FitError::LengthMismatch { xs: x1.len().min(x2.len()), ys: ys.len() });
+        return Err(FitError::LengthMismatch {
+            xs: x1.len().min(x2.len()),
+            ys: ys.len(),
+        });
     }
     if ys.len() < 3 {
         return Err(FitError::TooFewPoints { got: ys.len() });
@@ -329,11 +332,7 @@ pub fn fit_plane(x1: &[f64], x2: &[f64], ys: &[f64]) -> Result<PlaneFit, FitErro
         t2 += b * y;
         t0 += y;
     }
-    let mut m = [
-        [s11, s12, s1, t1],
-        [s12, s22, s2, t2],
-        [s1, s2, n, t0],
-    ];
+    let mut m = [[s11, s12, s1, t1], [s12, s22, s2, t2], [s1, s2, n, t0]];
     // Gaussian elimination with partial pivoting.
     for col in 0..3 {
         let pivot = (col..3)

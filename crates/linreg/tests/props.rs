@@ -3,15 +3,15 @@
 use dnnperf_linreg::{
     fit, fit_bounded_intercept, fit_through_origin, mean_abs_rel_error, percentile, ratio_curve,
 };
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 
-fn finite_xs() -> impl Strategy<Value = Vec<f64>> {
-    prop::collection::vec(-1e6..1e6f64, 3..40).prop_filter("xs must not be constant", |xs| {
+fn finite_xs() -> impl Gen<Value = Vec<f64>> {
+    vec(-1e6..1e6f64, 3..40).prop_filter("xs must not be constant", |xs| {
         xs.iter().any(|x| (x - xs[0]).abs() > 1e-6)
     })
 }
 
-proptest! {
+props! {
     #[test]
     fn fit_recovers_exact_lines(xs in finite_xs(), slope in -100.0..100.0f64, intercept in -100.0..100.0f64) {
         let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
@@ -22,7 +22,7 @@ proptest! {
     }
 
     #[test]
-    fn fit_residuals_beat_any_other_line(xs in finite_xs(), noise in prop::collection::vec(-1.0..1.0f64, 40), d_slope in -0.5..0.5f64, d_int in -5.0..5.0f64) {
+    fn fit_residuals_beat_any_other_line(xs in finite_xs(), noise in vec(-1.0..1.0f64, 40), d_slope in -0.5..0.5f64, d_int in -5.0..5.0f64) {
         let ys: Vec<f64> = xs.iter().zip(&noise).map(|(x, n)| 2.0 * x + n).collect();
         let f = fit(&xs, &ys).unwrap();
         let sse = |s: f64, i: f64| -> f64 {
@@ -34,9 +34,9 @@ proptest! {
     }
 
     #[test]
-    fn bounded_intercept_invariant(xs in finite_xs(), ys_raw in prop::collection::vec(0.001..1e4f64, 3..40)) {
+    fn bounded_intercept_invariant(xs in finite_xs(), ys_raw in vec(0.001..1e4f64, 3..40)) {
         let n = xs.len().min(ys_raw.len());
-        if n < 3 { return Ok(()); }
+        if n < 3 { return; }
         let (xs, ys) = (&xs[..n], &ys_raw[..n]);
         if let Ok(f) = fit_bounded_intercept(xs, ys) {
             let min_y = ys.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -54,7 +54,7 @@ proptest! {
     }
 
     #[test]
-    fn percentile_is_bounded_and_monotone(mut xs in prop::collection::vec(-1e9..1e9f64, 1..100), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
+    fn percentile_is_bounded_and_monotone(mut xs in vec(-1e9..1e9f64, 1..100), p1 in 0.0..100.0f64, p2 in 0.0..100.0f64) {
         xs.sort_by(|a, b| a.total_cmp(b));
         let (lo, hi) = (xs[0], xs[xs.len() - 1]);
         let v1 = percentile(&xs, p1);
@@ -66,7 +66,7 @@ proptest! {
     }
 
     #[test]
-    fn mare_is_scale_invariant(pred in prop::collection::vec(0.1..1e3f64, 1..30), scale in 0.1..100.0f64) {
+    fn mare_is_scale_invariant(pred in vec(0.1..1e3f64, 1..30), scale in 0.1..100.0f64) {
         let meas: Vec<f64> = pred.iter().map(|p| p * 1.1).collect();
         let a = mean_abs_rel_error(&pred, &meas);
         let scaled_p: Vec<f64> = pred.iter().map(|p| p * scale).collect();
@@ -76,7 +76,7 @@ proptest! {
     }
 
     #[test]
-    fn ratio_curve_is_sorted(pred in prop::collection::vec(0.1..1e3f64, 2..50)) {
+    fn ratio_curve_is_sorted(pred in vec(0.1..1e3f64, 2..50)) {
         let meas = vec![1.0; pred.len()];
         let pts = ratio_curve(&pred, &meas, &[0.0, 25.0, 50.0, 75.0, 100.0]);
         for w in pts.windows(2) {

@@ -73,14 +73,20 @@ pub fn brute_force_schedule(jobs: &[JobTimes]) -> Schedule {
     let k = gpu_count(jobs);
     let n = jobs.len();
     let space = (k as f64).powi(n as i32);
-    assert!(space <= (1u64 << 24) as f64, "search space too large: {k}^{n}");
+    assert!(
+        space <= (1u64 << 24) as f64,
+        "search space too large: {k}^{n}"
+    );
 
     let mut best: Option<Schedule> = None;
     let mut assignment = vec![0usize; n];
     loop {
         let makespan = evaluate_makespan(jobs, &assignment);
         if best.as_ref().is_none_or(|b| makespan < b.makespan) {
-            best = Some(Schedule { assignment: assignment.clone(), makespan });
+            best = Some(Schedule {
+                assignment: assignment.clone(),
+                makespan,
+            });
         }
         // Increment the mixed-radix counter.
         let mut i = 0;
@@ -110,8 +116,16 @@ pub fn lpt_schedule(jobs: &[JobTimes]) -> Schedule {
     let k = gpu_count(jobs);
     let mut order: Vec<usize> = (0..jobs.len()).collect();
     order.sort_by(|&a, &b| {
-        let ta = jobs[a].per_gpu.iter().cloned().fold(f64::INFINITY, f64::min);
-        let tb = jobs[b].per_gpu.iter().cloned().fold(f64::INFINITY, f64::min);
+        let ta = jobs[a]
+            .per_gpu
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let tb = jobs[b]
+            .per_gpu
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         tb.total_cmp(&ta)
     });
     let mut load = vec![0.0; k];
@@ -126,7 +140,10 @@ pub fn lpt_schedule(jobs: &[JobTimes]) -> Schedule {
         load[gpu] += jobs[j].per_gpu[gpu];
     }
     let makespan = evaluate_makespan(jobs, &assignment);
-    Schedule { assignment, makespan }
+    Schedule {
+        assignment,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -134,7 +151,10 @@ mod tests {
     use super::*;
 
     fn job(name: &str, times: &[f64]) -> JobTimes {
-        JobTimes { name: name.into(), per_gpu: times.to_vec() }
+        JobTimes {
+            name: name.into(),
+            per_gpu: times.to_vec(),
+        }
     }
 
     #[test]
@@ -176,7 +196,11 @@ mod tests {
 
     #[test]
     fn evaluate_matches_manual_accounting() {
-        let jobs = vec![job("a", &[2.0, 9.0]), job("b", &[9.0, 3.0]), job("c", &[1.0, 1.0])];
+        let jobs = vec![
+            job("a", &[2.0, 9.0]),
+            job("b", &[9.0, 3.0]),
+            job("c", &[1.0, 1.0]),
+        ];
         let m = evaluate_makespan(&jobs, &[0, 1, 0]);
         assert_eq!(m, 3.0);
     }
@@ -199,7 +223,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "search space")]
     fn oversized_search_space_panics() {
-        let jobs: Vec<JobTimes> = (0..30).map(|i| job(&format!("j{i}"), &[1.0, 1.0])).collect();
+        let jobs: Vec<JobTimes> = (0..30)
+            .map(|i| job(&format!("j{i}"), &[1.0, 1.0]))
+            .collect();
         brute_force_schedule(&jobs);
     }
 }

@@ -1,21 +1,23 @@
 //! Property-based tests for the scheduling case study.
 
 use dnnperf_sched::{best_gpu, brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes};
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 
-fn arb_jobs(max_jobs: usize, gpus: usize) -> impl Strategy<Value = Vec<JobTimes>> {
-    prop::collection::vec(prop::collection::vec(0.01..100.0f64, gpus..=gpus), 1..=max_jobs)
-        .prop_map(|rows| {
-            rows.into_iter()
-                .enumerate()
-                .map(|(i, per_gpu)| JobTimes { name: format!("job{i}"), per_gpu })
-                .collect()
-        })
+fn arb_jobs(max_jobs: usize, gpus: usize) -> impl Gen<Value = Vec<JobTimes>> {
+    vec(vec(0.01..100.0f64, gpus..=gpus), 1..=max_jobs).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, per_gpu)| JobTimes {
+                name: format!("job{i}"),
+                per_gpu,
+            })
+            .collect()
+    })
 }
 
-proptest! {
+props! {
     #[test]
-    fn brute_force_is_optimal(jobs in arb_jobs(8, 2), probe in prop::collection::vec(0usize..2, 8)) {
+    fn brute_force_is_optimal(jobs in arb_jobs(8, 2), probe in vec(0usize..2, 8)) {
         let opt = brute_force_schedule(&jobs);
         // No explicit assignment may beat it.
         let assignment: Vec<usize> = probe.iter().take(jobs.len()).copied().collect();
@@ -66,7 +68,7 @@ proptest! {
     }
 
     #[test]
-    fn best_gpu_is_argmin(times in prop::collection::vec(0.01..100.0f64, 1..8)) {
+    fn best_gpu_is_argmin(times in vec(0.01..100.0f64, 1..8)) {
         let g = best_gpu(&times);
         for t in &times {
             prop_assert!(times[g] <= *t);

@@ -163,7 +163,13 @@ mod tests {
     use super::*;
 
     fn uniform(n: usize, compute: f64, bytes: u64) -> Vec<LayerWork> {
-        vec![LayerWork { compute_seconds: compute, param_bytes: bytes }; n]
+        vec![
+            LayerWork {
+                compute_seconds: compute,
+                param_bytes: bytes
+            };
+            n
+        ]
     }
 
     #[test]
@@ -171,7 +177,10 @@ mod tests {
         let layers = uniform(20, 1e-3, 4_000_000);
         let r = simulate_disaggregated(
             &layers,
-            DisaggConfig { link_bandwidth_gbps: 100_000.0, lookahead: 4 },
+            DisaggConfig {
+                link_bandwidth_gbps: 100_000.0,
+                lookahead: 4,
+            },
         );
         assert!((r.total_seconds - r.compute_seconds) / r.compute_seconds < 0.01);
         assert!(r.utilization() > 0.99);
@@ -183,10 +192,16 @@ mod tests {
         let layers = uniform(10, 1e-9, 1_000_000_000);
         let r = simulate_disaggregated(
             &layers,
-            DisaggConfig { link_bandwidth_gbps: 10.0, lookahead: 2 },
+            DisaggConfig {
+                link_bandwidth_gbps: 10.0,
+                lookahead: 2,
+            },
         );
         let expected = 10.0 * 1e9 / 10e9;
-        assert!((r.total_seconds - expected).abs() / expected < 0.01, "{r:?}");
+        assert!(
+            (r.total_seconds - expected).abs() / expected < 0.01,
+            "{r:?}"
+        );
         assert!(r.utilization() < 0.01);
     }
 
@@ -195,7 +210,10 @@ mod tests {
         let layers = uniform(30, 5e-4, 8_000_000);
         let t16 = simulate_disaggregated(
             &layers,
-            DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 8 },
+            DisaggConfig {
+                link_bandwidth_gbps: 16.0,
+                lookahead: 8,
+            },
         )
         .total_seconds;
         let mut last = f64::INFINITY;
@@ -203,7 +221,10 @@ mod tests {
         for bw in [32.0, 64.0, 128.0, 256.0, 512.0] {
             let t = simulate_disaggregated(
                 &layers,
-                DisaggConfig { link_bandwidth_gbps: bw, lookahead: 8 },
+                DisaggConfig {
+                    link_bandwidth_gbps: bw,
+                    lookahead: 8,
+                },
             )
             .total_seconds;
             assert!(t <= last * (1.0 + 1e-9));
@@ -226,7 +247,10 @@ mod tests {
             .sum();
         let r = simulate_disaggregated(
             &layers,
-            DisaggConfig { link_bandwidth_gbps: 16.0, lookahead: 1 },
+            DisaggConfig {
+                link_bandwidth_gbps: 16.0,
+                lookahead: 1,
+            },
         );
         assert!(r.total_seconds < no_overlap);
     }
@@ -242,7 +266,10 @@ mod tests {
         let layers = uniform(15, 2e-4, 32_000_000);
         let r = simulate_disaggregated(
             &layers,
-            DisaggConfig { link_bandwidth_gbps: 32.0, lookahead: 4 },
+            DisaggConfig {
+                link_bandwidth_gbps: 32.0,
+                lookahead: 4,
+            },
         );
         assert!((r.total_seconds - (r.compute_seconds + r.stall_seconds)).abs() < 1e-9);
     }
@@ -250,9 +277,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "lookahead")]
     fn zero_lookahead_panics() {
-        simulate_disaggregated(&uniform(2, 1e-3, 1), DisaggConfig {
-            link_bandwidth_gbps: 16.0,
-            lookahead: 0,
-        });
+        simulate_disaggregated(
+            &uniform(2, 1e-3, 1),
+            DisaggConfig {
+                link_bandwidth_gbps: 16.0,
+                lookahead: 0,
+            },
+        );
     }
 }

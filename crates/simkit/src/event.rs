@@ -88,8 +88,16 @@ impl<E> EventQueue<E> {
     /// (causality violation).
     pub fn schedule(&mut self, at: f64, event: E) {
         assert!(!at.is_nan(), "event time must not be NaN");
-        assert!(at >= self.now, "cannot schedule into the past: {at} < {}", self.now);
-        self.heap.push(Entry { time: at, seq: self.seq, event });
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past: {at} < {}",
+            self.now
+        );
+        self.heap.push(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

@@ -2,11 +2,11 @@
 //! disaggregated-memory simulation.
 
 use dnnperf_simkit::{simulate_disaggregated, DisaggConfig, EventQueue, LayerWork, Link};
-use proptest::prelude::*;
+use dnnperf_testkit::prelude::*;
 
-proptest! {
+props! {
     #[test]
-    fn event_queue_pops_in_sorted_order(times in prop::collection::vec(0.0..1e6f64, 0..200)) {
+    fn event_queue_pops_in_sorted_order(times in vec(0.0..1e6f64, 0..200)) {
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(t, i);
@@ -22,7 +22,7 @@ proptest! {
     }
 
     #[test]
-    fn link_transfers_never_overlap(requests in prop::collection::vec((0.0..100.0f64, 0u64..1 << 30), 1..50)) {
+    fn link_transfers_never_overlap(requests in vec((0.0..100.0f64, 0u64..1 << 30), 1..50)) {
         let mut link = Link::new(8.0);
         let mut sorted = requests.clone();
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
@@ -41,7 +41,7 @@ proptest! {
 
     #[test]
     fn disagg_invariants_hold(
-        layers in prop::collection::vec((1e-7..1e-2f64, 0u64..64_000_000), 1..60),
+        layers in vec((1e-7..1e-2f64, 0u64..64_000_000), 1..60),
         bw in 1.0..1000.0f64,
         lookahead in 1usize..16,
     ) {
@@ -64,7 +64,7 @@ proptest! {
 
     #[test]
     fn disagg_monotone_in_bandwidth(
-        layers in prop::collection::vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
+        layers in vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
         bw in 2.0..500.0f64,
     ) {
         let work: Vec<LayerWork> = layers
@@ -79,7 +79,7 @@ proptest! {
 
     #[test]
     fn disagg_monotone_in_lookahead(
-        layers in prop::collection::vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
+        layers in vec((1e-6..1e-3f64, 1u64..32_000_000), 1..40),
         lookahead in 1usize..12,
     ) {
         let work: Vec<LayerWork> = layers

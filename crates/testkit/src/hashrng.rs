@@ -1,0 +1,236 @@
+//! Deterministic hash-based pseudo-randomness.
+//!
+//! The ground-truth timing model needs *reproducible* per-kernel and per-GPU
+//! parameters: the same (kernel, GPU) pair must always get the same hidden
+//! efficiency, and the same (kernel, network, batch) measurement must always
+//! return the same noisy value — otherwise dataset deduplication and the
+//! paper's repeat-measurement protocol would be meaningless. We therefore
+//! derive everything from FNV-1a string hashing finalized with SplitMix64
+//! rather than from a stateful RNG.
+//!
+//! This module lives in `dnnperf-testkit` (and is re-exported as
+//! `dnnperf_gpu::hashrng`) because the property-testing harness drives its
+//! seeded case generation from the same machinery: one implementation,
+//! shared by the measurement substrate and the test infrastructure.
+
+/// FNV-1a hash of a byte string.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The SplitMix64 increment ("golden gamma").
+const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// SplitMix64 finalizer: decorrelates structured inputs.
+pub fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(GAMMA);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of a string combined with a numeric salt.
+pub fn hash_with(s: &str, salt: u64) -> u64 {
+    splitmix(fnv1a(s.as_bytes()) ^ splitmix(salt))
+}
+
+/// Uniform sample in `[0, 1)` derived from a hash.
+pub fn unit(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Uniform sample in `[lo, hi)` derived from a hash.
+pub fn uniform(h: u64, lo: f64, hi: f64) -> f64 {
+    lo + unit(h) * (hi - lo)
+}
+
+/// Standard normal sample derived from a hash (Box–Muller on two
+/// decorrelated sub-hashes).
+pub fn normal(h: u64) -> f64 {
+    let u1 = unit(splitmix(h ^ 0xA5A5_A5A5_A5A5_A5A5)).max(1e-12);
+    let u2 = unit(splitmix(h ^ 0x5A5A_5A5A_5A5A_5A5A));
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lognormal multiplicative factor `exp(sigma * z)` with unit median.
+pub fn lognormal(h: u64, sigma: f64) -> f64 {
+    (sigma * normal(h)).exp()
+}
+
+/// A small, seeded, stateful PRNG: the SplitMix64 sequence.
+///
+/// Where the hash functions above derive *stable* values from names, `Rng`
+/// covers the few places that need a reproducible *stream* — the train/test
+/// shuffle and the property-testing harness's case generation.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_testkit::hashrng::Rng;
+/// let mut a = Rng::new(7);
+/// let mut b = Rng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        // One finalization round decorrelates small consecutive seeds.
+        Rng {
+            state: splitmix(seed),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let out = splitmix(self.state);
+        self.state = self.state.wrapping_add(GAMMA);
+        out
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn next_unit(&mut self) -> f64 {
+        unit(self.next_u64())
+    }
+
+    /// Uniform index in `[0, n)` via the multiply-shift reduction
+    /// (monotone in the underlying 64-bit draw; no modulo bias to speak of
+    /// for the small `n` used here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "Rng::index: empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// In-place Fisher–Yates shuffle, deterministic for a given seed.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_with("sgemm", 7), hash_with("sgemm", 7));
+        assert_ne!(hash_with("sgemm", 7), hash_with("sgemm", 8));
+        assert_ne!(hash_with("sgemm", 7), hash_with("dgemm", 7));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(splitmix(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        for i in 0..1000u64 {
+            let u = uniform(splitmix(i), 2.0, 3.0);
+            assert!((2.0..3.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_is_roughly_uniform() {
+        let n = 10_000u64;
+        let mean: f64 = (0..n).map(|i| unit(splitmix(i))).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_has_unit_scale() {
+        let n = 10_000u64;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| normal(splitmix(i.wrapping_mul(2654435761))))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median_near_one() {
+        let mut samples: Vec<f64> = (0..9999u64)
+            .map(|i| lognormal(splitmix(i.wrapping_mul(0x9E3779B9)), 0.1))
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let med = samples[samples.len() / 2];
+        assert!((med - 1.0).abs() < 0.02, "median {med}");
+        assert!(samples.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rng_stream_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::new(43);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rng_unit_is_roughly_uniform() {
+        let mut r = Rng::new(1);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.next_unit()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut rng = Rng::new(9);
+        rng.shuffle(&mut v);
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle should move things"
+        );
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn index_is_in_range_and_covers() {
+        let mut rng = Rng::new(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all indices reachable");
+    }
+}

@@ -1,0 +1,92 @@
+//! Std-only deterministic randomness and property testing for dnnperf.
+//!
+//! The workspace builds hermetically — no crates.io dependencies — so this
+//! crate provides the two pieces that normally come from outside:
+//!
+//! * [`hashrng`] — the FNV-1a + SplitMix64 machinery the GPU ground-truth
+//!   timing model derives its reproducible parameters from (re-exported as
+//!   `dnnperf_gpu::hashrng`), plus a tiny seeded [`hashrng::Rng`] stream
+//!   used for the train/test shuffle and case generation;
+//! * [`gen`] + [`runner`] + [`props!`] — a minimal property-testing
+//!   harness replacing `proptest` for the workspace's test suites: seeded
+//!   case generation, generator combinators (ranges, vectors, tuples,
+//!   `map`/`filter`/`filter_map`, `select`, strings over character
+//!   classes) and greedy choice-stream shrinking that reports a minimized
+//!   counterexample.
+//!
+//! # Porting from proptest
+//!
+//! ```
+//! use dnnperf_testkit::prelude::*;
+//!
+//! props! {
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+//!
+//! In test suites each item carries `#[test]` (the macro re-emits any
+//! attributes it is given); the example omits it so the doctest can call
+//! the generated function directly.
+//!
+//! `proptest! { .. }` becomes `props! { .. }`, `prop::collection::vec`
+//! becomes [`gen::vec`], `prop_map`/`prop_filter`/`prop_filter_map` keep
+//! their names ([`gen::Gen::prop_map`] etc.), regex
+//! strategies become [`gen::string_class`], and `prop_assert*` keep their
+//! names. Properties are plain `()`-returning bodies; assertion macros
+//! panic (the runner catches, shrinks and re-reports).
+
+#![warn(missing_docs)]
+
+pub mod gen;
+pub mod hashrng;
+pub mod runner;
+
+/// The glob import that makes proptest-style suites port mechanically.
+pub mod prelude {
+    pub use crate::gen::{any_bool, select, string_class, vec, Gen, SizeRange};
+    pub use crate::runner::{run, run_report, Config, Failure};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, props};
+}
+
+/// Defines property tests from generator bindings, proptest-style.
+///
+/// Each `#[test] fn name(pat in gen, ...) { body }` item becomes a normal
+/// `#[test]` that runs `body` against [`runner::Config::cases`] generated
+/// inputs and panics with a minimized counterexample on failure.
+#[macro_export]
+macro_rules! props {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $g:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let gens = ($($g,)+);
+                $crate::runner::run(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &gens,
+                    |($($pat,)+)| $body,
+                );
+            }
+        )*
+    };
+}
+
+/// `assert!` under a name the proptest suites already use.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)+) => { assert!($($t)+) };
+}
+
+/// `assert_eq!` under a name the proptest suites already use.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)+) => { assert_eq!($($t)+) };
+}
+
+/// `assert_ne!` under a name the proptest suites already use.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)+) => { assert_ne!($($t)+) };
+}

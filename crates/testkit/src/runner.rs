@@ -1,0 +1,365 @@
+//! The property runner: seeded case generation, failure detection and
+//! greedy choice-stream shrinking.
+//!
+//! Each test case is generated from a seed derived with
+//! [`crate::hashrng::hash_with`] from the property's fully qualified name
+//! and the case index, so every run of the suite explores the same cases —
+//! failures are reproducible without a regressions side-file.
+//!
+//! When a property fails, the journal of 64-bit choices that produced the
+//! failing input is minimized greedily:
+//!
+//! 1. **chunk deletion** — remove spans of choices (shortens vectors and
+//!    drops unused entropy);
+//! 2. **per-position binary search** — minimize each choice individually;
+//!    because every generator maps draws to values monotonically, this
+//!    finds exact boundary inputs (e.g. *the* smallest failing length).
+//!
+//! The shrunk input is reported in the panic message via `Debug`.
+
+use crate::gen::{Gen, Source};
+use crate::hashrng::hash_with;
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property (env `TESTKIT_CASES`
+    /// overrides; default 128).
+    pub cases: u32,
+    /// Upper bound on candidate evaluations while shrinking.
+    pub max_shrink_evals: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("TESTKIT_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(128);
+        Config {
+            cases,
+            max_shrink_evals: 4096,
+        }
+    }
+}
+
+/// A minimized property failure.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Index of the failing case.
+    pub case: u32,
+    /// Seed that produced the original failing input.
+    pub seed: u64,
+    /// `Debug` rendering of the minimized failing input.
+    pub minimized: String,
+    /// Panic message of the minimized failing run.
+    pub message: String,
+}
+
+thread_local! {
+    /// Set while a property probe runs: its panics are expected and muted.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = err.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = err.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `f` with probe panics muted, returning the panic message on failure.
+fn quiet<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_quiet_hook();
+    QUIET.with(|q| q.set(true));
+    let r = catch_unwind(AssertUnwindSafe(f));
+    QUIET.with(|q| q.set(false));
+    r.map_err(panic_message)
+}
+
+/// Evaluates `prop` on the input regenerated from `choices`.
+///
+/// Returns `Some((effective_choices, message))` if the property still
+/// fails. The effective journal is what the regeneration actually consumed
+/// with trailing zeros trimmed — a replay source pads with zeros past the
+/// end of the journal, so trailing zeros carry no information and keeping
+/// them would let the shrinker "accept" candidates that made no progress.
+fn eval_candidate<G: Gen, F: Fn(G::Value)>(
+    gen: &G,
+    prop: &F,
+    choices: &[u64],
+) -> Option<(Vec<u64>, String)> {
+    let mut src = Source::replay(choices.to_vec());
+    let generated = quiet(|| gen.generate(&mut src)).ok()??;
+    let mut effective = src.into_recorded();
+    while effective.last() == Some(&0) {
+        effective.pop();
+    }
+    let msg = quiet(|| prop(generated)).err()?;
+    Some((effective, msg))
+}
+
+/// Well-founded progress order for journals: shorter wins; at equal length
+/// lexicographically smaller wins. Every accepted shrink strictly decreases
+/// this order, so the shrink loop terminates without relying on the budget.
+fn is_better(candidate: &[u64], best: &[u64]) -> bool {
+    candidate.len() < best.len() || (candidate.len() == best.len() && candidate < best)
+}
+
+/// Greedily minimizes a failing choice journal.
+fn shrink<G: Gen, F: Fn(G::Value)>(
+    gen: &G,
+    prop: &F,
+    mut best: Vec<u64>,
+    mut best_msg: String,
+    budget: u32,
+) -> (Vec<u64>, String) {
+    let mut evals = 0u32;
+    // Normalize the starting journal the way `eval_candidate` normalizes
+    // candidates, so the very first comparisons are apples-to-apples.
+    while best.last() == Some(&0) {
+        best.pop();
+    }
+    let try_accept =
+        |best: &mut Vec<u64>, best_msg: &mut String, candidate: &[u64], evals: &mut u32| -> bool {
+            if *evals >= budget {
+                return false;
+            }
+            *evals += 1;
+            match eval_candidate(gen, prop, candidate) {
+                Some((effective, msg)) if is_better(&effective, best) => {
+                    *best = effective;
+                    *best_msg = msg;
+                    true
+                }
+                _ => false,
+            }
+        };
+
+    let mut improved = true;
+    while improved && evals < budget {
+        improved = false;
+
+        // Pass 1: delete chunks of choices, largest first, scanning from
+        // the tail (vectors draw their length first, so tails are the
+        // cheapest entropy to drop).
+        let mut chunk = (best.len() / 2).max(1);
+        loop {
+            let mut start = best.len().saturating_sub(chunk);
+            loop {
+                if start + chunk <= best.len() {
+                    let mut candidate = best.clone();
+                    candidate.drain(start..start + chunk);
+                    if try_accept(&mut best, &mut best_msg, &candidate, &mut evals) {
+                        improved = true;
+                        // `best` shrank; restart this chunk size from the
+                        // (new) tail.
+                        start = best.len().saturating_sub(chunk);
+                        continue;
+                    }
+                }
+                if start == 0 {
+                    break;
+                }
+                start = start.saturating_sub(chunk);
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: minimize each choice with a binary search. Generators map
+        // draws monotonically, so the smallest still-failing draw is the
+        // smallest still-failing value. Accepting a candidate can change the
+        // journal's length (e.g. shrinking a vector's length draw drops the
+        // element draws past the new end), so re-check bounds every step.
+        let mut i = 0;
+        while i < best.len() {
+            if best[i] == 0 || evals >= budget {
+                i += 1;
+                continue;
+            }
+            let mut candidate = best.clone();
+            candidate[i] = 0;
+            if try_accept(&mut best, &mut best_msg, &candidate, &mut evals) {
+                improved = true;
+                // Position `i` may now hold a different draw (or be gone);
+                // re-examine it before moving on.
+                continue;
+            }
+            // 0 passes, best[i] fails: binary-search the boundary draw.
+            let (mut lo, mut hi) = (0u64, best[i]);
+            while hi - lo > 1 && evals < budget && i < best.len() {
+                let mid = lo + (hi - lo) / 2;
+                let mut candidate = best.clone();
+                candidate[i] = mid;
+                if try_accept(&mut best, &mut best_msg, &candidate, &mut evals) {
+                    improved = true;
+                    hi = mid;
+                    if best.get(i) != Some(&mid) {
+                        // The accepted journal restructured around `i`;
+                        // the bracket no longer describes it.
+                        break;
+                    }
+                } else {
+                    lo = mid;
+                }
+            }
+            i += 1;
+        }
+    }
+    (best, best_msg)
+}
+
+/// Runs a property against generated inputs, returning the minimized
+/// failure (if any) instead of panicking. The panicking entry point used by
+/// the [`crate::props!`] macro is [`run`].
+pub fn run_report<G, F>(name: &str, gen: &G, cfg: &Config, prop: F) -> Option<Failure>
+where
+    G: Gen,
+    F: Fn(G::Value),
+{
+    let mut discards = 0u32;
+    let mut case = 0u32;
+    let mut attempts = 0u32;
+    while case < cfg.cases {
+        let seed = hash_with(name, attempts as u64);
+        attempts += 1;
+        let mut src = Source::record(seed);
+        let value = match gen.generate(&mut src) {
+            Some(v) => v,
+            None => {
+                discards += 1;
+                assert!(
+                    discards <= 10 * cfg.cases,
+                    "property {name}: generator discarded too many cases ({discards})"
+                );
+                continue;
+            }
+        };
+        case += 1;
+        if let Err(message) = quiet(|| prop(value)) {
+            let choices = src.into_recorded();
+            let (min_choices, min_msg) = shrink(gen, &prop, choices, message, cfg.max_shrink_evals);
+            let minimized = {
+                let mut s = Source::replay(min_choices);
+                let v = gen
+                    .generate(&mut s)
+                    .expect("minimized case must regenerate");
+                format!("{v:?}")
+            };
+            return Some(Failure {
+                case: case - 1,
+                seed,
+                minimized,
+                message: min_msg,
+            });
+        }
+    }
+    None
+}
+
+/// Runs a property and panics with a minimized counterexample on failure.
+///
+/// This is what [`crate::props!`] expands to; `name` should be the fully
+/// qualified test name so per-case seeds differ between properties.
+pub fn run<G, F>(name: &str, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(G::Value),
+{
+    let cfg = Config::default();
+    if let Some(f) = run_report(name, gen, &cfg, prop) {
+        panic!(
+            "property {name} failed (case {}, seed {:#018x})\n  \
+             minimized input: {}\n  failure: {}",
+            f.case, f.seed, f.minimized, f.message
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::vec;
+
+    fn cfg(cases: u32) -> Config {
+        Config {
+            cases,
+            max_shrink_evals: 4096,
+        }
+    }
+
+    #[test]
+    fn passing_property_reports_nothing() {
+        let g = vec(0u64..100, 0..20);
+        let r = run_report("runner::passing", &g, &cfg(64), |v: Vec<u64>| {
+            assert!(v.len() < 20);
+            assert!(v.iter().all(|&x| x < 100));
+        });
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn failing_property_is_caught_and_messaged() {
+        let r = run_report("runner::failing", &(0u64..1000), &cfg(64), |x| {
+            assert!(x < 10, "x was {x}");
+        });
+        let f = r.expect("must fail");
+        assert!(f.message.contains("x was"), "message: {}", f.message);
+    }
+
+    #[test]
+    fn shrinker_finds_exact_integer_boundary() {
+        let r = run_report("runner::boundary", &(0u64..1_000_000), &cfg(64), |x| {
+            assert!(x < 777_777);
+        });
+        let f = r.expect("must fail");
+        assert_eq!(
+            f.minimized, "777777",
+            "binary search must find the boundary"
+        );
+    }
+
+    #[test]
+    fn discarding_generator_aborts_instead_of_spinning() {
+        use crate::gen::Gen as _;
+        let g = (0u64..10).prop_filter("never", |_| false);
+        let result = std::panic::catch_unwind(|| {
+            run_report("runner::discards", &g, &cfg(4), |_x| {});
+        });
+        assert!(result.is_err(), "all-discarding generator must abort");
+    }
+
+    #[test]
+    fn seeds_differ_between_properties_and_cases() {
+        assert_ne!(
+            crate::hashrng::hash_with("a::prop1", 0),
+            crate::hashrng::hash_with("a::prop2", 0)
+        );
+        assert_ne!(
+            crate::hashrng::hash_with("a::prop1", 0),
+            crate::hashrng::hash_with("a::prop1", 1)
+        );
+    }
+}

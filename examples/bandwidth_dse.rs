@@ -21,8 +21,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|n| GpuSpec::by_name(n).expect("Table 1 GPU"))
         .collect();
-    let nets: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
-    println!("measuring {} networks on {} GPUs ...", nets.len(), train_gpus.len());
+    let nets: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(6)
+        .collect();
+    println!(
+        "measuring {} networks on {} GPUs ...",
+        nets.len(),
+        train_gpus.len()
+    );
     let dataset = collect(&nets, &train_gpus, &[128]);
     let model = IgkwModel::train(&dataset, &train_gpus)?;
 
@@ -31,13 +38,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let titan = GpuSpec::by_name("TITAN RTX").unwrap();
     let workloads = [zoo::resnet::resnet50(), zoo::densenet::densenet169()];
     println!("\npredicted batch-128 time on TITAN RTX variants:");
-    println!("{:>10} | {:>12} | {:>12}", "GB/s", workloads[0].name(), workloads[1].name());
+    println!(
+        "{:>10} | {:>12} | {:>12}",
+        "GB/s",
+        workloads[0].name(),
+        workloads[1].name()
+    );
     for bw in (200..=1400).step_by(200) {
         let g = titan.with_bandwidth(bw as f64);
         let t0 = model.predict_network_on(&workloads[0], 128, &g)?;
         let t1 = model.predict_network_on(&workloads[1], 128, &g)?;
-        let native = if (672 - bw as i64).abs() < 100 { "  <- ~native" } else { "" };
-        println!("{bw:>10} | {:>9.1} ms | {:>9.1} ms{native}", t0 * 1e3, t1 * 1e3);
+        let native = if (672 - bw as i64).abs() < 100 {
+            "  <- ~native"
+        } else {
+            ""
+        };
+        println!(
+            "{bw:>10} | {:>9.1} ms | {:>9.1} ms{native}",
+            t0 * 1e3,
+            t1 * 1e3
+        );
     }
     println!("\neach prediction costs microseconds; a simulator would need hours per point");
     Ok(())

@@ -18,7 +18,10 @@ use dnnperf::simkit::{disagg::layer_work_from_model, simulate_disaggregated, Dis
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpu = GpuSpec::by_name("A100").unwrap();
-    let nets: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
+    let nets: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(6)
+        .collect();
     println!("training the KW model on {} networks ...", nets.len());
     let dataset = collect(&nets, std::slice::from_ref(&gpu), &[4]);
     let kw = KwModel::train(&dataset, &gpu.name)?;
@@ -34,11 +37,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         compute_ms
     );
 
-    println!("\n{:>10} | {:>10} | {:>11} | {:>11}", "link GB/s", "total", "GPU stalled", "utilization");
+    println!(
+        "\n{:>10} | {:>10} | {:>11} | {:>11}",
+        "link GB/s", "total", "GPU stalled", "utilization"
+    );
     for bw in [8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0] {
         let r = simulate_disaggregated(
             &work,
-            DisaggConfig { link_bandwidth_gbps: bw, lookahead: 2 },
+            DisaggConfig {
+                link_bandwidth_gbps: bw,
+                lookahead: 2,
+            },
         );
         println!(
             "{bw:>10} | {:>7.2} ms | {:>8.2} ms | {:>10.0}%",

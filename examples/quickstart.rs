@@ -26,7 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         zoo::densenet::densenet121(),
         zoo::mobilenet::mobilenet_v2(1.0, 1.0),
     ];
-    println!("collecting measurements for {} networks on {} ...", training_nets.len(), gpu.name);
+    println!(
+        "collecting measurements for {} networks on {} ...",
+        training_nets.len(),
+        gpu.name
+    );
     let dataset = collect(&training_nets, std::slice::from_ref(&gpu), &[batch]);
     println!(
         "  {} kernel measurements, {} distinct kernels",

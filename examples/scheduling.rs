@@ -23,8 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
     let batch = 128;
 
-    let training: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
-    println!("training one KW model per GPU ({} training networks) ...", training.len());
+    let training: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(6)
+        .collect();
+    println!(
+        "training one KW model per GPU ({} training networks) ...",
+        training.len()
+    );
     let dataset = collect(&training, &gpus, &[batch]);
     let models: Vec<KwModel> = gpus
         .iter()
@@ -65,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let schedule = brute_force_schedule(&jobs);
-    println!("\nqueue schedule minimizing makespan (predicted): {:.1} ms", schedule.makespan * 1e3);
+    println!(
+        "\nqueue schedule minimizing makespan (predicted): {:.1} ms",
+        schedule.makespan * 1e3
+    );
     for (job, &g) in jobs.iter().zip(&schedule.assignment) {
         println!("  {:<14} on {}", job.name, gpus[g].name);
     }
@@ -77,7 +86,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             name: n.name().to_string(),
             per_gpu: gpus
                 .iter()
-                .map(|g| Profiler::new(g.clone()).profile(n, batch).expect("fits").e2e_seconds)
+                .map(|g| {
+                    Profiler::new(g.clone())
+                        .profile(n, batch)
+                        .expect("fits")
+                        .e2e_seconds
+                })
                 .collect(),
         })
         .collect();

@@ -81,7 +81,9 @@ impl Flags {
     fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.opt(name) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| format!("bad value for --{name}: {raw:?}")),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("bad value for --{name}: {raw:?}")),
         }
     }
 }
@@ -93,7 +95,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         let Some(name) = arg.strip_prefix("--") else {
             return Err(format!("unexpected argument {arg:?}"));
         };
-        let value = it.next().ok_or_else(|| format!("flag --{name} needs a value"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag --{name} needs a value"))?;
         map.entry(name.to_string()).or_default().push(value.clone());
     }
     Ok(Flags(map))
@@ -163,7 +167,11 @@ fn cmd_collect(flags: Flags) -> Result<(), String> {
     let out = PathBuf::from(flags.one("out")?);
 
     let nets: Vec<Network> = zoo::full_zoo().into_iter().step_by(every.max(1)).collect();
-    eprintln!("collecting {} networks x {} GPUs at batch {batch} ...", nets.len(), gpus.len());
+    eprintln!(
+        "collecting {} networks x {} GPUs at batch {batch} ...",
+        nets.len(),
+        gpus.len()
+    );
     let ds = collect(&nets, &gpus, &[batch]);
     write_dataset(&ds, &out).map_err(|e| format!("writing dataset: {e}"))?;
     eprintln!(
@@ -184,21 +192,33 @@ fn cmd_train(flags: Flags) -> Result<(), String> {
 
     let ds = read_dataset(&data).map_err(|e| format!("reading dataset: {e}"))?;
     let text = match kind {
-        "kw" => KwModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
-        "lw" => LwModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
-        "e2e" => E2eModel::train(&ds, gpu).map_err(|e| e.to_string())?.to_text(),
+        "kw" => KwModel::train(&ds, gpu)
+            .map_err(|e| e.to_string())?
+            .to_text(),
+        "lw" => LwModel::train(&ds, gpu)
+            .map_err(|e| e.to_string())?
+            .to_text(),
+        "e2e" => E2eModel::train(&ds, gpu)
+            .map_err(|e| e.to_string())?
+            .to_text(),
         "igkw" => {
             let gpus: Vec<GpuSpec> = ds
                 .gpu_names()
                 .iter()
                 .map(|n| resolve_gpu(n))
                 .collect::<Result<_, _>>()?;
-            IgkwModel::train(&ds, &gpus).map_err(|e| e.to_string())?.to_text()
+            IgkwModel::train(&ds, &gpus)
+                .map_err(|e| e.to_string())?
+                .to_text()
         }
         other => return Err(format!("unknown model kind {other:?} (kw|lw|e2e|igkw)")),
     };
     std::fs::write(&out, &text).map_err(|e| format!("writing model: {e}"))?;
-    eprintln!("wrote {kind} model ({} bytes) to {}", text.len(), out.display());
+    eprintln!(
+        "wrote {kind} model ({} bytes) to {}",
+        text.len(),
+        out.display()
+    );
     Ok(())
 }
 
@@ -229,9 +249,8 @@ fn cmd_predict(flags: Flags) -> Result<(), String> {
         "igkw" => {
             let target = resolve_gpu(flags.one("on-gpu")?)?;
             let target = match flags.opt("bandwidth") {
-                Some(bw) => target.with_bandwidth(
-                    bw.parse().map_err(|_| format!("bad --bandwidth {bw:?}"))?,
-                ),
+                Some(bw) => target
+                    .with_bandwidth(bw.parse().map_err(|_| format!("bad --bandwidth {bw:?}"))?),
                 None => target,
             };
             IgkwModel::from_text(&text)
@@ -258,7 +277,10 @@ fn cmd_dse(flags: Flags) -> Result<(), String> {
         .iter()
         .map(|n| resolve_gpu(n))
         .collect::<Result<_, _>>()?;
-    eprintln!("training the inter-GPU model on {} GPUs ...", train_gpus.len());
+    eprintln!(
+        "training the inter-GPU model on {} GPUs ...",
+        train_gpus.len()
+    );
     let nets: Vec<Network> = zoo::cnn_zoo().into_iter().step_by(6).collect();
     let ds = collect(&nets, &train_gpus, &[128]);
     let model = IgkwModel::train(&ds, &train_gpus).map_err(|e| e.to_string())?;

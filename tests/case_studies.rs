@@ -8,7 +8,10 @@ use dnnperf::sched::{best_gpu, brute_force_schedule, evaluate_makespan, JobTimes
 use dnnperf::simkit::{disagg::layer_work_from_model, simulate_disaggregated, DisaggConfig};
 
 fn training_subset() -> Vec<dnnperf::dnn::Network> {
-    dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect()
+    dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(6)
+        .collect()
 }
 
 #[test]
@@ -21,14 +24,28 @@ fn disaggregated_memory_speedup_saturates() {
     let work = layer_work_from_model(&kw, &zoo::resnet::resnet50(), 1);
 
     let t = |bw: f64| {
-        simulate_disaggregated(&work, DisaggConfig { link_bandwidth_gbps: bw, lookahead: 2 })
-            .total_seconds
+        simulate_disaggregated(
+            &work,
+            DisaggConfig {
+                link_bandwidth_gbps: bw,
+                lookahead: 2,
+            },
+        )
+        .total_seconds
     };
     let t16 = t(16.0);
     let t128 = t(128.0);
     let t512 = t(512.0);
-    assert!(t16 / t128 > 1.3, "128 GB/s should clearly beat 16 GB/s: {}", t16 / t128);
-    assert!(t128 / t512 < 1.4, "beyond 128 GB/s gains should shrink: {}", t128 / t512);
+    assert!(
+        t16 / t128 > 1.3,
+        "128 GB/s should clearly beat 16 GB/s: {}",
+        t16 / t128
+    );
+    assert!(
+        t128 / t512 < 1.4,
+        "beyond 128 GB/s gains should shrink: {}",
+        t128 / t512
+    );
 }
 
 #[test]
@@ -60,13 +77,22 @@ fn model_routes_jobs_to_the_faster_gpu() {
             .collect();
         let meas: Vec<f64> = gpus
             .iter()
-            .map(|g| Profiler::new(g.clone()).profile(net, batch).expect("fits").e2e_seconds)
+            .map(|g| {
+                Profiler::new(g.clone())
+                    .profile(net, batch)
+                    .expect("fits")
+                    .e2e_seconds
+            })
             .collect();
         if best_gpu(&pred) == best_gpu(&meas) {
             correct += 1;
         }
     }
-    assert!(correct >= jobs.len() - 1, "correct GPU choices: {correct}/{}", jobs.len());
+    assert!(
+        correct >= jobs.len() - 1,
+        "correct GPU choices: {correct}/{}",
+        jobs.len()
+    );
 }
 
 #[test]
@@ -94,7 +120,10 @@ fn predicted_schedule_is_near_oracle() {
     let job = |times: &dyn Fn(&dnnperf::dnn::Network) -> Vec<f64>| -> Vec<JobTimes> {
         queue
             .iter()
-            .map(|n| JobTimes { name: n.name().to_string(), per_gpu: times(n) })
+            .map(|n| JobTimes {
+                name: n.name().to_string(),
+                per_gpu: times(n),
+            })
             .collect()
     };
     let predicted = job(&|n| {
@@ -105,7 +134,12 @@ fn predicted_schedule_is_near_oracle() {
     });
     let actual = job(&|n| {
         gpus.iter()
-            .map(|g| Profiler::new(g.clone()).profile(n, batch).expect("fits").e2e_seconds)
+            .map(|g| {
+                Profiler::new(g.clone())
+                    .profile(n, batch)
+                    .expect("fits")
+                    .e2e_seconds
+            })
             .collect()
     });
 

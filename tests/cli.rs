@@ -56,7 +56,11 @@ fn collect_train_predict_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(data.join("kernels.csv").exists());
 
     let out = dnnperf()
@@ -73,7 +77,11 @@ fn collect_train_predict_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = std::fs::read_to_string(&model).unwrap();
     assert!(text.starts_with("dnnperf-model v1 kw"));
 
@@ -89,10 +97,17 @@ fn collect_train_predict_round_trip() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8(out.stdout).unwrap();
     let ms: f64 = stdout.trim().trim_end_matches(" ms").parse().unwrap();
-    assert!(ms > 1.0 && ms < 10_000.0, "implausible prediction: {stdout}");
+    assert!(
+        ms > 1.0 && ms < 10_000.0,
+        "implausible prediction: {stdout}"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

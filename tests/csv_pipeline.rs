@@ -29,7 +29,10 @@ fn models_trained_from_csv_match_in_memory_training() {
     let kw_csv = KwModel::train(&loaded, "A100").expect("train csv");
     let a = kw_mem.predict_network(&target, 32).expect("predict");
     let b = kw_csv.predict_network(&target, 32).expect("predict");
-    assert_eq!(a, b, "KW predictions must survive the CSV round trip exactly");
+    assert_eq!(
+        a, b,
+        "KW predictions must survive the CSV round trip exactly"
+    );
 
     let lw_mem = LwModel::train(&ds, "A100").expect("train mem");
     let lw_csv = LwModel::train(&loaded, "A100").expect("train csv");

@@ -6,9 +6,9 @@ use dnnperf::gpu::{Fusion, GpuSpec, Profiler};
 
 #[test]
 fn kw_model_trained_on_fused_traces_predicts_fused_runtimes() {
-    use dnnperf::model::{KwModel, Predictor};
     use dnnperf::data::collect::trace_rows;
     use dnnperf::data::Dataset;
+    use dnnperf::model::{KwModel, Predictor};
 
     let gpu = GpuSpec::by_name("A100").unwrap();
     let prof = Profiler::new(gpu).with_fusion(Fusion::ConvBnAct);

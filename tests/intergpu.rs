@@ -17,7 +17,10 @@ fn train_gpus() -> Vec<GpuSpec> {
 
 #[test]
 fn igkw_predicts_unseen_titan_within_paper_band() {
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(5).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(5)
+        .collect();
     let batch = 256;
     let ds = collect(&zoo, &train_gpus(), &[batch]);
     let (train, test) = split_dataset(&ds, 3);
@@ -30,7 +33,11 @@ fn igkw_predicts_unseen_titan_within_paper_band() {
     let mut meas = Vec::new();
     for net in zoo.iter().filter(|n| test_names.contains(n.name())) {
         if let Ok(trace) = prof.profile(net, batch) {
-            preds.push(model.predict_network_on(net, batch, &titan).expect("predict"));
+            preds.push(
+                model
+                    .predict_network_on(net, batch, &titan)
+                    .expect("predict"),
+            );
             meas.push(trace.e2e_seconds);
         }
     }
@@ -42,7 +49,10 @@ fn igkw_predicts_unseen_titan_within_paper_band() {
 
 #[test]
 fn igkw_bandwidth_sweep_is_monotone_with_diminishing_returns() {
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(8).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(8)
+        .collect();
     let ds = collect(&zoo, &train_gpus(), &[128]);
     let model = IgkwModel::train(&ds, &train_gpus()).expect("train IGKW");
     let titan = GpuSpec::by_name("TITAN RTX").unwrap();
@@ -55,7 +65,10 @@ fn igkw_bandwidth_sweep_is_monotone_with_diminishing_returns() {
         })
         .collect();
     for w in times.windows(2) {
-        assert!(w[1] <= w[0] * (1.0 + 1e-9), "time must not increase with bandwidth");
+        assert!(
+            w[1] <= w[0] * (1.0 + 1e-9),
+            "time must not increase with bandwidth"
+        );
     }
     let first_gain = times[0] / times[1];
     let last_gain = times[times.len() - 2] / times[times.len() - 1];

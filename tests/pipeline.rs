@@ -5,9 +5,9 @@
 use dnnperf::data::collect::collect;
 use dnnperf::data::split::split_dataset;
 use dnnperf::gpu::GpuSpec;
+use dnnperf::linreg::mean_abs_rel_error;
 use dnnperf::model::workflow::predictions_vs_measurements;
 use dnnperf::model::{Predictor, Workflow};
-use dnnperf::linreg::mean_abs_rel_error;
 use std::collections::HashSet;
 
 fn error_of<P: Predictor>(
@@ -17,7 +17,11 @@ fn error_of<P: Predictor>(
     measured: &dnnperf::data::Dataset,
 ) -> f64 {
     let pairs = predictions_vs_measurements(model, nets, batch, measured);
-    assert!(pairs.len() > 10, "too few evaluation pairs: {}", pairs.len());
+    assert!(
+        pairs.len() > 10,
+        "too few evaluation pairs: {}",
+        pairs.len()
+    );
     let p: Vec<f64> = pairs.iter().map(|x| x.1).collect();
     let m: Vec<f64> = pairs.iter().map(|x| x.2).collect();
     mean_abs_rel_error(&p, &m)
@@ -25,13 +29,20 @@ fn error_of<P: Predictor>(
 
 #[test]
 fn single_gpu_models_reproduce_paper_accuracy_ordering() {
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(4).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(4)
+        .collect();
     let batch = 256;
     let gpu = GpuSpec::by_name("A100").unwrap();
     let ds = collect(&zoo, &[gpu], &[batch]);
     let (train, test) = split_dataset(&ds, 11);
     let test_names: HashSet<String> = test.network_names().into_iter().collect();
-    let test_nets: Vec<_> = zoo.iter().filter(|n| test_names.contains(n.name())).cloned().collect();
+    let test_nets: Vec<_> = zoo
+        .iter()
+        .filter(|n| test_names.contains(n.name()))
+        .cloned()
+        .collect();
 
     let suite = Workflow::train(&train, "A100").expect("train suite");
     let e_e2e = error_of(&suite.e2e, &test_nets, batch, &test);
@@ -48,7 +59,10 @@ fn single_gpu_models_reproduce_paper_accuracy_ordering() {
 
 #[test]
 fn kw_kernel_and_model_counts_match_paper_scale() {
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(3).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(3)
+        .collect();
     let ds = collect(&zoo, &[GpuSpec::by_name("A100").unwrap()], &[128]);
     let kw = dnnperf::model::KwModel::train(&ds, "A100").expect("train");
     // Paper: 182 kernels merged into 83 regressions on A100.
@@ -58,18 +72,29 @@ fn kw_kernel_and_model_counts_match_paper_scale() {
         kw.num_kernels()
     );
     assert!(kw.num_models() < kw.num_kernels());
-    assert!(kw.num_models() > kw.num_kernels() / 5, "models: {}", kw.num_models());
+    assert!(
+        kw.num_models() > kw.num_kernels() / 5,
+        "models: {}",
+        kw.num_models()
+    );
 }
 
 #[test]
 fn kw_transfers_across_batch_sizes() {
     // The paper trains at one batch size (O3). Train at 256, evaluate at 64.
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(6).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(6)
+        .collect();
     let gpu = GpuSpec::by_name("V100").unwrap();
     let train_ds = collect(&zoo, std::slice::from_ref(&gpu), &[256]);
     let (train, test) = split_dataset(&train_ds, 5);
     let test_names: HashSet<String> = test.network_names().into_iter().collect();
-    let test_nets: Vec<_> = zoo.iter().filter(|n| test_names.contains(n.name())).cloned().collect();
+    let test_nets: Vec<_> = zoo
+        .iter()
+        .filter(|n| test_names.contains(n.name()))
+        .cloned()
+        .collect();
     let eval_ds = collect(&test_nets, &[gpu], &[64]);
 
     let kw = dnnperf::model::KwModel::train(&train, "V100").expect("train");

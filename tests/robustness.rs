@@ -11,7 +11,10 @@ use std::collections::HashSet;
 
 #[test]
 fn kw_model_works_in_alternative_universes() {
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(8).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(8)
+        .collect();
     let gpu = GpuSpec::by_name("A100").unwrap();
     let batch = 128;
 
@@ -38,7 +41,10 @@ fn kw_model_works_in_alternative_universes() {
 #[test]
 fn predictions_differ_across_universes() {
     // Sanity: the model really learns from the data it is given.
-    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo().into_iter().step_by(20).collect();
+    let zoo: Vec<_> = dnnperf::dnn::zoo::cnn_zoo()
+        .into_iter()
+        .step_by(20)
+        .collect();
     let gpu = GpuSpec::by_name("V100").unwrap();
     let net = dnnperf::dnn::zoo::resnet::resnet50();
 
@@ -52,5 +58,8 @@ fn predictions_differ_across_universes() {
     };
     let a = predict_under(1);
     let b = predict_under(2);
-    assert!((a - b).abs() / a > 0.01, "universes too similar: {a} vs {b}");
+    assert!(
+        (a - b).abs() / a > 0.01,
+        "universes too similar: {a} vs {b}"
+    );
 }
