@@ -38,10 +38,14 @@ const EXPERIMENTS: &[&str] = &[
 fn main() {
     let me = std::env::current_exe().expect("current exe path");
     let dir = me.parent().expect("exe dir");
+    // Forward engine flags (--threads / --cache-dir) to every experiment,
+    // so one `all --cache-dir ...` run warms a shared dataset cache.
+    let forwarded: Vec<String> = std::env::args().skip(1).collect();
     let mut failed = Vec::new();
     for exp in EXPERIMENTS {
         println!();
         let status = Command::new(dir.join(exp))
+            .args(&forwarded)
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {exp}: {e} (build all bins first)"));
         if !status.success() {

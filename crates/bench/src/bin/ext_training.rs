@@ -6,12 +6,13 @@
 //! same classification / clustering / mapping machinery, and the resulting
 //! model predicts training-step times for unseen networks.
 
-use dnnperf_bench::{banner, cells, gpu, networks_in, standard_split, TextTable};
+use dnnperf_bench::{
+    banner, cells, collect_training_verbose, collect_verbose, gpu, networks_in, standard_split,
+    TextTable,
+};
 use dnnperf_core::workflow::predictions_vs_measurements;
 use dnnperf_core::KwModel;
-use dnnperf_data::collect::{collect, collect_training};
 use dnnperf_linreg::mean_abs_rel_error;
-use std::time::Instant;
 
 fn main() {
     banner(
@@ -23,13 +24,7 @@ fn main() {
     let batch = 64usize;
     let a100 = gpu("A100");
 
-    let t = Instant::now();
-    let train_ds = collect_training(&zoo, std::slice::from_ref(&a100), &[batch]);
-    eprintln!(
-        "[collect] {} training-step kernel rows in {:.1}s",
-        train_ds.kernels.len(),
-        t.elapsed().as_secs_f64()
-    );
+    let train_ds = collect_training_verbose(&zoo, std::slice::from_ref(&a100), &[batch]);
     let (train, test) = standard_split(&train_ds);
     let test_nets = networks_in(&zoo, &test);
 
@@ -45,7 +40,7 @@ fn main() {
     let train_err = mean_abs_rel_error(&p, &y);
 
     // Baseline comparison: the inference-mode KW at the same batch size.
-    let inf_ds = collect(&zoo, std::slice::from_ref(&a100), &[batch]);
+    let inf_ds = collect_verbose(&zoo, std::slice::from_ref(&a100), &[batch]);
     let (inf_train, inf_test) = standard_split(&inf_ds);
     let kw_inf = KwModel::train(&inf_train, "A100").expect("train KW on inference");
     let inf_nets = networks_in(&zoo, &inf_test);

@@ -9,8 +9,8 @@
 
 pub mod timer;
 
-use dnnperf_data::collect::{collect_parallel, TRAIN_BATCH};
-use dnnperf_data::{split::split_dataset, Dataset};
+use dnnperf_data::collect::{collect_opts, collect_training_opts, TRAIN_BATCH};
+use dnnperf_data::{split::split_dataset, CacheStats, CollectOptions, Dataset};
 use dnnperf_dnn::{zoo, Network};
 use dnnperf_gpu::{GpuSpec, Profiler};
 use std::collections::HashSet;
@@ -31,20 +31,76 @@ pub fn banner(id: &str, title: &str) {
     println!("================================================================");
 }
 
-/// Collects a dataset with a progress line (collection is the slow step),
-/// fanning profiling out across the available cores.
+/// The collection engine options every experiment binary uses:
+/// environment overrides (`DNNPERF_THREADS`, `DNNPERF_CACHE_DIR`) plus the
+/// `--threads N` / `--cache-dir PATH` command-line flags (also accepted as
+/// `--threads=N` / `--cache-dir=PATH`), with the command line winning.
+pub fn collect_options() -> CollectOptions {
+    collect_options_from(std::env::args().skip(1), CollectOptions::from_env())
+}
+
+/// [`collect_options`] with explicit arguments and base — testable and
+/// reusable by the `all` driver when forwarding flags.
+pub fn collect_options_from(
+    args: impl IntoIterator<Item = String>,
+    base: CollectOptions,
+) -> CollectOptions {
+    let mut opts = base;
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                opts.threads = v;
+            }
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            if let Ok(v) = v.parse() {
+                opts.threads = v;
+            }
+        } else if arg == "--cache-dir" {
+            if let Some(v) = args.next() {
+                opts.cache_dir = Some(v.into());
+            }
+        } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+            opts.cache_dir = Some(v.into());
+        }
+    }
+    opts
+}
+
+fn report_collection(
+    what: &str,
+    nets: usize,
+    gpus: usize,
+    batches: &[usize],
+    ds: &Dataset,
+    stats: &CacheStats,
+    t: Instant,
+) {
+    eprintln!(
+        "[collect] {what}: {nets} nets x {gpus} gpus x {batches:?}: {} kernel rows | {}",
+        ds.kernels.len(),
+        stats.summary(t.elapsed().as_secs_f64())
+    );
+}
+
+/// Collects a dataset with a progress + cache-stats line (collection is
+/// the slow step), through the shared engine: work-stealing parallelism
+/// across the whole `(gpu, network, batch)` grid and, when a cache
+/// directory is configured, content-addressed memoization that skips
+/// profiling entirely on warm reruns.
 pub fn collect_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
     let t = Instant::now();
-    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let ds = collect_parallel(nets, gpus, batches, threads);
-    eprintln!(
-        "[collect] {} nets x {} gpus x {:?}: {} kernel rows in {:.1}s",
-        nets.len(),
-        gpus.len(),
-        batches,
-        ds.kernels.len(),
-        t.elapsed().as_secs_f64()
-    );
+    let (ds, stats) = collect_opts(nets, gpus, batches, &collect_options());
+    report_collection("inference", nets.len(), gpus.len(), batches, &ds, &stats, t);
+    ds
+}
+
+/// [`collect_verbose`] for training-step measurements: same engine, same
+/// parallelism, same cache (under a distinct cache key space).
+pub fn collect_training_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
+    let t = Instant::now();
+    let (ds, stats) = collect_training_opts(nets, gpus, batches, &collect_options());
+    report_collection("training", nets.len(), gpus.len(), batches, &ds, &stats, t);
     ds
 }
 
@@ -234,6 +290,22 @@ mod tests {
     #[test]
     fn gpu_lookup_works() {
         assert_eq!(gpu("A100").name, "A100");
+    }
+
+    #[test]
+    fn cli_flags_override_collect_options() {
+        let base = CollectOptions::serial();
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = collect_options_from(args(&["--threads", "7"]), base.clone());
+        assert_eq!(o.threads, 7);
+        let o = collect_options_from(args(&["--threads=3", "--cache-dir=/tmp/x"]), base.clone());
+        assert_eq!(o.threads, 3);
+        assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/x")));
+        let o = collect_options_from(args(&["--cache-dir", "/tmp/y"]), base.clone());
+        assert_eq!(o.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/y")));
+        // Unknown flags and malformed values leave the base untouched.
+        let o = collect_options_from(args(&["--verbose", "--threads", "lots"]), base.clone());
+        assert_eq!(o, base);
     }
 
     #[test]

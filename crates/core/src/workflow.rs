@@ -7,8 +7,10 @@ use crate::error::TrainError;
 use crate::kernelwise::KwModel;
 use crate::layerwise::LwModel;
 use crate::model::Predictor;
-use dnnperf_data::Dataset;
+use dnnperf_data::collect::collect_opts;
+use dnnperf_data::{CollectOptions, Dataset};
 use dnnperf_dnn::Network;
+use dnnperf_gpu::GpuSpec;
 
 /// A trained model suite for one GPU: the three single-GPU models of
 /// Section 5.
@@ -62,6 +64,50 @@ impl Workflow {
     pub fn models(&self) -> [&dyn Predictor; 3] {
         [&self.e2e, &self.lw, &self.kw]
     }
+
+    /// Measure-then-train in one step: collects `nets` on `gpu` through the
+    /// shared collection engine (work-stealing parallelism plus the
+    /// content-addressed dataset cache, per `opts`) and trains the suite on
+    /// the result. Repeated invocations with a cache directory skip the
+    /// profiling step entirely.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainError`] from the individual models.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use dnnperf_core::Workflow;
+    /// use dnnperf_data::CollectOptions;
+    /// use dnnperf_gpu::GpuSpec;
+    ///
+    /// # fn main() -> Result<(), dnnperf_core::TrainError> {
+    /// let nets = [
+    ///     dnnperf_dnn::zoo::resnet::resnet18(),
+    ///     dnnperf_dnn::zoo::resnet::resnet34(),
+    ///     dnnperf_dnn::zoo::vgg::vgg11(),
+    /// ];
+    /// let gpu = GpuSpec::by_name("V100").unwrap();
+    /// let suite = Workflow::collect_and_train(
+    ///     &nets,
+    ///     &gpu,
+    ///     &[32],
+    ///     &CollectOptions::with_threads(2),
+    /// )?;
+    /// assert_eq!(suite.models().len(), 3);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn collect_and_train(
+        nets: &[Network],
+        gpu: &GpuSpec,
+        batches: &[usize],
+        opts: &CollectOptions,
+    ) -> Result<Self, TrainError> {
+        let (ds, _stats) = collect_opts(nets, std::slice::from_ref(gpu), batches, opts);
+        Workflow::train(&ds, &gpu.name)
+    }
 }
 
 /// Pairs each test network's prediction with its measured time from the
@@ -101,6 +147,34 @@ mod tests {
         let suite = Workflow::train(&ds, "A100").unwrap();
         let names: Vec<&str> = suite.models().iter().map(|m| m.name()).collect();
         assert_eq!(names, ["E2E", "LW", "KW"]);
+    }
+
+    #[test]
+    fn collect_and_train_equals_manual_pipeline() {
+        let nets = [
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::resnet::resnet34(),
+            dnnperf_dnn::zoo::vgg::vgg11(),
+        ];
+        let gpu = GpuSpec::by_name("A100").unwrap();
+        // Through the engine (parallel, uncached)...
+        let engine = Workflow::collect_and_train(
+            &nets,
+            &gpu,
+            &[32],
+            &dnnperf_data::CollectOptions::with_threads(3),
+        )
+        .unwrap();
+        // ...matches collect-then-train by hand.
+        let ds = collect(&nets, std::slice::from_ref(&gpu), &[32]);
+        let manual = Workflow::train(&ds, "A100").unwrap();
+        let probe = dnnperf_dnn::zoo::resnet::resnet50();
+        for (a, b) in engine.models().iter().zip(manual.models()) {
+            assert_eq!(
+                a.predict_network(&probe, 32).unwrap(),
+                b.predict_network(&probe, 32).unwrap()
+            );
+        }
     }
 
     #[test]

@@ -1,10 +1,29 @@
 //! Dataset collection: profiling the zoo across GPUs and batch sizes.
+//!
+//! All collection — serial, parallel, inference, training — runs through
+//! one *grid engine*: the `(gpu, network, batch)` cartesian grid is
+//! enumerated in serial order, each grid point is profiled independently
+//! (fanned out over `dnnperf-sched`'s work-stealing pool when more than
+//! one thread is requested), and the per-point rows are stitched back in
+//! grid order. The resulting [`Dataset`] is therefore **byte-identical**
+//! regardless of thread count — a property the determinism conformance
+//! suite (`tests/determinism.rs`) pins down.
+//!
+//! On top of the engine sits an optional content-addressed on-disk cache
+//! ([`crate::cache`]): pass a `cache_dir` in [`CollectOptions`] (or set
+//! `DNNPERF_CACHE_DIR`) and repeated collections of the same grid under
+//! the same measurement universe are served from disk instead of
+//! re-profiled.
 
+pub use crate::cache::CollectMode;
+use crate::cache::{dataset_key, CacheStats, DatasetCache};
 use crate::dataset::Dataset;
 use crate::record::{KernelRow, LayerRow, NetworkRow};
 use dnnperf_dnn::Network;
-use dnnperf_gpu::{GpuSpec, ProfileError, Profiler, Trace};
+use dnnperf_gpu::{GpuSpec, ProfileError, Profiler, TimingModel, Trace};
+use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Converts one profiler trace into dataset rows.
 pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, Vec<KernelRow>) {
@@ -55,6 +74,166 @@ pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, V
     (row, layers, kernels)
 }
 
+/// Shared knobs of the collection engine, threaded from the experiment
+/// binaries (and `DNNPERF_*` environment overrides) down to every
+/// collection call.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectOptions {
+    /// Worker threads for the profiling grid. `0` means "auto": use
+    /// [`std::thread::available_parallelism`]. `1` disables threading.
+    pub threads: usize,
+    /// Root directory of the content-addressed dataset cache; `None`
+    /// disables caching.
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl CollectOptions {
+    /// Serial, uncached collection (the engine's conservative default).
+    pub fn serial() -> Self {
+        CollectOptions {
+            threads: 1,
+            cache_dir: None,
+        }
+    }
+
+    /// Uncached collection on `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        CollectOptions {
+            threads,
+            cache_dir: None,
+        }
+    }
+
+    /// Options from the environment: `DNNPERF_THREADS` (worker count; any
+    /// unparsable or zero value means auto) and `DNNPERF_CACHE_DIR` (cache
+    /// root; unset or empty disables caching). Auto threading when
+    /// `DNNPERF_THREADS` is unset.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DNNPERF_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let cache_dir = std::env::var("DNNPERF_CACHE_DIR")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from);
+        CollectOptions { threads, cache_dir }
+    }
+
+    /// Returns a copy with the cache rooted at `dir`.
+    pub fn cached_at(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// The concrete worker count (resolves `0` to the machine's available
+    /// parallelism).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        }
+    }
+}
+
+/// One grid point's rows, `None` when the run was dropped (out of memory —
+/// the paper's cleaning of fail-to-execute experiments).
+type GridRows = Option<(NetworkRow, Vec<LayerRow>, Vec<KernelRow>)>;
+
+/// Profiles one `(gpu, network, batch)` grid point.
+fn profile_point(
+    gpu: &GpuSpec,
+    net: &Network,
+    batch: usize,
+    timing: &TimingModel,
+    mode: CollectMode,
+) -> GridRows {
+    let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
+    let result = match mode {
+        CollectMode::Inference => profiler.profile(net, batch),
+        CollectMode::Training => profiler.profile_training(net, batch),
+    };
+    match result {
+        Ok(trace) => Some(trace_rows(&trace, net)),
+        // Fail-to-execute experiments are dropped, as in the paper's
+        // cleaning step.
+        Err(ProfileError::OutOfMemory { .. }) => None,
+    }
+}
+
+/// Runs the full profiling grid on `threads` work-stealing workers and
+/// stitches the rows back in serial `(gpu, network, batch)` order.
+fn run_grid(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    timing: &TimingModel,
+    mode: CollectMode,
+    threads: usize,
+) -> Dataset {
+    assert!(threads > 0, "need at least one worker thread");
+    let per_gpu = nets.len() * batches.len();
+    let jobs = gpus.len() * per_gpu;
+    let mut ds = Dataset::new();
+    if jobs == 0 {
+        return ds;
+    }
+    let point = |i: usize| {
+        let gpu = &gpus[i / per_gpu];
+        let rest = i % per_gpu;
+        let net = &nets[rest / batches.len()];
+        let batch = batches[rest % batches.len()];
+        profile_point(gpu, net, batch, timing, mode)
+    };
+    let results: Vec<GridRows> = if threads == 1 {
+        (0..jobs).map(point).collect()
+    } else {
+        dnnperf_sched::run_indexed(jobs, threads, point)
+    };
+    for (n, l, k) in results.into_iter().flatten() {
+        ds.networks.push(n);
+        ds.layers.extend(l);
+        ds.kernels.extend(k);
+    }
+    ds
+}
+
+/// The full engine: cache lookup, parallel grid profiling, cache fill.
+///
+/// This is the single path every public collection entry point funnels
+/// through; it returns the dataset plus the run's cache traffic.
+pub fn collect_engine(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    timing: &TimingModel,
+    mode: CollectMode,
+    opts: &CollectOptions,
+) -> (Dataset, CacheStats) {
+    let mut stats = CacheStats::default();
+    let cache = opts.cache_dir.as_ref().map(DatasetCache::new);
+    let key = cache
+        .as_ref()
+        .map(|_| dataset_key(nets, gpus, batches, timing.seed(), mode));
+    if let (Some(cache), Some(key)) = (&cache, key) {
+        if let Some((ds, bytes)) = cache.load(key) {
+            stats.hits += 1;
+            stats.bytes_read += bytes;
+            return (ds, stats);
+        }
+        stats.misses += 1;
+    }
+    let ds = run_grid(nets, gpus, batches, timing, mode, opts.effective_threads());
+    if let (Some(cache), Some(key)) = (&cache, key) {
+        // The cache is best-effort: a full disk must not fail collection.
+        if let Ok(bytes) = cache.store(key, &ds) {
+            stats.bytes_written += bytes;
+        }
+    }
+    (ds, stats)
+}
+
 /// Profiles every network on every GPU at every batch size, skipping
 /// out-of-memory combinations (the paper's dataset cleaning).
 ///
@@ -70,7 +249,7 @@ pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, V
 /// assert_eq!(ds.networks.len(), 2);
 /// ```
 pub fn collect(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
-    collect_with(nets, gpus, batches, &dnnperf_gpu::TimingModel::new())
+    collect_with(nets, gpus, batches, &TimingModel::new())
 }
 
 /// Like [`collect`], but measuring under an explicit ground-truth timing
@@ -80,37 +259,46 @@ pub fn collect_with(
     nets: &[Network],
     gpus: &[GpuSpec],
     batches: &[usize],
-    timing: &dnnperf_gpu::TimingModel,
+    timing: &TimingModel,
 ) -> Dataset {
-    let mut ds = Dataset::new();
-    for gpu in gpus {
-        let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
-        for net in nets {
-            for &batch in batches {
-                match profiler.profile(net, batch) {
-                    Ok(trace) => {
-                        let (n, l, k) = trace_rows(&trace, net);
-                        ds.networks.push(n);
-                        ds.layers.extend(l);
-                        ds.kernels.extend(k);
-                    }
-                    Err(ProfileError::OutOfMemory { .. }) => {
-                        // Fail-to-execute experiments are dropped, as in the
-                        // paper's cleaning step.
-                    }
-                }
-            }
-        }
-    }
-    ds
+    collect_engine(
+        nets,
+        gpus,
+        batches,
+        timing,
+        CollectMode::Inference,
+        &CollectOptions::serial(),
+    )
+    .0
 }
 
-/// Like [`collect`], but profiling networks on `threads` worker threads.
+/// Collection with full engine options (threads + cache), returning the
+/// run's cache traffic alongside the dataset.
+pub fn collect_opts(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    opts: &CollectOptions,
+) -> (Dataset, CacheStats) {
+    collect_engine(
+        nets,
+        gpus,
+        batches,
+        &TimingModel::new(),
+        CollectMode::Inference,
+        opts,
+    )
+}
+
+/// Like [`collect`], but profiling on `threads` work-stealing worker
+/// threads over the whole `(gpu, network, batch)` grid.
 ///
 /// Row order (and therefore the resulting dataset) is **identical** to the
-/// serial [`collect`]: workers profile disjoint network chunks and the
-/// results are stitched back in network order, preserving the per-experiment
-/// row contiguity that [`Dataset::dedup`] and the mapping table rely on.
+/// serial [`collect`]: grid points carry their serial index through the
+/// pool and are stitched back in index order, preserving the
+/// per-experiment row contiguity that [`Dataset::dedup`] and the mapping
+/// table rely on. The conformance suite asserts `collect_parallel(..) ==
+/// collect(..)` across randomized grids and thread counts.
 ///
 /// # Panics
 ///
@@ -122,31 +310,7 @@ pub fn collect_parallel(
     threads: usize,
 ) -> Dataset {
     assert!(threads > 0, "need at least one worker thread");
-    let mut ds = Dataset::new();
-    for gpu in gpus {
-        let chunk = nets.len().div_ceil(threads).max(1);
-        // `std::thread::scope` (stabilised in Rust 1.63) borrows `nets`,
-        // `batches` and `gpu` directly — no external scoped-thread crate.
-        // Handles are joined in spawn order, so chunk results are stitched
-        // back in network order and the dataset is byte-identical to the
-        // serial `collect`.
-        let per_chunk: Vec<Dataset> = std::thread::scope(|scope| {
-            let handles: Vec<_> = nets
-                .chunks(chunk)
-                .map(|chunk_nets| {
-                    scope.spawn(move || collect(chunk_nets, std::slice::from_ref(gpu), batches))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("collection worker panicked"))
-                .collect()
-        });
-        for chunk_ds in per_chunk {
-            ds.merge(chunk_ds);
-        }
-    }
-    ds
+    collect_opts(nets, gpus, batches, &CollectOptions::with_threads(threads)).0
 }
 
 /// The GPUs the paper's single-GPU models are trained and evaluated on
@@ -167,34 +331,50 @@ pub const TRAIN_BATCH: usize = 512;
 /// activations alive, so feasible batch sizes are smaller than for
 /// inference.
 pub fn collect_training(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
-    let mut ds = Dataset::new();
-    for gpu in gpus {
-        let profiler = Profiler::new(gpu.clone());
-        for net in nets {
-            for &batch in batches {
-                match profiler.profile_training(net, batch) {
-                    Ok(trace) => {
-                        let (n, l, k) = trace_rows(&trace, net);
-                        ds.networks.push(n);
-                        ds.layers.extend(l);
-                        ds.kernels.extend(k);
-                    }
-                    Err(ProfileError::OutOfMemory { .. }) => {}
-                }
-            }
-        }
-    }
-    ds
+    collect_training_opts(nets, gpus, batches, &CollectOptions::serial()).0
+}
+
+/// [`collect_training`] with full engine options: training collection gets
+/// the same work-stealing parallelism and content-addressed caching as
+/// inference collection (the two modes never share cache keys).
+pub fn collect_training_opts(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    opts: &CollectOptions,
+) -> (Dataset, CacheStats) {
+    collect_engine(
+        nets,
+        gpus,
+        batches,
+        &TimingModel::new(),
+        CollectMode::Training,
+        opts,
+    )
 }
 
 /// Collects the paper's main dataset: the full 646-network CNN zoo at the
 /// training batch size on the five evaluation GPUs.
 ///
-/// This takes a few seconds and produces on the order of a million kernel
-/// rows; experiment binaries call it once and reuse the result.
+/// Honors `DNNPERF_THREADS` and `DNNPERF_CACHE_DIR` (see
+/// [`CollectOptions::from_env`]) and prints the per-run cache-stats
+/// summary line to stderr. With a warm cache the profiling step is skipped
+/// entirely.
 pub fn collect_main_cnn_dataset() -> Dataset {
+    collect_main_cnn_dataset_opts(&CollectOptions::from_env())
+}
+
+/// [`collect_main_cnn_dataset`] with explicit engine options.
+pub fn collect_main_cnn_dataset_opts(opts: &CollectOptions) -> Dataset {
+    let t = Instant::now();
     let nets = dnnperf_dnn::zoo::cnn_zoo();
-    collect(&nets, &evaluation_gpus(), &[TRAIN_BATCH])
+    let (ds, stats) = collect_opts(&nets, &evaluation_gpus(), &[TRAIN_BATCH], opts);
+    eprintln!(
+        "[collect] main CNN dataset: {} kernel rows | {}",
+        ds.kernels.len(),
+        stats.summary(t.elapsed().as_secs_f64())
+    );
+    ds
 }
 
 #[cfg(test)]
@@ -261,6 +441,47 @@ mod tests {
             let parallel = collect_parallel(&nets, &gpus, &[8, 16], threads);
             assert_eq!(serial, parallel, "threads = {threads}");
         }
+    }
+
+    #[test]
+    fn training_collection_matches_modes() {
+        // The folded grid runner must reproduce the direct profiler calls.
+        let nets = [zoo::mobilenet::mobilenet_v2(0.5, 1.0)];
+        let gpu = GpuSpec::by_name("A100").unwrap();
+        let ds = collect_training(&nets, std::slice::from_ref(&gpu), &[16]);
+        assert_eq!(ds.networks.len(), 1);
+        let trace = Profiler::new(gpu.clone())
+            .profile_training(&nets[0], 16)
+            .unwrap();
+        assert_eq!(ds.networks[0].e2e_seconds, trace.e2e_seconds);
+        // Training parallelism is serial-identical too.
+        let par = collect_training_opts(
+            &nets,
+            std::slice::from_ref(&gpu),
+            &[16],
+            &CollectOptions::with_threads(4),
+        )
+        .0;
+        assert_eq!(ds, par);
+    }
+
+    #[test]
+    fn cached_collection_hits_on_second_run() {
+        let dir = std::env::temp_dir().join("dnnperf_collect_cache_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let nets = [zoo::mobilenet::mobilenet_v2(0.4, 1.0)];
+        let gpus = [GpuSpec::by_name("V100").unwrap()];
+        let opts = CollectOptions::with_threads(2).cached_at(&dir);
+        let (cold, s1) = collect_opts(&nets, &gpus, &[8], &opts);
+        assert_eq!((s1.hits, s1.misses), (0, 1));
+        assert!(s1.bytes_written > 0);
+        let (warm, s2) = collect_opts(&nets, &gpus, &[8], &opts);
+        assert_eq!((s2.hits, s2.misses), (1, 0));
+        assert_eq!(s2.bytes_read, s1.bytes_written);
+        assert_eq!(cold, warm);
+        // And both equal the uncached collection.
+        assert_eq!(cold, collect(&nets, &gpus, &[8]));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -52,11 +52,11 @@ impl From<io::Error> for CsvError {
     }
 }
 
-const NETWORK_HEADER: &str =
+pub(crate) const NETWORK_HEADER: &str =
     "network,family,gpu,batch,flops,bytes,e2e_seconds,gpu_seconds,kernel_count";
-const LAYER_HEADER: &str =
+pub(crate) const LAYER_HEADER: &str =
     "network,gpu,batch,layer_index,layer_type,flops,in_elems,out_elems,seconds";
-const KERNEL_HEADER: &str =
+pub(crate) const KERNEL_HEADER: &str =
     "network,gpu,batch,layer_index,layer_type,kernel,in_elems,flops,out_elems,seconds";
 
 fn check_field(s: &str) -> &str {
@@ -92,23 +92,64 @@ pub fn read_dataset(dir: &Path) -> Result<Dataset, CsvError> {
     })
 }
 
+/// Writes one network row (no trailing header logic); shared with the
+/// dataset cache's single-file container format.
+pub(crate) fn write_network_row<W: Write>(w: &mut W, r: &NetworkRow) -> io::Result<()> {
+    writeln!(
+        w,
+        "{},{},{},{},{},{},{},{},{}",
+        check_field(&r.network),
+        check_field(&r.family),
+        check_field(&r.gpu),
+        r.batch,
+        r.flops,
+        r.bytes,
+        r.e2e_seconds,
+        r.gpu_seconds,
+        r.kernel_count
+    )
+}
+
+/// Writes one layer row; shared with the dataset cache.
+pub(crate) fn write_layer_row<W: Write>(w: &mut W, r: &LayerRow) -> io::Result<()> {
+    writeln!(
+        w,
+        "{},{},{},{},{},{},{},{},{}",
+        check_field(&r.network),
+        check_field(&r.gpu),
+        r.batch,
+        r.layer_index,
+        check_field(&r.layer_type),
+        r.flops,
+        r.in_elems,
+        r.out_elems,
+        r.seconds
+    )
+}
+
+/// Writes one kernel row; shared with the dataset cache.
+pub(crate) fn write_kernel_row<W: Write>(w: &mut W, r: &KernelRow) -> io::Result<()> {
+    writeln!(
+        w,
+        "{},{},{},{},{},{},{},{},{},{}",
+        check_field(&r.network),
+        check_field(&r.gpu),
+        r.batch,
+        r.layer_index,
+        check_field(&r.layer_type),
+        check_field(&r.kernel),
+        r.in_elems,
+        r.flops,
+        r.out_elems,
+        r.seconds
+    )
+}
+
 fn write_networks(rows: &[NetworkRow], path: &Path) -> Result<(), CsvError> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     writeln!(w, "{NETWORK_HEADER}")?;
     for r in rows {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{},{},{}",
-            check_field(&r.network),
-            check_field(&r.family),
-            check_field(&r.gpu),
-            r.batch,
-            r.flops,
-            r.bytes,
-            r.e2e_seconds,
-            r.gpu_seconds,
-            r.kernel_count
-        )?;
+        write_network_row(&mut w, r)?;
     }
     Ok(())
 }
@@ -117,19 +158,7 @@ fn write_layers(rows: &[LayerRow], path: &Path) -> Result<(), CsvError> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     writeln!(w, "{LAYER_HEADER}")?;
     for r in rows {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{},{},{}",
-            check_field(&r.network),
-            check_field(&r.gpu),
-            r.batch,
-            r.layer_index,
-            check_field(&r.layer_type),
-            r.flops,
-            r.in_elems,
-            r.out_elems,
-            r.seconds
-        )?;
+        write_layer_row(&mut w, r)?;
     }
     Ok(())
 }
@@ -138,20 +167,7 @@ fn write_kernels(rows: &[KernelRow], path: &Path) -> Result<(), CsvError> {
     let mut w = BufWriter::new(std::fs::File::create(path)?);
     writeln!(w, "{KERNEL_HEADER}")?;
     for r in rows {
-        writeln!(
-            w,
-            "{},{},{},{},{},{},{},{},{},{}",
-            check_field(&r.network),
-            check_field(&r.gpu),
-            r.batch,
-            r.layer_index,
-            check_field(&r.layer_type),
-            check_field(&r.kernel),
-            r.in_elems,
-            r.flops,
-            r.out_elems,
-            r.seconds
-        )?;
+        write_kernel_row(&mut w, r)?;
     }
     Ok(())
 }
@@ -207,24 +223,60 @@ fn read_lines(path: &Path, header: &str) -> Result<Vec<String>, CsvError> {
     lines.map(|l| l.map_err(CsvError::from)).collect()
 }
 
+/// Parses one network row. `line_no` is the 1-based line for diagnostics.
+pub(crate) fn parse_network_row(line: &str, line_no: usize) -> Result<NetworkRow, CsvError> {
+    let f = Fields::new(line, line_no, 9)?;
+    Ok(NetworkRow {
+        network: f.str(0),
+        family: f.str(1),
+        gpu: f.str(2),
+        batch: f.num(3)?,
+        flops: f.num(4)?,
+        bytes: f.num(5)?,
+        e2e_seconds: f.num(6)?,
+        gpu_seconds: f.num(7)?,
+        kernel_count: f.num(8)?,
+    })
+}
+
+/// Parses one layer row.
+pub(crate) fn parse_layer_row(line: &str, line_no: usize) -> Result<LayerRow, CsvError> {
+    let f = Fields::new(line, line_no, 9)?;
+    Ok(LayerRow {
+        network: f.str(0),
+        gpu: f.str(1),
+        batch: f.num(2)?,
+        layer_index: f.num(3)?,
+        layer_type: f.str(4),
+        flops: f.num(5)?,
+        in_elems: f.num(6)?,
+        out_elems: f.num(7)?,
+        seconds: f.num(8)?,
+    })
+}
+
+/// Parses one kernel row.
+pub(crate) fn parse_kernel_row(line: &str, line_no: usize) -> Result<KernelRow, CsvError> {
+    let f = Fields::new(line, line_no, 10)?;
+    Ok(KernelRow {
+        network: f.str(0),
+        gpu: f.str(1),
+        batch: f.num(2)?,
+        layer_index: f.num(3)?,
+        layer_type: f.str(4),
+        kernel: f.str(5),
+        in_elems: f.num(6)?,
+        flops: f.num(7)?,
+        out_elems: f.num(8)?,
+        seconds: f.num(9)?,
+    })
+}
+
 fn read_networks(path: &Path) -> Result<Vec<NetworkRow>, CsvError> {
     read_lines(path, NETWORK_HEADER)?
         .iter()
         .enumerate()
-        .map(|(i, l)| {
-            let f = Fields::new(l, i + 2, 9)?;
-            Ok(NetworkRow {
-                network: f.str(0),
-                family: f.str(1),
-                gpu: f.str(2),
-                batch: f.num(3)?,
-                flops: f.num(4)?,
-                bytes: f.num(5)?,
-                e2e_seconds: f.num(6)?,
-                gpu_seconds: f.num(7)?,
-                kernel_count: f.num(8)?,
-            })
-        })
+        .map(|(i, l)| parse_network_row(l, i + 2))
         .collect()
 }
 
@@ -232,20 +284,7 @@ fn read_layers(path: &Path) -> Result<Vec<LayerRow>, CsvError> {
     read_lines(path, LAYER_HEADER)?
         .iter()
         .enumerate()
-        .map(|(i, l)| {
-            let f = Fields::new(l, i + 2, 9)?;
-            Ok(LayerRow {
-                network: f.str(0),
-                gpu: f.str(1),
-                batch: f.num(2)?,
-                layer_index: f.num(3)?,
-                layer_type: f.str(4),
-                flops: f.num(5)?,
-                in_elems: f.num(6)?,
-                out_elems: f.num(7)?,
-                seconds: f.num(8)?,
-            })
-        })
+        .map(|(i, l)| parse_layer_row(l, i + 2))
         .collect()
 }
 
@@ -253,21 +292,7 @@ fn read_kernels(path: &Path) -> Result<Vec<KernelRow>, CsvError> {
     read_lines(path, KERNEL_HEADER)?
         .iter()
         .enumerate()
-        .map(|(i, l)| {
-            let f = Fields::new(l, i + 2, 10)?;
-            Ok(KernelRow {
-                network: f.str(0),
-                gpu: f.str(1),
-                batch: f.num(2)?,
-                layer_index: f.num(3)?,
-                layer_type: f.str(4),
-                kernel: f.str(5),
-                in_elems: f.num(6)?,
-                flops: f.num(7)?,
-                out_elems: f.num(8)?,
-                seconds: f.num(9)?,
-            })
-        })
+        .map(|(i, l)| parse_kernel_row(l, i + 2))
         .collect()
 }
 

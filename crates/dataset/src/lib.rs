@@ -23,12 +23,15 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod collect;
 pub mod csv;
 pub mod dataset;
 pub mod record;
 pub mod split;
 
+pub use cache::{CacheStats, CollectMode, DatasetCache};
+pub use collect::CollectOptions;
 pub use dataset::Dataset;
 pub use record::{KernelRow, LayerRow, NetworkRow};
 pub use split::split_names;

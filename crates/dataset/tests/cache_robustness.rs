@@ -1,0 +1,225 @@
+//! Robustness of the on-disk dataset cache.
+//!
+//! A cache entry is untrusted input: it may be truncated by a crashed
+//! writer, corrupted by bit rot, or written by an older format version.
+//! Every such entry must read as a miss — never a panic, never a wrong
+//! dataset — and the engine must fall back to recollection and repair the
+//! entry. Concurrent writers racing on one key must always leave a single
+//! valid entry behind (atomic temp-file + rename).
+
+use dnnperf_data::cache::{dataset_key, CollectMode};
+use dnnperf_data::collect::{collect, collect_opts};
+use dnnperf_data::{CollectOptions, DatasetCache};
+use dnnperf_dnn::{zoo, Network};
+use dnnperf_gpu::{GpuSpec, TimingModel};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn nets() -> Vec<Network> {
+    vec![
+        zoo::mobilenet::mobilenet_v2(0.25, 1.0),
+        zoo::squeezenet::squeezenet(64, 32, 0.125),
+    ]
+}
+
+fn gpu() -> GpuSpec {
+    GpuSpec::by_name("A100").unwrap()
+}
+
+/// A fresh scratch cache directory per test (std-only).
+fn fresh_dir(tag: &str) -> PathBuf {
+    static NONCE: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dnnperf_cache_robust_{tag}_{}_{}",
+        std::process::id(),
+        NONCE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Seeds a cache directory with one valid entry and returns
+/// `(cache, key, entry bytes)`.
+fn seeded(tag: &str) -> (DatasetCache, u64, Vec<u8>) {
+    let dir = fresh_dir(tag);
+    let nets = nets();
+    let gpus = [gpu()];
+    let opts = CollectOptions::serial().cached_at(&dir);
+    let (_, stats) = collect_opts(&nets, &gpus, &[2], &opts);
+    assert_eq!(stats.misses, 1);
+    let cache = DatasetCache::new(&dir);
+    let key = dataset_key(
+        &nets,
+        &gpus,
+        &[2],
+        TimingModel::new().seed(),
+        CollectMode::Inference,
+    );
+    let bytes = std::fs::read(cache.entry_path(key)).unwrap();
+    assert!(cache.load(key).is_some(), "seed entry must be valid");
+    (cache, key, bytes)
+}
+
+#[test]
+fn truncated_entries_read_as_misses() {
+    let (cache, key, bytes) = seeded("trunc");
+    // Chop the file at several points: mid-header, mid-table, and just
+    // before the trailing `end` marker (a whole-table truncation that only
+    // the marker can catch).
+    for keep in [0, 1, 10, bytes.len() / 2, bytes.len() - 5] {
+        std::fs::write(cache.entry_path(key), &bytes[..keep]).unwrap();
+        assert!(
+            cache.load(key).is_none(),
+            "entry truncated to {keep} bytes must be a miss"
+        );
+    }
+}
+
+#[test]
+fn corrupted_entries_read_as_misses() {
+    let (cache, key, bytes) = seeded("corrupt");
+    // Flip a byte in the middle of the numeric payload.
+    let mut garbled = bytes.clone();
+    let mid = garbled.len() / 2;
+    garbled[mid] = b'#';
+    std::fs::write(cache.entry_path(key), &garbled).unwrap();
+    assert!(cache.load(key).is_none(), "garbled entry must be a miss");
+
+    // Pure garbage.
+    std::fs::write(cache.entry_path(key), b"not a cache file at all\n").unwrap();
+    assert!(cache.load(key).is_none(), "garbage entry must be a miss");
+
+    // Non-UTF-8 bytes must not panic the line reader.
+    std::fs::write(cache.entry_path(key), [0xFFu8, 0xFE, 0x00, 0x01]).unwrap();
+    assert!(cache.load(key).is_none(), "binary junk must be a miss");
+}
+
+#[test]
+fn wrong_version_reads_as_miss() {
+    let (cache, key, bytes) = seeded("version");
+    let text = String::from_utf8(bytes).unwrap();
+    let (magic, rest) = text.split_once('\n').unwrap();
+    assert!(magic.contains("v1"), "test assumes a v1 magic line");
+    let stale = format!("{}\n{rest}", magic.replace("v1", "v0"));
+    std::fs::write(cache.entry_path(key), stale).unwrap();
+    assert!(
+        cache.load(key).is_none(),
+        "old-version entry must be a miss"
+    );
+}
+
+#[test]
+fn key_mismatch_reads_as_miss() {
+    let (cache, key, bytes) = seeded("rename");
+    // A valid entry copied under a different key (e.g. a mangled file
+    // rename) must fail the self-describing key check.
+    let other = key ^ 1;
+    std::fs::write(cache.entry_path(other), &bytes).unwrap();
+    assert!(cache.load(other).is_none(), "foreign entry must be a miss");
+    // The original is untouched and still loads.
+    assert!(cache.load(key).is_some());
+}
+
+#[test]
+fn engine_recollects_and_repairs_corrupt_entries() {
+    let (cache, key, bytes) = seeded("repair");
+    let nets = nets();
+    let gpus = [gpu()];
+    let opts = CollectOptions::serial().cached_at(cache.dir());
+    let reference = collect(&nets, &gpus, &[2]);
+
+    // Corrupt the entry, then collect through the engine: it must fall
+    // back to profiling (a miss, not a panic), return the right dataset,
+    // and rewrite the entry in passing.
+    std::fs::write(cache.entry_path(key), &bytes[..bytes.len() / 3]).unwrap();
+    let (ds, stats) = collect_opts(&nets, &gpus, &[2], &opts);
+    assert_eq!((stats.hits, stats.misses), (0, 1));
+    assert!(stats.bytes_written > 0);
+    assert_eq!(ds, reference);
+
+    // The repaired entry is a clean hit again.
+    let (ds, stats) = collect_opts(&nets, &gpus, &[2], &opts);
+    assert_eq!((stats.hits, stats.misses), (1, 0));
+    assert_eq!(ds, reference);
+}
+
+#[test]
+fn unwritable_cache_does_not_fail_collection() {
+    // Point the cache at a path that cannot be a directory (it's a file):
+    // store fails, but collection must still succeed with the right data.
+    let dir = fresh_dir("unwritable");
+    std::fs::create_dir_all(dir.parent().unwrap()).unwrap();
+    std::fs::write(&dir, b"occupied").unwrap();
+    let nets = nets();
+    let gpus = [gpu()];
+    let opts = CollectOptions::serial().cached_at(&dir);
+    let (ds, stats) = collect_opts(&nets, &gpus, &[2], &opts);
+    assert_eq!((stats.hits, stats.misses, stats.bytes_written), (0, 1, 0));
+    assert_eq!(ds, collect(&nets, &gpus, &[2]));
+    let _ = std::fs::remove_file(&dir);
+}
+
+#[test]
+fn concurrent_writers_leave_one_valid_entry() {
+    let dir = fresh_dir("race");
+    let cache = DatasetCache::new(&dir);
+    let nets = nets();
+    let gpus = [gpu()];
+    let ds = collect(&nets, &gpus, &[2]);
+    let key = dataset_key(
+        &nets,
+        &gpus,
+        &[2],
+        TimingModel::new().seed(),
+        CollectMode::Inference,
+    );
+
+    // Many threads race to store the same key; each writes its own
+    // complete temp file and renames it over the entry.
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..4 {
+                    cache.store(key, &ds).expect("store");
+                }
+            });
+        }
+    });
+
+    // Whoever won, the surviving entry is complete and loads the dataset.
+    let (loaded, _) = cache.load(key).expect("entry must be valid after race");
+    assert_eq!(loaded, ds);
+    // No temp litter left behind.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.contains(".tmp."))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files left behind: {leftovers:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn racing_collectors_agree_via_cache() {
+    // Two engine invocations race on a cold cache: both must return the
+    // same (correct) dataset regardless of who wins the store.
+    let dir = fresh_dir("collector_race");
+    let nets = nets();
+    let gpus = [gpu()];
+    let opts = CollectOptions::with_threads(2).cached_at(&dir);
+    let reference = collect(&nets, &gpus, &[2]);
+    let results: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| s.spawn(|| collect_opts(&nets, &gpus, &[2], &opts).0))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for ds in results {
+        assert_eq!(ds, reference);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,11 +7,20 @@
 //! which is what makes a microsecond-latency performance model valuable —
 //! the paper brute-forces the schedule "thanks to the extremely fast
 //! execution".
+//!
+//! The crate also hosts the in-process counterpart: [`pool`], a std-only
+//! work-stealing job pool that the dataset collection engine
+//! (`dnnperf-data`) fans its `(gpu, network, batch)` profiling grid out
+//! over while keeping serial-identical output order. It lives here so the
+//! "schedule work across executors" logic has one home, and because this
+//! crate sits below `dnnperf-data` in the dependency graph.
 
 #![warn(missing_docs)]
 
+pub mod pool;
 pub mod queue;
 
+pub use pool::{run_indexed, StealQueues};
 pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes, Schedule};
 
 /// Picks the GPU index with the lowest predicted time for one job.

@@ -1,6 +1,9 @@
-//! Property-based tests for the scheduling case study.
+//! Property-based tests for the scheduling case study and the
+//! work-stealing pool.
 
-use dnnperf_sched::{best_gpu, brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes};
+use dnnperf_sched::{
+    best_gpu, brute_force_schedule, evaluate_makespan, lpt_schedule, run_indexed, JobTimes,
+};
 use dnnperf_testkit::prelude::*;
 
 fn arb_jobs(max_jobs: usize, gpus: usize) -> impl Gen<Value = Vec<JobTimes>> {
@@ -73,5 +76,14 @@ props! {
         for t in &times {
             prop_assert!(times[g] <= *t);
         }
+    }
+
+    #[test]
+    fn run_indexed_matches_serial_map(jobs in 0usize..40, workers in 1usize..33) {
+        // Work-stealing execution must be observationally identical to a
+        // serial map, for every jobs/workers shape including workers > jobs.
+        let serial: Vec<u64> = (0..jobs).map(|i| (i as u64).wrapping_mul(0x9E37_79B9)).collect();
+        let parallel = run_indexed(jobs, workers, |i| (i as u64).wrapping_mul(0x9E37_79B9));
+        prop_assert_eq!(serial, parallel);
     }
 }
