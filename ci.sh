@@ -24,6 +24,12 @@ echo "==> determinism conformance (forced multi-threading, tmpdir cache)"
 DNNPERF_CACHE_DIR="$(mktemp -d)" \
     cargo test -q --offline -p dnnperf --test determinism -- --test-threads 4
 
+echo "==> fault-injection conformance (forced multi-threading)"
+# The resilience contract — fault-injected collection byte-identical to
+# fault-free, panic isolation, quarantine — must hold under test-level
+# parallelism, not just the serial default.
+cargo test -q --offline -p dnnperf --test fault_injection -- --test-threads 4
+
 echo "==> experiment binaries still build"
 cargo build --offline -p dnnperf-bench --bins
 
@@ -32,6 +38,20 @@ cargo fmt --all -- --check
 
 echo "==> clippy (warnings are errors)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> clippy: no unwrap/expect in resilience-critical crates"
+# The collection engine and the scheduler pool promise panic isolation; a
+# stray unwrap in their non-test code would turn a recoverable fault into
+# a crashed worker. The deny lives as a crate attribute (so plain clippy
+# enforces it); this step pins the attribute in place and re-lints the
+# two lib targets explicitly. (Tests may unwrap freely: cfg_attr(not(test)).)
+for crate in crates/scheduler crates/dataset; do
+    if ! grep -q 'deny(clippy::unwrap_used, clippy::expect_used)' "$crate/src/lib.rs"; then
+        echo "error: $crate/src/lib.rs lost its unwrap/expect deny attribute" >&2
+        exit 1
+    fi
+done
+cargo clippy --offline -p dnnperf-sched -p dnnperf-data --lib -- -D warnings
 
 echo "==> hermetic-dependency check"
 if grep -En '^[^#]*\b(rand|crossbeam|proptest|criterion)\b' Cargo.toml crates/*/Cargo.toml; then

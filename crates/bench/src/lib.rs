@@ -9,10 +9,10 @@
 
 pub mod timer;
 
-use dnnperf_data::collect::{collect_opts, collect_training_opts, TRAIN_BATCH};
-use dnnperf_data::{split::split_dataset, CacheStats, CollectOptions, Dataset};
+use dnnperf_data::collect::{collect_report_opts, collect_training_report_opts, TRAIN_BATCH};
+use dnnperf_data::{split::split_dataset, CollectOptions, CollectReport, Dataset};
 use dnnperf_dnn::{zoo, Network};
-use dnnperf_gpu::{GpuSpec, Profiler};
+use dnnperf_gpu::{FaultPlan, GpuSpec, Profiler};
 use std::collections::HashSet;
 use std::time::Instant;
 
@@ -32,9 +32,15 @@ pub fn banner(id: &str, title: &str) {
 }
 
 /// The collection engine options every experiment binary uses:
-/// environment overrides (`DNNPERF_THREADS`, `DNNPERF_CACHE_DIR`) plus the
-/// `--threads N` / `--cache-dir PATH` command-line flags (also accepted as
-/// `--threads=N` / `--cache-dir=PATH`), with the command line winning.
+/// environment overrides (`DNNPERF_THREADS`, `DNNPERF_CACHE_DIR`,
+/// `DNNPERF_FAULT_RATE`, `DNNPERF_FAULT_SEED`, `DNNPERF_RETRIES`) plus the
+/// command-line flags `--threads N`, `--cache-dir PATH`, `--retries N`,
+/// `--fault-rate F` and `--fault-seed S` (also accepted in `--flag=value`
+/// form), with the command line winning.
+///
+/// `--fault-rate` in `(0, 1]` arms the deterministic transient-only fault
+/// plan (and the ingest outlier screen); `--fault-rate 0` disarms a plan
+/// armed via the environment. `--fault-seed` picks the fault universe.
 pub fn collect_options() -> CollectOptions {
     collect_options_from(std::env::args().skip(1), CollectOptions::from_env())
 }
@@ -46,22 +52,57 @@ pub fn collect_options_from(
     base: CollectOptions,
 ) -> CollectOptions {
     let mut opts = base;
+    let mut fault_rate: Option<f64> = None;
+    let mut fault_seed: Option<u64> = None;
     let mut args = args.into_iter();
     while let Some(arg) = args.next() {
-        if arg == "--threads" {
-            if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
-                opts.threads = v;
+        let mut value_of = |flag: &str| -> Option<String> {
+            if arg == flag {
+                args.next()
+            } else {
+                arg.strip_prefix(flag)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .map(str::to_string)
             }
-        } else if let Some(v) = arg.strip_prefix("--threads=") {
+        };
+        if let Some(v) = value_of("--threads") {
             if let Ok(v) = v.parse() {
                 opts.threads = v;
             }
-        } else if arg == "--cache-dir" {
-            if let Some(v) = args.next() {
-                opts.cache_dir = Some(v.into());
-            }
-        } else if let Some(v) = arg.strip_prefix("--cache-dir=") {
+        } else if let Some(v) = value_of("--cache-dir") {
             opts.cache_dir = Some(v.into());
+        } else if let Some(v) = value_of("--retries") {
+            if let Ok(v) = v.parse() {
+                opts.retries = v;
+            }
+        } else if let Some(v) = value_of("--fault-rate") {
+            if let Ok(v) = v.parse() {
+                fault_rate = Some(v);
+            }
+        } else if let Some(v) = value_of("--fault-seed") {
+            if let Ok(v) = v.parse() {
+                fault_seed = Some(v);
+            }
+        }
+    }
+    // Resolve the fault plan last: rate and seed flags may arrive in any
+    // order and must compose with an environment-armed base plan.
+    match fault_rate {
+        Some(rate) if rate > 0.0 => {
+            let seed = fault_seed
+                .or(opts.fault.as_ref().map(|p| p.seed))
+                .unwrap_or(0xFA17);
+            opts = opts.faulty(FaultPlan::transient_only(seed, rate.min(1.0)));
+        }
+        Some(_) => {
+            // An explicit zero/negative rate disarms faults entirely.
+            opts.fault = None;
+            opts.screen_outliers = false;
+        }
+        None => {
+            if let (Some(seed), Some(plan)) = (fault_seed, opts.fault.as_mut()) {
+                plan.seed = seed;
+            }
         }
     }
     opts
@@ -73,25 +114,34 @@ fn report_collection(
     gpus: usize,
     batches: &[usize],
     ds: &Dataset,
-    stats: &CacheStats,
+    report: &CollectReport,
     t: Instant,
 ) {
     eprintln!(
         "[collect] {what}: {nets} nets x {gpus} gpus x {batches:?}: {} kernel rows | {}",
         ds.kernels.len(),
-        stats.summary(t.elapsed().as_secs_f64())
+        report.summary(t.elapsed().as_secs_f64())
     );
 }
 
-/// Collects a dataset with a progress + cache-stats line (collection is
-/// the slow step), through the shared engine: work-stealing parallelism
-/// across the whole `(gpu, network, batch)` grid and, when a cache
+/// Collects a dataset with a progress + resilience/cache-stats line
+/// (collection is the slow step), through the shared engine: work-stealing
+/// parallelism across the whole `(gpu, network, batch)` grid, bounded
+/// retries with backoff around every grid point and, when a cache
 /// directory is configured, content-addressed memoization that skips
 /// profiling entirely on warm reruns.
 pub fn collect_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
     let t = Instant::now();
-    let (ds, stats) = collect_opts(nets, gpus, batches, &collect_options());
-    report_collection("inference", nets.len(), gpus.len(), batches, &ds, &stats, t);
+    let (ds, report) = collect_report_opts(nets, gpus, batches, &collect_options());
+    report_collection(
+        "inference",
+        nets.len(),
+        gpus.len(),
+        batches,
+        &ds,
+        &report,
+        t,
+    );
     ds
 }
 
@@ -99,8 +149,8 @@ pub fn collect_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) ->
 /// parallelism, same cache (under a distinct cache key space).
 pub fn collect_training_verbose(nets: &[Network], gpus: &[GpuSpec], batches: &[usize]) -> Dataset {
     let t = Instant::now();
-    let (ds, stats) = collect_training_opts(nets, gpus, batches, &collect_options());
-    report_collection("training", nets.len(), gpus.len(), batches, &ds, &stats, t);
+    let (ds, report) = collect_training_report_opts(nets, gpus, batches, &collect_options());
+    report_collection("training", nets.len(), gpus.len(), batches, &ds, &report, t);
     ds
 }
 
@@ -306,6 +356,47 @@ mod tests {
         // Unknown flags and malformed values leave the base untouched.
         let o = collect_options_from(args(&["--verbose", "--threads", "lots"]), base.clone());
         assert_eq!(o, base);
+    }
+
+    #[test]
+    fn fault_flags_arm_and_disarm_plans() {
+        let base = CollectOptions::serial();
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+        // Rate alone arms a transient-only plan (default seed) and the
+        // outlier screen.
+        let o = collect_options_from(args(&["--fault-rate", "0.2"]), base.clone());
+        let plan = o.fault.expect("plan armed");
+        assert_eq!((plan.seed, plan.rate), (0xFA17, 0.2));
+        assert!(plan.kinds.transient && !plan.kinds.panic);
+        assert!(o.screen_outliers);
+
+        // Seed + rate compose in either order.
+        for v in [
+            &["--fault-seed=9", "--fault-rate=0.5"][..],
+            &["--fault-rate=0.5", "--fault-seed=9"][..],
+        ] {
+            let o = collect_options_from(args(v), base.clone());
+            let plan = o.fault.expect("plan armed");
+            assert_eq!((plan.seed, plan.rate), (9, 0.5));
+        }
+
+        // Seed alone re-seeds an environment-armed base plan.
+        let armed = base.clone().faulty(FaultPlan::transient_only(1, 0.3));
+        let o = collect_options_from(args(&["--fault-seed", "7"]), armed.clone());
+        assert_eq!(o.fault.expect("still armed").seed, 7);
+
+        // An explicit zero rate disarms it.
+        let o = collect_options_from(args(&["--fault-rate", "0"]), armed);
+        assert!(o.fault.is_none() && !o.screen_outliers);
+
+        // Retries flag.
+        let o = collect_options_from(args(&["--retries=5"]), base.clone());
+        assert_eq!(o.retries, 5);
+
+        // Rates above 1 clamp.
+        let o = collect_options_from(args(&["--fault-rate", "3.0"]), base);
+        assert_eq!(o.fault.expect("plan armed").rate, 1.0);
     }
 
     #[test]

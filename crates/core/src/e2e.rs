@@ -5,7 +5,7 @@ use crate::error::{PredictError, TrainError};
 use crate::model::Predictor;
 use dnnperf_data::Dataset;
 use dnnperf_dnn::Network;
-use dnnperf_linreg::{fit_bounded_intercept, Fit};
+use dnnperf_linreg::{fit_bounded_intercept_with, Estimator, Fit};
 
 /// The simplest paper model: `time = a * total_FLOPs + b`, trained on
 /// network-level measurements of one GPU.
@@ -43,6 +43,22 @@ impl E2eModel {
     /// # }
     /// ```
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
+        E2eModel::train_with(dataset, gpu, Estimator::Ols)
+    }
+
+    /// Trains with an explicit regression estimator: [`Estimator::Ols`] is
+    /// the paper's least-squares fit; [`Estimator::Huber`] bounds the
+    /// influence of corrupted measurements that survived collection
+    /// hygiene (robustness ablation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`E2eModel::train`].
+    pub fn train_with(
+        dataset: &Dataset,
+        gpu: &str,
+        estimator: Estimator,
+    ) -> Result<Self, TrainError> {
         let rows: Vec<_> = dataset.networks.iter().filter(|r| &*r.gpu == gpu).collect();
         if rows.is_empty() {
             return Err(TrainError::NoDataForGpu {
@@ -51,10 +67,11 @@ impl E2eModel {
         }
         let xs: Vec<f64> = rows.iter().map(|r| r.flops as f64).collect();
         let ys: Vec<f64> = rows.iter().map(|r| r.e2e_seconds).collect();
-        let fit = fit_bounded_intercept(&xs, &ys).map_err(|source| TrainError::Fit {
-            what: format!("E2E model for {gpu}"),
-            source,
-        })?;
+        let fit =
+            fit_bounded_intercept_with(estimator, &xs, &ys).map_err(|source| TrainError::Fit {
+                what: format!("E2E model for {gpu}"),
+                source,
+            })?;
         Ok(E2eModel {
             gpu: gpu.to_string(),
             fit,
@@ -110,9 +127,7 @@ impl Predictor for E2eModel {
     }
 
     fn predict_network(&self, net: &Network, batch: usize) -> Result<f64, PredictError> {
-        if batch == 0 {
-            return Err(PredictError::ZeroBatch);
-        }
+        crate::error::validate_request(net, batch)?;
         let flops = net.total_flops() as f64 * batch as f64;
         Ok(self.fit.predict(flops).max(0.0))
     }

@@ -67,6 +67,32 @@ pub enum PredictError {
     },
     /// A batch size of zero was requested.
     ZeroBatch,
+    /// A prediction was requested for a network with no layers.
+    EmptyNetwork {
+        /// The network's name.
+        network: String,
+    },
+}
+
+/// Validates a prediction request at the model boundary: batch must be
+/// positive and the network must have at least one layer.
+///
+/// # Errors
+///
+/// Returns [`PredictError::ZeroBatch`] or [`PredictError::EmptyNetwork`].
+pub(crate) fn validate_request(
+    net: &dnnperf_dnn::Network,
+    batch: usize,
+) -> Result<(), PredictError> {
+    if batch == 0 {
+        return Err(PredictError::ZeroBatch);
+    }
+    if net.layers().is_empty() {
+        return Err(PredictError::EmptyNetwork {
+            network: net.name().to_string(),
+        });
+    }
+    Ok(())
 }
 
 impl fmt::Display for PredictError {
@@ -82,6 +108,9 @@ impl fmt::Display for PredictError {
                 )
             }
             PredictError::ZeroBatch => write!(f, "batch size must be positive"),
+            PredictError::EmptyNetwork { network } => {
+                write!(f, "network {network:?} has no layers to predict")
+            }
         }
     }
 }
@@ -104,5 +133,9 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e = PredictError::NoKernelMapping { tag: "conv".into() };
         assert!(e.to_string().contains("conv"));
+        let e = PredictError::EmptyNetwork {
+            network: "Ghost".into(),
+        };
+        assert!(e.to_string().contains("Ghost"));
     }
 }

@@ -336,7 +336,8 @@ impl IgkwModel {
     ///
     /// # Errors
     ///
-    /// Returns [`PredictError::ZeroBatch`] for a zero batch size.
+    /// Returns [`PredictError::ZeroBatch`] for a zero batch size and
+    /// [`PredictError::EmptyNetwork`] for a network without layers.
     ///
     /// # Examples
     ///
@@ -367,9 +368,7 @@ impl IgkwModel {
         batch: usize,
         gpu: &GpuSpec,
     ) -> Result<f64, PredictError> {
-        if batch == 0 {
-            return Err(PredictError::ZeroBatch);
-        }
+        crate::error::validate_request(net, batch)?;
         Ok(net
             .layers()
             .iter()

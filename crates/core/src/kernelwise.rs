@@ -18,6 +18,44 @@ use dnnperf_dnn::{Layer, Network};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+/// How much of a layer's kernel work the KW model can actually price.
+///
+/// [`KwModel::predict_layer`] silently treats missing information as zero
+/// cost; the coverage-aware variant reports what was missing so callers
+/// (the graceful-degradation ladder of [`crate::degrade`]) can substitute a
+/// coarser model instead of undershooting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LayerCoverage {
+    /// Every mapped kernel has a cluster regression; `seconds` is the full
+    /// KW prediction.
+    Full(f64),
+    /// The layer maps to kernels but some lack cluster regressions; the
+    /// priced subtotal and the unpriced kernel symbols are reported.
+    Partial {
+        /// Sum of the regressions that *do* exist.
+        seconds: f64,
+        /// Kernel symbols with no cluster model.
+        missing: Vec<Arc<str>>,
+    },
+    /// The mapping table has no entry for this layer signature at all.
+    Unmapped,
+}
+
+impl LayerCoverage {
+    /// The priced seconds, whatever the coverage (0.0 when unmapped).
+    pub fn seconds(&self) -> f64 {
+        match self {
+            LayerCoverage::Full(s) | LayerCoverage::Partial { seconds: s, .. } => *s,
+            LayerCoverage::Unmapped => 0.0,
+        }
+    }
+
+    /// Whether the KW model fully covered the layer.
+    pub fn is_full(&self) -> bool {
+        matches!(self, LayerCoverage::Full(_))
+    }
+}
+
 /// The Kernel-Wise model for one GPU.
 #[derive(Debug, Clone, PartialEq)]
 pub struct KwModel {
@@ -252,10 +290,22 @@ impl KwModel {
     }
 
     /// Predicts the time of a single layer at `batch`, in seconds.
+    ///
+    /// Missing coverage (unmapped layers, kernels without cluster models)
+    /// silently contributes zero; use [`KwModel::predict_layer_coverage`]
+    /// when the caller needs to know what was skipped.
     pub fn predict_layer(&self, layer: &Layer, batch: usize) -> f64 {
+        self.predict_layer_coverage(layer, batch).seconds()
+    }
+
+    /// Predicts the time of a single layer at `batch` and reports how much
+    /// of the layer's kernel work was actually priced.
+    pub fn predict_layer_coverage(&self, layer: &Layer, batch: usize) -> LayerCoverage {
         let Some(kernels) = self.map.kernels_for(layer) else {
-            // Layer type never recorded => launches no kernels.
-            return 0.0;
+            // Layer type never recorded: either it launches no kernels
+            // (flatten) or it is genuinely outside the training set. The
+            // caller decides which via [`LayerCoverage::Unmapped`].
+            return LayerCoverage::Unmapped;
         };
         let n = batch as f64;
         let drivers = [
@@ -263,11 +313,21 @@ impl KwModel {
             layer_flops(layer) as f64 * n,
             layer.output.elems() as f64 * n,
         ];
-        kernels
-            .iter()
-            .filter_map(|k| self.clustering.model_for(k))
-            .map(|(driver, fit)| fit.predict(drivers[driver.index()]).max(0.0))
-            .sum()
+        let mut seconds = 0.0;
+        let mut missing = Vec::new();
+        for k in kernels {
+            match self.clustering.model_for(k) {
+                Some((driver, fit)) => {
+                    seconds += fit.predict(drivers[driver.index()]).max(0.0);
+                }
+                None => missing.push(k.clone()),
+            }
+        }
+        if missing.is_empty() {
+            LayerCoverage::Full(seconds)
+        } else {
+            LayerCoverage::Partial { seconds, missing }
+        }
     }
 }
 
@@ -281,9 +341,7 @@ impl Predictor for KwModel {
     }
 
     fn predict_network(&self, net: &Network, batch: usize) -> Result<f64, PredictError> {
-        if batch == 0 {
-            return Err(PredictError::ZeroBatch);
-        }
+        crate::error::validate_request(net, batch)?;
         Ok(net
             .layers()
             .iter()

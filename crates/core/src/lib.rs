@@ -40,6 +40,7 @@
 
 pub mod classify;
 pub mod cluster;
+pub mod degrade;
 pub mod e2e;
 pub mod error;
 pub mod intergpu;
@@ -53,10 +54,11 @@ pub mod workflow;
 
 pub use classify::{classify_kernels, Driver, KernelClassification};
 pub use cluster::{cluster_kernels, Clustering};
+pub use degrade::{Degradation, GracefulPrediction};
 pub use e2e::E2eModel;
 pub use error::{PredictError, TrainError};
 pub use intergpu::IgkwModel;
-pub use kernelwise::KwModel;
+pub use kernelwise::{KwModel, LayerCoverage};
 pub use layerwise::LwModel;
 pub use mapping::{KernelMap, LayerSignature};
 pub use model::Predictor;

@@ -60,6 +60,27 @@ impl Workflow {
         })
     }
 
+    /// Trains the suite with an explicit regression estimator for the E2E
+    /// and LW models ([`dnnperf_linreg::Estimator::Huber`] bounds the
+    /// influence of corrupted measurements that survived collection
+    /// hygiene). The KW model's clustered per-kernel fits keep the paper's
+    /// least-squares estimator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainError`] from the individual models.
+    pub fn train_with(
+        dataset: &Dataset,
+        gpu: &str,
+        estimator: dnnperf_linreg::Estimator,
+    ) -> Result<Self, TrainError> {
+        Ok(Workflow {
+            e2e: E2eModel::train_with(dataset, gpu, estimator)?,
+            lw: LwModel::train_with(dataset, gpu, estimator)?,
+            kw: KwModel::train(dataset, gpu)?,
+        })
+    }
+
     /// The three models as trait objects, in increasing complexity order.
     pub fn models(&self) -> [&dyn Predictor; 3] {
         [&self.e2e, &self.lw, &self.kw]

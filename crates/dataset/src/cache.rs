@@ -161,6 +161,11 @@ pub struct CacheStats {
     /// Requests that had to profile (no entry, stale, or caching disabled
     /// counts as neither).
     pub misses: u64,
+    /// Entries that existed but were malformed, truncated, stale (format
+    /// version skew) or stored under a mismatched key. These recollect
+    /// like misses, but are surfaced separately: a corrupt entry means
+    /// something damaged the cache, which silence would hide.
+    pub corrupt: u64,
     /// Bytes read from cache entries.
     pub bytes_read: u64,
     /// Bytes written into new cache entries.
@@ -172,19 +177,21 @@ impl CacheStats {
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
+        self.corrupt += other.corrupt;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
     }
 
     /// The one-line per-run summary experiments print:
-    /// `cache: 1 hit, 0 misses, 1234567 B read, 0 B written, 0.52s wall`.
+    /// `cache: 1 hit, 0 misses, 0 corrupt, 1234567 B read, 0 B written, 0.52s wall`.
     pub fn summary(&self, wall_seconds: f64) -> String {
         format!(
-            "cache: {} hit{}, {} miss{}, {} B read, {} B written, {:.2}s wall",
+            "cache: {} hit{}, {} miss{}, {} corrupt, {} B read, {} B written, {:.2}s wall",
             self.hits,
             if self.hits == 1 { "" } else { "s" },
             self.misses,
             if self.misses == 1 { "" } else { "es" },
+            self.corrupt,
             self.bytes_read,
             self.bytes_written,
             wall_seconds
@@ -196,10 +203,22 @@ impl fmt::Display for CacheStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "cache: {} hits, {} misses, {} B read, {} B written",
-            self.hits, self.misses, self.bytes_read, self.bytes_written
+            "cache: {} hits, {} misses, {} corrupt, {} B read, {} B written",
+            self.hits, self.misses, self.corrupt, self.bytes_read, self.bytes_written
         )
     }
+}
+
+/// Outcome of a classified cache probe (see [`DatasetCache::lookup`]).
+#[derive(Debug)]
+pub enum CacheLookup {
+    /// A valid entry: the dataset and the entry's size in bytes.
+    Hit(Dataset, u64),
+    /// No entry file exists for the key.
+    Miss,
+    /// An entry file exists but is malformed, truncated, version-skewed or
+    /// stored under a mismatched key; it will be overwritten on store.
+    Corrupt,
 }
 
 /// Process-wide nonce so concurrent writers in one process never share a
@@ -233,10 +252,42 @@ impl DatasetCache {
     /// size in bytes. Returns `None` — never panics, never errors — when
     /// the entry is absent, truncated, corrupted, from a different format
     /// version, or stored under a mismatched key: all of those mean
-    /// "recollect".
+    /// "recollect". Use [`DatasetCache::lookup`] to distinguish an absent
+    /// entry from a damaged one.
     pub fn load(&self, key: u64) -> Option<(Dataset, u64)> {
+        match self.lookup(key) {
+            CacheLookup::Hit(ds, bytes) => Some((ds, bytes)),
+            CacheLookup::Miss | CacheLookup::Corrupt => None,
+        }
+    }
+
+    /// Probes the entry for `key`, classifying the result: a clean
+    /// [`CacheLookup::Hit`], a plain [`CacheLookup::Miss`] (no entry
+    /// file), or [`CacheLookup::Corrupt`] (an entry file exists but cannot
+    /// be trusted). Corrupt covers truncation, damaged rows, format
+    /// version skew and key mismatch — everything that previously read
+    /// silently as a miss.
+    pub fn lookup(&self, key: u64) -> CacheLookup {
         let path = self.entry_path(key);
-        let file = std::fs::File::open(&path).ok()?;
+        let file = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            // An unopenable file only counts as corrupt if it exists.
+            Err(_) => {
+                return if path.exists() {
+                    CacheLookup::Corrupt
+                } else {
+                    CacheLookup::Miss
+                };
+            }
+        };
+        match self.parse_entry(file, key) {
+            Some((ds, bytes)) => CacheLookup::Hit(ds, bytes),
+            None => CacheLookup::Corrupt,
+        }
+    }
+
+    /// Parses one opened entry file; `None` on any damage.
+    fn parse_entry(&self, file: std::fs::File, key: u64) -> Option<(Dataset, u64)> {
         let bytes = file.metadata().ok()?.len();
         let mut lines = BufReader::new(file).lines();
         let mut next = || lines.next()?.ok();
@@ -440,13 +491,33 @@ mod tests {
         let s = CacheStats {
             hits: 1,
             misses: 0,
+            corrupt: 2,
             bytes_read: 10,
             bytes_written: 0,
         };
         let line = s.summary(0.5);
         assert!(line.contains("1 hit,"), "{line}");
         assert!(line.contains("0 misses"), "{line}");
+        assert!(line.contains("2 corrupt"), "{line}");
         assert!(line.contains("10 B read"), "{line}");
         assert!(line.contains("0.50s wall"), "{line}");
+    }
+
+    #[test]
+    fn lookup_classifies_miss_vs_corrupt() {
+        let cache = DatasetCache::new(tmp("lookup_classify"));
+        // Absent entry: a plain miss.
+        assert!(matches!(cache.lookup(3), CacheLookup::Miss));
+        // Damaged entry: corrupt, not a silent miss.
+        let ds = small_dataset();
+        cache.store(3, &ds).unwrap();
+        assert!(matches!(cache.lookup(3), CacheLookup::Hit(..)));
+        std::fs::write(cache.entry_path(3), b"dnnperf-dataset-cache v1\ngarbage\n").unwrap();
+        assert!(matches!(cache.lookup(3), CacheLookup::Corrupt));
+        // Key mismatch also classifies as corrupt.
+        cache.store(4, &ds).unwrap();
+        std::fs::copy(cache.entry_path(4), cache.entry_path(5)).unwrap();
+        assert!(matches!(cache.lookup(5), CacheLookup::Corrupt));
+        let _ = std::fs::remove_dir_all(cache.dir());
     }
 }

@@ -16,11 +16,14 @@
 //! re-profiled.
 
 pub use crate::cache::CollectMode;
-use crate::cache::{dataset_key, CacheStats, DatasetCache};
+use crate::cache::{dataset_key, CacheLookup, CacheStats, DatasetCache, Fnv};
 use crate::dataset::Dataset;
+use crate::hygiene;
 use crate::record::{KernelRow, LayerRow, NetworkRow};
 use dnnperf_dnn::Network;
-use dnnperf_gpu::{GpuSpec, ProfileError, Profiler, TimingModel, Trace};
+use dnnperf_gpu::hashrng::hash_with;
+use dnnperf_gpu::{FaultPlan, FaultyProfiler, GpuSpec, ProfileError, Profiler, TimingModel, Trace};
+use dnnperf_sched::retry::{retry_with_backoff, Backoff, RetryClass, RetryPolicy, SystemClock};
 use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Instant;
@@ -74,10 +77,15 @@ pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, V
     (row, layers, kernels)
 }
 
+/// Default bounded retries per grid point. Matches the default
+/// [`FaultPlan::max_faulty_attempts`], so a transient-only fault plan can
+/// always be retried through to its guaranteed-clean attempt.
+pub const DEFAULT_RETRIES: u32 = 3;
+
 /// Shared knobs of the collection engine, threaded from the experiment
 /// binaries (and `DNNPERF_*` environment overrides) down to every
 /// collection call.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CollectOptions {
     /// Worker threads for the profiling grid. `0` means "auto": use
     /// [`std::thread::available_parallelism`]. `1` disables threading.
@@ -85,6 +93,29 @@ pub struct CollectOptions {
     /// Root directory of the content-addressed dataset cache; `None`
     /// disables caching.
     pub cache_dir: Option<PathBuf>,
+    /// Bounded retries per grid point for transient failures, corrupted
+    /// measurements and straggler attempts. Irrelevant without a fault
+    /// plan: the clean simulator never fails transiently.
+    pub retries: u32,
+    /// Deterministic fault plan for fault-injection experiments; `None`
+    /// (the default) profiles on the clean simulator.
+    pub fault: Option<FaultPlan>,
+    /// MAD-based outlier quarantine at ingest (see
+    /// [`crate::hygiene::quarantine_scale_outliers`]). Enabled by the
+    /// fault builders; clean data passes the screen byte-identically.
+    pub screen_outliers: bool,
+}
+
+impl Default for CollectOptions {
+    fn default() -> Self {
+        CollectOptions {
+            threads: 0,
+            cache_dir: None,
+            retries: DEFAULT_RETRIES,
+            fault: None,
+            screen_outliers: false,
+        }
+    }
 }
 
 impl CollectOptions {
@@ -92,7 +123,7 @@ impl CollectOptions {
     pub fn serial() -> Self {
         CollectOptions {
             threads: 1,
-            cache_dir: None,
+            ..CollectOptions::default()
         }
     }
 
@@ -100,14 +131,19 @@ impl CollectOptions {
     pub fn with_threads(threads: usize) -> Self {
         CollectOptions {
             threads,
-            cache_dir: None,
+            ..CollectOptions::default()
         }
     }
 
-    /// Options from the environment: `DNNPERF_THREADS` (worker count; any
-    /// unparsable or zero value means auto) and `DNNPERF_CACHE_DIR` (cache
-    /// root; unset or empty disables caching). Auto threading when
-    /// `DNNPERF_THREADS` is unset.
+    /// Options from the environment:
+    ///
+    /// * `DNNPERF_THREADS` — worker count; unparsable or zero means auto;
+    /// * `DNNPERF_CACHE_DIR` — cache root; unset or empty disables caching;
+    /// * `DNNPERF_FAULT_RATE` — per-attempt fault probability; any value
+    ///   in `(0, 1]` arms a transient-only fault plan (and the outlier
+    ///   screen);
+    /// * `DNNPERF_FAULT_SEED` — fault-universe seed (default `0xFA17`);
+    /// * `DNNPERF_RETRIES` — bounded retries per grid point (default 3).
     pub fn from_env() -> Self {
         let threads = std::env::var("DNNPERF_THREADS")
             .ok()
@@ -117,12 +153,48 @@ impl CollectOptions {
             .ok()
             .filter(|v| !v.is_empty())
             .map(PathBuf::from);
-        CollectOptions { threads, cache_dir }
+        let retries = std::env::var("DNNPERF_RETRIES")
+            .ok()
+            .and_then(|v| v.parse::<u32>().ok())
+            .unwrap_or(DEFAULT_RETRIES);
+        let rate = std::env::var("DNNPERF_FAULT_RATE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.0);
+        let fault = (rate > 0.0).then(|| {
+            let seed = std::env::var("DNNPERF_FAULT_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or(0xFA17);
+            FaultPlan::transient_only(seed, rate.min(1.0))
+        });
+        CollectOptions {
+            threads,
+            cache_dir,
+            retries,
+            screen_outliers: fault.is_some(),
+            fault,
+        }
     }
 
     /// Returns a copy with the cache rooted at `dir`.
     pub fn cached_at(mut self, dir: impl Into<PathBuf>) -> Self {
         self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Returns a copy measuring through `plan`'s fault universe, with the
+    /// outlier screen armed (corrupted measurements that survive retries
+    /// must not reach training).
+    pub fn faulty(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self.screen_outliers = true;
+        self
+    }
+
+    /// Returns a copy with the per-point retry budget set to `retries`.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
         self
     }
 
@@ -137,72 +209,344 @@ impl CollectOptions {
     }
 }
 
-/// One grid point's rows, `None` when the run was dropped (out of memory —
-/// the paper's cleaning of fail-to-execute experiments).
-type GridRows = Option<(NetworkRow, Vec<LayerRow>, Vec<KernelRow>)>;
+/// Structured outcome accounting of one collection run: what profiled
+/// cleanly, what was retried or re-dispatched, what was quarantined, and
+/// what was lost — plus the run's cache traffic. One poisoned grid point
+/// shows up here instead of killing the campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CollectReport {
+    /// Grid points that yielded usable rows.
+    pub ok: u64,
+    /// Grid points skipped because the run does not fit in device memory
+    /// (the paper's fail-to-execute cleaning).
+    pub oom_skipped: u64,
+    /// Grid points rejected at the profile boundary (zero batch, empty
+    /// network).
+    pub invalid_requests: u64,
+    /// Total retry attempts performed across all grid points.
+    pub retried: u64,
+    /// Grid points that failed at least once but eventually succeeded.
+    pub recovered: u64,
+    /// Attempts discarded and re-dispatched for exceeding the straggler
+    /// threshold.
+    pub stragglers: u64,
+    /// Attempts rejected for invalid times (NaN/Inf/non-positive).
+    pub corrupt_measurements: u64,
+    /// Experiments removed by the MAD-based outlier quarantine.
+    pub quarantined: u64,
+    /// Grid points whose job panicked (isolated; only that point is lost).
+    pub panicked: u64,
+    /// Grid points with no usable measurement after the retry budget
+    /// (includes panicked points).
+    pub dropped: u64,
+    /// The run's cache traffic.
+    pub cache: CacheStats,
+}
 
-/// Profiles one `(gpu, network, batch)` grid point.
+impl CollectReport {
+    /// A report for a run fully served from cache.
+    fn from_cache(cache: CacheStats) -> Self {
+        CollectReport {
+            cache,
+            ..CollectReport::default()
+        }
+    }
+
+    /// Whether every grid point produced its measurement without faults,
+    /// retries or losses.
+    pub fn is_clean(&self) -> bool {
+        self.retried == 0
+            && self.recovered == 0
+            && self.stragglers == 0
+            && self.corrupt_measurements == 0
+            && self.quarantined == 0
+            && self.panicked == 0
+            && self.dropped == 0
+            && self.invalid_requests == 0
+    }
+
+    /// The one-line per-run summary experiments print, extending the
+    /// cache-stats line with the resilience counters.
+    pub fn summary(&self, wall_seconds: f64) -> String {
+        format!(
+            "collect: {} ok, {} oom-skipped, {} invalid, {} retried, {} recovered, {} stragglers, {} corrupt-meas, {} quarantined, {} panicked, {} dropped | {}",
+            self.ok,
+            self.oom_skipped,
+            self.invalid_requests,
+            self.retried,
+            self.recovered,
+            self.stragglers,
+            self.corrupt_measurements,
+            self.quarantined,
+            self.panicked,
+            self.dropped,
+            self.cache.summary(wall_seconds)
+        )
+    }
+}
+
+/// One grid point's usable rows.
+type GridRows = (NetworkRow, Vec<LayerRow>, Vec<KernelRow>);
+
+/// How one grid point ended.
+enum PointOutcome {
+    /// A usable measurement.
+    Rows(Box<GridRows>),
+    /// Skipped: does not fit in device memory (the paper's cleaning of
+    /// fail-to-execute experiments).
+    OomSkipped,
+    /// Rejected at the profile boundary (zero batch / empty network).
+    InvalidRequest,
+    /// No usable measurement within the retry budget.
+    Dropped,
+}
+
+/// Per-point resilience counters, folded into the [`CollectReport`].
+#[derive(Default)]
+struct PointStats {
+    retried: u64,
+    recovered: u64,
+    stragglers: u64,
+    corrupt: u64,
+}
+
+/// Profiles one `(gpu, network, batch)` grid point on the clean simulator
+/// — the zero-overhead fast path taken when no fault plan is armed.
 fn profile_point(
     gpu: &GpuSpec,
     net: &Network,
     batch: usize,
     timing: &TimingModel,
     mode: CollectMode,
-) -> GridRows {
+) -> PointOutcome {
     let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
     let result = match mode {
         CollectMode::Inference => profiler.profile(net, batch),
         CollectMode::Training => profiler.profile_training(net, batch),
     };
     match result {
-        Ok(trace) => Some(trace_rows(&trace, net)),
-        // Fail-to-execute experiments are dropped, as in the paper's
-        // cleaning step.
-        Err(ProfileError::OutOfMemory { .. }) => None,
+        Ok(trace) => PointOutcome::Rows(Box::new(trace_rows(&trace, net))),
+        Err(ProfileError::OutOfMemory { .. }) => PointOutcome::OomSkipped,
+        Err(ProfileError::ZeroBatch { .. } | ProfileError::EmptyNetwork { .. }) => {
+            PointOutcome::InvalidRequest
+        }
+        // The clean simulator never fails transiently; if it ever does,
+        // losing the point (not the campaign) is the right degradation.
+        Err(ProfileError::Transient { .. }) => PointOutcome::Dropped,
     }
 }
 
-/// Runs the full profiling grid on `threads` work-stealing workers and
-/// stitches the rows back in serial `(gpu, network, batch)` order.
+/// How one profiling attempt failed (drives the retry classification).
+enum AttemptError {
+    Oom,
+    Invalid,
+    Transient,
+    /// A replicate was unwholesome (NaN/Inf/non-positive time): nothing
+    /// usable came out of the attempt.
+    Corrupt,
+    /// The two replicates disagreed byte-for-byte: a silent (finite)
+    /// corruption was detected statistically. The first replicate is
+    /// carried so an exhausted retry budget can still ingest it — the
+    /// scale-outlier screen quarantines whatever damage survives.
+    Disagree(Box<Trace>),
+    /// The attempt succeeded but exceeded the straggler threshold; the
+    /// trace is carried so the run can still be accepted when the retry
+    /// budget runs out (a slow valid measurement beats no measurement).
+    Slow(Box<Trace>),
+}
+
+/// Profiles one grid point through a fault plan with bounded retries,
+/// exponential backoff, straggler re-dispatch and measurement validity
+/// screening.
+///
+/// Every attempt takes **two replicate measurements** (fault-stream
+/// indices `2k` and `2k + 1` for retry attempt `k`) and accepts only when
+/// they agree byte-for-byte. Validity screening catches NaN/Inf/negative
+/// corruption per trace; replicate agreement catches the *silent* finite
+/// corruptions (scale outliers) that no per-trace check can see. The
+/// profiler is deterministic, so clean replicates always agree — any
+/// disagreement proves one replicate is damaged and the attempt retries
+/// on a fresh fault draw.
+fn profile_point_resilient(
+    gpu: &GpuSpec,
+    net: &Network,
+    batch: usize,
+    timing: &TimingModel,
+    mode: CollectMode,
+    plan: &FaultPlan,
+    retries: u32,
+) -> (PointOutcome, PointStats) {
+    let mut st = PointStats::default();
+    let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
+    let faulty = FaultyProfiler::new(profiler, plan.clone());
+    // An attempt slower than this is discarded and re-dispatched while
+    // retries remain. Injected stragglers sleep the full delay, clean
+    // simulated profiles finish in microseconds, so 60% of the delay
+    // separates the two without false positives.
+    let straggler_limit = plan.straggler_delay.mul_f64(0.6);
+    let policy = RetryPolicy {
+        max_retries: retries,
+        backoff: Backoff::fast(
+            plan.seed ^ hash_with(net.name(), batch as u64) ^ hash_with(&gpu.name, 0x0B0FF),
+        ),
+    };
+    let outcome = retry_with_backoff(
+        &policy,
+        &SystemClock,
+        |e: &AttemptError| match e {
+            // The workload itself is infeasible or malformed: no retry
+            // can change that.
+            AttemptError::Oom | AttemptError::Invalid => RetryClass::Permanent,
+            AttemptError::Transient
+            | AttemptError::Corrupt
+            | AttemptError::Disagree(_)
+            | AttemptError::Slow(_) => RetryClass::Retriable,
+        },
+        |attempt| {
+            let t0 = Instant::now();
+            let run = |sub: u32| -> Result<Trace, AttemptError> {
+                let result = match mode {
+                    CollectMode::Inference => faulty.profile_attempt(net, batch, 2 * attempt + sub),
+                    CollectMode::Training => {
+                        faulty.profile_training_attempt(net, batch, 2 * attempt + sub)
+                    }
+                };
+                match result {
+                    Ok(trace) => Ok(trace),
+                    Err(ProfileError::Transient { .. }) => Err(AttemptError::Transient),
+                    Err(ProfileError::OutOfMemory { .. }) => Err(AttemptError::Oom),
+                    Err(ProfileError::ZeroBatch { .. } | ProfileError::EmptyNetwork { .. }) => {
+                        Err(AttemptError::Invalid)
+                    }
+                }
+            };
+            let first = run(0)?;
+            let second = run(1)?;
+            if !hygiene::trace_is_wholesome(&first) || !hygiene::trace_is_wholesome(&second) {
+                // NaN/Inf/non-positive times: detectable per trace, so
+                // reject at the boundary and retry.
+                st.corrupt += 1;
+                Err(AttemptError::Corrupt)
+            } else if first != second {
+                // Both replicates are individually plausible but they
+                // disagree: a silent corruption (scale outlier) hit one of
+                // them. Detected statistically, retried like any corrupt
+                // measurement.
+                st.corrupt += 1;
+                Err(AttemptError::Disagree(Box::new(first)))
+            } else if t0.elapsed() >= straggler_limit {
+                st.stragglers += 1;
+                Err(AttemptError::Slow(Box::new(first)))
+            } else {
+                Ok(first)
+            }
+        },
+    );
+    st.retried += u64::from(outcome.retries());
+    let recovered = outcome.attempts > 1;
+    match outcome.result {
+        Ok(trace) => {
+            st.recovered += u64::from(recovered);
+            (PointOutcome::Rows(Box::new(trace_rows(&trace, net))), st)
+        }
+        // Every retry straggled, but the measurement itself is valid (an
+        // injected straggler delays, it does not damage — and the
+        // replicates agreed, so the trace is verified clean): accept the
+        // last trace rather than losing the point.
+        Err(AttemptError::Slow(trace)) => {
+            st.recovered += u64::from(recovered);
+            (PointOutcome::Rows(Box::new(trace_rows(&trace, net))), st)
+        }
+        // The budget ran out with the replicates still disagreeing: ingest
+        // the first replicate anyway — it is finite and plausible, and the
+        // scale-outlier screen downstream quarantines it if it carries the
+        // damage. Better a quarantinable row than a silently lost point.
+        Err(AttemptError::Disagree(trace)) => {
+            (PointOutcome::Rows(Box::new(trace_rows(&trace, net))), st)
+        }
+        Err(AttemptError::Oom) => (PointOutcome::OomSkipped, st),
+        Err(AttemptError::Invalid) => (PointOutcome::InvalidRequest, st),
+        Err(AttemptError::Transient | AttemptError::Corrupt) => (PointOutcome::Dropped, st),
+    }
+}
+
+/// Runs the full profiling grid on work-stealing workers with per-job
+/// panic isolation, stitching rows back in serial `(gpu, network, batch)`
+/// order and folding per-point accounting into a [`CollectReport`].
 fn run_grid(
     nets: &[Network],
     gpus: &[GpuSpec],
     batches: &[usize],
     timing: &TimingModel,
     mode: CollectMode,
-    threads: usize,
-) -> Dataset {
+    opts: &CollectOptions,
+) -> (Dataset, CollectReport) {
+    let threads = opts.effective_threads();
     assert!(threads > 0, "need at least one worker thread");
     let per_gpu = nets.len() * batches.len();
     let jobs = gpus.len() * per_gpu;
     let mut ds = Dataset::new();
+    let mut report = CollectReport::default();
     if jobs == 0 {
-        return ds;
+        return (ds, report);
     }
-    let point = |i: usize| {
+    let point = |i: usize| -> (PointOutcome, PointStats) {
         let gpu = &gpus[i / per_gpu];
         let rest = i % per_gpu;
         let net = &nets[rest / batches.len()];
         let batch = batches[rest % batches.len()];
-        profile_point(gpu, net, batch, timing, mode)
+        match &opts.fault {
+            None => (
+                profile_point(gpu, net, batch, timing, mode),
+                PointStats::default(),
+            ),
+            Some(plan) => {
+                profile_point_resilient(gpu, net, batch, timing, mode, plan, opts.retries)
+            }
+        }
     };
-    let results: Vec<GridRows> = if threads == 1 {
-        (0..jobs).map(point).collect()
-    } else {
-        dnnperf_sched::run_indexed(jobs, threads, point)
-    };
-    for (n, l, k) in results.into_iter().flatten() {
-        ds.networks.push(n);
-        ds.layers.extend(l);
-        ds.kernels.extend(k);
+    // Every job is individually catch_unwind-isolated: one poisoned grid
+    // point loses that point only, never the campaign.
+    for result in dnnperf_sched::run_indexed_catching(jobs, threads, point) {
+        match result {
+            Ok((outcome, st)) => {
+                report.retried += st.retried;
+                report.recovered += st.recovered;
+                report.stragglers += st.stragglers;
+                report.corrupt_measurements += st.corrupt;
+                match outcome {
+                    PointOutcome::Rows(rows) => {
+                        let (n, l, k) = *rows;
+                        report.ok += 1;
+                        ds.networks.push(n);
+                        ds.layers.extend(l);
+                        ds.kernels.extend(k);
+                    }
+                    PointOutcome::OomSkipped => report.oom_skipped += 1,
+                    PointOutcome::InvalidRequest => report.invalid_requests += 1,
+                    PointOutcome::Dropped => report.dropped += 1,
+                }
+            }
+            Err(panic) => {
+                report.panicked += 1;
+                report.dropped += 1;
+                eprintln!(
+                    "[collect] grid point {} panicked (isolated): {}",
+                    panic.index,
+                    panic.message()
+                );
+            }
+        }
     }
-    ds
+    (ds, report)
 }
 
-/// The full engine: cache lookup, parallel grid profiling, cache fill.
+/// The full engine: classified cache lookup, resilient parallel grid
+/// profiling, outlier quarantine, cache fill.
 ///
 /// This is the single path every public collection entry point funnels
-/// through; it returns the dataset plus the run's cache traffic.
+/// through; it returns the dataset plus the run's structured
+/// [`CollectReport`].
 pub fn collect_engine(
     nets: &[Network],
     gpus: &[GpuSpec],
@@ -210,28 +554,64 @@ pub fn collect_engine(
     timing: &TimingModel,
     mode: CollectMode,
     opts: &CollectOptions,
-) -> (Dataset, CacheStats) {
+) -> (Dataset, CollectReport) {
     let mut stats = CacheStats::default();
     let cache = opts.cache_dir.as_ref().map(DatasetCache::new);
-    let key = cache
-        .as_ref()
-        .map(|_| dataset_key(nets, gpus, batches, timing.seed(), mode));
-    if let (Some(cache), Some(key)) = (&cache, key) {
-        if let Some((ds, bytes)) = cache.load(key) {
-            stats.hits += 1;
-            stats.bytes_read += bytes;
-            return (ds, stats);
+    let key = cache.as_ref().map(|_| {
+        let base = dataset_key(nets, gpus, batches, timing.seed(), mode);
+        match &opts.fault {
+            // Clean runs keep their PR-2 cache identity.
+            None => base,
+            // Fault-injected runs live under their own identity: the same
+            // grid measured in a different fault universe (or with a
+            // different retry budget / screen) may produce different rows.
+            Some(plan) => {
+                let mut h = Fnv::new();
+                h.write_u64(base);
+                h.write_u64(plan.digest());
+                h.write_u64(u64::from(opts.retries));
+                h.write_u64(u64::from(opts.screen_outliers));
+                h.finish()
+            }
         }
-        stats.misses += 1;
+    });
+    if let (Some(cache), Some(key)) = (&cache, key) {
+        match cache.lookup(key) {
+            CacheLookup::Hit(ds, bytes) => {
+                // Trust but verify: a structurally valid entry carrying
+                // invalid times (damaged payload digits) is corrupt too.
+                if hygiene::dataset_is_wholesome(&ds) {
+                    stats.hits += 1;
+                    stats.bytes_read += bytes;
+                    return (ds, CollectReport::from_cache(stats));
+                }
+                stats.corrupt += 1;
+                stats.misses += 1;
+            }
+            CacheLookup::Miss => stats.misses += 1,
+            // Corrupt entries recollect like misses but are surfaced: a
+            // damaged cache is worth knowing about.
+            CacheLookup::Corrupt => {
+                stats.corrupt += 1;
+                stats.misses += 1;
+            }
+        }
     }
-    let ds = run_grid(nets, gpus, batches, timing, mode, opts.effective_threads());
+    let (mut ds, mut report) = run_grid(nets, gpus, batches, timing, mode, opts);
+    if opts.screen_outliers {
+        // Silent ×k outliers that survived per-trace screening are only
+        // visible statistically; quarantine them instead of training on
+        // them.
+        report.quarantined = hygiene::quarantine_scale_outliers(&mut ds);
+    }
     if let (Some(cache), Some(key)) = (&cache, key) {
         // The cache is best-effort: a full disk must not fail collection.
         if let Ok(bytes) = cache.store(key, &ds) {
             stats.bytes_written += bytes;
         }
     }
-    (ds, stats)
+    report.cache = stats;
+    (ds, report)
 }
 
 /// Profiles every network on every GPU at every batch size, skipping
@@ -272,14 +652,26 @@ pub fn collect_with(
     .0
 }
 
-/// Collection with full engine options (threads + cache), returning the
-/// run's cache traffic alongside the dataset.
+/// Collection with full engine options (threads + cache + faults),
+/// returning the run's cache traffic alongside the dataset.
 pub fn collect_opts(
     nets: &[Network],
     gpus: &[GpuSpec],
     batches: &[usize],
     opts: &CollectOptions,
 ) -> (Dataset, CacheStats) {
+    let (ds, report) = collect_report_opts(nets, gpus, batches, opts);
+    (ds, report.cache)
+}
+
+/// Like [`collect_opts`], but returning the full structured
+/// [`CollectReport`] (resilience counters + cache traffic).
+pub fn collect_report_opts(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    opts: &CollectOptions,
+) -> (Dataset, CollectReport) {
     collect_engine(
         nets,
         gpus,
@@ -318,7 +710,10 @@ pub fn collect_parallel(
 pub fn evaluation_gpus() -> Vec<GpuSpec> {
     ["A100", "A40", "GTX 1080 Ti", "TITAN RTX", "V100"]
         .iter()
-        .map(|n| GpuSpec::by_name(n).expect("known GPU"))
+        .map(|n| match GpuSpec::by_name(n) {
+            Some(g) => g,
+            None => unreachable!("{n} is in the Table 1 catalogue"),
+        })
         .collect()
 }
 
@@ -343,6 +738,18 @@ pub fn collect_training_opts(
     batches: &[usize],
     opts: &CollectOptions,
 ) -> (Dataset, CacheStats) {
+    let (ds, report) = collect_training_report_opts(nets, gpus, batches, opts);
+    (ds, report.cache)
+}
+
+/// Like [`collect_training_opts`], but returning the full structured
+/// [`CollectReport`].
+pub fn collect_training_report_opts(
+    nets: &[Network],
+    gpus: &[GpuSpec],
+    batches: &[usize],
+    opts: &CollectOptions,
+) -> (Dataset, CollectReport) {
     collect_engine(
         nets,
         gpus,
@@ -368,11 +775,11 @@ pub fn collect_main_cnn_dataset() -> Dataset {
 pub fn collect_main_cnn_dataset_opts(opts: &CollectOptions) -> Dataset {
     let t = Instant::now();
     let nets = dnnperf_dnn::zoo::cnn_zoo();
-    let (ds, stats) = collect_opts(&nets, &evaluation_gpus(), &[TRAIN_BATCH], opts);
+    let (ds, report) = collect_report_opts(&nets, &evaluation_gpus(), &[TRAIN_BATCH], opts);
     eprintln!(
         "[collect] main CNN dataset: {} kernel rows | {}",
         ds.kernels.len(),
-        stats.summary(t.elapsed().as_secs_f64())
+        report.summary(t.elapsed().as_secs_f64())
     );
     ds
 }

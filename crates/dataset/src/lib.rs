@@ -22,16 +22,19 @@
 //! ```
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
 pub mod collect;
 pub mod csv;
 pub mod dataset;
+pub mod hygiene;
 pub mod record;
 pub mod split;
 
-pub use cache::{CacheStats, CollectMode, DatasetCache};
-pub use collect::CollectOptions;
+pub use cache::{CacheLookup, CacheStats, CollectMode, DatasetCache};
+pub use collect::{CollectOptions, CollectReport};
 pub use dataset::Dataset;
+pub use hygiene::{dataset_is_wholesome, quarantine_scale_outliers, trace_is_wholesome};
 pub use record::{KernelRow, LayerRow, NetworkRow};
 pub use split::split_names;

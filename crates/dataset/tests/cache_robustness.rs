@@ -134,12 +134,16 @@ fn engine_recollects_and_repairs_corrupt_entries() {
     std::fs::write(cache.entry_path(key), &bytes[..bytes.len() / 3]).unwrap();
     let (ds, stats) = collect_opts(&nets, &gpus, &[2], &opts);
     assert_eq!((stats.hits, stats.misses), (0, 1));
+    assert_eq!(
+        stats.corrupt, 1,
+        "a damaged entry must be surfaced as corrupt, not a silent miss"
+    );
     assert!(stats.bytes_written > 0);
     assert_eq!(ds, reference);
 
     // The repaired entry is a clean hit again.
     let (ds, stats) = collect_opts(&nets, &gpus, &[2], &opts);
-    assert_eq!((stats.hits, stats.misses), (1, 0));
+    assert_eq!((stats.hits, stats.misses, stats.corrupt), (1, 0, 0));
     assert_eq!(ds, reference);
 }
 

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod dispatch;
+pub mod fault;
 pub mod kernel;
 pub mod memory;
 pub mod profiler;
@@ -38,6 +39,7 @@ pub mod trace;
 pub use dnnperf_testkit::hashrng;
 
 pub use dispatch::Fusion;
+pub use fault::{Corruption, FaultKinds, FaultPlan, FaultyProfiler, InjectedFault};
 pub use kernel::{KernelDesc, KernelRole};
 pub use profiler::{ProfileError, Profiler};
 pub use spec::GpuSpec;

@@ -30,6 +30,39 @@ pub enum ProfileError {
         /// Device capacity in bytes.
         available: u64,
     },
+    /// A transient measurement failure (driver hiccup, ECC retire, CUDA
+    /// launch timeout). Retrying the run is expected to succeed; only
+    /// injected by the fault layer ([`crate::fault::FaultyProfiler`]),
+    /// never by the clean simulator.
+    Transient {
+        /// Network that failed.
+        network: String,
+        /// Batch size of the attempted run.
+        batch: usize,
+        /// Zero-based attempt index on which the fault fired.
+        attempt: u32,
+    },
+    /// The requested batch size was zero; no kernels can be launched.
+    ZeroBatch {
+        /// Network of the rejected request.
+        network: String,
+    },
+    /// The network has no layers; there is nothing to measure.
+    EmptyNetwork {
+        /// Name of the rejected network.
+        network: String,
+    },
+}
+
+impl ProfileError {
+    /// Whether retrying the identical run can plausibly succeed.
+    ///
+    /// Out-of-memory and request-validation failures are deterministic
+    /// properties of the workload and permanent; transient faults are, by
+    /// definition, worth retrying.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, ProfileError::Transient { .. })
+    }
 }
 
 impl fmt::Display for ProfileError {
@@ -39,11 +72,38 @@ impl fmt::Display for ProfileError {
                 f,
                 "out of memory running {network} at batch {batch}: needs {needed} B, device has {available} B"
             ),
+            ProfileError::Transient { network, batch, attempt } => write!(
+                f,
+                "transient profiling failure running {network} at batch {batch} (attempt {attempt})"
+            ),
+            ProfileError::ZeroBatch { network } => {
+                write!(f, "cannot profile {network} at batch 0")
+            }
+            ProfileError::EmptyNetwork { network } => {
+                write!(f, "cannot profile empty network {network}: no layers")
+            }
         }
     }
 }
 
 impl Error for ProfileError {}
+
+/// Rejects malformed profiling requests with typed errors at the
+/// measurement boundary, so every caller (serial, parallel, fault-injected)
+/// sees one contract instead of ad-hoc downstream checks.
+pub(crate) fn validate_request(net: &Network, batch: usize) -> Result<(), ProfileError> {
+    if batch == 0 {
+        return Err(ProfileError::ZeroBatch {
+            network: net.name().to_string(),
+        });
+    }
+    if net.num_layers() == 0 {
+        return Err(ProfileError::EmptyNetwork {
+            network: net.name().to_string(),
+        });
+    }
+    Ok(())
+}
 
 /// Profiles networks on one GPU.
 ///
@@ -108,9 +168,11 @@ impl Profiler {
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError::OutOfMemory`] when the run does not fit in
-    /// device memory.
+    /// Returns [`ProfileError::ZeroBatch`] / [`ProfileError::EmptyNetwork`]
+    /// for malformed requests and [`ProfileError::OutOfMemory`] when the
+    /// run does not fit in device memory.
     pub fn profile(&self, net: &Network, batch: usize) -> Result<Trace, ProfileError> {
+        validate_request(net, batch)?;
         let needed = memory::footprint_bytes(net, batch);
         self.check_memory(net, batch, needed)?;
         let per_layer = crate::dispatch::dispatch_network_with(net, batch, self.fusion);
@@ -128,9 +190,12 @@ impl Profiler {
     ///
     /// # Errors
     ///
-    /// Returns [`ProfileError::OutOfMemory`] when the training step (which
-    /// keeps all activations alive) does not fit in device memory.
+    /// Returns [`ProfileError::ZeroBatch`] / [`ProfileError::EmptyNetwork`]
+    /// for malformed requests and [`ProfileError::OutOfMemory`] when the
+    /// training step (which keeps all activations alive) does not fit in
+    /// device memory.
     pub fn profile_training(&self, net: &Network, batch: usize) -> Result<Trace, ProfileError> {
+        validate_request(net, batch)?;
         let needed = memory::training_footprint_bytes(net, batch);
         self.check_memory(net, batch, needed)?;
         let per_layer = crate::dispatch::dispatch_network_training(net, batch);
@@ -254,6 +319,26 @@ mod tests {
         let tput1 = t1.total_flops() as f64 / t1.e2e_seconds;
         let tput256 = t256.total_flops() as f64 / t256.e2e_seconds;
         assert!(tput256 > 2.0 * tput1, "{tput1} vs {tput256}");
+    }
+
+    #[test]
+    fn zero_batch_is_a_typed_error() {
+        let err = a100().profile(&zoo::resnet::resnet18(), 0).unwrap_err();
+        assert!(matches!(err, ProfileError::ZeroBatch { .. }));
+        assert!(!err.is_transient());
+        let err = a100()
+            .profile_training(&zoo::resnet::resnet18(), 0)
+            .unwrap_err();
+        assert!(matches!(err, ProfileError::ZeroBatch { .. }));
+    }
+
+    #[test]
+    fn empty_network_is_a_typed_error() {
+        use dnnperf_dnn::{Family, Network, TensorShape};
+        let empty = Network::from_parts("Empty", Family::Custom, TensorShape::chw(3, 8, 8), vec![]);
+        let err = a100().profile(&empty, 32).unwrap_err();
+        assert!(matches!(err, ProfileError::EmptyNetwork { .. }));
+        assert!(err.to_string().contains("no layers"));
     }
 
     #[test]

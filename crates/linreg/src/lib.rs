@@ -25,10 +25,15 @@
 
 pub mod metrics;
 pub mod ols;
+pub mod robust;
 pub mod stats;
 
 pub use metrics::{mean_abs_rel_error, median, percentile, ratio_curve, SCurvePoint};
 pub use ols::{
     fit, fit_bounded_intercept, fit_plane, fit_through_origin, Fit, FitError, Line, PlaneFit,
+};
+pub use robust::{
+    fit_bounded_intercept_huber, fit_bounded_intercept_with, fit_huber, fit_with, Estimator,
+    HUBER_K,
 };
 pub use stats::{mean, pearson, variance};

@@ -1,0 +1,335 @@
+//! Robust (Huber / IRLS) one-variable regression.
+//!
+//! Ordinary least squares has a breakdown point of zero: a single corrupted
+//! timing (a ×40 outlier that slipped past the dataset hygiene screen) can
+//! move a fitted slope arbitrarily far. The Huber M-estimator keeps the OLS
+//! behaviour on clean data — inside a band of `k` scaled residuals the loss
+//! is quadratic — and switches to absolute loss outside it, so far-out
+//! points contribute bounded influence.
+//!
+//! Implemented as iteratively reweighted least squares (IRLS): start from
+//! OLS, compute residuals, scale them by a MAD-based robust sigma, weight
+//! each point by `min(1, k / |r/sigma|)` and refit weighted least squares
+//! until the coefficients stop moving. Everything is deterministic.
+
+use crate::ols::{fit, Fit, FitError, Line};
+
+/// Huber tuning constant: 1.345 gives 95% efficiency on clean Gaussian
+/// data (the standard choice).
+pub const HUBER_K: f64 = 1.345;
+
+/// Maximum IRLS iterations; convergence is typically < 10.
+const MAX_ITERS: usize = 25;
+
+/// Relative coefficient change below which iteration stops.
+const TOL: f64 = 1e-10;
+
+/// Which estimator a model-training entry point should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Estimator {
+    /// Plain ordinary least squares (the paper's estimator).
+    #[default]
+    Ols,
+    /// Huber M-estimation via IRLS: OLS on clean data, bounded influence
+    /// for outliers that survived collection hygiene.
+    Huber,
+}
+
+fn median_of(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    let n = v.len();
+    if n == 0 {
+        return 0.0;
+    }
+    if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Robust residual scale: `1.4826 * MAD` (consistent for the Gaussian).
+fn robust_sigma(residuals: &[f64]) -> f64 {
+    let med = median_of(residuals.to_vec());
+    let dev: Vec<f64> = residuals.iter().map(|r| (r - med).abs()).collect();
+    1.4826 * median_of(dev)
+}
+
+fn weighted_fit(xs: &[f64], ys: &[f64], ws: &[f64]) -> Result<Line, FitError> {
+    let sw: f64 = ws.iter().sum();
+    if sw <= 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let mx: f64 = xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / sw;
+    let my: f64 = ys.iter().zip(ws).map(|(y, w)| y * w).sum::<f64>() / sw;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    for ((x, y), w) in xs.iter().zip(ys).zip(ws) {
+        sxy += w * (x - mx) * (y - my);
+        sxx += w * (x - mx) * (x - mx);
+    }
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let slope = sxy / sxx;
+    Ok(Line::new(slope, my - slope * mx))
+}
+
+fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
+    let my = crate::stats::mean(ys);
+    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - line.eval(*x);
+            e * e
+        })
+        .sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Fits `y = slope * x + intercept` with the Huber M-estimator (IRLS).
+///
+/// On data whose residuals stay within `HUBER_K` robust sigmas, the result
+/// coincides with [`fit`]; gross outliers are progressively down-weighted
+/// instead of dominating the normal equations. The reported `r2` is the
+/// *unweighted* coefficient of determination of the final line, so outliers
+/// still show up as lack of fit.
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+///
+/// # Examples
+///
+/// ```
+/// // y = 2x + 1 with one wild outlier.
+/// let xs: Vec<f64> = (1..=12).map(|i| i as f64).collect();
+/// let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+/// ys[11] = 500.0;
+/// let f = dnnperf_linreg::fit_huber(&xs, &ys).unwrap();
+/// let o = dnnperf_linreg::fit(&xs, &ys).unwrap();
+/// assert!((f.line.slope - 2.0).abs() < 0.5 * (o.line.slope - 2.0).abs());
+/// ```
+pub fn fit_huber(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    let start = fit(xs, ys)?;
+    let mut line = start.line;
+    for _ in 0..MAX_ITERS {
+        let residuals: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| y - line.eval(*x)).collect();
+        let sigma = robust_sigma(&residuals);
+        if sigma <= 0.0 || !sigma.is_finite() {
+            // Majority of points already on the line: converged.
+            break;
+        }
+        let ws: Vec<f64> = residuals
+            .iter()
+            .map(|r| {
+                let u = (r / sigma).abs();
+                if u <= HUBER_K {
+                    1.0
+                } else {
+                    HUBER_K / u
+                }
+            })
+            .collect();
+        let next = weighted_fit(xs, ys, &ws)?;
+        let moved = (next.slope - line.slope)
+            .abs()
+            .max((next.intercept - line.intercept).abs());
+        let scale = line.slope.abs().max(line.intercept.abs()).max(1e-300);
+        line = next;
+        if moved / scale < TOL {
+            break;
+        }
+    }
+    Ok(Fit {
+        line,
+        r2: r_squared(xs, ys, line),
+        n: xs.len(),
+    })
+}
+
+/// Huber counterpart of [`crate::fit_bounded_intercept`]: robust fit with
+/// the intercept constrained to `[0, min(y)]` (a per-invocation overhead
+/// can be neither negative nor larger than the cheapest invocation).
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+pub fn fit_bounded_intercept_huber(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    let f = fit_huber(xs, ys)?;
+    let min_y = ys.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
+    if f.line.intercept >= 0.0 && f.line.intercept <= min_y {
+        return Ok(f);
+    }
+    let b = f.line.intercept.clamp(0.0, min_y);
+    // Refit the slope robustly on the shifted data with the intercept
+    // pinned: IRLS on (x, y - b) through a free intercept would drift, so
+    // iterate slope-only weighted fits through the origin.
+    let shifted: Vec<f64> = ys.iter().map(|y| y - b).collect();
+    let mut slope = crate::ols::fit_through_origin(xs, &shifted)?.line.slope;
+    for _ in 0..MAX_ITERS {
+        let residuals: Vec<f64> = xs
+            .iter()
+            .zip(&shifted)
+            .map(|(x, y)| y - slope * x)
+            .collect();
+        let sigma = robust_sigma(&residuals);
+        if sigma <= 0.0 || !sigma.is_finite() {
+            break;
+        }
+        let mut sxy = 0.0;
+        let mut sxx = 0.0;
+        for ((x, y), r) in xs.iter().zip(&shifted).zip(&residuals) {
+            let u = (r / sigma).abs();
+            let w = if u <= HUBER_K { 1.0 } else { HUBER_K / u };
+            sxy += w * x * y;
+            sxx += w * x * x;
+        }
+        if sxx == 0.0 {
+            return Err(FitError::DegenerateX);
+        }
+        let next = sxy / sxx;
+        let moved = (next - slope).abs();
+        let scale = slope.abs().max(1e-300);
+        slope = next;
+        if moved / scale < TOL {
+            break;
+        }
+    }
+    let line = Line::new(slope.max(0.0), b);
+    Ok(Fit {
+        line,
+        r2: r_squared(xs, ys, line),
+        n: xs.len(),
+    })
+}
+
+/// Dispatches to [`fit`] or [`fit_huber`] by [`Estimator`].
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+pub fn fit_with(estimator: Estimator, xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
+    match estimator {
+        Estimator::Ols => fit(xs, ys),
+        Estimator::Huber => fit_huber(xs, ys),
+    }
+}
+
+/// Dispatches to [`crate::fit_bounded_intercept`] or
+/// [`fit_bounded_intercept_huber`] by [`Estimator`].
+///
+/// # Errors
+///
+/// Same conditions as [`fit`].
+pub fn fit_bounded_intercept_with(
+    estimator: Estimator,
+    xs: &[f64],
+    ys: &[f64],
+) -> Result<Fit, FitError> {
+    match estimator {
+        Estimator::Ols => crate::ols::fit_bounded_intercept(xs, ys),
+        Estimator::Huber => fit_bounded_intercept_huber(xs, ys),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_data_matches_ols_closely() {
+        let xs: Vec<f64> = (1..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let h = fit_huber(&xs, &ys).unwrap();
+        assert!((h.line.slope - 3.0).abs() < 1e-9);
+        assert!((h.line.intercept - 2.0).abs() < 1e-9);
+        assert!((h.r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_gross_outlier_barely_moves_huber() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        ys[15] *= 40.0; // one corrupted measurement
+        let ols = fit(&xs, &ys).unwrap();
+        let hub = fit_huber(&xs, &ys).unwrap();
+        assert!(
+            (hub.line.slope - 2.0).abs() < 0.05,
+            "huber slope {}",
+            hub.line.slope
+        );
+        assert!(
+            (ols.line.slope - 2.0).abs() > 5.0 * (hub.line.slope - 2.0).abs(),
+            "ols {} vs huber {}",
+            ols.line.slope,
+            hub.line.slope
+        );
+    }
+
+    #[test]
+    fn downscaled_outlier_is_also_resisted() {
+        let xs: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        ys[29] *= 0.025; // measured 40x too fast
+        let hub = fit_huber(&xs, &ys).unwrap();
+        assert!((hub.line.slope - 2.0).abs() < 0.1, "{}", hub.line.slope);
+    }
+
+    #[test]
+    fn propagates_fit_errors() {
+        assert_eq!(
+            fit_huber(&[1.0], &[1.0]),
+            Err(FitError::TooFewPoints { got: 1 })
+        );
+        assert_eq!(
+            fit_huber(&[2.0, 2.0], &[1.0, 3.0]),
+            Err(FitError::DegenerateX)
+        );
+        assert_eq!(
+            fit_huber(&[1.0, 2.0], &[1.0]),
+            Err(FitError::LengthMismatch { xs: 2, ys: 1 })
+        );
+    }
+
+    #[test]
+    fn bounded_huber_respects_bounds() {
+        let xs = [1.0, 2.0, 10.0, 11.0, 12.0];
+        let ys = [0.5, 1.5, 11.0, 12.0, 13.2];
+        let f = fit_bounded_intercept_huber(&xs, &ys).unwrap();
+        let min_y = 0.5;
+        assert!(f.line.intercept >= 0.0 && f.line.intercept <= min_y);
+        assert!(f.line.slope > 0.0);
+    }
+
+    #[test]
+    fn estimator_dispatch() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        let o = fit_with(Estimator::Ols, &xs, &ys).unwrap();
+        let h = fit_with(Estimator::Huber, &xs, &ys).unwrap();
+        assert!((o.line.slope - h.line.slope).abs() < 1e-9);
+        assert_eq!(Estimator::default(), Estimator::Ols);
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let mut ys: Vec<f64> = xs.iter().map(|x| 1.5 * x + 4.0).collect();
+        ys[10] += 300.0;
+        ys[40] -= 200.0;
+        let a = fit_huber(&xs, &ys).unwrap();
+        let b = fit_huber(&xs, &ys).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -16,12 +16,18 @@
 //! crate sits below `dnnperf-data` in the dependency graph.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod pool;
 pub mod queue;
+pub mod retry;
 
-pub use pool::{run_indexed, StealQueues};
+pub use pool::{run_indexed, run_indexed_catching, JobPanic, StealQueues};
 pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes, Schedule};
+pub use retry::{
+    retry_with_backoff, Backoff, Clock, RecordingClock, RetryClass, RetryOutcome, RetryPolicy,
+    SystemClock,
+};
 
 /// Picks the GPU index with the lowest predicted time for one job.
 ///
@@ -36,12 +42,10 @@ pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes,
 /// ```
 pub fn best_gpu(times: &[f64]) -> usize {
     assert!(!times.is_empty(), "no GPUs to choose from");
-    times
-        .iter()
-        .enumerate()
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(i, _)| i)
-        .expect("nonempty")
+    match times.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)) {
+        Some((i, _)) => i,
+        None => unreachable!("slice checked nonempty above"),
+    }
 }
 
 #[cfg(test)]

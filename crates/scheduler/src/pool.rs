@@ -13,7 +13,8 @@
 //! output never is.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// Per-worker double-ended job queues with stealing.
 ///
@@ -55,8 +56,17 @@ impl StealQueues {
     }
 
     /// Pops the next job from worker `w`'s own queue (front).
+    ///
+    /// A poisoned queue mutex is recovered rather than propagated: the
+    /// deque only holds plain indices, so a panic elsewhere cannot have
+    /// left it in a torn state, and panic isolation (see
+    /// [`run_indexed_catching`]) demands that one bad job never wedges the
+    /// scheduler.
     pub fn pop_own(&self, w: usize) -> Option<usize> {
-        self.deques[w].lock().expect("queue poisoned").pop_front()
+        self.deques[w]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_front()
     }
 
     /// Steals one job from some other worker's queue (back), scanning
@@ -67,7 +77,7 @@ impl StealQueues {
             let victim = (w + off) % n;
             if let Some(j) = self.deques[victim]
                 .lock()
-                .expect("queue poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
                 .pop_back()
             {
                 return Some(j);
@@ -83,6 +93,101 @@ impl StealQueues {
     }
 }
 
+/// A job that panicked inside a work-stealing run: the index it carried
+/// plus the original panic payload (so non-isolating callers can resume
+/// the unwind faithfully).
+#[derive(Debug)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// The panic payload as `std::thread::JoinHandle::join` would surface it.
+    pub payload: Box<dyn std::any::Any + Send>,
+}
+
+impl JobPanic {
+    /// Best-effort rendering of the panic message.
+    pub fn message(&self) -> String {
+        if let Some(s) = self.payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = self.payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        }
+    }
+}
+
+/// Runs jobs `0..jobs` on `workers` work-stealing threads with **per-job
+/// panic isolation**, returning one `Result` per job **in job-index
+/// order**.
+///
+/// Each job is wrapped in `catch_unwind`: a panicking job yields
+/// `Err(JobPanic)` for *its own slot only* — every other job still runs
+/// and returns normally, and the worker that hit the panic keeps pulling
+/// jobs. This is the resilience contract the dataset collection engine
+/// builds on: one poisoned grid point must never kill a whole profiling
+/// campaign.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn run_indexed_catching<T, F>(jobs: usize, workers: usize, run: F) -> Vec<Result<T, JobPanic>>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(workers > 0, "need at least one worker thread");
+    let caught = |j: usize| -> Result<T, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| run(j))).map_err(|payload| JobPanic { index: j, payload })
+    };
+    if jobs == 0 {
+        return Vec::new();
+    }
+    if workers == 1 || jobs == 1 {
+        // No second worker to steal from: skip thread setup entirely.
+        return (0..jobs).map(caught).collect();
+    }
+    let queues = StealQueues::new(jobs, workers);
+    let per_worker: Vec<Vec<(usize, Result<T, JobPanic>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queues = &queues;
+                let caught = &caught;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    while let Some(j) = queues.next_job(w) {
+                        out.push((j, caught(j)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                // Jobs are caught individually, so a worker-level panic can
+                // only be a harness bug; propagate it faithfully.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    // Stitch back into serial order: every index is produced exactly once.
+    let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..jobs).map(|_| None).collect();
+    for (j, v) in per_worker.into_iter().flatten() {
+        debug_assert!(slots[j].is_none(), "job {j} ran twice");
+        slots[j] = Some(v);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(j, s)| match s {
+            Some(v) => v,
+            None => unreachable!("job {j} was never executed"),
+        })
+        .collect()
+}
+
 /// Runs jobs `0..jobs` on `workers` work-stealing threads and returns the
 /// results **in job-index order**, exactly as a serial
 /// `(0..jobs).map(run).collect()` would.
@@ -94,49 +199,19 @@ impl StealQueues {
 ///
 /// # Panics
 ///
-/// Panics if `workers` is zero, or propagates a panic from `run`.
+/// Panics if `workers` is zero, or propagates the first (lowest-index)
+/// panic from `run` after every other job has completed.
 pub fn run_indexed<T, F>(jobs: usize, workers: usize, run: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
-    assert!(workers > 0, "need at least one worker thread");
-    if jobs == 0 {
-        return Vec::new();
-    }
-    if workers == 1 || jobs == 1 {
-        // No second worker to steal from: skip thread setup entirely.
-        return (0..jobs).map(run).collect();
-    }
-    let queues = StealQueues::new(jobs, workers);
-    let per_worker: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let queues = &queues;
-                let run = &run;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    while let Some(j) = queues.next_job(w) {
-                        out.push((j, run(j)));
-                    }
-                    out
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("work-stealing worker panicked"))
-            .collect()
-    });
-    // Stitch back into serial order: every index is produced exactly once.
-    let mut slots: Vec<Option<T>> = (0..jobs).map(|_| None).collect();
-    for (j, v) in per_worker.into_iter().flatten() {
-        debug_assert!(slots[j].is_none(), "job {j} ran twice");
-        slots[j] = Some(v);
-    }
-    slots
+    run_indexed_catching(jobs, workers, run)
         .into_iter()
-        .map(|s| s.expect("every job runs exactly once"))
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => std::panic::resume_unwind(p.payload),
+        })
         .collect()
 }
 

@@ -92,7 +92,10 @@ pub fn brute_force_schedule(jobs: &[JobTimes]) -> Schedule {
         let mut i = 0;
         loop {
             if i == n {
-                return best.expect("at least one assignment evaluated");
+                return match best {
+                    Some(b) => b,
+                    None => unreachable!("at least one assignment was evaluated"),
+                };
             }
             assignment[i] += 1;
             if assignment[i] < k {
@@ -131,11 +134,12 @@ pub fn lpt_schedule(jobs: &[JobTimes]) -> Schedule {
     let mut load = vec![0.0; k];
     let mut assignment = vec![0usize; jobs.len()];
     for &j in &order {
-        let gpu = (0..k)
-            .min_by(|&a, &b| {
-                (load[a] + jobs[j].per_gpu[a]).total_cmp(&(load[b] + jobs[j].per_gpu[b]))
-            })
-            .expect("k > 0");
+        let gpu = match (0..k).min_by(|&a, &b| {
+            (load[a] + jobs[j].per_gpu[a]).total_cmp(&(load[b] + jobs[j].per_gpu[b]))
+        }) {
+            Some(g) => g,
+            None => unreachable!("gpu_count asserts k > 0"),
+        };
         assignment[j] = gpu;
         load[gpu] += jobs[j].per_gpu[gpu];
     }

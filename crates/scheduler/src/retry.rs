@@ -1,0 +1,391 @@
+//! Bounded retry with exponential backoff and deterministic jitter.
+//!
+//! Real profiling campaigns fail in boring, transient ways: a driver
+//! hiccup, a co-located job stealing the GPU for a moment, a filesystem
+//! blip while a trace is written. The collection engine therefore wraps
+//! every grid point in [`retry_with_backoff`]: a bounded number of
+//! re-attempts, spaced by an exponential [`Backoff`] whose jitter is
+//! *deterministic* (derived from a seed, not from wall-clock entropy), so
+//! a retried run remains exactly reproducible.
+//!
+//! Sleeping goes through the [`Clock`] trait; tests substitute a fake
+//! clock that records the requested delays instead of waiting them out.
+
+use std::time::Duration;
+
+// -- tiny deterministic hash (SplitMix64) -----------------------------------
+//
+// This crate must stay dependency-free within the workspace (see lib.rs),
+// so the jitter hash is a local copy of the SplitMix64 finalizer that
+// `dnnperf-testkit::hashrng` uses, rather than a dependency on it.
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform sample in `[0, 1)` from a hash (top 53 bits).
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+// -- clock ------------------------------------------------------------------
+
+/// A sleepable clock. Production code uses [`SystemClock`]; tests inject a
+/// recording fake so backoff schedules can be asserted without waiting.
+pub trait Clock {
+    /// Blocks for (or records) `d`.
+    fn sleep(&self, d: Duration);
+}
+
+/// The real clock: `std::thread::sleep`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn sleep(&self, d: Duration) {
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// A test clock that records every requested sleep and never blocks.
+#[derive(Debug, Default)]
+pub struct RecordingClock {
+    sleeps: std::sync::Mutex<Vec<Duration>>,
+}
+
+impl RecordingClock {
+    /// Creates an empty recording clock.
+    pub fn new() -> Self {
+        RecordingClock::default()
+    }
+
+    /// The sleeps requested so far, in order.
+    pub fn sleeps(&self) -> Vec<Duration> {
+        self.sleeps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clone()
+    }
+}
+
+impl Clock for RecordingClock {
+    fn sleep(&self, d: Duration) {
+        self.sleeps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(d);
+    }
+}
+
+// -- backoff ----------------------------------------------------------------
+
+/// An exponential backoff schedule with deterministic jitter.
+///
+/// The raw delay for retry `attempt` (0-based) is
+/// `base * factor^attempt`, capped at `cap`. On top of that, a
+/// multiplicative jitter in `[0.5, 1.0)` is applied, derived purely from
+/// `(jitter_seed, attempt)` — two runs with the same seed sleep for
+/// exactly the same durations ("decorrelate workers, not runs").
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_sched::retry::Backoff;
+/// use std::time::Duration;
+///
+/// let b = Backoff::new(Duration::from_millis(10), 2.0, Duration::from_millis(100), 7);
+/// assert_eq!(b.delay(0), b.delay(0)); // deterministic
+/// assert!(b.delay(9) <= Duration::from_millis(100)); // capped
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Backoff {
+    /// Delay before the first retry (pre-jitter).
+    pub base: Duration,
+    /// Multiplicative growth per retry.
+    pub factor: f64,
+    /// Upper bound on the pre-jitter delay.
+    pub cap: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Backoff {
+    /// Creates a backoff schedule.
+    pub fn new(base: Duration, factor: f64, cap: Duration, jitter_seed: u64) -> Self {
+        Backoff {
+            base,
+            factor,
+            cap,
+            jitter_seed,
+        }
+    }
+
+    /// A schedule suited to millisecond-scale in-process jobs:
+    /// 1 ms base, doubling, 50 ms cap.
+    pub fn fast(jitter_seed: u64) -> Self {
+        Backoff::new(
+            Duration::from_millis(1),
+            2.0,
+            Duration::from_millis(50),
+            jitter_seed,
+        )
+    }
+
+    /// The pre-jitter (deterministic, monotone) delay for retry `attempt`.
+    pub fn raw_delay(&self, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.factor.powi(attempt.min(63) as i32);
+        Duration::from_secs_f64(exp.min(self.cap.as_secs_f64()).max(0.0))
+    }
+
+    /// The jittered delay for retry `attempt`: `raw * u`, with
+    /// `u in [0.5, 1.0)` derived from `(jitter_seed, attempt)`.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let raw = self.raw_delay(attempt).as_secs_f64();
+        let u = 0.5
+            + 0.5
+                * unit(splitmix(
+                    self.jitter_seed ^ u64::from(attempt).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                ));
+        Duration::from_secs_f64(raw * u)
+    }
+}
+
+// -- retry executor ---------------------------------------------------------
+
+/// How an error should be treated by the retry loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Worth another attempt (transient fault, corrupt measurement, ...).
+    Retriable,
+    /// Retrying cannot help (out of memory, invalid request, ...).
+    Permanent,
+}
+
+/// Retry budget plus backoff schedule for one job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum number of *retries* (total attempts = `max_retries + 1`).
+    pub max_retries: u32,
+    /// The delay schedule between attempts.
+    pub backoff: Backoff,
+}
+
+impl RetryPolicy {
+    /// A policy with `max_retries` retries on the [`Backoff::fast`] schedule.
+    pub fn fast(max_retries: u32, jitter_seed: u64) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff: Backoff::fast(jitter_seed),
+        }
+    }
+
+    /// No retries at all (every failure is final).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: Backoff::fast(0),
+        }
+    }
+}
+
+/// What [`retry_with_backoff`] produced: the final result plus how many
+/// attempts were spent getting it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryOutcome<T, E> {
+    /// The last attempt's result.
+    pub result: Result<T, E>,
+    /// Total attempts executed (>= 1).
+    pub attempts: u32,
+}
+
+impl<T, E> RetryOutcome<T, E> {
+    /// Number of retries performed (attempts beyond the first).
+    pub fn retries(&self) -> u32 {
+        self.attempts.saturating_sub(1)
+    }
+}
+
+/// Runs `op` until it succeeds, fails permanently (per `classify`), or the
+/// retry budget is exhausted. Sleeps `policy.backoff.delay(attempt)` on
+/// `clock` between attempts. `op` receives the 0-based attempt index so
+/// deterministic fault models can key decisions off it.
+///
+/// # Examples
+///
+/// ```
+/// use dnnperf_sched::retry::{retry_with_backoff, RetryClass, RetryPolicy, SystemClock};
+///
+/// let mut calls = 0;
+/// let out = retry_with_backoff(
+///     &RetryPolicy::fast(3, 42),
+///     &SystemClock,
+///     |_e: &&str| RetryClass::Retriable,
+///     |attempt| {
+///         calls += 1;
+///         if attempt < 2 { Err("transient") } else { Ok(attempt) }
+///     },
+/// );
+/// assert_eq!(out.result, Ok(2));
+/// assert_eq!(out.attempts, 3);
+/// assert_eq!(calls, 3);
+/// ```
+pub fn retry_with_backoff<T, E>(
+    policy: &RetryPolicy,
+    clock: &impl Clock,
+    classify: impl Fn(&E) -> RetryClass,
+    mut op: impl FnMut(u32) -> Result<T, E>,
+) -> RetryOutcome<T, E> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op(attempt) {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    attempts: attempt + 1,
+                }
+            }
+            Err(e) => {
+                if attempt >= policy.max_retries || classify(&e) == RetryClass::Permanent {
+                    return RetryOutcome {
+                        result: Err(e),
+                        attempts: attempt + 1,
+                    };
+                }
+                clock.sleep(policy.backoff.delay(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> Duration {
+        Duration::from_millis(v)
+    }
+
+    #[test]
+    fn raw_schedule_doubles_and_caps() {
+        let b = Backoff::new(ms(10), 2.0, ms(65), 0);
+        assert_eq!(b.raw_delay(0), ms(10));
+        assert_eq!(b.raw_delay(1), ms(20));
+        assert_eq!(b.raw_delay(2), ms(40));
+        assert_eq!(b.raw_delay(3), ms(65), "capped at 65ms, not 80ms");
+        assert_eq!(b.raw_delay(40), ms(65));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let b = Backoff::new(ms(100), 2.0, ms(10_000), 1234);
+        for attempt in 0..8 {
+            let d1 = b.delay(attempt);
+            let d2 = b.delay(attempt);
+            assert_eq!(d1, d2, "same seed, same attempt, same delay");
+            let raw = b.raw_delay(attempt);
+            assert!(
+                d1 >= raw / 2 && d1 < raw,
+                "jitter in [0.5, 1.0): {d1:?} vs {raw:?}"
+            );
+        }
+        // Different seeds decorrelate.
+        let b2 = Backoff::new(ms(100), 2.0, ms(10_000), 99);
+        assert!((0..8).any(|a| b.delay(a) != b2.delay(a)));
+    }
+
+    #[test]
+    fn fake_clock_sees_the_whole_schedule() {
+        let clock = RecordingClock::new();
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff: Backoff::new(ms(8), 2.0, ms(1000), 7),
+        };
+        let out = retry_with_backoff(
+            &policy,
+            &clock,
+            |_e: &()| RetryClass::Retriable,
+            |_| Err::<u32, ()>(()),
+        );
+        assert_eq!(out.attempts, 4);
+        assert_eq!(out.retries(), 3);
+        assert!(out.result.is_err());
+        let sleeps = clock.sleeps();
+        assert_eq!(
+            sleeps,
+            vec![
+                policy.backoff.delay(0),
+                policy.backoff.delay(1),
+                policy.backoff.delay(2)
+            ],
+            "one sleep per retry, following the schedule"
+        );
+        // The underlying schedule is exponential.
+        assert!(sleeps[1] > sleeps[0] && sleeps[2] > sleeps[1]);
+    }
+
+    #[test]
+    fn success_after_transients_stops_retrying() {
+        let clock = RecordingClock::new();
+        let out = retry_with_backoff(
+            &RetryPolicy::fast(5, 0),
+            &clock,
+            |_e: &()| RetryClass::Retriable,
+            |attempt| if attempt < 2 { Err(()) } else { Ok(attempt) },
+        );
+        assert_eq!(out.result, Ok(2));
+        assert_eq!(out.attempts, 3);
+        assert_eq!(clock.sleeps().len(), 2);
+    }
+
+    #[test]
+    fn permanent_errors_fail_fast() {
+        let clock = RecordingClock::new();
+        let mut calls = 0;
+        let out = retry_with_backoff(
+            &RetryPolicy::fast(10, 0),
+            &clock,
+            |_e: &&str| RetryClass::Permanent,
+            |_| {
+                calls += 1;
+                Err::<(), _>("oom")
+            },
+        );
+        assert_eq!(out.attempts, 1);
+        assert_eq!(calls, 1);
+        assert!(clock.sleeps().is_empty(), "no backoff for permanent errors");
+    }
+
+    #[test]
+    fn zero_retry_policy_is_single_shot() {
+        let clock = RecordingClock::new();
+        let out = retry_with_backoff(
+            &RetryPolicy::none(),
+            &clock,
+            |_e: &()| RetryClass::Retriable,
+            |_| Err::<(), ()>(()),
+        );
+        assert_eq!(out.attempts, 1);
+        assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn attempt_index_is_passed_through() {
+        let seen = std::cell::RefCell::new(Vec::new());
+        let _ = retry_with_backoff(
+            &RetryPolicy::fast(2, 0),
+            &RecordingClock::new(),
+            |_e: &()| RetryClass::Retriable,
+            |attempt| {
+                seen.borrow_mut().push(attempt);
+                Err::<(), ()>(())
+            },
+        );
+        assert_eq!(*seen.borrow(), vec![0, 1, 2]);
+    }
+}

@@ -156,7 +156,7 @@ fn auto_thread_count_matches_serial() {
         &[2, 4],
         &CollectOptions {
             threads: 0,
-            cache_dir: None,
+            ..CollectOptions::default()
         },
     );
     assert_eq!(serial, auto);
