@@ -16,7 +16,7 @@
 use crate::cyclesim::{CycleSim, SimResult};
 use dnnperf_dnn::Network;
 use dnnperf_gpu::dispatch::dispatch_network;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn family_key(kernel_name: &str) -> String {
     // Strip the variant suffix: everything after the last "_aiN" /
@@ -53,7 +53,7 @@ pub fn pks_estimate(
         detail_launches > 0,
         "PKS needs at least one detailed launch per kernel"
     );
-    let mut seen: HashMap<String, (usize, f64, u64)> = HashMap::new(); // count, time, blocks
+    let mut seen: BTreeMap<String, (usize, f64, u64)> = BTreeMap::new(); // count, time, blocks
     let mut seconds = 40.0e-6;
     let mut blocks = 0;
     for kernels in dispatch_network(net, batch) {
@@ -95,7 +95,7 @@ pub fn pks_estimate(
 /// assert!(pka.simulated_blocks < pks.simulated_blocks);
 /// ```
 pub fn pka_estimate(sim: &CycleSim, net: &Network, batch: usize) -> SimResult {
-    let mut reps: HashMap<String, (f64, u64)> = HashMap::new(); // time, blocks
+    let mut reps: BTreeMap<String, (f64, u64)> = BTreeMap::new(); // time, blocks
     let mut seconds = 40.0e-6;
     let mut blocks = 0;
     for kernels in dispatch_network(net, batch) {

@@ -13,7 +13,7 @@ use dnnperf_data::collect::{collect_report_opts, collect_training_report_opts, T
 use dnnperf_data::{split::split_dataset, CollectOptions, CollectReport, Dataset};
 use dnnperf_dnn::{zoo, Network};
 use dnnperf_gpu::{FaultPlan, GpuSpec, Profiler};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 /// The random seed of the canonical train/test split used by every
@@ -171,7 +171,7 @@ pub fn standard_split(ds: &Dataset) -> (Dataset, Dataset) {
 
 /// The networks (from `pool`) whose names appear in `ds`.
 pub fn networks_in(pool: &[Network], ds: &Dataset) -> Vec<Network> {
-    let names: HashSet<String> = ds.network_names().into_iter().collect();
+    let names: BTreeSet<String> = ds.network_names().into_iter().collect();
     pool.iter()
         .filter(|n| names.contains(n.name()))
         .cloned()

@@ -9,7 +9,7 @@
 
 use dnnperf_data::KernelRow;
 use dnnperf_linreg::{fit_bounded_intercept, mean, Fit, Line};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -110,8 +110,8 @@ impl KernelClassification {
 }
 
 /// Groups kernel rows by kernel symbol.
-pub fn group_by_kernel(rows: &[KernelRow]) -> HashMap<Arc<str>, Vec<&KernelRow>> {
-    let mut grouped: HashMap<Arc<str>, Vec<&KernelRow>> = HashMap::new();
+pub fn group_by_kernel(rows: &[KernelRow]) -> BTreeMap<Arc<str>, Vec<&KernelRow>> {
+    let mut grouped: BTreeMap<Arc<str>, Vec<&KernelRow>> = BTreeMap::new();
     for r in rows {
         grouped.entry(r.kernel.clone()).or_default().push(r);
     }
@@ -150,9 +150,15 @@ pub fn classify_one(kernel: Arc<str>, rows: &[&KernelRow]) -> KernelClassificati
             }
         }
     }
-    let best = (0..3)
-        .max_by(|&a, &b| r2[a].total_cmp(&r2[b]))
-        .expect("3 candidates");
+    // Equivalent to `(0..3).max_by(total_cmp)` (last maximum wins on
+    // ties) without the range-is-nonempty `expect`.
+    let best = (1..3).fold(0, |b, i| {
+        if r2[i].total_cmp(&r2[b]).is_ge() {
+            i
+        } else {
+            b
+        }
+    });
     if r2[best] == f64::NEG_INFINITY {
         return constant_classification(kernel, &ys);
     }
@@ -179,7 +185,7 @@ pub fn classify_one(kernel: Arc<str>, rows: &[&KernelRow]) -> KernelClassificati
 /// let classes = classify_kernels(&ds.kernels);
 /// assert!(!classes.is_empty());
 /// ```
-pub fn classify_kernels(rows: &[KernelRow]) -> HashMap<Arc<str>, KernelClassification> {
+pub fn classify_kernels(rows: &[KernelRow]) -> BTreeMap<Arc<str>, KernelClassification> {
     group_by_kernel(rows)
         .into_iter()
         .map(|(k, rs)| {

@@ -13,7 +13,7 @@
 use crate::classify::{group_by_kernel, Driver, KernelClassification};
 use dnnperf_data::KernelRow;
 use dnnperf_linreg::{fit_bounded_intercept, mean, Fit, Line};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Default slope-ratio tolerance for merging two kernels into one cluster.
@@ -23,7 +23,7 @@ pub const DEFAULT_SLOPE_TOLERANCE: f64 = 1.08;
 /// and one (driver, regression) per cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Clustering {
-    assignment: HashMap<Arc<str>, usize>,
+    assignment: BTreeMap<Arc<str>, usize>,
     models: Vec<(Driver, Fit)>,
 }
 
@@ -62,7 +62,7 @@ impl Clustering {
 
     /// Rebuilds a clustering from its parts (persistence).
     pub(crate) fn from_parts(
-        assignment: HashMap<Arc<str>, usize>,
+        assignment: BTreeMap<Arc<str>, usize>,
         models: Vec<(Driver, Fit)>,
     ) -> Self {
         debug_assert!(assignment.values().all(|&id| id < models.len()));
@@ -73,7 +73,7 @@ impl Clustering {
 fn pooled_fit(
     driver: Driver,
     members: &[&Arc<str>],
-    by_kernel: &HashMap<Arc<str>, Vec<&KernelRow>>,
+    by_kernel: &BTreeMap<Arc<str>, Vec<&KernelRow>>,
 ) -> Fit {
     let mut xs = Vec::new();
     let mut ys = Vec::new();
@@ -115,14 +115,14 @@ fn pooled_fit(
 /// ```
 pub fn cluster_kernels(
     rows: &[KernelRow],
-    classes: &HashMap<Arc<str>, KernelClassification>,
+    classes: &BTreeMap<Arc<str>, KernelClassification>,
     slope_tolerance: f64,
 ) -> Clustering {
     assert!(slope_tolerance >= 1.0, "slope tolerance must be >= 1");
     let by_kernel = group_by_kernel(rows);
 
     // Partition kernels by driver, sort by slope, then sweep greedily.
-    let mut assignment = HashMap::new();
+    let mut assignment = BTreeMap::new();
     let mut models = Vec::new();
     for driver in Driver::all() {
         let mut members: Vec<(&Arc<str>, f64)> = classes
@@ -259,6 +259,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "slope tolerance")]
     fn tolerance_below_one_panics() {
-        cluster_kernels(&[], &HashMap::new(), 0.5);
+        cluster_kernels(&[], &BTreeMap::new(), 0.5);
     }
 }

@@ -21,7 +21,7 @@ use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::{Layer, Network};
 use dnnperf_gpu::GpuSpec;
 use dnnperf_linreg::{fit_bounded_intercept, fit_through_origin, mean};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How a kernel's regression parameters adapt across GPUs.
@@ -61,7 +61,7 @@ fn metric_value(metric: TransferMetric, gpu: &GpuSpec) -> f64 {
 #[derive(Debug, Clone, PartialEq)]
 pub struct IgkwModel {
     map: KernelMap,
-    kernels: HashMap<Arc<str>, KernelTransfer>,
+    kernels: BTreeMap<Arc<str>, KernelTransfer>,
     metric: TransferMetric,
     train_gpus: Vec<String>,
 }
@@ -110,7 +110,7 @@ impl IgkwModel {
         // Per GPU: per-kernel classification and fits.
         let mut per_gpu: Vec<(
             f64,
-            HashMap<Arc<str>, crate::classify::KernelClassification>,
+            BTreeMap<Arc<str>, crate::classify::KernelClassification>,
         )> = Vec::new();
         let mut map = KernelMap::default();
         for gpu in gpus {
@@ -139,13 +139,13 @@ impl IgkwModel {
 
         // For each kernel: pick the driver with the best summed R2 across
         // GPUs, then fit slope * metric = coef through the origin.
-        let mut all_kernels: HashMap<Arc<str>, ()> = HashMap::new();
+        let mut all_kernels: BTreeMap<Arc<str>, ()> = BTreeMap::new();
         for (_, classes) in &per_gpu {
             for k in classes.keys() {
                 all_kernels.entry(k.clone()).or_insert(());
             }
         }
-        let mut kernels = HashMap::new();
+        let mut kernels = BTreeMap::new();
         for kernel in all_kernels.into_keys() {
             let mut votes = [0.0f64; 3];
             for (_, classes) in &per_gpu {
@@ -157,9 +157,15 @@ impl IgkwModel {
                     }
                 }
             }
-            let best = (0..3)
-                .max_by(|&a, &b| votes[a].total_cmp(&votes[b]))
-                .expect("3 drivers");
+            // `(0..3).max_by(total_cmp)` with the last maximum winning
+            // ties, written without the range-is-nonempty `expect`.
+            let best = (1..3).fold(0, |b, i| {
+                if votes[i].total_cmp(&votes[b]).is_ge() {
+                    i
+                } else {
+                    b
+                }
+            });
             let driver = Driver::all()[best];
 
             let mut inv_metric = Vec::new();
@@ -274,7 +280,7 @@ impl IgkwModel {
         let rest = cur.keyword("kernels")?;
         let mut parts = rest.split_whitespace();
         let n_kernels: usize = field(&cur, &mut parts, "kernel count")?;
-        let mut kernels = HashMap::with_capacity(n_kernels);
+        let mut kernels = BTreeMap::new();
         for _ in 0..n_kernels {
             let rest = cur.keyword("kernel")?;
             let mut parts = rest.split_whitespace();

@@ -15,7 +15,7 @@ use crate::model::Predictor;
 use dnnperf_data::Dataset;
 use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::{Layer, Network};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// How much of a layer's kernel work the KW model can actually price.
@@ -61,7 +61,7 @@ impl LayerCoverage {
 pub struct KwModel {
     gpu: String,
     map: KernelMap,
-    classes: HashMap<Arc<str>, KernelClassification>,
+    classes: BTreeMap<Arc<str>, KernelClassification>,
     clustering: Clustering,
 }
 
@@ -123,7 +123,7 @@ impl KwModel {
     }
 
     /// Per-kernel classifications (for the Figure 8 analysis).
-    pub fn classifications(&self) -> &HashMap<Arc<str>, KernelClassification> {
+    pub fn classifications(&self) -> &BTreeMap<Arc<str>, KernelClassification> {
         &self.classes
     }
 
@@ -201,7 +201,7 @@ impl KwModel {
         let rest = cur.keyword("classes")?;
         let mut parts = rest.split_whitespace();
         let n_classes: usize = field(&cur, &mut parts, "class count")?;
-        let mut classes = HashMap::with_capacity(n_classes);
+        let mut classes = BTreeMap::new();
         for _ in 0..n_classes {
             let rest = cur.keyword("class")?;
             let mut parts = rest.split_whitespace();
@@ -255,7 +255,7 @@ impl KwModel {
                 .map_err(|e| cur.parse_err(format!("{e}")))?;
             models.push((driver, read_fit(&cur, &mut parts)?));
         }
-        let mut assignment = HashMap::with_capacity(n_assign);
+        let mut assignment = BTreeMap::new();
         for _ in 0..n_assign {
             let rest = cur.keyword("assign")?;
             let mut parts = rest.split_whitespace();

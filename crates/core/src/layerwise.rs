@@ -8,7 +8,7 @@ use dnnperf_data::Dataset;
 use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::Network;
 use dnnperf_linreg::{fit_bounded_intercept_with, mean, Estimator, Fit, Line};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Per-layer-type regression of time on FLOPs.
 ///
@@ -18,7 +18,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone, PartialEq)]
 pub struct LwModel {
     gpu: String,
-    per_type: HashMap<String, Fit>,
+    per_type: BTreeMap<String, Fit>,
     /// Fallback over all layers, used for layer types absent from training.
     fallback: Fit,
 }
@@ -68,7 +68,7 @@ impl LwModel {
                 gpu: gpu.to_string(),
             });
         }
-        let mut grouped: HashMap<String, (Vec<f64>, Vec<f64>)> = HashMap::new();
+        let mut grouped: BTreeMap<String, (Vec<f64>, Vec<f64>)> = BTreeMap::new();
         for r in &rows {
             let entry = grouped.entry(r.layer_type.to_string()).or_default();
             entry.0.push(r.flops as f64);
@@ -140,7 +140,7 @@ impl LwModel {
         let rest = cur.keyword("types")?;
         let mut parts = rest.split_whitespace();
         let count: usize = field(&cur, &mut parts, "type count")?;
-        let mut per_type = HashMap::with_capacity(count);
+        let mut per_type = BTreeMap::new();
         for _ in 0..count {
             let rest = cur.keyword("type")?;
             let mut parts = rest.split_whitespace();

@@ -14,12 +14,12 @@
 use dnnperf_data::KernelRow;
 use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::Layer;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// A batch-invariant description of a layer instance: its type tag plus
 /// per-sample input size, FLOPs and output size.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LayerSignature {
     /// Layer type tag (`"conv"`, `"bn"`, ...).
     pub tag: Arc<str>,
@@ -71,8 +71,8 @@ impl LayerSignature {
 /// The learned mapping from layer signatures to kernel name lists.
 #[derive(Debug, Clone, Default)]
 pub struct KernelMap {
-    exact: HashMap<LayerSignature, Vec<Arc<str>>>,
-    by_tag: HashMap<Arc<str>, Vec<LayerSignature>>,
+    exact: BTreeMap<LayerSignature, Vec<Arc<str>>>,
+    by_tag: BTreeMap<Arc<str>, Vec<LayerSignature>>,
 }
 
 impl PartialEq for KernelMap {

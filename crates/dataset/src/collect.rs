@@ -23,10 +23,11 @@ use crate::record::{KernelRow, LayerRow, NetworkRow};
 use dnnperf_dnn::Network;
 use dnnperf_gpu::hashrng::hash_with;
 use dnnperf_gpu::{FaultPlan, FaultyProfiler, GpuSpec, ProfileError, Profiler, TimingModel, Trace};
-use dnnperf_sched::retry::{retry_with_backoff, Backoff, RetryClass, RetryPolicy, SystemClock};
+use dnnperf_sched::retry::{
+    retry_with_backoff, Backoff, Clock, RetryClass, RetryPolicy, SystemClock,
+};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Converts one profiler trace into dataset rows.
 pub fn trace_rows(trace: &Trace, net: &Network) -> (NetworkRow, Vec<LayerRow>, Vec<KernelRow>) {
@@ -367,15 +368,28 @@ enum AttemptError {
 /// profiler is deterministic, so clean replicates always agree — any
 /// disagreement proves one replicate is damaged and the attempt retries
 /// on a fresh fault draw.
+/// The fault-handling context of one resilient grid point: the fault
+/// universe, the retry budget and the (injectable) clock elapsed-time
+/// decisions are measured on.
+struct Resilience<'a> {
+    plan: &'a FaultPlan,
+    retries: u32,
+    clock: &'a dyn Clock,
+}
+
 fn profile_point_resilient(
     gpu: &GpuSpec,
     net: &Network,
     batch: usize,
     timing: &TimingModel,
     mode: CollectMode,
-    plan: &FaultPlan,
-    retries: u32,
+    res: &Resilience<'_>,
 ) -> (PointOutcome, PointStats) {
+    let Resilience {
+        plan,
+        retries,
+        clock,
+    } = *res;
     let mut st = PointStats::default();
     let profiler = Profiler::with_timing(gpu.clone(), timing.clone());
     let faulty = FaultyProfiler::new(profiler, plan.clone());
@@ -392,7 +406,7 @@ fn profile_point_resilient(
     };
     let outcome = retry_with_backoff(
         &policy,
-        &SystemClock,
+        clock,
         |e: &AttemptError| match e {
             // The workload itself is infeasible or malformed: no retry
             // can change that.
@@ -403,7 +417,11 @@ fn profile_point_resilient(
             | AttemptError::Slow(_) => RetryClass::Retriable,
         },
         |attempt| {
-            let t0 = Instant::now();
+            // Elapsed time here is *result-affecting* (it decides straggler
+            // re-dispatch), so it must come through the injectable [`Clock`]
+            // — never from a bare `Instant::now()` (the determinism-hygiene
+            // lint pins this down). Tests drive it with a fake clock.
+            let t0 = clock.now();
             let run = |sub: u32| -> Result<Trace, AttemptError> {
                 let result = match mode {
                     CollectMode::Inference => faulty.profile_attempt(net, batch, 2 * attempt + sub),
@@ -434,7 +452,7 @@ fn profile_point_resilient(
                 // measurement.
                 st.corrupt += 1;
                 Err(AttemptError::Disagree(Box::new(first)))
-            } else if t0.elapsed() >= straggler_limit {
+            } else if clock.now().saturating_sub(t0) >= straggler_limit {
                 st.stragglers += 1;
                 Err(AttemptError::Slow(Box::new(first)))
             } else {
@@ -500,9 +518,18 @@ fn run_grid(
                 profile_point(gpu, net, batch, timing, mode),
                 PointStats::default(),
             ),
-            Some(plan) => {
-                profile_point_resilient(gpu, net, batch, timing, mode, plan, opts.retries)
-            }
+            Some(plan) => profile_point_resilient(
+                gpu,
+                net,
+                batch,
+                timing,
+                mode,
+                &Resilience {
+                    plan,
+                    retries: opts.retries,
+                    clock: &SystemClock,
+                },
+            ),
         }
     };
     // Every job is individually catch_unwind-isolated: one poisoned grid
@@ -773,13 +800,17 @@ pub fn collect_main_cnn_dataset() -> Dataset {
 
 /// [`collect_main_cnn_dataset`] with explicit engine options.
 pub fn collect_main_cnn_dataset_opts(opts: &CollectOptions) -> Dataset {
-    let t = Instant::now();
+    // Wall time here only feeds the stderr summary line (never the
+    // dataset), but it still goes through the sanctioned clock so this
+    // module stays free of bare `Instant::now()`.
+    let clock = SystemClock;
+    let t = clock.now();
     let nets = dnnperf_dnn::zoo::cnn_zoo();
     let (ds, report) = collect_report_opts(&nets, &evaluation_gpus(), &[TRAIN_BATCH], opts);
     eprintln!(
         "[collect] main CNN dataset: {} kernel rows | {}",
         ds.kernels.len(),
-        report.summary(t.elapsed().as_secs_f64())
+        report.summary(clock.now().saturating_sub(t).as_secs_f64())
     );
     ds
 }

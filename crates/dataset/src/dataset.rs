@@ -2,7 +2,7 @@
 //! filtering and summary statistics.
 
 use crate::record::{KernelRow, LayerRow, NetworkRow};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
 type ExperimentKey = (Arc<str>, Arc<str>, u32);
@@ -53,7 +53,7 @@ impl Dataset {
             key: impl Fn(&R) -> ExperimentKey,
             layer_index: impl Fn(&R) -> u32,
         ) {
-            let mut seen: HashSet<ExperimentKey> = HashSet::new();
+            let mut seen: BTreeSet<ExperimentKey> = BTreeSet::new();
             let mut current: Option<(ExperimentKey, u32, bool)> = None;
             rows.retain(|r| {
                 let k = key(r);
@@ -73,7 +73,7 @@ impl Dataset {
             });
         }
         // A network row IS a whole experiment: plain per-row dedup.
-        let mut seen: HashSet<ExperimentKey> = HashSet::new();
+        let mut seen: BTreeSet<ExperimentKey> = BTreeSet::new();
         self.networks
             .retain(|r| seen.insert((r.network.clone(), r.gpu.clone(), r.batch)));
         drop_repeated_segments(
@@ -113,7 +113,7 @@ impl Dataset {
     }
 
     /// Returns the subset of rows belonging to the named networks.
-    pub fn for_networks(&self, names: &HashSet<String>) -> Dataset {
+    pub fn for_networks(&self, names: &BTreeSet<String>) -> Dataset {
         Dataset {
             networks: self
                 .networks
@@ -138,7 +138,7 @@ impl Dataset {
 
     /// Distinct network names present in the dataset, in first-seen order.
     pub fn network_names(&self) -> Vec<String> {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut names = Vec::new();
         for r in &self.networks {
             if seen.insert(r.network.clone()) {
@@ -150,7 +150,7 @@ impl Dataset {
 
     /// Distinct GPU names present in the dataset.
     pub fn gpu_names(&self) -> Vec<String> {
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut names = Vec::new();
         for r in &self.networks {
             if seen.insert(r.gpu.clone()) {
@@ -166,7 +166,7 @@ impl Dataset {
         self.kernels
             .iter()
             .map(|r| r.kernel.clone())
-            .collect::<HashSet<_>>()
+            .collect::<BTreeSet<_>>()
             .len()
     }
 }

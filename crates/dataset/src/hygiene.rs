@@ -28,7 +28,7 @@
 
 use crate::dataset::Dataset;
 use dnnperf_gpu::Trace;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 /// Experiment identity: one `(network, gpu, batch)` run.
@@ -127,11 +127,11 @@ fn median_of(mut v: Vec<f64>) -> f64 {
 pub fn quarantine_scale_outliers(ds: &mut Dataset) -> u64 {
     // Group scores by the full work identity: only rows measuring the
     // exact same computation are comparable.
-    let mut groups: HashMap<WorkKey, Vec<f64>> = HashMap::new();
+    let mut groups: BTreeMap<WorkKey, Vec<f64>> = BTreeMap::new();
     for r in &ds.kernels {
         groups.entry(work_key(r)).or_default().push(r.seconds.ln());
     }
-    let centers: HashMap<WorkKey, (f64, f64)> = groups
+    let centers: BTreeMap<WorkKey, (f64, f64)> = groups
         .into_iter()
         .filter(|(_, xs)| xs.len() >= 3) // need replicates to judge
         .map(|(k, xs)| {
@@ -142,7 +142,7 @@ pub fn quarantine_scale_outliers(ds: &mut Dataset) -> u64 {
         })
         .collect();
 
-    let mut bad: HashSet<ExperimentKey> = HashSet::new();
+    let mut bad: BTreeSet<ExperimentKey> = BTreeSet::new();
     for r in &ds.kernels {
         let Some(&(med, thr)) = centers.get(&work_key(r)) else {
             continue;
@@ -225,7 +225,7 @@ mod tests {
     /// Index of a kernel row that belongs to an identical-work group with
     /// at least three replicates (so the screen is allowed to judge it).
     fn judged_row(ds: &Dataset) -> usize {
-        let mut counts: HashMap<WorkKey, usize> = HashMap::new();
+        let mut counts: BTreeMap<WorkKey, usize> = BTreeMap::new();
         for r in &ds.kernels {
             *counts.entry(work_key(r)).or_default() += 1;
         }

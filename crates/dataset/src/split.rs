@@ -9,7 +9,7 @@
 
 use crate::dataset::Dataset;
 use dnnperf_testkit::hashrng::Rng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The paper's test fraction.
 pub const TEST_FRACTION: f64 = 0.15;
@@ -48,8 +48,8 @@ pub fn split_names(names: &[String], test_fraction: f64, seed: u64) -> (Vec<Stri
 pub fn split_dataset(ds: &Dataset, seed: u64) -> (Dataset, Dataset) {
     let names = ds.network_names();
     let (train, test) = split_names(&names, TEST_FRACTION, seed);
-    let train: HashSet<String> = train.into_iter().collect();
-    let test: HashSet<String> = test.into_iter().collect();
+    let train: BTreeSet<String> = train.into_iter().collect();
+    let test: BTreeSet<String> = test.into_iter().collect();
     (ds.for_networks(&train), ds.for_networks(&test))
 }
 
@@ -66,7 +66,7 @@ mod tests {
         let all = names(200);
         let (train, test) = split_names(&all, 0.15, 42);
         assert_eq!(train.len() + test.len(), all.len());
-        let union: HashSet<&String> = train.iter().chain(&test).collect();
+        let union: BTreeSet<&String> = train.iter().chain(&test).collect();
         assert_eq!(union.len(), all.len());
     }
 
@@ -125,7 +125,7 @@ mod tests {
         );
         assert_eq!(train.kernels.len() + test.kernels.len(), ds.kernels.len());
         // No network appears on both sides.
-        let tr: HashSet<String> = train.network_names().into_iter().collect();
+        let tr: BTreeSet<String> = train.network_names().into_iter().collect();
         for n in test.network_names() {
             assert!(!tr.contains(&n));
         }

@@ -16,13 +16,13 @@ use super::{
     vgg::{self, vgg_from_stages},
 };
 use crate::graph::Network;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Number of CNNs in the paper's dataset.
 pub const CNN_ZOO_SIZE: usize = 646;
 
 fn dedup_truncate(mut pool: Vec<Network>, quota: usize) -> Vec<Network> {
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     pool.retain(|n| seen.insert(n.name().to_string()));
     assert!(
         pool.len() >= quota,
@@ -296,6 +296,7 @@ pub fn by_name(name: &str) -> Option<Network> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
 
     #[test]
     fn cnn_zoo_has_exactly_646_networks() {

@@ -22,6 +22,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Predictor-side code must degrade gracefully, never crash: a stray
+// `unwrap` would turn a recoverable modelling failure into a panic.
+// dnnperf-lint's panic-policy pass verifies this attribute stays in place.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod metrics;
 pub mod ols;

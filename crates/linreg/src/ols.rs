@@ -335,9 +335,15 @@ pub fn fit_plane(x1: &[f64], x2: &[f64], ys: &[f64]) -> Result<PlaneFit, FitErro
     let mut m = [[s11, s12, s1, t1], [s12, s22, s2, t2], [s1, s2, n, t0]];
     // Gaussian elimination with partial pivoting.
     for col in 0..3 {
-        let pivot = (col..3)
-            .max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))
-            .expect("3 rows");
+        // `(col..3).max_by(...)` with the last maximum winning ties,
+        // written without the range-is-nonempty `expect`.
+        let pivot = (col + 1..3).fold(col, |b, r| {
+            if m[r][col].abs().total_cmp(&m[b][col].abs()).is_ge() {
+                r
+            } else {
+                b
+            }
+        });
         m.swap(col, pivot);
         if m[col][col].abs() < 1e-30 {
             return Err(FitError::DegenerateX);

@@ -1,0 +1,382 @@
+//! Token-stream structure extraction: use-declarations, attributes and
+//! `#[cfg(test)]` regions.
+//!
+//! This is deliberately **not** a parser. Each extractor walks the flat
+//! token stream from [`crate::lexer`] and recovers just enough shape for
+//! the passes:
+//!
+//! * [`use_paths`] flattens every `use` declaration (including group
+//!   trees `use a::{b, c::d}` and globs `use a::*`) into leaf paths with
+//!   the span of their *first* segment — so a diagnostic points at the
+//!   import, not at the closing brace;
+//! * [`attributes`] collects `#[...]` / `#![...]` attributes as flattened
+//!   token text, which is enough to structurally verify
+//!   `deny(clippy::unwrap_used)`-style policy attributes;
+//! * [`test_regions`] finds `#[cfg(test)] mod <name> { ... }` blocks by
+//!   brace matching, so passes can skip findings inside test code.
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One flattened `use` path, e.g. `["dnnperf_gpu", "timing", "*"]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsePath {
+    /// Path segments, leading `::` dropped; a trailing glob appears as
+    /// a literal `"*"` segment, `as` renames are dropped.
+    pub segments: Vec<String>,
+    /// 1-based line of the path's first segment.
+    pub line: u32,
+    /// 1-based column of the path's first segment.
+    pub col: u32,
+}
+
+impl UsePath {
+    /// The path joined with `::` for display.
+    pub fn display(&self) -> String {
+        self.segments.join("::")
+    }
+}
+
+/// An attribute, flattened to the token text inside the brackets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// `true` for inner attributes `#![...]` (crate/module level).
+    pub inner: bool,
+    /// The attribute body with all tokens joined by single spaces,
+    /// e.g. `cfg_attr ( not ( test ) , deny ( clippy :: unwrap_used ) )`.
+    pub tokens: String,
+    /// 1-based line of the `#`.
+    pub line: u32,
+}
+
+impl Attribute {
+    /// Whether the flattened body contains `needle` with all spaces
+    /// removed on both sides (so callers can write `deny(clippy::unwrap_used`
+    /// naturally).
+    pub fn contains(&self, needle: &str) -> bool {
+        let hay: String = self.tokens.chars().filter(|c| !c.is_whitespace()).collect();
+        let pat: String = needle.chars().filter(|c| !c.is_whitespace()).collect();
+        hay.contains(&pat)
+    }
+}
+
+/// Extracts every `use` declaration's leaf paths.
+///
+/// Handles `pub use`, `pub(crate) use`, nested groups, globs and `as`
+/// renames. `use` inside function bodies is included too (imports are
+/// imports wherever they live — the oracle pass wants them all).
+pub fn use_paths(lexed: &Lexed) -> Vec<UsePath> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("use") && !is_ident_before(toks, i) {
+            // Find the terminating `;` (or give up at EOF).
+            let start = i + 1;
+            let mut j = start;
+            let mut depth = 0i32;
+            while j < toks.len() {
+                if toks[j].is_punct('{') {
+                    depth += 1;
+                } else if toks[j].is_punct('}') {
+                    depth -= 1;
+                    // A close brace below zero means this `use` keyword was
+                    // actually something else (e.g. a macro fragment);
+                    // abandon the declaration.
+                    if depth < 0 {
+                        break;
+                    }
+                } else if toks[j].is_punct(';') && depth == 0 {
+                    break;
+                }
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct(';') {
+                flatten_use_tree(&toks[start..j], &[], &mut out);
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `expr . use` or `r#use` never occur, but `mod use` etc. would be a
+/// syntax error anyway; the one real false positive is `use` appearing as
+/// a macro metavariable name — guard by requiring the previous token not
+/// be an ident/path-sep (so `foo::use` is skipped).
+fn is_ident_before(toks: &[Token], i: usize) -> bool {
+    i > 0 && matches!(toks[i - 1].kind, TokKind::PathSep) // `::use` never valid
+}
+
+/// Recursively flattens one use-tree token slice into leaf paths.
+///
+/// `prefix` holds the segments (with the span of the very first one)
+/// accumulated from enclosing groups.
+fn flatten_use_tree(toks: &[Token], prefix: &[(String, u32, u32)], out: &mut Vec<UsePath>) {
+    // Split the slice on top-level commas, then process each element.
+    let mut depth = 0i32;
+    let mut elem_start = 0usize;
+    let mut elems: Vec<&[Token]> = Vec::new();
+    for (k, t) in toks.iter().enumerate() {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            elems.push(&toks[elem_start..k]);
+            elem_start = k + 1;
+        }
+    }
+    elems.push(&toks[elem_start..]);
+
+    for elem in elems {
+        let mut segs: Vec<(String, u32, u32)> = prefix.to_vec();
+        let mut k = 0;
+        let mut done = false;
+        while k < elem.len() && !done {
+            let t = &elem[k];
+            match t.kind {
+                TokKind::Ident => {
+                    if t.text == "as" {
+                        // Rename: skip the alias, the leaf is complete.
+                        done = true;
+                    } else {
+                        segs.push((t.text.clone(), t.line, t.col));
+                    }
+                    k += 1;
+                }
+                TokKind::PathSep => {
+                    k += 1;
+                }
+                TokKind::Punct if t.text == "*" => {
+                    segs.push(("*".to_string(), t.line, t.col));
+                    k += 1;
+                }
+                TokKind::Punct if t.text == "{" => {
+                    // Find the matching close brace; recurse on the body.
+                    let mut d = 1i32;
+                    let mut m = k + 1;
+                    while m < elem.len() && d > 0 {
+                        if elem[m].is_punct('{') {
+                            d += 1;
+                        } else if elem[m].is_punct('}') {
+                            d -= 1;
+                        }
+                        m += 1;
+                    }
+                    let body_end = m.saturating_sub(1);
+                    flatten_use_tree(&elem[k + 1..body_end], &segs, out);
+                    segs.clear(); // group consumed: no leaf at this level
+                    done = true;
+                }
+                _ => {
+                    k += 1;
+                }
+            }
+        }
+        if !segs.is_empty() {
+            let (line, col) = (segs[0].1, segs[0].2);
+            out.push(UsePath {
+                segments: segs.into_iter().map(|(s, _, _)| s).collect(),
+                line,
+                col,
+            });
+        }
+    }
+}
+
+/// Extracts every attribute in the file.
+pub fn attributes(lexed: &Lexed) -> Vec<Attribute> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') {
+            let line = toks[i].line;
+            let mut j = i + 1;
+            let inner = j < toks.len() && toks[j].is_punct('!');
+            if inner {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('[') {
+                let mut depth = 1i32;
+                let mut k = j + 1;
+                let mut body = Vec::new();
+                while k < toks.len() && depth > 0 {
+                    if toks[k].is_punct('[') {
+                        depth += 1;
+                    } else if toks[k].is_punct(']') {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    body.push(toks[k].text.clone());
+                    k += 1;
+                }
+                out.push(Attribute {
+                    inner,
+                    tokens: body.join(" "),
+                    line,
+                });
+                i = k + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// A half-open line range `[start, end]` (inclusive) of test code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineRange {
+    /// First line of the region (the `#[cfg(test)]` attribute line).
+    pub start: u32,
+    /// Last line of the region (the closing brace's line).
+    pub end: u32,
+}
+
+/// Finds `#[cfg(test)] mod <name> { ... }` regions plus `#[test] fn`
+/// bodies, returning inclusive line ranges.
+///
+/// Brace matching runs on the token stream, so strings/comments cannot
+/// unbalance it.
+pub fn test_regions(lexed: &Lexed) -> Vec<LineRange> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // Match `#[cfg(test)]` or `#[cfg(test, ...)]` / `#[cfg(all(test,..`.
+        if toks[i].is_punct('#') && i + 1 < toks.len() && toks[i + 1].is_punct('[') {
+            // Flatten this single attribute.
+            let mut depth = 1i32;
+            let mut k = i + 2;
+            let mut body = String::new();
+            while k < toks.len() && depth > 0 {
+                if toks[k].is_punct('[') {
+                    depth += 1;
+                } else if toks[k].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                body.push_str(&toks[k].text);
+                k += 1;
+            }
+            let is_cfg_test = body.starts_with("cfg(") && body.contains("test");
+            let is_test_attr = body == "test" || body.starts_with("test(");
+            if is_cfg_test || is_test_attr {
+                let start_line = toks[i].line;
+                // Scan forward past further attributes / visibility / the
+                // item keyword to the first `{`, then brace-match.
+                let mut m = k + 1;
+                let mut opened = false;
+                while m < toks.len() {
+                    if toks[m].is_punct('{') {
+                        opened = true;
+                        break;
+                    }
+                    if toks[m].is_punct(';') {
+                        break; // e.g. `#[cfg(test)] mod tests;` — file-level
+                    }
+                    m += 1;
+                }
+                if opened {
+                    let mut d = 1i32;
+                    let mut n = m + 1;
+                    while n < toks.len() && d > 0 {
+                        if toks[n].is_punct('{') {
+                            d += 1;
+                        } else if toks[n].is_punct('}') {
+                            d -= 1;
+                        }
+                        n += 1;
+                    }
+                    let end_line = toks[n.saturating_sub(1).min(toks.len() - 1)].line;
+                    out.push(LineRange {
+                        start: start_line,
+                        end: end_line,
+                    });
+                    i = n;
+                    continue;
+                }
+            }
+            i = k + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Whether `line` falls inside any of `regions`.
+pub fn in_regions(regions: &[LineRange], line: u32) -> bool {
+    regions.iter().any(|r| line >= r.start && line <= r.end)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn flat_use_paths() {
+        let l = lex("use dnnperf_gpu::timing::TimingModel;\n");
+        let p = use_paths(&l);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].segments, vec!["dnnperf_gpu", "timing", "TimingModel"]);
+        assert_eq!((p[0].line, p[0].col), (1, 5));
+    }
+
+    #[test]
+    fn grouped_and_glob_use_paths() {
+        let l = lex("pub use a::{b, c::{d, e as f}, g::*};\n");
+        let p = use_paths(&l);
+        let shown: Vec<_> = p.iter().map(|u| u.display()).collect();
+        assert_eq!(shown, vec!["a::b", "a::c::d", "a::c::e", "a::g::*"]);
+    }
+
+    #[test]
+    fn glob_import_span_points_at_first_segment() {
+        let l = lex("fn f() {\n    use dnnperf_gpu::timing::*;\n}\n");
+        let p = use_paths(&l);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].display(), "dnnperf_gpu::timing::*");
+        assert_eq!((p[0].line, p[0].col), (2, 9));
+    }
+
+    #[test]
+    fn attributes_flatten() {
+        let l = lex(
+            "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\nfn x() {}\n",
+        );
+        let a = attributes(&l);
+        assert_eq!(a.len(), 1);
+        assert!(a[0].inner);
+        assert!(a[0].contains("deny(clippy::unwrap_used"));
+        assert!(a[0].contains("clippy::expect_used"));
+    }
+
+    #[test]
+    fn test_regions_cover_cfg_test_mod() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let l = lex(src);
+        let r = test_regions(&l);
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].start, r[0].end), (2, 5));
+        assert!(in_regions(&r, 4));
+        assert!(!in_regions(&r, 6));
+    }
+
+    #[test]
+    fn test_attr_fn_is_a_region() {
+        let src = "#[test]\nfn prop() {\n    let x = v[0];\n}\n";
+        let l = lex(src);
+        let r = test_regions(&l);
+        assert_eq!(r.len(), 1);
+        assert!(in_regions(&r, 3));
+    }
+}

@@ -1,0 +1,279 @@
+//! Suppression baseline: grandfathered findings, checked in and expiring.
+//!
+//! Format (one entry per line, `#` comments allowed):
+//!
+//! ```text
+//! <pass> <file> <snippet-key> -- <note> [expires=YYYY-MM-DD]
+//! ```
+//!
+//! * `<snippet-key>` is the offending snippet with **all whitespace
+//!   removed** (see `Finding::snippet_key`), so entries survive rustfmt;
+//! * `-- <note>` is mandatory: every suppression must say *why* the
+//!   finding is acceptable;
+//! * `[expires=YYYY-MM-DD]` is optional; past the date the entry stops
+//!   suppressing and itself becomes an error, forcing a revisit.
+//!
+//! Matching is exact on `(pass, file, snippet-key)`. An entry that
+//! matches nothing is reported as unused (warning, not failure) so the
+//! baseline shrinks monotonically as findings get real fixes.
+
+use crate::diag::Finding;
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Pass name the entry suppresses.
+    pub pass: String,
+    /// Workspace-relative file the entry applies to.
+    pub file: String,
+    /// Whitespace-free snippet key.
+    pub snippet_key: String,
+    /// Why the suppression exists.
+    pub note: String,
+    /// Optional `YYYY-MM-DD` expiry.
+    pub expires: Option<String>,
+    /// 1-based line in the baseline file (for diagnostics).
+    pub line: usize,
+}
+
+/// A parsed baseline file.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+/// Result of applying a baseline to a finding set.
+#[derive(Debug, Default)]
+pub struct Applied {
+    /// Findings not covered by any live baseline entry — these fail CI.
+    pub unsuppressed: Vec<Finding>,
+    /// Findings whose only covering entries had expired, rendered as
+    /// messages — these fail CI too (the entry must be renewed or fixed).
+    pub expired: Vec<String>,
+    /// Entries that matched nothing — stale; warned, not fatal.
+    pub unused: Vec<Entry>,
+    /// Number of findings suppressed by live entries.
+    pub suppressed_count: usize,
+}
+
+impl Baseline {
+    /// Parses baseline text.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (n, raw) in src.lines().enumerate() {
+            let lineno = n + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (head, note) = line
+                .split_once(" -- ")
+                .ok_or_else(|| format!("baseline:{lineno}: missing ` -- <note>`"))?;
+            let mut parts = head.split_whitespace();
+            let (Some(pass), Some(file), Some(snippet_key), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "baseline:{lineno}: expected `<pass> <file> <snippet-key> -- <note>`"
+                ));
+            };
+            let note = note.trim();
+            let expires = note.rfind("[expires=").map(|i| {
+                note[i + "[expires=".len()..]
+                    .trim_end_matches(']')
+                    .to_string()
+            });
+            if let Some(d) = &expires {
+                if !is_iso_date(d) {
+                    return Err(format!(
+                        "baseline:{lineno}: bad expiry `{d}` (want YYYY-MM-DD)"
+                    ));
+                }
+            }
+            entries.push(Entry {
+                pass: pass.to_string(),
+                file: file.to_string(),
+                snippet_key: snippet_key.to_string(),
+                note: note.to_string(),
+                expires,
+                line: lineno,
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Applies the baseline: partitions `findings` into suppressed /
+    /// unsuppressed / expired, and reports unused entries. `today` is an
+    /// ISO `YYYY-MM-DD` date (injectable for tests).
+    pub fn apply(&self, findings: Vec<Finding>, today: &str) -> Applied {
+        let mut used = vec![false; self.entries.len()];
+        let mut out = Applied::default();
+        for f in findings {
+            let key = f.snippet_key();
+            let mut matched_live = false;
+            let mut matched_expired: Option<&Entry> = None;
+            for (i, e) in self.entries.iter().enumerate() {
+                if e.pass == f.pass && e.file == f.file && e.snippet_key == key {
+                    used[i] = true;
+                    // ISO dates compare correctly as strings.
+                    if e.expires.as_deref().is_some_and(|d| d < today) {
+                        matched_expired = Some(e);
+                    } else {
+                        matched_live = true;
+                    }
+                }
+            }
+            if matched_live {
+                out.suppressed_count += 1;
+            } else if let Some(e) = matched_expired {
+                out.expired.push(format!(
+                    "{}:{}:{}: [{}] baseline entry (line {}) expired {}: {}",
+                    f.file,
+                    f.line,
+                    f.col,
+                    f.pass,
+                    e.line,
+                    e.expires.as_deref().unwrap_or("?"),
+                    f.message
+                ));
+            } else {
+                out.unsuppressed.push(f);
+            }
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            if !used[i] {
+                out.unused.push(e.clone());
+            }
+        }
+        out
+    }
+}
+
+fn is_iso_date(s: &str) -> bool {
+    let b = s.as_bytes();
+    b.len() == 10
+        && b[4] == b'-'
+        && b[7] == b'-'
+        && b.iter()
+            .enumerate()
+            .all(|(i, c)| matches!(i, 4 | 7) || c.is_ascii_digit())
+}
+
+/// Today's date as `YYYY-MM-DD`, derived from the system clock.
+///
+/// This is the lint tool's *only* wall-clock read (expiry is inherently a
+/// calendar question); the policy whitelists this module for its own
+/// determinism pass.
+pub fn today_iso() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let days = (secs / 86_400) as i64;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Converts days-since-1970 to a (year, month, day) civil date
+/// (Gregorian, proleptic). Standard era-based algorithm.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097); // day of era [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 7,
+            col: 3,
+            pass,
+            snippet: snippet.to_string(),
+            message: "msg".to_string(),
+        }
+    }
+
+    const BL: &str = "\
+# grandfathered
+panic-policy crates/scheduler/src/pool.rs deques[ -- bounded by construction [expires=2027-01-01]
+determinism crates/core/src/x.rs HashMap -- ordered downstream
+";
+
+    #[test]
+    fn live_entry_suppresses() {
+        let bl = Baseline::parse(BL).unwrap();
+        let a = bl.apply(
+            vec![finding(
+                "panic-policy",
+                "crates/scheduler/src/pool.rs",
+                "deques [",
+            )],
+            "2026-08-06",
+        );
+        assert_eq!(a.suppressed_count, 1);
+        assert!(a.unsuppressed.is_empty());
+        assert!(a.expired.is_empty());
+        // The determinism entry matched nothing.
+        assert_eq!(a.unused.len(), 1);
+        assert_eq!(a.unused[0].pass, "determinism");
+    }
+
+    #[test]
+    fn expired_entry_fails() {
+        let bl = Baseline::parse(BL).unwrap();
+        let a = bl.apply(
+            vec![finding(
+                "panic-policy",
+                "crates/scheduler/src/pool.rs",
+                "deques[",
+            )],
+            "2027-06-01",
+        );
+        assert_eq!(a.suppressed_count, 0);
+        assert_eq!(a.expired.len(), 1);
+        assert!(a.expired[0].contains("expired 2027-01-01"));
+    }
+
+    #[test]
+    fn unmatched_finding_stays_unsuppressed() {
+        let bl = Baseline::parse(BL).unwrap();
+        let a = bl.apply(
+            vec![finding(
+                "oracle-isolation",
+                "crates/core/src/a.rs",
+                "timing",
+            )],
+            "2026-08-06",
+        );
+        assert_eq!(a.unsuppressed.len(), 1);
+    }
+
+    #[test]
+    fn bad_lines_are_rejected() {
+        assert!(Baseline::parse("no separators here\n").is_err());
+        assert!(Baseline::parse("p f s extra -- note\n").is_err());
+        assert!(Baseline::parse("p f s -- note [expires=tomorrow]\n").is_err());
+    }
+
+    #[test]
+    fn civil_date_roundtrip_known_values() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_724), (2024, 1, 2));
+        // 2026-08-06 is 20671 days after the epoch.
+        assert_eq!(civil_from_days(20_671), (2026, 8, 6));
+        let t = today_iso();
+        assert!(is_iso_date(&t), "{t}");
+    }
+}

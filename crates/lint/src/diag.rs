@@ -1,0 +1,123 @@
+//! Diagnostics: the [`Finding`] type and its human / JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One lint finding with an exact source span.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file (`/`-separated).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (bytes).
+    pub col: u32,
+    /// The pass that produced this finding (e.g. `oracle-isolation`).
+    pub pass: &'static str,
+    /// The offending snippet, used both for display and for baseline
+    /// matching (compared with all whitespace stripped).
+    pub snippet: String,
+    /// Human explanation of why this is a finding.
+    pub message: String,
+}
+
+impl Finding {
+    /// The snippet with all whitespace removed — the canonical form used
+    /// to match suppression-baseline entries, so a baseline survives
+    /// `rustfmt` reflowing the offending line.
+    pub fn snippet_key(&self) -> String {
+        self.snippet
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect()
+    }
+
+    /// `file:line:col: [pass] message` single-line rendering.
+    pub fn render_human(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}\n    {}\n",
+            self.file, self.line, self.col, self.pass, self.message, self.snippet
+        )
+    }
+}
+
+/// Renders findings as a JSON array (machine-readable `--format json`).
+///
+/// Hand-rolled writer (the workspace is dependency-free by policy); all
+/// strings pass through [`json_escape`].
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "  {{\"file\":\"{}\",\"line\":{},\"col\":{},\"pass\":\"{}\",\"snippet\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&f.file),
+            f.line,
+            f.col,
+            json_escape(f.pass),
+            json_escape(&f.snippet),
+            json_escape(&f.message),
+        );
+        s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f() -> Finding {
+        Finding {
+            file: "crates/core/src/peek.rs".into(),
+            line: 3,
+            col: 5,
+            pass: "oracle-isolation",
+            snippet: "use dnnperf_gpu::timing::*".into(),
+            message: "predictor crate imports simulator-private module `timing`".into(),
+        }
+    }
+
+    #[test]
+    fn human_rendering_has_clickable_span() {
+        let r = f().render_human();
+        assert!(r.starts_with("crates/core/src/peek.rs:3:5: [oracle-isolation]"));
+        assert!(r.contains("use dnnperf_gpu::timing::*"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_well_formed() {
+        let mut x = f();
+        x.message = "quote \" backslash \\ newline \n".into();
+        let j = render_json(&[x]);
+        assert!(j.contains("\\\""));
+        assert!(j.contains("\\\\"));
+        assert!(j.contains("\\n"));
+        assert!(j.trim_start().starts_with('['));
+        assert!(j.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn snippet_key_is_whitespace_free() {
+        assert_eq!(f().snippet_key(), "usednnperf_gpu::timing::*".to_string());
+    }
+}

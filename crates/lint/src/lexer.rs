@@ -1,0 +1,406 @@
+//! A lightweight, lossy-but-honest Rust lexer.
+//!
+//! `dnnperf-lint` needs exactly three guarantees from its tokenizer, and
+//! nothing a full parser provides:
+//!
+//! 1. **comments and string/char literals never produce code tokens** — a
+//!    `"dnnperf_gpu::timing"` inside a doc string must not trip the
+//!    oracle-isolation pass;
+//! 2. **every identifier and punctuation token carries an exact
+//!    `line:col` span** so diagnostics are clickable;
+//! 3. **comments are retained separately** so the unsafe-audit pass can
+//!    check for adjacent `// SAFETY:` justifications.
+//!
+//! The lexer understands line comments, nested block comments, string /
+//! raw-string / byte-string / char literals, lifetimes, raw identifiers
+//! and numeric literals. It does not attempt to parse expressions — the
+//! passes pattern-match on the token stream instead (see [`crate::ast`]).
+
+/// What kind of token a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`use`, `unsafe`, `HashMap`, ...).
+    Ident,
+    /// A string/char/numeric literal (content not tokenized further).
+    Literal,
+    /// A single punctuation character (`{`, `[`, `!`, ...).
+    Punct,
+    /// The two-character path separator `::`.
+    PathSep,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind.
+    pub kind: TokKind,
+    /// The token text (for [`TokKind::Punct`] a single character; for
+    /// literals, a placeholder — literal *content* is deliberately not
+    /// retained so passes cannot accidentally match inside strings).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in bytes).
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A comment (line or block) with the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// The full comment text, including the `//` / `/*` markers.
+    pub text: String,
+}
+
+/// The lexed form of one source file: code tokens plus retained comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source text.
+///
+/// Unknown bytes are skipped (never fatal): lint passes prefer degraded
+/// coverage over refusing to analyse a file.
+pub fn lex(src: &str) -> Lexed {
+    Lexer {
+        b: src.as_bytes(),
+        i: 0,
+        line: 1,
+        col: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    col: u32,
+    out: Lexed,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, off: usize) -> u8 {
+        *self.b.get(self.i + off).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek(0);
+        self.i += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32, col: u32) {
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while self.i < self.b.len() {
+            let (line, col) = (self.line, self.col);
+            let c = self.peek(0);
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == b'/' => self.line_comment(line),
+                b'/' if self.peek(1) == b'*' => self.block_comment(line),
+                b'"' => self.string_literal(line, col),
+                b'\'' => self.quote(line, col),
+                b'r' | b'b' | b'c' if self.raw_or_byte_literal(line, col) => {}
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(line, col),
+                b'0'..=b'9' => self.number(line, col),
+                b':' if self.peek(1) == b':' => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokKind::PathSep, "::".to_string(), line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (c as char).to_string(), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.i;
+        while self.i < self.b.len() && self.peek(0) != b'\n' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.i;
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                self.bump();
+                self.bump();
+                depth -= 1;
+            } else {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.out.comments.push(Comment { line, text });
+    }
+
+    /// `"..."` with escapes. Content is discarded.
+    fn string_literal(&mut self, line: u32, col: u32) {
+        self.bump(); // opening quote
+        while self.i < self.b.len() {
+            match self.bump() {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Literal, "\"...\"".to_string(), line, col);
+    }
+
+    /// A `'`: either a lifetime (`'a`) or a char literal (`'x'`, `'\n'`).
+    fn quote(&mut self, line: u32, col: u32) {
+        // Lifetime: 'ident not followed by a closing quote.
+        let c1 = self.peek(1);
+        if (c1.is_ascii_alphabetic() || c1 == b'_') && self.peek(2) != b'\'' {
+            self.bump(); // '
+            let start = self.i;
+            while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+                self.bump();
+            }
+            let text = format!("'{}", String::from_utf8_lossy(&self.b[start..self.i]));
+            self.push(TokKind::Punct, text, line, col);
+            return;
+        }
+        // Char literal.
+        self.bump(); // opening '
+        if self.peek(0) == b'\\' {
+            self.bump();
+            self.bump();
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+        self.push(TokKind::Literal, "'.'".to_string(), line, col);
+    }
+
+    /// Handles `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'`,
+    /// `c"..."` and raw identifiers `r#ident`. Returns `false` when the
+    /// leading `r`/`b`/`c` is just a plain identifier start.
+    fn raw_or_byte_literal(&mut self, line: u32, col: u32) -> bool {
+        let c0 = self.peek(0);
+        // b'x' byte char.
+        if c0 == b'b' && self.peek(1) == b'\'' {
+            self.bump();
+            self.quote(line, col);
+            return true;
+        }
+        // b"..."/c"..." byte/С string.
+        if (c0 == b'b' || c0 == b'c') && self.peek(1) == b'"' {
+            self.bump();
+            self.string_literal(line, col);
+            return true;
+        }
+        // br#"..."# / br"..."
+        if c0 == b'b' && self.peek(1) == b'r' && (self.peek(2) == b'#' || self.peek(2) == b'"') {
+            self.bump();
+            self.raw_string(line, col);
+            return true;
+        }
+        if c0 == b'r' {
+            // r#"..."# / r"..."
+            if self.peek(1) == b'"' {
+                self.raw_string(line, col);
+                return true;
+            }
+            if self.peek(1) == b'#' {
+                // Distinguish r#"..." (raw string) from r#ident (raw ident).
+                let mut j = 1;
+                while self.peek(j) == b'#' {
+                    j += 1;
+                }
+                if self.peek(j) == b'"' {
+                    self.raw_string(line, col);
+                    return true;
+                }
+                // Raw identifier: consume `r#` then lex the ident.
+                self.bump();
+                self.bump();
+                self.ident(line, col);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `r##"..."##`-style raw string: the opening `r` (or `br`) has NOT
+    /// been consumed when entering for `r`, but has for `br`.
+    fn raw_string(&mut self, line: u32, col: u32) {
+        if self.peek(0) == b'r' {
+            self.bump();
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == b'#' {
+            self.bump();
+            hashes += 1;
+        }
+        self.bump(); // opening quote
+        'outer: while self.i < self.b.len() {
+            if self.bump() == b'"' {
+                for j in 0..hashes {
+                    if self.peek(j) != b'#' {
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        self.push(TokKind::Literal, "r\"...\"".to_string(), line, col);
+    }
+
+    fn ident(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self.peek(0).is_ascii_alphanumeric() || self.peek(0) == b'_' {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Ident, text, line, col);
+    }
+
+    fn number(&mut self, line: u32, col: u32) {
+        let start = self.i;
+        while self.peek(0).is_ascii_alphanumeric()
+            || self.peek(0) == b'_'
+            || (self.peek(0) == b'.' && self.peek(1).is_ascii_digit())
+        {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.b[start..self.i]).into_owned();
+        self.push(TokKind::Literal, text, line, col);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_produce_no_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant::now() in /* a nested */ block */
+            let s = "dnnperf_gpu::timing";
+            let r = r#"SystemTime"#;
+            let c = 'x';
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"timing".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let src = "use a::b;\nfn main() {}\n";
+        let toks = lex(src).tokens;
+        let use_tok = &toks[0];
+        assert_eq!((use_tok.line, use_tok.col), (1, 1));
+        let b_tok = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!((b_tok.line, b_tok.col), (1, 8));
+        let fn_tok = toks.iter().find(|t| t.is_ident("fn")).unwrap();
+        assert_eq!((fn_tok.line, fn_tok.col), (2, 1));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks = lex("a::b::c").tokens;
+        let kinds: Vec<_> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TokKind::Ident,
+                TokKind::PathSep,
+                TokKind::Ident,
+                TokKind::PathSep,
+                TokKind::Ident
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> &'a str { x }").tokens;
+        assert!(toks.iter().any(|t| t.text == "'a"));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Literal));
+    }
+
+    #[test]
+    fn comments_are_retained_with_lines() {
+        let lexed = lex("// one\nlet x = 1;\n// SAFETY: fine\nunsafe {}\n");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[1].line, 3);
+        assert!(lexed.comments[1].text.contains("SAFETY:"));
+    }
+
+    #[test]
+    fn raw_idents_lex_as_idents() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"type".to_string()));
+    }
+}

@@ -1,0 +1,207 @@
+//! Pass `determinism`: no hidden wall-clock or iteration-order
+//! dependence in code that produces results.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::workspace::{path_in, Context, SourceFile};
+
+/// `--explain determinism` text.
+pub const EXPLAIN: &str = "\
+Every dataset row, prediction and report in this workspace must be
+byte-reproducible from a seed: that is what lets the conformance suite
+pin the paper-reproduction numbers. Three things quietly break that:
+
+  * `Instant::now()` / `SystemTime` reads — wall-clock values leak into
+    results (e.g. straggler detection deciding to drop a sample). All
+    clock reads must go through the injectable `Clock` trait; only the
+    whitelisted clock modules may touch the real timers.
+  * `HashMap` / `HashSet` in output-producing modules — iteration order
+    is randomized per process, so any output assembled by iterating one
+    is nondeterministic. Use `BTreeMap`/`BTreeSet`.
+  * `partial_cmp(..).unwrap()` — panics on NaN and invites ad-hoc sort
+    orders; `f64::total_cmp` is total, deterministic and NaN-safe.
+
+Test code is skipped: tests may time themselves freely.";
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let p = &ctx.policy;
+    for f in &ctx.files {
+        let clock_ok = path_in(&f.rel_path, &p.determinism_clock_paths);
+        let output_module = path_in(&f.rel_path, &p.determinism_output_paths);
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || f.is_test_line(t.line) {
+                continue;
+            }
+            if !clock_ok && (t.text == "SystemTime" || is_instant_now(toks, i)) {
+                out.push(finding(
+                    f,
+                    t.line,
+                    t.col,
+                    format!(
+                        "wall-clock read (`{}`) outside a whitelisted clock \
+                         module; route through the `Clock` trait instead",
+                        if t.text == "SystemTime" {
+                            "SystemTime"
+                        } else {
+                            "Instant::now"
+                        }
+                    ),
+                ));
+            }
+            if output_module && (t.text == "HashMap" || t.text == "HashSet") {
+                out.push(finding(
+                    f,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` in an output-producing module: iteration order \
+                         is per-process random; use `BTree{}`",
+                        t.text,
+                        &t.text[4..]
+                    ),
+                ));
+            }
+            if t.text == "partial_cmp" && unwrap_follows(toks, i) {
+                out.push(finding(
+                    f,
+                    t.line,
+                    t.col,
+                    "`partial_cmp(..).unwrap()` panics on NaN; use \
+                     `f64::total_cmp`"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `Instant` followed by `::` `now` — the actual clock read. A bare
+/// `Instant` mention (e.g. in a type position inside the clock trait's
+/// impl) is not itself nondeterministic.
+fn is_instant_now(toks: &[crate::lexer::Token], i: usize) -> bool {
+    toks[i].text == "Instant"
+        && i + 2 < toks.len()
+        && toks[i + 1].kind == TokKind::PathSep
+        && toks[i + 2].is_ident("now")
+}
+
+/// Looks ahead for `.unwrap(` within the next few tokens after a
+/// `partial_cmp` call: matches the `a.partial_cmp(b).unwrap()` shape
+/// (closure bodies in sort_by are the common site).
+fn unwrap_follows(toks: &[crate::lexer::Token], i: usize) -> bool {
+    // Skip the call's argument list: expect `(` ... matching `)`.
+    let mut j = i + 1;
+    if j >= toks.len() || !toks[j].is_punct('(') {
+        return false;
+    }
+    let mut depth = 0i32;
+    while j < toks.len() {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        j += 1;
+    }
+    // Now expect `. unwrap` (or `. expect`).
+    j + 2 < toks.len()
+        && toks[j + 1].is_punct('.')
+        && (toks[j + 2].is_ident("unwrap") || toks[j + 2].is_ident("expect"))
+}
+
+fn finding(f: &SourceFile, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        file: f.rel_path.clone(),
+        line,
+        col,
+        pass: "determinism",
+        snippet: f.line_text(line),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::SourceFile;
+
+    fn ctx(files: Vec<SourceFile>) -> Context {
+        let policy = Policy {
+            oracle_crate: "x".into(),
+            oracle_private_modules: vec!["y".into()],
+            determinism_clock_paths: vec!["crates/scheduler/src/retry.rs".into()],
+            determinism_output_paths: vec!["crates/core/src/".into()],
+            ..Policy::default()
+        };
+        Context::from_parts(policy, files, vec![])
+    }
+
+    #[test]
+    fn instant_now_outside_clock_module_is_flagged() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/dataset/src/collect.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Instant::now"));
+    }
+
+    #[test]
+    fn clock_module_is_whitelisted() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/scheduler/src/retry.rs",
+            "fn f() { let t = std::time::Instant::now(); }\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn hashmap_in_output_module_is_flagged_but_not_elsewhere() {
+        let bad = ctx(vec![SourceFile::from_source(
+            "crates/core/src/agg.rs",
+            "use std::collections::HashMap;\n",
+        )]);
+        assert_eq!(run(&bad).len(), 1);
+        let ok = ctx(vec![SourceFile::from_source(
+            "crates/scheduler/src/pool.rs",
+            "use std::collections::HashMap;\n",
+        )]);
+        assert!(run(&ok).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_unwrap_is_flagged_total_cmp_is_not() {
+        let bad = ctx(vec![SourceFile::from_source(
+            "crates/core/src/sortit.rs",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n",
+        )]);
+        let f = run(&bad);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("total_cmp"));
+        let ok = ctx(vec![SourceFile::from_source(
+            "crates/core/src/sortit.rs",
+            "fn f(v: &mut Vec<f64>) { v.sort_by(f64::total_cmp); }\n",
+        )]);
+        assert!(run(&ok).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/agg.rs",
+            "#[cfg(test)]\nmod tests {\n    use std::time::Instant;\n    fn t() { \
+             let _ = Instant::now(); }\n}\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+}

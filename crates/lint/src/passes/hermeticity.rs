@@ -1,0 +1,307 @@
+//! Pass `hermeticity`: the workspace must build from this repository
+//! alone — no registry, git or path-external dependencies.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::workspace::{Context, Manifest, SourceFile};
+
+/// `--explain hermeticity` text.
+pub const EXPLAIN: &str = "\
+The repository's reproducibility story starts at the build: `cargo build
+--offline` from a clean checkout must succeed with nothing but the
+in-tree crates and the standard library. A registry dependency would pin
+results to whatever version resolution happens to pick; a git dependency
+adds a network fetch and a moving target.
+
+Two layers are checked, and both must agree:
+
+  * every `[dependencies]`/`[dev-dependencies]`/`[build-dependencies]`
+    entry in every Cargo.toml must name a workspace member crate and be a
+    `path`/`workspace = true` spec — a bare version string is a registry
+    pull even if a same-named crate exists in-tree;
+  * every `extern crate` and every `use` first-segment in every source
+    file must resolve to std/core/alloc, a keyword root
+    (crate/self/super), or a workspace crate.
+
+This pass replaces the old ci.sh grep: it understands TOML sections and
+tokenized sources, so a dependency hidden in `[target.'cfg(..)'.deps]` or
+an extern behind a cfg cannot slip through on formatting tricks.";
+
+/// Crate roots always allowed in source paths.
+const BUILTIN_ROOTS: [&str; 7] = ["std", "core", "alloc", "crate", "self", "super", "test"];
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for m in &ctx.manifests {
+        check_manifest(m, ctx, &mut out);
+    }
+    for f in &ctx.files {
+        check_source(f, ctx, &mut out);
+    }
+    out
+}
+
+/// Whether `name` (dash or underscore form) is a workspace crate or an
+/// explicitly allowed extern.
+fn allowed_crate(ctx: &Context, name: &str) -> bool {
+    let ident = name.replace('-', "_");
+    BUILTIN_ROOTS.contains(&ident.as_str())
+        || ident == "proc_macro"
+        || ctx.crate_idents.contains(&ident)
+        || ctx
+            .policy
+            .hermeticity_allowed_externs
+            .iter()
+            .any(|a| a.replace('-', "_") == ident)
+}
+
+fn check_manifest(m: &Manifest, ctx: &Context, out: &mut Vec<Finding>) {
+    let mut section = String::new();
+    for (n, raw) in m.src.lines().enumerate() {
+        let lineno = (n + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(sec) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = sec.trim().to_string();
+            // `[dependencies.foo]` header form declares a dep directly.
+            if let Some(dep) = dep_name_from_section_header(&section) {
+                check_dep(m, ctx, lineno, &dep, "", out);
+            }
+            continue;
+        }
+        if !is_dependency_section(&section) {
+            continue;
+        }
+        let Some((key, val)) = line.split_once('=') else {
+            continue;
+        };
+        let dep = key.trim().trim_matches('"').to_string();
+        check_dep(m, ctx, lineno, &dep, val.trim(), out);
+    }
+}
+
+/// `dependencies`, `dev-dependencies`, `build-dependencies`,
+/// `workspace.dependencies`, `target.'cfg(..)'.dependencies`.
+fn is_dependency_section(section: &str) -> bool {
+    section == "dependencies"
+        || section.ends_with(".dependencies")
+        || section.ends_with("dev-dependencies")
+        || section.ends_with("build-dependencies")
+        || section == "dev-dependencies"
+        || section == "build-dependencies"
+}
+
+/// For `[dependencies.foo]`-style headers, the declared dep name.
+fn dep_name_from_section_header(section: &str) -> Option<String> {
+    for kind in ["dependencies.", "dev-dependencies.", "build-dependencies."] {
+        if let Some(rest) = section.strip_prefix(kind) {
+            return Some(rest.trim().to_string());
+        }
+        if let Some(i) = section.find(&format!(".{kind}")) {
+            return Some(section[i + 1 + kind.len()..].trim().to_string());
+        }
+    }
+    None
+}
+
+fn check_dep(
+    m: &Manifest,
+    ctx: &Context,
+    lineno: u32,
+    dep: &str,
+    val: &str,
+    out: &mut Vec<Finding>,
+) {
+    if !allowed_crate(ctx, dep) {
+        out.push(Finding {
+            file: m.rel_path.clone(),
+            line: lineno,
+            col: 1,
+            pass: "hermeticity",
+            snippet: format!("{dep} = {val}"),
+            message: format!(
+                "dependency `{dep}` is not a workspace crate: the build \
+                 would leave the repository"
+            ),
+        });
+        return;
+    }
+    // A workspace crate referenced by bare version string would still be
+    // resolved from the registry.
+    if !val.is_empty() && !val.contains("path") && !val.contains("workspace") {
+        out.push(Finding {
+            file: m.rel_path.clone(),
+            line: lineno,
+            col: 1,
+            pass: "hermeticity",
+            snippet: format!("{dep} = {val}"),
+            message: format!(
+                "dependency `{dep}` must be a `path = ...` or \
+                 `workspace = true` spec, not a registry version"
+            ),
+        });
+    }
+}
+
+fn check_source(f: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.tokens;
+    // `extern crate <name>`.
+    for i in 0..toks.len().saturating_sub(2) {
+        if toks[i].is_ident("extern") && toks[i + 1].is_ident("crate") {
+            let name = &toks[i + 2];
+            if name.kind == TokKind::Ident && !allowed_crate(ctx, &name.text) {
+                out.push(Finding {
+                    file: f.rel_path.clone(),
+                    line: toks[i].line,
+                    col: toks[i].col,
+                    pass: "hermeticity",
+                    snippet: format!("extern crate {}", name.text),
+                    message: format!("`extern crate {}` is not a workspace crate", name.text),
+                });
+            }
+        }
+    }
+    // `use <root>::...` first segments. Rust 2018 uniform paths let the
+    // root be any in-scope item (`use sibling_mod::X`, `use Enum::*`), so
+    // collect names the file plausibly has in scope first.
+    let local = local_names(f);
+    for u in crate::ast::use_paths(&f.lexed) {
+        let root = &u.segments[0];
+        if root != "*" && !allowed_crate(ctx, root) && !local.contains(root) {
+            out.push(Finding {
+                file: f.rel_path.clone(),
+                line: u.line,
+                col: u.col,
+                pass: "hermeticity",
+                snippet: format!("use {}", u.display()),
+                message: format!(
+                    "import root `{root}` is neither std/core/alloc, a \
+                     workspace crate, nor an item visible in this file"
+                ),
+            });
+        }
+    }
+}
+
+/// Names plausibly in scope as path roots: items declared in the file
+/// (`mod m;`, `enum E`, ...) and leaves of other `use` declarations
+/// (`use x::Enum;` makes `Enum` a legal root).
+fn local_names(f: &SourceFile) -> std::collections::BTreeSet<String> {
+    let mut names = std::collections::BTreeSet::new();
+    let toks = &f.lexed.tokens;
+    const DECLS: [&str; 6] = ["mod", "struct", "enum", "trait", "type", "fn"];
+    for i in 0..toks.len().saturating_sub(1) {
+        if toks[i].kind == TokKind::Ident
+            && DECLS.contains(&toks[i].text.as_str())
+            && toks[i + 1].kind == TokKind::Ident
+        {
+            names.insert(toks[i + 1].text.clone());
+        }
+    }
+    for u in crate::ast::use_paths(&f.lexed) {
+        if let Some(leaf) = u.segments.last() {
+            if leaf != "*" {
+                names.insert(leaf.clone());
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::{Manifest, SourceFile};
+
+    fn ctx(files: Vec<SourceFile>, manifests: Vec<Manifest>) -> Context {
+        let policy = Policy {
+            oracle_crate: "x".into(),
+            oracle_private_modules: vec!["y".into()],
+            ..Policy::default()
+        };
+        Context::from_parts(policy, files, manifests)
+    }
+
+    fn gpu_manifest() -> Manifest {
+        Manifest {
+            rel_path: "crates/gpu/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-gpu\"\n".into(),
+        }
+    }
+
+    #[test]
+    fn registry_dep_is_flagged() {
+        let m = Manifest {
+            rel_path: "crates/core/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-core\"\n[dependencies]\nserde = \"1.0\"\n".into(),
+        };
+        let c = ctx(vec![], vec![gpu_manifest(), m]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].file, "crates/core/Cargo.toml");
+        assert_eq!(f[0].line, 4);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn workspace_path_dep_is_clean() {
+        let m = Manifest {
+            rel_path: "crates/core/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-core\"\n[dependencies]\n\
+                  dnnperf-gpu = { path = \"../gpu\" }\n"
+                .into(),
+        };
+        let c = ctx(vec![], vec![gpu_manifest(), m]);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn workspace_crate_by_registry_version_is_flagged() {
+        let m = Manifest {
+            rel_path: "crates/core/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-core\"\n[dependencies]\n\
+                  dnnperf-gpu = \"0.1\"\n"
+                .into(),
+        };
+        let c = ctx(vec![], vec![gpu_manifest(), m]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("registry version"));
+    }
+
+    #[test]
+    fn dotted_dependency_header_is_seen() {
+        let m = Manifest {
+            rel_path: "crates/core/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-core\"\n[dependencies.rand]\nversion = \"0.8\"\n"
+                .into(),
+        };
+        let c = ctx(vec![], vec![gpu_manifest(), m]);
+        let f = run(&c);
+        assert!(f.iter().any(|x| x.message.contains("rand")));
+    }
+
+    #[test]
+    fn foreign_use_root_is_flagged_std_is_not() {
+        let s = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "use std::fmt;\nuse dnnperf_gpu::GpuSpec;\nuse serde::Serialize;\n",
+        );
+        let c = ctx(vec![s], vec![gpu_manifest()]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("serde"));
+    }
+
+    #[test]
+    fn extern_crate_is_checked() {
+        let s = SourceFile::from_source("crates/core/src/x.rs", "extern crate libc;\n");
+        let c = ctx(vec![s], vec![gpu_manifest()]);
+        assert_eq!(run(&c).len(), 1);
+    }
+}

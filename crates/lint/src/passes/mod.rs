@@ -1,0 +1,70 @@
+//! The pass registry: five named passes, each a pure function from
+//! [`Context`] to findings.
+
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+pub mod determinism;
+pub mod hermeticity;
+pub mod oracle;
+pub mod panic_policy;
+pub mod unsafe_audit;
+
+/// One registered pass.
+pub struct PassInfo {
+    /// Stable pass name (used in findings, baselines and `--explain`).
+    pub name: &'static str,
+    /// One-line summary for `--list-passes`.
+    pub summary: &'static str,
+    /// Long-form rationale for `--explain <pass>`.
+    pub explain: &'static str,
+    /// The pass body.
+    pub run: fn(&Context) -> Vec<Finding>,
+}
+
+/// All passes, in the order they run and report.
+pub fn registry() -> Vec<PassInfo> {
+    vec![
+        PassInfo {
+            name: "oracle-isolation",
+            summary: "predictor crates must not reach into the simulator's hidden timing model",
+            explain: oracle::EXPLAIN,
+            run: oracle::run,
+        },
+        PassInfo {
+            name: "determinism",
+            summary: "no wall-clock reads or unordered maps in output-producing code",
+            explain: determinism::EXPLAIN,
+            run: determinism::run,
+        },
+        PassInfo {
+            name: "panic-policy",
+            summary: "resilience-critical crates deny unwrap/expect; hot paths avoid panics",
+            explain: panic_policy::EXPLAIN,
+            run: panic_policy::run,
+        },
+        PassInfo {
+            name: "hermeticity",
+            summary: "every dependency is a workspace crate; no registry/git deps anywhere",
+            explain: hermeticity::EXPLAIN,
+            run: hermeticity::run,
+        },
+        PassInfo {
+            name: "unsafe-audit",
+            summary: "every `unsafe` needs an adjacent `// SAFETY:` justification",
+            explain: unsafe_audit::EXPLAIN,
+            run: unsafe_audit::run,
+        },
+    ]
+}
+
+/// Runs every pass and returns all findings sorted by (file, line, col).
+pub fn run_all(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pass in registry() {
+        out.extend((pass.run)(ctx));
+    }
+    out.sort();
+    out.dedup();
+    out
+}

@@ -1,0 +1,199 @@
+//! Pass `oracle-isolation`: predictor-side code must never see the
+//! ground-truth timing model.
+
+use crate::ast;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::workspace::{path_in, Context, SourceFile};
+
+/// `--explain oracle-isolation` text.
+pub const EXPLAIN: &str = "\
+The experiment only means something if the predictor cannot peek at the
+answer key. `dnnperf-gpu`'s `timing` module holds the hidden ground-truth
+model (per-kernel-family efficiencies, launch/sync overheads, saturation
+curves); `fault` holds the injection engine. A predictor that imported
+either could fit the simulator instead of learning from traces, and every
+accuracy number in the paper reproduction would be circular.
+
+This pass enforces the boundary statically:
+  * any `use` of `<oracle>::<private-module>` (e.g. `dnnperf_gpu::timing`)
+    outside the oracle crate itself is a finding;
+  * any inline qualified path `dnnperf_gpu::timing::...` is a finding even
+    without an import;
+  * the model's private parameter identifiers (`kernel_time`,
+    `launch_overhead`, ...) appearing anywhere outside the oracle crate
+    are findings — they have no legitimate predictor-side meaning.
+
+The allowed surface is exactly the oracle crate's root re-exports plus its
+public modules (dispatch rules, device specs, traces): the same knowledge
+a real user of cuDNN + a profiler has.";
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let p = &ctx.policy;
+    for f in &ctx.files {
+        if path_in(&f.rel_path, &p.oracle_exempt_paths) {
+            continue;
+        }
+        check_imports(f, ctx, &mut out);
+        check_inline_paths(f, ctx, &mut out);
+        check_private_idents(f, ctx, &mut out);
+    }
+    out
+}
+
+/// `use dnnperf_gpu::timing::...` (any depth, groups and globs included).
+fn check_imports(f: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+    let p = &ctx.policy;
+    for u in ast::use_paths(&f.lexed) {
+        if u.segments.len() >= 2
+            && u.segments[0] == p.oracle_crate
+            && p.oracle_private_modules.contains(&u.segments[1])
+        {
+            out.push(Finding {
+                file: f.rel_path.clone(),
+                line: u.line,
+                col: u.col,
+                pass: "oracle-isolation",
+                snippet: format!("use {}", u.display()),
+                message: format!(
+                    "predictor-side code imports simulator-private module \
+                     `{}::{}` (the hidden ground-truth model)",
+                    p.oracle_crate, u.segments[1]
+                ),
+            });
+        }
+    }
+}
+
+/// Inline qualified paths `dnnperf_gpu::timing::X` outside use decls.
+fn check_inline_paths(f: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+    let p = &ctx.policy;
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        if toks[i].kind == TokKind::Ident
+            && toks[i].text == p.oracle_crate
+            && i + 2 < toks.len()
+            && toks[i + 1].kind == TokKind::PathSep
+            && toks[i + 2].kind == TokKind::Ident
+            && p.oracle_private_modules.contains(&toks[i + 2].text)
+        {
+            // The `use`-decl form is already reported (with the same span)
+            // by `check_imports`; `run_all` dedups identical findings, but
+            // the messages differ, so skip when the previous token is
+            // `use` or part of a use tree (`{`, `,`, `::`).
+            if i > 0 && toks[i - 1].is_ident("use") {
+                continue;
+            }
+            out.push(Finding {
+                file: f.rel_path.clone(),
+                line: toks[i].line,
+                col: toks[i].col,
+                pass: "oracle-isolation",
+                snippet: f.line_text(toks[i].line),
+                message: format!(
+                    "qualified path into simulator-private module \
+                     `{}::{}`",
+                    p.oracle_crate,
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
+/// Private parameter identifiers leaking outside the oracle crate.
+fn check_private_idents(f: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+    let p = &ctx.policy;
+    for t in &f.lexed.tokens {
+        if t.kind == TokKind::Ident && p.oracle_private_idents.contains(&t.text) {
+            out.push(Finding {
+                file: f.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                pass: "oracle-isolation",
+                snippet: f.line_text(t.line),
+                message: format!(
+                    "identifier `{}` belongs to the simulator's hidden \
+                     timing model and must not appear in predictor code",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::SourceFile;
+
+    fn ctx(files: Vec<SourceFile>) -> Context {
+        let policy = Policy {
+            oracle_crate: "dnnperf_gpu".into(),
+            oracle_private_modules: vec!["timing".into(), "fault".into()],
+            oracle_private_idents: vec!["launch_overhead".into()],
+            oracle_exempt_paths: vec!["crates/gpu/".into()],
+            ..Policy::default()
+        };
+        Context::from_parts(policy, files, vec![])
+    }
+
+    #[test]
+    fn import_of_private_module_is_flagged_with_span() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/peek.rs",
+            "use dnnperf_gpu::timing::TimingModel;\n",
+        )]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].col), (1, 5));
+        assert!(f[0].message.contains("timing"));
+    }
+
+    #[test]
+    fn oracle_crate_itself_is_exempt() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/gpu/src/profiler.rs",
+            "use crate::timing::TimingModel;\nuse dnnperf_gpu::timing::X;\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn inline_qualified_path_is_flagged() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/peek.rs",
+            "fn f() { let m = dnnperf_gpu::timing::TimingModel::new(); }\n",
+        )]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("qualified path"));
+    }
+
+    #[test]
+    fn private_ident_leak_is_flagged_even_in_strings_not() {
+        // In a string: fine (lexer strips it). As an ident: finding.
+        let clean = ctx(vec![SourceFile::from_source(
+            "crates/core/src/doc.rs",
+            "const DOC: &str = \"launch_overhead\";\n",
+        )]);
+        assert!(run(&clean).is_empty());
+        let dirty = ctx(vec![SourceFile::from_source(
+            "crates/core/src/leak.rs",
+            "fn f(launch_overhead: f64) {}\n",
+        )]);
+        assert_eq!(run(&dirty).len(), 1);
+    }
+
+    #[test]
+    fn public_surface_is_allowed() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/ok.rs",
+            "use dnnperf_gpu::{GpuSpec, Trace};\nuse dnnperf_gpu::dispatch::Fusion;\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Pass `panic-policy`: resilience-critical code must not crash.
+
+use crate::ast;
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::workspace::{path_in, Context, SourceFile};
+
+/// `--explain panic-policy` text.
+pub const EXPLAIN: &str = "\
+The collection pipeline is built to survive injected faults (hangs,
+transient errors, corrupt traces) and degrade gracefully; a single stray
+`unwrap()` turns a recoverable fault into a dead worker and a lost grid.
+Two layers of defence, both checked here:
+
+  * resilience-critical crates must carry
+    `#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]`
+    in their lib.rs — clippy then makes unwrap/expect a compile error.
+    This pass verifies the attribute *structurally* (it must parse as an
+    inner attribute with both lints), not by grepping for a substring.
+  * hot-path files (worker pool, retry loop, collection inner loop) are
+    additionally screened for bare `panic!` / `unreachable!` / `todo!` /
+    `unimplemented!` and for slice indexing `x[i]`, which panics on
+    out-of-bounds. Justified cases carry a baseline entry with a note.
+
+Test code is exempt: asserting and indexing in tests is fine.";
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    check_deny_attrs(ctx, &mut out);
+    for f in &ctx.files {
+        if path_in(&f.rel_path, &ctx.policy.panic_hot_paths) {
+            check_hot_path(f, &mut out);
+        }
+    }
+    out
+}
+
+/// Each deny-listed crate's lib.rs must carry the deny attribute.
+fn check_deny_attrs(ctx: &Context, out: &mut Vec<Finding>) {
+    for krate in &ctx.policy.panic_deny_crates {
+        let lib = format!("{}/src/lib.rs", krate.trim_end_matches('/'));
+        let Some(f) = ctx.files.iter().find(|f| f.rel_path == lib) else {
+            out.push(Finding {
+                file: lib.clone(),
+                line: 1,
+                col: 1,
+                pass: "panic-policy",
+                snippet: String::new(),
+                message: format!(
+                    "deny-listed crate `{krate}` has no lib.rs to carry the attribute"
+                ),
+            });
+            continue;
+        };
+        let ok = ast::attributes(&f.lexed).iter().any(|a| {
+            a.inner
+                && a.contains("deny")
+                && a.contains("clippy::unwrap_used")
+                && a.contains("clippy::expect_used")
+        });
+        if !ok {
+            out.push(Finding {
+                file: f.rel_path.clone(),
+                line: 1,
+                col: 1,
+                pass: "panic-policy",
+                snippet: "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]"
+                    .to_string(),
+                message: format!(
+                    "resilience-critical crate `{krate}` is missing the inner \
+                     deny(clippy::unwrap_used, clippy::expect_used) attribute"
+                ),
+            });
+        }
+    }
+}
+
+/// Bare panic-family macros and slice indexing in hot-path files.
+fn check_hot_path(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.is_test_line(t.line) {
+            continue;
+        }
+        // `panic!(` / `unreachable!(` etc.
+        if t.kind == TokKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('!')
+        {
+            out.push(finding(
+                f,
+                t.line,
+                t.col,
+                format!(
+                    "`{}!` in a resilience hot path: faults here must be \
+                     returned as errors, not crash the worker",
+                    t.text
+                ),
+            ));
+        }
+        // Indexing: `[` whose previous token ends an expression
+        // (identifier, `)`, or `]`). Array literals (`= [..]`), attribute
+        // brackets (`#[..]`) and types (`<[..]`) have non-expression
+        // predecessors and are not matched.
+        if t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let is_expr_end = prev.kind == TokKind::Ident && !is_keyword(&prev.text)
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if is_expr_end {
+                out.push(finding(
+                    f,
+                    t.line,
+                    t.col,
+                    format!(
+                        "slice indexing `{}[..]` can panic on out-of-bounds; \
+                         prefer `.get(..)` or add a baseline note proving the \
+                         bound",
+                        prev.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Keywords that can directly precede `[` without forming an index
+/// expression (e.g. `return [a, b]`, `let [x, y] = ..` patterns,
+/// `in [1, 2]`).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "return"
+            | "in"
+            | "if"
+            | "else"
+            | "match"
+            | "break"
+            | "as"
+            | "mut"
+            | "const"
+            | "static"
+            | "let"
+            | "ref"
+    )
+}
+
+fn finding(f: &SourceFile, line: u32, col: u32, message: String) -> Finding {
+    Finding {
+        file: f.rel_path.clone(),
+        line,
+        col,
+        pass: "panic-policy",
+        snippet: f.line_text(line),
+        message,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::SourceFile;
+
+    fn ctx(files: Vec<SourceFile>, deny: Vec<String>, hot: Vec<String>) -> Context {
+        let policy = Policy {
+            oracle_crate: "x".into(),
+            oracle_private_modules: vec!["y".into()],
+            panic_deny_crates: deny,
+            panic_hot_paths: hot,
+            ..Policy::default()
+        };
+        Context::from_parts(policy, files, vec![])
+    }
+
+    const GOOD_LIB: &str =
+        "#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\npub fn f() {}\n";
+
+    #[test]
+    fn present_deny_attr_passes_structurally() {
+        let c = ctx(
+            vec![SourceFile::from_source("crates/core/src/lib.rs", GOOD_LIB)],
+            vec!["crates/core".into()],
+            vec![],
+        );
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn missing_or_partial_deny_attr_is_flagged() {
+        // A comment mentioning the attribute must NOT satisfy the check —
+        // that is what "structural, not grep" means.
+        let src = "// #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]\n\
+                   #![deny(clippy::unwrap_used)]\npub fn f() {}\n";
+        let c = ctx(
+            vec![SourceFile::from_source("crates/core/src/lib.rs", src)],
+            vec!["crates/core".into()],
+            vec![],
+        );
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("expect_used") || f[0].message.contains("deny"));
+    }
+
+    #[test]
+    fn hot_path_panics_and_indexing_are_flagged() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 {\n    if i > v.len() { \
+                   unreachable!(\"bad\") }\n    v[i]\n}\n";
+        let c = ctx(
+            vec![SourceFile::from_source("crates/scheduler/src/pool.rs", src)],
+            vec![],
+            vec!["crates/scheduler/src/pool.rs".into()],
+        );
+        let f = run(&c);
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.message.contains("unreachable")));
+        assert!(f.iter().any(|x| x.message.contains("indexing")));
+    }
+
+    #[test]
+    fn array_literals_attrs_and_tests_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S;\nfn f() -> [u32; 2] { [1, 2] }\n\
+                   #[cfg(test)]\nmod tests {\n    fn t(v: &[u32]) -> u32 { v[0] }\n}\n";
+        let c = ctx(
+            vec![SourceFile::from_source("crates/scheduler/src/pool.rs", src)],
+            vec![],
+            vec!["crates/scheduler/src/pool.rs".into()],
+        );
+        assert!(run(&c).is_empty());
+    }
+}

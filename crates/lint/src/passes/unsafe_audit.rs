@@ -1,0 +1,98 @@
+//! Pass `unsafe-audit`: every `unsafe` carries a written justification.
+
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+/// `--explain unsafe-audit` text.
+pub const EXPLAIN: &str = "\
+The workspace is `unsafe`-free by construction today (the measurement
+substrate is a pure model, the predictors are pure math), and this pass
+keeps any future exception honest: an `unsafe` block, fn, impl or trait
+must have a `// SAFETY: ...` comment on the same line or within the three
+lines above it, explaining the invariant that makes the operation sound.
+An unjustified `unsafe` is a finding; so the cheap path — just not
+writing the comment — fails CI, and the reviewed path documents itself.";
+
+/// How many lines above an `unsafe` token a `// SAFETY:` comment may sit.
+const ADJACENCY: u32 = 3;
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ctx.files {
+        for t in &f.lexed.tokens {
+            if !t.is_ident("unsafe") {
+                continue;
+            }
+            let justified = f.lexed.comments.iter().any(|c| {
+                c.text.contains("SAFETY") && c.line <= t.line && c.line + ADJACENCY >= t.line
+            });
+            if !justified {
+                out.push(Finding {
+                    file: f.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    pass: "unsafe-audit",
+                    snippet: f.line_text(t.line),
+                    message: "`unsafe` without an adjacent `// SAFETY:` comment \
+                              justifying the invariant"
+                        .to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::SourceFile;
+
+    fn ctx(files: Vec<SourceFile>) -> Context {
+        let policy = Policy {
+            oracle_crate: "x".into(),
+            oracle_private_modules: vec!["y".into()],
+            ..Policy::default()
+        };
+        Context::from_parts(policy, files, vec![])
+    }
+
+    #[test]
+    fn unjustified_unsafe_is_flagged() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n",
+        )]);
+        let f = run(&c);
+        assert_eq!(f.len(), 1);
+        assert_eq!((f[0].line, f[0].col), (2, 5));
+    }
+
+    #[test]
+    fn safety_comment_within_three_lines_justifies() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is \
+             valid\n    unsafe { *p }\n}\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+
+    #[test]
+    fn distant_safety_comment_does_not_justify() {
+        let src = "// SAFETY: way up here\n\n\n\n\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let c = ctx(vec![SourceFile::from_source("crates/core/src/x.rs", src)]);
+        assert_eq!(run(&c).len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_a_string_is_not_a_token() {
+        let c = ctx(vec![SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "const DOC: &str = \"unsafe is banned here\";\n",
+        )]);
+        assert!(run(&c).is_empty());
+    }
+}

@@ -1,0 +1,192 @@
+//! Lint policy: what each pass enforces, declared in a checked-in
+//! `lint.toml` at the workspace root.
+//!
+//! The parser handles the TOML subset the policy file actually uses —
+//! `[section]` headers, `key = "string"` and `key = ["a", "b"]` entries,
+//! `#` comments — and rejects anything else loudly. Keeping the policy in
+//! data (not code) means tightening the allowed surface is a one-line
+//! diffable change reviewed like any other.
+
+use std::collections::BTreeMap;
+
+/// Parsed lint policy.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Policy {
+    /// Crate whose internals are the hidden oracle (ident form, e.g.
+    /// `dnnperf_gpu`).
+    pub oracle_crate: String,
+    /// Module names under the oracle crate that predictor code must never
+    /// path-reference (`timing`, `fault`).
+    pub oracle_private_modules: Vec<String>,
+    /// Identifiers that only exist inside the oracle's private modules;
+    /// any appearance outside exempt paths is a leak.
+    pub oracle_private_idents: Vec<String>,
+    /// Path prefixes exempt from the oracle pass (the oracle crate
+    /// itself, and this lint crate's own sources/fixtures).
+    pub oracle_exempt_paths: Vec<String>,
+    /// Path prefixes allowed to call `Instant::now` / `SystemTime`
+    /// (the clock abstraction itself, bench harnesses).
+    pub determinism_clock_paths: Vec<String>,
+    /// Path prefixes whose modules produce outputs and must therefore
+    /// avoid iteration-order-dependent `HashMap`/`HashSet`.
+    pub determinism_output_paths: Vec<String>,
+    /// Crate directory prefixes that must carry
+    /// `deny(clippy::unwrap_used, clippy::expect_used)` in their lib.rs.
+    pub panic_deny_crates: Vec<String>,
+    /// Hot-path files where bare `panic!`/`unreachable!` and slice
+    /// indexing are flagged even outside the deny set.
+    pub panic_hot_paths: Vec<String>,
+    /// Extern crate names allowed by the hermeticity pass in addition to
+    /// the workspace's own crates (std and friends).
+    pub hermeticity_allowed_externs: Vec<String>,
+    /// Path prefixes the workspace walker skips entirely.
+    pub workspace_exclude: Vec<String>,
+}
+
+impl Policy {
+    /// Parses a `lint.toml` source string.
+    pub fn parse(src: &str) -> Result<Policy, String> {
+        let raw = parse_toml_subset(src)?;
+        let get_list = |sec: &str, key: &str| -> Vec<String> {
+            raw.get(&(sec.to_string(), key.to_string()))
+                .cloned()
+                .unwrap_or_default()
+        };
+        let get_str = |sec: &str, key: &str| -> String {
+            raw.get(&(sec.to_string(), key.to_string()))
+                .and_then(|v| v.first().cloned())
+                .unwrap_or_default()
+        };
+        let p = Policy {
+            oracle_crate: get_str("oracle", "oracle_crate"),
+            oracle_private_modules: get_list("oracle", "private_modules"),
+            oracle_private_idents: get_list("oracle", "private_idents"),
+            oracle_exempt_paths: get_list("oracle", "exempt_paths"),
+            determinism_clock_paths: get_list("determinism", "clock_paths"),
+            determinism_output_paths: get_list("determinism", "output_paths"),
+            panic_deny_crates: get_list("panic", "deny_crates"),
+            panic_hot_paths: get_list("panic", "hot_paths"),
+            hermeticity_allowed_externs: get_list("hermeticity", "allowed_externs"),
+            workspace_exclude: get_list("workspace", "exclude"),
+        };
+        if p.oracle_crate.is_empty() {
+            return Err("lint.toml: [oracle] oracle_crate is required".to_string());
+        }
+        if p.oracle_private_modules.is_empty() {
+            return Err("lint.toml: [oracle] private_modules must be non-empty".to_string());
+        }
+        Ok(p)
+    }
+}
+
+/// Parses the TOML subset into `(section, key) -> values` (a scalar
+/// string becomes a single-element list).
+fn parse_toml_subset(src: &str) -> Result<BTreeMap<(String, String), Vec<String>>, String> {
+    let mut out = BTreeMap::new();
+    let mut section = String::new();
+    for (n, raw_line) in src.lines().enumerate() {
+        let lineno = n + 1;
+        let line = strip_comment(raw_line).trim().to_string();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(inner) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = inner.trim().to_string();
+            continue;
+        }
+        let Some(eq) = line.find('=') else {
+            return Err(format!("lint.toml:{lineno}: expected `key = value`"));
+        };
+        let key = line[..eq].trim().to_string();
+        let val = line[eq + 1..].trim();
+        let values = if let Some(body) = val.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            parse_string_list(body, lineno)?
+        } else {
+            vec![parse_string(val, lineno)?]
+        };
+        out.insert((section.clone(), key), values);
+    }
+    Ok(out)
+}
+
+/// Strips a `#` comment, respecting `"..."` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(s: &str, lineno: usize) -> Result<String, String> {
+    s.strip_prefix('"')
+        .and_then(|t| t.strip_suffix('"'))
+        .map(|t| t.to_string())
+        .ok_or_else(|| format!("lint.toml:{lineno}: expected a double-quoted string, got `{s}`"))
+}
+
+fn parse_string_list(body: &str, lineno: usize) -> Result<Vec<String>, String> {
+    let mut out = Vec::new();
+    for part in body.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, lineno)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# comment
+[oracle]
+oracle_crate = "dnnperf_gpu"
+private_modules = ["timing", "fault"]
+private_idents = ["kernel_time"]  # inline comment
+exempt_paths = ["crates/gpu/"]
+
+[determinism]
+clock_paths = ["crates/scheduler/src/retry.rs"]
+output_paths = ["crates/core/src/",]
+"#;
+
+    #[test]
+    fn parses_sections_strings_and_lists() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.oracle_crate, "dnnperf_gpu");
+        assert_eq!(p.oracle_private_modules, vec!["timing", "fault"]);
+        assert_eq!(p.oracle_private_idents, vec!["kernel_time"]);
+        assert_eq!(
+            p.determinism_clock_paths,
+            vec!["crates/scheduler/src/retry.rs"]
+        );
+        assert_eq!(p.determinism_output_paths, vec!["crates/core/src/"]);
+        assert!(p.panic_deny_crates.is_empty());
+    }
+
+    #[test]
+    fn missing_oracle_crate_is_an_error() {
+        let err = Policy::parse("[oracle]\nprivate_modules = [\"timing\"]\n").unwrap_err();
+        assert!(err.contains("oracle_crate"));
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let err = Policy::parse("[oracle]\noracle_crate\n").unwrap_err();
+        assert!(err.contains(":2:"), "{err}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let raw = parse_toml_subset("[s]\nk = \"a#b\"\n").unwrap();
+        assert_eq!(raw[&("s".to_string(), "k".to_string())], vec!["a#b"]);
+    }
+}

@@ -1,0 +1,236 @@
+//! Workspace discovery: deterministic enumeration of Rust sources and
+//! Cargo manifests, plus the loaded [`Context`] passes operate on.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::ast::{self, LineRange};
+use crate::lexer::{self, Lexed};
+use crate::policy::Policy;
+
+/// One loaded Rust source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+    /// Lexed tokens + comments.
+    pub lexed: Lexed,
+    /// `#[cfg(test)]` / `#[test]` line regions.
+    pub test_regions: Vec<LineRange>,
+    /// Whether the whole file is test/bench collateral (under a
+    /// `tests/` or `benches/` directory).
+    pub is_test_file: bool,
+}
+
+impl SourceFile {
+    /// Builds a source file from a path + contents (no I/O), so tests
+    /// can fabricate files at synthetic paths.
+    pub fn from_source(rel_path: &str, src: &str) -> SourceFile {
+        let lexed = lexer::lex(src);
+        let test_regions = ast::test_regions(&lexed);
+        let is_test_file = rel_path.contains("/tests/") || rel_path.contains("/benches/");
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            src: src.to_string(),
+            lexed,
+            test_regions,
+            is_test_file,
+        }
+    }
+
+    /// Whether `line` is inside test code (or the whole file is).
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.is_test_file || ast::in_regions(&self.test_regions, line)
+    }
+
+    /// The trimmed source text of `line` (1-based), for snippets.
+    pub fn line_text(&self, line: u32) -> String {
+        self.src
+            .lines()
+            .nth(line.saturating_sub(1) as usize)
+            .unwrap_or("")
+            .trim()
+            .to_string()
+    }
+}
+
+/// One loaded Cargo manifest.
+#[derive(Debug)]
+pub struct Manifest {
+    /// Workspace-relative `/`-separated path.
+    pub rel_path: String,
+    /// File contents.
+    pub src: String,
+}
+
+impl Manifest {
+    /// The `name = "..."` under `[package]`, if any.
+    pub fn package_name(&self) -> Option<String> {
+        let mut in_package = false;
+        for raw in self.src.lines() {
+            let line = raw.trim();
+            if let Some(sec) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+                in_package = sec.trim() == "package";
+                continue;
+            }
+            if in_package {
+                if let Some(rest) = line.strip_prefix("name") {
+                    let rest = rest.trim_start();
+                    if let Some(v) = rest.strip_prefix('=') {
+                        return Some(v.trim().trim_matches('"').to_string());
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Everything the passes see: policy + loaded files + manifests.
+#[derive(Debug)]
+pub struct Context {
+    /// The lint policy.
+    pub policy: Policy,
+    /// All Rust sources, sorted by path.
+    pub files: Vec<SourceFile>,
+    /// All Cargo manifests, sorted by path.
+    pub manifests: Vec<Manifest>,
+    /// Workspace crate names in *ident* form (`dnnperf_gpu`), derived
+    /// from the manifests' package names.
+    pub crate_idents: Vec<String>,
+}
+
+impl Context {
+    /// Builds a context from already-loaded parts (test entry point).
+    pub fn from_parts(policy: Policy, files: Vec<SourceFile>, manifests: Vec<Manifest>) -> Context {
+        let mut crate_idents: Vec<String> = manifests
+            .iter()
+            .filter_map(|m| m.package_name())
+            .map(|n| n.replace('-', "_"))
+            .collect();
+        crate_idents.sort();
+        crate_idents.dedup();
+        Context {
+            policy,
+            files,
+            manifests,
+            crate_idents,
+        }
+    }
+
+    /// Walks `root`, loading every `.rs` and `Cargo.toml` outside the
+    /// policy's excluded prefixes.
+    pub fn load(root: &Path, policy: Policy) -> io::Result<Context> {
+        let mut rs = Vec::new();
+        let mut toml = Vec::new();
+        walk(root, root, &policy.workspace_exclude, &mut rs, &mut toml)?;
+        rs.sort();
+        toml.sort();
+        let mut files = Vec::new();
+        for rel in rs {
+            let src = fs::read_to_string(root.join(&rel))?;
+            files.push(SourceFile::from_source(&rel, &src));
+        }
+        let mut manifests = Vec::new();
+        for rel in toml {
+            let src = fs::read_to_string(root.join(&rel))?;
+            manifests.push(Manifest { rel_path: rel, src });
+        }
+        Ok(Context::from_parts(policy, files, manifests))
+    }
+}
+
+/// Recursive walk collecting workspace-relative paths; entries are
+/// discovered in sorted order for deterministic output.
+fn walk(
+    root: &Path,
+    dir: &Path,
+    exclude: &[String],
+    rs: &mut Vec<String>,
+    toml: &mut Vec<String>,
+) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let rel = rel_path(root, &path);
+        if is_excluded(&rel, exclude) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, exclude, rs, toml)?;
+        } else if rel.ends_with(".rs") {
+            rs.push(rel);
+        } else if rel.ends_with("Cargo.toml") {
+            toml.push(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Prefix match against excluded paths; `target/` and `.git/` are always
+/// excluded regardless of policy.
+fn is_excluded(rel: &str, exclude: &[String]) -> bool {
+    let builtin = ["target", ".git"];
+    if builtin
+        .iter()
+        .any(|b| rel == *b || rel.starts_with(&format!("{b}/")))
+    {
+        return true;
+    }
+    exclude
+        .iter()
+        .any(|e| rel.starts_with(e.trim_end_matches('/')) || rel.starts_with(e))
+}
+
+/// Whether `rel` starts with any prefix in `prefixes` (the common
+/// "is this file covered by this policy list" test).
+pub fn path_in(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_extraction() {
+        let m = Manifest {
+            rel_path: "crates/gpu/Cargo.toml".into(),
+            src: "[package]\nname = \"dnnperf-gpu\"\nversion = \"0.1.0\"\n[dependencies]\n".into(),
+        };
+        assert_eq!(m.package_name().as_deref(), Some("dnnperf-gpu"));
+    }
+
+    #[test]
+    fn exclusion_matches_prefixes() {
+        let ex = vec!["crates/lint/tests/fixtures/".to_string()];
+        assert!(is_excluded("target/debug/foo.rs", &ex));
+        assert!(is_excluded(".git/config", &ex));
+        assert!(is_excluded("crates/lint/tests/fixtures/bad.rs", &ex));
+        assert!(!is_excluded("crates/lint/tests/passes.rs", &ex));
+    }
+
+    #[test]
+    fn synthetic_source_files_detect_test_lines() {
+        let f = SourceFile::from_source(
+            "crates/core/src/x.rs",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\n",
+        );
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(4));
+        let t = SourceFile::from_source("crates/core/tests/conformance.rs", "fn a() {}\n");
+        assert!(t.is_test_line(1));
+    }
+}

@@ -1,0 +1,13 @@
+//! Deliberately-bad fixture: three determinism violations in
+//! output-producing, non-clock code.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn summarize(xs: &mut Vec<f64>) -> HashMap<String, f64> {
+    let t0 = Instant::now();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut out = HashMap::new();
+    out.insert("elapsed".to_string(), t0.elapsed().as_secs_f64());
+    out
+}

@@ -1,0 +1,20 @@
+//! Clean twin: ordered map, injected clock, total order — plus a test
+//! region that may legitimately time itself.
+
+use std::collections::BTreeMap;
+
+fn summarize(xs: &mut Vec<f64>, now_us: u64) -> BTreeMap<String, f64> {
+    xs.sort_by(f64::total_cmp);
+    let mut out = BTreeMap::new();
+    out.insert("at".to_string(), now_us as f64);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t0 = std::time::Instant::now();
+        assert!(t0.elapsed().as_secs() < 60);
+    }
+}

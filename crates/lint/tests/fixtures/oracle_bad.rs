@@ -1,0 +1,9 @@
+//! Deliberately-bad fixture: a predictor crate peeking at the oracle.
+//! Never compiled — lexed by the fixture tests at a synthetic path.
+
+use dnnperf_gpu::timing::*;
+
+fn peek() -> f64 {
+    let model = TimingModel::new();
+    model.kernel_time_somehow()
+}

@@ -1,0 +1,14 @@
+//! Clean twin: the same job done through the allowed surface.
+//! A predictor may see specs, dispatch rules and measured traces —
+//! "dnnperf_gpu::timing" in this comment (or a string) must not trip
+//! the pass.
+
+use dnnperf_gpu::{GpuSpec, Trace};
+use dnnperf_gpu::dispatch::Fusion;
+
+const NOTE: &str = "dnnperf_gpu::timing is sealed";
+
+fn predict(trace: &Trace, gpu: &GpuSpec, fusion: Fusion) -> f64 {
+    let _ = (gpu, fusion);
+    trace.total_us()
+}

@@ -1,0 +1,8 @@
+//! Deliberately-bad fixture: a hot-path worker that crashes on faults.
+
+fn pop_job(queue: &[u32], w: usize) -> u32 {
+    if queue.is_empty() {
+        panic!("queue empty");
+    }
+    queue[w]
+}

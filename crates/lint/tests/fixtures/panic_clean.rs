@@ -1,0 +1,17 @@
+//! Clean twin: faults are values, bounds are checked.
+
+fn pop_job(queue: &[u32], w: usize) -> Option<u32> {
+    queue.get(w).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_index_and_panic() {
+        let v = [1u32, 2];
+        assert_eq!(v[1], 2);
+        if false {
+            panic!("only in tests");
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Deliberately-bad fixture: unjustified `unsafe`.
+
+fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+//! Clean twin: the invariant is written down next to the operation.
+
+fn read(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` points into a live, initialized
+    // buffer for the duration of the call.
+    unsafe { *p }
+}

@@ -33,16 +33,35 @@ fn unit(h: u64) -> f64 {
 
 // -- clock ------------------------------------------------------------------
 
-/// A sleepable clock. Production code uses [`SystemClock`]; tests inject a
-/// recording fake so backoff schedules can be asserted without waiting.
+/// A sleepable, readable clock. Production code uses [`SystemClock`];
+/// tests inject a recording fake so backoff schedules (and elapsed-time
+/// decisions like straggler detection) can be asserted without waiting.
+///
+/// This trait is the **only** sanctioned gateway to wall-clock time in
+/// result-affecting code: `dnnperf-lint`'s determinism-hygiene pass bans
+/// `Instant::now`/`SystemTime` everywhere outside this module and the
+/// bench harness, so any elapsed-time measurement that can influence an
+/// output must be injectable (and therefore fakeable) through [`Clock`].
 pub trait Clock {
     /// Blocks for (or records) `d`.
     fn sleep(&self, d: Duration);
+
+    /// A monotonic reading since an arbitrary per-clock epoch. Only
+    /// differences between two readings of the *same* clock are
+    /// meaningful.
+    fn now(&self) -> Duration;
 }
 
-/// The real clock: `std::thread::sleep`.
+/// The real clock: `std::thread::sleep` + a process-wide monotonic epoch.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SystemClock;
+
+/// The process-wide epoch [`SystemClock::now`] reports against. Pinned by
+/// a `OnceLock` so readings are comparable across `SystemClock` values.
+fn system_epoch() -> std::time::Instant {
+    static EPOCH: std::sync::OnceLock<std::time::Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
 
 impl Clock for SystemClock {
     fn sleep(&self, d: Duration) {
@@ -50,12 +69,24 @@ impl Clock for SystemClock {
             std::thread::sleep(d);
         }
     }
+
+    fn now(&self) -> Duration {
+        system_epoch().elapsed()
+    }
 }
 
 /// A test clock that records every requested sleep and never blocks.
+///
+/// Fake time advances only when [`Clock::sleep`] is called (by the sum of
+/// all recorded sleeps) or when a test injects an explicit [`advance`]:
+/// two [`Clock::now`] readings with no sleep in between are identical, so
+/// elapsed-time decisions driven by this clock are fully deterministic.
+///
+/// [`advance`]: RecordingClock::advance
 #[derive(Debug, Default)]
 pub struct RecordingClock {
     sleeps: std::sync::Mutex<Vec<Duration>>,
+    extra: std::sync::Mutex<Duration>,
 }
 
 impl RecordingClock {
@@ -71,6 +102,15 @@ impl RecordingClock {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .clone()
     }
+
+    /// Advances fake time by `d` without recording a sleep (models work
+    /// taking `d` of wall time in a test).
+    pub fn advance(&self, d: Duration) {
+        *self
+            .extra
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner) += d;
+    }
 }
 
 impl Clock for RecordingClock {
@@ -79,6 +119,20 @@ impl Clock for RecordingClock {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .push(d);
+    }
+
+    fn now(&self) -> Duration {
+        let slept: Duration = self
+            .sleeps
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .sum();
+        slept
+            + *self
+                .extra
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -236,7 +290,7 @@ impl<T, E> RetryOutcome<T, E> {
 /// ```
 pub fn retry_with_backoff<T, E>(
     policy: &RetryPolicy,
-    clock: &impl Clock,
+    clock: &(impl Clock + ?Sized),
     classify: impl Fn(&E) -> RetryClass,
     mut op: impl FnMut(u32) -> Result<T, E>,
 ) -> RetryOutcome<T, E> {
@@ -372,6 +426,32 @@ mod tests {
         );
         assert_eq!(out.attempts, 1);
         assert!(clock.sleeps().is_empty());
+    }
+
+    #[test]
+    fn recording_clock_time_is_deterministic() {
+        let clock = RecordingClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        assert_eq!(clock.now(), clock.now(), "no sleep, no time");
+        clock.sleep(ms(10));
+        assert_eq!(clock.now(), ms(10));
+        clock.advance(ms(5));
+        assert_eq!(clock.now(), ms(15));
+        clock.sleep(ms(1));
+        assert_eq!(clock.now(), ms(16));
+        assert_eq!(
+            clock.sleeps(),
+            vec![ms(10), ms(1)],
+            "advance is not a sleep"
+        );
+    }
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a, "monotonic readings");
     }
 
     #[test]

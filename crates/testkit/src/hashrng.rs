@@ -175,7 +175,7 @@ mod tests {
         let mut samples: Vec<f64> = (0..9999u64)
             .map(|i| lognormal(splitmix(i.wrapping_mul(0x9E3779B9)), 0.1))
             .collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples.sort_by(f64::total_cmp);
         let med = samples[samples.len() / 2];
         assert!((med - 1.0).abs() < 0.02, "median {med}");
         assert!(samples.iter().all(|&x| x > 0.0));
