@@ -33,6 +33,15 @@ cargo test -q --offline -p dnnperf --test fault_injection -- --test-threads 4
 echo "==> experiment binaries still build"
 cargo build --offline -p dnnperf-bench --bins
 
+echo "==> perf regression gate (smoke profile vs committed BENCH_5.json)"
+# Re-measures the serving/training hot paths with reduced iteration counts
+# and gates on machine-relative figures: warm-predict ns/kernel may not
+# regress more than 2x vs the committed baseline, and the compiled-plan
+# sweep must stay at least 5x faster than the uncompiled legacy path.
+# Release build: the baseline was captured in release, and the tier-1 step
+# above has already built it.
+cargo run --release --offline -q -p dnnperf-bench --bin perf -- --smoke --check BENCH_5.json
+
 echo "==> rustfmt"
 cargo fmt --all -- --check
 

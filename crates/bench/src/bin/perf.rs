@@ -1,0 +1,296 @@
+//! PERF: hot-path microbenchmarks with a regression gate.
+//!
+//! Measures the four stages the compiled-plan work optimises — full-grid
+//! dataset collection, model training (serial vs pooled), plan
+//! compilation, and cold/warm/legacy prediction sweeps — with the in-tree
+//! timer (untimed warmup, median-of-k summaries). Three derived figures
+//! anchor the regression gate:
+//!
+//! * **warm-predict ns/kernel** — the serving hot path: median sweep time
+//!   divided by the number of compiled kernel terms in the sweep;
+//! * **warm-vs-legacy speedup** — compiled sweep vs the uncompiled
+//!   `KwModel::predict_network` on identical requests (machine-relative,
+//!   so the gate travels across hardware);
+//! * **train speedup at 8 threads** — pooled vs serial KW training. The
+//!   training pool clamps its worker count to the machine's cores, so on
+//!   a single-core container this reads ~1.0 (graceful degradation, not
+//!   regression); the report records `cores` so the figure is
+//!   interpretable wherever the baseline was captured.
+//!
+//! Flags:
+//!
+//! * `--smoke` — reduced warmup/iteration counts for CI;
+//! * `--out PATH` — write the results as one JSON document (BENCH_5.json);
+//! * `--check PATH` — re-measure, then gate against a committed baseline:
+//!   fail (exit 1) if warm-predict ns/kernel regressed by more than 2x, or
+//!   if the warm-vs-legacy speedup fell below 5x.
+
+use dnnperf_bench::timer::{bench, BenchResult};
+use dnnperf_core::plan::CompiledPlan;
+use dnnperf_core::{Predictor, TrainOptions, Workflow};
+use dnnperf_data::collect::collect;
+use dnnperf_dnn::{zoo, Network};
+use dnnperf_gpu::GpuSpec;
+
+/// Maximum tolerated regression of warm-predict ns/kernel vs the baseline.
+const MAX_NS_PER_KERNEL_REGRESSION: f64 = 2.0;
+/// Minimum tolerated warm-vs-legacy speedup.
+const MIN_WARM_SPEEDUP: f64 = 5.0;
+
+fn train_nets() -> Vec<Network> {
+    vec![
+        zoo::resnet::resnet18(),
+        zoo::resnet::resnet34(),
+        zoo::resnet::resnet50(),
+        zoo::vgg::vgg11(),
+        zoo::vgg::vgg16(),
+        zoo::densenet::densenet121(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+        zoo::squeezenet::squeezenet(128, 128, 0.125),
+    ]
+}
+
+/// The prediction sweep: held-out networks across a batch scan — the
+/// repeated-request pattern the plan cache exists for.
+fn sweep_pairs() -> Vec<(Network, usize)> {
+    let probes = [
+        zoo::resnet::resnet77(),
+        zoo::resnet::resnet101(),
+        zoo::vgg::vgg13(),
+        zoo::densenet::densenet169(),
+        zoo::mobilenet::mobilenet_v2(1.4, 1.0),
+    ];
+    let mut pairs = Vec::new();
+    for net in probes {
+        for batch in [1usize, 8, 32, 64] {
+            pairs.push((net.clone(), batch));
+        }
+    }
+    pairs
+}
+
+struct Flags {
+    smoke: bool,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_flags() -> Flags {
+    let mut flags = Flags {
+        smoke: false,
+        out: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--out" => flags.out = args.next(),
+            "--check" => flags.check = args.next(),
+            other => {
+                if let Some(v) = other.strip_prefix("--out=") {
+                    flags.out = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--check=") {
+                    flags.check = Some(v.to_string());
+                } else {
+                    eprintln!("perf: unknown flag {other}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    flags
+}
+
+/// Extracts the number following `"key":` from a (flat) JSON document.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = &doc[at..];
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+struct Report {
+    profile: &'static str,
+    cores: usize,
+    sweep_pairs: usize,
+    sweep_kernel_terms: usize,
+    warm_ns_per_kernel: f64,
+    warm_vs_legacy_speedup: f64,
+    train_speedup_threads8: f64,
+    entries: Vec<BenchResult>,
+}
+
+impl Report {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dnnperf-bench-5\",\n");
+        out.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"sweep_pairs\": {},\n", self.sweep_pairs));
+        out.push_str(&format!(
+            "  \"sweep_kernel_terms\": {},\n",
+            self.sweep_kernel_terms
+        ));
+        out.push_str(&format!(
+            "  \"warm_predict_ns_per_kernel\": {:.3},\n",
+            self.warm_ns_per_kernel
+        ));
+        out.push_str(&format!(
+            "  \"warm_vs_legacy_speedup\": {:.2},\n",
+            self.warm_vs_legacy_speedup
+        ));
+        out.push_str(&format!(
+            "  \"train_speedup_threads8\": {:.2},\n",
+            self.train_speedup_threads8
+        ));
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", e.json_line()));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn run(smoke: bool) -> Report {
+    // (warmup, iters) per stage; collection and training are orders of
+    // magnitude slower than prediction, so they get fewer iterations.
+    let (slow_w, slow_i, fast_w, fast_i) = if smoke { (1, 3, 2, 9) } else { (2, 9, 5, 41) };
+
+    let gpu = GpuSpec::by_name("A100").expect("A100 spec");
+    let nets = train_nets();
+    // A multi-batch grid: every kernel symbol accumulates rows from each
+    // (network, batch) point, so the per-kernel classification fits carry
+    // real work for the training pool to split.
+    let batches = [8usize, 16, 32, 64];
+    let mut entries = Vec::new();
+
+    entries.push(bench("collect/full_grid", slow_w, slow_i, || {
+        collect(&nets, std::slice::from_ref(&gpu), &batches)
+    }));
+    let ds = collect(&nets, std::slice::from_ref(&gpu), &batches);
+
+    let t1 = bench("train/threads1", slow_w, slow_i, || {
+        Workflow::train_opts(&ds, "A100", &TrainOptions::serial()).expect("train")
+    });
+    let t8 = bench("train/threads8", slow_w, slow_i, || {
+        Workflow::train_opts(&ds, "A100", &TrainOptions::with_threads(8)).expect("train")
+    });
+
+    let suite = Workflow::train(&ds, "A100").expect("train");
+    let pairs = sweep_pairs();
+    let sweep_kernel_terms: usize = pairs
+        .iter()
+        .map(|(n, b)| suite.plan(n, *b).expect("plan").num_terms())
+        .sum();
+    suite.invalidate_plans();
+
+    let (net0, batch0) = (&pairs[0].0, pairs[0].1);
+    entries.push(bench("plan/compile", fast_w, fast_i, || {
+        CompiledPlan::compile(&suite, net0, batch0).expect("compile")
+    }));
+
+    entries.push(bench("predict/cold_sweep", fast_w, fast_i, || {
+        pairs
+            .iter()
+            .map(|(n, b)| {
+                CompiledPlan::compile(&suite, n, *b)
+                    .expect("compile")
+                    .predict()
+            })
+            .sum::<f64>()
+    }));
+    let warm = bench("predict/warm_sweep", fast_w, fast_i, || {
+        pairs
+            .iter()
+            .map(|(n, b)| suite.predict(n, *b).expect("predict"))
+            .sum::<f64>()
+    });
+    let legacy = bench("predict/legacy_sweep", fast_w, fast_i, || {
+        pairs
+            .iter()
+            .map(|(n, b)| suite.kw.predict_network(n, *b).expect("predict"))
+            .sum::<f64>()
+    });
+
+    let warm_ns_per_kernel = warm.median_ns / sweep_kernel_terms as f64;
+    let warm_vs_legacy_speedup = legacy.median_ns / warm.median_ns;
+    let train_speedup_threads8 = t1.median_ns / t8.median_ns;
+    entries.insert(1, t1);
+    entries.insert(2, t8);
+    entries.push(warm);
+    entries.push(legacy);
+
+    Report {
+        profile: if smoke { "smoke" } else { "full" },
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        sweep_pairs: pairs.len(),
+        sweep_kernel_terms,
+        warm_ns_per_kernel,
+        warm_vs_legacy_speedup,
+        train_speedup_threads8,
+        entries,
+    }
+}
+
+fn main() {
+    let flags = parse_flags();
+    dnnperf_bench::banner(
+        "PERF",
+        "compiled-plan serving and pooled-training microbenchmarks",
+    );
+
+    let report = run(flags.smoke);
+    println!();
+    println!(
+        "warm predict: {:.1} ns/kernel over {} terms ({} sweep pairs)",
+        report.warm_ns_per_kernel, report.sweep_kernel_terms, report.sweep_pairs
+    );
+    println!(
+        "warm vs legacy speedup: {:.2}x   train speedup (8 threads, {} core{}): {:.2}x",
+        report.warm_vs_legacy_speedup,
+        report.cores,
+        if report.cores == 1 { "" } else { "s" },
+        report.train_speedup_threads8
+    );
+
+    if let Some(path) = &flags.out {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &flags.check {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("perf --check: cannot read {path}: {e}"));
+        let base_ns = json_number(&baseline, "warm_predict_ns_per_kernel")
+            .unwrap_or_else(|| panic!("perf --check: no warm_predict_ns_per_kernel in {path}"));
+        let mut failed = false;
+        let limit = base_ns * MAX_NS_PER_KERNEL_REGRESSION;
+        if report.warm_ns_per_kernel > limit {
+            eprintln!(
+                "GATE FAIL: warm predict {:.1} ns/kernel exceeds {:.1} \
+                 (baseline {:.1} x {MAX_NS_PER_KERNEL_REGRESSION})",
+                report.warm_ns_per_kernel, limit, base_ns
+            );
+            failed = true;
+        }
+        if report.warm_vs_legacy_speedup < MIN_WARM_SPEEDUP {
+            eprintln!(
+                "GATE FAIL: warm-vs-legacy speedup {:.2}x below the {MIN_WARM_SPEEDUP}x floor",
+                report.warm_vs_legacy_speedup
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate OK: {:.1} ns/kernel (limit {:.1}), speedup {:.2}x (floor {MIN_WARM_SPEEDUP}x)",
+            report.warm_ns_per_kernel, limit, report.warm_vs_legacy_speedup
+        );
+    }
+}

@@ -77,14 +77,16 @@ pub fn measure<T>(name: &str, warmup: u32, iters: u32, mut f: impl FnMut() -> T)
     for _ in 0..warmup {
         black_box(f());
     }
-    let mut samples_ns: Vec<f64> = (0..iters)
+    // No pre-sort: `dnnperf_linreg::percentile` selects each order
+    // statistic on its own scratch copy (quickselect), so handing it the
+    // raw sample order is both correct and cheaper than sorting here.
+    let samples_ns: Vec<f64> = (0..iters)
         .map(|_| {
             let t = Instant::now();
             black_box(f());
             t.elapsed().as_nanos() as f64
         })
         .collect();
-    samples_ns.sort_by(|a, b| a.total_cmp(b));
     BenchResult {
         name: name.to_string(),
         iters,

@@ -109,11 +109,37 @@ impl KernelClassification {
     }
 }
 
-/// Groups kernel rows by kernel symbol.
+/// Rows-per-kernel reservation for [`group_by_kernel`]: every kernel in a
+/// collected dataset appears once per (network, batch) grid point it runs
+/// in, so even small grids put double-digit row counts behind each symbol.
+/// Reserving up front removes the doubling reallocations from the grouping
+/// pass without over-committing on tiny fixture inputs.
+const GROUP_ROWS_RESERVE: usize = 16;
+
+/// Groups kernel rows by kernel symbol in a single pass.
+///
+/// Entry-style insertion with pre-reserved row vectors: one ordered-map
+/// probe per row, no second scan over the input.
 pub fn group_by_kernel(rows: &[KernelRow]) -> BTreeMap<Arc<str>, Vec<&KernelRow>> {
     let mut grouped: BTreeMap<Arc<str>, Vec<&KernelRow>> = BTreeMap::new();
     for r in rows {
-        grouped.entry(r.kernel.clone()).or_default().push(r);
+        grouped
+            .entry(r.kernel.clone())
+            .or_insert_with(|| Vec::with_capacity(GROUP_ROWS_RESERVE.min(rows.len())))
+            .push(r);
+    }
+    grouped
+}
+
+/// [`group_by_kernel`] over borrowed rows — the allocation-free training
+/// path groups a GPU-filtered view of a dataset without cloning any row.
+pub fn group_row_refs<'a>(rows: &[&'a KernelRow]) -> BTreeMap<Arc<str>, Vec<&'a KernelRow>> {
+    let mut grouped: BTreeMap<Arc<str>, Vec<&'a KernelRow>> = BTreeMap::new();
+    for r in rows {
+        grouped
+            .entry(r.kernel.clone())
+            .or_insert_with(|| Vec::with_capacity(GROUP_ROWS_RESERVE.min(rows.len())))
+            .push(r);
     }
     grouped
 }
@@ -186,13 +212,28 @@ pub fn classify_one(kernel: Arc<str>, rows: &[&KernelRow]) -> KernelClassificati
 /// assert!(!classes.is_empty());
 /// ```
 pub fn classify_kernels(rows: &[KernelRow]) -> BTreeMap<Arc<str>, KernelClassification> {
-    group_by_kernel(rows)
-        .into_iter()
-        .map(|(k, rs)| {
-            let c = classify_one(k.clone(), &rs);
-            (k, c)
-        })
-        .collect()
+    classify_kernels_grouped(&group_by_kernel(rows), 1)
+}
+
+/// Classifies pre-grouped kernel rows, fanning the per-kernel three-driver
+/// fits out over up to `threads` workers.
+///
+/// The grouped entry point lets [`crate::KwModel`] share one
+/// [`group_by_kernel`] pass between classification and clustering instead
+/// of re-scanning the rows. Kernels are classified independently and the
+/// results are stitched back in symbol order, so the output is
+/// byte-identical to the serial path for every thread count.
+pub fn classify_kernels_grouped(
+    groups: &BTreeMap<Arc<str>, Vec<&KernelRow>>,
+    threads: usize,
+) -> BTreeMap<Arc<str>, KernelClassification> {
+    let items: Vec<(&Arc<str>, &Vec<&KernelRow>)> = groups.iter().collect();
+    crate::par::map_ref(&items, threads, |(k, rs)| {
+        let c = classify_one((*k).clone(), rs);
+        ((*k).clone(), c)
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]
@@ -303,5 +344,31 @@ mod tests {
         let classes = classify_kernels(&rows);
         assert_eq!(classes.len(), 2);
         assert!(classes.contains_key("a" as &str));
+    }
+
+    #[test]
+    fn parallel_classification_matches_serial_exactly() {
+        let mut rows = Vec::new();
+        for k in 0..17u64 {
+            for i in 1..25u64 {
+                rows.push(row(
+                    &format!("k{k}"),
+                    i * (k + 1),
+                    (i * 37 + k) % 900 + 1,
+                    (i * 61 + k) % 700 + 1,
+                    (i * (k + 2)) as f64,
+                ));
+            }
+        }
+        let groups = group_by_kernel(&rows);
+        let serial = classify_kernels_grouped(&groups, 1);
+        assert_eq!(serial, classify_kernels(&rows));
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                classify_kernels_grouped(&groups, threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
     }
 }

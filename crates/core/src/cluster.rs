@@ -72,13 +72,17 @@ impl Clustering {
 
 fn pooled_fit(
     driver: Driver,
-    members: &[&Arc<str>],
+    members: &[Arc<str>],
     by_kernel: &BTreeMap<Arc<str>, Vec<&KernelRow>>,
 ) -> Fit {
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
+    let total: usize = members
+        .iter()
+        .map(|m| by_kernel.get(m).map_or(0, Vec::len))
+        .sum();
+    let mut xs = Vec::with_capacity(total);
+    let mut ys = Vec::with_capacity(total);
     for m in members {
-        for r in &by_kernel[*m] {
+        for r in by_kernel.get(m).into_iter().flatten() {
             xs.push(r.drivers()[driver.index()]);
             ys.push(r.seconds);
         }
@@ -118,12 +122,33 @@ pub fn cluster_kernels(
     classes: &BTreeMap<Arc<str>, KernelClassification>,
     slope_tolerance: f64,
 ) -> Clustering {
+    cluster_kernels_grouped(&group_by_kernel(rows), classes, slope_tolerance, 1)
+}
+
+/// Clusters pre-grouped kernel rows, fanning the per-cluster pooled refits
+/// out over up to `threads` workers.
+///
+/// The cheap greedy membership sweep stays serial (it is a single ordered
+/// pass over the classified kernels); only the pooled OLS refits — the
+/// expensive part — run on the pool. Cluster membership is decided before
+/// any fit runs and the fits are stitched back in cluster-id order, so the
+/// result is byte-identical to the serial path for every thread count.
+///
+/// # Panics
+///
+/// Panics if `slope_tolerance < 1.0`.
+pub fn cluster_kernels_grouped(
+    by_kernel: &BTreeMap<Arc<str>, Vec<&KernelRow>>,
+    classes: &BTreeMap<Arc<str>, KernelClassification>,
+    slope_tolerance: f64,
+    threads: usize,
+) -> Clustering {
     assert!(slope_tolerance >= 1.0, "slope tolerance must be >= 1");
-    let by_kernel = group_by_kernel(rows);
 
     // Partition kernels by driver, sort by slope, then sweep greedily.
+    // Membership is fully decided here; the fits happen afterwards.
     let mut assignment = BTreeMap::new();
-    let mut models = Vec::new();
+    let mut clusters: Vec<(Driver, Vec<Arc<str>>)> = Vec::new();
     for driver in Driver::all() {
         let mut members: Vec<(&Arc<str>, f64)> = classes
             .iter()
@@ -139,16 +164,22 @@ pub fn cluster_kernels(
             while j < members.len() && slopes_close(base, members[j].1, slope_tolerance) {
                 j += 1;
             }
-            let cluster: Vec<&Arc<str>> = members[i..j].iter().map(|(k, _)| *k).collect();
-            let f = pooled_fit(driver, &cluster, &by_kernel);
-            let id = models.len();
-            models.push((driver, f));
-            for k in cluster {
+            let cluster: Vec<Arc<str>> = members[i..j].iter().map(|(k, _)| (*k).clone()).collect();
+            let id = clusters.len();
+            for k in &cluster {
                 assignment.insert(k.clone(), id);
             }
+            clusters.push((driver, cluster));
             i = j;
         }
     }
+
+    // Per-cluster pooled refits on the work-stealing pool, results in
+    // cluster-id order.
+    let models: Vec<(Driver, Fit)> =
+        crate::par::map_ref(&clusters, threads, |(driver, members)| {
+            (*driver, pooled_fit(*driver, members, by_kernel))
+        });
     Clustering { assignment, models }
 }
 
@@ -260,5 +291,21 @@ mod tests {
     #[should_panic(expected = "slope tolerance")]
     fn tolerance_below_one_panics() {
         cluster_kernels(&[], &BTreeMap::new(), 0.5);
+    }
+
+    #[test]
+    fn parallel_refits_match_serial_exactly() {
+        let rows = synthetic(&[("a", 1.0), ("b", 1.1), ("c", 10.0), ("d", 0.2), ("e", 0.21)]);
+        let classes = classify_kernels(&rows);
+        let by_kernel = group_by_kernel(&rows);
+        let serial = cluster_kernels_grouped(&by_kernel, &classes, 1.35, 1);
+        assert_eq!(serial, cluster_kernels(&rows, &classes, 1.35));
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                cluster_kernels_grouped(&by_kernel, &classes, 1.35, threads),
+                serial,
+                "threads = {threads}"
+            );
+        }
     }
 }

@@ -162,12 +162,38 @@ impl Workflow {
     /// On networks the KW model fully covers this returns exactly
     /// `kw.predict_network(net, batch)` with no notes.
     ///
+    /// The ladder is evaluated through the suite's compiled-plan cache
+    /// (see [`crate::plan`]): the layer resolution is decided once at
+    /// compile time and repeated predictions replay it as a flat sweep.
+    /// The result is bit-identical to
+    /// [`Workflow::predict_graceful_uncompiled`], which keeps the
+    /// reference recompute-every-call implementation.
+    ///
     /// # Errors
     ///
     /// Returns [`PredictError::ZeroBatch`] or [`PredictError::EmptyNetwork`]
     /// for structurally invalid requests — the ladder degrades models, not
     /// input validation.
     pub fn predict_graceful(
+        &self,
+        net: &Network,
+        batch: usize,
+    ) -> Result<GracefulPrediction, PredictError> {
+        Ok(self.plan(net, batch)?.predict_graceful())
+    }
+
+    /// The uncompiled reference implementation of the prediction ladder:
+    /// walks the trained models per call instead of a compiled plan.
+    /// [`Workflow::predict_graceful`] is bit-identical to this (the
+    /// conformance tests hold the two paths together); it exists so the
+    /// ladder's semantics stay auditable in one place and the plan
+    /// compiler has an oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::ZeroBatch`] or [`PredictError::EmptyNetwork`]
+    /// for structurally invalid requests.
+    pub fn predict_graceful_uncompiled(
         &self,
         net: &Network,
         batch: usize,
@@ -322,6 +348,35 @@ mod tests {
         let suite = suite(&train);
         let g = suite.predict_graceful(&train[0], 32).unwrap();
         assert!(!g.is_degraded(), "notes: {:?}", g.notes);
+    }
+
+    #[test]
+    fn compiled_ladder_matches_uncompiled_reference() {
+        // Train on VGG only so a ResNet probe hits every fallback rung,
+        // then hold the plan path and the reference path together.
+        let train = vec![
+            dnnperf_dnn::zoo::vgg::vgg11(),
+            dnnperf_dnn::zoo::vgg::vgg13(),
+            dnnperf_dnn::zoo::vgg::vgg16(),
+        ];
+        let suite = suite(&train);
+        for net in [
+            dnnperf_dnn::zoo::resnet::resnet18(),
+            dnnperf_dnn::zoo::vgg::vgg16(),
+            dnnperf_dnn::zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+        ] {
+            for batch in [1usize, 8, 32] {
+                let fast = suite.predict_graceful(&net, batch).unwrap();
+                let slow = suite.predict_graceful_uncompiled(&net, batch).unwrap();
+                assert_eq!(
+                    fast.seconds.to_bits(),
+                    slow.seconds.to_bits(),
+                    "{} @ {batch}",
+                    net.name()
+                );
+                assert_eq!(fast.notes, slow.notes);
+            }
+        }
     }
 
     #[test]

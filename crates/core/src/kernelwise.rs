@@ -7,8 +7,12 @@
 //! walk the network's layers, look each up in the mapping table, and sum the
 //! per-kernel regressions evaluated at the layer's driver variables.
 
-use crate::classify::{classify_kernels, Driver, KernelClassification};
-use crate::cluster::{cluster_kernels, Clustering, DEFAULT_SLOPE_TOLERANCE};
+use crate::classify::{
+    classify_kernels, classify_kernels_grouped, group_row_refs, Driver, KernelClassification,
+};
+use crate::cluster::{
+    cluster_kernels, cluster_kernels_grouped, Clustering, DEFAULT_SLOPE_TOLERANCE,
+};
 use crate::error::{PredictError, TrainError};
 use crate::mapping::KernelMap;
 use crate::model::Predictor;
@@ -89,20 +93,44 @@ impl KwModel {
         gpu: &str,
         slope_tolerance: f64,
     ) -> Result<Self, TrainError> {
-        let rows: Vec<_> = dataset
-            .kernels
-            .iter()
-            .filter(|r| &*r.gpu == gpu)
-            .cloned()
-            .collect();
+        KwModel::train_with_options(dataset, gpu, slope_tolerance, 1)
+    }
+
+    /// Trains with an explicit clustering tolerance *and* worker count.
+    ///
+    /// The kernel rows are grouped by symbol exactly once; the grouping is
+    /// shared between classification and clustering instead of each pass
+    /// re-scanning the rows. The per-kernel three-driver fits and the
+    /// per-cluster pooled refits fan out over up to `threads` workers on
+    /// the scheduler's work-stealing pool; results are stitched back in
+    /// deterministic order, so the trained model is byte-identical to the
+    /// serial path for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError::NoDataForGpu`] if the dataset has no kernel
+    /// rows for `gpu`.
+    pub fn train_with_options(
+        dataset: &Dataset,
+        gpu: &str,
+        slope_tolerance: f64,
+        threads: usize,
+    ) -> Result<Self, TrainError> {
+        // Borrow the GPU's rows instead of cloning them: training only
+        // ever reads, and the clone was a measurable share of serial
+        // training time.
+        let rows: Vec<&dnnperf_data::KernelRow> =
+            dataset.kernels.iter().filter(|r| &*r.gpu == gpu).collect();
         if rows.is_empty() {
             return Err(TrainError::NoDataForGpu {
                 gpu: gpu.to_string(),
             });
         }
-        let map = KernelMap::from_rows(&rows);
-        let classes = classify_kernels(&rows);
-        let clustering = cluster_kernels(&rows, &classes, slope_tolerance);
+        let map = KernelMap::from_row_refs(&rows);
+        // One grouping pass feeds both classification and clustering.
+        let groups = group_row_refs(&rows);
+        let classes = classify_kernels_grouped(&groups, threads);
+        let clustering = cluster_kernels_grouped(&groups, &classes, slope_tolerance, threads);
         Ok(KwModel {
             gpu: gpu.to_string(),
             map,
@@ -505,6 +533,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(model.predict_layer(&flat, 64), 0.0);
+    }
+
+    #[test]
+    fn parallel_training_matches_serial() {
+        let ds = collect(&train_nets(), &[GpuSpec::by_name("A100").unwrap()], &[32]);
+        let serial = KwModel::train(&ds, "A100").unwrap();
+        for threads in [2, 8] {
+            let par =
+                KwModel::train_with_options(&ds, "A100", DEFAULT_SLOPE_TOLERANCE, threads).unwrap();
+            assert_eq!(par, serial, "threads = {threads}");
+            assert_eq!(par.to_text(), serial.to_text(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -53,7 +53,9 @@ pub mod layerwise;
 pub mod mapping;
 pub mod model;
 pub mod overhead;
+mod par;
 pub mod persist;
+pub mod plan;
 pub mod workflow;
 
 pub use classify::{classify_kernels, Driver, KernelClassification};
@@ -68,4 +70,5 @@ pub use mapping::{KernelMap, LayerSignature};
 pub use model::Predictor;
 pub use overhead::{KwWithOverhead, OverheadModel};
 pub use persist::PersistError;
-pub use workflow::Workflow;
+pub use plan::CompiledPlan;
+pub use workflow::{TrainOptions, Workflow};

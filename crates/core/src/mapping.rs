@@ -100,14 +100,26 @@ impl KernelMap {
     /// assert!(map.len() > 10);
     /// ```
     pub fn from_rows(rows: &[KernelRow]) -> Self {
+        let refs: Vec<&KernelRow> = rows.iter().collect();
+        KernelMap::from_row_refs(&refs)
+    }
+
+    /// Builds the table from borrowed kernel rows — the allocation-free
+    /// path [`crate::KwModel`] training uses after filtering a dataset by
+    /// GPU, so no row is ever cloned just to be scanned. Semantics are
+    /// identical to [`KernelMap::from_rows`].
+    pub fn from_row_refs(rows: &[&KernelRow]) -> Self {
         let mut map = KernelMap::default();
         let mut i = 0;
         while i < rows.len() {
-            let r = &rows[i];
+            let Some(r) = rows.get(i) else { break };
             let mut kernels = vec![r.kernel.clone()];
             let mut j = i + 1;
-            while j < rows.len() && same_layer_execution(r, &rows[j]) {
-                kernels.push(rows[j].kernel.clone());
+            while let Some(next) = rows.get(j) {
+                if !same_layer_execution(r, next) {
+                    break;
+                }
+                kernels.push(next.kernel.clone());
                 j += 1;
             }
             let sig = LayerSignature::of_row(r);

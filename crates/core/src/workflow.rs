@@ -2,15 +2,61 @@
 //! dataset goes in, a set of trained analytical models comes out, and new
 //! network structures are fed to the models for prediction.
 
+use crate::cluster::DEFAULT_SLOPE_TOLERANCE;
 use crate::e2e::E2eModel;
-use crate::error::TrainError;
+use crate::error::{PredictError, TrainError};
 use crate::kernelwise::KwModel;
 use crate::layerwise::LwModel;
 use crate::model::Predictor;
+use crate::plan::{CompiledPlan, PlanCache};
 use dnnperf_data::collect::collect_opts;
 use dnnperf_data::{CollectOptions, Dataset};
 use dnnperf_dnn::Network;
 use dnnperf_gpu::GpuSpec;
+use std::sync::Arc;
+
+/// Options for model training (the analogue of
+/// [`dnnperf_data::CollectOptions`] for the training side of the
+/// pipeline).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrainOptions {
+    /// Worker threads for the per-kernel classification fits and the
+    /// per-cluster pooled refits. `0` (the default) means "auto": use
+    /// [`std::thread::available_parallelism`]. `1` disables threading.
+    /// The trained models are byte-identical for every worker count.
+    pub threads: usize,
+}
+
+impl TrainOptions {
+    /// Serial training (the conservative default of [`Workflow::train`]).
+    pub fn serial() -> Self {
+        TrainOptions { threads: 1 }
+    }
+
+    /// Training on `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        TrainOptions { threads }
+    }
+
+    /// Options from the environment: `DNNPERF_THREADS` — worker count;
+    /// unparsable or zero means auto.
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DNNPERF_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        TrainOptions { threads }
+    }
+
+    /// The worker count after resolving `0` to the machine's parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        }
+    }
+}
 
 /// A trained model suite for one GPU: the three single-GPU models of
 /// Section 5.
@@ -22,6 +68,9 @@ pub struct Workflow {
     pub lw: LwModel,
     /// The Kernel-Wise model.
     pub kw: KwModel,
+    /// Compiled-plan cache for the serving hot path. Clones start empty;
+    /// see [`Workflow::invalidate_plans`].
+    plans: PlanCache,
 }
 
 impl Workflow {
@@ -53,10 +102,28 @@ impl Workflow {
     /// # }
     /// ```
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
+        Workflow::train_opts(dataset, gpu, &TrainOptions::serial())
+    }
+
+    /// Trains the suite with explicit [`TrainOptions`]: the KW model's
+    /// per-kernel classification fits and per-cluster pooled refits fan
+    /// out over the scheduler's work-stealing pool. The trained suite is
+    /// byte-identical to [`Workflow::train`] for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainError`] from the individual models.
+    pub fn train_opts(
+        dataset: &Dataset,
+        gpu: &str,
+        opts: &TrainOptions,
+    ) -> Result<Self, TrainError> {
+        let threads = opts.effective_threads();
         Ok(Workflow {
             e2e: E2eModel::train(dataset, gpu)?,
             lw: LwModel::train(dataset, gpu)?,
-            kw: KwModel::train(dataset, gpu)?,
+            kw: KwModel::train_with_options(dataset, gpu, DEFAULT_SLOPE_TOLERANCE, threads)?,
+            plans: PlanCache::default(),
         })
     }
 
@@ -74,11 +141,66 @@ impl Workflow {
         gpu: &str,
         estimator: dnnperf_linreg::Estimator,
     ) -> Result<Self, TrainError> {
+        Workflow::train_with_opts(dataset, gpu, estimator, &TrainOptions::serial())
+    }
+
+    /// [`Workflow::train_with`] plus explicit [`TrainOptions`] for the KW
+    /// training fan-out.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TrainError`] from the individual models.
+    pub fn train_with_opts(
+        dataset: &Dataset,
+        gpu: &str,
+        estimator: dnnperf_linreg::Estimator,
+        opts: &TrainOptions,
+    ) -> Result<Self, TrainError> {
+        let threads = opts.effective_threads();
         Ok(Workflow {
             e2e: E2eModel::train_with(dataset, gpu, estimator)?,
             lw: LwModel::train_with(dataset, gpu, estimator)?,
-            kw: KwModel::train(dataset, gpu)?,
+            kw: KwModel::train_with_options(dataset, gpu, DEFAULT_SLOPE_TOLERANCE, threads)?,
+            plans: PlanCache::default(),
         })
+    }
+
+    /// The compiled plan for `(net, batch)`, from the suite's plan cache
+    /// (compiled on first use). Repeated predictions of the same request
+    /// share one plan and never re-run dispatch or cluster resolution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::ZeroBatch`] or
+    /// [`PredictError::EmptyNetwork`] for structurally invalid requests.
+    pub fn plan(&self, net: &Network, batch: usize) -> Result<Arc<CompiledPlan>, PredictError> {
+        self.plans.get_or_compile(self, net, batch)
+    }
+
+    /// Predicts `net`'s end-to-end time with the KW model through the
+    /// compiled-plan cache: bit-identical to
+    /// `self.kw.predict_network(net, batch)`, but repeated calls are a
+    /// flat array sweep instead of per-layer mapping and cluster lookups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::ZeroBatch`] or
+    /// [`PredictError::EmptyNetwork`] for structurally invalid requests.
+    pub fn predict(&self, net: &Network, batch: usize) -> Result<f64, PredictError> {
+        Ok(self.plan(net, batch)?.predict())
+    }
+
+    /// Drops every cached plan. Call this after mutating the suite's
+    /// public model fields in place (retraining produces a fresh
+    /// [`Workflow`], whose cache starts empty, so the usual train → serve
+    /// flow never needs it).
+    pub fn invalidate_plans(&self) {
+        self.plans.clear();
+    }
+
+    /// Number of plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.plans.cached()
     }
 
     /// The three models as trait objects, in increasing complexity order.

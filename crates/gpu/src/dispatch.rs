@@ -96,6 +96,75 @@ impl Ctx {
     }
 }
 
+/// The convolution lowering chosen for a layer's geometry. Shared between
+/// the dispatcher and the exact-count pre-sizing so the two can never
+/// disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConvAlgo {
+    Depthwise,
+    Grouped,
+    Pointwise,
+    Winograd,
+    Fft,
+    Direct,
+    Im2colGemm,
+}
+
+impl ConvAlgo {
+    /// Number of kernels the algorithm launches.
+    fn kernel_count(self) -> usize {
+        match self {
+            ConvAlgo::Winograd | ConvAlgo::Fft => 3,
+            ConvAlgo::Im2colGemm => 2,
+            _ => 1,
+        }
+    }
+}
+
+fn conv_algo(layer: &Layer, c: &dnnperf_dnn::Conv2d) -> ConvAlgo {
+    let spatial = layer.output.spatial();
+    if c.is_depthwise() {
+        ConvAlgo::Depthwise
+    } else if c.groups > 1 {
+        ConvAlgo::Grouped
+    } else if c.is_pointwise() {
+        ConvAlgo::Pointwise
+    } else if c.kh == 3 && c.kw == 3 && c.stride == 1 && c.in_ch >= 16 && c.out_ch >= 16 {
+        ConvAlgo::Winograd
+    } else if c.kh >= 5 && c.stride == 1 && spatial >= 28 * 28 && c.in_ch >= 16 {
+        ConvAlgo::Fft
+    } else if c.in_ch < 16 {
+        ConvAlgo::Direct
+    } else {
+        ConvAlgo::Im2colGemm
+    }
+}
+
+/// Exact number of kernels [`dispatch_layer`] will produce for this layer.
+///
+/// Used to pre-size kernel vectors with a single exact allocation; a
+/// debug assertion in [`dispatch_layer_into`] keeps it honest.
+pub fn forward_kernel_count(layer: &Layer) -> usize {
+    match &layer.kind {
+        LayerKind::Conv2d(c) => conv_algo(layer, c).kernel_count(),
+        LayerKind::Linear(_) => 2,
+        LayerKind::Flatten => 0,
+        _ => 1,
+    }
+}
+
+/// Exact number of kernels [`dispatch_layer_backward`] will produce.
+pub fn backward_kernel_count(layer: &Layer) -> usize {
+    let base = match &layer.kind {
+        LayerKind::Conv2d(_) => 2,
+        LayerKind::Linear(_) => 3,
+        LayerKind::MatMul(_) => 2,
+        LayerKind::Add | LayerKind::Flatten => 0,
+        _ => 1,
+    };
+    base + usize::from(layer_params(layer) > 0)
+}
+
 /// Dispatches one layer at the given batch size into its kernel sequence.
 ///
 /// Returns an empty vector for layers that compile away (e.g.
@@ -119,14 +188,25 @@ impl Ctx {
 /// # }
 /// ```
 pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
+    let mut out = Vec::with_capacity(forward_kernel_count(layer));
+    dispatch_layer_into(layer, batch, &mut out);
+    out
+}
+
+/// Push-based variant of [`dispatch_layer`]: appends the layer's kernels to
+/// `out` without allocating an intermediate vector. Callers batching many
+/// layers into one buffer (e.g. [`dispatch_network_training`]) pre-size
+/// `out` once with [`forward_kernel_count`] + [`backward_kernel_count`].
+pub fn dispatch_layer_into(layer: &Layer, batch: usize, out: &mut Vec<KernelDesc>) {
     assert!(batch > 0, "batch size must be positive");
     let ctx = Ctx::new(layer, batch);
     let act_per_sample = (layer.input.elems() + layer.output.elems()) as u64;
     let flops_per_sample = layer_flops(layer);
     let ai = ai_bucket(flops_per_sample, act_per_sample);
+    let before = out.len();
 
     match &layer.kind {
-        LayerKind::Conv2d(c) => dispatch_conv(layer, c, &ctx, ai),
+        LayerKind::Conv2d(c) => dispatch_conv_into(layer, c, &ctx, ai, out),
         LayerKind::Linear(l) => {
             // Narrow outputs run a GEMV-style kernel; both belong to the FC
             // GEMM family for pricing purposes.
@@ -141,41 +221,39 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             } else {
                 format!("gemv_n_small_ai{ai}")
             };
-            vec![
-                ctx.main(family, name, 1.0),
-                ctx.post(
-                    KernelFamily::BiasAct,
-                    KernelFamily::BiasAct.base_name().to_string(),
-                ),
-            ]
+            out.push(ctx.main(family, name, 1.0));
+            out.push(ctx.post(
+                KernelFamily::BiasAct,
+                KernelFamily::BiasAct.base_name().to_string(),
+            ));
         }
         LayerKind::Pool2d(p) => {
             let tag = match p.kind {
                 PoolKind::Max => "max",
                 PoolKind::Avg => "avg",
             };
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::Pooling,
                 format!("{}_{}_k{}", KernelFamily::Pooling.base_name(), tag, p.k),
-            )]
+            ));
         }
         LayerKind::GlobalAvgPool => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::Reduce,
                 KernelFamily::Reduce.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::BatchNorm => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::BnInf,
                 KernelFamily::BnInf.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::LayerNorm => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::LayerNormK,
                 KernelFamily::LayerNormK.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::Activation(f) => {
             let tag = match f {
@@ -184,37 +262,37 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
                 ActivationFn::Gelu => "gelu",
                 ActivationFn::Sigmoid => "sigmoid",
             };
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::Elementwise,
                 format!("{}_{}", KernelFamily::Elementwise.base_name(), tag),
-            )]
+            ));
         }
         LayerKind::Add => {
-            vec![ctx.post(
+            out.push(ctx.post(
                 KernelFamily::AddTensor,
                 KernelFamily::AddTensor.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::Concat { .. } => {
-            vec![ctx.post(
+            out.push(ctx.post(
                 KernelFamily::ConcatCopy,
                 KernelFamily::ConcatCopy.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::Softmax => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::Softmax,
                 KernelFamily::Softmax.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::Embedding(_) => {
-            vec![ctx.post(
+            out.push(ctx.post(
                 KernelFamily::EmbedLookup,
                 KernelFamily::EmbedLookup.base_name().to_string(),
-            )]
+            ));
         }
         LayerKind::MatMul(m) => {
-            vec![ctx.main(
+            out.push(ctx.main(
                 KernelFamily::BatchedGemm,
                 format!(
                     "{}_h{}_ai{}",
@@ -223,22 +301,33 @@ pub fn dispatch_layer(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
                     ai
                 ),
                 1.0,
-            )]
+            ));
         }
-        LayerKind::Flatten => Vec::new(),
+        LayerKind::Flatten => {}
         LayerKind::ChannelShuffle { .. } => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::ShuffleCopy,
                 KernelFamily::ShuffleCopy.base_name().to_string(),
-            )]
+            ));
         }
     }
+    debug_assert_eq!(
+        out.len() - before,
+        forward_kernel_count(layer),
+        "forward_kernel_count out of sync with dispatch_layer_into"
+    );
 }
 
-fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> Vec<KernelDesc> {
+fn dispatch_conv_into(
+    layer: &Layer,
+    c: &dnnperf_dnn::Conv2d,
+    ctx: &Ctx,
+    ai: i32,
+    out: &mut Vec<KernelDesc>,
+) {
     let spatial = layer.output.spatial();
-    if c.is_depthwise() {
-        return vec![ctx.main(
+    match conv_algo(layer, c) {
+        ConvAlgo::Depthwise => out.push(ctx.main(
             KernelFamily::DepthwiseConv,
             format!(
                 "{}_k{}s{}",
@@ -247,10 +336,8 @@ fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> 
                 c.stride
             ),
             1.0,
-        )];
-    }
-    if c.groups > 1 {
-        return vec![ctx.main(
+        )),
+        ConvAlgo::Grouped => out.push(ctx.main(
             KernelFamily::GroupedGemm,
             format!(
                 "{}_g{}_ai{}",
@@ -259,10 +346,8 @@ fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> 
                 ai
             ),
             1.0,
-        )];
-    }
-    if c.is_pointwise() {
-        return vec![ctx.main(
+        )),
+        ConvAlgo::Pointwise => out.push(ctx.main(
             KernelFamily::Gemm1x1,
             format!(
                 "{}_c{}_ai{}",
@@ -271,17 +356,15 @@ fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> 
                 ai
             ),
             1.0,
-        )];
-    }
-    if c.kh == 3 && c.kw == 3 && c.stride == 1 && c.in_ch >= 16 && c.out_ch >= 16 {
-        // Winograd pipeline: tile size 4 for large maps, 2 for small ones.
-        let tile = if spatial >= 28 * 28 { 4 } else { 2 };
-        return vec![
-            ctx.pre(
+        )),
+        ConvAlgo::Winograd => {
+            // Winograd pipeline: tile size 4 for large maps, 2 for small ones.
+            let tile = if spatial >= 28 * 28 { 4 } else { 2 };
+            out.push(ctx.pre(
                 KernelFamily::WinogradIn,
                 format!("{}_t{}", KernelFamily::WinogradIn.base_name(), tile),
-            ),
-            ctx.main(
+            ));
+            out.push(ctx.main(
                 KernelFamily::WinogradGemm,
                 format!(
                     "{}_t{}_ai{}",
@@ -290,61 +373,59 @@ fn dispatch_conv(layer: &Layer, c: &dnnperf_dnn::Conv2d, ctx: &Ctx, ai: i32) -> 
                     ai
                 ),
                 WINOGRAD_FLOP_SCALE,
-            ),
-            ctx.post(
+            ));
+            out.push(ctx.post(
                 KernelFamily::WinogradOut,
                 format!("{}_t{}", KernelFamily::WinogradOut.base_name(), tile),
-            ),
-        ];
-    }
-    if c.kh >= 5 && c.stride == 1 && spatial >= 28 * 28 && c.in_ch >= 16 {
-        // FFT pipeline for big filters on big maps.
-        return vec![
-            ctx.pre(
+            ));
+        }
+        ConvAlgo::Fft => {
+            // FFT pipeline for big filters on big maps.
+            out.push(ctx.pre(
                 KernelFamily::FftIn,
                 format!("{}_k{}", KernelFamily::FftIn.base_name(), c.kh),
-            ),
-            ctx.main(
+            ));
+            out.push(ctx.main(
                 KernelFamily::FftGemm,
                 format!("{}_k{}_ai{}", KernelFamily::FftGemm.base_name(), c.kh, ai),
                 0.6,
-            ),
-            ctx.post(
+            ));
+            out.push(ctx.post(
                 KernelFamily::FftOut,
                 format!("{}_k{}", KernelFamily::FftOut.base_name(), c.kh),
-            ),
-        ];
+            ));
+        }
+        ConvAlgo::Direct => {
+            // Shallow-input convolutions (network stems) run a direct kernel.
+            out.push(ctx.main(
+                KernelFamily::DirectConv,
+                format!(
+                    "{}_k{}s{}",
+                    KernelFamily::DirectConv.base_name(),
+                    c.kh,
+                    c.stride
+                ),
+                1.0,
+            ));
+        }
+        ConvAlgo::Im2colGemm => {
+            // General case: im2col expansion followed by a GEMM.
+            out.push(ctx.pre(
+                KernelFamily::Im2col,
+                format!(
+                    "{}_k{}s{}",
+                    KernelFamily::Im2col.base_name(),
+                    c.kh,
+                    c.stride
+                ),
+            ));
+            out.push(ctx.main(
+                KernelFamily::GemmConv,
+                format!("{}_k{}_ai{}", KernelFamily::GemmConv.base_name(), c.kh, ai),
+                1.0,
+            ));
+        }
     }
-    if c.in_ch < 16 {
-        // Shallow-input convolutions (network stems) run a direct kernel.
-        return vec![ctx.main(
-            KernelFamily::DirectConv,
-            format!(
-                "{}_k{}s{}",
-                KernelFamily::DirectConv.base_name(),
-                c.kh,
-                c.stride
-            ),
-            1.0,
-        )];
-    }
-    // General case: im2col expansion followed by a GEMM.
-    vec![
-        ctx.pre(
-            KernelFamily::Im2col,
-            format!(
-                "{}_k{}s{}",
-                KernelFamily::Im2col.base_name(),
-                c.kh,
-                c.stride
-            ),
-        ),
-        ctx.main(
-            KernelFamily::GemmConv,
-            format!("{}_k{}_ai{}", KernelFamily::GemmConv.base_name(), c.kh, ai),
-            1.0,
-        ),
-    ]
 }
 
 /// Dispatches every layer of a network, preserving layer order.
@@ -439,12 +520,21 @@ pub fn dispatch_network_with(
 /// normalization/activation/pooling layers launch stream-style backward
 /// kernels. Parameterised layers additionally launch an optimizer update.
 pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
+    let mut out = Vec::with_capacity(backward_kernel_count(layer));
+    dispatch_layer_backward_into(layer, batch, &mut out);
+    out
+}
+
+/// Push-based variant of [`dispatch_layer_backward`]; see
+/// [`dispatch_layer_into`].
+pub fn dispatch_layer_backward_into(layer: &Layer, batch: usize, out: &mut Vec<KernelDesc>) {
     assert!(batch > 0, "batch size must be positive");
     let ctx = Ctx::new(layer, batch);
     let act_per_sample = (layer.input.elems() + layer.output.elems()) as u64;
     let ai = ai_bucket(layer_flops(layer), act_per_sample);
+    let before = out.len();
 
-    let mut kernels: Vec<KernelDesc> = match &layer.kind {
+    match &layer.kind {
         LayerKind::Conv2d(c) => {
             let tag = if c.is_depthwise() {
                 "dw".to_string()
@@ -453,38 +543,36 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             } else {
                 format!("k{}", c.kh)
             };
-            vec![
-                KernelDesc {
-                    name: format!("{}_{}_ai{}", KernelFamily::DgradConv.base_name(), tag, ai),
-                    family: KernelFamily::DgradConv,
-                    role: KernelRole::Main,
-                    flops: ctx.flops_per_sample * ctx.batch,
-                    bytes: (ctx.in_elems + ctx.out_elems + ctx.weight_elems) * BYTES_PER_ELEM,
-                    work_items: ctx.in_elems,
-                },
-                KernelDesc {
-                    name: format!("{}_{}_ai{}", KernelFamily::WgradConv.base_name(), tag, ai),
-                    family: KernelFamily::WgradConv,
-                    role: KernelRole::Main,
-                    flops: ctx.flops_per_sample * ctx.batch,
-                    bytes: (ctx.in_elems + ctx.out_elems + ctx.weight_elems) * BYTES_PER_ELEM,
-                    work_items: ctx.out_elems,
-                },
-            ]
+            out.push(KernelDesc {
+                name: format!("{}_{}_ai{}", KernelFamily::DgradConv.base_name(), tag, ai),
+                family: KernelFamily::DgradConv,
+                role: KernelRole::Main,
+                flops: ctx.flops_per_sample * ctx.batch,
+                bytes: (ctx.in_elems + ctx.out_elems + ctx.weight_elems) * BYTES_PER_ELEM,
+                work_items: ctx.in_elems,
+            });
+            out.push(KernelDesc {
+                name: format!("{}_{}_ai{}", KernelFamily::WgradConv.base_name(), tag, ai),
+                family: KernelFamily::WgradConv,
+                role: KernelRole::Main,
+                flops: ctx.flops_per_sample * ctx.batch,
+                bytes: (ctx.in_elems + ctx.out_elems + ctx.weight_elems) * BYTES_PER_ELEM,
+                work_items: ctx.out_elems,
+            });
         }
-        LayerKind::Linear(_) => vec![
-            ctx.main(
+        LayerKind::Linear(_) => {
+            out.push(ctx.main(
                 KernelFamily::GemmFc,
                 format!("{}_dgrad_ai{}", KernelFamily::GemmFc.base_name(), ai),
                 1.0,
-            ),
-            ctx.main(
+            ));
+            out.push(ctx.main(
                 KernelFamily::GemmFc,
                 format!("{}_wgrad_ai{}", KernelFamily::GemmFc.base_name(), ai),
                 1.0,
-            ),
-            ctx.post(KernelFamily::Reduce, "reduce_bias_grad".to_string()),
-        ],
+            ));
+            out.push(ctx.post(KernelFamily::Reduce, "reduce_bias_grad".to_string()));
+        }
         LayerKind::MatMul(m) => {
             let mk = |side: &str| {
                 ctx.main(
@@ -499,58 +587,63 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
                     1.0,
                 )
             };
-            vec![mk("bwda"), mk("bwdb")]
+            out.push(mk("bwda"));
+            out.push(mk("bwdb"));
         }
         LayerKind::BatchNorm => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::BnBwd,
                 KernelFamily::BnBwd.base_name().to_string(),
-            )]
+            ));
         }
-        LayerKind::LayerNorm => vec![ctx.pre(KernelFamily::BnBwd, "layer_norm_bwd".to_string())],
-        LayerKind::Activation(f) => vec![ctx.pre(
-            KernelFamily::ElementwiseBwd,
-            format!("{}_{f}", KernelFamily::ElementwiseBwd.base_name()),
-        )],
+        LayerKind::LayerNorm => {
+            out.push(ctx.pre(KernelFamily::BnBwd, "layer_norm_bwd".to_string()));
+        }
+        LayerKind::Activation(f) => {
+            out.push(ctx.pre(
+                KernelFamily::ElementwiseBwd,
+                format!("{}_{f}", KernelFamily::ElementwiseBwd.base_name()),
+            ));
+        }
         LayerKind::Pool2d(p) => {
             let tag = match p.kind {
                 PoolKind::Max => "max",
                 PoolKind::Avg => "avg",
             };
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::PoolBwd,
                 format!("{}_{}_k{}", KernelFamily::PoolBwd.base_name(), tag, p.k),
-            )]
+            ));
         }
         LayerKind::GlobalAvgPool => {
-            vec![ctx.pre(
+            out.push(ctx.pre(
                 KernelFamily::ElementwiseBwd,
                 "broadcast_grad_spatial".to_string(),
-            )]
+            ));
         }
         LayerKind::Softmax => {
-            vec![ctx.pre(KernelFamily::ElementwiseBwd, "softmax_bwd".to_string())]
+            out.push(ctx.pre(KernelFamily::ElementwiseBwd, "softmax_bwd".to_string()));
         }
         LayerKind::Concat { .. } => {
-            vec![ctx.pre(KernelFamily::ConcatCopy, "cat_array_grad_split".to_string())]
+            out.push(ctx.pre(KernelFamily::ConcatCopy, "cat_array_grad_split".to_string()));
         }
         LayerKind::ChannelShuffle { .. } => {
-            vec![ctx.pre(KernelFamily::ShuffleCopy, "channel_shuffle_bwd".to_string())]
+            out.push(ctx.pre(KernelFamily::ShuffleCopy, "channel_shuffle_bwd".to_string()));
         }
         LayerKind::Embedding(_) => {
-            vec![ctx.post(
+            out.push(ctx.post(
                 KernelFamily::EmbedLookup,
                 "embedding_grad_scatter".to_string(),
-            )]
+            ));
         }
         // Residual adds and views route gradients without a kernel.
-        LayerKind::Add | LayerKind::Flatten => Vec::new(),
-    };
+        LayerKind::Add | LayerKind::Flatten => {}
+    }
 
     // Optimizer step on the layer's parameters (batch-independent).
     let params = layer_params(layer);
     if params > 0 {
-        kernels.push(KernelDesc {
+        out.push(KernelDesc {
             name: KernelFamily::OptimizerStep.base_name().to_string(),
             family: KernelFamily::OptimizerStep,
             role: KernelRole::Post,
@@ -559,17 +652,26 @@ pub fn dispatch_layer_backward(layer: &Layer, batch: usize) -> Vec<KernelDesc> {
             work_items: params,
         });
     }
-    kernels
+    debug_assert_eq!(
+        out.len() - before,
+        backward_kernel_count(layer),
+        "backward_kernel_count out of sync with dispatch_layer_backward_into"
+    );
 }
 
 /// Dispatches one full training step: per layer, the forward kernels
 /// followed by the backward/update kernels.
+///
+/// Each per-layer vector is allocated once at its exact final size
+/// (forward + backward counts) and filled by the push-based dispatchers —
+/// no intermediate scratch vector, no `extend`-triggered reallocation.
 pub fn dispatch_network_training(net: &dnnperf_dnn::Network, batch: usize) -> Vec<Vec<KernelDesc>> {
     net.layers()
         .iter()
         .map(|l| {
-            let mut ks = dispatch_layer(l, batch);
-            ks.extend(dispatch_layer_backward(l, batch));
+            let mut ks = Vec::with_capacity(forward_kernel_count(l) + backward_kernel_count(l));
+            dispatch_layer_into(l, batch, &mut ks);
+            dispatch_layer_backward_into(l, batch, &mut ks);
             ks
         })
         .collect()
@@ -708,6 +810,37 @@ mod tests {
         let lo = ai_bucket(100, 1000);
         let hi = ai_bucket(100_000, 1000);
         assert!(hi > lo);
+    }
+
+    #[test]
+    fn kernel_counts_are_exact_over_the_zoo() {
+        // The pre-sizing counts must agree with what dispatch emits for
+        // every layer of every zoo network, forward and backward.
+        for net in dnnperf_dnn::zoo::full_zoo() {
+            for l in net.layers() {
+                let fwd = dispatch_layer(l, 4);
+                assert_eq!(fwd.len(), forward_kernel_count(l), "{:?}", l.kind);
+                assert_eq!(fwd.capacity(), forward_kernel_count(l).max(fwd.len()));
+                let bwd = dispatch_layer_backward(l, 4);
+                assert_eq!(bwd.len(), backward_kernel_count(l), "{:?}", l.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn training_dispatch_is_forward_then_backward() {
+        let net = dnnperf_dnn::zoo::resnet::resnet18();
+        let fused = dispatch_network_training(&net, 8);
+        for (l, ks) in net.layers().iter().zip(&fused) {
+            let expect = forward_kernel_count(l) + backward_kernel_count(l);
+            assert_eq!(ks.len(), expect);
+            // Exactly one allocation: capacity == final length.
+            assert_eq!(ks.capacity(), expect.max(ks.len()));
+            let fwd = dispatch_layer(l, 8);
+            let bwd = dispatch_layer_backward(l, 8);
+            let concat: Vec<_> = fwd.into_iter().chain(bwd).collect();
+            assert_eq!(*ks, concat);
+        }
     }
 
     #[test]

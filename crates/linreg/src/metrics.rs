@@ -56,17 +56,88 @@ pub fn percentile(xs: &[f64], p: f64) -> f64 {
     if xs.is_empty() {
         return f64::NAN;
     }
-    let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.total_cmp(b));
     let p = p.clamp(0.0, 100.0);
-    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let rank = p / 100.0 * (xs.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
+    // Quickselect (expected O(n)) instead of a full O(n log n) sort per
+    // call: `select_nth` places the `lo`-th order statistic (under
+    // `total_cmp`) at index `lo` and partitions everything greater to its
+    // right. The `hi`-th order statistic, when needed, is then the
+    // `total_cmp`-minimum of that right partition (`hi == lo + 1`). The
+    // values are the same order statistics the sort-based implementation
+    // read, so the interpolated result is bit-identical.
+    let mut scratch: Vec<f64> = xs.to_vec();
+    select_nth(&mut scratch, lo);
+    let lo_val = scratch[lo];
     if lo == hi {
-        sorted[lo]
-    } else {
-        let w = rank - lo as f64;
-        sorted[lo] * (1.0 - w) + sorted[hi] * w
+        return lo_val;
+    }
+    let hi_val = scratch[lo + 1..]
+        .iter()
+        .copied()
+        .reduce(|a, b| if b.total_cmp(&a).is_lt() { b } else { a })
+        .unwrap_or(lo_val);
+    let w = rank - lo as f64;
+    lo_val * (1.0 - w) + hi_val * w
+}
+
+/// In-place quickselect under [`f64::total_cmp`]: after the call, `v[k]`
+/// holds the `k`-th order statistic, everything before it compares
+/// less-or-equal and everything after it compares greater-or-equal.
+///
+/// Deterministic median-of-three pivoting with Hoare partitioning; the
+/// median is swapped into the window head so the classic `j < hi`
+/// termination guarantee holds even on all-equal runs.
+fn select_nth(v: &mut [f64], k: usize) {
+    let mut lo = 0usize;
+    let mut hi = v.len() - 1;
+    while lo < hi {
+        let j = partition(v, lo, hi);
+        if k <= j {
+            hi = j;
+        } else {
+            lo = j + 1;
+        }
+    }
+}
+
+/// Hoare partition of `v[lo..=hi]` around the median of its first, middle
+/// and last elements. Returns `j` in `[lo, hi)` such that every element of
+/// `v[lo..=j]` is `<=` every element of `v[j+1..=hi]` under `total_cmp`.
+fn partition(v: &mut [f64], lo: usize, hi: usize) -> usize {
+    let mid = lo + (hi - lo) / 2;
+    // Sort (v[lo], v[mid], v[hi]) then move the median to the head.
+    if v[mid].total_cmp(&v[lo]).is_lt() {
+        v.swap(mid, lo);
+    }
+    if v[hi].total_cmp(&v[lo]).is_lt() {
+        v.swap(hi, lo);
+    }
+    if v[hi].total_cmp(&v[mid]).is_lt() {
+        v.swap(hi, mid);
+    }
+    v.swap(lo, mid);
+    let pivot = v[lo];
+    let mut i = lo as isize - 1;
+    let mut j = hi as isize + 1;
+    loop {
+        loop {
+            i += 1;
+            if v[i as usize].total_cmp(&pivot).is_ge() {
+                break;
+            }
+        }
+        loop {
+            j -= 1;
+            if v[j as usize].total_cmp(&pivot).is_le() {
+                break;
+            }
+        }
+        if i >= j {
+            return j as usize;
+        }
+        v.swap(i as usize, j as usize);
     }
 }
 

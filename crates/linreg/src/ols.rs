@@ -121,17 +121,24 @@ fn check_inputs(xs: &[f64], ys: &[f64]) -> Result<(), FitError> {
     Ok(())
 }
 
+/// Fused single-pass R²: Welford's update accumulates the total sum of
+/// squares (shift-invariant, so large raw magnitudes such as FLOP counts
+/// near `1e12` do not cancel catastrophically) while the residual sum of
+/// squares is folded into the same loop. One sweep over the samples where
+/// the old implementation took three.
 fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
-    let my = crate::stats::mean(ys);
-    let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-    let ss_res: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| {
-            let e = y - line.eval(*x);
-            e * e
-        })
-        .sum();
+    let mut n = 0.0f64;
+    let mut my = 0.0f64;
+    let mut ss_tot = 0.0f64;
+    let mut ss_res = 0.0f64;
+    for (x, y) in xs.iter().zip(ys) {
+        n += 1.0;
+        let dy = y - my;
+        my += dy / n;
+        ss_tot += dy * (y - my);
+        let e = y - line.eval(*x);
+        ss_res += e * e;
+    }
     if ss_tot == 0.0 {
         // All y identical: the fit is perfect iff the residuals are zero.
         if ss_res == 0.0 {
@@ -165,22 +172,48 @@ fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
 /// ```
 pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
     check_inputs(xs, ys)?;
-    let mx = crate::stats::mean(xs);
-    let my = crate::stats::mean(ys);
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
+    // Fused single pass with Youngs–Cramer (Welford-style) co-moment
+    // updates: running means plus the centred second moments `m2x`, `m2y`
+    // and co-moment `cxy` in one sweep, where the old implementation took
+    // five (two means, one co-moment loop, two R² passes). The updates
+    // centre each sample against the running mean, so the accumulation is
+    // shift-invariant and avoids the catastrophic cancellation a raw
+    // `n·Σxy − Σx·Σy` formulation would suffer on FLOP-scale inputs.
+    let mut n = 0.0f64;
+    let mut mx = 0.0f64;
+    let mut my = 0.0f64;
+    let mut m2x = 0.0f64;
+    let mut m2y = 0.0f64;
+    let mut cxy = 0.0f64;
     for (x, y) in xs.iter().zip(ys) {
-        sxy += (x - mx) * (y - my);
-        sxx += (x - mx) * (x - mx);
+        n += 1.0;
+        let dx = x - mx;
+        let dy = y - my;
+        mx += dx / n;
+        my += dy / n;
+        m2x += dx * (x - mx);
+        m2y += dy * (y - my);
+        cxy += dx * (y - my);
     }
-    if sxx == 0.0 {
+    // Identical xs leave `mx` pinned to the common value after the first
+    // sample, so every later `dx` — and hence `m2x` — is exactly zero.
+    if m2x == 0.0 {
         return Err(FitError::DegenerateX);
     }
-    let slope = sxy / sxx;
+    let slope = cxy / m2x;
     let line = Line::new(slope, my - slope * mx);
+    // For the OLS line, ss_res = m2y − slope·cxy exactly; the `max(0.0)`
+    // guards the tiny negative values floating-point can produce on
+    // near-perfect fits. Constant ys give m2y = cxy = 0 (dy pins `my`
+    // after the first sample), i.e. a perfect constant fit: R² = 1.
+    let r2 = if m2y == 0.0 {
+        1.0
+    } else {
+        1.0 - (m2y - slope * cxy).max(0.0) / m2y
+    };
     Ok(Fit {
         line,
-        r2: r_squared(xs, ys, line),
+        r2,
         n: xs.len(),
     })
 }
@@ -216,11 +249,18 @@ pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
     if xs.is_empty() {
         return Err(FitError::TooFewPoints { got: 0 });
     }
-    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    // Fused single pass: both accumulators advance left-to-right in the
+    // same order the old two-loop version used, so the sums (and hence the
+    // slope) are bit-identical to the previous implementation.
+    let mut sxx = 0.0f64;
+    let mut sxy = 0.0f64;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += x * x;
+        sxy += x * y;
+    }
     if sxx == 0.0 {
         return Err(FitError::DegenerateX);
     }
-    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let line = Line::new(sxy / sxx, 0.0);
     Ok(Fit {
         line,
@@ -259,8 +299,18 @@ pub fn fit_bounded_intercept(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
         return Ok(f);
     }
     let b = f.line.intercept.clamp(0.0, min_y);
-    let shifted: Vec<f64> = ys.iter().map(|y| y - b).collect();
-    let slope = fit_through_origin(xs, &shifted)?.line.slope.max(0.0);
+    // Refit through the origin on the shifted data without materialising
+    // the shifted vector: the through-origin slope is Σx(y−b) / Σx².
+    let mut sxx = 0.0f64;
+    let mut sxy = 0.0f64;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += x * x;
+        sxy += x * (y - b);
+    }
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateX);
+    }
+    let slope = (sxy / sxx).max(0.0);
     let line = Line::new(slope, b);
     Ok(Fit {
         line,

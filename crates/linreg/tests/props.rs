@@ -66,6 +66,65 @@ props! {
     }
 
     #[test]
+    fn percentile_quickselect_matches_sort_based(xs in vec(-1e9..1e9f64, 1..120), p in 0.0..100.0f64) {
+        // Reference: the pre-quickselect implementation — full sort under
+        // total_cmp, then linear interpolation between the two ranks.
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        let expect = if lo == hi {
+            sorted[lo]
+        } else {
+            let w = rank - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        };
+        let got = percentile(&xs, p);
+        prop_assert_eq!(got.to_bits(), expect.to_bits(), "p={} got={} expect={}", p, got, expect);
+    }
+
+    #[test]
+    fn percentile_quickselect_handles_duplicates_and_nan(base in vec(-10.0..10.0f64, 2..40), dup_every in 1..5usize, p in 0.0..100.0f64) {
+        // Heavy duplication plus an injected NaN stresses the all-equal
+        // partition path; the result must still match the sorted reference.
+        let mut xs: Vec<f64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, v)| if i % dup_every == 0 { base[0] } else { *v })
+            .collect();
+        xs.push(f64::NAN);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let rank = p.clamp(0.0, 100.0) / 100.0 * (sorted.len() - 1) as f64;
+        let (lo, hi) = (rank.floor() as usize, rank.ceil() as usize);
+        let expect = if lo == hi {
+            sorted[lo]
+        } else {
+            let w = rank - lo as f64;
+            sorted[lo] * (1.0 - w) + sorted[hi] * w
+        };
+        prop_assert_eq!(percentile(&xs, p).to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn fused_fit_matches_two_pass_reference(xs in finite_xs(), noise in vec(-1.0..1.0f64, 40), slope in -50.0..50.0f64, intercept in -10.0..10.0f64) {
+        // Reference: textbook two-pass OLS (means, then centred moments).
+        let ys: Vec<f64> = xs.iter().zip(&noise).map(|(x, n)| slope * x + intercept + n).collect();
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let mx = xs.iter().sum::<f64>() / n as f64;
+        let my = ys.iter().sum::<f64>() / n as f64;
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let ref_slope = sxy / sxx;
+        let ref_int = my - ref_slope * mx;
+        let f = fit(xs, ys).unwrap();
+        let scale = ref_slope.abs().max(1.0);
+        prop_assert!((f.line.slope - ref_slope).abs() < 1e-9 * scale, "slope {} vs {}", f.line.slope, ref_slope);
+        prop_assert!((f.line.intercept - ref_int).abs() < 1e-6 * ref_int.abs().max(1.0));
+    }
+
+    #[test]
     fn mare_is_scale_invariant(pred in vec(0.1..1e3f64, 1..30), scale in 0.1..100.0f64) {
         let meas: Vec<f64> = pred.iter().map(|p| p * 1.1).collect();
         let a = mean_abs_rel_error(&pred, &meas);

@@ -162,6 +162,104 @@ fn auto_thread_count_matches_serial() {
     assert_eq!(serial, auto);
 }
 
+/// The serving-path contract: a [`CompiledPlan`] is a pure performance
+/// feature. For every network × batch in the grid, the compiled sweep must
+/// reproduce the legacy recompute-every-call predictors **bit for bit** —
+/// the plain KW sum and the graceful-degradation ladder alike.
+#[test]
+fn compiled_plans_match_legacy_predictors_bit_for_bit() {
+    use dnnperf::dnn::zoo;
+    use dnnperf::model::plan::CompiledPlan;
+    use dnnperf::model::{Predictor, Workflow};
+
+    let train = [
+        zoo::resnet::resnet18(),
+        zoo::resnet::resnet34(),
+        zoo::vgg::vgg11(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&train, std::slice::from_ref(&gpu), &[32]);
+    let suite = Workflow::train(&ds, "A100").unwrap();
+
+    let probes = [
+        zoo::resnet::resnet50(),
+        zoo::vgg::vgg16(),
+        zoo::densenet::densenet121(),
+        zoo::squeezenet::squeezenet(128, 128, 0.25),
+    ];
+    for net in &probes {
+        for batch in [1usize, 2, 4, 8, 32] {
+            let legacy = suite.kw.predict_network(net, batch).unwrap();
+            // One-shot compile and the cached Workflow::predict path.
+            let plan = CompiledPlan::compile(&suite, net, batch).unwrap();
+            assert_eq!(
+                plan.predict().to_bits(),
+                legacy.to_bits(),
+                "{} @ {batch}: compiled plan diverged from KW",
+                net.name()
+            );
+            assert_eq!(
+                suite.predict(net, batch).unwrap().to_bits(),
+                legacy.to_bits(),
+                "{} @ {batch}: cached predict diverged from KW",
+                net.name()
+            );
+            // The graceful ladder, compiled vs reference.
+            let fast = suite.predict_graceful(net, batch).unwrap();
+            let slow = suite.predict_graceful_uncompiled(net, batch).unwrap();
+            assert_eq!(fast.seconds.to_bits(), slow.seconds.to_bits());
+            assert_eq!(fast.notes, slow.notes);
+        }
+    }
+    // Every (probe, batch) pair landed in the plan cache exactly once.
+    assert_eq!(suite.cached_plans(), probes.len() * 5);
+}
+
+/// The training-path contract: fanning the per-kernel classification fits
+/// and per-cluster pooled refits over the work-stealing pool must yield a
+/// model suite **byte-identical** to serial training at every thread
+/// count, including thread counts past the kernel count.
+#[test]
+fn parallel_training_is_byte_identical_across_thread_counts() {
+    use dnnperf::dnn::zoo;
+    use dnnperf::model::{Predictor, TrainOptions, Workflow};
+
+    let train = [
+        zoo::resnet::resnet18(),
+        zoo::resnet::resnet34(),
+        zoo::vgg::vgg11(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&train, std::slice::from_ref(&gpu), &[32]);
+    let serial = Workflow::train_opts(&ds, "A100", &TrainOptions::serial()).unwrap();
+    assert_eq!(
+        serial.kw.to_text(),
+        Workflow::train(&ds, "A100").unwrap().kw.to_text()
+    );
+
+    let probe = zoo::resnet::resnet50();
+    for threads in [1usize, 3, 8, 32] {
+        let par = Workflow::train_opts(&ds, "A100", &TrainOptions::with_threads(threads)).unwrap();
+        assert_eq!(par.kw, serial.kw, "threads = {threads}");
+        assert_eq!(
+            par.kw.to_text().into_bytes(),
+            serial.kw.to_text().into_bytes(),
+            "threads = {threads}: persisted KW models differ"
+        );
+        assert_eq!(
+            par.kw.predict_network(&probe, 32).unwrap().to_bits(),
+            serial.kw.predict_network(&probe, 32).unwrap().to_bits(),
+            "threads = {threads}"
+        );
+    }
+    // `threads: 0` (auto) resolves to the machine's parallelism and must
+    // stay on the same bytes.
+    let auto = Workflow::train_opts(&ds, "A100", &TrainOptions::default()).unwrap();
+    assert_eq!(auto.kw, serial.kw);
+}
+
 /// When ci.sh exports `DNNPERF_CACHE_DIR`, the env-derived options must
 /// route collection through that cache — and the cached result must still
 /// equal the serial reference. Without the variable the test only checks
