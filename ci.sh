@@ -30,6 +30,15 @@ echo "==> fault-injection conformance (forced multi-threading)"
 # parallelism, not just the serial default.
 cargo test -q --offline -p dnnperf --test fault_injection -- --test-threads 4
 
+echo "==> serving conformance (forced multi-threading)"
+# The shared plan cache and the TCP front door promise per-request
+# determinism under contention: many threads hammering one cache (hits,
+# misses, evictions, mid-flight invalidation) and many concurrent TCP
+# clients must observe bit-identical predictions, no deadlocks and no
+# duplicate compiles. Force test-level parallelism so the suites contend.
+cargo test -q --offline -p dnnperf-serve --test concurrency -- --test-threads 4
+cargo test -q --offline -p dnnperf-serve --test server -- --test-threads 4
+
 echo "==> experiment binaries still build"
 cargo build --offline -p dnnperf-bench --bins
 
@@ -41,6 +50,14 @@ echo "==> perf regression gate (smoke profile vs committed BENCH_5.json)"
 # Release build: the baseline was captured in release, and the tier-1 step
 # above has already built it.
 cargo run --release --offline -q -p dnnperf-bench --bin perf -- --smoke --check BENCH_5.json
+
+echo "==> serving load gate (smoke profile vs committed BENCH_6.json)"
+# End-to-end server smoke + regression gate in one step: boots the
+# prediction server on an ephemeral port, drives 100+ concurrent TCP
+# clients over the full zoo, shuts down cleanly, and gates on zero
+# client-observed errors, p99 latency within 6x of the committed
+# baseline, and throughput above baseline/6 (machine-relative).
+cargo run --release --offline -q -p dnnperf-bench --bin loadgen -- --smoke --check BENCH_6.json
 
 echo "==> rustfmt"
 cargo fmt --all -- --check

@@ -107,6 +107,7 @@ pub struct CompiledPlan {
     network: String,
     batch: usize,
     fingerprint: u64,
+    suite_generation: u64,
     /// Dense model table: slope per cluster regression.
     slopes: Vec<f64>,
     /// Dense model table: intercept per cluster regression.
@@ -230,6 +231,7 @@ impl CompiledPlan {
             network: net.name().to_string(),
             batch,
             fingerprint: network_fingerprint(net),
+            suite_generation: suite.generation(),
             slopes,
             intercepts,
             features,
@@ -355,6 +357,42 @@ impl CompiledPlan {
         self.fingerprint
     }
 
+    /// Generation of the [`Workflow`] the plan was compiled against (cache
+    /// key part): shared caches that key on it can never serve a plan from
+    /// a retired model suite. See [`Workflow::generation`].
+    pub fn suite_generation(&self) -> u64 {
+        self.suite_generation
+    }
+
+    /// Estimated resident size of the plan in bytes (the struct plus its
+    /// heap payload). Memory-budgeted caches use this as the per-entry
+    /// charge; it deliberately counts lengths rather than capacities so
+    /// the figure is deterministic across allocators.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let mut bytes = size_of::<CompiledPlan>();
+        bytes += self.gpu.len() + self.network.len();
+        bytes += self.slopes.len() * size_of::<f64>();
+        bytes += self.intercepts.len() * size_of::<f64>();
+        bytes += self.features.len() * size_of::<f64>();
+        bytes += self.model_of.len() * size_of::<u32>();
+        bytes += self.layers.len() * size_of::<LayerPlan>();
+        for lp in &self.layers {
+            bytes += lp.tag.len();
+            let missing = match &lp.resolve {
+                Resolve::PartialLw { missing, .. } | Resolve::PartialFloor { missing } => {
+                    missing.as_slice()
+                }
+                _ => &[],
+            };
+            bytes += missing
+                .iter()
+                .map(|k| std::mem::size_of::<Arc<str>>() + k.len())
+                .sum::<usize>();
+        }
+        bytes
+    }
+
     /// Number of priced kernel terms in the plan (the per-predict work).
     pub fn num_terms(&self) -> usize {
         self.features.len()
@@ -382,34 +420,161 @@ fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
     h
 }
 
+/// Folds one u64 field into the running hash with a single
+/// multiply-rotate round (xxHash-style) instead of the byte-wise FNV
+/// loop: the fingerprint sits on the warm-predict hot path (it is part
+/// of every cache lookup), and hashing a few dozen scalar fields per
+/// network must stay in the nanoseconds. Sequential, position-dependent
+/// mixing keeps field order significant.
+fn fnv1a_u64(h: u64, v: u64) -> u64 {
+    const M1: u64 = 0x9e37_79b1_85eb_ca87;
+    const M2: u64 = 0xc2b2_ae3d_27d4_eb4f;
+    (h ^ v.wrapping_mul(M1)).rotate_left(31).wrapping_mul(M2)
+}
+
+/// Length-prefixed string hashing: without the prefix, adjacent
+/// variable-length fields are ambiguous (`"ab" + "c"` hashes like
+/// `"a" + "bc"`), which is exactly the kind of structural near-miss a
+/// cache key must distinguish.
+fn fnv1a_str(h: u64, s: &str) -> u64 {
+    fnv1a(fnv1a_u64(h, s.len() as u64), s.as_bytes())
+}
+
+fn fnv1a_shape(h: u64, s: &dnnperf_dnn::TensorShape) -> u64 {
+    use dnnperf_dnn::TensorShape;
+    match *s {
+        TensorShape::FeatureMap { c, h: fh, w } => {
+            let x = fnv1a_u64(h, 1);
+            let x = fnv1a_u64(x, c as u64);
+            let x = fnv1a_u64(x, fh as u64);
+            fnv1a_u64(x, w as u64)
+        }
+        TensorShape::Features { d } => fnv1a_u64(fnv1a_u64(h, 2), d as u64),
+        TensorShape::Tokens { len, d } => {
+            let x = fnv1a_u64(h, 3);
+            let x = fnv1a_u64(x, len as u64);
+            fnv1a_u64(x, d as u64)
+        }
+    }
+}
+
+/// Hashes a layer's *full* structural identity: a kind discriminant, every
+/// kind parameter, and the complete input/output shape dimensions.
+///
+/// This is deliberately finer than the four derived values a compiled plan
+/// prices today (`tag`, input elems, FLOPs, output elems): hashing only
+/// derived quantities invites collisions between genuinely different
+/// layers whose derivations happen to coincide — max vs average pooling,
+/// a `1x9` vs a `9x1` convolution, ReLU vs ReLU6 — and a cache key must
+/// stay collision-free under *every* quantity compilation may ever read,
+/// not just the ones it reads today. Over-distinguishing merely costs a
+/// recompile; under-distinguishing serves the wrong plan.
+fn fnv1a_layer(h: u64, l: &dnnperf_dnn::Layer) -> u64 {
+    use dnnperf_dnn::LayerKind;
+    let h = match l.kind {
+        LayerKind::Conv2d(c) => {
+            let x = fnv1a_u64(h, 1);
+            let x = fnv1a_u64(x, c.in_ch as u64);
+            let x = fnv1a_u64(x, c.out_ch as u64);
+            let x = fnv1a_u64(x, c.kh as u64);
+            let x = fnv1a_u64(x, c.kw as u64);
+            let x = fnv1a_u64(x, c.stride as u64);
+            let x = fnv1a_u64(x, c.padding as u64);
+            fnv1a_u64(x, c.groups as u64)
+        }
+        LayerKind::Linear(f) => {
+            let x = fnv1a_u64(h, 2);
+            let x = fnv1a_u64(x, f.in_features as u64);
+            fnv1a_u64(x, f.out_features as u64)
+        }
+        LayerKind::Pool2d(p) => {
+            let x = fnv1a_u64(h, 3);
+            let x = fnv1a_u64(x, matches!(p.kind, dnnperf_dnn::PoolKind::Max) as u64);
+            let x = fnv1a_u64(x, p.k as u64);
+            let x = fnv1a_u64(x, p.stride as u64);
+            fnv1a_u64(x, p.padding as u64)
+        }
+        LayerKind::GlobalAvgPool => fnv1a_u64(h, 4),
+        LayerKind::BatchNorm => fnv1a_u64(h, 5),
+        LayerKind::LayerNorm => fnv1a_u64(h, 6),
+        LayerKind::Activation(f) => {
+            use dnnperf_dnn::ActivationFn;
+            let tag = match f {
+                ActivationFn::Relu => 1u64,
+                ActivationFn::Relu6 => 2,
+                ActivationFn::Gelu => 3,
+                ActivationFn::Sigmoid => 4,
+            };
+            fnv1a_u64(fnv1a_u64(h, 7), tag)
+        }
+        LayerKind::Add => fnv1a_u64(h, 8),
+        LayerKind::Concat { parts } => fnv1a_u64(fnv1a_u64(h, 9), parts as u64),
+        LayerKind::Softmax => fnv1a_u64(h, 10),
+        LayerKind::Embedding(e) => {
+            let x = fnv1a_u64(h, 11);
+            let x = fnv1a_u64(x, e.vocab as u64);
+            fnv1a_u64(x, e.dim as u64)
+        }
+        LayerKind::MatMul(m) => {
+            let x = fnv1a_u64(h, 12);
+            let x = fnv1a_u64(x, m.heads as u64);
+            let x = fnv1a_u64(x, m.m as u64);
+            let x = fnv1a_u64(x, m.k as u64);
+            fnv1a_u64(x, m.n as u64)
+        }
+        LayerKind::Flatten => fnv1a_u64(h, 13),
+        LayerKind::ChannelShuffle { groups } => fnv1a_u64(fnv1a_u64(h, 14), groups as u64),
+    };
+    fnv1a_shape(fnv1a_shape(h, &l.input), &l.output)
+}
+
 /// FNV-1a fingerprint of a network's predictive structure: its name plus
-/// every layer's `(tag, input elems, FLOPs, output elems)`. Two networks
-/// with equal fingerprints compile to identical plans, so the plan cache
-/// keys on `(name, batch, fingerprint)` and survives distinct networks
-/// that happen to share a name.
+/// every layer's full structural identity (kind discriminant, all kind
+/// parameters, and complete input/output shape dimensions), with
+/// length-prefixed fields so record boundaries are unambiguous.
+///
+/// Two networks built the same way always fingerprint equal (structure,
+/// not object identity), and the hash covers a strict superset of
+/// everything [`CompiledPlan::compile`] reads — the layer type tag, the
+/// driver features (input elems / FLOPs / output elems) and the mapping
+/// signature are all derived from the hashed fields — so distinct
+/// same-name networks can never alias in a plan cache keyed on it.
 pub fn network_fingerprint(net: &Network) -> u64 {
-    let mut h = fnv1a(FNV_OFFSET, net.name().as_bytes());
+    let mut h = fnv1a_str(FNV_OFFSET, net.name());
+    h = fnv1a_u64(h, net.layers().len() as u64);
     for l in net.layers() {
-        h = fnv1a(h, l.type_tag().as_bytes());
-        h = fnv1a(h, &(l.input.elems() as u64).to_le_bytes());
-        h = fnv1a(h, &layer_flops(l).to_le_bytes());
-        h = fnv1a(h, &(l.output.elems() as u64).to_le_bytes());
+        h = fnv1a_layer(h, l);
     }
     h
 }
 
 /// Interior-mutable cache of compiled plans keyed by
-/// `(network name, batch, fingerprint)`.
+/// `(suite generation, network name, batch, fingerprint)`.
+///
+/// The suite generation (see [`Workflow::generation`]) makes staleness
+/// structurally impossible: retraining produces a suite with a fresh
+/// generation, and [`Workflow::invalidate_plans`] bumps the generation of
+/// a suite whose public model fields were swapped in place, so a key
+/// minted against old models can never resolve to a plan compiled against
+/// new ones (or vice versa).
 ///
 /// Compilation happens outside the lock: two racing threads may both
 /// compile the same plan, but the first insertion wins and both observe
-/// the same cached `Arc`. Cloning a [`Workflow`] starts with an empty
-/// cache (plans recompile on demand), so a clone whose public model fields
-/// are swapped out can never serve plans from its ancestor's models.
+/// the same cached `Arc`. Cloning a [`PlanCache`] snapshots the entry map
+/// (the immutable `Arc<CompiledPlan>` values are shared, not recompiled),
+/// so a cloned [`Workflow`]'s first `predict` of a previously served
+/// request is a cache hit — and each clone still owns an independent map,
+/// so invalidating one suite never drains its ancestor's cache.
 #[derive(Default)]
 pub(crate) struct PlanCache {
-    inner: Mutex<BTreeMap<(String, usize, u64), Arc<CompiledPlan>>>,
+    inner: Mutex<BTreeMap<CacheKey, Arc<CompiledPlan>>>,
 }
+
+/// `(suite generation, structural fingerprint, batch)`. The fingerprint
+/// already digests the network name (length-prefixed) along with the
+/// full layer structure, so the key needs no owned `String` — lookups
+/// stay allocation-free on the warm path.
+type CacheKey = (u64, u64, usize);
 
 impl PlanCache {
     /// Returns the cached plan for `(net, batch)`, compiling on miss.
@@ -419,7 +584,7 @@ impl PlanCache {
         net: &Network,
         batch: usize,
     ) -> Result<Arc<CompiledPlan>, PredictError> {
-        let key = (net.name().to_string(), batch, network_fingerprint(net));
+        let key = (suite.generation(), network_fingerprint(net), batch);
         if let Some(p) = self
             .inner
             .lock()
@@ -452,8 +617,17 @@ impl PlanCache {
 
 impl Clone for PlanCache {
     fn clone(&self) -> Self {
-        // Plans are derived state; a cloned suite recompiles on demand.
-        PlanCache::default()
+        // Snapshot the entries: plans are immutable values behind `Arc`s,
+        // so sharing them is free and a cloned suite starts warm instead
+        // of silently recompiling its whole working set from cold.
+        let snapshot = self
+            .inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        PlanCache {
+            inner: Mutex::new(snapshot),
+        }
     }
 }
 
@@ -537,6 +711,218 @@ mod tests {
         let c = dnnperf_dnn::zoo::resnet::resnet34();
         assert_eq!(network_fingerprint(&a), network_fingerprint(&b));
         assert_ne!(network_fingerprint(&a), network_fingerprint(&c));
+
+        // Same structure under a different name is a different network.
+        let mut renamed = dnnperf_dnn::zoo::resnet::resnet18();
+        renamed = dnnperf_dnn::Network::from_parts(
+            "NotResNet-18",
+            renamed.family(),
+            renamed.input_shape(),
+            renamed.layers().to_vec(),
+        );
+        assert_ne!(network_fingerprint(&a), network_fingerprint(&renamed));
+    }
+
+    /// Wraps one layer in a single-layer network under a fixed name, so
+    /// any fingerprint difference comes from the layer alone.
+    fn single(layer: dnnperf_dnn::Layer) -> Network {
+        let input = layer.input;
+        Network::from_parts("probe", dnnperf_dnn::Family::Vgg, input, vec![layer])
+    }
+
+    /// The derived quantities the pre-fix fingerprint hashed per layer.
+    fn legacy_fields(net: &Network) -> Vec<(&'static str, u64, u64, u64)> {
+        net.layers()
+            .iter()
+            .map(|l| {
+                (
+                    l.type_tag(),
+                    l.input.elems() as u64,
+                    dnnperf_dnn::flops::layer_flops(l),
+                    l.output.elems() as u64,
+                )
+            })
+            .collect()
+    }
+
+    /// Adversarial near-miss pairs: distinct same-name networks whose
+    /// layers agree on every field the old hash covered — type tag, input
+    /// elems, FLOPs, output elems — yet differ structurally. Each pair
+    /// collided under the old `(tag, in, flops, out)` fingerprint; the
+    /// structural fingerprint must split them.
+    #[test]
+    fn fingerprint_splits_adversarial_near_misses() {
+        use dnnperf_dnn::{
+            ActivationFn, Conv2d, Layer, LayerKind, MatMul, Pool2d, PoolKind, TensorShape,
+        };
+        let fm = TensorShape::chw;
+        let pairs: Vec<(&str, Network, Network)> = vec![
+            (
+                "max vs avg pooling",
+                single(
+                    Layer::apply(
+                        LayerKind::Pool2d(Pool2d {
+                            kind: PoolKind::Max,
+                            k: 2,
+                            stride: 2,
+                            padding: 0,
+                        }),
+                        fm(16, 8, 8),
+                    )
+                    .unwrap(),
+                ),
+                single(
+                    Layer::apply(
+                        LayerKind::Pool2d(Pool2d {
+                            kind: PoolKind::Avg,
+                            k: 2,
+                            stride: 2,
+                            padding: 0,
+                        }),
+                        fm(16, 8, 8),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "1x9 vs 9x1 convolution",
+                single(
+                    Layer::apply(
+                        LayerKind::Conv2d(Conv2d {
+                            in_ch: 8,
+                            out_ch: 8,
+                            kh: 1,
+                            kw: 9,
+                            stride: 1,
+                            padding: 4,
+                            groups: 1,
+                        }),
+                        fm(8, 9, 9),
+                    )
+                    .unwrap(),
+                ),
+                single(
+                    Layer::apply(
+                        LayerKind::Conv2d(Conv2d {
+                            in_ch: 8,
+                            out_ch: 8,
+                            kh: 9,
+                            kw: 1,
+                            stride: 1,
+                            padding: 4,
+                            groups: 1,
+                        }),
+                        fm(8, 9, 9),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "relu vs relu6",
+                single(
+                    Layer::apply(LayerKind::Activation(ActivationFn::Relu), fm(16, 8, 8)).unwrap(),
+                ),
+                single(
+                    Layer::apply(LayerKind::Activation(ActivationFn::Relu6), fm(16, 8, 8)).unwrap(),
+                ),
+            ),
+            (
+                "feature-map vs flat-vector input",
+                single(
+                    Layer::apply(LayerKind::Activation(ActivationFn::Relu), fm(64, 8, 8)).unwrap(),
+                ),
+                single(
+                    Layer::apply(
+                        LayerKind::Activation(ActivationFn::Relu),
+                        TensorShape::features(64 * 8 * 8),
+                    )
+                    .unwrap(),
+                ),
+            ),
+            (
+                "channel shuffle group count",
+                single(
+                    Layer::apply(LayerKind::ChannelShuffle { groups: 2 }, fm(16, 4, 4)).unwrap(),
+                ),
+                single(
+                    Layer::apply(LayerKind::ChannelShuffle { groups: 4 }, fm(16, 4, 4)).unwrap(),
+                ),
+            ),
+            (
+                "matmul head split",
+                single(
+                    Layer::apply(
+                        LayerKind::MatMul(MatMul {
+                            heads: 2,
+                            m: 16,
+                            k: 8,
+                            n: 8,
+                        }),
+                        TensorShape::tokens(16, 32),
+                    )
+                    .unwrap(),
+                ),
+                single(
+                    Layer::apply(
+                        LayerKind::MatMul(MatMul {
+                            heads: 4,
+                            m: 16,
+                            k: 8,
+                            n: 4,
+                        }),
+                        TensorShape::tokens(16, 32),
+                    )
+                    .unwrap(),
+                ),
+            ),
+        ];
+        for (what, a, b) in &pairs {
+            assert_ne!(a, b, "{what}: pair must be structurally distinct");
+            assert_eq!(
+                legacy_fields(a),
+                legacy_fields(b),
+                "{what}: not adversarial — the old hash already split it"
+            );
+            assert_ne!(
+                network_fingerprint(a),
+                network_fingerprint(b),
+                "{what}: structural fingerprint collision"
+            );
+        }
+    }
+
+    #[test]
+    fn cloned_workflow_first_predict_is_a_cache_hit() {
+        let suite = suite();
+        let net = dnnperf_dnn::zoo::resnet::resnet50();
+        let original = suite.plan(&net, 32).unwrap();
+        let clone = suite.clone();
+        // The clone starts warm: the entry came over in the snapshot...
+        assert_eq!(clone.cached_plans(), 1);
+        // ...and its first predict resolves to the *same* compiled plan,
+        // not a recompilation.
+        let first = clone.plan(&net, 32).unwrap();
+        assert!(Arc::ptr_eq(&original, &first));
+        assert_eq!(clone.generation(), suite.generation());
+        // Independent maps: invalidating the clone leaves the ancestor.
+        clone.invalidate_plans();
+        assert_eq!(clone.cached_plans(), 0);
+        assert_eq!(suite.cached_plans(), 1);
+        assert_ne!(clone.generation(), suite.generation());
+    }
+
+    #[test]
+    fn retraining_mints_a_fresh_generation() {
+        let a = suite();
+        let b = suite();
+        assert_ne!(a.generation(), b.generation());
+        // Plans record the generation they were compiled against.
+        let net = dnnperf_dnn::zoo::resnet::resnet50();
+        let pa = a.plan(&net, 32).unwrap();
+        let pb = b.plan(&net, 32).unwrap();
+        assert_eq!(pa.suite_generation(), a.generation());
+        assert_eq!(pb.suite_generation(), b.generation());
+        assert!(pa.approx_bytes() > 0);
     }
 
     #[test]

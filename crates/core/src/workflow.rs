@@ -13,7 +13,16 @@ use dnnperf_data::collect::collect_opts;
 use dnnperf_data::{CollectOptions, Dataset};
 use dnnperf_dnn::Network;
 use dnnperf_gpu::GpuSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Process-wide generation counter: every training run (and every
+/// in-place invalidation) mints a fresh, never-reused suite generation.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn next_generation() -> u64 {
+    NEXT_GENERATION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// Options for model training (the analogue of
 /// [`dnnperf_data::CollectOptions`] for the training side of the
@@ -60,7 +69,7 @@ impl TrainOptions {
 
 /// A trained model suite for one GPU: the three single-GPU models of
 /// Section 5.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Workflow {
     /// The End-to-End model.
     pub e2e: E2eModel,
@@ -68,9 +77,28 @@ pub struct Workflow {
     pub lw: LwModel,
     /// The Kernel-Wise model.
     pub kw: KwModel,
-    /// Compiled-plan cache for the serving hot path. Clones start empty;
-    /// see [`Workflow::invalidate_plans`].
+    /// Compiled-plan cache for the serving hot path. Clones snapshot the
+    /// entries (plans are immutable `Arc`s); see
+    /// [`Workflow::invalidate_plans`].
     plans: PlanCache,
+    /// Suite generation: a process-unique id minted at train time and
+    /// re-minted by [`Workflow::invalidate_plans`]. Plan-cache keys carry
+    /// it, so a retrained suite can never serve its predecessor's plans.
+    generation: AtomicU64,
+}
+
+impl Clone for Workflow {
+    fn clone(&self) -> Self {
+        Workflow {
+            e2e: self.e2e.clone(),
+            lw: self.lw.clone(),
+            kw: self.kw.clone(),
+            // Same models, same generation: the snapshot of the ancestor's
+            // compiled plans stays valid and the clone starts warm.
+            plans: self.plans.clone(),
+            generation: AtomicU64::new(self.generation()),
+        }
+    }
 }
 
 impl Workflow {
@@ -124,6 +152,7 @@ impl Workflow {
             lw: LwModel::train(dataset, gpu)?,
             kw: KwModel::train_with_options(dataset, gpu, DEFAULT_SLOPE_TOLERANCE, threads)?,
             plans: PlanCache::default(),
+            generation: AtomicU64::new(next_generation()),
         })
     }
 
@@ -162,6 +191,7 @@ impl Workflow {
             lw: LwModel::train_with(dataset, gpu, estimator)?,
             kw: KwModel::train_with_options(dataset, gpu, DEFAULT_SLOPE_TOLERANCE, threads)?,
             plans: PlanCache::default(),
+            generation: AtomicU64::new(next_generation()),
         })
     }
 
@@ -190,11 +220,24 @@ impl Workflow {
         Ok(self.plan(net, batch)?.predict())
     }
 
-    /// Drops every cached plan. Call this after mutating the suite's
-    /// public model fields in place (retraining produces a fresh
-    /// [`Workflow`], whose cache starts empty, so the usual train → serve
-    /// flow never needs it).
+    /// Suite generation: a process-unique id minted at train time. Two
+    /// suites from different training runs never share a generation, and
+    /// [`Workflow::invalidate_plans`] mints a fresh one, so any plan cache
+    /// keyed on `(generation, network fingerprint, batch)` — this suite's
+    /// own, or a shared serving cache — structurally cannot return a plan
+    /// compiled against retired models.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Drops every cached plan and mints a fresh suite generation. Call
+    /// this after mutating the suite's public model fields in place
+    /// (retraining produces a fresh [`Workflow`] with its own generation,
+    /// so the usual train → serve flow never needs it). The generation
+    /// bump also retires this suite's entries in any *shared* plan cache
+    /// keyed on the generation without touching other suites' entries.
     pub fn invalidate_plans(&self) {
+        self.generation.store(next_generation(), Ordering::Relaxed);
         self.plans.clear();
     }
 

@@ -8,20 +8,24 @@
 //! the paper brute-forces the schedule "thanks to the extremely fast
 //! execution".
 //!
-//! The crate also hosts the in-process counterpart: [`pool`], a std-only
+//! The crate also hosts the in-process counterparts: [`pool`], a std-only
 //! work-stealing job pool that the dataset collection engine
 //! (`dnnperf-data`) fans its `(gpu, network, batch)` profiling grid out
-//! over while keeping serial-identical output order. It lives here so the
-//! "schedule work across executors" logic has one home, and because this
-//! crate sits below `dnnperf-data` in the dependency graph.
+//! over while keeping serial-identical output order, and [`mpmc`], the
+//! bounded request queue the prediction server (`dnnperf-serve`) admits
+//! work through. They live here so the "schedule work across executors"
+//! logic has one home, and because this crate sits below both consumers
+//! in the dependency graph.
 
 #![warn(missing_docs)]
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod mpmc;
 pub mod pool;
 pub mod queue;
 pub mod retry;
 
+pub use mpmc::{Bounded, SendRejected};
 pub use pool::{run_indexed, run_indexed_catching, JobPanic, StealQueues};
 pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes, Schedule};
 pub use retry::{

@@ -1,0 +1,250 @@
+//! A std-only bounded MPMC queue for long-running worker pools.
+//!
+//! [`crate::pool::run_indexed`] schedules *finite grids*: every job is
+//! known up front and the pool drains to completion. A prediction server
+//! has the opposite shape — an unbounded request stream arriving from many
+//! producer threads, consumed by a fixed set of worker threads — and its
+//! load-shedding contract ("reject loudly when full, never block the
+//! producer, never drop an accepted item") is what [`Bounded`] provides:
+//!
+//! * `try_send` is the admission-control edge: it never blocks, and a full
+//!   or closed queue hands the item straight back so the caller can reply
+//!   `Overloaded` instead of hanging;
+//! * `recv_batch` blocks until work is available and then drains up to a
+//!   whole batch under one lock acquisition, which is the request-batching
+//!   half of the serving story (one wakeup amortized over many requests);
+//! * `close` wakes every consumer; accepted items are still drained before
+//!   consumers observe the shutdown.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Why [`Bounded::try_send`] handed an item back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendRejected {
+    /// The queue is at capacity: shed load.
+    Full,
+    /// The queue was closed: the consumer side is shutting down.
+    Closed,
+}
+
+struct State<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer queue (mutex + condvar; the
+/// items are request envelopes, so lock traffic is noise next to the work
+/// they describe).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a zero-capacity queue would shed
+    /// every request).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Bounded {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Maximum number of queued items.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued items.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .queue
+            .len()
+    }
+
+    /// Whether the queue currently holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues `item` without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the item back with [`SendRejected::Full`] when the queue is
+    /// at capacity (the caller sheds load) or [`SendRejected::Closed`]
+    /// after [`Bounded::close`].
+    pub fn try_send(&self, item: T) -> Result<(), (T, SendRejected)> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.closed {
+            return Err((item, SendRejected::Closed));
+        }
+        if st.queue.len() >= self.capacity {
+            return Err((item, SendRejected::Full));
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one item is available, then drains up to
+    /// `max` items in arrival order. Returns an empty vector only when the
+    /// queue is closed *and* fully drained — the consumer's signal to
+    /// exit. `max` is clamped to at least 1.
+    pub fn recv_batch(&self, max: usize) -> Vec<T> {
+        let max = max.max(1);
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !st.queue.is_empty() {
+                let take = st.queue.len().min(max);
+                let batch: Vec<T> = st.queue.drain(..take).collect();
+                drop(st);
+                // More items may remain for other consumers.
+                self.not_empty.notify_one();
+                return batch;
+            }
+            if st.closed {
+                return Vec::new();
+            }
+            st = self
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Closes the queue: future sends are rejected, every blocked consumer
+    /// wakes, and already-accepted items remain drainable.
+    pub fn close(&self) {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed
+    }
+}
+
+impl<T> std::fmt::Debug for Bounded<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bounded")
+            .field("len", &self.len())
+            .field("capacity", &self.capacity)
+            .field("closed", &self.is_closed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn full_queue_sheds_instead_of_blocking() {
+        let q = Bounded::new(2);
+        assert!(q.try_send(1).is_ok());
+        assert!(q.try_send(2).is_ok());
+        assert_eq!(q.try_send(3), Err((3, SendRejected::Full)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn closed_queue_rejects_but_drains() {
+        let q = Bounded::new(4);
+        q.try_send("a").unwrap();
+        q.try_send("b").unwrap();
+        q.close();
+        assert_eq!(q.try_send("c"), Err(("c", SendRejected::Closed)));
+        assert_eq!(q.recv_batch(10), vec!["a", "b"]);
+        assert!(q.recv_batch(10).is_empty());
+    }
+
+    #[test]
+    fn batches_drain_in_arrival_order_up_to_max() {
+        let q = Bounded::new(8);
+        for i in 0..5 {
+            q.try_send(i).unwrap();
+        }
+        assert_eq!(q.recv_batch(3), vec![0, 1, 2]);
+        assert_eq!(q.recv_batch(3), vec![3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = Bounded::<u32>::new(0);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_items() {
+        let q = Arc::new(Bounded::new(16));
+        let consumed = Arc::new(AtomicUsize::new(0));
+        let produced = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            let mut consumers = Vec::new();
+            for _ in 0..3 {
+                let q = Arc::clone(&q);
+                let consumed = Arc::clone(&consumed);
+                consumers.push(s.spawn(move || loop {
+                    let batch = q.recv_batch(4);
+                    if batch.is_empty() {
+                        return;
+                    }
+                    consumed.fetch_add(batch.len(), Ordering::Relaxed);
+                }));
+            }
+            let mut producers = Vec::new();
+            for _ in 0..4 {
+                let q = Arc::clone(&q);
+                let produced = Arc::clone(&produced);
+                producers.push(s.spawn(move || {
+                    for i in 0..100u32 {
+                        // Spin on Full: every item must eventually land.
+                        loop {
+                            match q.try_send(i) {
+                                Ok(()) => break,
+                                Err((_, SendRejected::Full)) => std::thread::yield_now(),
+                                Err((_, SendRejected::Closed)) => {
+                                    panic!("queue closed mid-production")
+                                }
+                            }
+                        }
+                        produced.fetch_add(1, Ordering::Relaxed);
+                    }
+                }));
+            }
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            for c in consumers {
+                c.join().unwrap();
+            }
+        });
+        assert_eq!(produced.load(Ordering::Relaxed), 400);
+        assert_eq!(consumed.load(Ordering::Relaxed), 400);
+    }
+}

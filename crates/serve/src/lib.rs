@@ -1,0 +1,43 @@
+//! Multi-tenant prediction serving over a sharded compiled-plan cache.
+//!
+//! The paper's headline result — microsecond-latency, simulator-accurate
+//! GPU time prediction — only pays off operationally if many consumers
+//! can share one trained artifact. This crate is that serving layer,
+//! built std-only like the rest of the workspace:
+//!
+//! * [`cache`] — [`cache::SharedPlanCache`], a lock-striped LRU cache of
+//!   immutable [`dnnperf_core::CompiledPlan`]s under a configurable
+//!   memory budget, keyed by `(suite generation, network fingerprint,
+//!   batch)` so retrains can never serve stale plans;
+//! * [`server`] — [`server::PredictionServer`], the in-process API:
+//!   tenant registry, bounded admission queue with load shedding, and a
+//!   batching worker pool;
+//! * [`protocol`] — the length-prefixed TCP line protocol with
+//!   bit-exact f64 transport;
+//! * [`tcp`] — [`tcp::TcpServer`], the per-connection-thread front door,
+//!   and [`tcp::Client`], a minimal blocking client.
+//!
+//! ```
+//! use dnnperf_serve::{CacheConfig, PredictionServer, ServerConfig};
+//! let server = PredictionServer::start(&ServerConfig {
+//!     workers: 2,
+//!     queue_depth: 64,
+//!     max_batch: 8,
+//!     cache: CacheConfig { shards: 4, budget_bytes: 1 << 20 },
+//! });
+//! assert_eq!(server.catalog_len(), 0);
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod tcp;
+
+pub use cache::{CacheConfig, CacheStats, PlanKey, SharedPlanCache};
+pub use protocol::{read_frame, write_frame, Request, Response, WireError, MAX_FRAME_BYTES};
+pub use server::{Pending, PredictionServer, Reply, ServeError, ServerConfig, ServerStats};
+pub use tcp::{Client, TcpServer};

@@ -1,0 +1,380 @@
+//! The hand-rolled TCP line protocol of the prediction server.
+//!
+//! Zero-dependency framing: every message is a 4-byte big-endian length
+//! prefix followed by that many bytes of UTF-8 payload. Requests are
+//! tab-separated fields; responses are tab-separated fields whose first
+//! field is a status word. Predicted seconds travel as the **hex of the
+//! f64 bit pattern** (`f64::to_bits` rendered as 16 lowercase hex
+//! digits), so a client decodes the exact double the server computed —
+//! no decimal round-trip, bit-identical to an in-process call.
+//!
+//! Requests:
+//!
+//! ```text
+//! predict \t <tenant> \t <network> \t <batch>
+//! graceful \t <tenant> \t <network> \t <batch>
+//! stats
+//! ```
+//!
+//! Responses:
+//!
+//! ```text
+//! ok \t <f64-bits-hex>                      (predict)
+//! ok \t <f64-bits-hex> \t <degraded-notes>  (graceful; note count)
+//! stats \t <key>=<value> ...                (stats)
+//! overloaded                                (admission control shed this)
+//! shutting-down                             (server is draining)
+//! error \t <message>                        (anything else)
+//! ```
+
+use std::io::{Read, Write};
+
+/// Upper bound on a frame payload. Requests and responses are one short
+/// line; anything bigger is a corrupt or hostile stream.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Strict prediction (`Workflow::predict` semantics).
+    Predict {
+        /// Tenant (registered suite) name.
+        tenant: String,
+        /// Network name in the server catalog.
+        network: String,
+        /// Batch size.
+        batch: usize,
+    },
+    /// Graceful-ladder prediction (`Workflow::predict_graceful`).
+    Graceful {
+        /// Tenant (registered suite) name.
+        tenant: String,
+        /// Network name in the server catalog.
+        network: String,
+        /// Batch size.
+        batch: usize,
+    },
+    /// Server and cache counters.
+    Stats,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A prediction in seconds; `degraded_notes` is `Some(n)` for
+    /// graceful requests (n = number of fallback notes).
+    Ok {
+        /// Predicted seconds.
+        seconds: f64,
+        /// `Some(note count)` for graceful predictions.
+        degraded_notes: Option<usize>,
+    },
+    /// Tab-separated `key=value` counter pairs.
+    Stats(Vec<(String, u64)>),
+    /// Admission control shed the request.
+    Overloaded,
+    /// The server is draining and no longer accepts work.
+    ShuttingDown,
+    /// The request failed (unknown tenant/network, invalid batch, ...).
+    Error(String),
+}
+
+/// Errors reading, writing or parsing protocol frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// A frame declared a payload over [`MAX_FRAME_BYTES`].
+    FrameTooLarge(usize),
+    /// The payload was not valid UTF-8 or not a well-formed message.
+    Malformed(String),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "socket error: {e}"),
+            WireError::FrameTooLarge(n) => {
+                write!(
+                    f,
+                    "frame of {n} bytes exceeds the {MAX_FRAME_BYTES} byte cap"
+                )
+            }
+            WireError::Malformed(m) => write!(f, "malformed message: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] when `payload` exceeds the cap, or the
+/// underlying I/O error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &str) -> Result<(), WireError> {
+    let bytes = payload.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(bytes.len()));
+    }
+    let len = (bytes.len() as u32).to_be_bytes();
+    w.write_all(&len)?;
+    w.write_all(bytes)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame. Returns `Ok(None)` on a clean EOF at
+/// a frame boundary (the peer closed the connection).
+///
+/// # Errors
+///
+/// [`WireError::FrameTooLarge`] for an oversized declared length,
+/// [`WireError::Malformed`] for non-UTF-8 payloads, or the underlying
+/// I/O error (including EOF mid-frame).
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<String>, WireError> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(None),
+        Ok(mut n) => {
+            while n < 4 {
+                let more = r.read(len_buf.get_mut(n..).unwrap_or(&mut []))?;
+                if more == 0 {
+                    return Err(WireError::Malformed("EOF inside length prefix".into()));
+                }
+                n += more;
+            }
+        }
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|_| WireError::Malformed("payload is not UTF-8".into()))
+}
+
+fn parse_batch(s: &str) -> Result<usize, WireError> {
+    s.parse()
+        .map_err(|_| WireError::Malformed(format!("bad batch {s:?}")))
+}
+
+impl Request {
+    /// Renders the request as a frame payload.
+    pub fn format(&self) -> String {
+        match self {
+            Request::Predict {
+                tenant,
+                network,
+                batch,
+            } => format!("predict\t{tenant}\t{network}\t{batch}"),
+            Request::Graceful {
+                tenant,
+                network,
+                batch,
+            } => format!("graceful\t{tenant}\t{network}\t{batch}"),
+            Request::Stats => "stats".to_string(),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown verbs or wrong field counts.
+    pub fn parse(line: &str) -> Result<Self, WireError> {
+        let mut fields = line.split('\t');
+        let verb = fields.next().unwrap_or("");
+        let rest: Vec<&str> = fields.collect();
+        match (verb, rest.as_slice()) {
+            ("predict", [tenant, network, batch]) => Ok(Request::Predict {
+                tenant: (*tenant).to_string(),
+                network: (*network).to_string(),
+                batch: parse_batch(batch)?,
+            }),
+            ("graceful", [tenant, network, batch]) => Ok(Request::Graceful {
+                tenant: (*tenant).to_string(),
+                network: (*network).to_string(),
+                batch: parse_batch(batch)?,
+            }),
+            ("stats", []) => Ok(Request::Stats),
+            _ => Err(WireError::Malformed(format!("bad request {line:?}"))),
+        }
+    }
+}
+
+impl Response {
+    /// Renders the response as a frame payload.
+    pub fn format(&self) -> String {
+        match self {
+            Response::Ok {
+                seconds,
+                degraded_notes: None,
+            } => format!("ok\t{:016x}", seconds.to_bits()),
+            Response::Ok {
+                seconds,
+                degraded_notes: Some(n),
+            } => format!("ok\t{:016x}\t{n}", seconds.to_bits()),
+            Response::Stats(pairs) => {
+                let mut out = String::from("stats");
+                for (k, v) in pairs {
+                    out.push('\t');
+                    out.push_str(k);
+                    out.push('=');
+                    out.push_str(&v.to_string());
+                }
+                out
+            }
+            Response::Overloaded => "overloaded".to_string(),
+            Response::ShuttingDown => "shutting-down".to_string(),
+            Response::Error(m) => format!("error\t{}", m.replace(['\t', '\n'], " ")),
+        }
+    }
+
+    /// Parses a frame payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] for unknown status words or bad fields.
+    pub fn parse(line: &str) -> Result<Self, WireError> {
+        let mut fields = line.split('\t');
+        let status = fields.next().unwrap_or("");
+        let rest: Vec<&str> = fields.collect();
+        match (status, rest.as_slice()) {
+            ("ok", [bits]) => Ok(Response::Ok {
+                seconds: parse_bits(bits)?,
+                degraded_notes: None,
+            }),
+            ("ok", [bits, notes]) => Ok(Response::Ok {
+                seconds: parse_bits(bits)?,
+                degraded_notes: Some(
+                    notes
+                        .parse()
+                        .map_err(|_| WireError::Malformed(format!("bad note count {notes:?}")))?,
+                ),
+            }),
+            ("stats", pairs) => {
+                let mut out = Vec::with_capacity(pairs.len());
+                for p in pairs {
+                    let (k, v) = p
+                        .split_once('=')
+                        .ok_or_else(|| WireError::Malformed(format!("bad stat {p:?}")))?;
+                    let v = v
+                        .parse()
+                        .map_err(|_| WireError::Malformed(format!("bad stat {p:?}")))?;
+                    out.push((k.to_string(), v));
+                }
+                Ok(Response::Stats(out))
+            }
+            ("overloaded", []) => Ok(Response::Overloaded),
+            ("shutting-down", []) => Ok(Response::ShuttingDown),
+            ("error", [m]) => Ok(Response::Error((*m).to_string())),
+            _ => Err(WireError::Malformed(format!("bad response {line:?}"))),
+        }
+    }
+}
+
+fn parse_bits(s: &str) -> Result<f64, WireError> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| WireError::Malformed(format!("bad f64 bits {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Predict {
+                tenant: "t".into(),
+                network: "resnet18".into(),
+                batch: 32,
+            },
+            Request::Graceful {
+                tenant: "other".into(),
+                network: "vgg11".into(),
+                batch: 1,
+            },
+            Request::Stats,
+        ] {
+            assert_eq!(Request::parse(&req.format()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_bit_exactly() {
+        let exotic = f64::from_bits(0x3fb9_9999_9999_999a); // 0.1, not decimal-representable
+        for resp in [
+            Response::Ok {
+                seconds: exotic,
+                degraded_notes: None,
+            },
+            Response::Ok {
+                seconds: 1.25e-3,
+                degraded_notes: Some(4),
+            },
+            Response::Stats(vec![("hits".into(), 7), ("misses".into(), 2)]),
+            Response::Overloaded,
+            Response::ShuttingDown,
+            Response::Error("no such tenant".into()),
+        ] {
+            let parsed = Response::parse(&resp.format()).unwrap();
+            match (&parsed, &resp) {
+                (Response::Ok { seconds: a, .. }, Response::Ok { seconds: b, .. }) => {
+                    assert_eq!(a.to_bits(), b.to_bits())
+                }
+                _ => assert_eq!(parsed, resp),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "predict\tt\tn\t8").unwrap();
+        write_frame(&mut buf, "stats").unwrap();
+        let mut r = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "predict\tt\tn\t8");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), "stats");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected_on_both_sides() {
+        let big = "x".repeat(MAX_FRAME_BYTES + 1);
+        let mut buf = Vec::new();
+        assert!(matches!(
+            write_frame(&mut buf, &big),
+            Err(WireError::FrameTooLarge(_))
+        ));
+        // A hostile length prefix is rejected before allocating.
+        let hostile = ((MAX_FRAME_BYTES + 1) as u32).to_be_bytes().to_vec();
+        let mut r = std::io::Cursor::new(hostile);
+        assert!(matches!(
+            read_frame(&mut r),
+            Err(WireError::FrameTooLarge(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_lines_error() {
+        assert!(Request::parse("predict\tonly-two\tfields").is_err());
+        assert!(Request::parse("frobnicate").is_err());
+        assert!(Request::parse("predict\tt\tn\tnot-a-number").is_err());
+        assert!(Response::parse("ok\tzznothex").is_err());
+        assert!(Response::parse("").is_err());
+    }
+}

@@ -1,0 +1,500 @@
+//! The in-process multi-tenant prediction server.
+//!
+//! [`PredictionServer`] owns the three moving parts of the serving
+//! story:
+//!
+//! * a tenant registry mapping tenant names to immutable
+//!   [`Arc<Workflow>`] suites (swapped atomically on retrain by
+//!   [`PredictionServer::update_suite`]);
+//! * a shared [`SharedPlanCache`] keyed by suite generation, so a suite
+//!   swap retires the old tenant's plans by construction;
+//! * a bounded admission queue ([`dnnperf_sched::Bounded`]) drained in
+//!   batches by a fixed worker pool — a full queue sheds the request
+//!   with [`ServeError::Overloaded`] instead of queueing unboundedly.
+//!
+//! Requests resolve their suite at **submit time**: the job carries the
+//! `Arc<Workflow>` it was admitted against, so a racing retrain can
+//! never make an in-flight request mix models from two training runs —
+//! each request is deterministically served by exactly one suite
+//! snapshot.
+
+use crate::cache::{CacheConfig, CacheStats, SharedPlanCache};
+use crate::protocol::Response;
+use dnnperf_core::{GracefulPrediction, PredictError, Workflow};
+use dnnperf_dnn::Network;
+use dnnperf_sched::{Bounded, SendRejected};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::thread::JoinHandle;
+
+/// Errors a serving request can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No suite is registered under this tenant name.
+    UnknownTenant(String),
+    /// The network name is not in the server catalog.
+    UnknownNetwork(String),
+    /// Admission control shed the request (queue full).
+    Overloaded,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// Plan compilation / prediction failed.
+    Predict(PredictError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            ServeError::UnknownNetwork(n) => write!(f, "unknown network {n:?}"),
+            ServeError::Overloaded => write!(f, "server overloaded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Predict(e) => write!(f, "prediction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PredictError> for ServeError {
+    fn from(e: PredictError) -> Self {
+        ServeError::Predict(e)
+    }
+}
+
+/// A completed prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Strict-path prediction in seconds.
+    Strict(f64),
+    /// Graceful-ladder prediction with degradation notes.
+    Graceful(GracefulPrediction),
+}
+
+impl Reply {
+    /// The predicted seconds regardless of path.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            Reply::Strict(s) => *s,
+            Reply::Graceful(g) => g.seconds,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Strict,
+    Graceful,
+}
+
+type SlotResult = Result<Reply, ServeError>;
+
+struct Slot {
+    result: Mutex<Option<SlotResult>>,
+    done: Condvar,
+}
+
+impl Slot {
+    fn fill(&self, r: SlotResult) {
+        let mut guard = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        *guard = Some(r);
+        drop(guard);
+        self.done.notify_all();
+    }
+}
+
+/// A handle to an admitted request; [`Pending::wait`] blocks for the
+/// worker pool to answer it.
+#[derive(Debug)]
+pub struct Pending {
+    slot: Arc<Slot>,
+}
+
+impl std::fmt::Debug for Slot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Slot")
+    }
+}
+
+impl Pending {
+    /// Blocks until the request is answered and returns the outcome.
+    pub fn wait(self) -> SlotResult {
+        let mut guard = self
+            .slot
+            .result
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(r) = guard.take() {
+                return r;
+            }
+            guard = self
+                .slot
+                .done
+                .wait(guard)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// One admitted request: the suite and network were resolved at submit
+/// time, pinning the exact suite snapshot that will serve it.
+struct Job {
+    suite: Arc<Workflow>,
+    net: Arc<Network>,
+    batch: usize,
+    mode: Mode,
+    slot: Arc<Slot>,
+}
+
+/// Configuration of a [`PredictionServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads draining the admission queue. Zero is permitted
+    /// (useful in tests: admitted requests stay queued).
+    pub workers: usize,
+    /// Admission queue depth; a full queue sheds with
+    /// [`ServeError::Overloaded`].
+    pub queue_depth: usize,
+    /// Maximum requests a worker drains per wakeup (request batching).
+    pub max_batch: usize,
+    /// Plan cache geometry and memory budget.
+    pub cache: CacheConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 256,
+            max_batch: 16,
+            cache: CacheConfig::default(),
+        }
+    }
+}
+
+/// Point-in-time server counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub admitted: u64,
+    /// Requests answered by the worker pool.
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Plan cache counters.
+    pub cache: CacheStats,
+}
+
+struct Inner {
+    tenants: RwLock<BTreeMap<String, Arc<Workflow>>>,
+    catalog: RwLock<BTreeMap<String, Arc<Network>>>,
+    cache: SharedPlanCache,
+    queue: Bounded<Job>,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    max_batch: usize,
+}
+
+impl Inner {
+    fn serve_one(&self, job: Job) {
+        let result = self
+            .cache
+            .get_or_compile(&job.suite, &job.net, job.batch)
+            .map(|plan| match job.mode {
+                Mode::Strict => Reply::Strict(plan.predict()),
+                Mode::Graceful => Reply::Graceful(plan.predict_graceful()),
+            })
+            .map_err(ServeError::from);
+        job.slot.fill(result);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The multi-tenant prediction server. See the module docs.
+pub struct PredictionServer {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl PredictionServer {
+    /// Starts a server with `config`: allocates the cache and queue and
+    /// spawns the worker pool.
+    pub fn start(config: &ServerConfig) -> Self {
+        let inner = Arc::new(Inner {
+            tenants: RwLock::new(BTreeMap::new()),
+            catalog: RwLock::new(BTreeMap::new()),
+            cache: SharedPlanCache::new(&config.cache),
+            queue: Bounded::new(config.queue_depth.max(1)),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            max_batch: config.max_batch.max(1),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || loop {
+                    let batch = inner.queue.recv_batch(inner.max_batch);
+                    if batch.is_empty() {
+                        return; // closed and drained
+                    }
+                    for job in batch {
+                        inner.serve_one(job);
+                    }
+                })
+            })
+            .collect();
+        PredictionServer {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Registers (or replaces) the suite served under `tenant`.
+    pub fn register_tenant(&self, tenant: &str, suite: Arc<Workflow>) {
+        self.inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant.to_string(), suite);
+    }
+
+    /// Atomically swaps `tenant`'s suite for a retrained one and purges
+    /// the retired suite's plans from the cache. Returns the number of
+    /// cache entries purged.
+    ///
+    /// In-flight requests admitted against the old suite still complete
+    /// against it (they pinned the `Arc` at submit time); every request
+    /// admitted after this call is served by `suite`.
+    pub fn update_suite(&self, tenant: &str, suite: Arc<Workflow>) -> usize {
+        let old = self
+            .inner
+            .tenants
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(tenant.to_string(), suite);
+        match old {
+            Some(old) => self.inner.cache.purge_generation(old.generation()),
+            None => 0,
+        }
+    }
+
+    /// Adds networks to the catalog clients can request by name.
+    pub fn add_networks<I: IntoIterator<Item = Network>>(&self, nets: I) {
+        let mut catalog = self
+            .inner
+            .catalog
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        for net in nets {
+            catalog.insert(net.name().to_string(), Arc::new(net));
+        }
+    }
+
+    /// Number of networks in the catalog.
+    pub fn catalog_len(&self) -> usize {
+        self.inner
+            .catalog
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    fn resolve(
+        &self,
+        tenant: &str,
+        network: &str,
+    ) -> Result<(Arc<Workflow>, Arc<Network>), ServeError> {
+        let suite = self
+            .inner
+            .tenants
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(tenant)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?;
+        let net = self
+            .inner
+            .catalog
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(network)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownNetwork(network.to_string()))?;
+        Ok((suite, net))
+    }
+
+    fn submit_mode(
+        &self,
+        tenant: &str,
+        network: &str,
+        batch: usize,
+        mode: Mode,
+    ) -> Result<Pending, ServeError> {
+        let (suite, net) = self.resolve(tenant, network)?;
+        let slot = Arc::new(Slot {
+            result: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let job = Job {
+            suite,
+            net,
+            batch,
+            mode,
+            slot: Arc::clone(&slot),
+        };
+        match self.inner.queue.try_send(job) {
+            Ok(()) => {
+                self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(Pending { slot })
+            }
+            Err((_, SendRejected::Full)) => {
+                self.inner.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err((_, SendRejected::Closed)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Submits a strict prediction request; returns a [`Pending`] handle
+    /// once admitted.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownTenant`] / [`ServeError::UnknownNetwork`] for
+    /// unresolvable requests, [`ServeError::Overloaded`] when admission
+    /// control sheds, [`ServeError::ShuttingDown`] after shutdown began.
+    pub fn submit(&self, tenant: &str, network: &str, batch: usize) -> Result<Pending, ServeError> {
+        self.submit_mode(tenant, network, batch, Mode::Strict)
+    }
+
+    /// Submits a graceful-ladder request; returns a [`Pending`] handle
+    /// once admitted.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PredictionServer::submit`].
+    pub fn submit_graceful(
+        &self,
+        tenant: &str,
+        network: &str,
+        batch: usize,
+    ) -> Result<Pending, ServeError> {
+        self.submit_mode(tenant, network, batch, Mode::Graceful)
+    }
+
+    /// Predicts `network`'s time for `tenant` (submit + wait).
+    ///
+    /// Bit-identical to calling `suite.predict(net, batch)` directly on
+    /// the tenant's current suite.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PredictionServer::submit`], plus [`ServeError::Predict`]
+    /// from the prediction itself.
+    pub fn predict(&self, tenant: &str, network: &str, batch: usize) -> Result<f64, ServeError> {
+        match self.submit(tenant, network, batch)?.wait()? {
+            Reply::Strict(s) => Ok(s),
+            Reply::Graceful(g) => Ok(g.seconds),
+        }
+    }
+
+    /// Predicts with the graceful-degradation ladder (submit + wait).
+    ///
+    /// # Errors
+    ///
+    /// As for [`PredictionServer::predict`].
+    pub fn predict_graceful(
+        &self,
+        tenant: &str,
+        network: &str,
+        batch: usize,
+    ) -> Result<GracefulPrediction, ServeError> {
+        match self.submit_graceful(tenant, network, batch)?.wait()? {
+            Reply::Graceful(g) => Ok(g),
+            Reply::Strict(s) => Ok(GracefulPrediction {
+                seconds: s,
+                notes: Vec::new(),
+            }),
+        }
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            admitted: self.inner.admitted.load(Ordering::Relaxed),
+            completed: self.inner.completed.load(Ordering::Relaxed),
+            shed: self.inner.shed.load(Ordering::Relaxed),
+            cache: self.inner.cache.stats(),
+        }
+    }
+
+    /// The stats as wire `key=value` pairs (the `stats` response).
+    pub fn stats_response(&self) -> Response {
+        let s = self.stats();
+        Response::Stats(vec![
+            ("admitted".to_string(), s.admitted),
+            ("completed".to_string(), s.completed),
+            ("shed".to_string(), s.shed),
+            ("cache_hits".to_string(), s.cache.hits),
+            ("cache_misses".to_string(), s.cache.misses),
+            ("cache_compiles".to_string(), s.cache.compiles),
+            ("cache_evictions".to_string(), s.cache.evictions),
+            ("cache_entries".to_string(), s.cache.entries as u64),
+            ("cache_bytes".to_string(), s.cache.bytes as u64),
+        ])
+    }
+
+    /// The shared plan cache (for inspection in tests and benches).
+    pub fn cache(&self) -> &SharedPlanCache {
+        &self.inner.cache
+    }
+
+    /// Drains and stops the server: closes the admission queue, joins
+    /// the worker pool (which finishes every accepted request first) and
+    /// answers any request no worker picked up with
+    /// [`ServeError::ShuttingDown`].
+    pub fn shutdown(&self) {
+        self.inner.queue.close();
+        let handles: Vec<_> = self
+            .workers
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // With zero workers (or a poisoned pool) accepted jobs may still
+        // be queued; answer them rather than leaving waiters hanging.
+        loop {
+            let leftover = self.inner.queue.recv_batch(64);
+            if leftover.is_empty() {
+                break;
+            }
+            for job in leftover {
+                job.slot.fill(Err(ServeError::ShuttingDown));
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for PredictionServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        write!(
+            f,
+            "PredictionServer(admitted {}, completed {}, shed {}, {:?})",
+            s.admitted, s.completed, s.shed, self.inner.cache
+        )
+    }
+}
+
+impl Drop for PredictionServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,231 @@
+//! The TCP front door: length-prefixed frames over per-connection
+//! threads.
+//!
+//! [`TcpServer::serve`] binds a listener (pass port 0 for an ephemeral
+//! port, read it back with [`TcpServer::addr`]) and spawns one accept
+//! thread; each accepted connection gets its own handler thread that
+//! loops `read_frame -> handle -> write_frame` until the client closes.
+//! Shutdown is cooperative: a shared flag is set, the accept loop is
+//! unblocked with a throwaway self-connection, and handler threads
+//! notice the flag via a short socket read timeout — no thread is ever
+//! killed mid-write, so every accepted request gets a response.
+
+use crate::protocol::{read_frame, write_frame, Request, Response, WireError};
+use crate::server::{PredictionServer, Reply, ServeError};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often a blocked connection read re-checks the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// A running TCP front end over a [`PredictionServer`].
+pub struct TcpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+fn serve_error_response(e: &ServeError) -> Response {
+    match e {
+        ServeError::Overloaded => Response::Overloaded,
+        ServeError::ShuttingDown => Response::ShuttingDown,
+        other => Response::Error(other.to_string()),
+    }
+}
+
+fn handle_request(server: &PredictionServer, req: &Request) -> Response {
+    match req {
+        Request::Predict {
+            tenant,
+            network,
+            batch,
+        } => match server
+            .submit(tenant, network, *batch)
+            .and_then(super::server::Pending::wait)
+        {
+            Ok(reply) => Response::Ok {
+                seconds: reply.seconds(),
+                degraded_notes: None,
+            },
+            Err(e) => serve_error_response(&e),
+        },
+        Request::Graceful {
+            tenant,
+            network,
+            batch,
+        } => match server
+            .submit_graceful(tenant, network, *batch)
+            .and_then(super::server::Pending::wait)
+        {
+            Ok(Reply::Graceful(g)) => Response::Ok {
+                seconds: g.seconds,
+                degraded_notes: Some(g.notes.len()),
+            },
+            Ok(Reply::Strict(s)) => Response::Ok {
+                seconds: s,
+                degraded_notes: Some(0),
+            },
+            Err(e) => serve_error_response(&e),
+        },
+        Request::Stats => server.stats_response(),
+    }
+}
+
+fn handle_connection(server: &PredictionServer, stream: &mut TcpStream, stop: &AtomicBool) {
+    // A short read timeout turns a blocked read into a periodic
+    // shutdown-flag poll.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let frame = match read_frame(stream) {
+            Ok(Some(f)) => f,
+            Ok(None) => return, // clean client close
+            Err(WireError::Io(e))
+                if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => return, // corrupt stream: drop the connection
+        };
+        let response = match Request::parse(&frame) {
+            Ok(req) => handle_request(server, &req),
+            Err(e) => Response::Error(e.to_string()),
+        };
+        if write_frame(stream, &response.format()).is_err() {
+            return;
+        }
+    }
+}
+
+impl TcpServer {
+    /// Binds `bind_addr` (e.g. `"127.0.0.1:0"`) and starts accepting
+    /// connections that are served by `server`.
+    ///
+    /// # Errors
+    ///
+    /// The bind error, if the address is unavailable.
+    pub fn serve(server: Arc<PredictionServer>, bind_addr: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind_addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::spawn(move || {
+            let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if accept_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let Ok(mut stream) = conn else { continue };
+                let server = Arc::clone(&server);
+                let stop = Arc::clone(&accept_stop);
+                handlers.push(std::thread::spawn(move || {
+                    handle_connection(&server, &mut stream, &stop);
+                }));
+            }
+            for h in handlers {
+                let _ = h.join();
+            }
+        });
+        Ok(TcpServer {
+            addr,
+            stop,
+            accept_thread: Mutex::new(Some(accept_thread)),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections, winds down every handler thread and
+    /// joins them. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop: it only re-checks the flag per
+        // connection, so poke it with a throwaway one.
+        let _ = TcpStream::connect(self.addr);
+        let handle = self
+            .accept_thread
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for TcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TcpServer({})", self.addr)
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// A minimal blocking client for the line protocol (used by tests and
+/// the load generator; real clients can speak the protocol from any
+/// language).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a [`TcpServer`].
+    ///
+    /// # Errors
+    ///
+    /// The connect error.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on socket failure, a dropped connection, or a
+    /// malformed response.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        write_frame(&mut self.stream, &req.format())?;
+        match read_frame(&mut self.stream)? {
+            Some(line) => Response::parse(&line),
+            None => Err(WireError::Malformed(
+                "server closed the connection".to_string(),
+            )),
+        }
+    }
+
+    /// Convenience strict predict returning the decoded seconds.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Malformed`] describing the failure for any non-`ok`
+    /// response, or the transport error.
+    pub fn predict(&mut self, tenant: &str, network: &str, batch: usize) -> Result<f64, WireError> {
+        let resp = self.call(&Request::Predict {
+            tenant: tenant.to_string(),
+            network: network.to_string(),
+            batch,
+        })?;
+        match resp {
+            Response::Ok { seconds, .. } => Ok(seconds),
+            other => Err(WireError::Malformed(format!("server said {other:?}"))),
+        }
+    }
+}

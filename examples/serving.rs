@@ -1,0 +1,60 @@
+//! Boots the multi-tenant prediction server on an ephemeral TCP port and
+//! serves the full CNN zoo until stdin closes.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+//!
+//! Prints the bound address plus a reference prediction (as f64 bits) so
+//! any client — the protocol is plain length-prefixed TCP, speakable from
+//! any language — can check it decodes the exact same double.
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::zoo;
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::Workflow;
+use dnnperf::serve::{PredictionServer, ServerConfig, TcpServer};
+use std::io::Read;
+use std::sync::Arc;
+
+fn main() {
+    let gpu = GpuSpec::by_name("A100").expect("A100 spec");
+    let nets = [
+        zoo::resnet::resnet18(),
+        zoo::resnet::resnet50(),
+        zoo::vgg::vgg11(),
+        zoo::mobilenet::mobilenet_v2(1.0, 1.0),
+    ];
+    let ds = collect(&nets, std::slice::from_ref(&gpu), &[8, 32]);
+    let suite = Arc::new(Workflow::train(&ds, "A100").expect("train"));
+
+    let reference = zoo::resnet::resnet50();
+    let direct = suite.predict(&reference, 32).expect("predict");
+
+    let server = Arc::new(PredictionServer::start(&ServerConfig::default()));
+    server.register_tenant("demo", Arc::clone(&suite));
+    server.add_networks(zoo::cnn_zoo());
+    let tcp = TcpServer::serve(Arc::clone(&server), "127.0.0.1:0").expect("bind");
+
+    println!("addr {}", tcp.addr());
+    println!(
+        "direct ResNet-50@32 bits {:016x} ({direct:.6e} s)",
+        direct.to_bits()
+    );
+    println!(
+        "serving the {}-network zoo for tenant \"demo\"; close stdin to stop",
+        server.catalog_len()
+    );
+
+    // Park until the driving process closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+
+    tcp.shutdown();
+    server.shutdown();
+    let stats = server.stats();
+    println!(
+        "done: {} admitted, {} completed, {} shed",
+        stats.admitted, stats.completed, stats.shed
+    );
+}

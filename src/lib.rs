@@ -16,7 +16,9 @@
 //!   Kernel-Wise and Inter-GPU Kernel-Wise predictors;
 //! * [`simkit`] — event-driven simulation (disaggregated-memory case study);
 //! * [`baseline`] — the cycle-approximate simulator with PKS/PKA sampling;
-//! * [`sched`] — GPU selection and queue scheduling case studies.
+//! * [`sched`] — GPU selection and queue scheduling case studies;
+//! * [`serve`] — the multi-tenant prediction server: sharded plan cache,
+//!   admission control, and the length-prefixed TCP protocol.
 //!
 //! # Quick start
 //!
@@ -59,4 +61,5 @@ pub use dnnperf_dnn as dnn;
 pub use dnnperf_gpu as gpu;
 pub use dnnperf_linreg as linreg;
 pub use dnnperf_sched as sched;
+pub use dnnperf_serve as serve;
 pub use dnnperf_simkit as simkit;
