@@ -39,6 +39,16 @@ echo "==> serving conformance (forced multi-threading)"
 cargo test -q --offline -p dnnperf-serve --test concurrency -- --test-threads 4
 cargo test -q --offline -p dnnperf-serve --test server -- --test-threads 4
 
+echo "==> fleet simulation conformance (forced multi-threading)"
+# The fleet what-if engine's contract: request conservation for every
+# placement × batching × arrival × seed combination, byte-identical
+# report replay (including across training thread counts), p99
+# monotonicity in offered load, policy-independence of service demand,
+# and bit-identity of fleet-path predictions (degradation notes, IGKW
+# fallback) with the model stack. Forced test-level parallelism makes
+# the shared-oracle fixtures contend.
+cargo test -q --offline -p dnnperf --test fleet -- --test-threads 4
+
 echo "==> experiment binaries still build"
 cargo build --offline -p dnnperf-bench --bins
 
@@ -58,6 +68,14 @@ echo "==> serving load gate (smoke profile vs committed BENCH_6.json)"
 # client-observed errors, p99 latency within 6x of the committed
 # baseline, and throughput above baseline/6 (machine-relative).
 cargo run --release --offline -q -p dnnperf-bench --bin loadgen -- --smoke --check BENCH_6.json
+
+echo "==> fleet sweep reproducibility gate (vs committed BENCH_7.json)"
+# The capacity-planning sweep is fully deterministic (no wall clock, no
+# ambient randomness): every point is simulated twice and must replay
+# byte-identically and conserve every request (the bin aborts
+# otherwise), and the figures must match the committed baseline —
+# request counts exactly, float figures within 1e-6 relative.
+cargo run --release --offline -q -p dnnperf-bench --bin fleet -- --smoke --check BENCH_7.json
 
 echo "==> rustfmt"
 cargo fmt --all -- --check

@@ -67,6 +67,12 @@ pub enum PredictError {
     },
     /// A batch size of zero was requested.
     ZeroBatch,
+    /// No trained model suite (and no inter-GPU fallback) covers the
+    /// requested GPU.
+    NoModelForGpu {
+        /// The GPU that was requested.
+        gpu: String,
+    },
     /// A prediction was requested for a network with no layers.
     EmptyNetwork {
         /// The network's name.
@@ -108,6 +114,12 @@ impl fmt::Display for PredictError {
                 )
             }
             PredictError::ZeroBatch => write!(f, "batch size must be positive"),
+            PredictError::NoModelForGpu { gpu } => {
+                write!(
+                    f,
+                    "no trained suite or inter-GPU fallback covers GPU {gpu:?}"
+                )
+            }
             PredictError::EmptyNetwork { network } => {
                 write!(f, "network {network:?} has no layers to predict")
             }

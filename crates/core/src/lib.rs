@@ -52,6 +52,7 @@ pub mod kernelwise;
 pub mod layerwise;
 pub mod mapping;
 pub mod model;
+pub mod oracle;
 pub mod overhead;
 mod par;
 pub mod persist;
@@ -68,6 +69,7 @@ pub use kernelwise::{KwModel, LayerCoverage};
 pub use layerwise::LwModel;
 pub use mapping::{KernelMap, LayerSignature};
 pub use model::Predictor;
+pub use oracle::{OraclePrediction, OracleSource, PlanSource, PredictionOracle};
 pub use overhead::{KwWithOverhead, OverheadModel};
 pub use persist::PersistError;
 pub use plan::CompiledPlan;

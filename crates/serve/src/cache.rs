@@ -384,6 +384,23 @@ impl SharedPlanCache {
     }
 }
 
+/// The shared cache as a [`dnnperf_core::oracle::PlanSource`]: a
+/// [`dnnperf_core::PredictionOracle`] built over it (the fleet
+/// simulator's service-time oracle) draws from the same budgeted,
+/// generation-keyed resident set as the prediction server, so capacity
+/// studies and live serving share one working set — and the cache's
+/// never-over-budget and never-stale invariants hold on that path too.
+impl dnnperf_core::oracle::PlanSource for SharedPlanCache {
+    fn plan_for(
+        &self,
+        suite: &Workflow,
+        net: &Network,
+        batch: usize,
+    ) -> Result<Arc<CompiledPlan>, PredictError> {
+        self.get_or_compile(suite, net, batch)
+    }
+}
+
 impl std::fmt::Debug for SharedPlanCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = self.stats();

@@ -1,7 +1,7 @@
-//! A minimal discrete-event queue.
+//! A minimal discrete-event queue with cancellation.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 struct Entry<E> {
     time: f64,
@@ -51,15 +51,29 @@ impl<E> Ord for Entry<E> {
 #[derive(Default)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
+    /// Sequence numbers of events scheduled but neither popped nor
+    /// cancelled. `len`/`is_empty`/`cancel` answer from this set.
+    pending: BTreeSet<u64>,
+    /// Sequence numbers cancelled while still in the heap; their entries
+    /// are skipped (and forgotten) lazily when the heap surfaces them.
+    cancelled: BTreeSet<u64>,
     seq: u64,
     now: f64,
 }
+
+/// A handle to one scheduled event, returned by
+/// [`EventQueue::schedule_cancellable`] and redeemed by
+/// [`EventQueue::cancel`]. Tokens are unique per queue and never reused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CancelToken(u64);
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            pending: BTreeSet::new(),
+            cancelled: BTreeSet::new(),
             seq: 0,
             now: 0.0,
         }
@@ -70,14 +84,14 @@ impl<E> EventQueue<E> {
         self.now
     }
 
-    /// Number of pending events.
+    /// Number of pending (scheduled, not popped, not cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.pending.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.pending.is_empty()
     }
 
     /// Schedules `event` at absolute time `at`.
@@ -87,25 +101,61 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is NaN or earlier than the current simulation time
     /// (causality violation).
     pub fn schedule(&mut self, at: f64, event: E) {
+        self.schedule_cancellable(at, event);
+    }
+
+    /// Schedules `event` at absolute time `at` and returns a token that
+    /// can revoke it while it is still pending — the primitive batching
+    /// windows need to retract their scheduled close when a batch fills
+    /// early.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is NaN or earlier than the current simulation time
+    /// (causality violation).
+    pub fn schedule_cancellable(&mut self, at: f64, event: E) -> CancelToken {
         assert!(!at.is_nan(), "event time must not be NaN");
         assert!(
             at >= self.now,
             "cannot schedule into the past: {at} < {}",
             self.now
         );
+        let seq = self.seq;
         self.heap.push(Entry {
             time: at,
-            seq: self.seq,
+            seq,
             event,
         });
+        self.pending.insert(seq);
         self.seq += 1;
+        CancelToken(seq)
+    }
+
+    /// Cancels the event behind `token` if it is still pending. Returns
+    /// `true` if the event was revoked, `false` if it had already been
+    /// popped or cancelled. A cancelled event is never returned by
+    /// [`EventQueue::pop`] and never advances the clock.
+    pub fn cancel(&mut self, token: CancelToken) -> bool {
+        if self.pending.remove(&token.0) {
+            self.cancelled.insert(token.0);
+            true
+        } else {
+            false
+        }
     }
 
     /// Pops the earliest pending event, advancing the clock to it.
+    /// Cancelled events are skipped (without advancing the clock).
     pub fn pop(&mut self) -> Option<(f64, E)> {
-        let e = self.heap.pop()?;
-        self.now = e.time;
-        Some((e.time, e.event))
+        loop {
+            let e = self.heap.pop()?;
+            if self.cancelled.remove(&e.seq) {
+                continue;
+            }
+            self.pending.remove(&e.seq);
+            self.now = e.time;
+            return Some((e.time, e.event));
+        }
     }
 }
 
@@ -179,5 +229,57 @@ mod tests {
         assert!(q.is_empty());
         q.schedule(1.0, ());
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_event_is_skipped_without_advancing_clock() {
+        let mut q = EventQueue::new();
+        let tok = q.schedule_cancellable(1.0, "doomed");
+        q.schedule(2.0, "kept");
+        assert!(q.cancel(tok));
+        assert_eq!(q.len(), 1);
+        // The cancelled 1.0 event must neither surface nor move `now`.
+        assert_eq!(q.pop(), Some((2.0, "kept")));
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancelling_all_events_leaves_clock_untouched() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let tok = q.schedule_cancellable(5.0, ());
+        assert!(q.cancel(tok));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.now(), 0.0);
+    }
+
+    #[test]
+    fn double_cancel_and_cancel_after_pop_return_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_cancellable(1.0, "a");
+        let b = q.schedule_cancellable(2.0, "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "second cancel must be a no-op");
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert!(!q.cancel(b), "cancel after pop must be a no-op");
+    }
+
+    #[test]
+    fn len_accounts_for_cancellation() {
+        let mut q = EventQueue::new();
+        let toks: Vec<_> = (0..4)
+            .map(|i| q.schedule_cancellable(f64::from(i), i))
+            .collect();
+        assert_eq!(q.len(), 4);
+        q.cancel(toks[1]);
+        q.cancel(toks[3]);
+        assert_eq!(q.len(), 2);
+        let mut got = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            got.push(e);
+        }
+        assert_eq!(got, vec![0, 2]);
+        assert!(q.is_empty());
     }
 }

@@ -1,0 +1,717 @@
+//! The fleet what-if engine: heterogeneous GPU pools serving a mixed
+//! request stream, with every service time priced by a
+//! [`PredictionOracle`] (compiled plans for trained GPUs, the IGKW
+//! fallback for never-profiled ones).
+//!
+//! This is capacity planning driven by the paper's predictor instead of
+//! measurement: "would two A100 pools at this offered load hold p99
+//! under the SLO, or do we need a third?" is answered in milliseconds by
+//! an event-driven simulation whose only model of GPU time is the
+//! trained prediction stack.
+//!
+//! Design invariants the property suite leans on:
+//!
+//! * **Conservation** — every offered request is admitted or rejected;
+//!   every admitted request is completed or reported in flight at the
+//!   horizon. No request is created or lost by any policy combination.
+//! * **Determinism** — the same [`WorkloadSpec`] seed yields a
+//!   byte-identical [`FleetReport`]: all state is ordered
+//!   (`BTreeMap`/`VecDeque`), all randomness flows from the workload
+//!   LCG, ties in the event queue break by insertion order, and no wall
+//!   clock is consulted.
+//! * **Oracle isolation** — service times come only from
+//!   [`PredictionOracle::predict`]; this crate never touches
+//!   `dnnperf_gpu::timing`.
+//!
+//! All `(pool, class, group-size)` prices are resolved *before* the
+//! event loop starts, so the loop itself is infallible and the oracle's
+//! degradation notes are surfaced once, as annotations on the report.
+
+use crate::event::{CancelToken, EventQueue};
+use crate::policy::{BatchingPolicy, PlacementPolicy, PoolView};
+use crate::report::{sojourn_percentile, FleetReport, PoolReport};
+use crate::workload::{ArrivalProcess, Lcg, WorkloadSpec};
+use dnnperf_core::oracle::{OraclePrediction, OracleSource, PredictionOracle};
+use dnnperf_core::PredictError;
+use dnnperf_dnn::Network;
+use dnnperf_gpu::GpuSpec;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Floor on scheduled event durations: keeps zero-cost predictions (or a
+/// zero think time racing a rejection) from livelocking the event loop.
+/// Accounting (demand, busy time) still uses the exact predicted value.
+const MIN_EVENT_SECONDS: f64 = 1e-9;
+
+/// One GPU pool: `gpus` identical devices of one [`GpuSpec`] behind a
+/// shared FIFO dispatch queue.
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// Pool name, carried into the report.
+    pub name: String,
+    /// The device every GPU in this pool is.
+    pub gpu: GpuSpec,
+    /// Number of GPUs.
+    pub gpus: usize,
+    /// Admission cap on waiting requests (queue plus batching buffers);
+    /// `None` means unbounded.
+    pub queue_cap: Option<usize>,
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The pools, in placement-index order.
+    pub pools: Vec<PoolSpec>,
+    /// The sojourn SLO attainment is measured against.
+    pub slo_seconds: f64,
+    /// Number of evenly spaced queue-depth samples per pool.
+    pub queue_samples: usize,
+}
+
+/// One request in flight through the simulator.
+#[derive(Debug)]
+struct Req {
+    class: usize,
+    arrival: f64,
+    client: Option<usize>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Next open-loop arrival.
+    Arrival,
+    /// Closed-loop client `i` issues its next request.
+    ClientArrival(usize),
+    /// A time-window batching buffer reached its deadline.
+    WindowClose { pool: usize, class: usize },
+    /// A dispatched group finishes service.
+    ServiceDone {
+        pool: usize,
+        start: f64,
+        group: Vec<Req>,
+    },
+    /// Record queue depths across all pools.
+    Sample,
+}
+
+#[derive(Debug, Default)]
+struct Buffer {
+    reqs: VecDeque<Req>,
+    token: Option<CancelToken>,
+}
+
+#[derive(Debug)]
+struct PoolState {
+    total_gpus: usize,
+    queue_cap: Option<usize>,
+    free_gpus: usize,
+    queue: VecDeque<Req>,
+    /// Time-window accumulation buffers, by class.
+    buffers: BTreeMap<usize, Buffer>,
+    buffered: usize,
+    in_service: usize,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    busy_seconds: f64,
+    sojourns: Vec<f64>,
+    slo_attained: u64,
+    degraded: u64,
+    igkw: u64,
+    queue_depth: Vec<(f64, u64)>,
+}
+
+struct Sim<'a> {
+    q: EventQueue<Ev>,
+    pools: Vec<PoolState>,
+    /// `prices[pool][class][k-1]` = oracle output for a group of `k`.
+    prices: &'a [Vec<Vec<OraclePrediction>>],
+    max_batch: usize,
+    window_seconds: f64,
+    horizon: f64,
+    slo: f64,
+    think_seconds: f64,
+    lcg: Lcg,
+    weights: Vec<f64>,
+    rate_rps: f64,
+    offered: u64,
+    demand_seconds: f64,
+}
+
+impl Sim<'_> {
+    fn views(&self) -> Vec<PoolView> {
+        self.pools
+            .iter()
+            .enumerate()
+            .map(|(index, p)| PoolView {
+                index,
+                queued: p.queue.len() + p.buffered,
+                in_service: p.in_service,
+                free_gpus: p.free_gpus,
+                total_gpus: p.total_gpus,
+            })
+            .collect()
+    }
+
+    /// One admission: pick a class, place it, admit or reject. A
+    /// rejected closed-loop client retries after its think time.
+    fn admit(
+        &mut self,
+        placement: &mut dyn PlacementPolicy,
+        workload: &WorkloadSpec,
+        now: f64,
+        client: Option<usize>,
+    ) {
+        self.offered += 1;
+        let class = self.lcg.pick_weighted(&self.weights);
+        let views = self.views();
+        let p = placement.place(&workload.classes[class], &views);
+        assert!(p < self.pools.len(), "placement returned pool {p}");
+        let backlog = self.pools[p].queue.len() + self.pools[p].buffered;
+        if self.pools[p].queue_cap.is_some_and(|cap| backlog >= cap) {
+            self.pools[p].rejected += 1;
+            if let Some(i) = client {
+                let retry = now + self.think_seconds.max(MIN_EVENT_SECONDS);
+                if retry <= self.horizon {
+                    self.q.schedule(retry, Ev::ClientArrival(i));
+                }
+            }
+            return;
+        }
+        self.pools[p].admitted += 1;
+        self.demand_seconds += self.prices[p][class][0].seconds;
+        self.enqueue(
+            p,
+            Req {
+                class,
+                arrival: now,
+                client,
+            },
+            now,
+        );
+    }
+
+    /// Greedily starts service on every free GPU of pool `p`, coalescing
+    /// up to `max_batch` contiguous same-class requests per dispatch.
+    fn try_dispatch(&mut self, p: usize, now: f64) {
+        loop {
+            let pool = &mut self.pools[p];
+            if pool.free_gpus == 0 || pool.queue.is_empty() {
+                return;
+            }
+            let class = match pool.queue.front() {
+                Some(r) => r.class,
+                None => return,
+            };
+            let k = pool
+                .queue
+                .iter()
+                .take(self.max_batch)
+                .take_while(|r| r.class == class)
+                .count();
+            let mut group = Vec::with_capacity(k);
+            for _ in 0..k {
+                if let Some(r) = pool.queue.pop_front() {
+                    group.push(r);
+                }
+            }
+            pool.free_gpus -= 1;
+            pool.in_service += group.len();
+            let seconds = self.prices[p][class][group.len() - 1].seconds;
+            self.q.schedule(
+                now + seconds.max(MIN_EVENT_SECONDS),
+                Ev::ServiceDone {
+                    pool: p,
+                    start: now,
+                    group,
+                },
+            );
+        }
+    }
+
+    /// Routes an admitted request through the batching layer of pool `p`.
+    fn enqueue(&mut self, p: usize, req: Req, now: f64) {
+        if self.window_seconds <= 0.0 {
+            self.pools[p].queue.push_back(req);
+            self.try_dispatch(p, now);
+            return;
+        }
+        let class = req.class;
+        let deadline = now + self.window_seconds;
+        let buf = self.pools[p].buffers.entry(class).or_default();
+        if buf.reqs.is_empty() {
+            buf.token = Some(
+                self.q
+                    .schedule_cancellable(deadline, Ev::WindowClose { pool: p, class }),
+            );
+        }
+        buf.reqs.push_back(req);
+        self.pools[p].buffered += 1;
+        if self.pools[p]
+            .buffers
+            .get(&class)
+            .map_or(0, |b| b.reqs.len())
+            >= self.max_batch
+        {
+            self.flush_buffer(p, class, now);
+        }
+    }
+
+    /// Moves a full or expired buffer into the dispatch queue.
+    fn flush_buffer(&mut self, p: usize, class: usize, now: f64) {
+        let pool = &mut self.pools[p];
+        let Some(buf) = pool.buffers.get_mut(&class) else {
+            return;
+        };
+        if let Some(token) = buf.token.take() {
+            self.q.cancel(token);
+        }
+        let n = buf.reqs.len();
+        while let Some(r) = buf.reqs.pop_front() {
+            pool.queue.push_back(r);
+        }
+        pool.buffered -= n;
+        self.try_dispatch(p, now);
+    }
+}
+
+/// Runs the fleet simulation to the workload horizon.
+///
+/// `catalog` holds the networks the workload classes index into;
+/// `oracle` must cover every pool's GPU (trained suite or IGKW).
+///
+/// # Errors
+///
+/// Returns any [`PredictError`] hit while pre-pricing `(pool, class,
+/// group-size)` combinations — e.g. [`PredictError::NoModelForGpu`] for
+/// a pool the oracle cannot price. The event loop itself is infallible.
+///
+/// # Panics
+///
+/// Panics on configuration errors: no pools, a pool with zero GPUs, an
+/// empty class mix, a class indexing outside `catalog`, a non-positive
+/// horizon, or a closed-loop workload with zero clients.
+pub fn simulate_fleet(
+    catalog: &[Network],
+    workload: &WorkloadSpec,
+    cfg: &FleetConfig,
+    placement: &mut dyn PlacementPolicy,
+    batching: &dyn BatchingPolicy,
+    oracle: &PredictionOracle,
+) -> Result<FleetReport, PredictError> {
+    assert!(!cfg.pools.is_empty(), "fleet needs at least one pool");
+    assert!(
+        !workload.classes.is_empty(),
+        "workload needs at least one class"
+    );
+    assert!(
+        workload.horizon_seconds > 0.0 && workload.horizon_seconds.is_finite(),
+        "horizon must be positive and finite"
+    );
+    for pool in &cfg.pools {
+        assert!(pool.gpus >= 1, "pool {:?} has no GPUs", pool.name);
+    }
+    for class in &workload.classes {
+        assert!(
+            class.network < catalog.len(),
+            "class network index {} outside catalog of {}",
+            class.network,
+            catalog.len()
+        );
+        assert!(class.batch >= 1, "class batch must be at least 1");
+    }
+
+    let max_batch = batching.max_batch();
+    // Resolve every price the loop could need, up front. Degradation
+    // notes are collected from the standalone (group-of-1) predictions —
+    // the same entries `class_seconds` exposes.
+    let mut prices: Vec<Vec<Vec<OraclePrediction>>> = Vec::with_capacity(cfg.pools.len());
+    let mut notes: Vec<String> = Vec::new();
+    for pool in &cfg.pools {
+        let mut per_class = Vec::with_capacity(workload.classes.len());
+        for class in &workload.classes {
+            let net = &catalog[class.network];
+            let mut per_k = Vec::with_capacity(max_batch);
+            for k in 1..=max_batch {
+                per_k.push(oracle.predict(&pool.gpu, net, class.batch * k)?);
+            }
+            for note in &per_k[0].notes {
+                let s = note.to_string();
+                if !notes.contains(&s) {
+                    notes.push(s);
+                }
+            }
+            per_class.push(per_k);
+        }
+        prices.push(per_class);
+    }
+    notes.sort();
+
+    let (rate_rps, think_seconds, clients) = match workload.arrivals {
+        ArrivalProcess::Poisson { rate_rps } => {
+            assert!(
+                rate_rps > 0.0 && rate_rps.is_finite(),
+                "Poisson rate must be positive and finite"
+            );
+            (rate_rps, 0.0, 0)
+        }
+        ArrivalProcess::ClosedLoop {
+            clients,
+            think_seconds,
+        } => {
+            assert!(clients >= 1, "closed loop needs at least one client");
+            assert!(
+                think_seconds >= 0.0 && think_seconds.is_finite(),
+                "think time must be nonnegative and finite"
+            );
+            (0.0, think_seconds, clients)
+        }
+    };
+
+    let horizon = workload.horizon_seconds;
+    let mut sim = Sim {
+        q: EventQueue::new(),
+        pools: cfg
+            .pools
+            .iter()
+            .map(|p| PoolState {
+                total_gpus: p.gpus,
+                queue_cap: p.queue_cap,
+                free_gpus: p.gpus,
+                queue: VecDeque::new(),
+                buffers: BTreeMap::new(),
+                buffered: 0,
+                in_service: 0,
+                admitted: 0,
+                rejected: 0,
+                completed: 0,
+                busy_seconds: 0.0,
+                sojourns: Vec::new(),
+                slo_attained: 0,
+                degraded: 0,
+                igkw: 0,
+                queue_depth: Vec::new(),
+            })
+            .collect(),
+        prices: &prices,
+        max_batch,
+        window_seconds: batching.window_seconds(),
+        horizon,
+        slo: cfg.slo_seconds,
+        think_seconds,
+        lcg: Lcg::new(workload.seed),
+        weights: workload.weights(),
+        rate_rps,
+        offered: 0,
+        demand_seconds: 0.0,
+    };
+
+    // Seed the arrival stream.
+    match workload.arrivals {
+        ArrivalProcess::Poisson { .. } => {
+            let t0 = sim.lcg.next_exp(rate_rps);
+            if t0 <= horizon {
+                sim.q.schedule(t0, Ev::Arrival);
+            }
+        }
+        ArrivalProcess::ClosedLoop { .. } => {
+            for i in 0..clients {
+                sim.q.schedule(0.0, Ev::ClientArrival(i));
+            }
+        }
+    }
+    // Queue-depth sampling instants.
+    for s in 1..=cfg.queue_samples {
+        sim.q
+            .schedule(horizon * s as f64 / cfg.queue_samples as f64, Ev::Sample);
+    }
+
+    // The event loop proper.
+    while let Some((t, ev)) = sim.q.pop() {
+        if t > horizon {
+            // Horizon reached: everything still scheduled is residual.
+            // Time-ordering guarantees every ServiceDone left in the
+            // queue ends after the horizon, i.e. is exactly the set of
+            // groups still occupying a GPU.
+            let mut leftovers = vec![ev];
+            while let Some((_, later)) = sim.q.pop() {
+                leftovers.push(later);
+            }
+            for ev in leftovers {
+                if let Ev::ServiceDone { pool, start, .. } = ev {
+                    sim.pools[pool].busy_seconds += horizon - start;
+                }
+            }
+            break;
+        }
+        match ev {
+            Ev::Arrival => {
+                sim.admit(placement, workload, t, None);
+                let gap = sim.lcg.next_exp(sim.rate_rps);
+                if t + gap <= horizon {
+                    sim.q.schedule(t + gap, Ev::Arrival);
+                }
+            }
+            Ev::ClientArrival(i) => {
+                sim.admit(placement, workload, t, Some(i));
+            }
+            Ev::WindowClose { pool, class } => {
+                sim.flush_buffer(pool, class, t);
+            }
+            Ev::ServiceDone { pool, start, group } => {
+                let k = group.len();
+                let class = group.first().map_or(0, |r| r.class);
+                let price = &sim.prices[pool][class][k - 1];
+                let degraded = price.is_degraded();
+                let igkw = price.source == OracleSource::Igkw;
+                {
+                    let ps = &mut sim.pools[pool];
+                    ps.free_gpus += 1;
+                    ps.in_service -= k;
+                    ps.busy_seconds += t - start;
+                }
+                for req in group {
+                    let sojourn = t - req.arrival;
+                    let ps = &mut sim.pools[pool];
+                    ps.completed += 1;
+                    ps.sojourns.push(sojourn);
+                    if sojourn <= sim.slo {
+                        ps.slo_attained += 1;
+                    }
+                    if degraded {
+                        ps.degraded += 1;
+                    }
+                    if igkw {
+                        ps.igkw += 1;
+                    }
+                    if let Some(i) = req.client {
+                        let next = t + sim.think_seconds;
+                        if next <= horizon {
+                            sim.q.schedule(next, Ev::ClientArrival(i));
+                        }
+                    }
+                }
+                sim.try_dispatch(pool, t);
+            }
+            Ev::Sample => {
+                for ps in &mut sim.pools {
+                    ps.queue_depth
+                        .push((t, (ps.queue.len() + ps.buffered) as u64));
+                }
+            }
+        }
+    }
+
+    // Assemble the report.
+    let mut all_sojourns: Vec<f64> = Vec::new();
+    let mut pool_reports = Vec::with_capacity(cfg.pools.len());
+    for (i, (spec, ps)) in cfg.pools.iter().zip(sim.pools.iter()).enumerate() {
+        let in_flight = (ps.queue.len() + ps.buffered + ps.in_service) as u64;
+        all_sojourns.extend_from_slice(&ps.sojourns);
+        pool_reports.push(PoolReport {
+            name: spec.name.clone(),
+            gpu: spec.gpu.name.clone(),
+            gpus: spec.gpus,
+            admitted: ps.admitted,
+            rejected: ps.rejected,
+            completed: ps.completed,
+            in_flight_at_horizon: in_flight,
+            busy_seconds: ps.busy_seconds,
+            utilization: ps.busy_seconds / (spec.gpus as f64 * horizon),
+            queue_depth: ps.queue_depth.clone(),
+            p50_sojourn_seconds: sojourn_percentile(&ps.sojourns, 50.0),
+            p99_sojourn_seconds: sojourn_percentile(&ps.sojourns, 99.0),
+            slo_attained: ps.slo_attained,
+            degraded_requests: ps.degraded,
+            igkw_requests: ps.igkw,
+            class_seconds: prices[i].iter().map(|per_k| per_k[0].seconds).collect(),
+        });
+    }
+    let admitted: u64 = pool_reports.iter().map(|p| p.admitted).sum();
+    let rejected: u64 = pool_reports.iter().map(|p| p.rejected).sum();
+    let completed: u64 = pool_reports.iter().map(|p| p.completed).sum();
+    let in_flight: u64 = pool_reports.iter().map(|p| p.in_flight_at_horizon).sum();
+    let slo_attained: u64 = pool_reports.iter().map(|p| p.slo_attained).sum();
+    Ok(FleetReport {
+        placement: placement.name().to_string(),
+        batching: batching.name().to_string(),
+        seed: workload.seed,
+        horizon_seconds: horizon,
+        offered: sim.offered,
+        admitted,
+        rejected,
+        completed,
+        in_flight_at_horizon: in_flight,
+        service_demand_seconds: sim.demand_seconds,
+        p50_sojourn_seconds: sojourn_percentile(&all_sojourns, 50.0),
+        p99_sojourn_seconds: sojourn_percentile(&all_sojourns, 99.0),
+        slo_seconds: cfg.slo_seconds,
+        slo_attainment: if completed == 0 {
+            1.0
+        } else {
+            slo_attained as f64 / completed as f64
+        },
+        degradation_notes: notes,
+        pools: pool_reports,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{NoBatching, RoundRobin, TimeWindow};
+    use crate::workload::RequestClass;
+    use dnnperf_core::Workflow;
+    use dnnperf_data::collect::collect;
+    use std::sync::Arc;
+    use std::sync::OnceLock;
+
+    fn catalog() -> Vec<Network> {
+        vec![
+            dnnperf_dnn::zoo::mobilenet::mobilenet_v2(0.25, 0.5),
+            dnnperf_dnn::zoo::squeezenet::squeezenet(64, 64, 0.125),
+        ]
+    }
+
+    fn oracle() -> &'static PredictionOracle {
+        static ORACLE: OnceLock<PredictionOracle> = OnceLock::new();
+        ORACLE.get_or_init(|| {
+            let gpu = GpuSpec::by_name("A100").unwrap();
+            let ds = collect(&catalog(), std::slice::from_ref(&gpu), &[1, 4]);
+            let suite = Arc::new(Workflow::train(&ds, "A100").unwrap());
+            let mut oracle = PredictionOracle::new();
+            oracle.add_suite(suite);
+            oracle
+        })
+    }
+
+    fn spec(arrivals: ArrivalProcess, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            classes: vec![
+                RequestClass {
+                    tenant: "a".into(),
+                    network: 0,
+                    batch: 1,
+                    weight: 3.0,
+                },
+                RequestClass {
+                    tenant: "b".into(),
+                    network: 1,
+                    batch: 4,
+                    weight: 1.0,
+                },
+            ],
+            arrivals,
+            seed,
+            horizon_seconds: 0.5,
+        }
+    }
+
+    fn fleet(queue_cap: Option<usize>) -> FleetConfig {
+        FleetConfig {
+            pools: vec![PoolSpec {
+                name: "pool0".into(),
+                gpu: GpuSpec::by_name("A100").unwrap(),
+                gpus: 2,
+                queue_cap,
+            }],
+            slo_seconds: 0.05,
+            queue_samples: 4,
+        }
+    }
+
+    #[test]
+    fn poisson_run_conserves_and_replays_byte_identically() {
+        let wl = spec(ArrivalProcess::Poisson { rate_rps: 400.0 }, 9);
+        let run = || {
+            simulate_fleet(
+                &catalog(),
+                &wl,
+                &fleet(Some(8)),
+                &mut RoundRobin::default(),
+                &NoBatching,
+                oracle(),
+            )
+            .unwrap()
+        };
+        let a = run();
+        assert!(a.conservation_ok(), "{a:?}");
+        assert!(a.offered > 0);
+        assert_eq!(a.to_json(), run().to_json());
+    }
+
+    #[test]
+    fn closed_loop_keeps_at_most_clients_in_flight() {
+        let wl = spec(
+            ArrivalProcess::ClosedLoop {
+                clients: 3,
+                think_seconds: 0.001,
+            },
+            4,
+        );
+        let r = simulate_fleet(
+            &catalog(),
+            &wl,
+            &fleet(None),
+            &mut RoundRobin::default(),
+            &NoBatching,
+            oracle(),
+        )
+        .unwrap();
+        assert!(r.conservation_ok(), "{r:?}");
+        assert!(r.in_flight_at_horizon <= 3);
+        assert!(r.completed > 0);
+    }
+
+    #[test]
+    fn time_window_batching_coalesces_dispatches() {
+        let wl = spec(ArrivalProcess::Poisson { rate_rps: 2000.0 }, 2);
+        let plain = simulate_fleet(
+            &catalog(),
+            &wl,
+            &fleet(None),
+            &mut RoundRobin::default(),
+            &NoBatching,
+            oracle(),
+        )
+        .unwrap();
+        let batched = simulate_fleet(
+            &catalog(),
+            &wl,
+            &fleet(None),
+            &mut RoundRobin::default(),
+            &TimeWindow {
+                window_seconds: 0.005,
+                max_batch: 4,
+            },
+            oracle(),
+        )
+        .unwrap();
+        assert!(plain.conservation_ok());
+        assert!(batched.conservation_ok(), "{batched:?}");
+        // Identical arrivals either way (same seed, open loop).
+        assert_eq!(plain.offered, batched.offered);
+    }
+
+    #[test]
+    fn unpriceable_pool_is_a_typed_error() {
+        let wl = spec(ArrivalProcess::Poisson { rate_rps: 10.0 }, 1);
+        let mut cfg = fleet(None);
+        cfg.pools[0].gpu = GpuSpec::by_name("TITAN RTX").unwrap();
+        let err = simulate_fleet(
+            &catalog(),
+            &wl,
+            &cfg,
+            &mut RoundRobin::default(),
+            &NoBatching,
+            oracle(),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            PredictError::NoModelForGpu {
+                gpu: "TITAN RTX".into()
+            }
+        );
+    }
+}

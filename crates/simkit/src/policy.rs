@@ -1,0 +1,237 @@
+//! Pluggable placement and batching policies for the fleet simulator.
+//!
+//! Both traits are deliberately small and deterministic: a placement
+//! policy maps one request to a pool index given a snapshot of every
+//! pool's load; a batching policy is a pair of static knobs (group-size
+//! cap, accumulation window) the dispatcher interprets. Policies must
+//! not carry hidden randomness — determinism of the whole simulation
+//! (same seed ⇒ byte-identical report) depends on it.
+
+use crate::workload::RequestClass;
+
+/// A read-only snapshot of one pool's state at placement time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolView {
+    /// Index of the pool in the fleet configuration.
+    pub index: usize,
+    /// Requests waiting (dispatch queue plus batching buffers).
+    pub queued: usize,
+    /// Requests currently being served on the pool's GPUs.
+    pub in_service: usize,
+    /// GPUs currently idle.
+    pub free_gpus: usize,
+    /// Total GPUs in the pool.
+    pub total_gpus: usize,
+}
+
+/// Chooses the pool for each admitted request.
+pub trait PlacementPolicy {
+    /// A short stable name, recorded in the report.
+    fn name(&self) -> &'static str;
+
+    /// The pool index for `class` given the current `pools` snapshot.
+    /// Must return a valid index into `pools`; must be deterministic in
+    /// its inputs and internal state.
+    fn place(&mut self, class: &RequestClass, pools: &[PoolView]) -> usize;
+}
+
+/// Cycles through pools in order, ignoring load.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl PlacementPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(&mut self, _class: &RequestClass, pools: &[PoolView]) -> usize {
+        let i = self.next % pools.len();
+        self.next = (self.next + 1) % pools.len();
+        i
+    }
+}
+
+/// Picks the pool with the fewest requests queued or in service, ties
+/// broken by lowest index.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LeastLoaded;
+
+impl PlacementPolicy for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn place(&mut self, _class: &RequestClass, pools: &[PoolView]) -> usize {
+        let mut best = 0usize;
+        let mut best_load = usize::MAX;
+        for p in pools {
+            let load = p.queued + p.in_service;
+            if load < best_load {
+                best_load = load;
+                best = p.index;
+            }
+        }
+        best
+    }
+}
+
+/// Pins each network to one pool (`network % pools`), so a pool's plan
+/// working set stays small and batching buffers fill faster.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NetworkAffinity;
+
+impl PlacementPolicy for NetworkAffinity {
+    fn name(&self) -> &'static str {
+        "network-affinity"
+    }
+
+    fn place(&mut self, class: &RequestClass, pools: &[PoolView]) -> usize {
+        class.network % pools.len()
+    }
+}
+
+/// How the dispatcher may coalesce queued same-class requests into one
+/// GPU launch.
+pub trait BatchingPolicy {
+    /// A short stable name, recorded in the report.
+    fn name(&self) -> &'static str;
+
+    /// Most requests one dispatch may coalesce (≥ 1).
+    fn max_batch(&self) -> usize;
+
+    /// How long a first-in-buffer request may wait for companions before
+    /// the buffer is force-flushed. `0.0` means dispatch immediately.
+    fn window_seconds(&self) -> f64;
+}
+
+/// Every request dispatches alone, immediately.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoBatching;
+
+impl BatchingPolicy for NoBatching {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn max_batch(&self) -> usize {
+        1
+    }
+
+    fn window_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Opportunistic coalescing: no waiting, but a dispatch absorbs up to
+/// `max_batch` already-queued same-class requests.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeCap {
+    /// Most requests one dispatch may coalesce.
+    pub max_batch: usize,
+}
+
+impl BatchingPolicy for SizeCap {
+    fn name(&self) -> &'static str {
+        "size-cap"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.max_batch.max(1)
+    }
+
+    fn window_seconds(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Time-window accumulation: same-class requests buffer for up to
+/// `window_seconds`, flushing early when `max_batch` of them collect.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWindow {
+    /// Longest a request may sit in the accumulation buffer.
+    pub window_seconds: f64,
+    /// Flush the buffer early once this many requests collect.
+    pub max_batch: usize,
+}
+
+impl BatchingPolicy for TimeWindow {
+    fn name(&self) -> &'static str {
+        "time-window"
+    }
+
+    fn max_batch(&self) -> usize {
+        self.max_batch.max(1)
+    }
+
+    fn window_seconds(&self) -> f64 {
+        self.window_seconds.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn views(loads: &[(usize, usize)]) -> Vec<PoolView> {
+        loads
+            .iter()
+            .enumerate()
+            .map(|(index, &(queued, in_service))| PoolView {
+                index,
+                queued,
+                in_service,
+                free_gpus: 1,
+                total_gpus: 2,
+            })
+            .collect()
+    }
+
+    fn class(network: usize) -> RequestClass {
+        RequestClass {
+            tenant: "t".into(),
+            network,
+            batch: 1,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut rr = RoundRobin::default();
+        let v = views(&[(0, 0), (0, 0), (0, 0)]);
+        let got: Vec<usize> = (0..6).map(|_| rr.place(&class(0), &v)).collect();
+        assert_eq!(got, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_picks_minimum_with_low_index_ties() {
+        let mut ll = LeastLoaded;
+        assert_eq!(ll.place(&class(0), &views(&[(3, 1), (0, 2), (1, 0)])), 2);
+        assert_eq!(ll.place(&class(0), &views(&[(1, 1), (2, 0), (0, 2)])), 0);
+    }
+
+    #[test]
+    fn affinity_is_a_pure_function_of_network() {
+        let mut na = NetworkAffinity;
+        let v = views(&[(9, 9), (0, 0)]);
+        assert_eq!(na.place(&class(0), &v), 0);
+        assert_eq!(na.place(&class(1), &v), 1);
+        assert_eq!(na.place(&class(2), &v), 0);
+    }
+
+    #[test]
+    fn batching_knobs() {
+        assert_eq!(NoBatching.max_batch(), 1);
+        assert_eq!(NoBatching.window_seconds(), 0.0);
+        assert_eq!(SizeCap { max_batch: 4 }.max_batch(), 4);
+        assert_eq!(SizeCap { max_batch: 0 }.max_batch(), 1, "floored at 1");
+        let tw = TimeWindow {
+            window_seconds: 0.01,
+            max_batch: 8,
+        };
+        assert_eq!(tw.max_batch(), 8);
+        assert_eq!(tw.window_seconds(), 0.01);
+    }
+}

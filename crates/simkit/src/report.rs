@@ -1,0 +1,376 @@
+//! The fleet simulator's output: per-pool and fleet-wide accounting with
+//! a deterministic JSON encoding.
+//!
+//! Determinism is a feature here, not a nicety: the property suite (and
+//! the CI bench gate) asserts that the same seed produces a
+//! *byte-identical* [`FleetReport::to_json`], so every field is either
+//! an integer or an `f64` rendered through Rust's shortest-roundtrip
+//! `Display` — no locale, no wall clock, no map iteration order.
+
+use dnnperf_linreg::percentile;
+
+/// Accounting for one GPU pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolReport {
+    /// Pool name from the [`crate::fleet::PoolSpec`].
+    pub name: String,
+    /// GPU model serving the pool.
+    pub gpu: String,
+    /// Number of GPUs in the pool.
+    pub gpus: usize,
+    /// Requests placed on this pool (admitted).
+    pub admitted: u64,
+    /// Requests turned away at this pool's queue cap.
+    pub rejected: u64,
+    /// Requests that finished service before the horizon.
+    pub completed: u64,
+    /// Requests still queued, buffered, or in service at the horizon.
+    pub in_flight_at_horizon: u64,
+    /// GPU-seconds spent serving, truncated at the horizon.
+    pub busy_seconds: f64,
+    /// `busy_seconds / (gpus × horizon)`.
+    pub utilization: f64,
+    /// `(time, backlog)` samples at evenly spaced instants: requests
+    /// waiting in the dispatch queue plus batching buffers.
+    pub queue_depth: Vec<(f64, u64)>,
+    /// Median sojourn (arrival → completion) of completed requests.
+    pub p50_sojourn_seconds: f64,
+    /// 99th-percentile sojourn of completed requests.
+    pub p99_sojourn_seconds: f64,
+    /// Completed requests whose sojourn met the SLO.
+    pub slo_attained: u64,
+    /// Completed requests priced with at least one degradation note or
+    /// by the IGKW fallback.
+    pub degraded_requests: u64,
+    /// Completed requests priced by the IGKW fallback (no trained suite
+    /// for this pool's GPU).
+    pub igkw_requests: u64,
+    /// Standalone (group-of-1) predicted seconds per workload class on
+    /// this pool's GPU — the oracle outputs the simulator ran on,
+    /// exposed so tests can check bit-identity with the model stack.
+    pub class_seconds: Vec<f64>,
+}
+
+/// The full simulation outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetReport {
+    /// Placement policy name.
+    pub placement: String,
+    /// Batching policy name.
+    pub batching: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Simulation horizon in seconds.
+    pub horizon_seconds: f64,
+    /// Requests the workload offered before the horizon.
+    pub offered: u64,
+    /// Requests admitted to some pool.
+    pub admitted: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests completed before the horizon.
+    pub completed: u64,
+    /// Requests still in the system at the horizon.
+    pub in_flight_at_horizon: u64,
+    /// Sum over admitted requests of their standalone predicted service
+    /// time on their assigned pool (the work the fleet accepted,
+    /// independent of how batching coalesced it).
+    pub service_demand_seconds: f64,
+    /// Median sojourn across all completed requests.
+    pub p50_sojourn_seconds: f64,
+    /// 99th-percentile sojourn across all completed requests.
+    pub p99_sojourn_seconds: f64,
+    /// The SLO the attainment figures are measured against.
+    pub slo_seconds: f64,
+    /// Fraction of completed requests within the SLO (1.0 when nothing
+    /// completed).
+    pub slo_attainment: f64,
+    /// Unique degradation-ladder notes encountered while pricing, sorted.
+    pub degradation_notes: Vec<String>,
+    /// Per-pool accounting, in configuration order.
+    pub pools: Vec<PoolReport>,
+}
+
+impl FleetReport {
+    /// The conservation invariant: every offered request is admitted or
+    /// rejected, and every admitted request is completed or still in
+    /// flight at the horizon — fleet-wide and per pool.
+    pub fn conservation_ok(&self) -> bool {
+        let fleet = self.offered == self.admitted + self.rejected
+            && self.admitted == self.completed + self.in_flight_at_horizon;
+        let pools = self
+            .pools
+            .iter()
+            .all(|p| p.admitted == p.completed + p.in_flight_at_horizon);
+        let sums = self.admitted == self.pools.iter().map(|p| p.admitted).sum::<u64>()
+            && self.rejected == self.pools.iter().map(|p| p.rejected).sum::<u64>()
+            && self.completed == self.pools.iter().map(|p| p.completed).sum::<u64>();
+        fleet && pools && sums
+    }
+
+    /// A deterministic JSON rendering: identical reports produce
+    /// byte-identical documents.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dnnperf-fleet-report\",\n");
+        kv_str(&mut out, 2, "placement", &self.placement, false);
+        kv_str(&mut out, 2, "batching", &self.batching, false);
+        kv(&mut out, 2, "seed", &self.seed.to_string(), false);
+        kv_f64(&mut out, 2, "horizon_seconds", self.horizon_seconds, false);
+        kv(&mut out, 2, "offered", &self.offered.to_string(), false);
+        kv(&mut out, 2, "admitted", &self.admitted.to_string(), false);
+        kv(&mut out, 2, "rejected", &self.rejected.to_string(), false);
+        kv(&mut out, 2, "completed", &self.completed.to_string(), false);
+        kv(
+            &mut out,
+            2,
+            "in_flight_at_horizon",
+            &self.in_flight_at_horizon.to_string(),
+            false,
+        );
+        kv_f64(
+            &mut out,
+            2,
+            "service_demand_seconds",
+            self.service_demand_seconds,
+            false,
+        );
+        kv_f64(
+            &mut out,
+            2,
+            "p50_sojourn_seconds",
+            self.p50_sojourn_seconds,
+            false,
+        );
+        kv_f64(
+            &mut out,
+            2,
+            "p99_sojourn_seconds",
+            self.p99_sojourn_seconds,
+            false,
+        );
+        kv_f64(&mut out, 2, "slo_seconds", self.slo_seconds, false);
+        kv_f64(&mut out, 2, "slo_attainment", self.slo_attainment, false);
+        out.push_str("  \"degradation_notes\": [");
+        for (i, note) in self.degradation_notes.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            escape_into(&mut out, note);
+            out.push('"');
+        }
+        out.push_str("],\n");
+        out.push_str("  \"pools\": [\n");
+        for (i, p) in self.pools.iter().enumerate() {
+            p.to_json_into(&mut out, i + 1 == self.pools.len());
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl PoolReport {
+    fn to_json_into(&self, out: &mut String, last: bool) {
+        out.push_str("    {\n");
+        kv_str(out, 6, "name", &self.name, false);
+        kv_str(out, 6, "gpu", &self.gpu, false);
+        kv(out, 6, "gpus", &self.gpus.to_string(), false);
+        kv(out, 6, "admitted", &self.admitted.to_string(), false);
+        kv(out, 6, "rejected", &self.rejected.to_string(), false);
+        kv(out, 6, "completed", &self.completed.to_string(), false);
+        kv(
+            out,
+            6,
+            "in_flight_at_horizon",
+            &self.in_flight_at_horizon.to_string(),
+            false,
+        );
+        kv_f64(out, 6, "busy_seconds", self.busy_seconds, false);
+        kv_f64(out, 6, "utilization", self.utilization, false);
+        out.push_str("      \"queue_depth\": [");
+        for (i, (t, d)) in self.queue_depth.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("[{t}, {d}]"));
+        }
+        out.push_str("],\n");
+        kv_f64(
+            out,
+            6,
+            "p50_sojourn_seconds",
+            self.p50_sojourn_seconds,
+            false,
+        );
+        kv_f64(
+            out,
+            6,
+            "p99_sojourn_seconds",
+            self.p99_sojourn_seconds,
+            false,
+        );
+        kv(
+            out,
+            6,
+            "slo_attained",
+            &self.slo_attained.to_string(),
+            false,
+        );
+        kv(
+            out,
+            6,
+            "degraded_requests",
+            &self.degraded_requests.to_string(),
+            false,
+        );
+        kv(
+            out,
+            6,
+            "igkw_requests",
+            &self.igkw_requests.to_string(),
+            false,
+        );
+        out.push_str("      \"class_seconds\": [");
+        for (i, s) in self.class_seconds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("{s}"));
+        }
+        out.push_str("]\n");
+        out.push_str(if last { "    }\n" } else { "    },\n" });
+    }
+}
+
+/// Sojourn percentile over (unsorted) samples; 0.0 when empty so reports
+/// never carry NaN.
+pub(crate) fn sojourn_percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        0.0
+    } else {
+        percentile(samples, p)
+    }
+}
+
+fn kv(out: &mut String, indent: usize, key: &str, value: &str, last: bool) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\": ");
+    out.push_str(value);
+    out.push_str(if last { "\n" } else { ",\n" });
+}
+
+fn kv_f64(out: &mut String, indent: usize, key: &str, value: f64, last: bool) {
+    kv(out, indent, key, &format!("{value}"), last);
+}
+
+fn kv_str(out: &mut String, indent: usize, key: &str, value: &str, last: bool) {
+    let mut quoted = String::with_capacity(value.len() + 2);
+    quoted.push('"');
+    escape_into(&mut quoted, value);
+    quoted.push('"');
+    kv(out, indent, key, &quoted, last);
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(admitted: u64, completed: u64, in_flight: u64) -> PoolReport {
+        PoolReport {
+            name: "p".into(),
+            gpu: "A100".into(),
+            gpus: 2,
+            admitted,
+            rejected: 0,
+            completed,
+            in_flight_at_horizon: in_flight,
+            busy_seconds: 1.5,
+            utilization: 0.375,
+            queue_depth: vec![(0.5, 1), (1.0, 0)],
+            p50_sojourn_seconds: 0.01,
+            p99_sojourn_seconds: 0.02,
+            slo_attained: completed,
+            degraded_requests: 0,
+            igkw_requests: 0,
+            class_seconds: vec![0.001, 0.002],
+        }
+    }
+
+    fn report() -> FleetReport {
+        FleetReport {
+            placement: "round-robin".into(),
+            batching: "none".into(),
+            seed: 1,
+            horizon_seconds: 2.0,
+            offered: 10,
+            admitted: 9,
+            rejected: 1,
+            completed: 7,
+            in_flight_at_horizon: 2,
+            service_demand_seconds: 0.05,
+            p50_sojourn_seconds: 0.01,
+            p99_sojourn_seconds: 0.02,
+            slo_seconds: 0.1,
+            slo_attainment: 1.0,
+            degradation_notes: vec![],
+            pools: vec![{
+                let mut p = pool(9, 7, 2);
+                p.rejected = 1;
+                p
+            }],
+        }
+    }
+
+    #[test]
+    fn conservation_holds_and_breaks() {
+        let r = report();
+        assert!(r.conservation_ok());
+        let mut bad = report();
+        bad.completed = 6;
+        assert!(!bad.conservation_ok());
+        let mut bad = report();
+        bad.pools[0].in_flight_at_horizon = 3;
+        assert!(!bad.conservation_ok());
+    }
+
+    #[test]
+    fn json_is_deterministic_and_parsable_by_the_gate_reader() {
+        let a = report().to_json();
+        let b = report().to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"offered\": 10"));
+        assert!(a.contains("\"queue_depth\": [[0.5, 1], [1, 0]]"));
+        assert!(a.ends_with("}\n"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut r = report();
+        r.placement = "a\"b\\c".into();
+        assert!(r.to_json().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn empty_sojourns_do_not_produce_nan() {
+        assert_eq!(sojourn_percentile(&[], 99.0), 0.0);
+        assert_eq!(sojourn_percentile(&[2.0, 1.0], 50.0), 1.5);
+    }
+}

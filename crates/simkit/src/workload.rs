@@ -1,0 +1,212 @@
+//! Deterministic workload generation for the fleet simulator.
+//!
+//! A workload is a mix of request *classes* (network × batch × tenant,
+//! weighted) under an [`ArrivalProcess`] — open-loop Poisson or
+//! closed-loop clients with think time. All randomness comes from one
+//! seeded [`Lcg`], so the same [`WorkloadSpec`] always generates the same
+//! request stream, byte for byte.
+//!
+//! The Poisson stream has a property the monotonicity suite relies on:
+//! each arrival consumes a *fixed* number of LCG draws (one for the
+//! class, one for the exponential gap), so scaling `rate_rps` with the
+//! same seed replays the identical class sequence on a compressed time
+//! axis. Offered-load sweeps therefore compare the *same* requests, just
+//! packed tighter.
+
+/// A 64-bit linear congruential generator (Knuth's MMIX constants).
+/// Deterministic, `Send`, and cheap — the only randomness source the
+/// simulator is allowed to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lcg {
+    state: u64,
+}
+
+impl Lcg {
+    /// A generator seeded with `seed` (any value, including 0).
+    pub fn new(seed: u64) -> Self {
+        // One warm-up step decorrelates small adjacent seeds.
+        let mut lcg = Lcg {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        lcg.next_u64();
+        lcg
+    }
+
+    /// The next raw 31 bits of state (upper bits, which cycle longest).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 33
+    }
+
+    /// A uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        self.next_u64() as f64 / (1u64 << 31) as f64
+    }
+
+    /// An exponential draw with the given rate (inverse-CDF method).
+    /// Consumes exactly one uniform draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not strictly positive and finite.
+    pub fn next_exp(&mut self, rate: f64) -> f64 {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        let u = self.next_f64();
+        -(1.0 - u).ln() / rate
+    }
+
+    /// Picks an index proportionally to `weights`. Consumes exactly one
+    /// uniform draw regardless of the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or any weight is negative, NaN, or
+    /// the total is zero.
+    pub fn pick_weighted(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "pick_weighted needs at least 1 weight");
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "weights must sum to a positive finite total, got {total}"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            assert!(*w >= 0.0, "weight {i} is negative: {w}");
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+}
+
+/// One request class in the mix: which network (an index into the
+/// caller's catalog), at what batch size, for which tenant, and how much
+/// of the traffic it makes up.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestClass {
+    /// Tenant label, carried through to reports (and usable by affinity
+    /// placement policies).
+    pub tenant: String,
+    /// Index of the network in the catalog passed to the simulator.
+    pub network: usize,
+    /// Inference batch size of one request of this class.
+    pub batch: usize,
+    /// Relative traffic weight (any positive scale).
+    pub weight: f64,
+}
+
+/// How requests arrive.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Open loop: exponential inter-arrival gaps at `rate_rps` requests
+    /// per second, independent of system state.
+    Poisson {
+        /// Mean offered load in requests per second.
+        rate_rps: f64,
+    },
+    /// Closed loop: `clients` clients that each keep one request in the
+    /// system, waiting `think_seconds` after a completion (or rejection)
+    /// before issuing the next.
+    ClosedLoop {
+        /// Number of concurrent clients.
+        clients: usize,
+        /// Think time between a client's completion and its next request.
+        think_seconds: f64,
+    },
+}
+
+/// A complete, reproducible workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// The request mix.
+    pub classes: Vec<RequestClass>,
+    /// The arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Seed of the [`Lcg`] driving class selection and arrival gaps.
+    pub seed: u64,
+    /// Arrivals stop at this time; the simulation also stops here, with
+    /// whatever is still queued or in service reported as in flight.
+    pub horizon_seconds: f64,
+}
+
+impl WorkloadSpec {
+    /// The class weights, in class order (for [`Lcg::pick_weighted`]).
+    pub fn weights(&self) -> Vec<f64> {
+        self.classes.iter().map(|c| c.weight).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_per_seed() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Lcg::new(43);
+        let same: usize = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 4, "different seeds should diverge, {same}/64 equal");
+    }
+
+    #[test]
+    fn uniform_draws_live_in_unit_interval() {
+        let mut lcg = Lcg::new(7);
+        for _ in 0..1000 {
+            let u = lcg.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_tracks_rate() {
+        let mut lcg = Lcg::new(11);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| lcg.next_exp(4.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn scaling_rate_compresses_the_same_gap_sequence() {
+        let mut slow = Lcg::new(3);
+        let mut fast = Lcg::new(3);
+        for _ in 0..100 {
+            let g1 = slow.next_exp(10.0);
+            let g2 = fast.next_exp(20.0);
+            assert!((g1 / g2 - 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut lcg = Lcg::new(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[lcg.pick_weighted(&[1.0, 2.0, 1.0])] += 1;
+        }
+        let mid = counts[1] as f64 / 30_000.0;
+        assert!((mid - 0.5).abs() < 0.02, "{counts:?}");
+        // Zero-weight classes are never picked.
+        let mut lcg = Lcg::new(5);
+        for _ in 0..1000 {
+            assert_ne!(lcg.pick_weighted(&[1.0, 0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1 weight")]
+    fn empty_weights_panic() {
+        Lcg::new(0).pick_weighted(&[]);
+    }
+}

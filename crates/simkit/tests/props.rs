@@ -22,6 +22,109 @@ props! {
     }
 
     #[test]
+    fn simultaneous_events_pop_in_insertion_order(
+        base in 0.0..1e3f64,
+        dupes in 2usize..32,
+        noise in vec(0.0..1e3f64, 0..32),
+    ) {
+        // Interleave a run of same-time events with noise at other times;
+        // the same-time run must come back FIFO.
+        let mut q = EventQueue::new();
+        for (i, &t) in noise.iter().enumerate() {
+            q.schedule(t, usize::MAX - i);
+        }
+        for i in 0..dupes {
+            q.schedule(base, i);
+        }
+        let mut tied = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            if t == base && e < usize::MAX - noise.len() {
+                tied.push(e);
+            }
+        }
+        prop_assert_eq!(tied, (0..dupes).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_time_travel_under_interleaved_schedule_and_pop(
+        script in vec((0.0..10.0f64, 0usize..3), 1..120),
+    ) {
+        // Replay a random schedule/pop script: every schedule lands at
+        // `now + delta` (always legal), every popped time and the clock
+        // itself must be nondecreasing.
+        let mut q = EventQueue::new();
+        let mut last = 0.0f64;
+        for &(delta, pops) in &script {
+            q.schedule(q.now() + delta, ());
+            for _ in 0..pops {
+                if let Some((t, ())) = q.pop() {
+                    prop_assert!(t >= last, "time travel: {t} after {last}");
+                    prop_assert_eq!(q.now(), t);
+                    last = t;
+                }
+            }
+        }
+        while let Some((t, ())) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duplicate_time_keys_all_surface_exactly_once(
+        time in 0.0..100.0f64,
+        n in 1usize..64,
+    ) {
+        // A heap with n entries under one key must yield n pops, FIFO.
+        let mut q = EventQueue::new();
+        for i in 0..n {
+            q.schedule(time, i);
+        }
+        prop_assert_eq!(q.len(), n);
+        let mut got = Vec::new();
+        while let Some((t, e)) = q.pop() {
+            prop_assert_eq!(t, time);
+            got.push(e);
+        }
+        prop_assert_eq!(got, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancellation_removes_exactly_the_cancelled_events(
+        times in vec(0.0..1e3f64, 1..100),
+        stride in 2usize..5,
+    ) {
+        // Cancel every `stride`-th event; the survivors (and only they)
+        // pop, in time order, and `len` tracks the survivor count.
+        let mut q = EventQueue::new();
+        let tokens: Vec<_> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (i, q.schedule_cancellable(t, i)))
+            .collect();
+        let mut live = 0usize;
+        for &(i, tok) in &tokens {
+            if i % stride == 0 {
+                prop_assert!(q.cancel(tok));
+                prop_assert!(!q.cancel(tok), "double cancel must fail");
+            } else {
+                live += 1;
+            }
+        }
+        prop_assert_eq!(q.len(), live);
+        let mut last = f64::NEG_INFINITY;
+        let mut popped = 0usize;
+        while let Some((t, e)) = q.pop() {
+            prop_assert!(e % stride != 0, "cancelled event {e} surfaced");
+            prop_assert!(t >= last);
+            last = t;
+            popped += 1;
+        }
+        prop_assert_eq!(popped, live);
+    }
+
+    #[test]
     fn link_transfers_never_overlap(requests in vec((0.0..100.0f64, 0u64..1 << 30), 1..50)) {
         let mut link = Link::new(8.0);
         let mut sorted = requests.clone();

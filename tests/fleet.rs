@@ -1,0 +1,443 @@
+//! Conformance suite for the fleet what-if engine (ROADMAP item 5).
+//!
+//! The fleet simulator's value is that its answers can be *trusted*:
+//! a capacity-planning sweep is only as good as the invariants behind
+//! it. This suite pins the contract down:
+//!
+//! * **Conservation** — for every placement × batching × arrival
+//!   process × seed combination, every offered request is accounted for:
+//!   admitted or rejected, and every admitted request completed or in
+//!   flight at the horizon.
+//! * **Determinism** — the same seed yields a byte-identical
+//!   [`FleetReport`] JSON document, run to run and across training
+//!   thread counts (training is byte-identical at any parallelism, so
+//!   everything downstream of the trained suites must be too).
+//! * **Monotonicity** — offered load up ⇒ p99 sojourn non-decreasing
+//!   under FIFO, on the same compressed arrival sequence.
+//! * **Policy-independence of demand** — on homogeneous pools the total
+//!   admitted service demand is a property of the workload, not of the
+//!   placement or batching policy.
+//! * **Oracle fidelity** — service times and degradation notes that
+//!   reach the report are bit-identical to what the model stack says
+//!   directly ([`Workflow::predict_graceful`], `IgkwModel`), including
+//!   the IGKW fallback for a never-profiled GPU pool.
+
+use dnnperf::data::collect::collect;
+use dnnperf::dnn::{zoo, Network};
+use dnnperf::gpu::GpuSpec;
+use dnnperf::model::{IgkwModel, PredictionOracle, TrainOptions, Workflow};
+use dnnperf::simkit::{
+    simulate_fleet, ArrivalProcess, BatchingPolicy, FleetConfig, LeastLoaded, NetworkAffinity,
+    NoBatching, PlacementPolicy, PoolSpec, RequestClass, RoundRobin, SizeCap, TimeWindow,
+    WorkloadSpec,
+};
+use std::sync::{Arc, OnceLock};
+
+/// Small, cheap-to-train networks so the suite stays fast.
+fn small_nets() -> Vec<Network> {
+    vec![
+        zoo::mobilenet::mobilenet_v2(0.25, 1.0),
+        zoo::mobilenet::mobilenet_v2(0.5, 1.5),
+        zoo::squeezenet::squeezenet(64, 32, 0.125),
+    ]
+}
+
+fn train_suite(gpu: &str) -> Arc<Workflow> {
+    let spec = GpuSpec::by_name(gpu).unwrap();
+    let ds = collect(&small_nets(), &[spec], &[1, 8]);
+    Arc::new(Workflow::train(&ds, gpu).unwrap())
+}
+
+/// One oracle covering an A100 suite and a V100 suite, shared across
+/// tests (suites memoize their own compiled plans).
+fn oracle() -> &'static PredictionOracle {
+    static ORACLE: OnceLock<PredictionOracle> = OnceLock::new();
+    ORACLE.get_or_init(|| {
+        let mut o = PredictionOracle::new();
+        o.add_suite(train_suite("A100"));
+        o.add_suite(train_suite("V100"));
+        o
+    })
+}
+
+fn classes() -> Vec<RequestClass> {
+    vec![
+        RequestClass {
+            tenant: "imaging".into(),
+            network: 0,
+            batch: 1,
+            weight: 3.0,
+        },
+        RequestClass {
+            tenant: "imaging".into(),
+            network: 1,
+            batch: 8,
+            weight: 1.0,
+        },
+        RequestClass {
+            tenant: "edge".into(),
+            network: 2,
+            batch: 1,
+            weight: 2.0,
+        },
+    ]
+}
+
+fn workload(arrivals: ArrivalProcess, seed: u64) -> WorkloadSpec {
+    WorkloadSpec {
+        classes: classes(),
+        arrivals,
+        seed,
+        horizon_seconds: 0.3,
+    }
+}
+
+fn two_pool_fleet(queue_cap: Option<usize>) -> FleetConfig {
+    FleetConfig {
+        pools: vec![
+            PoolSpec {
+                name: "a100-pool".into(),
+                gpu: GpuSpec::by_name("A100").unwrap(),
+                gpus: 2,
+                queue_cap,
+            },
+            PoolSpec {
+                name: "v100-pool".into(),
+                gpu: GpuSpec::by_name("V100").unwrap(),
+                gpus: 1,
+                queue_cap,
+            },
+        ],
+        slo_seconds: 0.02,
+        queue_samples: 5,
+    }
+}
+
+fn placements() -> Vec<Box<dyn PlacementPolicy>> {
+    vec![
+        Box::new(RoundRobin::default()),
+        Box::new(LeastLoaded),
+        Box::new(NetworkAffinity),
+    ]
+}
+
+fn batchings() -> Vec<Box<dyn BatchingPolicy>> {
+    vec![
+        Box::new(NoBatching),
+        Box::new(SizeCap { max_batch: 3 }),
+        Box::new(TimeWindow {
+            window_seconds: 0.002,
+            max_batch: 4,
+        }),
+    ]
+}
+
+/// The headline property: conservation and byte-identical replay for
+/// every policy × batching × arrival × seed combination.
+#[test]
+fn conservation_and_replay_hold_for_every_policy_combination() {
+    let oracle = oracle();
+    let catalog = small_nets();
+    let arrival_kinds = [
+        ArrivalProcess::Poisson { rate_rps: 500.0 },
+        ArrivalProcess::ClosedLoop {
+            clients: 5,
+            think_seconds: 0.001,
+        },
+    ];
+    for seed in [1u64, 7, 42] {
+        for arrivals in arrival_kinds {
+            for (pi, _) in placements().iter().enumerate() {
+                for (bi, _) in batchings().iter().enumerate() {
+                    let wl = workload(arrivals, seed);
+                    let cfg = two_pool_fleet(Some(6));
+                    let run = || {
+                        simulate_fleet(
+                            &catalog,
+                            &wl,
+                            &cfg,
+                            placements()[pi].as_mut(),
+                            batchings()[bi].as_ref(),
+                            oracle,
+                        )
+                        .unwrap()
+                    };
+                    let a = run();
+                    let b = run();
+                    assert!(
+                        a.conservation_ok(),
+                        "conservation violated: seed {seed} placement {} batching {}\n{a:?}",
+                        a.placement,
+                        a.batching
+                    );
+                    assert!(a.offered > 0, "workload offered nothing: {a:?}");
+                    assert_eq!(
+                        a.to_json(),
+                        b.to_json(),
+                        "replay diverged: seed {seed} placement {} batching {}",
+                        a.placement,
+                        a.batching
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Training parallelism must not leak into simulation output: suites
+/// trained serially and with 8 threads drive byte-identical reports.
+#[test]
+fn reports_are_byte_identical_across_training_thread_counts() {
+    let catalog = small_nets();
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&catalog, std::slice::from_ref(&gpu), &[1, 8]);
+    let report_for = |opts: &TrainOptions| {
+        let suite = Arc::new(Workflow::train_opts(&ds, "A100", opts).unwrap());
+        let mut o = PredictionOracle::new();
+        o.add_suite(suite);
+        let wl = workload(ArrivalProcess::Poisson { rate_rps: 400.0 }, 11);
+        let cfg = FleetConfig {
+            pools: vec![PoolSpec {
+                name: "a100".into(),
+                gpu: gpu.clone(),
+                gpus: 2,
+                queue_cap: Some(8),
+            }],
+            slo_seconds: 0.02,
+            queue_samples: 4,
+        };
+        simulate_fleet(
+            &catalog,
+            &wl,
+            &cfg,
+            &mut RoundRobin::default(),
+            &SizeCap { max_batch: 2 },
+            &o,
+        )
+        .unwrap()
+        .to_json()
+    };
+    let serial = report_for(&TrainOptions::serial());
+    let parallel = report_for(&TrainOptions::with_threads(8));
+    assert_eq!(serial, parallel);
+}
+
+/// Offered load up ⇒ p99 sojourn non-decreasing under FIFO. One GPU, no
+/// batching, unbounded queue: the same seed replays the identical class
+/// sequence on a compressed time axis, so this is a sample-wise
+/// comparison, not a statistical one.
+#[test]
+fn p99_sojourn_is_monotone_in_offered_load_under_fifo() {
+    let oracle = oracle();
+    let catalog = small_nets();
+    let cfg = FleetConfig {
+        pools: vec![PoolSpec {
+            name: "a100".into(),
+            gpu: GpuSpec::by_name("A100").unwrap(),
+            gpus: 1,
+            queue_cap: None,
+        }],
+        slo_seconds: 0.02,
+        queue_samples: 4,
+    };
+    let mut last_p99 = 0.0f64;
+    let mut p99s = Vec::new();
+    for rate in [50.0, 150.0, 450.0, 1350.0] {
+        let wl = workload(ArrivalProcess::Poisson { rate_rps: rate }, 21);
+        let r = simulate_fleet(
+            &catalog,
+            &wl,
+            &cfg,
+            &mut RoundRobin::default(),
+            &NoBatching,
+            oracle,
+        )
+        .unwrap();
+        assert!(r.conservation_ok());
+        assert!(
+            r.p99_sojourn_seconds >= last_p99,
+            "p99 fell when load rose: {p99s:?} then {} at {rate} rps",
+            r.p99_sojourn_seconds
+        );
+        last_p99 = r.p99_sojourn_seconds;
+        p99s.push(r.p99_sojourn_seconds);
+    }
+    assert!(
+        p99s.last().unwrap() > p99s.first().unwrap(),
+        "overload never showed up in the tail: {p99s:?}"
+    );
+}
+
+/// On homogeneous pools with unbounded queues and open-loop arrivals,
+/// total admitted service demand is a pure property of the workload:
+/// identical to the bit across every placement × batching combination.
+#[test]
+fn service_demand_is_policy_independent_on_homogeneous_pools() {
+    let oracle = oracle();
+    let catalog = small_nets();
+    let cfg = FleetConfig {
+        pools: (0..2)
+            .map(|i| PoolSpec {
+                name: format!("a100-{i}"),
+                gpu: GpuSpec::by_name("A100").unwrap(),
+                gpus: 1,
+                queue_cap: None,
+            })
+            .collect(),
+        slo_seconds: 0.02,
+        queue_samples: 4,
+    };
+    let wl = workload(ArrivalProcess::Poisson { rate_rps: 600.0 }, 5);
+    let mut demands = Vec::new();
+    let mut offereds = Vec::new();
+    for (pi, _) in placements().iter().enumerate() {
+        for (bi, _) in batchings().iter().enumerate() {
+            let r = simulate_fleet(
+                &catalog,
+                &wl,
+                &cfg,
+                placements()[pi].as_mut(),
+                batchings()[bi].as_ref(),
+                oracle,
+            )
+            .unwrap();
+            assert!(r.conservation_ok());
+            assert_eq!(r.rejected, 0, "unbounded queues must admit everything");
+            demands.push(r.service_demand_seconds.to_bits());
+            offereds.push(r.offered);
+        }
+    }
+    assert!(
+        demands.windows(2).all(|w| w[0] == w[1]),
+        "service demand varied across policies: {demands:?}"
+    );
+    assert!(offereds.windows(2).all(|w| w[0] == w[1]));
+}
+
+/// Satellite: degradation notes must flow through the fleet path
+/// unchanged. A suite trained on VGG only prices ResNet through every
+/// ladder rung; the fleet report's per-class seconds and note strings
+/// must bit-match `Workflow::predict_graceful` directly.
+#[test]
+fn degradation_notes_reach_the_report_bit_identically() {
+    let vgg = vec![zoo::vgg::vgg11(), zoo::vgg::vgg13(), zoo::vgg::vgg16()];
+    let gpu = GpuSpec::by_name("A100").unwrap();
+    let ds = collect(&vgg, std::slice::from_ref(&gpu), &[8]);
+    let suite = Arc::new(Workflow::train(&ds, "A100").unwrap());
+    let mut o = PredictionOracle::new();
+    o.add_suite(Arc::clone(&suite));
+
+    let catalog = vec![zoo::resnet::resnet18()];
+    let wl = WorkloadSpec {
+        classes: vec![RequestClass {
+            tenant: "probe".into(),
+            network: 0,
+            batch: 8,
+            weight: 1.0,
+        }],
+        arrivals: ArrivalProcess::Poisson { rate_rps: 50.0 },
+        seed: 3,
+        horizon_seconds: 0.3,
+    };
+    let cfg = FleetConfig {
+        pools: vec![PoolSpec {
+            name: "a100".into(),
+            gpu,
+            gpus: 1,
+            queue_cap: None,
+        }],
+        slo_seconds: 0.05,
+        queue_samples: 2,
+    };
+    let r = simulate_fleet(
+        &catalog,
+        &wl,
+        &cfg,
+        &mut RoundRobin::default(),
+        &NoBatching,
+        &o,
+    )
+    .unwrap();
+
+    let direct = suite.predict_graceful(&catalog[0], 8).unwrap();
+    assert!(!direct.notes.is_empty(), "probe must actually degrade");
+    assert_eq!(
+        r.pools[0].class_seconds[0].to_bits(),
+        direct.seconds.to_bits(),
+        "fleet-path seconds diverged from predict_graceful"
+    );
+    let mut want_notes: Vec<String> = direct.notes.iter().map(|n| n.to_string()).collect();
+    want_notes.sort();
+    want_notes.dedup();
+    assert_eq!(r.degradation_notes, want_notes);
+    assert!(r.completed > 0);
+    assert_eq!(
+        r.pools[0].degraded_requests, r.pools[0].completed,
+        "every completed request leaned on the ladder"
+    );
+    assert_eq!(r.pools[0].igkw_requests, 0);
+}
+
+/// A pool of a never-profiled GPU is priced by the IGKW fallback, is
+/// flagged as such per request, and its per-class seconds bit-match the
+/// IGKW model directly.
+#[test]
+fn igkw_fallback_pool_is_priced_and_flagged() {
+    let nets = small_nets();
+    let train_gpus = [
+        GpuSpec::by_name("A100").unwrap(),
+        GpuSpec::by_name("A40").unwrap(),
+        GpuSpec::by_name("GTX 1080 Ti").unwrap(),
+    ];
+    let ds = collect(&nets, &train_gpus, &[1, 8]);
+    let igkw = IgkwModel::train(&ds, &train_gpus).unwrap();
+    let mut o = PredictionOracle::new();
+    o.add_suite(train_suite("A100"));
+    o.set_igkw(igkw.clone());
+
+    let titan = GpuSpec::by_name("TITAN RTX").unwrap();
+    let wl = workload(ArrivalProcess::Poisson { rate_rps: 300.0 }, 13);
+    let cfg = FleetConfig {
+        pools: vec![
+            PoolSpec {
+                name: "a100".into(),
+                gpu: GpuSpec::by_name("A100").unwrap(),
+                gpus: 1,
+                queue_cap: None,
+            },
+            PoolSpec {
+                name: "titan".into(),
+                gpu: titan.clone(),
+                gpus: 1,
+                queue_cap: None,
+            },
+        ],
+        slo_seconds: 0.05,
+        queue_samples: 2,
+    };
+    let r = simulate_fleet(
+        &nets,
+        &wl,
+        &cfg,
+        &mut RoundRobin::default(),
+        &NoBatching,
+        &o,
+    )
+    .unwrap();
+    assert!(r.conservation_ok());
+    // The trained pool never reports IGKW pricing; the unprofiled pool
+    // reports it for every completed request.
+    assert_eq!(r.pools[0].igkw_requests, 0);
+    assert!(r.pools[1].completed > 0);
+    assert_eq!(r.pools[1].igkw_requests, r.pools[1].completed);
+    for (ci, class) in classes().iter().enumerate() {
+        let want = igkw
+            .predict_network_on(&nets[class.network], class.batch, &titan)
+            .unwrap();
+        assert_eq!(
+            r.pools[1].class_seconds[ci].to_bits(),
+            want.to_bits(),
+            "IGKW fleet-path seconds diverged for class {ci}"
+        );
+    }
+}
