@@ -39,6 +39,14 @@ echo "==> serving conformance (forced multi-threading)"
 cargo test -q --offline -p dnnperf-serve --test concurrency -- --test-threads 4
 cargo test -q --offline -p dnnperf-serve --test server -- --test-threads 4
 
+echo "==> serving robustness conformance (forced multi-threading)"
+# The failure-model contract: deadlines shed/sweep with typed answers,
+# panicking workers never hang a waiter or shrink the pool, transport
+# faults (torn frames, corruption, slowloris, mid-request disconnects)
+# fail loudly or recover transparently, and shutdown under load leaves
+# every request terminal with zero leaked worker threads.
+cargo test -q --offline -p dnnperf-serve --test robustness -- --test-threads 4
+
 echo "==> fleet simulation conformance (forced multi-threading)"
 # The fleet what-if engine's contract: request conservation for every
 # placement × batching × arrival × seed combination, byte-identical
@@ -68,6 +76,16 @@ echo "==> serving load gate (smoke profile vs committed BENCH_6.json)"
 # client-observed errors, p99 latency within 6x of the committed
 # baseline, and throughput above baseline/6 (machine-relative).
 cargo run --release --offline -q -p dnnperf-bench --bin loadgen -- --smoke --check BENCH_6.json
+
+echo "==> chaos soak gate (deterministic fault injection vs committed BENCH_8.json)"
+# Fixed-seed chaos soak over the serving layer: hundreds of clients
+# through a faulty transport (torn/corrupt/stall/disconnect) and a
+# panic-injected worker pool. The bin itself aborts unless every request
+# gets exactly one terminal response and both scenarios replay
+# byte-identically across two same-seed runs; --check then compares the
+# counters against the committed baseline (counts exactly, the
+# prediction checksum to 1e-6 relative).
+cargo run --release --offline -q -p dnnperf-bench --bin chaos -- --smoke --check BENCH_8.json
 
 echo "==> fleet sweep reproducibility gate (vs committed BENCH_7.json)"
 # The capacity-planning sweep is fully deterministic (no wall clock, no

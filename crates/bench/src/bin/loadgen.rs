@@ -15,14 +15,21 @@
 //! * `--check PATH` — re-measure, then gate against a committed baseline:
 //!   fail (exit 1) on any client-observed error, fewer than 100
 //!   concurrent clients, p99 latency regressed beyond 6x the baseline, or
-//!   throughput below baseline/6 (machine-relative, like the perf gate).
+//!   throughput below baseline/6 (machine-relative, like the perf gate);
+//! * `--deadline-ms N` — attach an N-millisecond deadline to every
+//!   request. Requests the server sheds or sweeps (`deadline-exceeded`)
+//!   count in the `overloaded` bucket, not as errors — useful for
+//!   exploring admission control, but not meaningful under `--check`
+//!   unless the baseline was captured with the same deadline.
 
 use dnnperf_core::Workflow;
 use dnnperf_data::collect::collect;
 use dnnperf_dnn::zoo;
 use dnnperf_gpu::GpuSpec;
 use dnnperf_linreg::percentile;
-use dnnperf_serve::{CacheConfig, Client, PredictionServer, ServerConfig, TcpServer};
+use dnnperf_serve::{
+    CacheConfig, Client, PredictionServer, Request, Response, ServerConfig, TcpServer,
+};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -40,6 +47,7 @@ struct Flags {
     smoke: bool,
     out: Option<String>,
     check: Option<String>,
+    deadline_ms: Option<u64>,
 }
 
 fn parse_flags() -> Flags {
@@ -47,6 +55,17 @@ fn parse_flags() -> Flags {
         smoke: false,
         out: None,
         check: None,
+        deadline_ms: None,
+    };
+    let parse_deadline = |v: Option<String>| -> Option<u64> {
+        let v = v.unwrap_or_default();
+        match v.parse() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                eprintln!("loadgen: --deadline-ms needs a millisecond count, got {v:?}");
+                std::process::exit(2);
+            }
+        }
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -54,11 +73,14 @@ fn parse_flags() -> Flags {
             "--smoke" => flags.smoke = true,
             "--out" => flags.out = args.next(),
             "--check" => flags.check = args.next(),
+            "--deadline-ms" => flags.deadline_ms = parse_deadline(args.next()),
             other => {
                 if let Some(v) = other.strip_prefix("--out=") {
                     flags.out = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--check=") {
                     flags.check = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--deadline-ms=") {
+                    flags.deadline_ms = parse_deadline(Some(v.to_string()));
                 } else {
                     eprintln!("loadgen: unknown flag {other}");
                     std::process::exit(2);
@@ -161,7 +183,7 @@ fn lcg_next(state: &mut u64) -> u64 {
     *state >> 33
 }
 
-fn run(smoke: bool) -> Report {
+fn run(smoke: bool, deadline_ms: Option<u64>) -> Report {
     let (clients, requests_per_client) = if smoke { (128, 20) } else { (256, 100) };
 
     let gpu = GpuSpec::by_name("A100").expect("A100 spec");
@@ -182,6 +204,7 @@ fn run(smoke: bool) -> Report {
             shards: 16,
             budget_bytes: 128 << 20,
         },
+        panic_plan: None,
     }));
     server.register_tenant(TENANT, Arc::clone(&suite));
     server.add_networks(catalog);
@@ -203,9 +226,15 @@ fn run(smoke: bool) -> Report {
                     for _ in 0..requests_per_client {
                         let net = &names[(lcg_next(&mut rng) as usize) % names.len()];
                         let batch = BATCHES[(lcg_next(&mut rng) as usize) % BATCHES.len()];
+                        let req = Request::Predict {
+                            tenant: TENANT.to_string(),
+                            network: net.clone(),
+                            batch,
+                            deadline_ms,
+                        };
                         let t0 = Instant::now();
-                        match client.predict(TENANT, net, batch) {
-                            Ok(seconds) => {
+                        match client.call(&req) {
+                            Ok(Response::Ok { seconds, .. }) => {
                                 res.latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
                                 if seconds.is_finite() && seconds >= 0.0 {
                                     res.ok += 1;
@@ -213,13 +242,13 @@ fn run(smoke: bool) -> Report {
                                     res.errors += 1;
                                 }
                             }
-                            Err(e) => {
-                                if format!("{e}").contains("Overloaded") {
-                                    res.overloaded += 1;
-                                } else {
-                                    res.errors += 1;
-                                }
+                            // Admission-control outcomes are load signals,
+                            // not failures: shed (full queue) and
+                            // deadline-shed (--deadline-ms) land together.
+                            Ok(Response::Overloaded | Response::DeadlineExceeded) => {
+                                res.overloaded += 1;
                             }
+                            Ok(_) | Err(_) => res.errors += 1,
                         }
                     }
                     res
@@ -270,7 +299,7 @@ fn main() {
     let flags = parse_flags();
     dnnperf_bench::banner("LOADGEN", "multi-tenant TCP serving under concurrent load");
 
-    let report = run(flags.smoke);
+    let report = run(flags.smoke, flags.deadline_ms);
     println!();
     println!(
         "{} clients x {} requests over the {}-network zoo: {} ok, {} overloaded, {} errors",

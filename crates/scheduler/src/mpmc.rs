@@ -127,6 +127,30 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Removes and returns every queued item matching `evict`, preserving
+    /// the arrival order of both the kept and the returned items.
+    ///
+    /// This is the admission-queue half of deadline enforcement: a
+    /// producer that finds the queue full can sweep already-expired
+    /// requests out (answering their waiters with a deadline error)
+    /// instead of shedding fresh work while dead work holds capacity.
+    /// Consumers blocked in [`Bounded::recv_batch`] are unaffected — a
+    /// sweep never wakes them spuriously and never reorders survivors.
+    pub fn sweep(&self, mut evict: impl FnMut(&T) -> bool) -> Vec<T> {
+        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut kept = VecDeque::with_capacity(st.queue.len());
+        let mut removed = Vec::new();
+        for item in st.queue.drain(..) {
+            if evict(&item) {
+                removed.push(item);
+            } else {
+                kept.push_back(item);
+            }
+        }
+        st.queue = kept;
+        removed
+    }
+
     /// Closes the queue: future sends are rejected, every blocked consumer
     /// wakes, and already-accepted items remain drainable.
     pub fn close(&self) {
@@ -196,6 +220,27 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = Bounded::<u32>::new(0);
+    }
+
+    #[test]
+    fn sweep_removes_matches_and_preserves_order() {
+        let q = Bounded::new(8);
+        for i in 0..6 {
+            q.try_send(i).unwrap();
+        }
+        let removed = q.sweep(|i| i % 2 == 0);
+        assert_eq!(removed, vec![0, 2, 4], "evicted in arrival order");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.recv_batch(10), vec![1, 3, 5], "survivors keep order");
+        // Sweeping an empty queue is a no-op.
+        assert!(q.sweep(|_| true).is_empty());
+        // A sweep frees capacity for new sends.
+        let q = Bounded::new(2);
+        q.try_send(1).unwrap();
+        q.try_send(2).unwrap();
+        assert!(q.try_send(3).is_err());
+        assert_eq!(q.sweep(|_| true).len(), 2);
+        assert!(q.try_send(3).is_ok());
     }
 
     #[test]

@@ -14,8 +14,16 @@
 //!   batching worker pool;
 //! * [`protocol`] — the length-prefixed TCP line protocol with
 //!   bit-exact f64 transport;
-//! * [`tcp`] — [`tcp::TcpServer`], the per-connection-thread front door,
-//!   and [`tcp::Client`], a minimal blocking client.
+//! * [`tcp`] — [`tcp::TcpServer`], the per-connection-thread front door
+//!   (with idle and per-frame slowloris deadlines), and [`tcp::Client`],
+//!   a blocking client with deterministic-backoff retry;
+//! * [`fault`] — seeded transport fault injection and worker-panic
+//!   schedules for chaos testing, confined to test/bench surfaces.
+//!
+//! The serving layer is chaos-hardened: requests carry deadlines,
+//! panicking workers are supervised (waiters answered, pool respawned),
+//! and every submitted request receives exactly one terminal response —
+//! see the failure model in [`server`]'s module docs.
 //!
 //! ```
 //! use dnnperf_serve::{CacheConfig, PredictionServer, ServerConfig};
@@ -24,6 +32,7 @@
 //!     queue_depth: 64,
 //!     max_batch: 8,
 //!     cache: CacheConfig { shards: 4, budget_bytes: 1 << 20 },
+//!     panic_plan: None,
 //! });
 //! assert_eq!(server.catalog_len(), 0);
 //! server.shutdown();
@@ -33,11 +42,19 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cache;
+pub mod fault;
 pub mod protocol;
 pub mod server;
 pub mod tcp;
 
 pub use cache::{CacheConfig, CacheStats, PlanKey, SharedPlanCache};
-pub use protocol::{read_frame, write_frame, Request, Response, WireError, MAX_FRAME_BYTES};
+pub use fault::{
+    FaultyTransport, InjectedWorkerPanic, PanicPlan, TransportFault, TransportFaultKinds,
+    TransportFaultPlan, TransportFaultStats,
+};
+pub use protocol::{
+    read_frame, read_frame_deadline, write_frame, FrameRead, Request, Response, WireError,
+    MAX_FRAME_BYTES,
+};
 pub use server::{Pending, PredictionServer, Reply, ServeError, ServerConfig, ServerStats};
-pub use tcp::{Client, TcpServer};
+pub use tcp::{Client, TcpConfig, TcpServer};

@@ -35,6 +35,7 @@ fn test_config() -> ServerConfig {
             shards: 4,
             budget_bytes: 8 << 20,
         },
+        panic_plan: None,
     }
 }
 
@@ -118,6 +119,7 @@ fn full_queue_sheds_with_overloaded_and_shutdown_answers_the_rest() {
         queue_depth: 2,
         max_batch: 4,
         cache: CacheConfig::default(),
+        panic_plan: None,
     });
     server.register_tenant("t", suite);
     server.add_networks(small_nets());
@@ -198,6 +200,7 @@ fn tcp_round_trip_is_bit_exact_for_many_concurrent_clients() {
             tenant: "team".into(),
             network: nets[0].name().into(),
             batch: 8,
+            deadline_ms: None,
         })
         .unwrap();
     let direct = suite.predict_graceful(&nets[0], 8).unwrap();
@@ -218,6 +221,7 @@ fn tcp_round_trip_is_bit_exact_for_many_concurrent_clients() {
             tenant: "team".into(),
             network: "no-such-net".into(),
             batch: 1,
+            deadline_ms: None,
         })
         .unwrap();
     assert!(matches!(resp, Response::Error(_)));
