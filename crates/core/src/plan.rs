@@ -44,9 +44,10 @@ use crate::model::Predictor;
 use crate::workflow::Workflow;
 use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::Network;
+use dnnperf_sched::sync::lock_unpoisoned;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 
 /// How the graceful-degradation ladder resolved one layer at compile time.
 #[derive(Debug, Clone, PartialEq)]
@@ -585,33 +586,22 @@ impl PlanCache {
         batch: usize,
     ) -> Result<Arc<CompiledPlan>, PredictError> {
         let key = (suite.generation(), network_fingerprint(net), batch);
-        if let Some(p) = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .get(&key)
-        {
+        if let Some(p) = lock_unpoisoned(&self.inner).get(&key) {
             return Ok(p.clone());
         }
         let plan = Arc::new(CompiledPlan::compile(suite, net, batch)?);
-        let mut guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = lock_unpoisoned(&self.inner);
         Ok(guard.entry(key).or_insert(plan).clone())
     }
 
     /// Drops every cached plan.
     pub(crate) fn clear(&self) {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clear();
+        lock_unpoisoned(&self.inner).clear();
     }
 
     /// Number of cached plans.
     pub(crate) fn cached(&self) -> usize {
-        self.inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        lock_unpoisoned(&self.inner).len()
     }
 }
 
@@ -620,11 +610,7 @@ impl Clone for PlanCache {
         // Snapshot the entries: plans are immutable values behind `Arc`s,
         // so sharing them is free and a cloned suite starts warm instead
         // of silently recompiling its whole working set from cold.
-        let snapshot = self
-            .inner
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone();
+        let snapshot = lock_unpoisoned(&self.inner).clone();
         PlanCache {
             inner: Mutex::new(snapshot),
         }

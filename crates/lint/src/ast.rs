@@ -317,6 +317,121 @@ pub fn in_regions(regions: &[LineRange], line: u32) -> bool {
     regions.iter().any(|r| line >= r.start && line <= r.end)
 }
 
+/// One `fn` item recovered from the token stream.
+///
+/// `body` brackets the function's block as **token indices** into the
+/// file's [`Lexed::tokens`]: `body.0` is the opening `{`, `body.1` the
+/// matching `}`. Trait-method *declarations* (`fn f(&self);`) have no
+/// body and are not reported. Nested `fn` items appear as their own
+/// entries; callers that attribute effects to the enclosing function must
+/// subtract contained items themselves (see the concurrency passes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// `(open_brace, close_brace)` token indices of the block.
+    pub body: (usize, usize),
+}
+
+impl FnItem {
+    /// Whether token index `i` lies strictly inside this item's body.
+    pub fn contains(&self, i: usize) -> bool {
+        i > self.body.0 && i < self.body.1
+    }
+}
+
+/// Returns the token index of the `}` matching the `{` at `open`, or
+/// `None` if the stream ends unbalanced (lexically truncated input).
+pub fn matching_brace(toks: &[Token], open: usize) -> Option<usize> {
+    debug_assert!(toks.get(open).is_some_and(|t| t.is_punct('{')));
+    let mut depth = 0i32;
+    for (off, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(off);
+            }
+        }
+    }
+    None
+}
+
+/// Extracts every `fn` item with a body, including nested and test fns.
+///
+/// Recovery is token-stream-shaped, not grammatical: a `fn` keyword
+/// followed by an identifier starts an item; the signature runs to the
+/// first `{` (body) or `;` (bodyless declaration) at zero
+/// bracket/paren depth, so `fn f(x: [u8; 4])` does not end at the
+/// array-type semicolon and `where` clauses are skipped over. Closures
+/// are not `fn` items.
+pub fn fn_items(lexed: &Lexed) -> Vec<FnItem> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("fn")
+            && i + 1 < toks.len()
+            && matches!(toks[i + 1].kind, TokKind::Ident)
+        {
+            let name = &toks[i + 1];
+            // Scan the signature for the body's `{` (or `;` for a
+            // bodyless trait declaration), tracking (), [] and <> depth
+            // so type-level braces/semicolons don't fool us. `<` depth is
+            // tracked loosely (comparison operators cannot appear in a
+            // signature outside const-generic defaults, which we accept
+            // mis-nesting on — the `(`/`[` depths still rescue us).
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut open = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') {
+                    paren += 1;
+                } else if t.is_punct(')') {
+                    paren -= 1;
+                } else if t.is_punct('[') {
+                    bracket += 1;
+                } else if t.is_punct(']') {
+                    bracket -= 1;
+                } else if paren == 0 && bracket == 0 {
+                    if t.is_punct('{') {
+                        open = Some(j);
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = open {
+                if let Some(close) = matching_brace(toks, open) {
+                    out.push(FnItem {
+                        name: name.text.clone(),
+                        line: name.line,
+                        col: name.col,
+                        body: (open, close),
+                    });
+                    // Continue *inside* the body so nested fns are found.
+                    i = open + 1;
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -378,5 +493,46 @@ mod tests {
         let r = test_regions(&l);
         assert_eq!(r.len(), 1);
         assert!(in_regions(&r, 3));
+    }
+
+    #[test]
+    fn fn_items_recover_names_and_bodies() {
+        let src = "pub fn a(x: u32) -> u32 {\n    x + 1\n}\nfn b() {}\n";
+        let l = lex(src);
+        let fns = fn_items(&l);
+        assert_eq!(fns.len(), 2);
+        assert_eq!(fns[0].name, "a");
+        assert_eq!((fns[0].line, fns[0].col), (1, 8));
+        assert_eq!(fns[1].name, "b");
+        // Body brackets are a matched brace pair.
+        let (o, c) = fns[0].body;
+        assert!(l.tokens[o].is_punct('{') && l.tokens[c].is_punct('}'));
+    }
+
+    #[test]
+    fn fn_items_skip_bodyless_declarations_and_survive_array_types() {
+        let src = "trait T {\n    fn decl(&self, buf: [u8; 4]);\n    fn with_default(&self) -> usize { 0 }\n}\n";
+        let l = lex(src);
+        let fns = fn_items(&l);
+        assert_eq!(fns.len(), 1, "only the default method has a body");
+        assert_eq!(fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn nested_fns_are_separate_items() {
+        let src = "fn outer() {\n    fn inner() { let _ = 1; }\n    inner();\n}\n";
+        let l = lex(src);
+        let fns = fn_items(&l);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["outer", "inner"]);
+        // inner's body nests inside outer's.
+        assert!(fns[0].contains(fns[1].body.0));
+    }
+
+    #[test]
+    fn matching_brace_handles_nesting() {
+        let l = lex("{ { } { { } } }");
+        assert_eq!(matching_brace(&l.tokens, 0), Some(l.tokens.len() - 1));
+        assert_eq!(matching_brace(&l.tokens, 1), Some(2));
     }
 }

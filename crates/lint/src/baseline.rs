@@ -53,6 +53,10 @@ pub struct Applied {
     pub expired: Vec<String>,
     /// Entries that matched nothing — stale; warned, not fatal.
     pub unused: Vec<Entry>,
+    /// Entries naming files absent from the scanned workspace, rendered
+    /// as messages — these fail CI: the file was deleted or renamed, so
+    /// the suppression is dead text and must be removed or updated.
+    pub dangling: Vec<String>,
     /// Number of findings suppressed by live entries.
     pub suppressed_count: usize,
 }
@@ -147,6 +151,24 @@ impl Baseline {
             }
         }
         out
+    }
+
+    /// Renders an error message for every entry whose `file` is rejected
+    /// by `known` — the baseline hygiene self-check. A dangling entry is
+    /// worse than an unused one: the file it names no longer exists, so
+    /// the suppression can never fire again and is pure rot.
+    pub fn dangling_entries(&self, known: impl Fn(&str) -> bool) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|e| !known(&e.file))
+            .map(|e| {
+                format!(
+                    "baseline line {}: [{}] entry references `{}`, \
+                     which is not in the scanned workspace",
+                    e.line, e.pass, e.file
+                )
+            })
+            .collect()
     }
 }
 
@@ -258,6 +280,16 @@ determinism crates/core/src/x.rs HashMap -- ordered downstream
             "2026-08-06",
         );
         assert_eq!(a.unsuppressed.len(), 1);
+    }
+
+    #[test]
+    fn dangling_entries_name_missing_files() {
+        let bl = Baseline::parse(BL).unwrap();
+        let msgs = bl.dangling_entries(|f| f == "crates/scheduler/src/pool.rs");
+        assert_eq!(msgs.len(), 1, "{msgs:?}");
+        assert!(msgs[0].contains("crates/core/src/x.rs"), "{}", msgs[0]);
+        assert!(msgs[0].contains("line 3"), "{}", msgs[0]);
+        assert!(bl.dangling_entries(|_| true).is_empty());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `dnnperf-lint`: in-tree static analysis for the dnnperf workspace.
 //!
 //! A std-only tool (its own hermeticity pass scans its manifest) with a
-//! lightweight Rust lexer and five passes:
+//! lightweight Rust lexer, a brace-matched block/function extractor, and
+//! nine passes:
 //!
 //! | pass | proves |
 //! |------|--------|
@@ -10,11 +11,20 @@
 //! | `panic-policy` | resilience-critical crates deny unwrap/expect; hot paths don't panic |
 //! | `hermeticity` | every dependency is a workspace crate (offline build) |
 //! | `unsafe-audit` | every `unsafe` has an adjacent `// SAFETY:` note |
+//! | `lock-order` | declared lock classes form an acyclic global acquisition order |
+//! | `blocking-under-lock` | no blocking primitive runs while a lock guard is held |
+//! | `condvar-discipline` | waits sit in predicate loops; mutations under a paired mutex notify |
+//! | `poison-policy` | every lock acquisition goes through the shared `*_unpoisoned` helpers |
+//!
+//! The last four are intra-procedural: they track guard lifetimes inside
+//! function bodies and propagate may-acquire / may-block facts over a
+//! conservative workspace call graph (see `passes::concurrency`).
 //!
 //! Policy lives in `lint.toml` at the workspace root; grandfathered
 //! findings live in `lint-baseline.txt` with mandatory notes and optional
 //! expiry dates. See `DESIGN.md` §"Oracle isolation as a checked
-//! invariant" for the threat model.
+//! invariant" and §"Concurrency invariants as checked properties" for the
+//! threat models.
 
 #![warn(missing_docs)]
 
@@ -46,9 +56,12 @@ pub struct Outcome {
 }
 
 impl Outcome {
-    /// Whether the run is clean (nothing unsuppressed, nothing expired).
+    /// Whether the run is clean (nothing unsuppressed, nothing expired,
+    /// no baseline entry pointing at a file that no longer exists).
     pub fn is_clean(&self) -> bool {
-        self.applied.unsuppressed.is_empty() && self.applied.expired.is_empty()
+        self.applied.unsuppressed.is_empty()
+            && self.applied.expired.is_empty()
+            && self.applied.dangling.is_empty()
     }
 }
 
@@ -79,8 +92,10 @@ pub fn lint_workspace(
 pub fn lint_context(ctx: &Context, bl: &Baseline, today: &str) -> Outcome {
     let findings = passes::run_all(ctx);
     let total = findings.len();
+    let mut applied = bl.apply(findings, today);
+    applied.dangling = bl.dangling_entries(|rel| ctx.files.iter().any(|f| f.rel_path == rel));
     Outcome {
-        applied: bl.apply(findings, today),
+        applied,
         total_findings: total,
         files_scanned: ctx.files.len(),
         manifests_scanned: ctx.manifests.len(),

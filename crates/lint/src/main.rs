@@ -79,7 +79,7 @@ fn main() -> ExitCode {
 
     if args.list_passes {
         for p in passes::registry() {
-            println!("{:<18} {}", p.name, p.summary);
+            println!("{:<20} {}", p.name, p.summary);
         }
         return ExitCode::SUCCESS;
     }
@@ -110,32 +110,38 @@ fn main() -> ExitCode {
         }
     };
 
+    // JSON mode keeps stdout machine-pure (just the findings array, for
+    // CI artifacts); everything advisory goes to stderr in both modes.
     if args.json {
         print!("{}", diag::render_json(&outcome.applied.unsuppressed));
     } else {
         for f in &outcome.applied.unsuppressed {
             print!("{}", f.render_human());
         }
-        for msg in &outcome.applied.expired {
-            println!("{msg}");
-        }
-        for e in &outcome.applied.unused {
-            eprintln!(
-                "warning: unused baseline entry (line {}): {} {} {}",
-                e.line, e.pass, e.file, e.snippet_key
-            );
-        }
+    }
+    for msg in &outcome.applied.expired {
+        eprintln!("{msg}");
+    }
+    for msg in &outcome.applied.dangling {
+        eprintln!("error: {msg}");
+    }
+    for e in &outcome.applied.unused {
         eprintln!(
-            "dnnperf-lint: {} files + {} manifests scanned, {} findings \
-             ({} suppressed by baseline, {} new, {} expired)",
-            outcome.files_scanned,
-            outcome.manifests_scanned,
-            outcome.total_findings,
-            outcome.applied.suppressed_count,
-            outcome.applied.unsuppressed.len(),
-            outcome.applied.expired.len(),
+            "warning: unused baseline entry (line {}): {} {} {}",
+            e.line, e.pass, e.file, e.snippet_key
         );
     }
+    eprintln!(
+        "dnnperf-lint: {} files + {} manifests scanned, {} findings \
+         ({} suppressed by baseline, {} new, {} expired, {} dangling baseline entries)",
+        outcome.files_scanned,
+        outcome.manifests_scanned,
+        outcome.total_findings,
+        outcome.applied.suppressed_count,
+        outcome.applied.unsuppressed.len(),
+        outcome.applied.expired.len(),
+        outcome.applied.dangling.len(),
+    );
 
     if outcome.is_clean() {
         ExitCode::SUCCESS

@@ -1,0 +1,199 @@
+//! blocking-under-lock: no declared blocking primitive may run while a
+//! lock guard is live, except a condvar wait on the guard it consumes.
+
+use super::{analyze, is_blocking_direct};
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+/// `--explain blocking-under-lock` rationale.
+pub const EXPLAIN: &str = "\
+A guard held across a blocking call turns one slow peer into a stalled
+lock and every other thread touching that lock into collateral damage —
+the exact shape of the TcpServer::shutdown bug where joining the accept
+thread under the registry lock wedged concurrent shutdown callers. The
+pass tracks lexical guard lifetimes and flags any live guard at a call to
+a declared blocking primitive ([concurrency] blocking_calls in
+lint.toml): condvar waits, joins (empty-arg only — str::join is not
+blocking), sleeps, channel send/recv and the TCP frame layer. A condvar
+wait is exempt for the one guard it consumes (that is how condvars work)
+but still flagged for any *other* live guard. Calls that reach a blocking
+primitive transitively through resolvable workspace functions are flagged
+too, with the full witness chain. `[concurrency] blocking_allow`
+holds reviewed \"file-prefix fn-name\" exemptions; it is empty today and
+should stay that way.";
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let a = analyze(ctx);
+    let mut out = Vec::new();
+    for f in &a.fns {
+        let rel = a.rel(f);
+        if super::allowed(&ctx.policy.conc_blocking_allow, rel, &f.name) {
+            continue;
+        }
+        let file = &a.ctx.files[f.file];
+        for c in &f.calls {
+            let direct = is_blocking_direct(&ctx.policy, c);
+            // Transitive: a resolvable callee that may reach a blocking
+            // primitive. Direct matches take precedence (better message).
+            let trans = if direct {
+                None
+            } else {
+                a.resolve(&c.callee)
+                    .iter()
+                    .find_map(|&j| a.trans_blocking[j].clone())
+            };
+            if !direct && trans.is_none() {
+                continue;
+            }
+            for g in &f.guards {
+                if !g.live_at(c.tok) {
+                    continue;
+                }
+                // A condvar wait blocks *by releasing* the guard it
+                // consumes; only other guards are held across it.
+                if let (Some(wg), Some(b)) = (&c.wait_guard, &g.binding) {
+                    if wg == b {
+                        continue;
+                    }
+                }
+                let held = match g.class {
+                    Some(ci) => format!("`{}`", ctx.policy.conc_lock_classes[ci].name),
+                    None => format!("guard of `{}`", g.receiver),
+                };
+                let message = match &trans {
+                    None => format!(
+                        "blocking call `{}` while {} (acquired at line {}) is held",
+                        c.callee, held, g.line
+                    ),
+                    Some(w) => format!(
+                        "call `{}` may block ({}) while {} (acquired at line {}) is held",
+                        c.callee, w, held, g.line
+                    ),
+                };
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    pass: "blocking-under-lock",
+                    snippet: file.line_text(c.line).trim().to_string(),
+                    message,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LockClassDecl, Policy};
+    use crate::workspace::SourceFile;
+
+    fn policy() -> Policy {
+        Policy {
+            conc_paths: vec!["src/".to_string()],
+            conc_lock_classes: vec![LockClassDecl {
+                name: "registry".to_string(),
+                path: "src/a.rs".to_string(),
+                receiver: "threads".to_string(),
+            }],
+            conc_blocking_calls: vec![
+                "join".to_string(),
+                "sleep".to_string(),
+                "wait_unpoisoned".to_string(),
+            ],
+            ..Policy::default()
+        }
+    }
+
+    fn ctx(src: &str) -> Context {
+        Context::from_parts(
+            policy(),
+            vec![SourceFile::from_source("src/a.rs", src)],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn join_under_live_guard_is_flagged() {
+        let src = "\
+fn shutdown(s: &S) {
+    let mut g = lock_unpoisoned(&s.threads);
+    if let Some(h) = g.take() {
+        let _ = h.join();
+    }
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!((f[0].line, f[0].col), (4, 19));
+        assert!(f[0].message.contains("`registry`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn join_after_scoped_take_is_clean() {
+        let src = "\
+fn shutdown(s: &S) {
+    let handle = {
+        let mut g = lock_unpoisoned(&s.threads);
+        g.take()
+    };
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn str_join_with_args_is_not_blocking() {
+        let src = "\
+fn render(s: &S) {
+    let _g = lock_unpoisoned(&s.threads);
+    let _x = parts.join(sep);
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn wait_is_exempt_for_its_own_guard_only() {
+        let src = "\
+fn nested(s: &S) {
+    let outer = lock_unpoisoned(&s.threads);
+    let mut st = lock_unpoisoned(&s.other);
+    while st.pending() {
+        st = wait_unpoisoned(&s.cv, st);
+    }
+    drop(outer);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("`registry`"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn transitive_blocking_is_reported_with_witness_chain() {
+        let src = "\
+fn backoff(s: &S) {
+    sleep(s.backoff);
+}
+fn pump(s: &S) {
+    let _g = lock_unpoisoned(&s.threads);
+    backoff(s);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("may block"), "{}", f[0].message);
+        assert!(
+            f[0].message.contains("`sleep` at src/a.rs:2"),
+            "{}",
+            f[0].message
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! condvar-discipline: waits sit in predicate loops; mutations under a
+//! paired mutex are followed by a notify.
+
+use super::{analyze, base_name};
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+/// `--explain condvar-discipline` rationale.
+pub const EXPLAIN: &str = "\
+Condvars fail quietly: a wait outside a predicate loop returns on
+spurious wakeups with the predicate still false, and a state change that
+forgets to notify leaves waiters asleep forever — both produce rare
+wedges, not crashes. The pass enforces the two halves of the discipline
+over the pairings declared in lint.toml ([concurrency] condvar_pairs):
+(1) every condvar wait (`cv.wait(guard)` or `wait_unpoisoned(&cv, g)`)
+must be lexically inside a `while`/`loop` body, and (2) in a file with a
+declared mutex/condvar pair, every mutation observed under the paired
+mutex's guard must be followed (same function, later in the text) by a
+notify on the paired condvar. Functions that themselves wait on the pair
+are exempt from (2) — a consumer draining state cannot make the
+predicate it waits on true — as are the reviewed \"file-prefix fn-name\"
+entries in `condvar_allow` (pure removals: a sweep or purge can never
+wake a waiter usefully).";
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let a = analyze(ctx);
+    let mut out = Vec::new();
+
+    // (1) Every wait sits in a predicate loop. The shared helper file is
+    // exempt: `wait_unpoisoned` wraps the raw wait exactly once, and its
+    // *callers* are the wait sites this rule checks.
+    let helper_file = &ctx.policy.conc_helper_file;
+    for f in &a.fns {
+        let rel = a.rel(f);
+        if !helper_file.is_empty() && rel.starts_with(helper_file.as_str()) {
+            continue;
+        }
+        let file = &a.ctx.files[f.file];
+        for c in &f.calls {
+            if c.wait_guard.is_some() && !c.in_loop {
+                out.push(Finding {
+                    file: rel.to_string(),
+                    line: c.line,
+                    col: c.col,
+                    pass: "condvar-discipline",
+                    snippet: file.line_text(c.line).trim().to_string(),
+                    message: format!(
+                        "condvar wait on `{}` outside a predicate loop: spurious \
+                         wakeups return with the predicate still false",
+                        c.condvar.as_deref().unwrap_or("<condvar>")
+                    ),
+                });
+            }
+        }
+    }
+
+    // (2) Mutations under a paired mutex notify the paired condvar.
+    for pair in &ctx.policy.conc_condvar_pairs {
+        for f in &a.fns {
+            let rel = a.rel(f);
+            if !rel.starts_with(&pair.path) {
+                continue;
+            }
+            if super::allowed(&ctx.policy.conc_condvar_allow, rel, &f.name) {
+                continue;
+            }
+            // Waiters on this pair consume state; they cannot make the
+            // predicate true and are not required to notify.
+            let is_waiter = f.calls.iter().any(|c| {
+                c.wait_guard.is_some() && c.condvar.as_deref() == Some(pair.condvar.as_str())
+            });
+            if is_waiter {
+                continue;
+            }
+            let file = &a.ctx.files[f.file];
+            for m in &f.mutations {
+                if f.guards[m.guard].receiver != pair.mutex_receiver {
+                    continue;
+                }
+                let notified = f
+                    .notifies
+                    .iter()
+                    .any(|n| n.condvar == pair.condvar && n.tok > m.tok);
+                if !notified {
+                    out.push(Finding {
+                        file: rel.to_string(),
+                        line: m.line,
+                        col: m.col,
+                        pass: "condvar-discipline",
+                        snippet: file.line_text(m.line).trim().to_string(),
+                        message: format!(
+                            "state mutated under `{}` (paired with condvar `{}`) in \
+                             `{}` without a later notify: waiters can sleep through \
+                             this change forever",
+                            pair.mutex_receiver,
+                            pair.condvar,
+                            base_name(&f.name)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CondvarPairDecl, Policy};
+    use crate::workspace::SourceFile;
+
+    fn ctx(src: &str) -> Context {
+        let policy = Policy {
+            conc_paths: vec!["src/".to_string()],
+            conc_condvar_pairs: vec![CondvarPairDecl {
+                path: "src/a.rs".to_string(),
+                mutex_receiver: "state".to_string(),
+                condvar: "ready".to_string(),
+            }],
+            conc_condvar_allow: vec![("src/a.rs".to_string(), "sweep".to_string())],
+            ..Policy::default()
+        };
+        Context::from_parts(
+            policy,
+            vec![SourceFile::from_source("src/a.rs", src)],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn wait_outside_loop_is_flagged() {
+        let src = "\
+fn take(s: &S) {
+    let mut st = lock_unpoisoned(&s.state);
+    st = wait_unpoisoned(&s.ready, st);
+    st.queue.pop_front()
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert_eq!(f[0].line, 3);
+        assert!(f[0].message.contains("outside a predicate loop"));
+    }
+
+    #[test]
+    fn wait_in_loop_is_clean_and_waiter_need_not_notify() {
+        let src = "\
+fn take(s: &S) {
+    let mut st = lock_unpoisoned(&s.state);
+    loop {
+        if st.has_items() {
+            return st.queue.pop_front();
+        }
+        st = wait_unpoisoned(&s.ready, st);
+    }
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn mutation_without_notify_is_flagged() {
+        let src = "\
+fn put(s: &S, x: u32) {
+    let mut st = lock_unpoisoned(&s.state);
+    st.queue.push_back(x);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(
+            f[0].message.contains("without a later notify"),
+            "{}",
+            f[0].message
+        );
+    }
+
+    #[test]
+    fn mutation_with_notify_after_drop_is_clean() {
+        let src = "\
+fn put(s: &S, x: u32) {
+    let mut st = lock_unpoisoned(&s.state);
+    st.queue.push_back(x);
+    drop(st);
+    s.ready.notify_one();
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn allowlisted_pure_removal_is_clean() {
+        let src = "\
+fn sweep(s: &S) {
+    let mut st = lock_unpoisoned(&s.state);
+    st.queue.clear();
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn unpaired_mutex_mutations_are_ignored() {
+        let src = "\
+fn other(s: &S) {
+    let mut st = lock_unpoisoned(&s.misc);
+    st.queue.push_back(1);
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+}

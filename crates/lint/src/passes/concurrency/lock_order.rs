@@ -1,0 +1,282 @@
+//! lock-order: every pair of declared lock classes must be acquired in
+//! one global order; any cycle in the acquisition graph is a finding.
+
+use std::collections::BTreeMap;
+
+use super::analyze;
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+/// `--explain lock-order` rationale.
+pub const EXPLAIN: &str = "\
+A deadlock needs four ingredients; the only one a linter can see is the
+circular wait. lock-order rebuilds the workspace's lock hierarchy from the
+declared classes in lint.toml ([concurrency] lock_classes): every time a
+guard of class A is still live when class B is acquired — directly, or
+through any function the analysis can resolve from the call site — the
+pass records an edge A -> B in a global acquisition-order graph. The
+serving stack is correct iff that graph is a partial order, so any cycle
+(including a self-edge: re-acquiring a class while holding it) is
+reported, with the witness acquisition path for *every* edge of the cycle
+so both sides of a two-lock deadlock are named in one diagnostic. The
+analysis over-approximates call targets (bare-name resolution) and
+under-approximates guard lifetimes (lexical scopes), which keeps
+witnesses concrete; std-prelude method names are never resolved, so
+`guard.clear()` cannot fabricate an edge.";
+
+struct Edge {
+    file: String,
+    line: u32,
+    col: u32,
+    snippet: String,
+    witness: String,
+}
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let a = analyze(ctx);
+    let classes = &ctx.policy.conc_lock_classes;
+    if classes.is_empty() {
+        return Vec::new();
+    }
+
+    // Build the acquisition-order graph. First witness wins per edge;
+    // fns/guards/calls are in deterministic (file, token) order.
+    let mut edges: BTreeMap<(usize, usize), Edge> = BTreeMap::new();
+    for f in &a.fns {
+        let rel = a.rel(f).to_string();
+        let file = &a.ctx.files[f.file];
+        for g in &f.guards {
+            let Some(ca) = g.class else { continue };
+            for h in &f.guards {
+                let Some(cb) = h.class else { continue };
+                if h.tok != g.tok && g.live_at(h.tok) {
+                    edges.entry((ca, cb)).or_insert_with(|| Edge {
+                        file: rel.clone(),
+                        line: h.line,
+                        col: h.col,
+                        snippet: file.line_text(h.line).trim().to_string(),
+                        witness: format!(
+                            "{} held at {}:{} acquires {} at {}:{}",
+                            classes[ca].name, rel, g.line, classes[cb].name, rel, h.line
+                        ),
+                    });
+                }
+            }
+            for c in &f.calls {
+                if !g.live_at(c.tok) {
+                    continue;
+                }
+                for &j in a.resolve(&c.callee) {
+                    for (&cb, w) in &a.trans_acquires[j] {
+                        edges.entry((ca, cb)).or_insert_with(|| Edge {
+                            file: rel.clone(),
+                            line: c.line,
+                            col: c.col,
+                            snippet: file.line_text(c.line).trim().to_string(),
+                            witness: format!(
+                                "{} held at {}:{} calls `{}` at {}:{} which acquires {} via {}",
+                                classes[ca].name,
+                                rel,
+                                g.line,
+                                c.callee,
+                                rel,
+                                c.line,
+                                classes[cb].name,
+                                w
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+
+    // Self-edges are one-node cycles: re-acquiring a class while a guard
+    // of the same class is live self-deadlocks on the same instance and
+    // is unordered even across instances.
+    for (&(ca, cb), e) in &edges {
+        if ca == cb {
+            out.push(finding(
+                e,
+                format!(
+                    "lock class `{}` re-acquired while already held ({})",
+                    classes[ca].name, e.witness
+                ),
+            ));
+        }
+    }
+
+    // Simple cycles of length >= 2, each enumerated once: DFS from every
+    // start node s through nodes > s only, closing back at s.
+    let nodes: Vec<usize> = {
+        let mut n: Vec<usize> = edges.keys().flat_map(|&(x, y)| [x, y]).collect();
+        n.sort_unstable();
+        n.dedup();
+        n
+    };
+    let succ = |u: usize| -> Vec<usize> {
+        edges
+            .keys()
+            .filter(|&&(x, _)| x == u)
+            .map(|&(_, y)| y)
+            .collect()
+    };
+    for &s in &nodes {
+        let mut stack: Vec<Vec<usize>> = vec![vec![s]];
+        while let Some(path) = stack.pop() {
+            let u = *path.last().expect("non-empty DFS path");
+            for v in succ(u) {
+                if v == s && path.len() >= 2 {
+                    out.push(cycle_finding(classes, &edges, &path));
+                } else if v > s && !path.contains(&v) {
+                    let mut p = path.clone();
+                    p.push(v);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+
+    out
+}
+
+fn finding(e: &Edge, message: String) -> Finding {
+    Finding {
+        file: e.file.clone(),
+        line: e.line,
+        col: e.col,
+        pass: "lock-order",
+        snippet: e.snippet.clone(),
+        message,
+    }
+}
+
+/// Renders one cycle with the witness path of every edge, so a two-lock
+/// inversion names both acquisition orders in a single diagnostic.
+fn cycle_finding(
+    classes: &[crate::policy::LockClassDecl],
+    edges: &BTreeMap<(usize, usize), Edge>,
+    path: &[usize],
+) -> Finding {
+    let ring: Vec<String> = path
+        .iter()
+        .chain(path.first())
+        .map(|&c| classes[c].name.clone())
+        .collect();
+    let mut witnesses = Vec::new();
+    for k in 0..path.len() {
+        let e = &edges[&(path[k], path[(k + 1) % path.len()])];
+        witnesses.push(format!("[{}]", e.witness));
+    }
+    let first = &edges[&(path[0], path[1 % path.len()])];
+    finding(
+        first,
+        format!(
+            "lock-order cycle {}: {}",
+            ring.join(" -> "),
+            witnesses.join("; ")
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LockClassDecl, Policy};
+    use crate::workspace::SourceFile;
+
+    fn ctx(src: &str) -> Context {
+        let policy = Policy {
+            conc_paths: vec!["src/".to_string()],
+            conc_lock_classes: vec![
+                LockClassDecl {
+                    name: "alpha".to_string(),
+                    path: "src/a.rs".to_string(),
+                    receiver: "alpha".to_string(),
+                },
+                LockClassDecl {
+                    name: "beta".to_string(),
+                    path: "src/a.rs".to_string(),
+                    receiver: "beta".to_string(),
+                },
+            ],
+            ..Policy::default()
+        };
+        Context::from_parts(
+            policy,
+            vec![SourceFile::from_source("src/a.rs", src)],
+            vec![],
+        )
+    }
+
+    #[test]
+    fn opposite_acquisition_orders_are_a_cycle_with_both_witnesses() {
+        let src = "\
+fn ab(s: &S) {
+    let _a = lock_unpoisoned(&s.alpha);
+    let _b = lock_unpoisoned(&s.beta);
+}
+fn ba(s: &S) {
+    let _b = lock_unpoisoned(&s.beta);
+    let _a = lock_unpoisoned(&s.alpha);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        let msg = &f[0].message;
+        assert!(msg.contains("alpha -> beta -> alpha"), "{msg}");
+        assert!(msg.contains("src/a.rs:3"), "first witness: {msg}");
+        assert!(msg.contains("src/a.rs:7"), "second witness: {msg}");
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "\
+fn ab(s: &S) {
+    let _a = lock_unpoisoned(&s.alpha);
+    let _b = lock_unpoisoned(&s.beta);
+}
+fn ab2(s: &S) {
+    let _a = lock_unpoisoned(&s.alpha);
+    let _b = lock_unpoisoned(&s.beta);
+}
+";
+        assert!(run(&ctx(src)).is_empty());
+    }
+
+    #[test]
+    fn call_mediated_inversion_is_found() {
+        let src = "\
+fn take_beta(s: &S) {
+    let _b = lock_unpoisoned(&s.beta);
+}
+fn under_alpha(s: &S) {
+    let _a = lock_unpoisoned(&s.alpha);
+    take_beta(s);
+}
+fn under_beta(s: &S) {
+    let _b = lock_unpoisoned(&s.beta);
+    let _a = lock_unpoisoned(&s.alpha);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1, "{f:#?}");
+        assert!(f[0].message.contains("take_beta"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn self_reacquisition_is_a_finding() {
+        let src = "\
+fn twice(s: &S) {
+    let _a = lock_unpoisoned(&s.alpha);
+    let _again = lock_unpoisoned(&s.alpha);
+}
+";
+        let f = run(&ctx(src));
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("re-acquired"), "{}", f[0].message);
+    }
+}

@@ -1,0 +1,1240 @@
+//! Shared substrate for the four concurrency passes: guard-lifetime
+//! tracking, lock-class resolution and a conservative workspace call
+//! graph.
+//!
+//! The lexer is lossy and this is not a borrow checker — the analysis
+//! recovers *lexical* guard lifetimes (a guard created by `.lock()` /
+//! `.read()` / `.write()` or one of the `*_unpoisoned` helpers lives
+//! until the end of its enclosing block, an explicit `drop(guard)`, or —
+//! for an unbound temporary — the end of its method chain / statement).
+//! That under-approximates real borrow lifetimes in exactly the direction
+//! a linter wants: a guard we believe dead may linger a little longer in
+//! rustc's eyes (`if let` temporaries), but a guard we believe *live*
+//! really is held, so every finding has a concrete witness.
+//!
+//! On top of the per-function facts sits a call graph resolved by bare
+//! callee name (conservative: one name may map to several workspace
+//! functions; all are assumed reachable). Two relations are propagated to
+//! a fixpoint:
+//!
+//! * `trans_acquires` — which declared lock classes a call may acquire,
+//!   with a witness chain (`callee -> file:line`);
+//! * `trans_blocking` — whether a call may reach a blocking primitive,
+//!   with the same style of witness.
+//!
+//! Names that collide with std-prelude / collection methods (`clone`,
+//! `len`, `insert`, …) are never resolved through the graph — resolving
+//! `guard.clear()` to some workspace `fn clear` would fabricate
+//! self-edges out of thin air. This trims the graph's recall a little and
+//! buys precision, which is the right trade for a zero-baseline gate.
+//!
+//! Code inside `spawn(...)` arguments is carved out of the enclosing
+//! function and analyzed as an anonymous body: the closure runs on
+//! another thread, so its acquisitions do not nest inside the spawner's
+//! guards. Anonymous bodies are never call-graph targets.
+
+use std::collections::BTreeMap;
+
+use crate::ast;
+use crate::lexer::{TokKind, Token};
+use crate::policy::Policy;
+use crate::workspace::{path_in, Context, SourceFile};
+
+pub mod blocking;
+pub mod condvar;
+pub mod lock_order;
+pub mod poison;
+
+/// Which accessor created a guard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `Mutex::lock` / `lock_unpoisoned`.
+    Lock,
+    /// `RwLock::read` / `read_unpoisoned`.
+    Read,
+    /// `RwLock::write` / `write_unpoisoned`.
+    Write,
+}
+
+impl AcqKind {
+    /// The shared-helper name that performs this acquisition.
+    pub fn helper(self) -> &'static str {
+        match self {
+            AcqKind::Lock => "lock_unpoisoned",
+            AcqKind::Read => "read_unpoisoned",
+            AcqKind::Write => "write_unpoisoned",
+        }
+    }
+}
+
+/// How an acquisition's `LockResult` was handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Handling {
+    /// Through one of the shared `*_unpoisoned` helpers.
+    Helper,
+    /// Hand-rolled `unwrap_or_else(PoisonError::into_inner)`.
+    RawIdiom,
+    /// `unwrap()` / `expect(..)` — a poisoned lock panics here.
+    Crash,
+    /// Anything else: bound raw, `ok()`, `match`ed, …
+    Other,
+}
+
+/// One lock acquisition and its lexical extent.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// Accessor kind.
+    pub kind: AcqKind,
+    /// Receiver identifier (`state` in `shard.state.lock()` or
+    /// `lock_unpoisoned(&shard.state)`); empty when unrecoverable.
+    pub receiver: String,
+    /// Index into `Policy::conc_lock_classes`, if the (file, receiver)
+    /// pair matches a declared class.
+    pub class: Option<usize>,
+    /// 1-based source line of the acquisition.
+    pub line: u32,
+    /// 1-based source column of the acquisition.
+    pub col: u32,
+    /// Token index of the acquisition ident.
+    pub tok: usize,
+    /// Token index at which the guard is lexically dead (exclusive).
+    pub dies: usize,
+    /// `let`-binding name, `None` for chain temporaries.
+    pub binding: Option<String>,
+    /// Poison-handling discipline observed at the acquisition.
+    pub handling: Handling,
+}
+
+impl Guard {
+    /// Whether the guard is held at token index `t`.
+    pub fn live_at(&self, t: usize) -> bool {
+        self.tok < t && t < self.dies
+    }
+}
+
+/// One call site (function or method).
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Bare callee name (`try_send`, not `queue.try_send`).
+    pub callee: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Token index of the callee ident.
+    pub tok: usize,
+    /// Whether this was a `.method()` call.
+    pub method: bool,
+    /// Whether the argument list is empty (`join()` vs `join(", ")`).
+    pub empty_args: bool,
+    /// Whether any enclosing block is a `while` / `loop` / `for` body.
+    pub in_loop: bool,
+    /// For condvar-wait shapes: the guard binding consumed by the wait.
+    pub wait_guard: Option<String>,
+    /// For condvar-wait shapes: the condvar receiver being waited on.
+    pub condvar: Option<String>,
+}
+
+/// A state mutation observed through a live guard.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// Index into the owning [`FnBody::guards`].
+    pub guard: usize,
+    /// 1-based source line of the mutating method / assignment.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Token index of the mutation.
+    pub tok: usize,
+}
+
+/// A `notify_one` / `notify_all` call.
+#[derive(Debug, Clone)]
+pub struct Notify {
+    /// Condvar receiver identifier.
+    pub condvar: String,
+    /// Token index of the notify ident.
+    pub tok: usize,
+}
+
+/// Per-function concurrency facts.
+#[derive(Debug)]
+pub struct FnBody {
+    /// Index of the owning file in `Context::files`.
+    pub file: usize,
+    /// Function name; spawn closures get `parent::<spawn@L<line>>`.
+    pub name: String,
+    /// 1-based line of the function (or spawn) name.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Acquisitions, in token order.
+    pub guards: Vec<Guard>,
+    /// Call sites, in token order.
+    pub calls: Vec<Call>,
+    /// Mutations through live guards.
+    pub mutations: Vec<Mutation>,
+    /// Condvar notifications.
+    pub notifies: Vec<Notify>,
+}
+
+/// The whole-workspace analysis the passes consume.
+pub struct Analysis<'a> {
+    /// The lint context (files, policy).
+    pub ctx: &'a Context,
+    /// Every analyzed function body.
+    pub fns: Vec<FnBody>,
+    /// Name → indices into `fns` (anonymous bodies excluded).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Per-fn: lock class index → witness acquisition chain.
+    pub trans_acquires: Vec<BTreeMap<usize, String>>,
+    /// Per-fn: witness chain to a blocking primitive, if reachable.
+    pub trans_blocking: Vec<Option<String>>,
+}
+
+/// Method names that mutate the receiver's protected data.
+const MUTATORS: &[&str] = &[
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "push_front",
+    "pop",
+    "pop_front",
+    "pop_back",
+    "clear",
+    "drain",
+    "extend",
+    "take",
+    "append",
+    "swap",
+    "retain",
+    "truncate",
+];
+
+/// Names never resolved through the call graph: they collide with
+/// std-prelude / collection / trait methods, and resolving `guard.len()`
+/// to a workspace `fn len` would fabricate call edges (and with them,
+/// lock-order self-cycles) that do not exist. `wait` is here because
+/// `.wait(..)` is `Condvar::wait` (already a direct blocking primitive);
+/// resolving it to a workspace `fn wait` would route the condvar back
+/// into that function's own acquisitions.
+const NO_RESOLVE: &[&str] = &[
+    "all",
+    "any",
+    "as_ref",
+    "as_str",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "default",
+    "drop",
+    "entry",
+    "eq",
+    "expect",
+    "filter",
+    "find",
+    "finish",
+    "fmt",
+    "from",
+    "get",
+    "get_mut",
+    "hash",
+    "into",
+    "into_iter",
+    "is_empty",
+    "is_none",
+    "is_some",
+    "iter",
+    "iter_mut",
+    "len",
+    "map",
+    "max",
+    "min",
+    "ne",
+    "new",
+    "next",
+    "ok",
+    "partial_cmp",
+    "read",
+    "sum",
+    "to_string",
+    "unwrap",
+    "unwrap_or",
+    "unwrap_or_else",
+    "wait",
+    "write",
+];
+
+/// Keywords that can precede `(` without being calls.
+const KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "false", "fn",
+    "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref",
+    "return", "self", "Self", "static", "struct", "super", "trait", "true", "type", "unsafe",
+    "use", "where", "while",
+];
+
+impl<'a> Analysis<'a> {
+    /// Workspace-relative path of the file owning `f`.
+    pub fn rel(&self, f: &FnBody) -> &str {
+        &self.ctx.files[f.file].rel_path
+    }
+
+    /// Call-graph targets for a bare callee name. Empty for names on the
+    /// no-resolve list and for names with no workspace definition.
+    pub fn resolve(&self, callee: &str) -> &[usize] {
+        if NO_RESOLVE.contains(&callee) || MUTATORS.contains(&callee) {
+            return &[];
+        }
+        self.by_name.get(callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// A function's base name with any `::<spawn@..>` suffix stripped, for
+/// matching `"file-prefix fn-name"` allowlist entries.
+pub fn base_name(name: &str) -> &str {
+    name.split("::").next().unwrap_or(name)
+}
+
+/// Whether `(rel, fn_name)` matches any `"path-prefix fn-name"` pair.
+pub fn allowed(pairs: &[(String, String)], rel: &str, fn_name: &str) -> bool {
+    let base = base_name(fn_name);
+    pairs
+        .iter()
+        .any(|(p, n)| rel.starts_with(p.as_str()) && n == base)
+}
+
+/// Runs the per-function extraction and the call-graph fixpoint over
+/// every non-test file under the policy's concurrency paths.
+pub fn analyze(ctx: &Context) -> Analysis<'_> {
+    let mut fns: Vec<FnBody> = Vec::new();
+    for (fi, file) in ctx.files.iter().enumerate() {
+        if file.is_test_file || !path_in(&file.rel_path, &ctx.policy.conc_paths) {
+            continue;
+        }
+        let items = ast::fn_items(&file.lexed);
+        for item in &items {
+            if file.is_test_line(item.line) {
+                continue;
+            }
+            // Effects inside nested `fn` items belong to those items.
+            let nested: Vec<(usize, usize)> = items
+                .iter()
+                .filter(|o| o.body.0 > item.body.0 && o.body.1 < item.body.1)
+                .map(|o| (o.body.0, o.body.1))
+                .collect();
+            extract(
+                fi,
+                file,
+                &ctx.policy,
+                &item.name,
+                item.line,
+                item.col,
+                item.body.0 + 1,
+                item.body.1,
+                &nested,
+                &mut fns,
+            );
+        }
+    }
+
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, f) in fns.iter().enumerate() {
+        if !f.name.contains('<') {
+            by_name.entry(f.name.clone()).or_default().push(i);
+        }
+    }
+
+    // Seed the transitive relations from direct facts.
+    let n = fns.len();
+    let mut trans_acquires: Vec<BTreeMap<usize, String>> = vec![BTreeMap::new(); n];
+    let mut trans_blocking: Vec<Option<String>> = vec![None; n];
+    for (i, f) in fns.iter().enumerate() {
+        let rel = &ctx.files[f.file].rel_path;
+        for g in &f.guards {
+            if let Some(c) = g.class {
+                trans_acquires[i]
+                    .entry(c)
+                    .or_insert_with(|| format!("{}:{}", rel, g.line));
+            }
+        }
+        for c in &f.calls {
+            if trans_blocking[i].is_none() && is_blocking_direct(&ctx.policy, c) {
+                trans_blocking[i] = Some(format!("`{}` at {}:{}", c.callee, rel, c.line));
+            }
+        }
+    }
+
+    // Propagate through resolved calls to a fixpoint. BTreeMap iteration
+    // and first-writer-wins witnesses keep the result deterministic.
+    let analysis_resolve = |callee: &str| -> Vec<usize> {
+        if NO_RESOLVE.contains(&callee) || MUTATORS.contains(&callee) {
+            return Vec::new();
+        }
+        by_name.get(callee).cloned().unwrap_or_default()
+    };
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for c in &fns[i].calls {
+                for j in analysis_resolve(&c.callee) {
+                    let adds: Vec<(usize, String)> = trans_acquires[j]
+                        .iter()
+                        .filter(|(k, _)| !trans_acquires[i].contains_key(k))
+                        .map(|(k, w)| (*k, format!("{} -> {}", c.callee, w)))
+                        .collect();
+                    for (k, w) in adds {
+                        trans_acquires[i].insert(k, w);
+                        changed = true;
+                    }
+                    if trans_blocking[i].is_none() {
+                        if let Some(w) = trans_blocking[j].clone() {
+                            trans_blocking[i] = Some(format!("{} -> {}", c.callee, w));
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Analysis {
+        ctx,
+        fns,
+        by_name,
+        trans_acquires,
+        trans_blocking,
+    }
+}
+
+/// Whether a call site directly names a declared blocking primitive.
+/// `join` only counts with an empty argument list (`str::join` and
+/// `Path::join` take one).
+pub fn is_blocking_direct(policy: &Policy, c: &Call) -> bool {
+    policy.conc_blocking_calls.iter().any(|b| b == &c.callee)
+        && (c.callee != "join" || c.empty_args)
+}
+
+fn in_skips(skips: &[(usize, usize)], i: usize) -> Option<usize> {
+    skips
+        .iter()
+        .find(|&&(s, e)| i >= s && i <= e)
+        .map(|&(_, e)| e)
+}
+
+fn matching_close(toks: &[Token], open: usize, oc: char, cc: char) -> Option<usize> {
+    let mut d = 0i32;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct(oc) {
+            d += 1;
+        } else if t.is_punct(cc) {
+            d -= 1;
+            if d == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Receiver ident of a `.method` call: the ident before the dot,
+/// skipping one or more balanced index expressions (`deques[victim]`).
+fn receiver_before_dot(toks: &[Token], dot: usize) -> Option<(String, usize)> {
+    let mut j = dot.checked_sub(1)?;
+    while toks[j].is_punct(']') {
+        let mut d = 0i32;
+        loop {
+            if toks[j].is_punct(']') {
+                d += 1;
+            } else if toks[j].is_punct('[') {
+                d -= 1;
+                if d == 0 {
+                    break;
+                }
+            }
+            j = j.checked_sub(1)?;
+        }
+        j = j.checked_sub(1)?;
+    }
+    if matches!(toks[j].kind, TokKind::Ident) {
+        Some((toks[j].text.clone(), j))
+    } else {
+        None
+    }
+}
+
+/// Walks `a.b.c` field chains backwards to the root ident.
+fn chain_root(toks: &[Token], p: usize) -> usize {
+    let mut r = p;
+    while r >= 2 && toks[r - 1].is_punct('.') && matches!(toks[r - 2].kind, TokKind::Ident) {
+        r -= 2;
+    }
+    r
+}
+
+/// Walks `a::b::c` paths backwards to the root segment.
+fn path_root(toks: &[Token], p: usize) -> usize {
+    let mut r = p;
+    while r >= 2
+        && matches!(toks[r - 1].kind, TokKind::PathSep)
+        && matches!(toks[r - 2].kind, TokKind::Ident)
+    {
+        r -= 2;
+    }
+    r
+}
+
+/// Result of walking a method/field chain forward from an expression.
+struct ChainWalk {
+    /// Last token index consumed by the chain.
+    end: usize,
+    /// First *called* method: `(name, open-paren index)`.
+    first_method: Option<(String, usize)>,
+    /// Token index of the first mutating chain method.
+    mutator: Option<usize>,
+    /// Number of `.segment` steps taken.
+    steps: usize,
+}
+
+/// Follows `.field`, `.method(..)` and `[..]` links starting at `j` (the
+/// first token after the root expression).
+fn walk_chain(toks: &[Token], j0: usize) -> ChainWalk {
+    let mut j = j0;
+    let mut w = ChainWalk {
+        end: j0.saturating_sub(1),
+        first_method: None,
+        mutator: None,
+        steps: 0,
+    };
+    while j + 1 < toks.len() && toks[j].is_punct('.') && matches!(toks[j + 1].kind, TokKind::Ident)
+    {
+        let name = toks[j + 1].text.clone();
+        let ni = j + 1;
+        w.steps += 1;
+        j += 2;
+        if j < toks.len() && toks[j].is_punct('(') {
+            if w.first_method.is_none() {
+                w.first_method = Some((name.clone(), j));
+            }
+            if w.mutator.is_none() && MUTATORS.contains(&name.as_str()) {
+                w.mutator = Some(ni);
+            }
+            match matching_close(toks, j, '(', ')') {
+                Some(c) => j = c + 1,
+                None => {
+                    w.end = ni;
+                    return w;
+                }
+            }
+        }
+        while j < toks.len() && toks[j].is_punct('[') {
+            match matching_close(toks, j, '[', ']') {
+                Some(c) => j = c + 1,
+                None => {
+                    w.end = j;
+                    return w;
+                }
+            }
+        }
+        w.end = j - 1;
+    }
+    w
+}
+
+/// Whether the token at `j` starts an assignment (`=`, `+=`, …) rather
+/// than a comparison (`==`) or match arm (`=>`).
+fn assignment_after(toks: &[Token], j: usize) -> bool {
+    let Some(t) = toks.get(j) else { return false };
+    let next_is = |c: char| toks.get(j + 1).is_some_and(|t| t.is_punct(c));
+    if t.is_punct('=') {
+        return !next_is('=') && !next_is('>');
+    }
+    matches!(
+        t.text.as_str(),
+        "+" | "-" | "*" | "/" | "%" | "&" | "|" | "^"
+    ) && next_is('=')
+}
+
+/// `let`-binding name for an expression whose root token is `r`, if the
+/// expression is directly assigned to a plain identifier. `*`/`&`
+/// prefixes (the value is copied/borrowed out, the guard is a temporary)
+/// and destructuring patterns yield `None`.
+fn binding_before(toks: &[Token], r: usize) -> Option<String> {
+    if r == 0 {
+        return None;
+    }
+    let prev = &toks[r - 1];
+    if !prev.is_punct('=') || r < 2 {
+        return None;
+    }
+    let b = &toks[r - 2];
+    if matches!(b.kind, TokKind::Ident) && !KEYWORDS.contains(&b.text.as_str()) {
+        Some(b.text.clone())
+    } else {
+        None
+    }
+}
+
+/// Finds the terminating `;` of the statement continuing at `j`
+/// (bounded by `end`); used to extend temporary-guard extents across
+/// trailing assignments.
+fn stmt_semi(toks: &[Token], j: usize, end: usize) -> usize {
+    let mut d = 0i32;
+    let mut k = j;
+    while k < end {
+        let t = &toks[k];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+            d += 1;
+        } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+            d -= 1;
+            if d < 0 {
+                return k;
+            }
+        } else if t.is_punct(';') && d == 0 {
+            return k;
+        }
+        k += 1;
+    }
+    end
+}
+
+fn in_loop_at(toks: &[Token], blocks: &[usize]) -> bool {
+    blocks.iter().any(|&ob| {
+        for k in (ob.saturating_sub(64)..ob).rev() {
+            let t = &toks[k];
+            if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+                return false;
+            }
+            if t.is_ident("while") || t.is_ident("loop") || t.is_ident("for") {
+                return true;
+            }
+        }
+        false
+    })
+}
+
+fn handling_of(toks: &[Token], w: &ChainWalk) -> Handling {
+    match &w.first_method {
+        Some((m, open)) if m == "unwrap_or_else" => {
+            let close = matching_close(toks, *open, '(', ')').unwrap_or(*open);
+            let body = &toks[*open..=close];
+            let has_pe = body.iter().any(|t| t.is_ident("PoisonError"));
+            let has_ii = body.iter().any(|t| t.is_ident("into_inner"));
+            if has_pe && has_ii {
+                Handling::RawIdiom
+            } else {
+                Handling::Other
+            }
+        }
+        Some((m, _)) if m == "unwrap" || m == "expect" => Handling::Crash,
+        _ => Handling::Other,
+    }
+}
+
+/// Extracts one function (or spawn-closure) body. `spawn(...)` argument
+/// ranges are carved out and recursed on as anonymous bodies.
+#[allow(clippy::too_many_arguments)]
+fn extract(
+    file_idx: usize,
+    file: &SourceFile,
+    policy: &Policy,
+    name: &str,
+    line: u32,
+    col: u32,
+    start: usize,
+    end: usize,
+    skips: &[(usize, usize)],
+    out: &mut Vec<FnBody>,
+) {
+    let toks = &file.lexed.tokens;
+
+    let mut spawns: Vec<(usize, usize)> = Vec::new();
+    let mut i = start;
+    while i < end {
+        if let Some(e) = in_skips(skips, i) {
+            i = e + 1;
+            continue;
+        }
+        if toks[i].is_ident("spawn")
+            && i + 1 < end
+            && toks[i + 1].is_punct('(')
+            && !(i > 0 && toks[i - 1].is_ident("fn"))
+        {
+            if let Some(c) = matching_close(toks, i + 1, '(', ')') {
+                if c <= end {
+                    spawns.push((i + 1, c));
+                    i = c + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    let mut all_skips = skips.to_vec();
+    all_skips.extend(spawns.iter().copied());
+    out.push(extract_one(
+        file_idx, file, policy, name, line, col, start, end, &all_skips,
+    ));
+
+    for &(s, e) in &spawns {
+        let anon = format!("{}::<spawn@L{}>", name, toks[s].line);
+        extract(
+            file_idx,
+            file,
+            policy,
+            &anon,
+            toks[s].line,
+            toks[s].col,
+            s + 1,
+            e,
+            skips,
+            out,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn extract_one(
+    file_idx: usize,
+    file: &SourceFile,
+    policy: &Policy,
+    name: &str,
+    line: u32,
+    col: u32,
+    start: usize,
+    end: usize,
+    skips: &[(usize, usize)],
+) -> FnBody {
+    let toks = &file.lexed.tokens;
+    let rel = &file.rel_path;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut calls: Vec<Call> = Vec::new();
+    let mut notifies: Vec<Notify> = Vec::new();
+    let mut mutations: Vec<Mutation> = Vec::new();
+    let mut drops: Vec<(String, usize)> = Vec::new();
+    let mut blocks: Vec<usize> = Vec::new();
+
+    let classify = |receiver: &str| -> Option<usize> {
+        policy
+            .conc_lock_classes
+            .iter()
+            .position(|c| rel.starts_with(&c.path) && c.receiver == receiver)
+    };
+
+    // Records one acquisition: computes extent / binding / handling and
+    // any mutation performed through a chain temporary.
+    let record_guard = |kind: AcqKind,
+                        receiver: String,
+                        tok: usize,
+                        root: usize,
+                        chain_from: usize,
+                        base_handling: Option<Handling>,
+                        blocks: &[usize],
+                        guards: &mut Vec<Guard>,
+                        mutations: &mut Vec<Mutation>| {
+        let w = walk_chain(toks, chain_from);
+        let handling = base_handling.unwrap_or_else(|| handling_of(toks, &w));
+        let binding = binding_before(toks, root);
+        let deref = root >= 1 && (toks[root - 1].is_punct('*') || toks[root - 1].is_punct('&'));
+        let block_close = blocks
+            .last()
+            .and_then(|&ob| ast::matching_brace(toks, ob))
+            .unwrap_or(end)
+            .min(end);
+        let assigned = assignment_after(toks, w.end + 1);
+        let dies = if binding.is_some() && !deref {
+            block_close
+        } else if assigned {
+            stmt_semi(toks, w.end + 1, end)
+        } else {
+            w.end + 1
+        };
+        guards.push(Guard {
+            kind,
+            receiver,
+            class: None, // filled below
+            line: toks[tok].line,
+            col: toks[tok].col,
+            tok,
+            dies,
+            binding: if deref { None } else { binding },
+            handling,
+        });
+        let gi = guards.len() - 1;
+        guards[gi].class = classify(&guards[gi].receiver);
+        if guards[gi].binding.is_none() {
+            if let Some(mt) = w.mutator {
+                mutations.push(Mutation {
+                    guard: gi,
+                    line: toks[mt].line,
+                    col: toks[mt].col,
+                    tok: mt,
+                });
+            } else if assigned && (w.steps >= 1 || deref) {
+                let at = w.end.max(tok);
+                mutations.push(Mutation {
+                    guard: gi,
+                    line: toks[at].line,
+                    col: toks[at].col,
+                    tok: at,
+                });
+            }
+        }
+    };
+
+    let mut i = start;
+    while i < end {
+        if let Some(e) = in_skips(skips, i) {
+            i = e + 1;
+            continue;
+        }
+        let t = &toks[i];
+        if t.is_punct('{') {
+            blocks.push(i);
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            blocks.pop();
+            i += 1;
+            continue;
+        }
+        if !matches!(t.kind, TokKind::Ident) {
+            i += 1;
+            continue;
+        }
+        let name_s = t.text.as_str();
+        let next_open = i + 1 < end && toks[i + 1].is_punct('(');
+        let prev_dot = i >= 1 && toks[i - 1].is_punct('.');
+        let prev_fn = i >= 1 && toks[i - 1].is_ident("fn");
+
+        // Method acquisitions: `<recv>.lock()` / `.read()` / `.write()`.
+        // Empty parens distinguish them from `io::Read::read(&mut buf)`.
+        if prev_dot
+            && next_open
+            && matches!(name_s, "lock" | "read" | "write")
+            && i + 2 < toks.len()
+            && toks[i + 2].is_punct(')')
+        {
+            let kind = match name_s {
+                "lock" => AcqKind::Lock,
+                "read" => AcqKind::Read,
+                _ => AcqKind::Write,
+            };
+            let (receiver, root) = match receiver_before_dot(toks, i - 1) {
+                Some((r, p)) => (r, chain_root(toks, p)),
+                None => (String::new(), i),
+            };
+            record_guard(
+                kind,
+                receiver,
+                i,
+                root,
+                i + 3,
+                None,
+                &blocks,
+                &mut guards,
+                &mut mutations,
+            );
+            i += 1;
+            continue;
+        }
+
+        // Helper acquisitions: `lock_unpoisoned(&shard.state)` etc.
+        if !prev_fn
+            && next_open
+            && matches!(
+                name_s,
+                "lock_unpoisoned" | "read_unpoisoned" | "write_unpoisoned"
+            )
+        {
+            if let Some(close) = matching_close(toks, i + 1, '(', ')') {
+                let kind = match name_s {
+                    "lock_unpoisoned" => AcqKind::Lock,
+                    "read_unpoisoned" => AcqKind::Read,
+                    _ => AcqKind::Write,
+                };
+                // Receiver: last ident at depth 0 in the argument, so
+                // `&self.deques[victim]` names `deques`, not `victim`.
+                let mut receiver = String::new();
+                let mut d = 0i32;
+                for a in &toks[i + 2..close] {
+                    if a.is_punct('[') || a.is_punct('(') {
+                        d += 1;
+                    } else if a.is_punct(']') || a.is_punct(')') {
+                        d -= 1;
+                    } else if d == 0 && matches!(a.kind, TokKind::Ident) {
+                        receiver = a.text.clone();
+                    }
+                }
+                let root = path_root(toks, i);
+                record_guard(
+                    kind,
+                    receiver,
+                    i,
+                    root,
+                    close + 1,
+                    Some(Handling::Helper),
+                    &blocks,
+                    &mut guards,
+                    &mut mutations,
+                );
+                i += 1;
+                continue;
+            }
+        }
+
+        // Condvar wait through the shared helper:
+        // `wait_unpoisoned(&self.cv, guard)`.
+        if !prev_fn && next_open && name_s == "wait_unpoisoned" {
+            if let Some(close) = matching_close(toks, i + 1, '(', ')') {
+                let mut d = 0i32;
+                let mut comma = None;
+                for (k, a) in toks.iter().enumerate().take(close).skip(i + 2) {
+                    if a.is_punct('(') || a.is_punct('[') {
+                        d += 1;
+                    } else if a.is_punct(')') || a.is_punct(']') {
+                        d -= 1;
+                    } else if a.is_punct(',') && d == 0 {
+                        comma = Some(k);
+                        break;
+                    }
+                }
+                if let Some(cm) = comma {
+                    let condvar = toks[i + 2..cm]
+                        .iter()
+                        .rfind(|a| matches!(a.kind, TokKind::Ident))
+                        .map(|a| a.text.clone());
+                    let wait_guard = toks[cm + 1..close]
+                        .iter()
+                        .rfind(|a| matches!(a.kind, TokKind::Ident))
+                        .map(|a| a.text.clone());
+                    calls.push(Call {
+                        callee: name_s.to_string(),
+                        line: t.line,
+                        col: t.col,
+                        tok: i,
+                        method: false,
+                        empty_args: false,
+                        in_loop: in_loop_at(toks, &blocks),
+                        wait_guard,
+                        condvar,
+                    });
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Raw condvar wait: `cv.wait(guard)` with a single-ident arg.
+        if prev_dot
+            && next_open
+            && name_s == "wait"
+            && i + 3 < toks.len()
+            && matches!(toks[i + 2].kind, TokKind::Ident)
+            && toks[i + 3].is_punct(')')
+        {
+            let condvar = receiver_before_dot(toks, i - 1).map(|(r, _)| r);
+            calls.push(Call {
+                callee: name_s.to_string(),
+                line: t.line,
+                col: t.col,
+                tok: i,
+                method: true,
+                empty_args: false,
+                in_loop: in_loop_at(toks, &blocks),
+                wait_guard: Some(toks[i + 2].text.clone()),
+                condvar,
+            });
+            i += 1;
+            continue;
+        }
+
+        // Condvar notifications.
+        if prev_dot && next_open && matches!(name_s, "notify_one" | "notify_all") {
+            if let Some((cv, _)) = receiver_before_dot(toks, i - 1) {
+                notifies.push(Notify {
+                    condvar: cv,
+                    tok: i,
+                });
+            }
+            i += 1;
+            continue;
+        }
+
+        // Explicit guard death: `drop(name)`.
+        if !prev_dot
+            && !prev_fn
+            && next_open
+            && name_s == "drop"
+            && i + 3 < toks.len()
+            && matches!(toks[i + 2].kind, TokKind::Ident)
+            && toks[i + 3].is_punct(')')
+        {
+            drops.push((toks[i + 2].text.clone(), i));
+            i += 4;
+            continue;
+        }
+
+        // Everything else with parens is a generic call site.
+        if next_open && !prev_fn && !KEYWORDS.contains(&name_s) {
+            let empty = toks.get(i + 2).is_some_and(|a| a.is_punct(')'));
+            calls.push(Call {
+                callee: name_s.to_string(),
+                line: t.line,
+                col: t.col,
+                tok: i,
+                method: prev_dot,
+                empty_args: empty,
+                in_loop: in_loop_at(toks, &blocks),
+                wait_guard: None,
+                condvar: None,
+            });
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+
+    // Shorten bound-guard extents at the first explicit drop.
+    for g in &mut guards {
+        if let Some(b) = &g.binding {
+            if let Some(&(_, dtok)) = drops.iter().find(|(n, dt)| n == b && *dt > g.tok) {
+                g.dies = g.dies.min(dtok);
+            }
+        }
+    }
+
+    // Mutations through bound guards: `g.queue.push_back(..)`,
+    // `g.field = v`, `*g = v`. A bare `g = ...` (zero chain steps) is a
+    // rebinding — `g = wait_unpoisoned(&cv, g)` — not a data mutation.
+    let mut bound_muts: Vec<Mutation> = Vec::new();
+    for (gi, g) in guards.iter().enumerate() {
+        let Some(b) = &g.binding else { continue };
+        let mut k = g.tok + 1;
+        while k < g.dies.min(end) {
+            if let Some(e) = in_skips(skips, k) {
+                k = e + 1;
+                continue;
+            }
+            let t = &toks[k];
+            let is_root = matches!(t.kind, TokKind::Ident)
+                && t.text == *b
+                && !(k >= 1
+                    && (toks[k - 1].is_punct('.') || matches!(toks[k - 1].kind, TokKind::PathSep)));
+            if !is_root {
+                k += 1;
+                continue;
+            }
+            if k >= 1 && toks[k - 1].is_punct('*') && assignment_after(toks, k + 1) {
+                bound_muts.push(Mutation {
+                    guard: gi,
+                    line: t.line,
+                    col: t.col,
+                    tok: k,
+                });
+                k += 1;
+                continue;
+            }
+            let w = walk_chain(toks, k + 1);
+            if let Some(mt) = w.mutator {
+                bound_muts.push(Mutation {
+                    guard: gi,
+                    line: toks[mt].line,
+                    col: toks[mt].col,
+                    tok: mt,
+                });
+            } else if w.steps >= 1 && assignment_after(toks, w.end + 1) {
+                bound_muts.push(Mutation {
+                    guard: gi,
+                    line: toks[w.end].line,
+                    col: toks[w.end].col,
+                    tok: w.end,
+                });
+            }
+            k = w.end.max(k) + 1;
+        }
+    }
+    mutations.extend(bound_muts);
+    mutations.sort_by_key(|m| m.tok);
+
+    FnBody {
+        file: file_idx,
+        name: name.to_string(),
+        line,
+        col,
+        guards,
+        calls,
+        mutations,
+        notifies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{CondvarPairDecl, LockClassDecl};
+
+    fn policy() -> Policy {
+        Policy {
+            conc_paths: vec!["src/".to_string()],
+            conc_lock_classes: vec![
+                LockClassDecl {
+                    name: "state".to_string(),
+                    path: "src/a.rs".to_string(),
+                    receiver: "state".to_string(),
+                },
+                LockClassDecl {
+                    name: "registry".to_string(),
+                    path: "src/a.rs".to_string(),
+                    receiver: "workers".to_string(),
+                },
+            ],
+            conc_blocking_calls: vec!["join".to_string(), "sleep".to_string()],
+            conc_condvar_pairs: vec![CondvarPairDecl {
+                path: "src/a.rs".to_string(),
+                mutex_receiver: "state".to_string(),
+                condvar: "ready".to_string(),
+            }],
+            conc_helper_file: "src/sync.rs".to_string(),
+            ..Policy::default()
+        }
+    }
+
+    fn ctx(src: &str) -> Context {
+        Context::from_parts(
+            policy(),
+            vec![SourceFile::from_source("src/a.rs", src)],
+            vec![],
+        )
+    }
+
+    fn one_fn(a: &Analysis<'_>, name: &str) -> usize {
+        a.by_name.get(name).map(|v| v[0]).unwrap_or_else(|| {
+            panic!(
+                "no fn {name:?}; have {:?}",
+                a.by_name.keys().collect::<Vec<_>>()
+            )
+        })
+    }
+
+    #[test]
+    fn bound_guard_lives_to_block_end_and_classifies() {
+        let src = "fn f(s: &S) {\n    let mut st = s.state.lock().unwrap();\n    st.queue.push_back(1);\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        assert_eq!(f.guards.len(), 1);
+        let g = &f.guards[0];
+        assert_eq!(g.receiver, "state");
+        assert_eq!(g.class, Some(0));
+        assert_eq!(g.binding.as_deref(), Some("st"));
+        assert_eq!(g.handling, Handling::Crash);
+        // The push_back is a mutation through the live guard.
+        assert_eq!(f.mutations.len(), 1);
+        assert!(g.live_at(f.mutations[0].tok));
+    }
+
+    #[test]
+    fn helper_guard_is_helper_handled_and_drop_shortens() {
+        let src = "fn f(s: &S) {\n    let st = lock_unpoisoned(&s.state);\n    drop(st);\n    s.other.join();\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        assert_eq!(f.guards[0].handling, Handling::Helper);
+        let join = f.calls.iter().find(|c| c.callee == "join").unwrap();
+        assert!(
+            !f.guards[0].live_at(join.tok),
+            "drop(st) must end the guard before the join"
+        );
+    }
+
+    #[test]
+    fn chain_temporary_dies_at_chain_end_but_covers_its_mutator() {
+        let src = "fn f(s: &S) {\n    lock_unpoisoned(&s.state).queue.push_back(1);\n    s.h.join();\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        let g = &f.guards[0];
+        assert!(g.binding.is_none());
+        assert_eq!(f.mutations.len(), 1);
+        let join = f.calls.iter().find(|c| c.callee == "join").unwrap();
+        assert!(!g.live_at(join.tok), "temporary must not reach the join");
+    }
+
+    #[test]
+    fn deref_assignment_is_a_mutation_not_a_binding() {
+        let src = "fn f(s: &S) {\n    let mut g = s.state.lock().unwrap_or_else(PoisonError::into_inner);\n    *g = 5;\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        assert_eq!(f.guards[0].handling, Handling::RawIdiom);
+        assert_eq!(f.mutations.len(), 1);
+    }
+
+    #[test]
+    fn rebinding_from_wait_is_not_a_mutation_and_wait_is_in_loop() {
+        let src = "fn f(s: &S) {\n    let mut st = lock_unpoisoned(&s.state);\n    while st.queue_empty() {\n        st = wait_unpoisoned(&s.ready, st);\n    }\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        assert!(f.mutations.is_empty(), "{:?}", f.mutations);
+        let w = f
+            .calls
+            .iter()
+            .find(|c| c.callee == "wait_unpoisoned")
+            .unwrap();
+        assert!(w.in_loop);
+        assert_eq!(w.wait_guard.as_deref(), Some("st"));
+        assert_eq!(w.condvar.as_deref(), Some("ready"));
+    }
+
+    #[test]
+    fn spawn_closure_effects_do_not_nest_under_spawner_guards() {
+        let src = "fn f(s: &S) {\n    let mut ws = s.workers.lock().unwrap();\n    ws.push(spawn(move || {\n        s.other.join();\n    }));\n}\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = &a.fns[one_fn(&a, "f")];
+        assert!(
+            !f.calls.iter().any(|c| c.callee == "join"),
+            "join belongs to the spawned closure"
+        );
+        let anon = a
+            .fns
+            .iter()
+            .find(|b| b.name.contains("<spawn@"))
+            .expect("anonymous spawn body");
+        assert!(anon.calls.iter().any(|c| c.callee == "join"));
+    }
+
+    #[test]
+    fn call_graph_propagates_acquisitions_and_blocking() {
+        let src = "fn leaf(s: &S) {\n    let _g = lock_unpoisoned(&s.state);\n    sleep(d);\n}\nfn mid(s: &S) { leaf(s); }\nfn top(s: &S) { mid(s); }\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let top = one_fn(&a, "top");
+        assert!(a.trans_acquires[top].contains_key(&0));
+        let w = a.trans_acquires[top].get(&0).unwrap();
+        assert!(w.starts_with("mid -> leaf -> "), "witness chain: {w}");
+        assert!(a.trans_blocking[top].is_some());
+    }
+
+    #[test]
+    fn prelude_collision_names_are_never_resolved() {
+        let src = "fn clear(s: &S) {\n    let _g = lock_unpoisoned(&s.state);\n}\nfn f(g: &G) { g.clear(); }\n";
+        let c = ctx(src);
+        let a = analyze(&c);
+        let f = one_fn(&a, "f");
+        assert!(
+            a.trans_acquires[f].is_empty(),
+            "`.clear()` must not resolve to the workspace fn"
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! poison-policy: every lock acquisition goes through the shared
+//! `*_unpoisoned` helpers; no hand-rolled recovery, no poison panics.
+
+use super::{analyze, Handling};
+use crate::diag::Finding;
+use crate::workspace::Context;
+
+/// `--explain poison-policy` rationale.
+pub const EXPLAIN: &str = "\
+The workspace's poison policy is recover-and-continue: a worker that
+panicked mid-request is supervised (its waiters answered, the thread
+respawned), so the state it was mutating is either repaired or discarded
+by the supervisor — propagating the poison by panicking in *other*
+threads would turn one contained crash into a cascade. That policy only
+holds if every acquisition spells it the same way. The pass requires
+every `.lock()` / `.read()` / `.write()` on the serving stack to go
+through the shared helpers (dnnperf_sched::sync::lock_unpoisoned and
+friends): `.unwrap()`/`.expect(..)` turns a poisoned lock into a second
+panic; a hand-rolled `unwrap_or_else(PoisonError::into_inner)` is
+today's idiom forked from tomorrow's policy change; and anything else
+leaves the LockResult to ad-hoc handling. The one file allowed to spell
+the idiom by hand is `[concurrency] helper_file` — the helpers
+themselves.";
+
+/// Runs the pass.
+pub fn run(ctx: &Context) -> Vec<Finding> {
+    let a = analyze(ctx);
+    let helper_file = &ctx.policy.conc_helper_file;
+    let mut out = Vec::new();
+    for f in &a.fns {
+        let rel = a.rel(f);
+        if !helper_file.is_empty() && rel.starts_with(helper_file.as_str()) {
+            continue;
+        }
+        let file = &a.ctx.files[f.file];
+        for g in &f.guards {
+            if g.handling == Handling::Helper {
+                continue;
+            }
+            let helper = g.kind.helper();
+            let message = match g.handling {
+                Handling::Crash => format!(
+                    "poisoned lock would panic here; recover with \
+                     dnnperf_sched::sync::{helper} (policy: poison never cascades)"
+                ),
+                Handling::RawIdiom => format!(
+                    "hand-rolled poison recovery; use dnnperf_sched::sync::{helper} \
+                     so the policy lives in one place"
+                ),
+                _ => format!(
+                    "LockResult handled ad hoc; acquire through \
+                     dnnperf_sched::sync::{helper}"
+                ),
+            };
+            out.push(Finding {
+                file: rel.to_string(),
+                line: g.line,
+                col: g.col,
+                pass: "poison-policy",
+                snippet: file.line_text(g.line).trim().to_string(),
+                message,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::Policy;
+    use crate::workspace::SourceFile;
+
+    fn ctx(files: Vec<(&str, &str)>) -> Context {
+        let policy = Policy {
+            conc_paths: vec!["src/".to_string()],
+            conc_helper_file: "src/sync.rs".to_string(),
+            ..Policy::default()
+        };
+        Context::from_parts(
+            policy,
+            files
+                .into_iter()
+                .map(|(p, s)| SourceFile::from_source(p, s))
+                .collect(),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn unwrap_raw_idiom_and_helper_are_ranked_correctly() {
+        let src = "\
+fn f(s: &S) {
+    let a = s.state.lock().unwrap();
+    let b = s.state.lock().unwrap_or_else(PoisonError::into_inner);
+    let c = lock_unpoisoned(&s.state);
+    let d = s.gauge.read().expect(\"poisoned\");
+}
+";
+        let f = run(&ctx(vec![("src/a.rs", src)]));
+        assert_eq!(f.len(), 3, "{f:#?}");
+        assert!(f[0].message.contains("panic"), "{}", f[0].message);
+        assert!(f[0].message.contains("lock_unpoisoned"));
+        assert!(f[1].message.contains("hand-rolled"), "{}", f[1].message);
+        assert!(f[2].message.contains("read_unpoisoned"), "{}", f[2].message);
+        assert_eq!((f[0].line, f[0].col), (2, 21));
+    }
+
+    #[test]
+    fn helper_file_may_spell_the_idiom_by_hand() {
+        let src = "\
+pub fn lock_unpoisoned(m: &Mutex<T>) -> MutexGuard<T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+";
+        assert!(run(&ctx(vec![("src/sync.rs", src)])).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "\
+fn prod(s: &S) {
+    let _g = lock_unpoisoned(&s.state);
+}
+#[cfg(test)]
+mod tests {
+    fn t(s: &S) {
+        let _g = s.state.lock().unwrap();
+    }
+}
+";
+        assert!(run(&ctx(vec![("src/a.rs", src)])).is_empty());
+    }
+
+    #[test]
+    fn io_read_with_args_is_not_an_acquisition() {
+        let src = "\
+fn f(s: &mut S) {
+    s.stream.read(&mut s.buf).ok();
+}
+";
+        assert!(run(&ctx(vec![("src/a.rs", src)])).is_empty());
+    }
+}

@@ -1,9 +1,10 @@
-//! The pass registry: five named passes, each a pure function from
+//! The pass registry: nine named passes, each a pure function from
 //! [`Context`] to findings.
 
 use crate::diag::Finding;
 use crate::workspace::Context;
 
+pub mod concurrency;
 pub mod determinism;
 pub mod hermeticity;
 pub mod oracle;
@@ -54,6 +55,30 @@ pub fn registry() -> Vec<PassInfo> {
             summary: "every `unsafe` needs an adjacent `// SAFETY:` justification",
             explain: unsafe_audit::EXPLAIN,
             run: unsafe_audit::run,
+        },
+        PassInfo {
+            name: "lock-order",
+            summary: "declared lock classes form an acyclic global acquisition order",
+            explain: concurrency::lock_order::EXPLAIN,
+            run: concurrency::lock_order::run,
+        },
+        PassInfo {
+            name: "blocking-under-lock",
+            summary: "no blocking primitive runs while a lock guard is held",
+            explain: concurrency::blocking::EXPLAIN,
+            run: concurrency::blocking::run,
+        },
+        PassInfo {
+            name: "condvar-discipline",
+            summary: "waits sit in predicate loops; mutations under a paired mutex notify",
+            explain: concurrency::condvar::EXPLAIN,
+            run: concurrency::condvar::run,
+        },
+        PassInfo {
+            name: "poison-policy",
+            summary: "every lock acquisition goes through the shared *_unpoisoned helpers",
+            explain: concurrency::poison::EXPLAIN,
+            run: concurrency::poison::run,
         },
     ]
 }

@@ -9,6 +9,36 @@
 
 use std::collections::BTreeMap;
 
+/// One declared lock class: a named mutex/rwlock the concurrency passes
+/// track, identified by the file it lives in and the field/binding name
+/// the guard is acquired through.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LockClassDecl {
+    /// Human-readable class name used in diagnostics and the global
+    /// lock-order graph (e.g. `shard-state`).
+    pub name: String,
+    /// Path prefix scoping the declaration (e.g.
+    /// `crates/serve/src/cache.rs`): the same receiver ident in another
+    /// file is a different lock.
+    pub path: String,
+    /// The receiver identifier immediately before `.lock()` /
+    /// `.read()` / `.write()` (or last inside a `*_unpoisoned(...)`
+    /// argument), e.g. `state`.
+    pub receiver: String,
+}
+
+/// One declared mutex/condvar pairing the condvar-discipline pass checks
+/// notify-after-mutation against.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CondvarPairDecl {
+    /// Path prefix scoping the pair.
+    pub path: String,
+    /// Receiver ident of the paired mutex (as in [`LockClassDecl`]).
+    pub mutex_receiver: String,
+    /// Field/binding name of the condvar (`not_empty`, `compiled`, ...).
+    pub condvar: String,
+}
+
 /// Parsed lint policy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Policy {
@@ -41,6 +71,26 @@ pub struct Policy {
     pub hermeticity_allowed_externs: Vec<String>,
     /// Path prefixes the workspace walker skips entirely.
     pub workspace_exclude: Vec<String>,
+    /// Path prefixes the four concurrency passes analyze (the serving
+    /// stack). Empty disables them.
+    pub conc_paths: Vec<String>,
+    /// Declared lock classes, parsed from `"name path receiver"` triples.
+    pub conc_lock_classes: Vec<LockClassDecl>,
+    /// Method/function names treated as blocking primitives
+    /// (`join`, `sleep`, `recv_batch`, frame I/O, ...).
+    pub conc_blocking_calls: Vec<String>,
+    /// `(path-prefix, fn-name)` pairs exempt from blocking-under-lock.
+    pub conc_blocking_allow: Vec<(String, String)>,
+    /// Declared mutex/condvar pairs, from `"path mutex condvar"` triples.
+    pub conc_condvar_pairs: Vec<CondvarPairDecl>,
+    /// `(path-prefix, fn-name)` pairs exempt from the
+    /// notify-after-mutation rule (mutations there only *remove* state,
+    /// which can never make a waiter's predicate true).
+    pub conc_condvar_allow: Vec<(String, String)>,
+    /// The one file allowed to spell the raw
+    /// `unwrap_or_else(PoisonError::into_inner)` idiom — the shared
+    /// helper module everyone else must call.
+    pub conc_helper_file: String,
 }
 
 impl Policy {
@@ -68,6 +118,27 @@ impl Policy {
             panic_hot_paths: get_list("panic", "hot_paths"),
             hermeticity_allowed_externs: get_list("hermeticity", "allowed_externs"),
             workspace_exclude: get_list("workspace", "exclude"),
+            conc_paths: get_list("concurrency", "paths"),
+            conc_lock_classes: parse_triples(&get_list("concurrency", "lock_classes"))?
+                .into_iter()
+                .map(|[name, path, receiver]| LockClassDecl {
+                    name,
+                    path,
+                    receiver,
+                })
+                .collect(),
+            conc_blocking_calls: get_list("concurrency", "blocking_calls"),
+            conc_blocking_allow: parse_pairs(&get_list("concurrency", "blocking_allow"))?,
+            conc_condvar_pairs: parse_triples(&get_list("concurrency", "condvar_pairs"))?
+                .into_iter()
+                .map(|[path, mutex_receiver, condvar]| CondvarPairDecl {
+                    path,
+                    mutex_receiver,
+                    condvar,
+                })
+                .collect(),
+            conc_condvar_allow: parse_pairs(&get_list("concurrency", "condvar_allow"))?,
+            conc_helper_file: get_str("concurrency", "helper_file"),
         };
         if p.oracle_crate.is_empty() {
             return Err("lint.toml: [oracle] oracle_crate is required".to_string());
@@ -79,14 +150,55 @@ impl Policy {
     }
 }
 
+/// Splits each `"a b c"` entry into exactly three whitespace-separated
+/// fields, rejecting anything else with the offending entry quoted.
+fn parse_triples(entries: &[String]) -> Result<Vec<[String; 3]>, String> {
+    entries
+        .iter()
+        .map(|e| {
+            let fields: Vec<&str> = e.split_whitespace().collect();
+            match fields.as_slice() {
+                [a, b, c] => Ok([a.to_string(), b.to_string(), c.to_string()]),
+                _ => Err(format!(
+                    "lint.toml: [concurrency] entry `{e}` must have exactly three \
+                     whitespace-separated fields"
+                )),
+            }
+        })
+        .collect()
+}
+
+/// Splits each `"a b"` entry into exactly two whitespace-separated
+/// fields.
+fn parse_pairs(entries: &[String]) -> Result<Vec<(String, String)>, String> {
+    entries
+        .iter()
+        .map(|e| {
+            let fields: Vec<&str> = e.split_whitespace().collect();
+            match fields.as_slice() {
+                [a, b] => Ok((a.to_string(), b.to_string())),
+                _ => Err(format!(
+                    "lint.toml: [concurrency] entry `{e}` must have exactly two \
+                     whitespace-separated fields"
+                )),
+            }
+        })
+        .collect()
+}
+
 /// Parses the TOML subset into `(section, key) -> values` (a scalar
-/// string becomes a single-element list).
+/// string becomes a single-element list). Arrays may span multiple
+/// lines: a value opening with `[` consumes lines until the closing
+/// `]`, with comments stripped per-line.
 fn parse_toml_subset(src: &str) -> Result<BTreeMap<(String, String), Vec<String>>, String> {
     let mut out = BTreeMap::new();
     let mut section = String::new();
-    for (n, raw_line) in src.lines().enumerate() {
+    let lines: Vec<&str> = src.lines().collect();
+    let mut n = 0usize;
+    while n < lines.len() {
         let lineno = n + 1;
-        let line = strip_comment(raw_line).trim().to_string();
+        let line = strip_comment(lines[n]).trim().to_string();
+        n += 1;
         if line.is_empty() {
             continue;
         }
@@ -98,11 +210,30 @@ fn parse_toml_subset(src: &str) -> Result<BTreeMap<(String, String), Vec<String>
             return Err(format!("lint.toml:{lineno}: expected `key = value`"));
         };
         let key = line[..eq].trim().to_string();
-        let val = line[eq + 1..].trim();
+        let mut val = line[eq + 1..].trim().to_string();
+        if val.starts_with('[') && !val.ends_with(']') {
+            // Multi-line array: accumulate until the closing bracket.
+            loop {
+                let Some(cont) = lines.get(n) else {
+                    return Err(format!(
+                        "lint.toml:{lineno}: unterminated array for `{key}`"
+                    ));
+                };
+                let cont = strip_comment(cont).trim().to_string();
+                n += 1;
+                if !cont.is_empty() {
+                    val.push(' ');
+                    val.push_str(&cont);
+                }
+                if cont.ends_with(']') {
+                    break;
+                }
+            }
+        }
         let values = if let Some(body) = val.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
             parse_string_list(body, lineno)?
         } else {
-            vec![parse_string(val, lineno)?]
+            vec![parse_string(&val, lineno)?]
         };
         out.insert((section.clone(), key), values);
     }
@@ -185,8 +316,76 @@ output_paths = ["crates/core/src/",]
     }
 
     #[test]
+    fn multi_line_arrays_parse_with_per_line_comments() {
+        let src = concat!(
+            "[oracle]\noracle_crate = \"g\"\n",
+            "private_modules = [\n",
+            "    \"timing\", # ground truth\n",
+            "    \"fault\",\n",
+            "]\n",
+        );
+        let p = Policy::parse(src).unwrap();
+        assert_eq!(p.oracle_private_modules, vec!["timing", "fault"]);
+    }
+
+    #[test]
+    fn unterminated_array_is_a_loud_error() {
+        let err = Policy::parse("[oracle]\noracle_crate = \"g\"\nprivate_modules = [\n\"m\",\n")
+            .unwrap_err();
+        assert!(err.contains("unterminated"), "{err}");
+    }
+
+    #[test]
     fn hash_inside_string_is_not_a_comment() {
         let raw = parse_toml_subset("[s]\nk = \"a#b\"\n").unwrap();
         assert_eq!(raw[&("s".to_string(), "k".to_string())], vec!["a#b"]);
+    }
+
+    #[test]
+    fn concurrency_section_parses_triples_and_pairs() {
+        let src = concat!(
+            "[oracle]\noracle_crate = \"g\"\nprivate_modules = [\"m\"]\n",
+            "[concurrency]\n",
+            "paths = [\"crates/serve/src/\"]\n",
+            "lock_classes = [\"shard-state crates/serve/src/cache.rs state\"]\n",
+            "blocking_calls = [\"join\", \"sleep\"]\n",
+            "condvar_pairs = [\"crates/serve/src/cache.rs state compiled\"]\n",
+            "condvar_allow = [\"crates/serve/src/cache.rs clear\"]\n",
+            "helper_file = \"crates/scheduler/src/sync.rs\"\n",
+        );
+        let p = Policy::parse(src).unwrap();
+        assert_eq!(p.conc_paths, vec!["crates/serve/src/"]);
+        assert_eq!(
+            p.conc_lock_classes,
+            vec![LockClassDecl {
+                name: "shard-state".into(),
+                path: "crates/serve/src/cache.rs".into(),
+                receiver: "state".into(),
+            }]
+        );
+        assert_eq!(p.conc_blocking_calls, vec!["join", "sleep"]);
+        assert_eq!(
+            p.conc_condvar_pairs,
+            vec![CondvarPairDecl {
+                path: "crates/serve/src/cache.rs".into(),
+                mutex_receiver: "state".into(),
+                condvar: "compiled".into(),
+            }]
+        );
+        assert_eq!(
+            p.conc_condvar_allow,
+            vec![("crates/serve/src/cache.rs".to_string(), "clear".to_string())]
+        );
+        assert_eq!(p.conc_helper_file, "crates/scheduler/src/sync.rs");
+    }
+
+    #[test]
+    fn malformed_lock_class_triple_is_an_error() {
+        let src = concat!(
+            "[oracle]\noracle_crate = \"g\"\nprivate_modules = [\"m\"]\n",
+            "[concurrency]\nlock_classes = [\"only-two fields-here\"]\n",
+        );
+        let err = Policy::parse(src).unwrap_err();
+        assert!(err.contains("three"), "{err}");
     }
 }

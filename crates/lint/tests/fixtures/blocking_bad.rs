@@ -1,0 +1,10 @@
+//! Deliberately-bad fixture: joins the accept thread while still
+//! holding the registry lock — every concurrent shutdown caller now
+//! blocks on a thread that may take arbitrarily long to exit.
+
+pub fn shutdown(srv: &TcpServer) {
+    let mut guard = lock_unpoisoned(&srv.accept_thread);
+    if let Some(h) = guard.take() {
+        let _ = h.join();
+    }
+}

@@ -1,0 +1,12 @@
+//! Clean twin: the handle is taken in its own scope so the registry
+//! guard dies before the join.
+
+pub fn shutdown(srv: &TcpServer) {
+    let handle = {
+        let mut guard = lock_unpoisoned(&srv.accept_thread);
+        guard.take()
+    };
+    if let Some(h) = handle {
+        let _ = h.join();
+    }
+}

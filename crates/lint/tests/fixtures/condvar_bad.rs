@@ -1,0 +1,15 @@
+//! Deliberately-bad fixture, both halves of the condvar discipline:
+//! `take` waits outside a predicate loop (a spurious wakeup returns
+//! with nothing compiled), and `put` mutates shard state without
+//! notifying the paired condvar (waiters sleep through the insert).
+
+pub fn take(shard: &Shard, key: u64) -> Plan {
+    let mut st = lock_unpoisoned(&shard.state);
+    st = wait_unpoisoned(&shard.compiled, st);
+    st.plans.remove(&key).unwrap_or_default()
+}
+
+pub fn put(shard: &Shard, key: u64, plan: Plan) {
+    let mut st = lock_unpoisoned(&shard.state);
+    st.plans.insert(key, plan);
+}

@@ -1,0 +1,18 @@
+//! Clean twin: the wait sits in a predicate loop, and the producer
+//! notifies the paired condvar after mutating (post-drop, so no waiter
+//! wakes into a still-held mutex).
+
+pub fn take(shard: &Shard, key: u64) -> Plan {
+    let mut st = lock_unpoisoned(&shard.state);
+    while !st.plans.contains_key(&key) {
+        st = wait_unpoisoned(&shard.compiled, st);
+    }
+    st.plans.remove(&key).unwrap_or_default()
+}
+
+pub fn put(shard: &Shard, key: u64, plan: Plan) {
+    let mut st = lock_unpoisoned(&shard.state);
+    st.plans.insert(key, plan);
+    drop(st);
+    shard.compiled.notify_all();
+}

@@ -1,0 +1,15 @@
+//! Deliberately-bad fixture: the two server lock classes are acquired
+//! in opposite orders by two functions — a textbook ABBA deadlock. The
+//! lint must report the cycle with BOTH witness acquisition paths.
+
+pub fn admit(inner: &Inner) {
+    let mut pending = lock_unpoisoned(&inner.pending);
+    let workers = lock_unpoisoned(&inner.workers);
+    pending.insert(workers.len());
+}
+
+pub fn drain_registry(inner: &Inner) {
+    let mut workers = lock_unpoisoned(&inner.workers);
+    let pending = lock_unpoisoned(&inner.pending);
+    workers.truncate(pending.len());
+}

@@ -1,0 +1,15 @@
+//! Clean twin: both functions acquire the same two lock classes in the
+//! same global order (pending before workers), so the acquisition graph
+//! is acyclic.
+
+pub fn admit(inner: &Inner) {
+    let mut pending = lock_unpoisoned(&inner.pending);
+    let workers = lock_unpoisoned(&inner.workers);
+    pending.insert(workers.len());
+}
+
+pub fn drain_registry(inner: &Inner) {
+    let pending = lock_unpoisoned(&inner.pending);
+    let mut workers = lock_unpoisoned(&inner.workers);
+    workers.truncate(pending.len());
+}

@@ -1,0 +1,17 @@
+//! Deliberately-bad fixture: three ways to mishandle a LockResult —
+//! panic on poison, hand-roll the recovery idiom, or leave it to ad-hoc
+//! handling — all outside the one helper file allowed to spell it.
+
+pub fn cached(cache: &PlanCache) -> usize {
+    cache.inner.lock().unwrap().len()
+}
+
+pub fn snapshot(cache: &PlanCache) -> Vec<Plan> {
+    let guard = cache.inner.lock().unwrap_or_else(PoisonError::into_inner);
+    guard.values().cloned().collect()
+}
+
+pub fn maybe_len(cache: &PlanCache) -> Option<usize> {
+    let guard = cache.inner.lock().ok()?;
+    Some(guard.len())
+}

@@ -1,0 +1,20 @@
+//! Clean twin: every acquisition goes through the shared helpers; the
+//! `unwrap()` in the test module is exempt (tests may crash loudly).
+
+pub fn cached(cache: &PlanCache) -> usize {
+    lock_unpoisoned(&cache.inner).len()
+}
+
+pub fn snapshot(cache: &PlanCache) -> Vec<Plan> {
+    let guard = lock_unpoisoned(&cache.inner);
+    guard.values().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let cache = PlanCache::new();
+        assert!(cache.inner.lock().unwrap().is_empty());
+    }
+}

@@ -223,6 +223,140 @@ fn unsafe_clean_fixture_has_no_findings() {
     assert!(run_pass("unsafe-audit", &ctx).is_empty());
 }
 
+// ------------------------------------------------------------ lock-order
+
+#[test]
+fn lock_order_bad_fixture_reports_cycle_with_both_witness_paths() {
+    // The ISSUE's acceptance criterion: a seeded ABBA inversion must be
+    // detected and the diagnostic must name BOTH acquisition paths.
+    let src = include_str!("fixtures/lock_order_bad.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/server.rs", src)]);
+    let f = run_pass("lock-order", &ctx);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!((f[0].line, f[0].col), (7, 19), "{f:#?}");
+    let msg = &f[0].message;
+    assert!(
+        msg.contains("server-pending -> worker-registry -> server-pending"),
+        "cycle ring missing: {msg}"
+    );
+    assert!(
+        msg.contains("server-pending held at crates/serve/src/server.rs:6"),
+        "first witness path missing: {msg}"
+    );
+    assert!(
+        msg.contains("worker-registry held at crates/serve/src/server.rs:12"),
+        "second witness path missing: {msg}"
+    );
+}
+
+#[test]
+fn lock_order_clean_fixture_has_no_findings() {
+    let src = include_str!("fixtures/lock_order_clean.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/server.rs", src)]);
+    let f = run_pass("lock-order", &ctx);
+    assert!(f.is_empty(), "clean twin flagged: {f:#?}");
+}
+
+// --------------------------------------------------- blocking-under-lock
+
+#[test]
+fn blocking_bad_fixture_flags_join_under_registry_guard() {
+    let src = include_str!("fixtures/blocking_bad.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/tcp.rs", src)]);
+    let f = run_pass("blocking-under-lock", &ctx);
+    assert_eq!(f.len(), 1, "{f:#?}");
+    assert_eq!((f[0].line, f[0].col), (8, 19), "{f:#?}");
+    assert!(
+        f[0].message.contains("`accept-registry`"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[0].message.contains("join"), "{}", f[0].message);
+}
+
+#[test]
+fn blocking_clean_fixture_has_no_findings() {
+    let src = include_str!("fixtures/blocking_clean.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/tcp.rs", src)]);
+    let f = run_pass("blocking-under-lock", &ctx);
+    assert!(f.is_empty(), "clean twin flagged: {f:#?}");
+}
+
+// --------------------------------------------------- condvar-discipline
+
+#[test]
+fn condvar_bad_fixture_flags_bare_wait_and_silent_mutation() {
+    let src = include_str!("fixtures/condvar_bad.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/cache.rs", src)]);
+    let f = run_pass("condvar-discipline", &ctx);
+    assert_eq!(f.len(), 2, "{f:#?}");
+    assert!(
+        f.iter()
+            .any(|x| (x.line, x.col) == (8, 10) && x.message.contains("outside a predicate loop")),
+        "missing bare-wait finding at 8:10: {f:#?}"
+    );
+    assert!(
+        f.iter()
+            .any(|x| (x.line, x.col) == (14, 14) && x.message.contains("without a later notify")),
+        "missing silent-mutation finding at 14:14: {f:#?}"
+    );
+}
+
+#[test]
+fn condvar_clean_fixture_has_no_findings() {
+    let src = include_str!("fixtures/condvar_clean.rs");
+    let ctx = ctx_with(vec![("crates/serve/src/cache.rs", src)]);
+    let f = run_pass("condvar-discipline", &ctx);
+    assert!(f.is_empty(), "clean twin flagged: {f:#?}");
+}
+
+// -------------------------------------------------------- poison-policy
+
+#[test]
+fn poison_bad_fixture_ranks_all_three_mishandlings() {
+    let src = include_str!("fixtures/poison_bad.rs");
+    let ctx = ctx_with(vec![("crates/core/src/plan.rs", src)]);
+    let f = run_pass("poison-policy", &ctx);
+    assert_eq!(f.len(), 3, "{f:#?}");
+    assert_eq!((f[0].line, f[0].col), (6, 17), "{f:#?}");
+    assert!(f[0].message.contains("panic"), "{}", f[0].message);
+    assert!(f[0].message.contains("lock_unpoisoned"), "{}", f[0].message);
+    assert_eq!(f[1].line, 10);
+    assert!(f[1].message.contains("hand-rolled"), "{}", f[1].message);
+    assert_eq!(f[2].line, 15);
+    assert!(f[2].message.contains("ad hoc"), "{}", f[2].message);
+}
+
+#[test]
+fn poison_clean_fixture_has_no_findings() {
+    let src = include_str!("fixtures/poison_clean.rs");
+    let ctx = ctx_with(vec![("crates/core/src/plan.rs", src)]);
+    let f = run_pass("poison-policy", &ctx);
+    assert!(f.is_empty(), "clean twin flagged: {f:#?}");
+}
+
+/// The four concurrency passes must hold on the live serving stack with
+/// NO baseline help at all — the ISSUE's zero-un-annotated-entries
+/// criterion, stricter than the baseline-modulo self-test below.
+#[test]
+fn live_workspace_concurrency_passes_are_clean_without_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let ctx = Context::load(&root, real_policy()).expect("workspace walk");
+    for pass in [
+        "lock-order",
+        "blocking-under-lock",
+        "condvar-discipline",
+        "poison-policy",
+    ] {
+        let f = run_pass(pass, &ctx);
+        assert!(
+            f.is_empty(),
+            "[{pass}] live findings (these may not be baselined):\n{}",
+            f.iter().map(|x| x.render_human()).collect::<String>()
+        );
+    }
+}
+
 // ------------------------------------------------------------- baseline
 
 #[test]
@@ -286,4 +420,31 @@ fn live_workspace_is_clean_modulo_baseline() {
     // Sanity: the walk actually saw the workspace.
     assert!(outcome.files_scanned > 50);
     assert!(outcome.manifests_scanned >= 10);
+    // Baseline hygiene: every entry names a file the walk actually saw.
+    assert!(
+        outcome.applied.dangling.is_empty(),
+        "dangling baseline entries:\n{}",
+        outcome.applied.dangling.join("\n")
+    );
+}
+
+#[test]
+fn baseline_entry_for_missing_file_fails_the_run() {
+    let ctx = ctx_with(vec![("crates/core/src/plan.rs", "pub fn f() {}\n")]);
+    let bl =
+        Baseline::parse("panic-policy crates/core/src/deleted.rs unwrap() -- file long gone\n")
+            .expect("baseline parses");
+    let outcome = dnnperf_lint::lint_context(&ctx, &bl, &today_iso());
+    assert!(!outcome.is_clean(), "dangling entry must fail the run");
+    assert_eq!(
+        outcome.applied.dangling.len(),
+        1,
+        "{:?}",
+        outcome.applied.dangling
+    );
+    assert!(
+        outcome.applied.dangling[0].contains("crates/core/src/deleted.rs"),
+        "{}",
+        outcome.applied.dangling[0]
+    );
 }

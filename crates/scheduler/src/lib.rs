@@ -24,6 +24,7 @@ pub mod mpmc;
 pub mod pool;
 pub mod queue;
 pub mod retry;
+pub mod sync;
 
 pub use mpmc::{Bounded, SendRejected};
 pub use pool::{run_indexed, run_indexed_catching, JobPanic, StealQueues};
@@ -32,6 +33,7 @@ pub use retry::{
     retry_with_backoff, Backoff, Clock, RecordingClock, RetryClass, RetryOutcome, RetryPolicy,
     SystemClock,
 };
+pub use sync::{lock_unpoisoned, read_unpoisoned, wait_unpoisoned, write_unpoisoned};
 
 /// Picks the GPU index with the lowest predicted time for one job.
 ///

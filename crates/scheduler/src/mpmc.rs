@@ -16,8 +16,9 @@
 //! * `close` wakes every consumer; accepted items are still drained before
 //!   consumers observe the shutdown.
 
+use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Condvar, Mutex};
 
 /// Why [`Bounded::try_send`] handed an item back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,11 +69,7 @@ impl<T> Bounded<T> {
 
     /// Current number of queued items.
     pub fn len(&self) -> usize {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .queue
-            .len()
+        lock_unpoisoned(&self.state).queue.len()
     }
 
     /// Whether the queue currently holds no items.
@@ -88,7 +85,7 @@ impl<T> Bounded<T> {
     /// at capacity (the caller sheds load) or [`SendRejected::Closed`]
     /// after [`Bounded::close`].
     pub fn try_send(&self, item: T) -> Result<(), (T, SendRejected)> {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = lock_unpoisoned(&self.state);
         if st.closed {
             return Err((item, SendRejected::Closed));
         }
@@ -107,7 +104,7 @@ impl<T> Bounded<T> {
     /// exit. `max` is clamped to at least 1.
     pub fn recv_batch(&self, max: usize) -> Vec<T> {
         let max = max.max(1);
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = lock_unpoisoned(&self.state);
         loop {
             if !st.queue.is_empty() {
                 let take = st.queue.len().min(max);
@@ -120,10 +117,7 @@ impl<T> Bounded<T> {
             if st.closed {
                 return Vec::new();
             }
-            st = self
-                .not_empty
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = wait_unpoisoned(&self.not_empty, st);
         }
     }
 
@@ -137,7 +131,7 @@ impl<T> Bounded<T> {
     /// Consumers blocked in [`Bounded::recv_batch`] are unaffected — a
     /// sweep never wakes them spuriously and never reorders survivors.
     pub fn sweep(&self, mut evict: impl FnMut(&T) -> bool) -> Vec<T> {
-        let mut st = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = lock_unpoisoned(&self.state);
         let mut kept = VecDeque::with_capacity(st.queue.len());
         let mut removed = Vec::new();
         for item in st.queue.drain(..) {
@@ -154,19 +148,13 @@ impl<T> Bounded<T> {
     /// Closes the queue: future sends are rejected, every blocked consumer
     /// wakes, and already-accepted items remain drainable.
     pub fn close(&self) {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .closed = true;
+        lock_unpoisoned(&self.state).closed = true;
         self.not_empty.notify_all();
     }
 
     /// Whether [`Bounded::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .closed
+        lock_unpoisoned(&self.state).closed
     }
 }
 

@@ -12,9 +12,10 @@
 //! into index order before returning. Scheduling is nondeterministic;
 //! output never is.
 
+use crate::sync::lock_unpoisoned;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Mutex, PoisonError};
+use std::sync::Mutex;
 
 /// Per-worker double-ended job queues with stealing.
 ///
@@ -63,10 +64,7 @@ impl StealQueues {
     /// [`run_indexed_catching`]) demands that one bad job never wedges the
     /// scheduler.
     pub fn pop_own(&self, w: usize) -> Option<usize> {
-        self.deques[w]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pop_front()
+        lock_unpoisoned(&self.deques[w]).pop_front()
     }
 
     /// Steals one job from some other worker's queue (back), scanning
@@ -75,11 +73,7 @@ impl StealQueues {
         let n = self.deques.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(j) = self.deques[victim]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_back()
-            {
+            if let Some(j) = lock_unpoisoned(&self.deques[victim]).pop_back() {
                 return Some(j);
             }
         }

@@ -97,42 +97,24 @@ impl RecordingClock {
 
     /// The sleeps requested so far, in order.
     pub fn sleeps(&self) -> Vec<Duration> {
-        self.sleeps
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .clone()
+        crate::sync::lock_unpoisoned(&self.sleeps).clone()
     }
 
     /// Advances fake time by `d` without recording a sleep (models work
     /// taking `d` of wall time in a test).
     pub fn advance(&self, d: Duration) {
-        *self
-            .extra
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner) += d;
+        *crate::sync::lock_unpoisoned(&self.extra) += d;
     }
 }
 
 impl Clock for RecordingClock {
     fn sleep(&self, d: Duration) {
-        self.sleeps
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .push(d);
+        crate::sync::lock_unpoisoned(&self.sleeps).push(d);
     }
 
     fn now(&self) -> Duration {
-        let slept: Duration = self
-            .sleeps
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .iter()
-            .sum();
-        slept
-            + *self
-                .extra
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        let slept: Duration = crate::sync::lock_unpoisoned(&self.sleeps).iter().sum();
+        slept + *crate::sync::lock_unpoisoned(&self.extra)
     }
 }
 

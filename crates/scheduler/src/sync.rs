@@ -1,0 +1,105 @@
+//! The workspace's canonical poison-recovery helpers.
+//!
+//! Every long-lived lock in the serving stack is acquired through these
+//! four functions instead of a hand-rolled
+//! `.lock().unwrap_or_else(PoisonError::into_inner)` chain. The policy
+//! behind the idiom: a poisoned mutex means *some* thread panicked while
+//! holding the guard, but every structure we guard is either repaired by
+//! its supervisor (the server's pending window), holds only plain values
+//! that cannot be torn (queue envelopes, join handles, counters), or is
+//! re-validated by the reader (cache entries are immutable `Arc`s) — so
+//! recovering the inner value is always sounder than cascading the panic
+//! into every other thread that touches the lock.
+//!
+//! Centralising the idiom also makes it *checkable*: `dnnperf-lint`'s
+//! `poison-policy` pass requires all lock acquisitions in the serving
+//! stack to go through this module, so a stray `.lock().unwrap()` (which
+//! would turn one dead worker into a poisoned-lock crash storm) cannot
+//! land unreviewed.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Locks `m`, recovering the guard from a poisoned mutex.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard from a poisoned rwlock.
+pub fn read_unpoisoned<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard from a poisoned rwlock.
+pub fn write_unpoisoned<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `cv`, consuming and returning the paired mutex guard,
+/// recovering it from poison exactly like [`lock_unpoisoned`].
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex, RwLock};
+
+    #[test]
+    fn helpers_pass_through_on_healthy_locks() {
+        let m = Mutex::new(7);
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        let l = RwLock::new(3);
+        assert_eq!(*read_unpoisoned(&l), 3);
+        *write_unpoisoned(&l) = 4;
+        assert_eq!(*read_unpoisoned(&l), 4);
+    }
+
+    #[test]
+    fn poisoned_mutex_is_recovered_with_its_value() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let mut g = lock_unpoisoned(&m2);
+            *g = 42;
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 42, "inner value survives poison");
+    }
+
+    #[test]
+    fn poisoned_rwlock_is_recovered() {
+        let l = Arc::new(RwLock::new(1));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = write_unpoisoned(&l2);
+            panic!("poison the rwlock");
+        })
+        .join();
+        assert_eq!(*read_unpoisoned(&l), 1);
+        *write_unpoisoned(&l) = 2;
+        assert_eq!(*read_unpoisoned(&l), 2);
+    }
+
+    #[test]
+    fn wait_unpoisoned_returns_the_guard() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waker = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *lock_unpoisoned(m) = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = lock_unpoisoned(m);
+        while !*done {
+            done = wait_unpoisoned(cv, done);
+        }
+        drop(done);
+        waker.join().unwrap();
+    }
+}

@@ -26,9 +26,10 @@
 use dnnperf_core::plan::{network_fingerprint, CompiledPlan};
 use dnnperf_core::{PredictError, Workflow};
 use dnnperf_dnn::Network;
+use dnnperf_sched::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Identity of one cached plan. Ordering is derived so shards can use
 /// ordinary B-tree maps (deterministic iteration, no hash seeding).
@@ -247,7 +248,7 @@ impl SharedPlanCache {
         let key = PlanKey::of(suite, net, batch);
         let shard = self.shard_of(&key);
         {
-            let mut st = shard.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = lock_unpoisoned(&shard.state);
             loop {
                 if let Some(plan) = st.touch(key) {
                     self.hits.fetch_add(1, Ordering::Relaxed);
@@ -260,17 +261,14 @@ impl SharedPlanCache {
                 // Another thread is compiling this key: wait for it, then
                 // re-check (its success puts the plan in the map; its
                 // failure leaves us to retry the compile ourselves).
-                st = shard
-                    .compiled
-                    .wait(st)
-                    .unwrap_or_else(PoisonError::into_inner);
+                st = wait_unpoisoned(&shard.compiled, st);
             }
         }
         // Compile outside the lock: other keys on this shard stay
         // servable while we work.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let compiled = CompiledPlan::compile(suite, net, batch);
-        let mut st = shard.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut st = lock_unpoisoned(&shard.state);
         st.inflight.remove(&key);
         let result = match compiled {
             Ok(plan) => {
@@ -314,7 +312,7 @@ impl SharedPlanCache {
     pub fn purge_generation(&self, generation: u64) -> usize {
         let mut purged = 0;
         for shard in &self.shards {
-            let mut st = shard.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = lock_unpoisoned(&shard.state);
             let victims: Vec<(u64, PlanKey)> = st
                 .plans
                 .iter()
@@ -335,7 +333,7 @@ impl SharedPlanCache {
     /// Drops every resident plan.
     pub fn clear(&self) {
         for shard in &self.shards {
-            let mut st = shard.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut st = lock_unpoisoned(&shard.state);
             st.plans.clear();
             st.lru.clear();
             st.bytes = 0;
@@ -346,13 +344,7 @@ impl SharedPlanCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| {
-                s.state
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .plans
-                    .len()
-            })
+            .map(|s| lock_unpoisoned(&s.state).plans.len())
             .sum()
     }
 
@@ -366,7 +358,7 @@ impl SharedPlanCache {
     pub fn bytes(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.state.lock().unwrap_or_else(PoisonError::into_inner).bytes)
+            .map(|s| lock_unpoisoned(&s.state).bytes)
             .sum()
     }
 

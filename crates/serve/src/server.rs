@@ -47,11 +47,12 @@ use crate::fault::{InjectedWorkerPanic, PanicPlan};
 use crate::protocol::Response;
 use dnnperf_core::{GracefulPrediction, PredictError, Workflow};
 use dnnperf_dnn::Network;
+use dnnperf_sched::sync::{lock_unpoisoned, read_unpoisoned, wait_unpoisoned, write_unpoisoned};
 use dnnperf_sched::{Bounded, Clock, SendRejected, SystemClock};
 use std::collections::{BTreeMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -136,7 +137,7 @@ impl Slot {
     /// supervisor/sweeper answering on the worker's behalf, and the
     /// waiter must see exactly one terminal answer.
     fn fill(&self, r: SlotResult) {
-        let mut guard = self.result.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut guard = lock_unpoisoned(&self.result);
         if guard.is_none() {
             *guard = Some(r);
         }
@@ -161,20 +162,12 @@ impl std::fmt::Debug for Slot {
 impl Pending {
     /// Blocks until the request is answered and returns the outcome.
     pub fn wait(self) -> SlotResult {
-        let mut guard = self
-            .slot
-            .result
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = lock_unpoisoned(&self.slot.result);
         loop {
             if let Some(r) = guard.take() {
                 return r;
             }
-            guard = self
-                .slot
-                .done
-                .wait(guard)
-                .unwrap_or_else(PoisonError::into_inner);
+            guard = wait_unpoisoned(&self.slot.done, guard);
         }
     }
 }
@@ -367,12 +360,12 @@ impl Inner {
                 return; // closed and drained
             }
             {
-                let mut held = pending.lock().unwrap_or_else(PoisonError::into_inner);
+                let mut held = lock_unpoisoned(pending);
                 held.extend(batch);
             }
             loop {
                 let job = {
-                    let held = pending.lock().unwrap_or_else(PoisonError::into_inner);
+                    let held = lock_unpoisoned(pending);
                     held.front().cloned()
                 };
                 let Some(job) = job else { break };
@@ -380,10 +373,7 @@ impl Inner {
                 // served: if serve_one panics, the supervisor knows
                 // exactly which waiter to answer.
                 self.serve_one(job);
-                pending
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner)
-                    .pop_front();
+                lock_unpoisoned(pending).pop_front();
             }
         }
     }
@@ -392,7 +382,7 @@ impl Inner {
     /// internal error, requeue the untouched remainder of the batch, and
     /// respawn the worker unless the server is shutting down.
     fn supervise_crash(self: &Arc<Self>, pending: &Mutex<VecDeque<Job>>) {
-        let mut held = pending.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut held = lock_unpoisoned(pending);
         let victim = held.pop_front();
         while let Some(job) = held.pop_front() {
             match self.queue.try_send(job) {
@@ -416,7 +406,7 @@ impl Inner {
         // queue first, then drains the registry until empty) can never
         // miss a replacement.
         {
-            let mut workers = self.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut workers = lock_unpoisoned(&self.workers);
             if !self.queue.is_closed() {
                 self.respawns.fetch_add(1, Ordering::Relaxed);
                 workers.push(spawn_worker(self));
@@ -482,7 +472,7 @@ impl PredictionServer {
             ewma_service_ns: AtomicU64::new(0),
         });
         {
-            let mut workers = inner.workers.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut workers = lock_unpoisoned(&inner.workers);
             for _ in 0..config.workers {
                 workers.push(spawn_worker(&inner));
             }
@@ -492,11 +482,7 @@ impl PredictionServer {
 
     /// Registers (or replaces) the suite served under `tenant`.
     pub fn register_tenant(&self, tenant: &str, suite: Arc<Workflow>) {
-        self.inner
-            .tenants
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(tenant.to_string(), suite);
+        write_unpoisoned(&self.inner.tenants).insert(tenant.to_string(), suite);
     }
 
     /// Atomically swaps `tenant`'s suite for a retrained one and purges
@@ -507,12 +493,7 @@ impl PredictionServer {
     /// against it (they pinned the `Arc` at submit time); every request
     /// admitted after this call is served by `suite`.
     pub fn update_suite(&self, tenant: &str, suite: Arc<Workflow>) -> usize {
-        let old = self
-            .inner
-            .tenants
-            .write()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(tenant.to_string(), suite);
+        let old = write_unpoisoned(&self.inner.tenants).insert(tenant.to_string(), suite);
         match old {
             Some(old) => self.inner.cache.purge_generation(old.generation()),
             None => 0,
@@ -521,11 +502,7 @@ impl PredictionServer {
 
     /// Adds networks to the catalog clients can request by name.
     pub fn add_networks<I: IntoIterator<Item = Network>>(&self, nets: I) {
-        let mut catalog = self
-            .inner
-            .catalog
-            .write()
-            .unwrap_or_else(PoisonError::into_inner);
+        let mut catalog = write_unpoisoned(&self.inner.catalog);
         for net in nets {
             catalog.insert(net.name().to_string(), Arc::new(net));
         }
@@ -533,11 +510,7 @@ impl PredictionServer {
 
     /// Number of networks in the catalog.
     pub fn catalog_len(&self) -> usize {
-        self.inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        read_unpoisoned(&self.inner.catalog).len()
     }
 
     /// The server's clock (tests use it to align fake time with the
@@ -551,19 +524,11 @@ impl PredictionServer {
         tenant: &str,
         network: &str,
     ) -> Result<(Arc<Workflow>, Arc<Network>), ServeError> {
-        let suite = self
-            .inner
-            .tenants
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        let suite = read_unpoisoned(&self.inner.tenants)
             .get(tenant)
             .cloned()
             .ok_or_else(|| ServeError::UnknownTenant(tenant.to_string()))?;
-        let net = self
-            .inner
-            .catalog
-            .read()
-            .unwrap_or_else(PoisonError::into_inner)
+        let net = read_unpoisoned(&self.inner.catalog)
             .get(network)
             .cloned()
             .ok_or_else(|| ServeError::UnknownNetwork(network.to_string()))?;
@@ -809,11 +774,7 @@ impl PredictionServer {
     /// produced a replacement, and `worker_handles() == 0` after
     /// [`PredictionServer::shutdown`] to prove no thread leaked.
     pub fn worker_handles(&self) -> usize {
-        self.inner
-            .workers
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .len()
+        lock_unpoisoned(&self.inner.workers).len()
     }
 
     /// Drains and stops the server: closes the admission queue, joins
@@ -826,13 +787,7 @@ impl PredictionServer {
         // thread exits, so draining until the registry is empty joins
         // every worker that will ever exist.
         loop {
-            let handles: Vec<_> = self
-                .inner
-                .workers
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .drain(..)
-                .collect();
+            let handles: Vec<_> = lock_unpoisoned(&self.inner.workers).drain(..).collect();
             if handles.is_empty() {
                 break;
             }

@@ -27,11 +27,12 @@ use crate::protocol::{
     read_frame, read_frame_deadline, write_frame, FrameRead, Request, Response, WireError,
 };
 use crate::server::{Pending, PredictionServer, Reply, ServeError};
+use dnnperf_sched::sync::lock_unpoisoned;
 use dnnperf_sched::{retry_with_backoff, Clock, RetryClass, RetryPolicy, SystemClock};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -247,11 +248,15 @@ impl TcpServer {
         // Unblock the accept loop: it only re-checks the flag per
         // connection, so poke it with a throwaway one.
         let _ = TcpStream::connect(self.addr);
-        let handle = self
-            .accept_thread
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .take();
+        // Take the handle in its own scope so the registry guard is
+        // dropped *before* the join: joining while holding the lock
+        // would block every concurrent `shutdown` caller on a thread
+        // that may itself still be winding handlers down (the
+        // blocking-under-lock lint pass enforces this shape).
+        let handle = {
+            let mut guard = lock_unpoisoned(&self.accept_thread);
+            guard.take()
+        };
         if let Some(h) = handle {
             let _ = h.join();
         }
