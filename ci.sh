@@ -69,6 +69,14 @@ echo "==> perf regression gate (smoke profile vs committed BENCH_5.json)"
 # above has already built it.
 cargo run --release --offline -q -p dnnperf-bench --bin perf -- --smoke --check BENCH_5.json
 
+echo "==> train-scaling gate (smoke profile vs committed BENCH_9.json)"
+# Sweeps KW training over worker counts {1,2,4,8} on an enlarged grid.
+# Determinism is a hard abort inside the bin: the serialized model must be
+# byte-identical at every thread count before anything is timed. The perf
+# gate is machine-aware: boxes with >= 4 cores must show >= 2x speedup at
+# 8 threads; smaller boxes gate serial ns/row against the baseline instead.
+cargo run --release --offline -q -p dnnperf-bench --bin perf -- --train-scaling --smoke --check BENCH_9.json
+
 echo "==> serving load gate (smoke profile vs committed BENCH_6.json)"
 # End-to-end server smoke + regression gate in one step: boots the
 # prediction server on an ephemeral port, drives 100+ concurrent TCP

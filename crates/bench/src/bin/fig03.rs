@@ -36,7 +36,7 @@ fn main() {
     for decade in -2..4i32 {
         let lo = 10f64.powi(decade);
         let hi = lo * 10.0;
-        let mut times: Vec<f64> = ds
+        let times: Vec<f64> = ds
             .networks
             .iter()
             .filter(|r| {
@@ -48,8 +48,12 @@ fn main() {
         if times.len() < 3 {
             continue;
         }
-        times.sort_by(|a, b| a.total_cmp(b));
-        let (min, max) = (times[0], times[times.len() - 1]);
+        // min/max by one fold and the median by quickselect — no full sort.
+        let (min, max) = times
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &t| {
+                (lo.min(t), hi.max(t))
+            });
         t.row(&cells![
             format!("[{lo:.0e}, {hi:.0e})"),
             times.len(),

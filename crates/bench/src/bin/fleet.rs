@@ -284,6 +284,10 @@ fn to_json(profile: &str, points: &[Point], sweep_ms: f64) -> String {
     out.push_str("{\n");
     out.push_str("  \"schema\": \"dnnperf-bench-7\",\n");
     out.push_str(&format!("  \"profile\": \"{profile}\",\n"));
+    out.push_str(&format!(
+        "  \"cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    ));
     out.push_str(&format!("  \"points\": {},\n", points.len()));
     out.push_str(&format!("  \"sweep_wall_ms\": {sweep_ms:.1},\n"));
     let mut figures: Vec<(String, String)> = Vec::new();

@@ -266,11 +266,12 @@ fn run(smoke: bool, deadline_ms: Option<u64>) -> Report {
     let stats = server.stats();
     server.shutdown();
 
-    let mut latencies: Vec<f64> = results
+    // No pre-sort: `percentile` is a quickselect and returns the same
+    // order statistics on unsorted input.
+    let latencies: Vec<f64> = results
         .iter()
         .flat_map(|r| r.latencies_us.clone())
         .collect();
-    latencies.sort_by(f64::total_cmp);
     let ok: u64 = results.iter().map(|r| r.ok).sum();
     let overloaded: u64 = results.iter().map(|r| r.overloaded).sum();
     let errors: u64 = results.iter().map(|r| r.errors).sum();

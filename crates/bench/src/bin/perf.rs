@@ -17,18 +17,34 @@
 //!   regression); the report records `cores` so the figure is
 //!   interpretable wherever the baseline was captured.
 //!
+//! A second mode, `--train-scaling`, sweeps KW training over worker counts
+//! {1, 2, 4, 8} on an enlarged multi-network grid (BENCH_9.json). Before
+//! timing anything it retrains at every thread count and hard-aborts unless
+//! the serialized models are **byte-identical** — the mergeable-accumulator
+//! determinism contract is a correctness gate, not a statistic. The report
+//! records the machine's cores so the scaling figures are interpretable:
+//! the speedup gate only binds on boxes with at least
+//! [`MIN_CORES_FOR_SPEEDUP_GATE`] cores; below that the gate falls back to
+//! a serial ns/row throughput floor.
+//!
 //! Flags:
 //!
 //! * `--smoke` — reduced warmup/iteration counts for CI;
-//! * `--out PATH` — write the results as one JSON document (BENCH_5.json);
+//! * `--train-scaling` — run the training scaling sweep instead of the
+//!   serving microbenchmarks;
+//! * `--out PATH` — write the results as one JSON document (BENCH_5.json,
+//!   or BENCH_9.json with `--train-scaling`);
 //! * `--check PATH` — re-measure, then gate against a committed baseline:
 //!   fail (exit 1) if warm-predict ns/kernel regressed by more than 2x, or
-//!   if the warm-vs-legacy speedup fell below 5x.
+//!   if the warm-vs-legacy speedup fell below 5x. With `--train-scaling`:
+//!   fail if the 8-thread train speedup is below 2x (cores permitting) or
+//!   if serial training ns/row regressed by more than 2x.
 
 use dnnperf_bench::timer::{bench, BenchResult};
 use dnnperf_core::plan::CompiledPlan;
 use dnnperf_core::{Predictor, TrainOptions, Workflow};
 use dnnperf_data::collect::collect;
+use dnnperf_data::DatasetView;
 use dnnperf_dnn::{zoo, Network};
 use dnnperf_gpu::GpuSpec;
 
@@ -36,6 +52,16 @@ use dnnperf_gpu::GpuSpec;
 const MAX_NS_PER_KERNEL_REGRESSION: f64 = 2.0;
 /// Minimum tolerated warm-vs-legacy speedup.
 const MIN_WARM_SPEEDUP: f64 = 5.0;
+/// Minimum tolerated 8-thread training speedup — only enforced on machines
+/// with at least [`MIN_CORES_FOR_SPEEDUP_GATE`] cores.
+const MIN_TRAIN_SPEEDUP_THREADS8: f64 = 2.0;
+/// Cores below which the train-scaling gate cannot expect parallel speedup
+/// and falls back to the serial ns/row throughput floor.
+const MIN_CORES_FOR_SPEEDUP_GATE: usize = 4;
+/// Maximum tolerated regression of serial training ns/row vs the baseline.
+const MAX_TRAIN_NS_PER_ROW_REGRESSION: f64 = 2.0;
+/// Worker counts the training scaling sweep measures.
+const SCALING_THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn train_nets() -> Vec<Network> {
     vec![
@@ -71,6 +97,7 @@ fn sweep_pairs() -> Vec<(Network, usize)> {
 
 struct Flags {
     smoke: bool,
+    train_scaling: bool,
     out: Option<String>,
     check: Option<String>,
 }
@@ -78,6 +105,7 @@ struct Flags {
 fn parse_flags() -> Flags {
     let mut flags = Flags {
         smoke: false,
+        train_scaling: false,
         out: None,
         check: None,
     };
@@ -85,6 +113,7 @@ fn parse_flags() -> Flags {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--smoke" => flags.smoke = true,
+            "--train-scaling" => flags.train_scaling = true,
             "--out" => flags.out = args.next(),
             "--check" => flags.check = args.next(),
             other => {
@@ -237,8 +266,199 @@ fn run(smoke: bool) -> Report {
     }
 }
 
+/// The enlarged training grid for the scaling sweep: enough networks and
+/// batch points that the per-kernel row counts give the chunked
+/// accumulators real work to split across workers.
+fn scaling_nets() -> Vec<Network> {
+    let mut nets = train_nets();
+    nets.extend([
+        zoo::resnet::resnet77(),
+        zoo::resnet::resnet101(),
+        zoo::vgg::vgg13(),
+        zoo::densenet::densenet169(),
+    ]);
+    nets
+}
+
+struct ScalingReport {
+    profile: &'static str,
+    cores: usize,
+    train_rows: usize,
+    kernel_groups: usize,
+    ns_per_row_threads1: f64,
+    speedups: [f64; 4],
+    entries: Vec<BenchResult>,
+}
+
+impl ScalingReport {
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"dnnperf-bench-9\",\n");
+        out.push_str(&format!("  \"profile\": \"{}\",\n", self.profile));
+        out.push_str(&format!("  \"cores\": {},\n", self.cores));
+        out.push_str(&format!("  \"train_rows\": {},\n", self.train_rows));
+        out.push_str(&format!("  \"kernel_groups\": {},\n", self.kernel_groups));
+        out.push_str(&format!(
+            "  \"train_ns_per_row_threads1\": {:.3},\n",
+            self.ns_per_row_threads1
+        ));
+        for (t, s) in SCALING_THREADS.iter().zip(self.speedups) {
+            out.push_str(&format!("  \"train_speedup_threads{t}\": {s:.2},\n"));
+        }
+        out.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            let sep = if i + 1 == self.entries.len() { "" } else { "," };
+            out.push_str(&format!("    {}{sep}\n", e.json_line()));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn run_train_scaling(smoke: bool) -> ScalingReport {
+    let (warm, iters) = if smoke { (1, 5) } else { (2, 15) };
+
+    let gpu = GpuSpec::by_name("A100").expect("A100 spec");
+    let nets = scaling_nets();
+    let batches = [4usize, 8, 16, 32, 64];
+    let ds = collect(&nets, std::slice::from_ref(&gpu), &batches);
+    let rows: Vec<&dnnperf_data::KernelRow> = ds.kernels.iter().collect();
+    let view = DatasetView::from_refs(&rows);
+    let train_rows = view.num_rows();
+    let kernel_groups = view.num_groups();
+
+    // Byte-identity first: the whole point of the canonical FIT_CHUNK
+    // reduction tree is that thread count never changes the model. Abort
+    // before timing anything if it does.
+    let reference = Workflow::train_opts(&ds, "A100", &TrainOptions::serial())
+        .expect("train")
+        .kw
+        .to_text();
+    let auto = TrainOptions::from_env();
+    let candidates = SCALING_THREADS
+        .iter()
+        .map(|&t| (format!("threads{t}"), TrainOptions::with_threads(t)))
+        .chain([(format!("auto({})", auto.effective_threads()), auto.clone())]);
+    for (label, opts) in candidates {
+        let text = Workflow::train_opts(&ds, "A100", &opts)
+            .expect("train")
+            .kw
+            .to_text();
+        if text != reference {
+            eprintln!(
+                "ABORT: training at {label} produced a model that differs \
+                 from the serial reference — determinism contract violated"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let entries: Vec<BenchResult> = SCALING_THREADS
+        .iter()
+        .map(|&t| {
+            let opts = TrainOptions::with_threads(t);
+            bench(
+                match t {
+                    1 => "train/threads1",
+                    2 => "train/threads2",
+                    4 => "train/threads4",
+                    _ => "train/threads8",
+                },
+                warm,
+                iters,
+                || Workflow::train_opts(&ds, "A100", &opts).expect("train"),
+            )
+        })
+        .collect();
+
+    let t1_ns = entries[0].median_ns;
+    let speedups = [
+        1.0,
+        t1_ns / entries[1].median_ns,
+        t1_ns / entries[2].median_ns,
+        t1_ns / entries[3].median_ns,
+    ];
+
+    ScalingReport {
+        profile: if smoke { "smoke" } else { "full" },
+        cores: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        train_rows,
+        kernel_groups,
+        ns_per_row_threads1: t1_ns / train_rows.max(1) as f64,
+        speedups,
+        entries,
+    }
+}
+
+fn main_train_scaling(flags: &Flags) {
+    dnnperf_bench::banner("PERF", "training scaling sweep (mergeable accumulators)");
+    let report = run_train_scaling(flags.smoke);
+    println!();
+    println!(
+        "train grid: {} rows, {} kernel groups, {} core{}  \
+         (serial {:.0} ns/row)",
+        report.train_rows,
+        report.kernel_groups,
+        report.cores,
+        if report.cores == 1 { "" } else { "s" },
+        report.ns_per_row_threads1
+    );
+    for (t, s) in SCALING_THREADS.iter().zip(report.speedups) {
+        println!("  threads {t}: {s:.2}x");
+    }
+    println!("byte-identity: OK at every thread count");
+
+    if let Some(path) = &flags.out {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    if let Some(path) = &flags.check {
+        let baseline = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("perf --check: cannot read {path}: {e}"));
+        let base_ns_row = json_number(&baseline, "train_ns_per_row_threads1")
+            .unwrap_or_else(|| panic!("perf --check: no train_ns_per_row_threads1 in {path}"));
+        let mut failed = false;
+        if report.cores >= MIN_CORES_FOR_SPEEDUP_GATE {
+            let s8 = report.speedups[3];
+            if s8 < MIN_TRAIN_SPEEDUP_THREADS8 {
+                eprintln!(
+                    "GATE FAIL: train speedup at 8 threads {s8:.2}x below the \
+                     {MIN_TRAIN_SPEEDUP_THREADS8}x floor ({} cores)",
+                    report.cores
+                );
+                failed = true;
+            }
+        } else {
+            // Too few cores for parallel speedup to exist; gate serial
+            // throughput instead so training perf cannot silently rot.
+            let limit = base_ns_row * MAX_TRAIN_NS_PER_ROW_REGRESSION;
+            if report.ns_per_row_threads1 > limit {
+                eprintln!(
+                    "GATE FAIL: serial training {:.0} ns/row exceeds {:.0} \
+                     (baseline {:.0} x {MAX_TRAIN_NS_PER_ROW_REGRESSION})",
+                    report.ns_per_row_threads1, limit, base_ns_row
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "gate OK: speedup@8 {:.2}x on {} core(s), serial {:.0} ns/row (baseline {:.0})",
+            report.speedups[3], report.cores, report.ns_per_row_threads1, base_ns_row
+        );
+    }
+}
+
 fn main() {
     let flags = parse_flags();
+    if flags.train_scaling {
+        main_train_scaling(&flags);
+        return;
+    }
     dnnperf_bench::banner(
         "PERF",
         "compiled-plan serving and pooled-training microbenchmarks",

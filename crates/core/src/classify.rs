@@ -7,8 +7,10 @@
 //! can build linear regression for all three groups and compare the quality
 //! of the linear regression (the R² value)".
 
-use dnnperf_data::KernelRow;
-use dnnperf_linreg::{fit_bounded_intercept, mean, Fit, Line};
+use dnnperf_data::{DatasetView, GroupView, KernelRow};
+use dnnperf_linreg::{
+    fit_bounded_intercept, fit_bounded_segments, mean, Fit, Line, OlsAccum, FIT_CHUNK,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
@@ -212,7 +214,113 @@ pub fn classify_one(kernel: Arc<str>, rows: &[&KernelRow]) -> KernelClassificati
 /// assert!(!classes.is_empty());
 /// ```
 pub fn classify_kernels(rows: &[KernelRow]) -> BTreeMap<Arc<str>, KernelClassification> {
-    classify_kernels_grouped(&group_by_kernel(rows), 1)
+    let refs: Vec<&KernelRow> = rows.iter().collect();
+    classify_view(&DatasetView::from_refs(&refs), 1)
+}
+
+/// Finalises one group's three candidate regressions from its accumulated
+/// chunk partials, applying the same admission rules as [`classify_one`]
+/// (non-negative slope, R² better than the plain mean, last maximum wins
+/// ties).
+fn classify_group(gv: &GroupView<'_>, accs: &[OlsAccum; 3]) -> KernelClassification {
+    let ys = gv.seconds;
+    let mut fits: [Option<Fit>; 3] = [None, None, None];
+    let mut r2 = [f64::NEG_INFINITY; 3];
+    for (i, (acc, xs)) in accs.iter().zip(gv.drivers).enumerate() {
+        if let Ok(f) = fit_bounded_segments(acc, &[(xs, ys)]) {
+            if f.line.slope >= 0.0 && f.r2 > 0.0 {
+                r2[i] = f.r2;
+                fits[i] = Some(f);
+            }
+        }
+    }
+    let best = (1..3).fold(0, |b, i| {
+        if r2[i].total_cmp(&r2[b]).is_ge() {
+            i
+        } else {
+            b
+        }
+    });
+    if r2[best] == f64::NEG_INFINITY {
+        return constant_classification(gv.kernel.clone(), ys);
+    }
+    KernelClassification {
+        kernel: gv.kernel.clone(),
+        driver: Driver::all()[best],
+        fits,
+        r2,
+        n: ys.len(),
+    }
+}
+
+/// Classifies every kernel group of a columnar [`DatasetView`] on up to
+/// `threads` workers — the training hot path.
+///
+/// Work is decomposed in two worker-count-independent phases. First, every
+/// group is cut into sub-chunks of exactly [`FIT_CHUNK`] rows and one
+/// three-driver accumulator job is run per `(group, chunk)`; the partials
+/// fold back per group in chunk-index order. Large groups therefore split
+/// across workers instead of serialising behind one thread when there are
+/// fewer groups than workers. Second, each group's accumulators are
+/// finalised (and the rare clamped-intercept refits re-swept) in parallel
+/// across groups. Both phases key their floating-point reduction shape on
+/// [`FIT_CHUNK`] alone, so the result is byte-identical to the serial path
+/// at every thread count.
+pub fn classify_view(
+    view: &DatasetView,
+    threads: usize,
+) -> BTreeMap<Arc<str>, KernelClassification> {
+    // (group, chunk-start, chunk-end) jobs in (group, chunk) order.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for g in 0..view.num_groups() {
+        let n = view.group(g).map_or(0, |gv| gv.seconds.len());
+        let mut start = 0;
+        while start < n {
+            let end = (start + FIT_CHUNK).min(n);
+            jobs.push((g, start, end));
+            start = end;
+        }
+    }
+    let accs: Vec<[OlsAccum; 3]> = crate::par::reduce_indexed(
+        jobs.len(),
+        threads,
+        |j| {
+            let (g, start, end) = jobs[j];
+            let mut part = [OlsAccum::new(); 3];
+            if let Some(gv) = view.group(g) {
+                for (acc, xs) in part.iter_mut().zip(gv.drivers) {
+                    acc.push_all(&xs[start..end], &gv.seconds[start..end]);
+                }
+            }
+            (g, part)
+        },
+        vec![[OlsAccum::new(); 3]; view.num_groups()],
+        |mut accs, (g, part): (usize, [OlsAccum; 3])| {
+            if let Some(slot) = accs.get_mut(g) {
+                for (acc, p) in slot.iter_mut().zip(part) {
+                    acc.merge(&p);
+                }
+            }
+            accs
+        },
+    );
+    let group_ids: Vec<usize> = (0..view.num_groups()).collect();
+    crate::par::map_ref(&group_ids, threads, |&g| {
+        match (view.group(g), accs.get(g)) {
+            (Some(gv), Some(acc)) => {
+                let c = classify_group(&gv, acc);
+                (gv.kernel.clone(), c)
+            }
+            // Unreachable for a well-formed view; classify the empty group
+            // as a constant so the signature stays total.
+            _ => {
+                let kernel: Arc<str> = Arc::from("");
+                (kernel.clone(), constant_classification(kernel, &[]))
+            }
+        }
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Classifies pre-grouped kernel rows, fanning the per-kernel three-driver

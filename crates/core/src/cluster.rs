@@ -10,9 +10,11 @@
 //! cluster's final regression is refitted on the pooled samples of its
 //! member kernels.
 
-use crate::classify::{group_by_kernel, Driver, KernelClassification};
-use dnnperf_data::KernelRow;
-use dnnperf_linreg::{fit_bounded_intercept, mean, Fit, Line};
+use crate::classify::{Driver, KernelClassification};
+use dnnperf_data::{DatasetView, KernelRow};
+use dnnperf_linreg::{
+    fit_bounded_intercept, fit_bounded_segments, mean, Fit, Line, OlsAccum, FIT_CHUNK,
+};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -122,7 +124,158 @@ pub fn cluster_kernels(
     classes: &BTreeMap<Arc<str>, KernelClassification>,
     slope_tolerance: f64,
 ) -> Clustering {
-    cluster_kernels_grouped(&group_by_kernel(rows), classes, slope_tolerance, 1)
+    let refs: Vec<&KernelRow> = rows.iter().collect();
+    cluster_view(&DatasetView::from_refs(&refs), classes, slope_tolerance, 1)
+}
+
+/// Clusters classified kernels over a columnar [`DatasetView`] on up to
+/// `threads` workers — the training hot path.
+///
+/// The greedy membership sweep is the same single ordered pass as
+/// [`cluster_kernels_grouped`] and stays serial. The pooled refits then run
+/// in two worker-count-independent phases: the *virtual concatenation* of
+/// each cluster's member rows is cut into sub-chunks of exactly
+/// [`FIT_CHUNK`] rows (chunk boundaries cross member-group boundaries
+/// freely, so the reduction shape depends only on total row count), one
+/// accumulator job runs per `(cluster, chunk)`, and the partials fold back
+/// per cluster in chunk-index order. Finalisation — and the rare
+/// clamped-intercept second pass, which re-sweeps the member segments
+/// serially in member order — then runs in parallel across clusters. Both
+/// phases key their floating-point reduction shape on [`FIT_CHUNK`] alone,
+/// so the result is byte-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `slope_tolerance < 1.0`.
+pub fn cluster_view(
+    view: &DatasetView,
+    classes: &BTreeMap<Arc<str>, KernelClassification>,
+    slope_tolerance: f64,
+    threads: usize,
+) -> Clustering {
+    assert!(slope_tolerance >= 1.0, "slope tolerance must be >= 1");
+
+    // Greedy membership sweep — identical ordering and tolerance rules to
+    // the grouped path; members are recorded as view group indices.
+    let mut assignment = BTreeMap::new();
+    let mut clusters: Vec<(Driver, Vec<usize>)> = Vec::new();
+    for driver in Driver::all() {
+        let mut members: Vec<(&Arc<str>, f64)> = classes
+            .iter()
+            .filter(|(k, c)| c.driver == driver && view.group_index(k).is_some())
+            .map(|(k, c)| (k, c.chosen_fit().line.slope))
+            .collect();
+        members.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut i = 0;
+        while i < members.len() {
+            let mut j = i + 1;
+            let base = members[i].1;
+            while j < members.len() && slopes_close(base, members[j].1, slope_tolerance) {
+                j += 1;
+            }
+            let id = clusters.len();
+            let mut groups = Vec::with_capacity(j - i);
+            for (k, _) in &members[i..j] {
+                assignment.insert((*k).clone(), id);
+                if let Some(g) = view.group_index(k) {
+                    groups.push(g);
+                }
+            }
+            clusters.push((driver, groups));
+            i = j;
+        }
+    }
+
+    // Phase 1: per-(cluster, chunk) accumulator jobs over the virtual
+    // concatenation of each cluster's member rows, folded per cluster in
+    // chunk-index order.
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    for (c, (_, groups)) in clusters.iter().enumerate() {
+        let total: usize = groups
+            .iter()
+            .map(|&g| view.group(g).map_or(0, |gv| gv.seconds.len()))
+            .sum();
+        let mut start = 0;
+        while start < total {
+            let end = (start + FIT_CHUNK).min(total);
+            jobs.push((c, start, end));
+            start = end;
+        }
+    }
+    let accs: Vec<OlsAccum> = crate::par::reduce_indexed(
+        jobs.len(),
+        threads,
+        |ji| {
+            let (c, lo, hi) = jobs[ji];
+            let (driver, groups) = &clusters[c];
+            let mut chunk = OlsAccum::new();
+            // Walk the member segments with a running concatenation offset
+            // and push the sub-slice each one contributes to [lo, hi).
+            let mut pos = 0usize;
+            for &g in groups {
+                let Some(gv) = view.group(g) else { continue };
+                let len = gv.seconds.len();
+                let seg_lo = lo.saturating_sub(pos).min(len);
+                let seg_hi = hi.saturating_sub(pos).min(len);
+                if seg_lo < seg_hi {
+                    chunk.push_all(
+                        &gv.drivers[driver.index()][seg_lo..seg_hi],
+                        &gv.seconds[seg_lo..seg_hi],
+                    );
+                }
+                pos += len;
+                if pos >= hi {
+                    break;
+                }
+            }
+            (c, chunk)
+        },
+        vec![OlsAccum::new(); clusters.len()],
+        |mut accs, (c, chunk): (usize, OlsAccum)| {
+            if let Some(acc) = accs.get_mut(c) {
+                acc.merge(&chunk);
+            }
+            accs
+        },
+    );
+
+    // Phase 2: finalise each cluster in parallel, fits stitched back in
+    // cluster-id order.
+    let ids: Vec<usize> = (0..clusters.len()).collect();
+    let models: Vec<(Driver, Fit)> = crate::par::map_ref(&ids, threads, |&c| {
+        let (driver, groups) = &clusters[c];
+        let segments: Vec<(&[f64], &[f64])> = groups
+            .iter()
+            .filter_map(|&g| view.group(g))
+            .map(|gv| (gv.drivers[driver.index()], gv.seconds))
+            .collect();
+        let fit = match accs.get(c).map(|acc| fit_bounded_segments(acc, &segments)) {
+            Some(Ok(f)) if f.line.slope >= 0.0 => f,
+            _ => {
+                // Constant fallback: mean of the pooled targets, summed as
+                // one running left-to-right sweep in segment order — the
+                // same floating-point sequence `mean` runs on the
+                // concatenated vector the legacy path materialised.
+                let mut sum = 0.0f64;
+                let mut n = 0usize;
+                for (_, ys) in &segments {
+                    for y in *ys {
+                        sum += y;
+                    }
+                    n += ys.len();
+                }
+                let m = if n == 0 { 0.0 } else { sum / n as f64 };
+                Fit {
+                    line: Line::new(0.0, m),
+                    r2: 0.0,
+                    n,
+                }
+            }
+        };
+        (*driver, fit)
+    });
+    Clustering { assignment, models }
 }
 
 /// Clusters pre-grouped kernel rows, fanning the per-cluster pooled refits
@@ -195,7 +348,7 @@ fn slopes_close(a: f64, b: f64, tolerance: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::classify::classify_kernels;
+    use crate::classify::{classify_kernels, group_by_kernel};
 
     fn row(kernel: &str, x: u64, seconds: f64) -> KernelRow {
         KernelRow {
@@ -300,9 +453,42 @@ mod tests {
         let by_kernel = group_by_kernel(&rows);
         let serial = cluster_kernels_grouped(&by_kernel, &classes, 1.35, 1);
         assert_eq!(serial, cluster_kernels(&rows, &classes, 1.35));
+        let refs: Vec<&KernelRow> = rows.iter().collect();
+        let view = dnnperf_data::DatasetView::from_refs(&refs);
         for threads in [2, 3, 8] {
             assert_eq!(
                 cluster_kernels_grouped(&by_kernel, &classes, 1.35, threads),
+                serial,
+                "grouped threads = {threads}"
+            );
+            assert_eq!(
+                cluster_view(&view, &classes, 1.35, threads),
+                serial,
+                "view threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn view_path_splits_big_clusters_into_subchunks_deterministically() {
+        // Enough rows per kernel that the pooled virtual concatenation
+        // spans several FIT_CHUNK boundaries, exercising the sub-chunk
+        // segment walk at every thread count.
+        let mut rows = Vec::new();
+        for (name, slope) in [("a", 1.0f64), ("b", 1.05)] {
+            for i in 1..1500u64 {
+                rows.push(row(name, i * 10, slope * (i * 10) as f64 + 0.5));
+            }
+        }
+        let classes = classify_kernels(&rows);
+        let refs: Vec<&KernelRow> = rows.iter().collect();
+        let view = dnnperf_data::DatasetView::from_refs(&refs);
+        let serial = cluster_view(&view, &classes, 1.35, 1);
+        assert_eq!(serial.num_models(), 1, "similar slopes must pool");
+        assert_eq!(serial, cluster_kernels(&rows, &classes, 1.35));
+        for threads in [2, 3, 8, 32] {
+            assert_eq!(
+                cluster_view(&view, &classes, 1.35, threads),
                 serial,
                 "threads = {threads}"
             );

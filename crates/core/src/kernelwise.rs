@@ -7,16 +7,12 @@
 //! walk the network's layers, look each up in the mapping table, and sum the
 //! per-kernel regressions evaluated at the layer's driver variables.
 
-use crate::classify::{
-    classify_kernels, classify_kernels_grouped, group_row_refs, Driver, KernelClassification,
-};
-use crate::cluster::{
-    cluster_kernels, cluster_kernels_grouped, Clustering, DEFAULT_SLOPE_TOLERANCE,
-};
+use crate::classify::{classify_view, Driver, KernelClassification};
+use crate::cluster::{cluster_view, Clustering, DEFAULT_SLOPE_TOLERANCE};
 use crate::error::{PredictError, TrainError};
 use crate::mapping::KernelMap;
 use crate::model::Predictor;
-use dnnperf_data::Dataset;
+use dnnperf_data::{Dataset, DatasetView};
 use dnnperf_dnn::flops::layer_flops;
 use dnnperf_dnn::{Layer, Network};
 use std::collections::BTreeMap;
@@ -98,12 +94,14 @@ impl KwModel {
 
     /// Trains with an explicit clustering tolerance *and* worker count.
     ///
-    /// The kernel rows are grouped by symbol exactly once; the grouping is
-    /// shared between classification and clustering instead of each pass
-    /// re-scanning the rows. The per-kernel three-driver fits and the
-    /// per-cluster pooled refits fan out over up to `threads` workers on
-    /// the scheduler's work-stealing pool; results are stitched back in
-    /// deterministic order, so the trained model is byte-identical to the
+    /// The kernel rows are snapshotted into one columnar
+    /// [`DatasetView`] — SoA driver/target columns plus a sort-by-kernel
+    /// group index, built in a single pass with zero row clones — and that
+    /// view is shared between classification and clustering. Both stages
+    /// decompose their regressions into fixed [`dnnperf_linreg::FIT_CHUNK`]
+    /// row chunks whose partial accumulators fan out over up to `threads`
+    /// workers on the scheduler's work-stealing pool and fold back in
+    /// chunk-index order, so the trained model is byte-identical to the
     /// serial path for every thread count.
     ///
     /// # Errors
@@ -127,10 +125,10 @@ impl KwModel {
             });
         }
         let map = KernelMap::from_row_refs(&rows);
-        // One grouping pass feeds both classification and clustering.
-        let groups = group_row_refs(&rows);
-        let classes = classify_kernels_grouped(&groups, threads);
-        let clustering = cluster_kernels_grouped(&groups, &classes, slope_tolerance, threads);
+        // One columnar snapshot feeds both classification and clustering.
+        let view = DatasetView::from_refs(&rows);
+        let classes = classify_view(&view, threads);
+        let clustering = cluster_view(&view, &classes, slope_tolerance, threads);
         Ok(KwModel {
             gpu: gpu.to_string(),
             map,
@@ -393,26 +391,23 @@ impl KwFlopsOnlyModel {
     ///
     /// Same conditions as [`KwModel::train`].
     pub fn train(dataset: &Dataset, gpu: &str) -> Result<Self, TrainError> {
-        let rows: Vec<_> = dataset
-            .kernels
-            .iter()
-            .filter(|r| &*r.gpu == gpu)
-            .cloned()
-            .collect();
+        let rows: Vec<&dnnperf_data::KernelRow> =
+            dataset.kernels.iter().filter(|r| &*r.gpu == gpu).collect();
         if rows.is_empty() {
             return Err(TrainError::NoDataForGpu {
                 gpu: gpu.to_string(),
             });
         }
-        let map = KernelMap::from_rows(&rows);
+        let map = KernelMap::from_row_refs(&rows);
+        let view = DatasetView::from_refs(&rows);
         // Force classification to Operation for every kernel.
-        let mut classes = classify_kernels(&rows);
+        let mut classes = classify_view(&view, 1);
         for c in classes.values_mut() {
             if c.fits[Driver::Operation.index()].is_some() {
                 c.driver = Driver::Operation;
             }
         }
-        let clustering = cluster_kernels(&rows, &classes, DEFAULT_SLOPE_TOLERANCE);
+        let clustering = cluster_view(&view, &classes, DEFAULT_SLOPE_TOLERANCE, 1);
         Ok(KwFlopsOnlyModel {
             inner: KwModel {
                 gpu: gpu.to_string(),

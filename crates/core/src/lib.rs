@@ -59,8 +59,8 @@ pub mod persist;
 pub mod plan;
 pub mod workflow;
 
-pub use classify::{classify_kernels, Driver, KernelClassification};
-pub use cluster::{cluster_kernels, Clustering};
+pub use classify::{classify_kernels, classify_view, Driver, KernelClassification};
+pub use cluster::{cluster_kernels, cluster_view, Clustering};
 pub use degrade::{Degradation, GracefulPrediction};
 pub use e2e::E2eModel;
 pub use error::{PredictError, TrainError};

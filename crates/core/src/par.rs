@@ -42,13 +42,15 @@ where
     F: Fn(&T) -> R + Sync,
 {
     // Never spawn more workers than there are items (a worker with an
-    // empty deque is pure spawn/join overhead), nor more than the machine
-    // has cores (on a 1-core container an 8-thread request must degrade
-    // gracefully to the serial path, not pay spawn latency for nothing).
-    // Output is byte-identical across worker counts, so this clamp only
-    // changes scheduling, never results.
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
-    let workers = threads.min(cores).clamp(1, items.len().max(1));
+    // empty deque is pure spawn/join overhead), but otherwise honour the
+    // requested thread count. An earlier version also clamped to
+    // `available_parallelism`, which silently starved explicit
+    // multi-thread requests on cgroup-limited boxes and made the
+    // forced-multithread determinism suites vacuously serial; callers
+    // that want auto-sizing resolve it before asking (see
+    // `TrainOptions::effective_threads`). Output is byte-identical across
+    // worker counts, so this clamp only changes scheduling, never results.
+    let workers = threads.clamp(1, items.len().max(1));
     if workers == 1 {
         return items.iter().map(f).collect();
     }
@@ -66,6 +68,26 @@ where
             .collect::<Vec<R>>()
     });
     per_chunk.into_iter().flatten().collect()
+}
+
+/// Runs `jobs` indexed jobs on up to `threads` workers and folds the
+/// per-job partial results into `init` **in job-index order** (the
+/// scheduler's [`dnnperf_sched::map_reduce`] with the same worker clamp
+/// policy as [`map_ref`]).
+///
+/// The training pipeline uses this to assemble per-chunk regression
+/// accumulators: jobs are cut at fixed row-chunk boundaries (never by
+/// worker count), so the reduction tree — and therefore every fitted
+/// coefficient — is bit-identical at any thread count.
+pub(crate) fn reduce_indexed<T, A, M, F>(jobs: usize, threads: usize, map: M, init: A, fold: F) -> A
+where
+    T: Send,
+    A: Send,
+    M: Fn(usize) -> T + Sync,
+    F: FnMut(A, T) -> A,
+{
+    let workers = threads.clamp(1, jobs.max(1));
+    dnnperf_sched::map_reduce(jobs, workers, map, init, fold)
 }
 
 #[cfg(test)]
@@ -92,5 +114,23 @@ mod tests {
     fn zero_threads_is_treated_as_serial() {
         let items = [1u32, 2, 3];
         assert_eq!(map_ref(&items, 0, |x| x * 2), vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn reduce_indexed_folds_in_index_order_at_any_width() {
+        let expect: Vec<usize> = (0..9).collect();
+        for threads in [0, 1, 2, 8, 40] {
+            let v = reduce_indexed(
+                9,
+                threads,
+                |i| i,
+                Vec::new(),
+                |mut acc: Vec<usize>, i| {
+                    acc.push(i);
+                    acc
+                },
+            );
+            assert_eq!(v, expect, "threads = {threads}");
+        }
     }
 }

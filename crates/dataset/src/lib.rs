@@ -31,6 +31,7 @@ pub mod dataset;
 pub mod hygiene;
 pub mod record;
 pub mod split;
+pub mod view;
 
 pub use cache::{CacheLookup, CacheStats, CollectMode, DatasetCache};
 pub use collect::{CollectOptions, CollectReport};
@@ -38,3 +39,4 @@ pub use dataset::Dataset;
 pub use hygiene::{dataset_is_wholesome, quarantine_scale_outliers, trace_is_wholesome};
 pub use record::{KernelRow, LayerRow, NetworkRow};
 pub use split::split_names;
+pub use view::{DatasetView, GroupView};

@@ -27,11 +27,13 @@
 // dnnperf-lint's panic-policy pass verifies this attribute stays in place.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod accum;
 pub mod metrics;
 pub mod ols;
 pub mod robust;
 pub mod stats;
 
+pub use accum::{fit_bounded_segments, OlsAccum, WlsAccum, FIT_CHUNK};
 pub use metrics::{mean_abs_rel_error, median, percentile, ratio_curve, SCurvePoint};
 pub use ols::{
     fit, fit_bounded_intercept, fit_plane, fit_through_origin, Fit, FitError, Line, PlaneFit,

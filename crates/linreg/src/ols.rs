@@ -173,49 +173,16 @@ fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
 pub fn fit(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
     check_inputs(xs, ys)?;
     // Fused single pass with Youngs–Cramer (Welford-style) co-moment
-    // updates: running means plus the centred second moments `m2x`, `m2y`
-    // and co-moment `cxy` in one sweep, where the old implementation took
-    // five (two means, one co-moment loop, two R² passes). The updates
-    // centre each sample against the running mean, so the accumulation is
-    // shift-invariant and avoids the catastrophic cancellation a raw
-    // `n·Σxy − Σx·Σy` formulation would suffer on FLOP-scale inputs.
-    let mut n = 0.0f64;
-    let mut mx = 0.0f64;
-    let mut my = 0.0f64;
-    let mut m2x = 0.0f64;
-    let mut m2y = 0.0f64;
-    let mut cxy = 0.0f64;
-    for (x, y) in xs.iter().zip(ys) {
-        n += 1.0;
-        let dx = x - mx;
-        let dy = y - my;
-        mx += dx / n;
-        my += dy / n;
-        m2x += dx * (x - mx);
-        m2y += dy * (y - my);
-        cxy += dx * (y - my);
-    }
-    // Identical xs leave `mx` pinned to the common value after the first
-    // sample, so every later `dx` — and hence `m2x` — is exactly zero.
-    if m2x == 0.0 {
-        return Err(FitError::DegenerateX);
-    }
-    let slope = cxy / m2x;
-    let line = Line::new(slope, my - slope * mx);
-    // For the OLS line, ss_res = m2y − slope·cxy exactly; the `max(0.0)`
-    // guards the tiny negative values floating-point can produce on
-    // near-perfect fits. Constant ys give m2y = cxy = 0 (dy pins `my`
-    // after the first sample), i.e. a perfect constant fit: R² = 1.
-    let r2 = if m2y == 0.0 {
-        1.0
-    } else {
-        1.0 - (m2y - slope * cxy).max(0.0) / m2y
-    };
-    Ok(Fit {
-        line,
-        r2,
-        n: xs.len(),
-    })
+    // updates, routed through the mergeable accumulator so serial fits,
+    // worker-split fits and incremental refreshes all share one canonical
+    // floating-point sequence (see `accum` for the chunked reduction-tree
+    // contract). The updates centre each sample against the running mean,
+    // so the accumulation is shift-invariant and avoids the catastrophic
+    // cancellation a raw `n·Σxy − Σx·Σy` formulation would suffer on
+    // FLOP-scale inputs.
+    let mut acc = crate::accum::OlsAccum::new();
+    acc.accumulate(xs, ys);
+    acc.fit()
 }
 
 /// Fits `y = slope * x` (no intercept) by least squares.
@@ -293,30 +260,10 @@ pub fn fit_through_origin(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
 /// # }
 /// ```
 pub fn fit_bounded_intercept(xs: &[f64], ys: &[f64]) -> Result<Fit, FitError> {
-    let f = fit(xs, ys)?;
-    let min_y = ys.iter().copied().fold(f64::INFINITY, f64::min).max(0.0);
-    if f.line.intercept >= 0.0 && f.line.intercept <= min_y {
-        return Ok(f);
-    }
-    let b = f.line.intercept.clamp(0.0, min_y);
-    // Refit through the origin on the shifted data without materialising
-    // the shifted vector: the through-origin slope is Σx(y−b) / Σx².
-    let mut sxx = 0.0f64;
-    let mut sxy = 0.0f64;
-    for (x, y) in xs.iter().zip(ys) {
-        sxx += x * x;
-        sxy += x * (y - b);
-    }
-    if sxx == 0.0 {
-        return Err(FitError::DegenerateX);
-    }
-    let slope = (sxy / sxx).max(0.0);
-    let line = Line::new(slope, b);
-    Ok(Fit {
-        line,
-        r2: r_squared(xs, ys, line),
-        n: xs.len(),
-    })
+    check_inputs(xs, ys)?;
+    let mut acc = crate::accum::OlsAccum::new();
+    acc.accumulate(xs, ys);
+    crate::accum::fit_bounded_segments(&acc, &[(xs, ys)])
 }
 
 /// Coefficients of a two-feature affine fit `y = a*x1 + b*x2 + c`.

@@ -10,8 +10,13 @@
 //! Implemented as iteratively reweighted least squares (IRLS): start from
 //! OLS, compute residuals, scale them by a MAD-based robust sigma, weight
 //! each point by `min(1, k / |r/sigma|)` and refit weighted least squares
-//! until the coefficients stop moving. Everything is deterministic.
+//! until the coefficients stop moving. Everything is deterministic: each
+//! iteration's weighted sums are assembled from per-chunk partials
+//! ([`crate::accum::FIT_CHUNK`] rows per chunk) merged in fixed index
+//! order, so the reduction shape is a function of the sample count alone
+//! and a worker-split iteration reproduces the serial one bit-for-bit.
 
+use crate::accum::{WlsAccum, FIT_CHUNK};
 use crate::ols::{fit, Fit, FitError, Line};
 
 /// Huber tuning constant: 1.345 gives 95% efficiency on clean Gaussian
@@ -35,44 +40,25 @@ pub enum Estimator {
     Huber,
 }
 
-fn median_of(mut v: Vec<f64>) -> f64 {
-    v.sort_by(f64::total_cmp);
-    let n = v.len();
-    if n == 0 {
-        return 0.0;
-    }
-    if n % 2 == 1 {
-        v[n / 2]
-    } else {
-        0.5 * (v[n / 2 - 1] + v[n / 2])
-    }
-}
-
 /// Robust residual scale: `1.4826 * MAD` (consistent for the Gaussian).
+///
+/// Medians come from the shared NaN-safe quickselect in
+/// [`crate::metrics`] — expected O(n) instead of the former sort, and the
+/// identical order statistics, so every downstream weight is unchanged.
+/// An empty sample yields `NaN`, which the IRLS loops treat exactly like
+/// the converged `sigma <= 0` case.
 fn robust_sigma(residuals: &[f64]) -> f64 {
-    let med = median_of(residuals.to_vec());
+    let med = crate::metrics::median(residuals);
     let dev: Vec<f64> = residuals.iter().map(|r| (r - med).abs()).collect();
-    1.4826 * median_of(dev)
+    1.4826 * crate::metrics::median(&dev)
 }
 
+/// One IRLS round's weighted fit, assembled from per-chunk [`WlsAccum`]
+/// partials merged in index order (the canonical reduction tree).
 fn weighted_fit(xs: &[f64], ys: &[f64], ws: &[f64]) -> Result<Line, FitError> {
-    let sw: f64 = ws.iter().sum();
-    if sw <= 0.0 {
-        return Err(FitError::DegenerateX);
-    }
-    let mx: f64 = xs.iter().zip(ws).map(|(x, w)| x * w).sum::<f64>() / sw;
-    let my: f64 = ys.iter().zip(ws).map(|(y, w)| y * w).sum::<f64>() / sw;
-    let mut sxy = 0.0;
-    let mut sxx = 0.0;
-    for ((x, y), w) in xs.iter().zip(ys).zip(ws) {
-        sxy += w * (x - mx) * (y - my);
-        sxx += w * (x - mx) * (x - mx);
-    }
-    if sxx == 0.0 {
-        return Err(FitError::DegenerateX);
-    }
-    let slope = sxy / sxx;
-    Ok(Line::new(slope, my - slope * mx))
+    let mut acc = WlsAccum::new();
+    acc.accumulate(xs, ys, ws);
+    acc.line()
 }
 
 fn r_squared(xs: &[f64], ys: &[f64], line: Line) -> f64 {
@@ -187,13 +173,26 @@ pub fn fit_bounded_intercept_huber(xs: &[f64], ys: &[f64]) -> Result<Fit, FitErr
         if sigma <= 0.0 || !sigma.is_finite() {
             break;
         }
+        // Slope-only weighted sums from per-chunk partials folded in index
+        // order: the same canonical reduction tree the free-intercept IRLS
+        // uses, so a worker-split iteration matches the serial one.
         let mut sxy = 0.0;
         let mut sxx = 0.0;
-        for ((x, y), r) in xs.iter().zip(&shifted).zip(&residuals) {
-            let u = (r / sigma).abs();
-            let w = if u <= HUBER_K { 1.0 } else { HUBER_K / u };
-            sxy += w * x * y;
-            sxx += w * x * x;
+        for ((cx, cy), cr) in xs
+            .chunks(FIT_CHUNK)
+            .zip(shifted.chunks(FIT_CHUNK))
+            .zip(residuals.chunks(FIT_CHUNK))
+        {
+            let mut pxy = 0.0;
+            let mut pxx = 0.0;
+            for ((x, y), r) in cx.iter().zip(cy).zip(cr) {
+                let u = (r / sigma).abs();
+                let w = if u <= HUBER_K { 1.0 } else { HUBER_K / u };
+                pxy += w * x * y;
+                pxx += w * x * x;
+            }
+            sxy += pxy;
+            sxx += pxx;
         }
         if sxx == 0.0 {
             return Err(FitError::DegenerateX);

@@ -1,7 +1,8 @@
 //! Property-based tests for the regression and metric primitives.
 
 use dnnperf_linreg::{
-    fit, fit_bounded_intercept, fit_through_origin, mean_abs_rel_error, percentile, ratio_curve,
+    fit, fit_bounded_intercept, fit_huber, fit_through_origin, mean_abs_rel_error, median,
+    percentile, ratio_curve, Line, OlsAccum, WlsAccum, FIT_CHUNK, HUBER_K,
 };
 use dnnperf_testkit::prelude::*;
 
@@ -142,4 +143,182 @@ props! {
             prop_assert!(w[0].ratio <= w[1].ratio + 1e-12);
         }
     }
+
+    #[test]
+    fn accum_merge_is_associative_in_value(xs in finite_xs(), noise in vec(-1.0..1.0f64, 40), c1 in 1..20usize, c2 in 1..20usize) {
+        // Floating-point merging is not bit-associative, but the *value*
+        // must not depend on the association: ((a+b)+c) and (a+(b+c)) agree
+        // to relative tolerance and to exact sample counts.
+        let ys: Vec<f64> = xs.iter().zip(&noise).map(|(x, n)| 3.0 * x + 1.0 + n).collect();
+        let n = xs.len().min(ys.len());
+        let (xs, ys) = (&xs[..n], &ys[..n]);
+        let cut1 = 1 + c1 % (n - 1);
+        let cut2 = cut1 + c2 % (n - cut1);
+        let part = |lo: usize, hi: usize| {
+            let mut a = OlsAccum::new();
+            a.push_all(&xs[lo..hi], &ys[lo..hi]);
+            a
+        };
+        let (a, b, c) = (part(0, cut1), part(cut1, cut2), part(cut2, n));
+        let mut left = a;
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b;
+        bc.merge(&c);
+        let mut right = a;
+        right.merge(&bc);
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min_y().to_bits(), right.min_y().to_bits());
+        if let (Ok(fl), Ok(fr)) = (left.fit(), right.fit()) {
+            let scale = fl.line.slope.abs().max(1.0);
+            prop_assert!((fl.line.slope - fr.line.slope).abs() < 1e-9 * scale);
+            prop_assert!((fl.line.intercept - fr.line.intercept).abs() < 1e-6 * fl.line.intercept.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn accumulate_segments_is_cut_invariant_bitwise(len in 2..2600usize, seed in 0..1_000_000u64, c1 in 0..2600usize, c2 in 0..2600usize) {
+        // The virtual concatenation places chunk boundaries by global row
+        // index, so *any* segmentation of the same rows yields the exact
+        // same accumulator state — across FIT_CHUNK boundaries included.
+        let xs: Vec<f64> = (0..len).map(|i| ((i as u64 * 2654435761 + seed) % 10007) as f64 + 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.75 * x + 0.5).collect();
+        let mut flat = OlsAccum::new();
+        flat.accumulate(&xs, &ys);
+        let (mut a, mut b) = (c1 % (len + 1), c2 % (len + 1));
+        if a > b {
+            std::mem::swap(&mut a, &mut b);
+        }
+        let mut split = OlsAccum::new();
+        split.accumulate_segments([
+            (&xs[..a], &ys[..a]),
+            (&xs[a..b], &ys[a..b]),
+            (&xs[b..], &ys[b..]),
+        ]);
+        prop_assert_eq!(split, flat);
+    }
+
+    #[test]
+    fn worker_partials_reproduce_serial_accumulate_bitwise(len in 1..3100usize, seed in 0..1_000_000u64) {
+        // The parallel contract: chunk accumulators computed independently
+        // (any worker could own any chunk) and folded in chunk-index order
+        // are bit-identical to the serial accumulate — and, within one
+        // chunk, to the historical plain serial sweep.
+        let xs: Vec<f64> = (0..len).map(|i| ((i as u64 * 48271 + seed) % 9973) as f64 * 0.5 + 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.3 * x + 7.0).collect();
+        let mut serial = OlsAccum::new();
+        serial.accumulate(&xs, &ys);
+        let partials: Vec<OlsAccum> = xs
+            .chunks(FIT_CHUNK)
+            .zip(ys.chunks(FIT_CHUNK))
+            .map(|(cx, cy)| {
+                let mut p = OlsAccum::new();
+                p.push_all(cx, cy);
+                p
+            })
+            .collect();
+        let mut folded = OlsAccum::new();
+        for p in &partials {
+            folded.merge(p);
+        }
+        prop_assert_eq!(folded, serial);
+        if (2..=FIT_CHUNK).contains(&len) {
+            let f = fit(&xs, &ys).unwrap();
+            prop_assert_eq!(folded.fit().unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn huber_chunked_irls_matches_serial_reference(xs in finite_xs(), noise in vec(-0.5..0.5f64, 40), out_at in 0..40usize, out_mag in 5.0..50.0f64) {
+        // fit_huber assembles each IRLS round from per-chunk WlsAccum
+        // partials; a straight serial two-pass weighted-sum IRLS must
+        // converge to the same line.
+        let n = xs.len().min(noise.len());
+        let mut ys: Vec<f64> = xs[..n].iter().zip(&noise).map(|(x, e)| 2.0 * x + 5.0 + e).collect();
+        ys[out_at % n] += out_mag * 1e3;
+        let xs = &xs[..n];
+        let f = fit_huber(xs, &ys).unwrap();
+        let r = huber_reference(xs, &ys);
+        let scale = r.slope.abs().max(1.0);
+        prop_assert!((f.line.slope - r.slope).abs() < 1e-6 * scale, "slope {} vs {}", f.line.slope, r.slope);
+        prop_assert!((f.line.intercept - r.intercept).abs() < 1e-4 * r.intercept.abs().max(1.0));
+    }
+
+    #[test]
+    fn wls_merge_is_associative_in_value(xs in finite_xs(), wseed in vec(0.1..2.0f64, 40), c in 1..39usize) {
+        let n = xs.len().min(wseed.len());
+        let ys: Vec<f64> = xs[..n].iter().map(|x| 0.75 * x - 2.0).collect();
+        let cut = 1 + c % (n - 1);
+        let mut whole = WlsAccum::new();
+        let mut lo = WlsAccum::new();
+        let mut hi = WlsAccum::new();
+        for (i, ((x, y), w)) in xs[..n].iter().zip(&ys).zip(&wseed).enumerate() {
+            whole.push(*x, *y, *w);
+            if i < cut {
+                lo.push(*x, *y, *w);
+            } else {
+                hi.push(*x, *y, *w);
+            }
+        }
+        lo.merge(&hi);
+        prop_assert_eq!(lo.count(), whole.count());
+        if let (Ok(lm), Ok(lw)) = (lo.line(), whole.line()) {
+            prop_assert!((lm.slope - lw.slope).abs() < 1e-9 * lw.slope.abs().max(1.0));
+            prop_assert!((lm.intercept - lw.intercept).abs() < 1e-6 * lw.intercept.abs().max(1.0));
+        }
+    }
+}
+
+/// The pre-accumulator IRLS: serial two-pass weighted sums per round, the
+/// same MAD sigma and Huber weights as `fit_huber`.
+fn huber_reference(xs: &[f64], ys: &[f64]) -> Line {
+    let mut line = fit(xs, ys).unwrap().line;
+    for _ in 0..25 {
+        let residuals: Vec<f64> = xs.iter().zip(ys).map(|(x, y)| y - line.eval(*x)).collect();
+        let med = median(&residuals);
+        let dev: Vec<f64> = residuals.iter().map(|r| (r - med).abs()).collect();
+        let sigma = 1.4826 * median(&dev);
+        if sigma <= 0.0 || !sigma.is_finite() {
+            break;
+        }
+        let ws: Vec<f64> = residuals
+            .iter()
+            .map(|r| {
+                let u = (r / sigma).abs();
+                if u <= HUBER_K {
+                    1.0
+                } else {
+                    HUBER_K / u
+                }
+            })
+            .collect();
+        let sw: f64 = ws.iter().sum();
+        let swx: f64 = ws.iter().zip(xs).map(|(w, x)| w * x).sum();
+        let swy: f64 = ws.iter().zip(ys).map(|(w, y)| w * y).sum();
+        let (mx, my) = (swx / sw, swy / sw);
+        let sxx: f64 = ws
+            .iter()
+            .zip(xs)
+            .map(|(w, x)| w * (x - mx) * (x - mx))
+            .sum();
+        let sxy: f64 = ws
+            .iter()
+            .zip(xs.iter().zip(ys))
+            .map(|(w, (x, y))| w * (x - mx) * (y - my))
+            .sum();
+        if sxx == 0.0 {
+            break;
+        }
+        let slope = sxy / sxx;
+        let next = Line::new(slope, my - slope * mx);
+        let moved = (next.slope - line.slope)
+            .abs()
+            .max((next.intercept - line.intercept).abs());
+        let scale = line.slope.abs().max(line.intercept.abs()).max(1e-300);
+        line = next;
+        if moved / scale < 1e-10 {
+            break;
+        }
+    }
+    line
 }

@@ -27,7 +27,7 @@ pub mod retry;
 pub mod sync;
 
 pub use mpmc::{Bounded, SendRejected};
-pub use pool::{run_indexed, run_indexed_catching, JobPanic, StealQueues};
+pub use pool::{map_reduce, run_indexed, run_indexed_catching, JobPanic, StealQueues};
 pub use queue::{brute_force_schedule, evaluate_makespan, lpt_schedule, JobTimes, Schedule};
 pub use retry::{
     retry_with_backoff, Backoff, Clock, RecordingClock, RetryClass, RetryOutcome, RetryPolicy,

@@ -209,6 +209,33 @@ where
         .collect()
 }
 
+/// Runs jobs `0..jobs` on `workers` work-stealing threads and folds the
+/// per-job results into `init` **in job-index order**: the returned value
+/// equals `(0..jobs).map(map).fold(init, fold)` executed serially.
+///
+/// This is the pool's deterministic reduction primitive. Which worker
+/// computes which partial is nondeterministic; the fold sequence never is,
+/// so a reduction over partial accumulators (chunked regression sums,
+/// histogram merges) produces bit-identical results at every worker count —
+/// provided the *job decomposition* itself is worker-independent (fixed
+/// chunk sizes, never `jobs / workers`).
+///
+/// All partials are materialised before folding (they are small accumulator
+/// values in every current use); the fold runs on the calling thread.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero, or propagates the first (lowest-index)
+/// panic from `map` after every other job has completed.
+pub fn map_reduce<T, A, M, F>(jobs: usize, workers: usize, map: M, init: A, fold: F) -> A
+where
+    T: Send,
+    M: Fn(usize) -> T + Sync,
+    F: FnMut(A, T) -> A,
+{
+    run_indexed(jobs, workers, map).into_iter().fold(init, fold)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -272,6 +299,29 @@ mod tests {
             seen.lock().unwrap().len() > 1,
             "expected >1 worker to run jobs"
         );
+    }
+
+    #[test]
+    fn map_reduce_folds_in_index_order() {
+        for workers in [1, 2, 3, 8, 40] {
+            let folded = map_reduce(
+                10,
+                workers,
+                |i| i.to_string(),
+                String::new(),
+                |mut acc, s| {
+                    acc.push_str(&s);
+                    acc
+                },
+            );
+            assert_eq!(folded, "0123456789", "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn map_reduce_zero_jobs_returns_init() {
+        let folded = map_reduce(0, 4, |i| i, 42usize, |a, b| a + b);
+        assert_eq!(folded, 42);
     }
 
     #[test]

@@ -240,7 +240,7 @@ fn parallel_training_is_byte_identical_across_thread_counts() {
     );
 
     let probe = zoo::resnet::resnet50();
-    for threads in [1usize, 3, 8, 32] {
+    for threads in [1usize, 2, 3, 8, 32] {
         let par = Workflow::train_opts(&ds, "A100", &TrainOptions::with_threads(threads)).unwrap();
         assert_eq!(par.kw, serial.kw, "threads = {threads}");
         assert_eq!(
@@ -258,6 +258,68 @@ fn parallel_training_is_byte_identical_across_thread_counts() {
     // stay on the same bytes.
     let auto = Workflow::train_opts(&ds, "A100", &TrainOptions::default()).unwrap();
     assert_eq!(auto.kw, serial.kw);
+}
+
+/// Sub-chunk determinism: when one kernel group (and one pooled cluster)
+/// spans several `FIT_CHUNK` row chunks, the chunked partial accumulators
+/// split across workers — and must still fold back to the serial bytes at
+/// every thread count. The zoo grids above never put >1024 rows behind a
+/// single kernel, so this pins the contract on a synthetic dataset that
+/// does.
+#[test]
+fn training_on_chunk_spanning_groups_is_byte_identical() {
+    use dnnperf::linreg::FIT_CHUNK;
+    use dnnperf::model::{classify_view, cluster_view};
+    use std::sync::Arc;
+
+    let mut rows = Vec::new();
+    for (kernel, slope) in [
+        ("gemm_big", 2.5e-9),
+        ("gemm_close", 2.6e-9),
+        ("tiny", 4.0e-9),
+    ] {
+        // Two kernels with FIT_CHUNK+∆ rows each (their pooled cluster
+        // spans ~3 chunks), one small kernel that fits in a chunk.
+        let n = if kernel == "tiny" {
+            64
+        } else {
+            FIT_CHUNK + 321
+        };
+        for i in 1..=n as u64 {
+            rows.push(dnnperf::data::KernelRow {
+                network: Arc::from("synthetic"),
+                gpu: Arc::from("A100"),
+                batch: 1,
+                layer_index: 0,
+                layer_type: Arc::from("conv"),
+                kernel: Arc::from(kernel),
+                in_elems: 1,
+                flops: i * 1000,
+                out_elems: 1,
+                seconds: slope * (i * 1000) as f64 + 1.0e-6 * ((i % 7) as f64),
+            });
+        }
+    }
+    let refs: Vec<&dnnperf::data::KernelRow> = rows.iter().collect();
+    let view = dnnperf::data::DatasetView::from_refs(&refs);
+    assert!(view.num_rows() > 2 * FIT_CHUNK);
+
+    let serial_classes = classify_view(&view, 1);
+    let serial_clusters = cluster_view(&view, &serial_classes, 1.08, 1);
+    assert_eq!(
+        serial_clusters.cluster_of("gemm_big"),
+        serial_clusters.cluster_of("gemm_close"),
+        "close slopes must pool into one chunk-spanning cluster"
+    );
+    for threads in [2usize, 3, 8, 32] {
+        let classes = classify_view(&view, threads);
+        assert_eq!(classes, serial_classes, "classify threads = {threads}");
+        assert_eq!(
+            cluster_view(&view, &classes, 1.08, threads),
+            serial_clusters,
+            "cluster threads = {threads}"
+        );
+    }
 }
 
 /// When ci.sh exports `DNNPERF_CACHE_DIR`, the env-derived options must
